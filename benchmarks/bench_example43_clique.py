@@ -1,0 +1,24 @@
+"""Experiment E4.3 — the k-clique query of Example 4.3.
+
+Reproduces the example: the fixed-per-k TriQ 1.0 program decides k-clique
+containment, agreeing with brute force on random graphs.
+"""
+
+import pytest
+
+from repro.reductions.clique import contains_clique, contains_clique_bruteforce
+from repro.workloads.graphs import random_undirected_graph
+
+
+@pytest.mark.parametrize("n,k", [(4, 2), (4, 3), (5, 3)])
+def test_example43_clique_query(benchmark, n, k):
+    edges = random_undirected_graph(n, 0.6, seed=n * 10 + k)
+    expected = contains_clique_bruteforce(edges, k)
+
+    result = benchmark.pedantic(
+        lambda: contains_clique(edges, k), rounds=1, iterations=1
+    )
+    assert result == expected
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["has_clique"] = expected

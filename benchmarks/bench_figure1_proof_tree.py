@@ -1,0 +1,62 @@
+"""Experiment Figure 1 — the proof tree of p(a,a) (Example 6.10).
+
+Reproduces Figure 1 of the paper: the warded program of Example 6.10 over the
+database {s(a,a,a), t(a)} derives p(a,a), and the engine's provenance unfolds
+into a proof tree whose leaves are database atoms and whose rules come from
+the program.  The benchmark measures materialisation plus proof-tree
+extraction, on the paper's instance and on longer s-chains.
+"""
+
+import pytest
+
+from repro.core.prooftree import extract_proof_tree
+from repro.core.warded_engine import WardedEngine
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_atom, parse_program
+
+EXAMPLE_610 = """
+    s(?X, ?Y, ?Z) -> exists ?W . s(?X, ?Z, ?W).
+    s(?X, ?Y, ?Z), s(?Y, ?Z, ?W) -> q(?X, ?Y).
+    t(?X) -> exists ?Z . p(?X, ?Z).
+    p(?X, ?Y), q(?X, ?Z) -> r(?X, ?Y, ?Z).
+    r(?X, ?Y, ?Z) -> p(?X, ?Z).
+"""
+
+
+def test_figure1_proof_tree_of_example_610(benchmark):
+    program = parse_program(EXAMPLE_610)
+    database = Database([parse_atom("s(a,a,a)"), parse_atom("t(a)")])
+    target = parse_atom("p(a,a)")
+
+    def derive_and_explain():
+        engine = WardedEngine(program)
+        result = engine.materialise(database)
+        return extract_proof_tree(target, result, database)
+
+    tree = benchmark(derive_and_explain)
+    assert tree.root.atom == target
+    assert tree.leaves_in_database()
+    assert tree.depth() >= 4
+    benchmark.extra_info["proof_tree_size"] = tree.size()
+    benchmark.extra_info["proof_tree_depth"] = tree.depth()
+
+
+@pytest.mark.parametrize("chain_length", [2, 6, 12])
+def test_figure1_scaled_chains(benchmark, chain_length):
+    """Proof trees for q(a0, a0) over longer s-chains (same rule shapes)."""
+    program = parse_program(EXAMPLE_610)
+    facts = [parse_atom("t(a0)")]
+    for i in range(chain_length):
+        facts.append(parse_atom(f"s(a{i}, a{i}, a{i})"))
+    database = Database(facts)
+    target = parse_atom("p(a0,a0)")
+
+    def derive():
+        engine = WardedEngine(program)
+        result = engine.materialise(database)
+        return extract_proof_tree(target, result, database)
+
+    tree = benchmark(derive)
+    assert tree.leaves_in_database()
+    benchmark.extra_info["chain_length"] = chain_length
+    benchmark.extra_info["proof_tree_size"] = tree.size()

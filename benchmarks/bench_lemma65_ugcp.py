@@ -1,0 +1,51 @@
+"""Experiment L6.5/6.6 — the unbounded ground-connection property.
+
+Lemma 6.5: a good-candidate language must connect one invented null to an
+unbounded number of database constants; the warded program tau_owl2ql_core
+does exactly that on the chain ontologies O_n (mgc grows with n).  Lemma 6.6:
+nearly frontier-guarded Datalog∃ cannot (mgc stays bounded).  The benchmark
+computes the mgc series for both and asserts the two shapes.
+"""
+
+from repro.analysis.ugcp import is_series_bounded, mgc_series
+from repro.datalog.parser import parse_program
+from repro.owl.entailment_rules import owl2ql_core_program
+from repro.workloads.ontologies import chain_ontology_graph
+
+SIZES = [1, 2, 4, 8]
+
+#: A (nearly) frontier-guarded program over the same schema: the invented null
+#: only ever co-occurs with the constants of the single guard atom.
+FRONTIER_GUARDED_PROGRAM = """
+    triple(?X, rdf:type, ?Y) -> exists ?Z . witness(?X, ?Y, ?Z).
+    triple(?X, rdfs:subClassOf, ?Y) -> sub(?X, ?Y).
+    sub(?X, ?Y), sub(?Y, ?Z) -> sub(?X, ?Z).
+"""
+
+
+def test_lemma65_warded_mgc_is_unbounded(benchmark):
+    program = owl2ql_core_program()
+
+    def series():
+        return mgc_series(
+            program, lambda n: chain_ontology_graph(n).to_database(), SIZES
+        )
+
+    values = benchmark.pedantic(series, rounds=1, iterations=1)
+    mgc = [v for _, v in values]
+    assert mgc == sorted(mgc) and mgc[-1] > mgc[0]
+    assert not is_series_bounded(values)
+    benchmark.extra_info["series"] = values
+
+
+def test_lemma66_nearly_frontier_guarded_mgc_is_bounded(benchmark):
+    program = parse_program(FRONTIER_GUARDED_PROGRAM)
+
+    def series():
+        return mgc_series(
+            program, lambda n: chain_ontology_graph(n).to_database(), SIZES
+        )
+
+    values = benchmark.pedantic(series, rounds=1, iterations=1)
+    assert is_series_bounded(values, tolerance=0)
+    benchmark.extra_info["series"] = values

@@ -1,0 +1,65 @@
+"""Experiment S5.3 — the semantics without the active-domain restriction.
+
+Section 5.3: ⟦·⟧^All finds answers witnessed by anonymous individuals that
+⟦·⟧^U misses, while every ⟦·⟧^U answer remains an ⟦·⟧^All answer.  The
+benchmark evaluates both regimes on the herbivore ontology and on chain
+ontologies of growing length.
+"""
+
+import pytest
+
+from repro.owl.model import Ontology, inverse, some
+from repro.owl.rdf_mapping import ontology_to_graph
+from repro.sparql.parser import parse_sparql
+from repro.translation.entailment_regime import evaluate_under_entailment
+from repro.workloads.ontologies import chain_basic_graph_pattern, chain_ontology_graph
+
+
+def herbivore_graph(n_animals: int):
+    ontology = Ontology()
+    ontology.sub_class("animal", some("eats"))
+    ontology.sub_class(some(inverse("eats")), "plant_material")
+    for i in range(n_animals):
+        ontology.assert_class("animal", f"animal{i}")
+    return ontology_to_graph(ontology)
+
+
+HERBIVORE_QUERY = "SELECT ?X WHERE { ?X eats _:B . _:B rdf:type plant_material }"
+
+
+@pytest.mark.parametrize("n_animals", [3, 10])
+def test_section53_all_vs_u_on_herbivores(benchmark, n_animals):
+    graph = herbivore_graph(n_animals)
+    query = parse_sparql(HERBIVORE_QUERY)
+
+    def evaluate_both():
+        return (
+            evaluate_under_entailment(query, graph, "U"),
+            evaluate_under_entailment(query, graph, "All"),
+        )
+
+    u_answers, all_answers = benchmark.pedantic(evaluate_both, rounds=1, iterations=1)
+    # U misses every animal (the witness is anonymous); All finds them all.
+    assert u_answers == set()
+    assert len(all_answers) == n_animals
+    benchmark.extra_info["animals"] = n_animals
+    benchmark.extra_info["u_answers"] = len(u_answers)
+    benchmark.extra_info["all_answers"] = len(all_answers)
+
+
+@pytest.mark.parametrize("n", [2, 5])
+def test_section53_chain_pattern_only_under_all(benchmark, n):
+    """The Lemma 6.5 pattern P_n is satisfiable only without the active-domain restriction."""
+    graph = chain_ontology_graph(n)
+    pattern = chain_basic_graph_pattern(n)
+
+    def evaluate_both():
+        return (
+            evaluate_under_entailment(pattern, graph, "U"),
+            evaluate_under_entailment(pattern, graph, "All"),
+        )
+
+    u_answers, all_answers = benchmark.pedantic(evaluate_both, rounds=1, iterations=1)
+    assert u_answers == set()
+    assert len(all_answers) == 1  # the empty mapping: the boolean pattern holds
+    benchmark.extra_info["n"] = n

@@ -1,0 +1,69 @@
+"""Experiment T6.15 — the ATM reduction for warded Datalog∃ with minimal interaction.
+
+Theorem 6.15 is a lower bound, so it cannot be "measured"; what can be checked
+is that the reduction is faithful (datalog acceptance = direct ATM acceptance)
+and that the fixed program falls exactly in the relaxed class (minimal
+interaction, not warded).  The benchmark runs the reduction on small machines.
+"""
+
+import pytest
+
+from repro.analysis.guards import classify_program
+from repro.reductions.atm import (
+    ACCEPT_STATE,
+    REJECT_STATE,
+    AlternatingTuringMachine,
+    Transition,
+    atm_accepts_directly,
+    atm_accepts_via_datalog,
+    atm_program,
+)
+
+MACHINES = {
+    "exists-accepting": AlternatingTuringMachine(
+        existential_states=frozenset({"s0"}),
+        universal_states=frozenset(),
+        transitions=(
+            Transition("s0", "1", (ACCEPT_STATE, "1", +1), (REJECT_STATE, "1", +1)),
+        ),
+        initial_state="s0",
+    ),
+    "forall-rejecting": AlternatingTuringMachine(
+        existential_states=frozenset(),
+        universal_states=frozenset({"s0"}),
+        transitions=(
+            Transition("s0", "1", (ACCEPT_STATE, "1", +1), (REJECT_STATE, "1", +1)),
+        ),
+        initial_state="s0",
+    ),
+    "two-step": AlternatingTuringMachine(
+        existential_states=frozenset({"s0"}),
+        universal_states=frozenset({"s1"}),
+        transitions=(
+            Transition("s0", "1", ("s1", "1", +1), ("s1", "1", +1)),
+            Transition("s1", "1", (ACCEPT_STATE, "1", -1), (ACCEPT_STATE, "1", -1)),
+            Transition("s1", "0", (REJECT_STATE, "0", -1), (REJECT_STATE, "0", -1)),
+        ),
+        initial_state="s0",
+    ),
+}
+
+
+def test_theorem615_program_class(benchmark):
+    report = benchmark(lambda: classify_program(atm_program()))
+    assert report.warded_minimal_interaction and not report.warded
+
+
+@pytest.mark.parametrize("name", sorted(MACHINES))
+@pytest.mark.parametrize("tape", [["1", "1"], ["1", "0"]])
+def test_theorem615_reduction_is_faithful(benchmark, name, tape):
+    machine = MACHINES[name]
+    expected = atm_accepts_directly(machine, tape)
+
+    accepted = benchmark.pedantic(
+        lambda: atm_accepts_via_datalog(machine, tape, depth=4), rounds=1, iterations=1
+    )
+    assert accepted == expected
+    benchmark.extra_info["machine"] = name
+    benchmark.extra_info["tape"] = "".join(tape)
+    benchmark.extra_info["accepts"] = expected

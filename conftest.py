@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make ``src/`` importable even without an installed package.
+
+The canonical workflow is ``pip install -e . && pytest``; this shim only adds
+the source tree to ``sys.path`` as a fallback so the test and benchmark suites
+also run in environments where the editable install is unavailable (e.g.
+fully offline machines missing the ``wheel`` package).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,73 @@
+"""repro: a reproduction of "Expressive Languages for Querying the Semantic Web".
+
+The library implements the TriQ 1.0 and TriQ-Lite 1.0 query languages of
+Arenas, Gottlob and Pieris, together with every substrate they rest on: a
+Datalog∃,¬s,⊥ engine (chase, semi-naive evaluation, stratification), the
+guardedness/wardedness analysis, an RDF data model, the SPARQL algebra, OWL 2
+QL core with its DL-Lite_R entailment, the SPARQL→Datalog translations, and
+the entailment-regime encodings.
+
+Quickstart::
+
+    from repro import parse_program, Database, parse_atom, evaluate
+
+    program = '''
+        triple(?X, partOf, transportService) -> ts(?X).
+        triple(?X, partOf, ?Y), ts(?Y) -> ts(?X).
+        ts(?T), triple(?X, ?T, ?Y) -> connected(?X, ?Y).
+        ts(?T), triple(?X, ?T, ?Z), connected(?Z, ?Y) -> connected(?X, ?Y).
+    '''
+    db = Database([parse_atom('triple(Oxford, A311, London)'), ...])
+    answers = evaluate(program, "connected", db)
+"""
+
+__version__ = "1.0.0"
+
+from repro.datalog import (
+    Atom,
+    Constant,
+    Constraint,
+    Database,
+    INCONSISTENT,
+    Instance,
+    Null,
+    Program,
+    Query,
+    Rule,
+    Variable,
+    parse_atom,
+    parse_program,
+    parse_rule,
+)
+from repro.analysis import classify_program
+from repro.core import (
+    TriQLiteQuery,
+    TriQQuery,
+    WardedEngine,
+    evaluate,
+    extract_proof_tree,
+)
+
+__all__ = [
+    "__version__",
+    "Atom",
+    "Constant",
+    "Constraint",
+    "Database",
+    "INCONSISTENT",
+    "Instance",
+    "Null",
+    "Program",
+    "Query",
+    "Rule",
+    "Variable",
+    "parse_atom",
+    "parse_program",
+    "parse_rule",
+    "classify_program",
+    "TriQLiteQuery",
+    "TriQQuery",
+    "WardedEngine",
+    "evaluate",
+    "extract_proof_tree",
+]

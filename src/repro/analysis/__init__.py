@@ -1,0 +1,58 @@
+"""Static analysis of Datalog∃ programs.
+
+Implements the position/variable machinery of Sections 4.1, 6.1, 6.2 and 6.4
+of the paper: affected positions, harmless/harmful/dangerous body variables,
+the guardedness hierarchy (guarded, weakly-guarded, frontier-guarded,
+weakly-frontier-guarded, nearly frontier-guarded, warded, warded with minimal
+interaction), grounded negation, and the unbounded ground-connection property
+(UGCP) analysis.
+"""
+
+from repro.analysis.affected import affected_positions, nonaffected_positions
+from repro.analysis.variables import (
+    VariableClassification,
+    classify_rule_variables,
+    harmless_variables,
+    harmful_variables,
+    dangerous_variables,
+)
+from repro.analysis.guards import (
+    GuardReport,
+    is_guarded,
+    is_weakly_guarded,
+    is_frontier_guarded,
+    is_weakly_frontier_guarded,
+    is_nearly_frontier_guarded,
+    is_warded,
+    is_warded_with_minimal_interaction,
+    has_grounded_negation,
+    find_ward,
+    find_weak_guard,
+    classify_program,
+)
+from repro.analysis.ugcp import ground_connection, max_ground_connection, mgc_series
+
+__all__ = [
+    "affected_positions",
+    "nonaffected_positions",
+    "VariableClassification",
+    "classify_rule_variables",
+    "harmless_variables",
+    "harmful_variables",
+    "dangerous_variables",
+    "GuardReport",
+    "is_guarded",
+    "is_weakly_guarded",
+    "is_frontier_guarded",
+    "is_weakly_frontier_guarded",
+    "is_nearly_frontier_guarded",
+    "is_warded",
+    "is_warded_with_minimal_interaction",
+    "has_grounded_negation",
+    "find_ward",
+    "find_weak_guard",
+    "classify_program",
+    "ground_connection",
+    "max_ground_connection",
+    "mgc_series",
+]

@@ -1,0 +1,73 @@
+"""Affected positions of a Datalog∃ program (Section 4.1).
+
+A position ``p[i]`` of ``sch(Pi)`` is *affected* when a labelled null may be
+propagated into it during the chase:
+
+1. if some rule has an existentially quantified variable at position ``p[i]``
+   in its head, then ``p[i]`` is affected; and
+2. if some rule has a variable ``?V`` that occurs in the body *only* at
+   affected positions and ``?V`` occurs in the head at position ``p[i]``,
+   then ``p[i]`` is affected.
+
+The analysis is a straightforward least fixpoint over the program's rules and
+follows Example 4.1 of the paper verbatim (the example is reproduced in the
+test suite).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from repro.datalog.atoms import Position
+from repro.datalog.program import Program
+from repro.datalog.terms import Variable
+
+
+def affected_positions(program: Program) -> FrozenSet[Position]:
+    """``affected(Pi)``: the set of positions that may host labelled nulls.
+
+    Only the *positive* parts of rules are inspected, matching the convention
+    of Section 4.2 (``ex(Pi)+``); callers should pass
+    ``program.positive_program()`` if they want that convention applied to a
+    program that still carries negation or constraints — or simply pass the
+    full program, since negative atoms and constraints never contribute
+    affected positions anyway (their predicates only gain affected positions
+    through rule heads, which are inspected here).
+    """
+    affected: Set[Position] = set()
+
+    # Base case: positions of existentially quantified head variables.
+    for rule in program.rules:
+        for head_atom in rule.head:
+            for index, term in enumerate(head_atom.terms):
+                if isinstance(term, Variable) and term in rule.existential_variables:
+                    affected.add(Position(head_atom.predicate, index + 1))
+
+    # Inductive case: propagation of body variables occurring only at affected
+    # positions into head positions.
+    changed = True
+    while changed:
+        changed = False
+        for rule in program.rules:
+            for variable in rule.positive_body_variables:
+                occurrences = [
+                    Position(atom.predicate, index + 1)
+                    for atom in rule.body_positive
+                    for index, term in enumerate(atom.terms)
+                    if term == variable
+                ]
+                if not occurrences or not all(p in affected for p in occurrences):
+                    continue
+                for head_atom in rule.head:
+                    for index, term in enumerate(head_atom.terms):
+                        if term == variable:
+                            position = Position(head_atom.predicate, index + 1)
+                            if position not in affected:
+                                affected.add(position)
+                                changed = True
+    return frozenset(affected)
+
+
+def nonaffected_positions(program: Program) -> FrozenSet[Position]:
+    """``nonaffected(Pi) = pos(Pi) \\ affected(Pi)``."""
+    return frozenset(program.positions()) - affected_positions(program)

@@ -1,0 +1,370 @@
+"""The guardedness hierarchy and wardedness (Sections 4.1, 4.2, 6.1, 6.2, 6.4).
+
+All the syntactic classes of Datalog∃ programs that the paper uses are
+implemented here, each against the reference program ``ex(Pi)+`` (the rules
+without negated atoms and without constraints), as prescribed in Section 4.2:
+
+* **guarded** — some positive body atom contains *all* body variables;
+* **weakly guarded** — some body atom contains all *harmful* body variables;
+* **frontier-guarded** — some body atom contains all *frontier* variables
+  (body variables propagated to the head);
+* **weakly-frontier-guarded** — some body atom contains all *dangerous* body
+  variables (this is TriQ 1.0's underlying class, Definition 4.2);
+* **nearly frontier-guarded** — every rule is frontier-guarded or all its body
+  variables are harmless (Section 6.2);
+* **warded** — dangerous variables are confined to a single *ward* which may
+  share only harmless variables with the rest of the body (Section 6.1, the
+  basis of TriQ-Lite 1.0);
+* **warded with minimal interaction** — the mildest relaxation of wardedness
+  considered in Section 6.4: the ward may leak at most one harmful variable,
+  at most once, into an otherwise-harmless atom.
+
+The helper :func:`has_grounded_negation` checks the ``¬sg`` condition of
+Definition 6.1 (negated atoms mention constants and harmless variables only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.analysis.affected import affected_positions
+from repro.analysis.variables import VariableClassification, classify_rule_variables
+from repro.datalog.atoms import Atom, Position
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Variable
+
+
+def _reference(program: Program) -> Program:
+    """``ex(Pi)+``: drop constraints and negated atoms before the analysis."""
+    return program.ex().positive_program()
+
+
+def _classifications(
+    program: Program,
+) -> Tuple[Program, FrozenSet[Position], Dict[Rule, VariableClassification]]:
+    reference = _reference(program)
+    affected = affected_positions(reference)
+    by_rule = {
+        rule: classify_rule_variables(rule, reference, affected)
+        for rule in reference.rules
+    }
+    return reference, affected, by_rule
+
+
+# ---------------------------------------------------------------------------
+# Per-rule guard search
+# ---------------------------------------------------------------------------
+
+
+def find_guard(rule: Rule) -> Optional[Atom]:
+    """A positive body atom containing every body variable, if any."""
+    body_vars = rule.body_variables
+    for atom in rule.body_positive:
+        if body_vars <= atom.variables:
+            return atom
+    return None
+
+
+def find_weak_guard(rule: Rule, classification: VariableClassification) -> Optional[Atom]:
+    """A body atom containing every harmful body variable, if any."""
+    for atom in rule.body_positive:
+        if classification.harmful <= atom.variables:
+            return atom
+    return None
+
+
+def find_frontier_guard(rule: Rule) -> Optional[Atom]:
+    """A body atom containing every frontier variable, if any."""
+    frontier = rule.frontier
+    for atom in rule.body_positive:
+        if frontier <= atom.variables:
+            return atom
+    return None
+
+
+def find_weak_frontier_guard(
+    rule: Rule, classification: VariableClassification
+) -> Optional[Atom]:
+    """A body atom containing every dangerous body variable, if any."""
+    for atom in rule.body_positive:
+        if classification.dangerous <= atom.variables:
+            return atom
+    return None
+
+
+def find_ward(rule: Rule, classification: VariableClassification) -> Optional[Atom]:
+    """A *ward* for the rule (Section 6.1), if any.
+
+    A ward is a body atom ``a`` such that (1) every dangerous variable occurs
+    in ``a`` and (2) ``a`` shares only harmless variables with the rest of the
+    body.  Rules without dangerous variables need no ward; this function then
+    returns ``None`` and callers must treat that case as trivially warded.
+    """
+    if not classification.dangerous:
+        return None
+    for atom in rule.body_positive:
+        if not classification.dangerous <= atom.variables:
+            continue
+        others = [a for a in rule.body_positive if a is not atom]
+        shared = atom.variables & frozenset(v for a in others for v in a.variables)
+        if shared <= classification.harmless:
+            return atom
+    return None
+
+
+def find_minimal_interaction_ward(
+    rule: Rule, classification: VariableClassification
+) -> Optional[Atom]:
+    """A ward in the *minimal interaction* sense of Section 6.4, if any.
+
+    The relaxation: the candidate ward may share at most one harmful variable
+    ``?V`` with the rest of the body, ``?V`` may occur at most once outside the
+    ward, and the atom hosting that extra occurrence must otherwise contain
+    only constants and harmless variables.
+    """
+    if not classification.dangerous:
+        return None
+    for atom in rule.body_positive:
+        if not classification.dangerous <= atom.variables:
+            continue
+        others = [a for a in rule.body_positive if a is not atom]
+        other_vars = frozenset(v for a in others for v in a.variables)
+        leaked = (atom.variables & other_vars) - classification.harmless
+        if len(leaked) > 1:
+            continue
+        if not leaked:
+            return atom
+        leaked_variable = next(iter(leaked))
+        occurrences_outside = sum(
+            1 for a in others for term in a.terms if term == leaked_variable
+        )
+        if occurrences_outside > 1:
+            continue
+        hosts = [a for a in others if leaked_variable in a.variables]
+        if all(
+            (a.variables - {leaked_variable}) <= classification.harmless for a in hosts
+        ):
+            return atom
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Program-level predicates
+# ---------------------------------------------------------------------------
+
+
+def is_guarded(program: Program) -> bool:
+    """Every rule of ``ex(Pi)+`` has a guard containing all body variables."""
+    reference = _reference(program)
+    return all(find_guard(rule) is not None for rule in reference.rules)
+
+
+def is_weakly_guarded(program: Program) -> bool:
+    """Every rule has a body atom guarding all harmful variables."""
+    _, _, by_rule = _classifications(program)
+    return all(
+        find_weak_guard(rule, classification) is not None
+        for rule, classification in by_rule.items()
+    )
+
+
+def is_frontier_guarded(program: Program) -> bool:
+    """Every rule has a body atom guarding all frontier variables."""
+    reference = _reference(program)
+    return all(find_frontier_guard(rule) is not None for rule in reference.rules)
+
+
+def is_weakly_frontier_guarded(program: Program) -> bool:
+    """Every rule has a body atom guarding all dangerous variables (TriQ 1.0)."""
+    _, _, by_rule = _classifications(program)
+    return all(
+        not classification.dangerous
+        or find_weak_frontier_guard(rule, classification) is not None
+        for rule, classification in by_rule.items()
+    )
+
+
+def is_nearly_frontier_guarded(program: Program) -> bool:
+    """Every rule is frontier-guarded, or all its body variables are harmless."""
+    _, _, by_rule = _classifications(program)
+    for rule, classification in by_rule.items():
+        if find_frontier_guard(rule) is not None:
+            continue
+        if rule.body_variables <= classification.harmless:
+            continue
+        return False
+    return True
+
+
+def is_warded(program: Program) -> bool:
+    """Every rule with dangerous variables has a ward (Section 6.1)."""
+    _, _, by_rule = _classifications(program)
+    for rule, classification in by_rule.items():
+        if not classification.dangerous:
+            continue
+        if find_ward(rule, classification) is None:
+            return False
+    return True
+
+
+def is_warded_with_minimal_interaction(program: Program) -> bool:
+    """Every rule satisfies the relaxed wardedness of Section 6.4."""
+    _, _, by_rule = _classifications(program)
+    for rule, classification in by_rule.items():
+        if not classification.dangerous:
+            continue
+        if find_minimal_interaction_ward(rule, classification) is None:
+            return False
+    return True
+
+
+def has_grounded_negation(program: Program) -> bool:
+    """The ``¬sg`` condition of Definition 6.1.
+
+    Every term of every negated body atom must be a constant or a variable
+    that is harmless w.r.t. ``ex(Pi)+`` — negation is applied only to values
+    that are guaranteed to be database constants.
+    """
+    reference = _reference(program)
+    affected = affected_positions(reference)
+    # Negative atoms live on the original (negation-carrying) rules, but the
+    # classification is w.r.t. the positive reference; classify the positive
+    # part of each original rule.
+    for rule in program.ex().rules:
+        if not rule.body_negative:
+            continue
+        classification = classify_rule_variables(rule.positive_part(), reference, affected)
+        for atom in rule.body_negative:
+            for term in atom.terms:
+                if isinstance(term, Constant):
+                    continue
+                if isinstance(term, Variable) and classification.is_harmless(term):
+                    continue
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Full classification report
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GuardReport:
+    """A one-stop syntactic classification of a program.
+
+    ``violations`` maps class names to human-readable explanations of the
+    first rule found violating the class — handy in error messages raised by
+    :class:`repro.core.TriQQuery` and :class:`repro.core.TriQLiteQuery`.
+    """
+
+    guarded: bool
+    weakly_guarded: bool
+    frontier_guarded: bool
+    weakly_frontier_guarded: bool
+    nearly_frontier_guarded: bool
+    warded: bool
+    warded_minimal_interaction: bool
+    grounded_negation: bool
+    stratified: bool
+    violations: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_triq(self) -> bool:
+        """Membership in TriQ 1.0 (Definition 4.2)."""
+        return self.stratified and self.weakly_frontier_guarded
+
+    @property
+    def is_triq_lite(self) -> bool:
+        """Membership in TriQ-Lite 1.0 (Definition 6.1)."""
+        return self.stratified and self.warded and self.grounded_negation
+
+
+def classify_program(program: Program) -> GuardReport:
+    """Classify ``program`` against every syntactic class at once."""
+    from repro.datalog.stratification import is_stratified
+
+    reference, affected, by_rule = _classifications(program)
+    violations: Dict[str, str] = {}
+
+    def record(name: str, rule: Rule, reason: str) -> None:
+        if name not in violations:
+            violations[name] = f"rule '{rule}': {reason}"
+
+    guarded = True
+    weakly_guarded = True
+    frontier_guarded = True
+    weakly_frontier_guarded = True
+    nearly_frontier_guarded = True
+    warded = True
+    warded_minimal = True
+
+    for rule, classification in by_rule.items():
+        if find_guard(rule) is None:
+            guarded = False
+            record("guarded", rule, "no body atom contains all body variables")
+        if find_weak_guard(rule, classification) is None:
+            weakly_guarded = False
+            record(
+                "weakly_guarded",
+                rule,
+                f"no body atom contains the harmful variables {sorted(map(str, classification.harmful))}",
+            )
+        if find_frontier_guard(rule) is None:
+            frontier_guarded = False
+            record("frontier_guarded", rule, "no body atom contains the frontier")
+            if not (rule.body_variables <= classification.harmless):
+                nearly_frontier_guarded = False
+                record(
+                    "nearly_frontier_guarded",
+                    rule,
+                    "not frontier-guarded and some body variable is harmful",
+                )
+        if classification.dangerous:
+            if find_weak_frontier_guard(rule, classification) is None:
+                weakly_frontier_guarded = False
+                record(
+                    "weakly_frontier_guarded",
+                    rule,
+                    f"no body atom contains the dangerous variables "
+                    f"{sorted(map(str, classification.dangerous))}",
+                )
+            if find_ward(rule, classification) is None:
+                warded = False
+                record(
+                    "warded",
+                    rule,
+                    "no body atom both contains the dangerous variables and shares "
+                    "only harmless variables with the rest of the body",
+                )
+            if find_minimal_interaction_ward(rule, classification) is None:
+                warded_minimal = False
+                record(
+                    "warded_minimal_interaction",
+                    rule,
+                    "no body atom satisfies the minimal-interaction relaxation",
+                )
+
+    grounded = has_grounded_negation(program)
+    if not grounded and "grounded_negation" not in violations:
+        violations["grounded_negation"] = (
+            "some negated body atom mentions a harmful variable"
+        )
+    stratified = is_stratified(program)
+    if not stratified:
+        violations["stratified"] = "negation occurs inside a recursive cycle"
+
+    return GuardReport(
+        guarded=guarded,
+        weakly_guarded=weakly_guarded,
+        frontier_guarded=frontier_guarded,
+        weakly_frontier_guarded=weakly_frontier_guarded,
+        nearly_frontier_guarded=nearly_frontier_guarded,
+        warded=warded,
+        warded_minimal_interaction=warded_minimal,
+        grounded_negation=grounded,
+        stratified=stratified,
+        violations=violations,
+    )

@@ -1,0 +1,100 @@
+"""Harmless / harmful / dangerous body variables (Section 4.1).
+
+Fix a Datalog∃ program ``Pi``, a rule ``rho`` of ``Pi`` and a body variable
+``?V`` of ``rho``:
+
+* ``?V`` is **Pi-harmless** if at least one of its occurrences in the body is
+  at a position of ``nonaffected(Pi)``;
+* ``?V`` is **Pi-harmful** if it is not Pi-harmless (every body occurrence is
+  at an affected position — the chase may bind it to a labelled null);
+* ``?V`` is **Pi-dangerous** if it is Pi-harmful and it is propagated to the
+  rule head.
+
+The classification is always computed with respect to the *positive*,
+existential part of a program (``ex(Pi)+`` in the paper); pass that program as
+the ``reference`` argument when classifying rules of a program with negation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+from repro.analysis.affected import affected_positions
+from repro.datalog.atoms import Position
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Variable
+
+
+@dataclass(frozen=True)
+class VariableClassification:
+    """The three-way classification of the body variables of a single rule."""
+
+    harmless: FrozenSet[Variable]
+    harmful: FrozenSet[Variable]
+    dangerous: FrozenSet[Variable]
+
+    def is_harmless(self, variable: Variable) -> bool:
+        return variable in self.harmless
+
+    def is_harmful(self, variable: Variable) -> bool:
+        return variable in self.harmful
+
+    def is_dangerous(self, variable: Variable) -> bool:
+        return variable in self.dangerous
+
+
+def classify_rule_variables(
+    rule: Rule,
+    reference: Program,
+    affected: Optional[FrozenSet[Position]] = None,
+) -> VariableClassification:
+    """Classify the positive-body variables of ``rule`` relative to ``reference``.
+
+    ``reference`` should be the program ``ex(Pi)+`` whose affected positions
+    drive the classification; ``affected`` may be supplied to avoid
+    recomputing :func:`affected_positions` for every rule of a large program.
+    """
+    if affected is None:
+        affected = affected_positions(reference)
+
+    harmless = set()
+    harmful = set()
+    dangerous = set()
+    head_variables = rule.head_variables
+
+    for variable in rule.positive_body_variables:
+        occurrences = [
+            Position(atom.predicate, index + 1)
+            for atom in rule.body_positive
+            for index, term in enumerate(atom.terms)
+            if term == variable
+        ]
+        if any(position not in affected for position in occurrences):
+            harmless.add(variable)
+        else:
+            harmful.add(variable)
+            if variable in head_variables:
+                dangerous.add(variable)
+
+    return VariableClassification(
+        harmless=frozenset(harmless),
+        harmful=frozenset(harmful),
+        dangerous=frozenset(dangerous),
+    )
+
+
+def harmless_variables(rule: Rule, reference: Program) -> FrozenSet[Variable]:
+    """``harmless(rho, Pi)``."""
+    return classify_rule_variables(rule, reference).harmless
+
+
+def harmful_variables(rule: Rule, reference: Program) -> FrozenSet[Variable]:
+    """``harmful(rho, Pi)``."""
+    return classify_rule_variables(rule, reference).harmful
+
+
+def dangerous_variables(rule: Rule, reference: Program) -> FrozenSet[Variable]:
+    """``dangerous(rho, Pi)``."""
+    return classify_rule_variables(rule, reference).dangerous

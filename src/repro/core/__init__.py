@@ -1,0 +1,47 @@
+"""The paper's primary contribution: TriQ 1.0 and TriQ-Lite 1.0.
+
+* :class:`TriQQuery` — queries based on weakly-frontier-guarded
+  Datalog∃ with stratified negation and constraints (Definition 4.2),
+  evaluated with the generic stratified chase semantics.
+* :class:`TriQLiteQuery` — queries based on warded Datalog∃ with stratified
+  *grounded* negation and constraints (Definition 6.1), evaluated with the
+  polynomial-time warded engine (Theorem 6.7 / Proposition 6.8).
+* :class:`WardedEngine` — the practical ground-semantics engine
+  (``Pi(D)↓``) that the paper's conclusion calls for.
+* :mod:`repro.core.prooftree` — proof trees in the sense of Definition 6.11
+  (Figure 1), extracted from the engine's provenance.
+* :mod:`repro.core.normalization` — the rule normal forms used in Section 6.3
+  (single existential per rule; head-grounded / semi-body-grounded split).
+"""
+
+from repro.core.normalization import (
+    split_existentials,
+    normalize_single_existential,
+    split_head_grounded,
+    normalize_warded_program,
+)
+from repro.core.warded_engine import WardedEngine, WardedResult
+from repro.core.prooftree import ProofTree, ProofTreeNode, extract_proof_tree
+from repro.core.triq import TriQQuery, TriQValidationError, constraint_free_rewriting, STAR
+from repro.core.triqlite import TriQLiteQuery, TriQLiteValidationError
+from repro.core.evaluation import evaluate, eval_decision_problem
+
+__all__ = [
+    "split_existentials",
+    "normalize_single_existential",
+    "split_head_grounded",
+    "normalize_warded_program",
+    "WardedEngine",
+    "WardedResult",
+    "ProofTree",
+    "ProofTreeNode",
+    "extract_proof_tree",
+    "TriQQuery",
+    "TriQValidationError",
+    "constraint_free_rewriting",
+    "STAR",
+    "TriQLiteQuery",
+    "TriQLiteValidationError",
+    "evaluate",
+    "eval_decision_problem",
+]

@@ -1,0 +1,112 @@
+"""Top-level evaluation API.
+
+``evaluate(program_text_or_program, output_predicate, database)`` picks the
+right engine for a query:
+
+* TriQ-Lite 1.0 queries run on the polynomial warded engine;
+* TriQ 1.0 queries (warded or not) fall back to the generic stratified chase
+  with resource bounds;
+* plain Datalog¬s queries may also run on the semi-naive evaluator (used for
+  the baselines), but by default they go through the warded engine since every
+  Datalog program is warded.
+
+This mirrors the paper's narrative: the user writes a *single, plain* program
+(Section 1.2's "plainness") and the system figures out which fragment it falls
+into and how to evaluate it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.analysis.guards import classify_program
+from repro.core.triq import TriQQuery
+from repro.core.triqlite import TriQLiteQuery
+from repro.datalog.atoms import Atom
+from repro.datalog.chase import ChaseEngine
+from repro.datalog.parser import parse_program
+from repro.datalog.program import Program, Query
+from repro.datalog.semantics import INCONSISTENT, QueryResult
+from repro.datalog.terms import Constant
+
+
+def _as_program(program: Union[str, Program]) -> Program:
+    if isinstance(program, Program):
+        return program
+    return parse_program(program)
+
+
+def _ensure_output(
+    program: Program, output_predicate: str, output_arity: Optional[int]
+) -> tuple:
+    """Make ``output_predicate`` a legal query output.
+
+    The paper requires the output predicate of a query not to occur in any
+    rule body.  Users naturally write recursive programs whose answer
+    predicate *is* recursive (e.g. the transport-service query of Section 2),
+    so when that happens we add a copy rule ``p(x) -> __answer_p(x)`` and
+    query the fresh predicate instead — an equivalence-preserving rewriting.
+    """
+    from repro.datalog.atoms import Atom
+    from repro.datalog.rules import Rule
+    from repro.datalog.terms import Variable
+
+    if output_predicate not in program.body_predicates:
+        return program, output_predicate, output_arity
+    arity = output_arity if output_arity is not None else program.arities().get(output_predicate)
+    if arity is None:
+        raise ValueError(
+            f"cannot determine the arity of output predicate {output_predicate!r}"
+        )
+    answer_predicate = program.fresh_predicate(f"__answer_{output_predicate}")
+    variables = [Variable(f"X{i}") for i in range(arity)]
+    copy_rule = Rule(
+        (Atom(output_predicate, variables),), (Atom(answer_predicate, variables),)
+    )
+    return program.with_rules([copy_rule]), answer_predicate, arity
+
+
+def evaluate(
+    program: Union[str, Program],
+    output_predicate: str,
+    database: Iterable[Atom],
+    output_arity: Optional[int] = None,
+    chase_engine: Optional[ChaseEngine] = None,
+) -> QueryResult:
+    """Evaluate a query given as program text (or a :class:`Program`).
+
+    Returns the set of answer tuples (tuples of :class:`Constant`), or
+    ``INCONSISTENT`` when the database violates a constraint of the program.
+    Raises :class:`ValueError` if the program is not even a TriQ 1.0 query
+    (i.e. not weakly-frontier-guarded), since evaluation is then undecidable
+    in general.
+    """
+    parsed, output_predicate, output_arity = _ensure_output(
+        _as_program(program), output_predicate, output_arity
+    )
+    report = classify_program(parsed)
+    if report.is_triq_lite:
+        return TriQLiteQuery(parsed, output_predicate, output_arity).evaluate(database)
+    if report.is_triq:
+        return TriQQuery(parsed, output_predicate, output_arity).evaluate(
+            database, chase_engine
+        )
+    raise ValueError(
+        "the program is not weakly-frontier-guarded (not a TriQ 1.0 query); "
+        "query evaluation is undecidable for unrestricted Datalog with existentials: "
+        + "; ".join(f"{k}: {v}" for k, v in report.violations.items())
+    )
+
+
+def eval_decision_problem(
+    program: Union[str, Program],
+    output_predicate: str,
+    database: Iterable[Atom],
+    candidate: Sequence[Constant],
+    output_arity: Optional[int] = None,
+) -> bool:
+    """The paper's Eval decision problem for a program given as text."""
+    result = evaluate(program, output_predicate, database, output_arity)
+    if result is INCONSISTENT:
+        return True
+    return tuple(candidate) in result

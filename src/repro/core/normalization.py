@@ -1,0 +1,165 @@
+"""Rule normal forms used by the evaluation algorithm of Section 6.3.
+
+Two normalisations are provided, both preserving the ground semantics
+``Pi(D)↓`` and preserving wardedness:
+
+1. **Single existential per rule** (the first ``N(rho)`` of Section 6.3): a
+   rule with ``k`` existential head variables is unfolded into a chain of
+   ``k + 1`` rules, each introducing at most one fresh null, through auxiliary
+   predicates carrying the frontier.
+
+2. **Head-grounded / semi-body-grounded split** (the second ``N(rho)`` of
+   Section 6.3): every rule becomes either *head-grounded* (each head term is
+   a constant or a harmless variable) or *semi-body-grounded* (at most one
+   body atom carries harmful variables).  The split isolates the ward in its
+   own rule so that the ProofTree-style analysis can treat non-ward atoms as
+   ground side conditions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.affected import affected_positions
+from repro.analysis.variables import classify_rule_variables
+from repro.analysis.guards import find_ward
+from repro.datalog.atoms import Atom
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Variable
+
+_AUX_COUNTER = itertools.count()
+
+
+def _fresh_aux_predicate(prefix: str) -> str:
+    return f"__{prefix}_{next(_AUX_COUNTER)}"
+
+
+def split_existentials(rule: Rule, rule_index: int = 0) -> List[Rule]:
+    """Unfold a rule with ``k >= 2`` existential variables into a chain.
+
+    Follows the construction of Section 6.3: auxiliary predicates
+    ``p^rho_1, ..., p^rho_k`` carry the frontier ``X`` and the already
+    invented existential variables, and the last rule emits the original head
+    atoms.  Rules with at most one existential variable are returned as-is.
+    """
+    existentials = sorted(rule.existential_variables)
+    if len(existentials) <= 1:
+        return [rule]
+
+    frontier = sorted(rule.frontier)
+    rules: List[Rule] = []
+    previous_atom: Optional[Atom] = None
+    carried: List[Variable] = list(frontier)
+    for step, existential in enumerate(existentials):
+        aux_predicate = _fresh_aux_predicate(f"exist_{rule_index}_{step}")
+        head_terms: List[Variable] = carried + [existential]
+        aux_atom = Atom(aux_predicate, head_terms)
+        if previous_atom is None:
+            rules.append(
+                Rule(
+                    rule.body_positive,
+                    (aux_atom,),
+                    body_negative=rule.body_negative,
+                    existential_variables=(existential,),
+                    label=rule.label,
+                )
+            )
+        else:
+            rules.append(
+                Rule(
+                    (previous_atom,),
+                    (aux_atom,),
+                    existential_variables=(existential,),
+                    label=rule.label,
+                )
+            )
+        previous_atom = aux_atom
+        carried = head_terms
+
+    assert previous_atom is not None
+    rules.append(Rule((previous_atom,), rule.head, label=rule.label))
+    return rules
+
+
+def normalize_single_existential(program: Program) -> Program:
+    """Apply :func:`split_existentials` to every rule of the program."""
+    rules: List[Rule] = []
+    for index, rule in enumerate(program.rules):
+        rules.extend(split_existentials(rule, index))
+    return Program(rules, program.constraints)
+
+
+def split_head_grounded(program: Program) -> Program:
+    """The head-grounded / semi-body-grounded normal form of Section 6.3.
+
+    For every rule whose body contains more than one atom carrying harmful
+    variables, the harmless "side" of the body is folded into an auxiliary
+    predicate via a head-grounded rule, and the ward joins against that
+    auxiliary atom in a semi-body-grounded rule.  Rules already in one of the
+    two shapes are left untouched.
+    """
+    reference = program.ex().positive_program()
+    affected = affected_positions(reference)
+    new_rules: List[Rule] = []
+    for rule in program.rules:
+        classification = classify_rule_variables(rule.positive_part(), reference, affected)
+        harmful_atoms = [
+            atom
+            for atom in rule.body_positive
+            if atom.variables & classification.harmful
+        ]
+        head_is_grounded = all(
+            not isinstance(term, Variable) or classification.is_harmless(term) or term in rule.existential_variables
+            for atom in rule.head
+            for term in atom.terms
+        )
+        if len(harmful_atoms) <= 1 or head_is_grounded and not harmful_atoms:
+            new_rules.append(rule)
+            continue
+        if len(harmful_atoms) <= 1:
+            new_rules.append(rule)
+            continue
+        # Choose the ward (or an arbitrary harmful atom when no dangerous
+        # variables exist) to stay in the second rule.
+        ward = find_ward(rule.positive_part(), classification) or harmful_atoms[0]
+        side_atoms = [a for a in rule.body_positive if a is not ward]
+        side_harmless_atoms = [
+            a for a in side_atoms if not (a.variables & classification.harmful)
+        ]
+        side_harmful_atoms = [
+            a for a in side_atoms if a.variables & classification.harmful
+        ]
+        if not side_harmless_atoms:
+            # Nothing to fold; the rule is semi-body-grounded only if there is
+            # a single harmful atom, which we ruled out — keep the rule as-is
+            # (it still evaluates correctly, just outside the normal form).
+            new_rules.append(rule)
+            continue
+        folded_vars = sorted(
+            {
+                v
+                for a in side_harmless_atoms
+                for v in a.variables
+            }
+            & (rule.head_variables | {v for a in (ward, *side_harmful_atoms) for v in a.variables})
+        )
+        aux_predicate = _fresh_aux_predicate("side")
+        aux_atom = Atom(aux_predicate, folded_vars)
+        new_rules.append(Rule(side_harmless_atoms, (aux_atom,), label=rule.label))
+        new_rules.append(
+            Rule(
+                (ward, aux_atom, *side_harmful_atoms),
+                rule.head,
+                body_negative=rule.body_negative,
+                existential_variables=rule.existential_variables,
+                label=rule.label,
+            )
+        )
+    return Program(new_rules, program.constraints)
+
+
+def normalize_warded_program(program: Program) -> Program:
+    """Both normalisations in sequence (single existential, then the split)."""
+    return split_head_grounded(normalize_single_existential(program))

@@ -1,0 +1,162 @@
+"""Proof trees (Definition 6.11, Figure 1).
+
+A proof tree of a ground atom ``p(t)`` with respect to a database ``D`` and a
+program ``Pi`` is a labelled rooted tree whose root is labelled ``p(t)``,
+whose leaves are labelled with database atoms, and where the children of a
+node labelled ``a`` are the (instantiated) body atoms of a rule whose head
+instantiates to ``a`` (with the consistency condition on the invention points
+of nulls — condition (3) of Definition 6.11).
+
+Lemma 6.12 states that ``p(t) ∈ Pi(D)`` iff ``p(t)`` has a proof tree.  The
+:class:`repro.core.warded_engine.WardedEngine` records, for every derived
+atom, one justification (the rule and instantiated body atoms used the first
+time the atom was produced); :func:`extract_proof_tree` unfolds those
+justifications into an explicit proof tree, which reproduces Figure 1 of the
+paper for Example 6.10 (see ``benchmarks/bench_figure1_proof_tree.py`` and
+``tests/test_prooftree.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.warded_engine import Justification, WardedResult
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Instance
+from repro.datalog.rules import Rule
+
+
+@dataclass
+class ProofTreeNode:
+    """A node of a proof tree: an atom plus the rule used to derive it."""
+
+    atom: Atom
+    rule: Optional[Rule] = None
+    children: List["ProofTreeNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+    def atoms(self) -> List[Atom]:
+        result = [self.atom]
+        for child in self.children:
+            result.extend(child.atoms())
+        return result
+
+
+@dataclass
+class ProofTree:
+    """A proof tree of ``root.atom`` with respect to a database and program."""
+
+    root: ProofTreeNode
+    database: Instance
+
+    def depth(self) -> int:
+        return self.root.depth()
+
+    def size(self) -> int:
+        return self.root.size()
+
+    def leaves(self) -> List[Atom]:
+        leaves: List[Atom] = []
+
+        def collect(node: ProofTreeNode) -> None:
+            if node.is_leaf:
+                leaves.append(node.atom)
+            for child in node.children:
+                collect(child)
+
+        collect(self.root)
+        return leaves
+
+    def leaves_in_database(self) -> bool:
+        """Condition (4) of Definition 6.11: every leaf is a database atom."""
+        return all(leaf in self.database for leaf in self.leaves())
+
+    def rules_used(self) -> List[Rule]:
+        rules: List[Rule] = []
+
+        def collect(node: ProofTreeNode) -> None:
+            if node.rule is not None:
+                rules.append(node.rule)
+            for child in node.children:
+                collect(child)
+
+        collect(self.root)
+        return rules
+
+    def render(self) -> str:
+        """An ASCII rendering in the spirit of Figure 1(b)."""
+        lines: List[str] = []
+
+        def walk(node: ProofTreeNode, prefix: str, is_last: bool, is_root: bool) -> None:
+            connector = "" if is_root else ("└── " if is_last else "├── ")
+            rule_note = f"   [{node.rule}]" if node.rule is not None else ""
+            lines.append(f"{prefix}{connector}{node.atom}{rule_note}")
+            child_prefix = prefix if is_root else prefix + ("    " if is_last else "│   ")
+            for i, child in enumerate(node.children):
+                walk(child, child_prefix, i == len(node.children) - 1, False)
+
+        walk(self.root, "", True, True)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class ProofTreeError(ValueError):
+    """Raised when no proof tree can be extracted for the requested atom."""
+
+
+def extract_proof_tree(
+    atom: Atom,
+    result: WardedResult,
+    database: Iterable[Atom],
+    max_depth: int = 10_000,
+) -> ProofTree:
+    """Unfold the engine's provenance into a proof tree rooted at ``atom``.
+
+    ``result`` must come from a :class:`WardedEngine` materialisation over
+    ``database``.  Database atoms become leaves.  The provenance graph is
+    acyclic by construction (a justification only mentions atoms present
+    strictly before the derived fact), so the unfolding terminates; the
+    ``max_depth`` guard is a defensive bound.
+    """
+    db_instance = database if isinstance(database, Instance) else Instance(database)
+    provenance = result.provenance
+
+    if atom not in result.instance:
+        raise ProofTreeError(f"{atom} was not derived by the engine")
+
+    def build(current: Atom, depth: int, seen: Tuple[Atom, ...]) -> ProofTreeNode:
+        if depth > max_depth:
+            raise ProofTreeError("proof tree exceeds the maximum depth")
+        if current in db_instance:
+            return ProofTreeNode(atom=current)
+        justification = provenance.get(current)
+        if justification is None:
+            raise ProofTreeError(
+                f"no justification recorded for {current}; "
+                "was the atom part of the input database?"
+            )
+        rule, body_atoms = justification
+        if current in seen:
+            raise ProofTreeError(
+                f"cyclic provenance detected at {current}; this indicates an engine bug"
+            )
+        node = ProofTreeNode(atom=current, rule=rule)
+        for body_atom in body_atoms:
+            node.children.append(build(body_atom, depth + 1, seen + (current,)))
+        return node
+
+    return ProofTree(root=build(atom, 0, ()), database=db_instance)

@@ -1,0 +1,126 @@
+"""TriQ 1.0: weakly-frontier-guarded Datalog∃ with stratified negation and ⊥.
+
+Definition 4.2: *a TriQ 1.0 query is a Datalog∃,¬s,⊥ query that is
+weakly-frontier-guarded* (the check is performed on ``ex(Pi)+``).
+
+Evaluation is ExpTime-complete in data complexity (Theorem 4.4); the engine
+used here is the generic stratified chase semantics of
+:mod:`repro.datalog.semantics`, with explicit resource bounds because the
+chase of an arbitrary TriQ 1.0 program may be infinite.  The Theorem 4.4
+constraint rewriting ``Pi_⊥`` (turning every constraint into a rule deriving
+``p(*, ..., *)`` for a reserved constant ``*``) is exposed as
+:func:`constraint_free_rewriting`.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple, Union
+
+from repro.analysis.guards import GuardReport, classify_program
+from repro.datalog.atoms import Atom
+from repro.datalog.chase import ChaseEngine
+from repro.datalog.program import Program, Query
+from repro.datalog.rules import Constraint, Rule
+from repro.datalog.semantics import (
+    INCONSISTENT,
+    QueryResult,
+    StratifiedSemantics,
+    evaluate_query,
+)
+from repro.datalog.terms import Constant
+
+#: The reserved constant ``*`` of the Theorem 4.4 rewriting.
+STAR = Constant("__star__")
+
+
+class TriQValidationError(ValueError):
+    """Raised when a query does not belong to TriQ 1.0."""
+
+    def __init__(self, report: GuardReport):
+        self.report = report
+        reasons = []
+        if not report.stratified:
+            reasons.append(report.violations.get("stratified", "not stratified"))
+        if not report.weakly_frontier_guarded:
+            reasons.append(
+                report.violations.get(
+                    "weakly_frontier_guarded", "not weakly-frontier-guarded"
+                )
+            )
+        super().__init__(
+            "not a TriQ 1.0 query: " + "; ".join(reasons or ["unknown violation"])
+        )
+
+
+class TriQQuery:
+    """A TriQ 1.0 query ``(Pi, p)`` with syntactic validation and evaluation."""
+
+    def __init__(
+        self,
+        program: Program,
+        output_predicate: str,
+        output_arity: Optional[int] = None,
+        validate: bool = True,
+    ):
+        self.query = Query(program, output_predicate, output_arity)
+        self.report = classify_program(program)
+        if validate and not self.report.is_triq:
+            raise TriQValidationError(self.report)
+
+    # -- convenience accessors --------------------------------------------------
+
+    @property
+    def program(self) -> Program:
+        return self.query.program
+
+    @property
+    def output_predicate(self) -> str:
+        return self.query.output_predicate
+
+    @property
+    def output_arity(self) -> int:
+        return self.query.output_arity
+
+    def __repr__(self) -> str:
+        return f"TriQQuery({self.output_predicate!r}/{self.output_arity})"
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def evaluate(
+        self,
+        database: Iterable[Atom],
+        chase_engine: Optional[ChaseEngine] = None,
+    ) -> QueryResult:
+        """``Q(D)``: the set of constant answer tuples, or ``INCONSISTENT`` (⊤)."""
+        engine = chase_engine or ChaseEngine(max_steps=500_000, on_limit="raise")
+        return evaluate_query(self.query, database, engine)
+
+    def holds(
+        self,
+        database: Iterable[Atom],
+        candidate: Sequence[Constant] = (),
+        chase_engine: Optional[ChaseEngine] = None,
+    ) -> bool:
+        """The Eval convention: ``Q(D) != ⊤`` implies ``candidate in Q(D)``."""
+        result = self.evaluate(database, chase_engine)
+        if result is INCONSISTENT:
+            return True
+        return tuple(candidate) in result
+
+
+def constraint_free_rewriting(query: Query) -> Tuple[Query, Constant]:
+    """The ``Q' = (ex(Pi) ∪ Pi_⊥, p)`` rewriting of Theorem 4.4.
+
+    Every constraint ``a1, ..., an -> ⊥`` becomes the rule
+    ``a1, ..., an -> p(*, ..., *)`` for the reserved constant ``*`` (which must
+    not occur in the database).  Then ``Q(D) != ⊤`` iff ``(*, ..., *)`` is not
+    in ``Q'(D)``, and when consistent the two queries agree on all-constant
+    tuples.  Returns the rewritten query and the reserved constant.
+    """
+    program = query.program
+    star_rules = [
+        constraint.to_rule(query.output_predicate, query.output_arity, STAR)
+        for constraint in program.constraints
+    ]
+    rewritten = Program(tuple(program.rules) + tuple(star_rules), ())
+    return Query(rewritten, query.output_predicate, query.output_arity), STAR

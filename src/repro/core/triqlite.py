@@ -1,0 +1,106 @@
+"""TriQ-Lite 1.0: warded Datalog∃ with stratified grounded negation and ⊥.
+
+Definition 6.1: *a TriQ-Lite 1.0 query is a Datalog∃,¬sg,⊥ query that is
+warded*.  The class is
+
+* powerful enough to express every SPARQL graph pattern under the OWL 2 QL
+  core direct-semantics entailment regime, with or without the active-domain
+  restriction (Corollary 6.2), and
+* PTime-complete in data complexity (Theorem 6.7).
+
+Evaluation uses :class:`repro.core.warded_engine.WardedEngine`, which realises
+the polynomial ground-semantics computation that Proposition 6.8 and
+Lemma 6.9 promise.  Every Datalog query is trivially a TriQ-Lite 1.0 query
+(``affected(Pi) = ∅`` implies there are no dangerous variables), which is the
+source of the PTime-hardness in Theorem 6.7 — the test suite checks that
+inclusion explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple, Union
+
+from repro.analysis.guards import GuardReport, classify_program
+from repro.core.warded_engine import WardedEngine, WardedResult
+from repro.datalog.atoms import Atom
+from repro.datalog.program import Program, Query
+from repro.datalog.semantics import INCONSISTENT, QueryResult
+from repro.datalog.terms import Constant
+
+
+class TriQLiteValidationError(ValueError):
+    """Raised when a query does not belong to TriQ-Lite 1.0."""
+
+    def __init__(self, report: GuardReport):
+        self.report = report
+        reasons = []
+        if not report.stratified:
+            reasons.append(report.violations.get("stratified", "not stratified"))
+        if not report.warded:
+            reasons.append(report.violations.get("warded", "not warded"))
+        if not report.grounded_negation:
+            reasons.append(
+                report.violations.get("grounded_negation", "negation is not grounded")
+            )
+        super().__init__(
+            "not a TriQ-Lite 1.0 query: " + "; ".join(reasons or ["unknown violation"])
+        )
+
+
+class TriQLiteQuery:
+    """A TriQ-Lite 1.0 query ``(Pi, p)`` with validation and PTime evaluation."""
+
+    def __init__(
+        self,
+        program: Program,
+        output_predicate: str,
+        output_arity: Optional[int] = None,
+        validate: bool = True,
+    ):
+        self.query = Query(program, output_predicate, output_arity)
+        self.report = classify_program(program)
+        if validate and not self.report.is_triq_lite:
+            raise TriQLiteValidationError(self.report)
+        self._engine = WardedEngine(program, check_warded=False)
+
+    # -- convenience accessors --------------------------------------------------
+
+    @property
+    def program(self) -> Program:
+        return self.query.program
+
+    @property
+    def output_predicate(self) -> str:
+        return self.query.output_predicate
+
+    @property
+    def output_arity(self) -> int:
+        return self.query.output_arity
+
+    @property
+    def engine(self) -> WardedEngine:
+        return self._engine
+
+    def __repr__(self) -> str:
+        return f"TriQLiteQuery({self.output_predicate!r}/{self.output_arity})"
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def materialise(self, database: Iterable[Atom]) -> WardedResult:
+        """Materialise the stratified semantics (with provenance)."""
+        return self._engine.materialise(database)
+
+    def evaluate(self, database: Iterable[Atom]) -> QueryResult:
+        """``Q(D)``: the set of constant answer tuples, or ``INCONSISTENT`` (⊤)."""
+        return self._engine.evaluate_query(self.query, database)
+
+    def holds(self, database: Iterable[Atom], candidate: Sequence[Constant] = ()) -> bool:
+        """The Eval convention: ``Q(D) != ⊤`` implies ``candidate in Q(D)``."""
+        result = self.evaluate(database)
+        if result is INCONSISTENT:
+            return True
+        return tuple(candidate) in result
+
+    def is_consistent(self, database: Iterable[Atom]) -> bool:
+        """True iff the database satisfies every constraint of the program."""
+        return self._engine.is_consistent(database)

@@ -1,0 +1,61 @@
+"""Datalog substrate: the relational foundation of the TriQ query languages.
+
+This package implements Section 3.2 of the paper: terms, atoms, rules with
+existential quantification in heads and (stratified) negation in bodies,
+constraints, programs, databases/instances, the chase procedure, semi-naive
+evaluation for plain Datalog, stratification, and the stratified semantics
+``Pi(D)`` together with query evaluation.
+"""
+
+from repro.datalog.terms import Constant, Null, Variable, Term, term_from_token
+from repro.datalog.atoms import Atom, Position
+from repro.datalog.rules import Rule, Constraint
+from repro.datalog.program import Program, Query
+from repro.datalog.database import Database, Instance
+from repro.datalog.parser import parse_program, parse_rule, parse_atom, ParseError
+from repro.datalog.stratification import (
+    DependencyGraph,
+    StratificationError,
+    stratify,
+    is_stratified,
+)
+from repro.datalog.chase import ChaseEngine, ChaseResult, ChaseNonTermination
+from repro.datalog.seminaive import SemiNaiveEvaluator
+from repro.datalog.semantics import (
+    INCONSISTENT,
+    StratifiedSemantics,
+    evaluate_program,
+    evaluate_query,
+)
+
+__all__ = [
+    "Constant",
+    "Null",
+    "Variable",
+    "Term",
+    "term_from_token",
+    "Atom",
+    "Position",
+    "Rule",
+    "Constraint",
+    "Program",
+    "Query",
+    "Database",
+    "Instance",
+    "parse_program",
+    "parse_rule",
+    "parse_atom",
+    "ParseError",
+    "DependencyGraph",
+    "StratificationError",
+    "stratify",
+    "is_stratified",
+    "ChaseEngine",
+    "ChaseResult",
+    "ChaseNonTermination",
+    "SemiNaiveEvaluator",
+    "INCONSISTENT",
+    "StratifiedSemantics",
+    "evaluate_program",
+    "evaluate_query",
+]

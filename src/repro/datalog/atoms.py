@@ -1,0 +1,185 @@
+"""Atoms and positions.
+
+An atom has the form ``p(t1, ..., tn)`` where ``p`` is an n-ary predicate and
+each ``ti`` is a term (constant, null or variable).  A *position* ``p[i]``
+identifies the i-th attribute of the predicate ``p``; positions are the
+currency of the affected-position analysis in Section 4.1 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.datalog.terms import Constant, Null, Term, Variable
+
+
+class Position:
+    """The position ``p[i]`` (1-based, following the paper's convention)."""
+
+    __slots__ = ("predicate", "index")
+
+    def __init__(self, predicate: str, index: int):
+        if index < 1:
+            raise ValueError("positions are 1-based; index must be >= 1")
+        self.predicate = predicate
+        self.index = index
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Position)
+            and self.predicate == other.predicate
+            and self.index == other.index
+        )
+
+    def __hash__(self) -> int:
+        return hash((Position, self.predicate, self.index))
+
+    def __repr__(self) -> str:
+        return f"Position({self.predicate!r}, {self.index})"
+
+    def __str__(self) -> str:
+        return f"{self.predicate}[{self.index}]"
+
+    def __lt__(self, other: "Position") -> bool:
+        if not isinstance(other, Position):
+            return NotImplemented
+        return (self.predicate, self.index) < (other.predicate, other.index)
+
+
+class Atom:
+    """An atom ``p(t1, ..., tn)``.
+
+    Atoms are immutable and hashable, so instances and rule bodies can be
+    plain Python sets of atoms, matching the paper's set-based definitions.
+    """
+
+    __slots__ = ("predicate", "terms", "_hash")
+
+    def __init__(self, predicate: str, terms: Iterable[Term]):
+        if not predicate:
+            raise ValueError("predicate name must be non-empty")
+        self.predicate = predicate
+        self.terms: Tuple[Term, ...] = tuple(terms)
+        self._hash = hash((Atom, self.predicate, self.terms))
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def of(cls, predicate: str, *terms: Term) -> "Atom":
+        """Convenience variadic constructor: ``Atom.of("p", x, y)``."""
+        return cls(predicate, terms)
+
+    # -- basic protocol --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Atom)
+            and self.predicate == other.predicate
+            and self.terms == other.terms
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Atom({self.predicate!r}, {list(self.terms)!r})"
+
+    def __str__(self) -> str:
+        args = ", ".join(str(t) for t in self.terms)
+        return f"{self.predicate}({args})"
+
+    def __lt__(self, other: "Atom") -> bool:
+        if not isinstance(other, Atom):
+            return NotImplemented
+        return (self.predicate, tuple(map(str, self.terms))) < (
+            other.predicate,
+            tuple(map(str, other.terms)),
+        )
+
+    # -- inspection -------------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    @property
+    def variables(self) -> FrozenSet[Variable]:
+        """``var(a)``: the set of variables occurring in the atom."""
+        return frozenset(t for t in self.terms if isinstance(t, Variable))
+
+    @property
+    def constants(self) -> FrozenSet[Constant]:
+        return frozenset(t for t in self.terms if isinstance(t, Constant))
+
+    @property
+    def nulls(self) -> FrozenSet[Null]:
+        return frozenset(t for t in self.terms if isinstance(t, Null))
+
+    @property
+    def domain(self) -> FrozenSet[Term]:
+        """``dom(a)``: the set of all terms occurring in the atom."""
+        return frozenset(self.terms)
+
+    @property
+    def is_ground(self) -> bool:
+        """True iff the atom mentions only constants (no nulls, no variables)."""
+        return all(isinstance(t, Constant) for t in self.terms)
+
+    @property
+    def is_fact(self) -> bool:
+        """True iff the atom mentions no variables (constants and nulls only)."""
+        return not any(isinstance(t, Variable) for t in self.terms)
+
+    def positions(self) -> Tuple[Position, ...]:
+        """All positions ``p[1] ... p[arity]`` of the atom's predicate."""
+        return tuple(Position(self.predicate, i + 1) for i in range(self.arity))
+
+    def positions_of(self, term: Term) -> Tuple[Position, ...]:
+        """The positions at which ``term`` occurs in this atom."""
+        return tuple(
+            Position(self.predicate, i + 1)
+            for i, t in enumerate(self.terms)
+            if t == term
+        )
+
+    # -- substitution ------------------------------------------------------------
+
+    def apply(self, substitution: Mapping[Term, Term]) -> "Atom":
+        """Return the atom obtained by replacing terms according to the mapping.
+
+        Terms not mentioned by the substitution are left untouched, which is
+        how homomorphisms (partial functions) act on atoms in the paper.
+        """
+        return Atom(self.predicate, tuple(substitution.get(t, t) for t in self.terms))
+
+    def rename_variables(self, renaming: Mapping[Variable, Variable]) -> "Atom":
+        """Rename variables only (constants and nulls are preserved)."""
+        return Atom(
+            self.predicate,
+            tuple(
+                renaming.get(t, t) if isinstance(t, Variable) else t for t in self.terms
+            ),
+        )
+
+
+def unify_with_fact(atom: Atom, fact: Atom) -> Optional[Dict[Variable, Term]]:
+    """Match ``atom`` (which may contain variables) against a variable-free fact.
+
+    Returns the substitution on ``atom``'s variables that turns it into
+    ``fact``, or ``None`` when no such substitution exists.  Constants and
+    nulls in ``atom`` must match the fact exactly (nulls are treated like
+    constants, as required by the indefinite grounding of Section 3.2).
+    """
+    if atom.predicate != fact.predicate or atom.arity != fact.arity:
+        return None
+    substitution: Dict[Variable, Term] = {}
+    for pattern_term, fact_term in zip(atom.terms, fact.terms):
+        if isinstance(pattern_term, Variable):
+            bound = substitution.get(pattern_term)
+            if bound is None:
+                substitution[pattern_term] = fact_term
+            elif bound != fact_term:
+                return None
+        elif pattern_term != fact_term:
+            return None
+    return substitution

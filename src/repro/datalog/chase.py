@@ -1,0 +1,253 @@
+"""The chase procedure for Datalog with existential quantification.
+
+The chase (Section 3.2) exhaustively applies rules to a database, inventing
+fresh labelled nulls for existential head variables.  We implement:
+
+* the **restricted** chase (a rule application is skipped when the head is
+  already satisfied by extending the triggering homomorphism), which is the
+  variant that terminates on all the programs built in this library's
+  translations, and
+* the **oblivious** chase (every trigger fires exactly once), useful for the
+  theoretical constructions of Section 4.
+
+The chase of a Datalog∃ program may in general be infinite, so the engine
+takes explicit resource bounds (``max_steps`` and ``max_null_depth``) and
+either stops gracefully or raises :class:`ChaseNonTermination`, as requested.
+
+Negation is handled the way the stratified semantics needs it: the engine can
+be given a fixed *negation reference* instance; a trigger is discarded when
+one of its negative body atoms is satisfied in that reference (this realises
+the indefinite grounding ``Pi^I`` of Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.datalog.atoms import Atom, unify_with_fact
+from repro.datalog.database import Instance
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Constant, Null, Term, Variable
+
+
+class ChaseNonTermination(RuntimeError):
+    """Raised when a resource bound is exceeded and ``on_limit='raise'``."""
+
+
+@dataclass
+class ChaseResult:
+    """Outcome of a chase run."""
+
+    instance: Instance
+    steps: int
+    completed: bool
+    limit_reason: Optional[str] = None
+    invented_nulls: int = 0
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self.instance)
+
+
+def match_atoms(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    initial: Optional[Dict[Variable, Term]] = None,
+) -> Iterator[Dict[Variable, Term]]:
+    """All homomorphisms mapping every atom of ``atoms`` into ``instance``.
+
+    Variables already bound by ``initial`` are respected.  Atoms are joined
+    left to right after a light selectivity reordering (atoms with more
+    non-variable terms first); within each step the instance's indexes narrow
+    the candidate facts.
+    """
+    substitution: Dict[Variable, Term] = dict(initial or {})
+    ordered = sorted(
+        atoms,
+        key=lambda a: -sum(1 for t in a.terms if not isinstance(t, Variable)),
+    )
+
+    def backtrack(position: int) -> Iterator[Dict[Variable, Term]]:
+        if position == len(ordered):
+            yield dict(substitution)
+            return
+        pattern = ordered[position].apply(substitution)
+        for fact in instance.matching(pattern):
+            binding = unify_with_fact(pattern, fact)
+            if binding is None:
+                continue
+            for variable, value in binding.items():
+                substitution[variable] = value
+            yield from backtrack(position + 1)
+            for variable in binding:
+                del substitution[variable]
+
+    return backtrack(0)
+
+
+def satisfies_some(atoms: Sequence[Atom], instance: Instance, substitution: Dict[Variable, Term]) -> bool:
+    """True iff at least one of ``atoms`` (under ``substitution``) holds in ``instance``."""
+    for atom in atoms:
+        grounded = atom.apply(substitution)
+        for fact in instance.matching(grounded):
+            if unify_with_fact(grounded, fact) is not None:
+                return True
+    return False
+
+
+class ChaseEngine:
+    """Configurable chase engine for Datalog∃ programs (optionally with negation)."""
+
+    def __init__(
+        self,
+        max_steps: int = 200_000,
+        max_null_depth: Optional[int] = None,
+        on_limit: str = "raise",
+        restricted: bool = True,
+    ):
+        if on_limit not in ("raise", "stop"):
+            raise ValueError("on_limit must be 'raise' or 'stop'")
+        self.max_steps = max_steps
+        self.max_null_depth = max_null_depth
+        self.on_limit = on_limit
+        self.restricted = restricted
+
+    # -- public API ------------------------------------------------------------
+
+    def chase(
+        self,
+        database: Iterable[Atom],
+        program: Program,
+        negation_reference: Optional[Instance] = None,
+    ) -> ChaseResult:
+        """Run the chase of ``program`` over ``database``.
+
+        ``negation_reference`` is the instance against which negated body
+        atoms are evaluated (the previous stratum's result under the
+        stratified semantics).  When omitted, negated atoms are evaluated
+        against the *initial* instance, which is only correct for programs
+        whose negated predicates are never derived within the same run.
+        """
+        # Always copy into a plain Instance: the working set may receive nulls
+        # even when the input is a (constants-only) Database.
+        instance = Instance(database)
+        reference = negation_reference if negation_reference is not None else instance
+        null_depth: Dict[Null, int] = {n: 0 for n in instance.nulls()}
+
+        steps = 0
+        invented = 0
+        fired: Set[Tuple[int, Tuple[Tuple[Variable, Term], ...]]] = set()
+        limit_reason: Optional[str] = None
+
+        changed = True
+        while changed:
+            changed = False
+            for rule_index, rule in enumerate(program.rules):
+                triggers = list(match_atoms(rule.body_positive, instance))
+                for substitution in triggers:
+                    if rule.body_negative and satisfies_some(
+                        rule.body_negative, reference, substitution
+                    ):
+                        continue
+                    frontier_binding = tuple(
+                        sorted(
+                            ((v, t) for v, t in substitution.items()),
+                            key=lambda item: item[0].name,
+                        )
+                    )
+                    trigger_key = (rule_index, frontier_binding)
+                    if not self.restricted:
+                        if trigger_key in fired:
+                            continue
+                    else:
+                        if self._head_satisfied(rule, substitution, instance):
+                            continue
+                    # Resource accounting.
+                    if steps >= self.max_steps:
+                        limit_reason = f"max_steps={self.max_steps} exceeded"
+                        break
+                    depth = self._trigger_depth(rule, substitution, null_depth)
+                    if (
+                        self.max_null_depth is not None
+                        and rule.has_existentials
+                        and depth + 1 > self.max_null_depth
+                    ):
+                        limit_reason = (
+                            f"max_null_depth={self.max_null_depth} exceeded"
+                        )
+                        if self.on_limit == "raise":
+                            raise ChaseNonTermination(limit_reason)
+                        continue
+                    extension = dict(substitution)
+                    for existential in rule.existential_variables:
+                        fresh = Null.fresh(existential.name.lower())
+                        extension[existential] = fresh
+                        null_depth[fresh] = depth + 1
+                        invented += 1
+                    new_atoms = [atom.apply(extension) for atom in rule.head]
+                    added = instance.add_all(new_atoms)
+                    fired.add(trigger_key)
+                    steps += 1
+                    if added:
+                        changed = True
+                if limit_reason:
+                    break
+            if limit_reason:
+                break
+
+        if limit_reason and self.on_limit == "raise":
+            raise ChaseNonTermination(limit_reason)
+        return ChaseResult(
+            instance=instance,
+            steps=steps,
+            completed=limit_reason is None,
+            limit_reason=limit_reason,
+            invented_nulls=invented,
+        )
+
+    # -- helpers ------------------------------------------------------------------
+
+    @staticmethod
+    def _head_satisfied(
+        rule: Rule, substitution: Dict[Variable, Term], instance: Instance
+    ) -> bool:
+        """Restricted-chase check: can the trigger be extended to satisfy the head?
+
+        For rules without existentials this reduces to "all head atoms already
+        present".  With existentials we search for a joint extension of the
+        substitution covering every head atom.
+        """
+        if not rule.existential_variables:
+            return all(atom.apply(substitution) in instance for atom in rule.head)
+        head_patterns = [atom.apply(substitution) for atom in rule.head]
+        return _exists_extension(head_patterns, instance, {})
+
+    @staticmethod
+    def _trigger_depth(
+        rule: Rule, substitution: Dict[Variable, Term], null_depth: Dict[Null, int]
+    ) -> int:
+        depth = 0
+        for value in substitution.values():
+            if isinstance(value, Null):
+                depth = max(depth, null_depth.get(value, 0))
+        return depth
+
+
+def _exists_extension(
+    patterns: Sequence[Atom], instance: Instance, binding: Dict[Variable, Term]
+) -> bool:
+    """Does some assignment of the remaining variables map all patterns into ``instance``?"""
+    if not patterns:
+        return True
+    first, rest = patterns[0], patterns[1:]
+    grounded = first.apply(binding)
+    for fact in instance.matching(grounded):
+        extra = unify_with_fact(grounded, fact)
+        if extra is None:
+            continue
+        merged = dict(binding)
+        merged.update(extra)
+        if _exists_extension([a.apply(merged) for a in rest], instance, merged):
+            return True
+    return False

@@ -1,0 +1,162 @@
+"""Databases and instances.
+
+An *instance* is a (possibly infinite, here always finite) set of atoms over
+constants and labelled nulls; a *database* is a finite instance mentioning
+constants only (Section 3.2).  ``Instance`` keeps per-predicate and
+per-(predicate, position, term) indexes so that homomorphism matching during
+the chase and semi-naive evaluation stays close to linear in the number of
+candidate atoms.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant, Null, Term, Variable
+
+
+class Instance:
+    """A mutable, indexed set of variable-free atoms (facts)."""
+
+    def __init__(self, atoms: Iterable[Atom] = ()):
+        self._atoms: Set[Atom] = set()
+        self._by_predicate: Dict[str, Set[Atom]] = defaultdict(set)
+        self._by_term: Dict[Tuple[str, int, Term], Set[Atom]] = defaultdict(set)
+        for atom in atoms:
+            self.add(atom)
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, atom: Atom) -> bool:
+        """Add a fact; returns True if it was new."""
+        if any(isinstance(t, Variable) for t in atom.terms):
+            raise ValueError(f"cannot add non-fact atom {atom} to an instance")
+        if atom in self._atoms:
+            return False
+        self._atoms.add(atom)
+        self._by_predicate[atom.predicate].add(atom)
+        for i, term in enumerate(atom.terms):
+            self._by_term[(atom.predicate, i, term)].add(atom)
+        return True
+
+    def add_all(self, atoms: Iterable[Atom]) -> int:
+        """Add many facts; returns the number of genuinely new ones."""
+        return sum(1 for atom in atoms if self.add(atom))
+
+    def discard(self, atom: Atom) -> bool:
+        """Remove a fact if present; returns True if it was there."""
+        if atom not in self._atoms:
+            return False
+        self._atoms.discard(atom)
+        self._by_predicate[atom.predicate].discard(atom)
+        for i, term in enumerate(atom.terms):
+            self._by_term[(atom.predicate, i, term)].discard(atom)
+        return True
+
+    # -- set protocol -----------------------------------------------------------
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self._atoms
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Instance):
+            return self._atoms == other._atoms
+        if isinstance(other, (set, frozenset)):
+            return self._atoms == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({len(self._atoms)} atoms)"
+
+    def copy(self) -> "Instance":
+        return type(self)(self._atoms)
+
+    def to_set(self) -> FrozenSet[Atom]:
+        return frozenset(self._atoms)
+
+    # -- lookup -------------------------------------------------------------------
+
+    def with_predicate(self, predicate: str) -> FrozenSet[Atom]:
+        """All facts over ``predicate``."""
+        return frozenset(self._by_predicate.get(predicate, ()))
+
+    def matching(self, pattern: Atom) -> Iterator[Atom]:
+        """All facts that the (possibly non-ground) ``pattern`` can map to.
+
+        Constants and nulls in the pattern must match exactly; variables match
+        anything (repeated variables are checked by the caller's unifier).
+        The most selective available index is used.
+        """
+        candidates: Optional[Set[Atom]] = None
+        for i, term in enumerate(pattern.terms):
+            if isinstance(term, Variable):
+                continue
+            indexed = self._by_term.get((pattern.predicate, i, term))
+            if indexed is None:
+                return iter(())
+            if candidates is None or len(indexed) < len(candidates):
+                candidates = indexed
+        if candidates is None:
+            candidates = self._by_predicate.get(pattern.predicate, set())
+        # Snapshot the candidate bucket: callers routinely add facts to the
+        # instance while consuming the returned iterator (semi-naive rounds,
+        # chase steps), which must not invalidate the iteration.  Remaining
+        # constant positions and repeated variables are checked by the
+        # caller's unifier; here we only ensure the arity matches.
+        return iter([a for a in candidates if a.arity == pattern.arity])
+
+    # -- domain inspection -----------------------------------------------------------
+
+    @property
+    def predicates(self) -> FrozenSet[str]:
+        return frozenset(p for p, atoms in self._by_predicate.items() if atoms)
+
+    def domain(self) -> FrozenSet[Term]:
+        """``dom(I)``: all constants and nulls occurring in the instance."""
+        return frozenset(t for atom in self._atoms for t in atom.terms)
+
+    def constants(self) -> FrozenSet[Constant]:
+        return frozenset(
+            t for atom in self._atoms for t in atom.terms if isinstance(t, Constant)
+        )
+
+    def nulls(self) -> FrozenSet[Null]:
+        return frozenset(
+            t for atom in self._atoms for t in atom.terms if isinstance(t, Null)
+        )
+
+    def ground_part(self) -> "Instance":
+        """``I↓``: the atoms mentioning constants only (Section 6.3)."""
+        return Instance(a for a in self._atoms if a.is_ground)
+
+    def arity_of(self, predicate: str) -> Optional[int]:
+        atoms = self._by_predicate.get(predicate)
+        if not atoms:
+            return None
+        return next(iter(atoms)).arity
+
+    def sorted_atoms(self) -> List[Atom]:
+        """Deterministically ordered list of facts (useful in tests and reports)."""
+        return sorted(self._atoms, key=lambda a: (a.predicate, tuple(map(str, a.terms))))
+
+
+class Database(Instance):
+    """A finite instance mentioning constants only."""
+
+    def add(self, atom: Atom) -> bool:
+        if not atom.is_ground:
+            raise ValueError(
+                f"databases may only contain ground atoms over constants; got {atom}"
+            )
+        return super().add(atom)
+
+    def copy(self) -> "Database":
+        return Database(self._atoms)

@@ -1,0 +1,252 @@
+"""A small concrete syntax for Datalog with existentials, negation and ⊥.
+
+The syntax mirrors the paper's notation as closely as plain text allows::
+
+    % authors of a book (rule (2) of Section 2)
+    triple(?Y, is_author_of, ?Z), triple(?Y, name, ?X) -> query(?X).
+
+    % blank-node invention (Section 2): existential variables in the head
+    triple(?X, is_coauthor_of, ?Y) ->
+        exists ?Z . triple(?X, is_author_of, ?Z), triple(?Y, is_author_of, ?Z).
+
+    % stratified negation
+    less0(?X, ?Y), not not_min(?X) -> zero0(?X).
+
+    % negative constraint (⊥)
+    type(?X, ?Y), type(?X, ?Z), disj(?Y, ?Z) -> false.
+
+Terms are variables (``?X``), quoted strings (``"Jeffrey Ullman"``), URIs in
+angle brackets (``<http://...>``) or bare identifiers, which may contain
+``:``, ``-``, ``/``, ``#`` and ``.`` so that terms like ``rdf:type`` and
+``owl:sameAs`` can be written verbatim.  Comments start with ``%`` and run to
+the end of the line.  Each clause is terminated with ``.``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple, Union
+
+from repro.datalog.atoms import Atom
+from repro.datalog.program import Program
+from repro.datalog.rules import Constraint, Rule
+from repro.datalog.terms import Constant, Term, Variable
+
+
+class ParseError(ValueError):
+    """Raised on malformed program text, with line/column information."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class _Token(NamedTuple):
+    kind: str
+    value: str
+    line: int
+    column: int
+
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"%[^\n]*"),
+    ("WS", r"[ \t\r\n]+"),
+    ("ARROW", r"->|:-"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("VARIABLE", r"\?[A-Za-z_][A-Za-z0-9_']*"),
+    ("STRING", r'"[^"]*"'),
+    ("URIREF", r"<[^<>\s]*>"),
+    ("NOT", r"(?:not\b|¬)"),
+    ("EXISTS", r"(?:exists\b|∃)"),
+    ("FALSE", r"(?:false\b|bottom\b|⊥)"),
+    ("IDENT", r"[A-Za-z0-9_][A-Za-z0-9_:\-/#.]*"),
+    ("DOT", r"\."),
+    ("MISMATCH", r"."),
+]
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line = 1
+    line_start = 0
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup or "MISMATCH"
+        value = match.group()
+        column = match.start() - line_start + 1
+        if kind in ("WS", "COMMENT"):
+            newlines = value.count("\n")
+            if newlines:
+                line += newlines
+                line_start = match.start() + value.rfind("\n") + 1
+            continue
+        if kind == "MISMATCH":
+            raise ParseError(f"unexpected character {value!r}", line, column)
+        if kind == "IDENT":
+            # A greedy identifier may swallow the clause-terminating dot
+            # (e.g. ``false.`` or ``query(?X).`` never hits this, but
+            # ``-> p.`` style zero-arity heads would).  Strip trailing dots
+            # and emit them as DOT tokens.
+            stripped = value.rstrip(".")
+            trailing = len(value) - len(stripped)
+            if stripped:
+                tokens.append(_Token(kind, stripped, line, column))
+            for i in range(trailing):
+                tokens.append(_Token("DOT", ".", line, column + len(stripped) + i))
+            continue
+        tokens.append(_Token(kind, value, line, column))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: Sequence[_Token]):
+        self._tokens = list(tokens)
+        self._index = 0
+
+    # -- token utilities -------------------------------------------------------
+
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"expected {kind}, found end of input")
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.kind} {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _accept(self, kind: str) -> Optional[_Token]:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            return self._advance()
+        return None
+
+    @property
+    def exhausted(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse_term(self) -> Term:
+        token = self._advance()
+        if token.kind == "VARIABLE":
+            return Variable(token.value)
+        if token.kind == "STRING":
+            return Constant(token.value[1:-1])
+        if token.kind == "URIREF":
+            return Constant(token.value[1:-1])
+        if token.kind in ("IDENT", "NOT", "EXISTS", "FALSE"):
+            return Constant(token.value)
+        raise ParseError(
+            f"expected a term, found {token.kind} {token.value!r}", token.line, token.column
+        )
+
+    def parse_atom(self) -> Atom:
+        name_token = self._peek()
+        if name_token is None:
+            raise ParseError("expected an atom, found end of input")
+        if name_token.kind not in ("IDENT", "STRING", "URIREF"):
+            raise ParseError(
+                f"expected a predicate name, found {name_token.kind} {name_token.value!r}",
+                name_token.line,
+                name_token.column,
+            )
+        self._advance()
+        predicate = name_token.value
+        if name_token.kind == "STRING" or name_token.kind == "URIREF":
+            predicate = predicate[1:-1]
+        terms: List[Term] = []
+        if self._accept("LPAREN"):
+            if not self._accept("RPAREN"):
+                terms.append(self.parse_term())
+                while self._accept("COMMA"):
+                    terms.append(self.parse_term())
+                self._expect("RPAREN")
+        return Atom(predicate, terms)
+
+    def parse_literal(self) -> Tuple[bool, Atom]:
+        """Parse an optionally negated atom; returns (is_negative, atom)."""
+        if self._accept("NOT"):
+            return True, self.parse_atom()
+        return False, self.parse_atom()
+
+    def parse_clause(self) -> Union[Rule, Constraint]:
+        positive: List[Atom] = []
+        negative: List[Atom] = []
+        is_negative, atom = self.parse_literal()
+        (negative if is_negative else positive).append(atom)
+        while self._accept("COMMA"):
+            is_negative, atom = self.parse_literal()
+            (negative if is_negative else positive).append(atom)
+        self._expect("ARROW")
+
+        if self._accept("FALSE"):
+            self._expect("DOT")
+            if negative:
+                raise ParseError("constraints may not contain negated body atoms")
+            return Constraint(positive)
+
+        existentials: List[Variable] = []
+        if self._accept("EXISTS"):
+            token = self._peek()
+            while token is not None and token.kind == "VARIABLE":
+                existentials.append(Variable(self._advance().value))
+                token = self._peek()
+            if not existentials:
+                raise ParseError("'exists' must be followed by at least one variable")
+            self._expect("DOT")
+
+        head: List[Atom] = [self.parse_atom()]
+        while self._accept("COMMA"):
+            head.append(self.parse_atom())
+        self._expect("DOT")
+        return Rule(positive, head, body_negative=negative, existential_variables=existentials)
+
+    def parse_program(self) -> Program:
+        clauses: List[Union[Rule, Constraint]] = []
+        while not self.exhausted:
+            clauses.append(self.parse_clause())
+        return Program.from_clauses(clauses)
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom such as ``triple(?X, rdf:type, owl:Class)``."""
+    parser = _Parser(_tokenize(text))
+    atom = parser.parse_atom()
+    if not parser.exhausted:
+        raise ParseError(f"trailing input after atom in {text!r}")
+    return atom
+
+
+def parse_rule(text: str) -> Union[Rule, Constraint]:
+    """Parse a single rule or constraint (terminated by ``.``)."""
+    parser = _Parser(_tokenize(text if text.rstrip().endswith(".") else text + "."))
+    clause = parser.parse_clause()
+    if not parser.exhausted:
+        raise ParseError(f"trailing input after clause in {text!r}")
+    return clause
+
+
+def parse_program(text: str) -> Program:
+    """Parse a whole program: a sequence of ``.``-terminated rules/constraints."""
+    return _Parser(_tokenize(text)).parse_program()

@@ -1,0 +1,141 @@
+"""The stratified semantics ``Pi(D)`` and query evaluation (Section 3.2).
+
+Given a database ``D`` and a stratified ``Datalog^{E,neg_s,⊥}`` program ``Pi``
+with stratification ``mu: sch(Pi) -> [0, l]``, the semantics is computed as::
+
+    S_0 = chase(D, ex(Pi)_0)
+    S_i = chase(S_{i-1}, (ex(Pi)_i)^{S_{i-1}})        for i in [1, l]
+
+If some constraint body embeds into ``S_l``, the database is inconsistent
+w.r.t. the program and ``Pi(D)`` is the special value ``INCONSISTENT`` (the
+paper's ⊤); otherwise ``Pi(D) = S_l``.
+
+For a query ``Q = (Pi, p)``::
+
+    Q(D) = INCONSISTENT                               if Pi(D) = ⊤
+    Q(D) = { t in U^n | p(t) in Pi(D) }               otherwise
+
+The associated decision problem Eval asks, given ``D``, ``Q`` and a tuple
+``t``, whether ``Q(D) != ⊤`` implies ``t in Q(D)``; :func:`eval_decision`
+implements exactly that convention.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.datalog.atoms import Atom
+from repro.datalog.chase import ChaseEngine, match_atoms
+from repro.datalog.database import Database, Instance
+from repro.datalog.program import Program, Query
+from repro.datalog.rules import Constraint, Rule
+from repro.datalog.stratification import partition_by_stratum, stratify
+from repro.datalog.terms import Constant, Term
+
+
+class _Inconsistent:
+    """Singleton sentinel for the paper's ⊤ (inconsistency) value."""
+
+    _instance: Optional["_Inconsistent"] = None
+
+    def __new__(cls) -> "_Inconsistent":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "INCONSISTENT"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+INCONSISTENT = _Inconsistent()
+
+SemanticsResult = Union[Instance, _Inconsistent]
+QueryResult = Union[FrozenSet[Tuple[Constant, ...]], _Inconsistent]
+
+
+class StratifiedSemantics:
+    """Computes ``Pi(D)`` for stratified programs with existentials and ⊥."""
+
+    def __init__(self, program: Program, chase_engine: Optional[ChaseEngine] = None):
+        self.program = program
+        self.chase_engine = chase_engine or ChaseEngine()
+        self.stratification = stratify(program.ex())
+        self.strata = partition_by_stratum(program.ex(), self.stratification)
+
+    def materialise(self, database: Iterable[Atom]) -> SemanticsResult:
+        """Compute ``Pi(D)`` (an instance, or ``INCONSISTENT``)."""
+        current = Instance(database)
+        for stratum_rules in self.strata:
+            if not stratum_rules:
+                continue
+            reference = current.copy()
+            result = self.chase_engine.chase(
+                current, Program(stratum_rules), negation_reference=reference
+            )
+            current = result.instance
+        if self._violates_constraints(current):
+            return INCONSISTENT
+        return current
+
+    def _violates_constraints(self, instance: Instance) -> bool:
+        for constraint in self.program.constraints:
+            if next(match_atoms(constraint.body, instance), None) is not None:
+                return True
+        return False
+
+    def violated_constraints(self, database: Iterable[Atom]) -> List[Constraint]:
+        """The constraints violated by ``database`` under the program (diagnostics)."""
+        current = Instance(database)
+        for stratum_rules in self.strata:
+            if not stratum_rules:
+                continue
+            reference = current.copy()
+            current = self.chase_engine.chase(
+                current, Program(stratum_rules), negation_reference=reference
+            ).instance
+        return [
+            c
+            for c in self.program.constraints
+            if next(match_atoms(c.body, current), None) is not None
+        ]
+
+
+def evaluate_program(
+    program: Program,
+    database: Iterable[Atom],
+    chase_engine: Optional[ChaseEngine] = None,
+) -> SemanticsResult:
+    """Convenience wrapper around :class:`StratifiedSemantics`."""
+    return StratifiedSemantics(program, chase_engine).materialise(database)
+
+
+def evaluate_query(
+    query: Query,
+    database: Iterable[Atom],
+    chase_engine: Optional[ChaseEngine] = None,
+) -> QueryResult:
+    """Compute ``Q(D)``: the set of constant tuples in the output predicate, or ⊤."""
+    materialised = evaluate_program(query.program, database, chase_engine)
+    if materialised is INCONSISTENT:
+        return INCONSISTENT
+    answers: Set[Tuple[Constant, ...]] = set()
+    for atom in materialised.with_predicate(query.output_predicate):
+        if atom.is_ground:
+            answers.add(tuple(atom.terms))  # type: ignore[arg-type]
+    return frozenset(answers)
+
+
+def eval_decision(
+    query: Query,
+    database: Iterable[Atom],
+    candidate: Sequence[Constant],
+    chase_engine: Optional[ChaseEngine] = None,
+) -> bool:
+    """The decision problem Eval: does ``Q(D) != ⊤`` imply ``t in Q(D)``?"""
+    result = evaluate_query(query, database, chase_engine)
+    if result is INCONSISTENT:
+        return True
+    return tuple(candidate) in result

@@ -1,0 +1,200 @@
+"""Stratification of programs with negation.
+
+A stratification of a program ``Pi`` is a function ``mu: sch(Pi) -> [0, l]``
+such that for each rule ``rho`` with head predicate ``p``:
+
+1. ``mu(p) >= mu(p')`` for every predicate ``p'`` of a positive body atom, and
+2. ``mu(p)  > mu(p')`` for every predicate ``p'`` of a negative body atom.
+
+``Pi`` is stratified iff such a function exists (Section 3.2).  We compute a
+stratification from the predicate dependency graph: strongly connected
+components must not contain a negative edge, and the stratum of a predicate is
+the longest "negative distance" from the sources of the condensation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.datalog.program import Program
+from repro.datalog.rules import Rule
+
+
+class StratificationError(ValueError):
+    """Raised when a program has no stratification (negation through recursion)."""
+
+
+class DependencyGraph:
+    """The predicate dependency graph of a program.
+
+    There is an edge ``q -> p`` whenever some rule with head predicate ``p``
+    mentions ``q`` in its body; the edge is *negative* when ``q`` appears in a
+    negated body atom.
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.nodes: Set[str] = set(program.schema)
+        # edges[q] = set of (p, negative) pairs, meaning q is used to derive p.
+        self.edges: Dict[str, Set[Tuple[str, bool]]] = defaultdict(set)
+        for rule in program.rules:
+            for head_atom in rule.head:
+                for body_atom in rule.body_positive:
+                    self.edges[body_atom.predicate].add((head_atom.predicate, False))
+                for body_atom in rule.body_negative:
+                    self.edges[body_atom.predicate].add((head_atom.predicate, True))
+
+    def successors(self, predicate: str) -> FrozenSet[Tuple[str, bool]]:
+        return frozenset(self.edges.get(predicate, ()))
+
+    def negative_edges(self) -> FrozenSet[Tuple[str, str]]:
+        return frozenset(
+            (source, target)
+            for source, targets in self.edges.items()
+            for target, negative in targets
+            if negative
+        )
+
+    # -- strongly connected components (iterative Tarjan) ----------------------
+
+    def strongly_connected_components(self) -> List[FrozenSet[str]]:
+        index_counter = [0]
+        indices: Dict[str, int] = {}
+        lowlinks: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        components: List[FrozenSet[str]] = []
+
+        adjacency: Dict[str, List[str]] = {
+            node: sorted({target for target, _ in self.edges.get(node, ())})
+            for node in self.nodes
+        }
+
+        for root in sorted(self.nodes):
+            if root in indices:
+                continue
+            work: List[Tuple[str, int]] = [(root, 0)]
+            while work:
+                node, child_index = work.pop()
+                if child_index == 0:
+                    indices[node] = index_counter[0]
+                    lowlinks[node] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                children = adjacency.get(node, [])
+                for i in range(child_index, len(children)):
+                    child = children[i]
+                    if child not in indices:
+                        work.append((node, i + 1))
+                        work.append((child, 0))
+                        recurse = True
+                        break
+                    if child in on_stack:
+                        lowlinks[node] = min(lowlinks[node], indices[child])
+                if recurse:
+                    continue
+                if lowlinks[node] == indices[node]:
+                    component: Set[str] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    components.append(frozenset(component))
+                if work:
+                    parent = work[-1][0]
+                    lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+        return components
+
+
+def stratify(program: Program) -> Dict[str, int]:
+    """Compute a stratification ``mu`` of ``program`` or raise.
+
+    The returned mapping assigns every predicate of ``sch(Pi)`` a stratum in
+    ``[0, l]``; EDB-only predicates land in stratum 0.  Raises
+    :class:`StratificationError` when negation occurs inside a recursive cycle.
+    """
+    graph = DependencyGraph(program)
+    components = graph.strongly_connected_components()
+    component_of: Dict[str, int] = {}
+    for i, component in enumerate(components):
+        for predicate in component:
+            component_of[predicate] = i
+
+    # A negative edge inside one SCC means negation through recursion.
+    for source, target in graph.negative_edges():
+        if component_of.get(source) == component_of.get(target):
+            raise StratificationError(
+                f"negation through recursion between {source!r} and {target!r}; "
+                "the program is not stratified"
+            )
+
+    # Condensation: component-level edges with their polarity.
+    component_edges: Dict[int, Set[Tuple[int, bool]]] = defaultdict(set)
+    indegree: Dict[int, int] = {i: 0 for i in range(len(components))}
+    seen_edges: Set[Tuple[int, int, bool]] = set()
+    for source, targets in graph.edges.items():
+        for target, negative in targets:
+            src_c, tgt_c = component_of[source], component_of[target]
+            if src_c == tgt_c:
+                continue
+            key = (src_c, tgt_c, negative)
+            if key in seen_edges:
+                continue
+            seen_edges.add(key)
+            component_edges[src_c].add((tgt_c, negative))
+            indegree[tgt_c] += 1
+
+    # Longest-negative-path layering over the DAG (Kahn order).
+    stratum: Dict[int, int] = {i: 0 for i in range(len(components))}
+    queue = deque(sorted(i for i, d in indegree.items() if d == 0))
+    processed = 0
+    while queue:
+        component = queue.popleft()
+        processed += 1
+        for target, negative in sorted(component_edges.get(component, ()), key=lambda e: e[0]):
+            required = stratum[component] + (1 if negative else 0)
+            if required > stratum[target]:
+                stratum[target] = required
+            indegree[target] -= 1
+            if indegree[target] == 0:
+                queue.append(target)
+    if processed != len(components):
+        # The condensation is a DAG by construction, so this cannot happen;
+        # keep the check as a defensive invariant.
+        raise StratificationError("internal error: condensation contains a cycle")
+
+    return {
+        predicate: stratum[component_of[predicate]]
+        for predicate in graph.nodes
+    }
+
+
+def is_stratified(program: Program) -> bool:
+    """True iff the program (its ``ex`` part) admits a stratification."""
+    try:
+        stratify(program.ex())
+    except StratificationError:
+        return False
+    return True
+
+
+def partition_by_stratum(program: Program, stratification: Dict[str, int]) -> List[List[Rule]]:
+    """``Pi_0, ..., Pi_l``: rules grouped by the stratum of their head predicate.
+
+    A rule with several head atoms is placed in the stratum of its highest
+    head predicate (all its head predicates share a stratum in well-formed
+    programs produced by :func:`stratify`).
+    """
+    if not program.rules:
+        return [[]]
+    max_stratum = max(stratification.values()) if stratification else 0
+    partition: List[List[Rule]] = [[] for _ in range(max_stratum + 1)]
+    for rule in program.rules:
+        level = max(stratification[a.predicate] for a in rule.head)
+        partition[level].append(rule)
+    return partition

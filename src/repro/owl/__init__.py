@@ -1,0 +1,64 @@
+"""OWL 2 QL core: the ontology language of Section 5.
+
+The fragment corresponds to the description logic DL-Lite_R: vocabularies of
+classes and properties, basic properties ``p``/``p⁻``, basic classes ``A``/
+``∃r``, and the six axiom forms of Table 1.  The package provides the
+ontology model, the RDF representation of ontologies (Table 1 plus the
+class/property declaration triples of Section 5.2), a DL-Lite_R entailment
+oracle (saturation-based), and the paper's fixed Datalog∃,¬s,⊥ program
+``tau_owl2ql_core`` encoding the OWL 2 QL core direct-semantics entailment
+regime.
+"""
+
+from repro.owl.model import (
+    NamedClass,
+    ExistentialClass,
+    NamedProperty,
+    InverseProperty,
+    BasicClass,
+    BasicProperty,
+    SubClassOf,
+    SubObjectPropertyOf,
+    DisjointClasses,
+    DisjointObjectProperties,
+    ClassAssertion,
+    ObjectPropertyAssertion,
+    Axiom,
+    Ontology,
+    some,
+    inverse,
+)
+from repro.owl.rdf_mapping import (
+    ontology_to_graph,
+    graph_to_ontology,
+    class_uri,
+    property_uri,
+)
+from repro.owl.dllite import DLLiteReasoner
+from repro.owl.entailment_rules import owl2ql_core_program, OWL2QL_CORE_RULES
+
+__all__ = [
+    "NamedClass",
+    "ExistentialClass",
+    "NamedProperty",
+    "InverseProperty",
+    "BasicClass",
+    "BasicProperty",
+    "SubClassOf",
+    "SubObjectPropertyOf",
+    "DisjointClasses",
+    "DisjointObjectProperties",
+    "ClassAssertion",
+    "ObjectPropertyAssertion",
+    "Axiom",
+    "Ontology",
+    "some",
+    "inverse",
+    "ontology_to_graph",
+    "graph_to_ontology",
+    "class_uri",
+    "property_uri",
+    "DLLiteReasoner",
+    "owl2ql_core_program",
+    "OWL2QL_CORE_RULES",
+]

@@ -1,0 +1,245 @@
+"""A DL-Lite_R reasoner used as the entailment oracle ``G ⊨ t`` (Section 5.2).
+
+OWL 2 QL core corresponds to DL-Lite_R, for which reasoning reduces to
+computing (i) the reflexive-transitive closure of the class / property
+hierarchies (with the interaction ``r1 ⊑ r2  ⟹  ∃r1 ⊑ ∃r2`` and
+``r1⁻ ⊑ r2⁻``), and (ii) the saturation of the ABox memberships under that
+hierarchy.  The reasoner answers:
+
+* instance checks ``(a, rdf:type, B)``,
+* role checks ``(a, p, b)`` (also for inverse-property URIs),
+* TBox checks ``(B1, rdfs:subClassOf, B2)`` and ``(r1, rdfs:subPropertyOf, r2)``,
+* consistency (disjointness violations).
+
+It is deliberately independent from the Datalog encoding
+``tau_owl2ql_core`` so that the two can be tested against each other
+(Theorem 5.3 benchmarks use exactly that cross-validation).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.datalog.terms import Constant
+from repro.owl.model import (
+    BasicClass,
+    BasicProperty,
+    ClassAssertion,
+    DisjointClasses,
+    DisjointObjectProperties,
+    ExistentialClass,
+    InverseProperty,
+    NamedClass,
+    NamedProperty,
+    ObjectPropertyAssertion,
+    Ontology,
+    SubClassOf,
+    SubObjectPropertyOf,
+)
+from repro.owl.rdf_mapping import (
+    class_uri,
+    parse_class_uri,
+    parse_property_uri,
+    property_uri,
+    SOME_PREFIX,
+    INVERSE_SUFFIX,
+)
+from repro.rdf.graph import Triple
+from repro.rdf.namespaces import OWL, RDF, RDFS
+
+
+def _transitive_closure(edges: Dict) -> Dict:
+    """Reflexive-transitive closure of a subsumption relation (small graphs)."""
+    closure: Dict = {node: set(targets) for node, targets in edges.items()}
+    for node in list(closure):
+        closure[node].add(node)
+    changed = True
+    while changed:
+        changed = False
+        for node, supers in closure.items():
+            additions = set()
+            for sup in supers:
+                additions |= closure.get(sup, {sup})
+            if not additions <= supers:
+                supers |= additions
+                changed = True
+    return closure
+
+
+class DLLiteReasoner:
+    """Saturation-based reasoning for OWL 2 QL core ontologies."""
+
+    def __init__(self, ontology: Ontology):
+        self.ontology = ontology
+        self._property_subsumers = self._saturate_properties()
+        self._class_subsumers = self._saturate_classes()
+        self._memberships, self._role_pairs = self._saturate_abox()
+
+    # -- TBox saturation -----------------------------------------------------------
+
+    def _saturate_properties(self) -> Dict[BasicProperty, Set[BasicProperty]]:
+        edges: Dict[BasicProperty, Set[BasicProperty]] = defaultdict(set)
+        for prop in self.ontology.properties:
+            edges[prop]
+            edges[prop.inverse()]
+        for axiom in self.ontology.axioms:
+            if isinstance(axiom, SubObjectPropertyOf):
+                edges[axiom.sub].add(axiom.sup)
+                edges[axiom.sub.inverse()].add(axiom.sup.inverse())
+                edges.setdefault(axiom.sup, set())
+                edges.setdefault(axiom.sup.inverse(), set())
+        return _transitive_closure(edges)
+
+    def _saturate_classes(self) -> Dict[BasicClass, Set[BasicClass]]:
+        edges: Dict[BasicClass, Set[BasicClass]] = defaultdict(set)
+        for cls in self.ontology.classes:
+            edges[cls]
+        for prop, supers in self._property_subsumers.items():
+            edges[ExistentialClass(prop)]
+            for sup in supers:
+                edges[ExistentialClass(prop)].add(ExistentialClass(sup))
+        for axiom in self.ontology.axioms:
+            if isinstance(axiom, SubClassOf):
+                edges[axiom.sub].add(axiom.sup)
+                edges.setdefault(axiom.sup, set())
+        return _transitive_closure(edges)
+
+    # -- ABox saturation -------------------------------------------------------------
+
+    def _saturate_abox(self):
+        memberships: Dict[Constant, Set[BasicClass]] = defaultdict(set)
+        role_pairs: Dict[BasicProperty, Set[Tuple[Constant, Constant]]] = defaultdict(set)
+
+        for axiom in self.ontology.axioms:
+            if isinstance(axiom, ObjectPropertyAssertion):
+                base = NamedProperty(axiom.property.name)
+                for sup in self._property_subsumers.get(base, {base}):
+                    if isinstance(sup, InverseProperty):
+                        role_pairs[sup.named()].add((axiom.object, axiom.subject))
+                        role_pairs[sup].add((axiom.subject, axiom.object))
+                    else:
+                        role_pairs[sup].add((axiom.subject, axiom.object))
+                        role_pairs[sup.inverse()].add((axiom.object, axiom.subject))
+            elif isinstance(axiom, ClassAssertion):
+                memberships[axiom.individual].add(axiom.cls)
+
+        # Memberships induced by role edges: a p b entails a : ∃p and b : ∃p⁻
+        # (closed under the property hierarchy already applied above).
+        for prop, pairs in role_pairs.items():
+            for subject, _object in pairs:
+                memberships[subject].add(ExistentialClass(prop))
+
+        # Close memberships under the class hierarchy.
+        for individual, classes in memberships.items():
+            closed: Set[BasicClass] = set()
+            for cls in classes:
+                closed |= self._class_subsumers.get(cls, {cls})
+            memberships[individual] = closed
+        return memberships, role_pairs
+
+    # -- public reasoning API ------------------------------------------------------------
+
+    def class_subsumers(self, cls: BasicClass) -> FrozenSet[BasicClass]:
+        """All basic classes ``B`` with ``cls ⊑* B``."""
+        return frozenset(self._class_subsumers.get(cls, {cls}))
+
+    def property_subsumers(self, prop: BasicProperty) -> FrozenSet[BasicProperty]:
+        """All basic properties ``r`` with ``prop ⊑* r``."""
+        return frozenset(self._property_subsumers.get(prop, {prop}))
+
+    def is_subclass(self, sub: BasicClass, sup: BasicClass) -> bool:
+        return sup in self._class_subsumers.get(sub, {sub})
+
+    def is_subproperty(self, sub: BasicProperty, sup: BasicProperty) -> bool:
+        return sup in self._property_subsumers.get(sub, {sub})
+
+    def instances_of(self, cls: BasicClass) -> FrozenSet[Constant]:
+        """All named individuals that are certain members of ``cls``."""
+        return frozenset(
+            individual
+            for individual, classes in self._memberships.items()
+            if cls in classes
+        )
+
+    def member_classes(self, individual: Constant) -> FrozenSet[BasicClass]:
+        return frozenset(self._memberships.get(individual, set()))
+
+    def role_pairs(self, prop: BasicProperty) -> FrozenSet[Tuple[Constant, Constant]]:
+        """All certain pairs of named individuals related by ``prop``."""
+        return frozenset(self._role_pairs.get(prop, set()))
+
+    def is_member(self, individual: Constant, cls: BasicClass) -> bool:
+        return cls in self._memberships.get(individual, set())
+
+    # -- consistency ------------------------------------------------------------------------
+
+    def inconsistency_witnesses(self) -> List[str]:
+        """Human-readable descriptions of every disjointness violation."""
+        witnesses: List[str] = []
+        for axiom in self.ontology.axioms:
+            if isinstance(axiom, DisjointClasses):
+                for individual, classes in self._memberships.items():
+                    if axiom.first in classes and axiom.second in classes:
+                        witnesses.append(
+                            f"{individual} is a member of both {axiom.first} and {axiom.second}"
+                        )
+            elif isinstance(axiom, DisjointObjectProperties):
+                first_pairs = self._role_pairs.get(axiom.first, set())
+                second_pairs = self._role_pairs.get(axiom.second, set())
+                for pair in first_pairs & second_pairs:
+                    witnesses.append(
+                        f"{pair[0]}, {pair[1]} related by both {axiom.first} and {axiom.second}"
+                    )
+        return witnesses
+
+    def is_consistent(self) -> bool:
+        return not self.inconsistency_witnesses()
+
+    # -- triple entailment: the ``G ⊨ t`` of Section 5.2 -----------------------------------------
+
+    def entails_triple(self, triple: Triple) -> bool:
+        """``G ⊨ t`` for a triple over URIs, where G represents this ontology.
+
+        An inconsistent ontology entails every triple (standard first-order
+        semantics), matching the treatment of ⊥/⊤ in the paper.
+        """
+        if not self.is_consistent():
+            return True
+        subject, predicate, object_ = triple.subject, triple.predicate, triple.object
+        if not all(isinstance(t, Constant) for t in triple):
+            return False
+
+        if predicate == RDF.type:
+            if object_ in (OWL.Class, OWL.ObjectProperty, OWL.Restriction, OWL.Thing):
+                return self._is_declaration(triple)
+            return self.is_member(subject, parse_class_uri(object_))
+        if predicate == RDFS.subClassOf:
+            return self.is_subclass(parse_class_uri(subject), parse_class_uri(object_))
+        if predicate == RDFS.subPropertyOf:
+            return self.is_subproperty(
+                parse_property_uri(subject), parse_property_uri(object_)
+            )
+        if predicate == OWL.disjointWith:
+            return any(
+                isinstance(a, DisjointClasses)
+                and {class_uri(a.first), class_uri(a.second)} == {subject, object_}
+                for a in self.ontology.axioms
+            )
+        if predicate == OWL.propertyDisjointWith:
+            return any(
+                isinstance(a, DisjointObjectProperties)
+                and {property_uri(a.first), property_uri(a.second)} == {subject, object_}
+                for a in self.ontology.axioms
+            )
+        if predicate in (OWL.inverseOf, OWL.onProperty, OWL.someValuesFrom):
+            return self._is_declaration(triple)
+        # Otherwise the predicate should denote a basic property.
+        prop = parse_property_uri(predicate)
+        return (subject, object_) in self._role_pairs.get(prop, set())
+
+    def _is_declaration(self, triple: Triple) -> bool:
+        """Declaration triples hold iff they belong to the RDF representation."""
+        from repro.owl.rdf_mapping import ontology_to_graph
+
+        return triple in ontology_to_graph(self.ontology)

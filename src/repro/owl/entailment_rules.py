@@ -1,0 +1,75 @@
+"""The fixed program ``tau_owl2ql_core`` (Section 5.2).
+
+This Datalog∃,¬s,⊥ program encodes the OWL 2 QL core direct-semantics
+entailment regime once and for all: it is *fixed*, independent of the user's
+graph pattern, and can be included as a library — the key "black box"
+property stressed at the end of Section 5.2 and formalised as the
+good-candidate notion of Definition 6.3.
+
+The rules are the paper's, with one adjustment needed for the program to be
+warded exactly as Definition 6.1 requires (and as the conference version of
+the paper states them): the two reflexivity rules read the class/property
+*declarations* from the extensional ``triple`` predicate rather than from the
+derived ``type`` predicate.  The two formulations are semantically equivalent
+because declarations ``(x, rdf:type, owl:Class)`` / ``(x, rdf:type,
+owl:ObjectProperty)`` only ever come from the input graph, but reading them
+from ``type`` would make the positions ``sp[i]``/``sc[i]`` affected and break
+wardedness of the subproperty-propagation rule.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.datalog.parser import parse_program
+from repro.datalog.program import Program
+
+#: The textual form of the fixed program (kept close to the paper's layout).
+OWL2QL_CORE_RULES = """
+% --- the active domain predicate C (rule (16)) -------------------------------
+triple(?X, ?Y, ?Z) -> C(?X), C(?Y), C(?Z).
+
+% --- storing the different elements of the ontology --------------------------
+triple(?X, rdf:type, ?Y) -> type(?X, ?Y).
+triple(?X, rdfs:subPropertyOf, ?Y) -> sp(?X, ?Y).
+triple(?X, owl:inverseOf, ?Y) -> inv(?X, ?Y).
+triple(?X, rdf:type, owl:Restriction),
+    triple(?X, owl:onProperty, ?Y),
+    triple(?X, owl:someValuesFrom, owl:Thing) -> restriction(?X, ?Y).
+triple(?X, rdfs:subClassOf, ?Y) -> sc(?X, ?Y).
+triple(?X, owl:disjointWith, ?Y) -> disj(?X, ?Y).
+triple(?X, owl:propertyDisjointWith, ?Y) -> disj_property(?X, ?Y).
+triple(?X, ?Y, ?Z) -> triple1(?X, ?Y, ?Z).
+
+% --- reasoning about properties ----------------------------------------------
+sp(?X1, ?X2), inv(?Y1, ?X1), inv(?Y2, ?X2) -> sp(?Y1, ?Y2).
+triple(?X, rdf:type, owl:ObjectProperty) -> sp(?X, ?X).
+sp(?X, ?Y), sp(?Y, ?Z) -> sp(?X, ?Z).
+
+% --- reasoning about classes ---------------------------------------------------
+sp(?X1, ?X2), restriction(?Y1, ?X1), restriction(?Y2, ?X2) -> sc(?Y1, ?Y2).
+triple(?X, rdf:type, owl:Class) -> sc(?X, ?X).
+sc(?X, ?Y), sc(?Y, ?Z) -> sc(?X, ?Z).
+
+% --- reasoning about disjointness ------------------------------------------------
+disj(?X1, ?X2), sc(?Y1, ?X1), sc(?Y2, ?X2) -> disj(?Y1, ?Y2).
+disj_property(?X1, ?X2), sp(?Y1, ?X1), sp(?Y2, ?X2) -> disj_property(?Y1, ?Y2).
+
+% --- reasoning about membership assertions ----------------------------------------
+triple1(?X, ?U, ?Y), sp(?U, ?V) -> triple1(?X, ?V, ?Y).
+triple1(?X, ?U, ?Y), inv(?U, ?V) -> triple1(?Y, ?V, ?X).
+type(?X, ?Y), restriction(?Y, ?U) -> exists ?Z . triple1(?X, ?U, ?Z).
+type(?X, ?Y) -> triple1(?X, rdf:type, ?Y).
+type(?X, ?Y), sc(?Y, ?Z) -> type(?X, ?Z).
+triple1(?X, ?U, ?Y), restriction(?Z, ?U) -> type(?X, ?Z).
+
+% --- negative constraints -------------------------------------------------------------
+type(?X, ?Y), type(?X, ?Z), disj(?Y, ?Z) -> false.
+triple1(?X, ?U, ?Y), triple1(?X, ?V, ?Y), disj_property(?U, ?V) -> false.
+"""
+
+
+@lru_cache(maxsize=1)
+def owl2ql_core_program() -> Program:
+    """Parse (once) and return the fixed program ``tau_owl2ql_core``."""
+    return parse_program(OWL2QL_CORE_RULES)

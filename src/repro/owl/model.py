@@ -1,0 +1,355 @@
+"""The OWL 2 QL core ontology model (DL-Lite_R), Section 5.2.
+
+A vocabulary consists of classes (unary predicates) and properties (binary
+predicates).  A *basic property* is ``p`` or ``p⁻``; a *basic class* is a
+named class ``A`` or an unqualified existential restriction ``∃r`` over a
+basic property ``r``.  Ontologies are finite sets of the six axiom forms of
+Table 1:
+
+* ``SubClassOf(b1, b2)``
+* ``SubObjectPropertyOf(r1, r2)``
+* ``DisjointClasses(b1, b2)``
+* ``DisjointObjectProperties(r1, r2)``
+* ``ClassAssertion(b, a)``
+* ``ObjectPropertyAssertion(p, a1, a2)``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.datalog.terms import Constant
+
+
+def _as_constant(value: Union[Constant, str]) -> Constant:
+    return value if isinstance(value, Constant) else Constant(value)
+
+
+# ---------------------------------------------------------------------------
+# Basic properties
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NamedProperty:
+    """A property name ``p`` of the vocabulary."""
+
+    name: str
+
+    def inverse(self) -> "InverseProperty":
+        return InverseProperty(self.name)
+
+    def named(self) -> "NamedProperty":
+        return self
+
+    @property
+    def is_inverse(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class InverseProperty:
+    """The inverse ``p⁻`` of a property name ``p``."""
+
+    name: str
+
+    def inverse(self) -> NamedProperty:
+        return NamedProperty(self.name)
+
+    def named(self) -> NamedProperty:
+        return NamedProperty(self.name)
+
+    @property
+    def is_inverse(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"{self.name}-"
+
+
+BasicProperty = Union[NamedProperty, InverseProperty]
+
+
+def inverse(prop: Union[BasicProperty, str]) -> BasicProperty:
+    """The inverse of a basic property (``p ↦ p⁻`` and ``p⁻ ↦ p``)."""
+    if isinstance(prop, str):
+        prop = NamedProperty(prop)
+    return prop.inverse()
+
+
+# ---------------------------------------------------------------------------
+# Basic classes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NamedClass:
+    """A class name ``A`` of the vocabulary."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ExistentialClass:
+    """The unqualified existential restriction ``∃r`` over a basic property."""
+
+    property: BasicProperty
+
+    def __str__(self) -> str:
+        return f"∃{self.property}"
+
+
+BasicClass = Union[NamedClass, ExistentialClass]
+
+
+def some(prop: Union[BasicProperty, str]) -> ExistentialClass:
+    """``∃p`` (or ``∃p⁻`` when given an :class:`InverseProperty`)."""
+    if isinstance(prop, str):
+        prop = NamedProperty(prop)
+    return ExistentialClass(prop)
+
+
+def _as_class(value: Union[BasicClass, str]) -> BasicClass:
+    if isinstance(value, (NamedClass, ExistentialClass)):
+        return value
+    return NamedClass(value)
+
+
+def _as_property(value: Union[BasicProperty, str]) -> BasicProperty:
+    if isinstance(value, (NamedProperty, InverseProperty)):
+        return value
+    return NamedProperty(value)
+
+
+# ---------------------------------------------------------------------------
+# Axioms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SubClassOf:
+    """``SubClassOf(b1, b2)``: every instance of ``b1`` is an instance of ``b2``."""
+
+    sub: BasicClass
+    sup: BasicClass
+
+    def __str__(self) -> str:
+        return f"SubClassOf({self.sub}, {self.sup})"
+
+
+@dataclass(frozen=True)
+class SubObjectPropertyOf:
+    """``SubObjectPropertyOf(r1, r2)``."""
+
+    sub: BasicProperty
+    sup: BasicProperty
+
+    def __str__(self) -> str:
+        return f"SubObjectPropertyOf({self.sub}, {self.sup})"
+
+
+@dataclass(frozen=True)
+class DisjointClasses:
+    """``DisjointClasses(b1, b2)``."""
+
+    first: BasicClass
+    second: BasicClass
+
+    def __str__(self) -> str:
+        return f"DisjointClasses({self.first}, {self.second})"
+
+
+@dataclass(frozen=True)
+class DisjointObjectProperties:
+    """``DisjointObjectProperties(r1, r2)``."""
+
+    first: BasicProperty
+    second: BasicProperty
+
+    def __str__(self) -> str:
+        return f"DisjointObjectProperties({self.first}, {self.second})"
+
+
+@dataclass(frozen=True)
+class ClassAssertion:
+    """``ClassAssertion(b, a)``: the individual ``a`` belongs to the basic class ``b``."""
+
+    cls: BasicClass
+    individual: Constant
+
+    def __str__(self) -> str:
+        return f"ClassAssertion({self.cls}, {self.individual})"
+
+
+@dataclass(frozen=True)
+class ObjectPropertyAssertion:
+    """``ObjectPropertyAssertion(p, a1, a2)``: ``a1`` related to ``a2`` via ``p``."""
+
+    property: NamedProperty
+    subject: Constant
+    object: Constant
+
+    def __str__(self) -> str:
+        return f"ObjectPropertyAssertion({self.property}, {self.subject}, {self.object})"
+
+
+Axiom = Union[
+    SubClassOf,
+    SubObjectPropertyOf,
+    DisjointClasses,
+    DisjointObjectProperties,
+    ClassAssertion,
+    ObjectPropertyAssertion,
+]
+
+_TBOX_TYPES = (SubClassOf, SubObjectPropertyOf, DisjointClasses, DisjointObjectProperties)
+_ABOX_TYPES = (ClassAssertion, ObjectPropertyAssertion)
+
+
+# ---------------------------------------------------------------------------
+# Ontologies
+# ---------------------------------------------------------------------------
+
+
+class Ontology:
+    """An OWL 2 QL core ontology: a vocabulary plus a finite set of axioms."""
+
+    def __init__(
+        self,
+        axioms: Iterable[Axiom] = (),
+        classes: Iterable[Union[NamedClass, str]] = (),
+        properties: Iterable[Union[NamedProperty, str]] = (),
+    ):
+        self.axioms: List[Axiom] = []
+        self._classes: Set[NamedClass] = {
+            c if isinstance(c, NamedClass) else NamedClass(c) for c in classes
+        }
+        self._properties: Set[NamedProperty] = {
+            p if isinstance(p, NamedProperty) else NamedProperty(p) for p in properties
+        }
+        for axiom in axioms:
+            self.add(axiom)
+
+    # -- construction helpers ----------------------------------------------------
+
+    def add(self, axiom: Axiom) -> None:
+        self.axioms.append(axiom)
+        self._register_vocabulary(axiom)
+
+    def _register_vocabulary(self, axiom: Axiom) -> None:
+        def register_class(cls: BasicClass) -> None:
+            if isinstance(cls, NamedClass):
+                self._classes.add(cls)
+            else:
+                self._properties.add(cls.property.named())
+
+        def register_property(prop: BasicProperty) -> None:
+            self._properties.add(prop.named())
+
+        if isinstance(axiom, SubClassOf):
+            register_class(axiom.sub)
+            register_class(axiom.sup)
+        elif isinstance(axiom, SubObjectPropertyOf):
+            register_property(axiom.sub)
+            register_property(axiom.sup)
+        elif isinstance(axiom, DisjointClasses):
+            register_class(axiom.first)
+            register_class(axiom.second)
+        elif isinstance(axiom, DisjointObjectProperties):
+            register_property(axiom.first)
+            register_property(axiom.second)
+        elif isinstance(axiom, ClassAssertion):
+            register_class(axiom.cls)
+        elif isinstance(axiom, ObjectPropertyAssertion):
+            register_property(axiom.property)
+        else:
+            raise TypeError(f"unknown axiom {axiom!r}")
+
+    # -- convenience constructors --------------------------------------------------
+
+    def sub_class(self, sub: Union[BasicClass, str], sup: Union[BasicClass, str]) -> "Ontology":
+        self.add(SubClassOf(_as_class(sub), _as_class(sup)))
+        return self
+
+    def sub_property(
+        self, sub: Union[BasicProperty, str], sup: Union[BasicProperty, str]
+    ) -> "Ontology":
+        self.add(SubObjectPropertyOf(_as_property(sub), _as_property(sup)))
+        return self
+
+    def disjoint_classes(
+        self, first: Union[BasicClass, str], second: Union[BasicClass, str]
+    ) -> "Ontology":
+        self.add(DisjointClasses(_as_class(first), _as_class(second)))
+        return self
+
+    def disjoint_properties(
+        self, first: Union[BasicProperty, str], second: Union[BasicProperty, str]
+    ) -> "Ontology":
+        self.add(DisjointObjectProperties(_as_property(first), _as_property(second)))
+        return self
+
+    def assert_class(self, cls: Union[BasicClass, str], individual: Union[Constant, str]) -> "Ontology":
+        self.add(ClassAssertion(_as_class(cls), _as_constant(individual)))
+        return self
+
+    def assert_property(
+        self,
+        prop: Union[NamedProperty, str],
+        subject: Union[Constant, str],
+        object: Union[Constant, str],
+    ) -> "Ontology":
+        named = prop if isinstance(prop, NamedProperty) else NamedProperty(prop)
+        self.add(ObjectPropertyAssertion(named, _as_constant(subject), _as_constant(object)))
+        return self
+
+    # -- inspection -------------------------------------------------------------------
+
+    @property
+    def classes(self) -> FrozenSet[NamedClass]:
+        return frozenset(self._classes)
+
+    @property
+    def properties(self) -> FrozenSet[NamedProperty]:
+        return frozenset(self._properties)
+
+    def tbox(self) -> List[Axiom]:
+        """Terminological axioms (class/property inclusions and disjointness)."""
+        return [a for a in self.axioms if isinstance(a, _TBOX_TYPES)]
+
+    def abox(self) -> List[Axiom]:
+        """Assertional axioms (class and property assertions)."""
+        return [a for a in self.axioms if isinstance(a, _ABOX_TYPES)]
+
+    def individuals(self) -> FrozenSet[Constant]:
+        individuals: Set[Constant] = set()
+        for axiom in self.axioms:
+            if isinstance(axiom, ClassAssertion):
+                individuals.add(axiom.individual)
+            elif isinstance(axiom, ObjectPropertyAssertion):
+                individuals.add(axiom.subject)
+                individuals.add(axiom.object)
+        return frozenset(individuals)
+
+    def is_positive(self) -> bool:
+        """No ``DisjointClasses`` axioms (the notion used in Definition 6.3)."""
+        return not any(isinstance(a, DisjointClasses) for a in self.axioms)
+
+    def __len__(self) -> int:
+        return len(self.axioms)
+
+    def __iter__(self) -> Iterator[Axiom]:
+        return iter(self.axioms)
+
+    def __repr__(self) -> str:
+        return (
+            f"Ontology({len(self.axioms)} axioms, {len(self._classes)} classes, "
+            f"{len(self._properties)} properties)"
+        )

@@ -1,0 +1,236 @@
+"""Storing OWL 2 QL core ontologies as RDF graphs (Table 1 and Section 5.2).
+
+URI conventions
+---------------
+
+The paper treats ``p``, ``p⁻``, ``∃p`` and ``∃p⁻`` as four pairwise distinct
+URIs.  This module fixes the (reversible) naming convention:
+
+* a property name ``p`` is the URI ``p``;
+* its inverse ``p⁻`` is the URI ``p-`` (trailing dash);
+* the restriction ``∃r`` is the URI ``some_r`` (so ``∃p⁻`` is ``some_p-``).
+
+Declarations (Section 5.2)
+--------------------------
+
+For every class ``a``: ``(a, rdf:type, owl:Class)``.  For every property
+``p``: the twelve triples declaring ``p``/``p⁻`` as object properties, the
+mutual ``owl:inverseOf`` links, and ``∃p``/``∃p⁻`` as restrictions on
+``p``/``p⁻`` with ``owl:someValuesFrom owl:Thing`` that are also classes.
+
+Axioms (Table 1)
+----------------
+
+==============================  =========================================
+OWL 2 QL core axiom             RDF triple
+==============================  =========================================
+SubClassOf(b1, b2)              (b1, rdfs:subClassOf, b2)
+SubObjectPropertyOf(r1, r2)     (r1, rdfs:subPropertyOf, r2)
+DisjointClasses(b1, b2)         (b1, owl:disjointWith, b2)
+DisjointObjectProperties(r1,r2) (r1, owl:propertyDisjointWith, r2)
+ClassAssertion(b, a)            (a, rdf:type, b)
+ObjectPropertyAssertion(p,a,b)  (a, p, b)
+==============================  =========================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.datalog.terms import Constant
+from repro.owl.model import (
+    Axiom,
+    BasicClass,
+    BasicProperty,
+    ClassAssertion,
+    DisjointClasses,
+    DisjointObjectProperties,
+    ExistentialClass,
+    InverseProperty,
+    NamedClass,
+    NamedProperty,
+    ObjectPropertyAssertion,
+    Ontology,
+    SubClassOf,
+    SubObjectPropertyOf,
+)
+from repro.rdf.graph import RDFGraph, Triple
+from repro.rdf.namespaces import OWL, RDF, RDFS
+
+#: Prefix of the URI representing ``∃r``.
+SOME_PREFIX = "some_"
+#: Suffix of the URI representing ``p⁻``.
+INVERSE_SUFFIX = "-"
+
+_DECLARATION_TYPES = {OWL.Class, OWL.ObjectProperty, OWL.Restriction, OWL.Thing}
+_VOCAB_PREDICATES = {
+    RDFS.subClassOf,
+    RDFS.subPropertyOf,
+    OWL.disjointWith,
+    OWL.propertyDisjointWith,
+    OWL.inverseOf,
+    OWL.onProperty,
+    OWL.someValuesFrom,
+}
+
+
+# ---------------------------------------------------------------------------
+# URI encoding
+# ---------------------------------------------------------------------------
+
+
+def property_uri(prop: BasicProperty) -> Constant:
+    """The URI of a basic property (``p`` or ``p-``)."""
+    if isinstance(prop, InverseProperty):
+        return Constant(f"{prop.name}{INVERSE_SUFFIX}")
+    return Constant(prop.name)
+
+
+def class_uri(cls: BasicClass) -> Constant:
+    """The URI of a basic class (``A`` or ``some_r``)."""
+    if isinstance(cls, ExistentialClass):
+        return Constant(f"{SOME_PREFIX}{property_uri(cls.property).value}")
+    return Constant(cls.name)
+
+
+def parse_property_uri(uri: Union[Constant, str]) -> BasicProperty:
+    """The basic property denoted by a URI (inverse of :func:`property_uri`)."""
+    value = uri.value if isinstance(uri, Constant) else uri
+    if value.endswith(INVERSE_SUFFIX):
+        return InverseProperty(value[: -len(INVERSE_SUFFIX)])
+    return NamedProperty(value)
+
+
+def parse_class_uri(uri: Union[Constant, str]) -> BasicClass:
+    """The basic class denoted by a URI (inverse of :func:`class_uri`)."""
+    value = uri.value if isinstance(uri, Constant) else uri
+    if value.startswith(SOME_PREFIX):
+        return ExistentialClass(parse_property_uri(value[len(SOME_PREFIX):]))
+    return NamedClass(value)
+
+
+# ---------------------------------------------------------------------------
+# Ontology -> RDF
+# ---------------------------------------------------------------------------
+
+
+def _declaration_triples(ontology: Ontology) -> List[Triple]:
+    triples: List[Triple] = []
+    for cls in sorted(ontology.classes, key=lambda c: c.name):
+        triples.append(Triple(Constant(cls.name), RDF.type, OWL.Class))
+    for prop in sorted(ontology.properties, key=lambda p: p.name):
+        direct = property_uri(prop)
+        inverse = property_uri(prop.inverse())
+        some_direct = class_uri(ExistentialClass(prop))
+        some_inverse = class_uri(ExistentialClass(prop.inverse()))
+        triples.extend(
+            [
+                Triple(direct, RDF.type, OWL.ObjectProperty),
+                Triple(inverse, RDF.type, OWL.ObjectProperty),
+                Triple(direct, OWL.inverseOf, inverse),
+                Triple(inverse, OWL.inverseOf, direct),
+                Triple(some_direct, RDF.type, OWL.Restriction),
+                Triple(some_inverse, RDF.type, OWL.Restriction),
+                Triple(some_direct, OWL.onProperty, direct),
+                Triple(some_inverse, OWL.onProperty, inverse),
+                Triple(some_direct, OWL.someValuesFrom, OWL.Thing),
+                Triple(some_inverse, OWL.someValuesFrom, OWL.Thing),
+                Triple(some_direct, RDF.type, OWL.Class),
+                Triple(some_inverse, RDF.type, OWL.Class),
+            ]
+        )
+    return triples
+
+
+def axiom_to_triple(axiom: Axiom) -> Triple:
+    """The Table 1 translation of a single axiom."""
+    if isinstance(axiom, SubClassOf):
+        return Triple(class_uri(axiom.sub), RDFS.subClassOf, class_uri(axiom.sup))
+    if isinstance(axiom, SubObjectPropertyOf):
+        return Triple(property_uri(axiom.sub), RDFS.subPropertyOf, property_uri(axiom.sup))
+    if isinstance(axiom, DisjointClasses):
+        return Triple(class_uri(axiom.first), OWL.disjointWith, class_uri(axiom.second))
+    if isinstance(axiom, DisjointObjectProperties):
+        return Triple(
+            property_uri(axiom.first), OWL.propertyDisjointWith, property_uri(axiom.second)
+        )
+    if isinstance(axiom, ClassAssertion):
+        return Triple(axiom.individual, RDF.type, class_uri(axiom.cls))
+    if isinstance(axiom, ObjectPropertyAssertion):
+        return Triple(axiom.subject, property_uri(axiom.property), axiom.object)
+    raise TypeError(f"unknown axiom {axiom!r}")
+
+
+def ontology_to_graph(ontology: Ontology, include_declarations: bool = True) -> RDFGraph:
+    """The RDF graph representing an OWL 2 QL core ontology."""
+    graph = RDFGraph()
+    if include_declarations:
+        graph.add_all(_declaration_triples(ontology))
+    graph.add_all(axiom_to_triple(axiom) for axiom in ontology.axioms)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# RDF -> Ontology
+# ---------------------------------------------------------------------------
+
+
+def graph_to_ontology(graph: RDFGraph) -> Ontology:
+    """Read an OWL 2 QL core ontology back from its RDF representation.
+
+    The function is the left inverse of :func:`ontology_to_graph`: for every
+    ontology ``O``, ``graph_to_ontology(ontology_to_graph(O))`` contains
+    exactly the axioms of ``O`` (declaration triples carry no axioms).
+    """
+    ontology = Ontology()
+
+    # Vocabulary from declarations.
+    for triple in graph.triples(predicate=RDF.type, object=OWL.ObjectProperty):
+        uri = triple.subject
+        if isinstance(uri, Constant) and not uri.value.endswith(INVERSE_SUFFIX):
+            ontology._properties.add(NamedProperty(uri.value))
+    for triple in graph.triples(predicate=RDF.type, object=OWL.Class):
+        uri = triple.subject
+        if isinstance(uri, Constant) and not uri.value.startswith(SOME_PREFIX):
+            ontology._classes.add(NamedClass(uri.value))
+
+    property_uris = {property_uri(p) for p in ontology.properties} | {
+        property_uri(p.inverse()) for p in ontology.properties
+    }
+
+    for triple in graph:
+        subject, predicate, object_ = triple.subject, triple.predicate, triple.object
+        if not all(isinstance(t, Constant) for t in triple):
+            continue
+        if predicate == RDFS.subClassOf:
+            ontology.add(SubClassOf(parse_class_uri(subject), parse_class_uri(object_)))
+        elif predicate == RDFS.subPropertyOf:
+            ontology.add(
+                SubObjectPropertyOf(parse_property_uri(subject), parse_property_uri(object_))
+            )
+        elif predicate == OWL.disjointWith:
+            ontology.add(DisjointClasses(parse_class_uri(subject), parse_class_uri(object_)))
+        elif predicate == OWL.propertyDisjointWith:
+            ontology.add(
+                DisjointObjectProperties(
+                    parse_property_uri(subject), parse_property_uri(object_)
+                )
+            )
+        elif predicate == RDF.type:
+            if object_ in _DECLARATION_TYPES:
+                continue
+            ontology.add(ClassAssertion(parse_class_uri(object_), subject))
+        elif predicate in _VOCAB_PREDICATES:
+            continue
+        elif predicate in property_uris:
+            prop = parse_property_uri(predicate)
+            if isinstance(prop, InverseProperty):
+                ontology.add(
+                    ObjectPropertyAssertion(prop.named(), object_, subject)
+                )
+            else:
+                ontology.add(ObjectPropertyAssertion(prop, subject, object_))
+        else:
+            # A property assertion over an undeclared property: register it.
+            ontology.add(ObjectPropertyAssertion(NamedProperty(predicate.value), subject, object_))
+    return ontology

@@ -1,0 +1,29 @@
+"""RDF data model substrate.
+
+The paper works with RDF graphs over a set ``U`` of URIs (shared with the
+relational model's constants) and blank nodes from ``B`` (shared with the
+labelled nulls).  This package provides triples, an indexed
+:class:`RDFGraph`, the standard RDF/RDFS/OWL vocabulary URIs, a small
+N-Triples-style parser/serialiser, and the translation ``tau_db(G)`` into the
+relational schema ``{triple(·,·,·)}`` used throughout Section 5.
+"""
+
+from repro.rdf.namespaces import RDF, RDFS, OWL, XSD, Namespace
+from repro.rdf.graph import Triple, RDFGraph, triple_atom, graph_to_database, database_to_graph
+from repro.rdf.parser import parse_ntriples, serialize_ntriples, RDFParseError
+
+__all__ = [
+    "RDF",
+    "RDFS",
+    "OWL",
+    "XSD",
+    "Namespace",
+    "Triple",
+    "RDFGraph",
+    "triple_atom",
+    "graph_to_database",
+    "database_to_graph",
+    "parse_ntriples",
+    "serialize_ntriples",
+    "RDFParseError",
+]

@@ -1,0 +1,117 @@
+"""RDF, RDFS, OWL and XSD vocabulary URIs.
+
+Following the paper, URIs are plain constants; prefixed names such as
+``rdf:type`` are kept in their prefixed form (the paper writes them that way
+in all its rules), so the constants produced here are directly comparable to
+the ones produced by :func:`repro.datalog.parser.parse_atom` on rule text like
+``triple(?X, rdf:type, owl:Class)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.datalog.terms import Constant
+
+
+class Namespace:
+    """A prefix helper: ``OWL = Namespace("owl"); OWL.Class == Constant("owl:Class")``."""
+
+    def __init__(self, prefix: str):
+        self._prefix = prefix
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def term(self, local_name: str) -> Constant:
+        return Constant(f"{self._prefix}:{local_name}")
+
+    def __getattr__(self, local_name: str) -> Constant:
+        if local_name.startswith("_"):
+            raise AttributeError(local_name)
+        return self.term(local_name)
+
+    def __getitem__(self, local_name: str) -> Constant:
+        return self.term(local_name)
+
+    def __repr__(self) -> str:
+        return f"Namespace({self._prefix!r})"
+
+
+class _RDFNamespace(Namespace):
+    """``rdf:`` with the member used by the paper."""
+
+    @property
+    def type(self) -> Constant:  # noqa: A003 - mirrors the vocabulary name
+        return self.term("type")
+
+
+class _RDFSNamespace(Namespace):
+    @property
+    def subClassOf(self) -> Constant:
+        return self.term("subClassOf")
+
+    @property
+    def subPropertyOf(self) -> Constant:
+        return self.term("subPropertyOf")
+
+
+class _OWLNamespace(Namespace):
+    @property
+    def Class(self) -> Constant:
+        return self.term("Class")
+
+    @property
+    def ObjectProperty(self) -> Constant:
+        return self.term("ObjectProperty")
+
+    @property
+    def Restriction(self) -> Constant:
+        return self.term("Restriction")
+
+    @property
+    def onProperty(self) -> Constant:
+        return self.term("onProperty")
+
+    @property
+    def someValuesFrom(self) -> Constant:
+        return self.term("someValuesFrom")
+
+    @property
+    def Thing(self) -> Constant:
+        return self.term("Thing")
+
+    @property
+    def inverseOf(self) -> Constant:
+        return self.term("inverseOf")
+
+    @property
+    def sameAs(self) -> Constant:
+        return self.term("sameAs")
+
+    @property
+    def disjointWith(self) -> Constant:
+        return self.term("disjointWith")
+
+    @property
+    def propertyDisjointWith(self) -> Constant:
+        return self.term("propertyDisjointWith")
+
+
+RDF = _RDFNamespace("rdf")
+RDFS = _RDFSNamespace("rdfs")
+OWL = _OWLNamespace("owl")
+XSD = Namespace("xsd")
+
+
+#: The paper's rules use ``owl:someValueFrom`` (singular) in the fixed program
+#: of Section 5.2 while the motivating Section 2 triples use
+#: ``owl:someValuesFrom``; we normalise on the standard plural spelling
+#: everywhere and expose this alias for readers comparing against the text.
+SOME_VALUES_FROM = OWL.someValuesFrom
+
+
+def common_prefixes() -> Dict[str, Namespace]:
+    """The namespaces understood by the N-Triples-style parser."""
+    return {"rdf": RDF, "rdfs": RDFS, "owl": OWL, "xsd": XSD}

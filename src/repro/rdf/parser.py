@@ -1,0 +1,105 @@
+"""A small N-Triples-style reader/writer.
+
+The format accepted is a pragmatic subset of N-Triples, sufficient for the
+examples and workloads of this library::
+
+    dbUllman is_author_of "The Complete Book" .
+    dbUllman name "Jeffrey Ullman" .
+    dbAho is_coauthor_of dbUllman .
+    r1 rdf:type owl:Restriction .
+    <http://dbpedia.org/resource/Jeffrey_Ullman> owl:sameAs yagoUllman .
+
+Each line holds one triple terminated by ``.``; components are bare prefixed
+names, ``<...>`` URIs, ``"..."`` literals (stored as constants) or ``_:b``
+blank nodes.  Lines starting with ``#`` are comments.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+from repro.datalog.terms import Constant, Null
+from repro.rdf.graph import RDFGraph, Triple
+
+
+class RDFParseError(ValueError):
+    """Raised on malformed triple lines."""
+
+
+_COMPONENT_RE = re.compile(
+    r"""
+    \s*
+    (?:
+        (?P<uri><[^<>\s]*>)
+      | (?P<literal>"(?:[^"\\]|\\.)*")
+      | (?P<blank>_:[A-Za-z0-9_]+)
+      | (?P<name>[A-Za-z0-9_][A-Za-z0-9_:\-/#.]*)
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _parse_component(text: str, position: int):
+    match = _COMPONENT_RE.match(text, position)
+    if match is None:
+        raise RDFParseError(f"cannot parse a term at ...{text[position:position + 30]!r}")
+    if match.group("uri"):
+        return Constant(match.group("uri")[1:-1]), match.end()
+    if match.group("literal"):
+        raw = match.group("literal")[1:-1]
+        return Constant(raw.replace('\\"', '"')), match.end()
+    if match.group("blank"):
+        return Null(match.group("blank")), match.end()
+    name = match.group("name")
+    # Strip a trailing '.' that belongs to the statement terminator.
+    if name.endswith("."):
+        name = name[:-1]
+        return Constant(name), match.start() + len(name)
+    return Constant(name), match.end()
+
+
+def parse_ntriples(text: str) -> RDFGraph:
+    """Parse triple lines into an :class:`RDFGraph`."""
+    graph = RDFGraph()
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            subject, position = _parse_component(line, 0)
+            predicate, position = _parse_component(line, position)
+            object_, position = _parse_component(line, position)
+        except RDFParseError as error:
+            raise RDFParseError(f"line {line_number}: {error}") from error
+        remainder = line[position:].strip()
+        if remainder not in ("", "."):
+            raise RDFParseError(
+                f"line {line_number}: unexpected trailing content {remainder!r}"
+            )
+        graph.add(Triple(subject, predicate, object_))
+    return graph
+
+
+def _format_node(node) -> str:
+    if isinstance(node, Null):
+        return node.label if node.label.startswith("_:") else f"_:{node.label}"
+    value = node.value
+    if re.fullmatch(r"[A-Za-z0-9_][A-Za-z0-9_:\-/#.]*", value) and not value.startswith("http"):
+        return value
+    if value.startswith("http://") or value.startswith("https://"):
+        return f"<{value}>"
+    escaped = value.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def serialize_ntriples(graph: RDFGraph) -> str:
+    """Serialise a graph in the same line-per-triple format."""
+    lines: List[str] = []
+    for triple in sorted(graph, key=lambda t: (str(t.subject), str(t.predicate), str(t.object))):
+        lines.append(
+            f"{_format_node(triple.subject)} {_format_node(triple.predicate)} "
+            f"{_format_node(triple.object)} ."
+        )
+    return "\n".join(lines) + ("\n" if lines else "")

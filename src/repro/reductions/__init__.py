@@ -1,0 +1,53 @@
+"""Hardness reductions and expressiveness constructions of the paper.
+
+* :mod:`repro.reductions.clique` — Example 4.3: the TriQ 1.0 program deciding
+  whether a graph contains a k-clique (the paper's evidence that TriQ 1.0 can
+  express costly queries; used by the Theorem 4.4 ExpTime benchmark).
+* :mod:`repro.reductions.atm` — alternating Turing machines and the reduction
+  of Theorem 6.15 showing warded Datalog∃ *with minimal interaction* is
+  ExpTime-hard in data complexity.
+* :mod:`repro.reductions.expressiveness` — the program-expressive-power
+  witnesses of Theorems 7.1 and 7.2.
+"""
+
+from repro.reductions.clique import (
+    clique_program,
+    clique_database,
+    clique_query,
+    contains_clique,
+    contains_clique_bruteforce,
+)
+from repro.reductions.atm import (
+    AlternatingTuringMachine,
+    Transition,
+    atm_program,
+    atm_database,
+    atm_accepts_directly,
+    atm_accepts_via_datalog,
+)
+from repro.reductions.expressiveness import (
+    pep_witness_program,
+    pep_output_rules,
+    pep_witness_database,
+    warded_pep_separation,
+    datalog_pep_coexistence,
+)
+
+__all__ = [
+    "clique_program",
+    "clique_database",
+    "clique_query",
+    "contains_clique",
+    "contains_clique_bruteforce",
+    "AlternatingTuringMachine",
+    "Transition",
+    "atm_program",
+    "atm_database",
+    "atm_accepts_directly",
+    "atm_accepts_via_datalog",
+    "pep_witness_program",
+    "pep_output_rules",
+    "pep_witness_database",
+    "warded_pep_separation",
+    "datalog_pep_coexistence",
+]

@@ -1,0 +1,247 @@
+"""Alternating Turing machines and the Theorem 6.15 reduction.
+
+Theorem 6.15 shows that *warded Datalog∃ with minimal interaction* — the
+mildest conceivable relaxation of wardedness — is already ExpTime-hard in data
+complexity.  The proof simulates an alternating Turing machine ``M`` that uses
+linear space on input ``I``: a database ``D_M`` (depending on ``M`` and ``I``)
+encodes the initial configuration and the transition table, and a *fixed*
+program (independent of ``M``) generates the configuration tree through
+existential rules and propagates acceptance back to the initial configuration
+``ι``.
+
+This module provides:
+
+* a small executable ATM model (:class:`AlternatingTuringMachine`) with a
+  direct acceptance checker used as the ground truth;
+* the database ``D_M`` and the fixed program of the reduction;
+* :func:`atm_accepts_via_datalog`, which runs the reduction through the chase
+  (with an explicit depth bound, since the configuration tree is infinite) and
+  reads off ``accept(ι)``.
+
+The machines used in tests and benchmarks halt within a handful of steps —
+the construction is a lower-bound argument, so its cost is exponential by
+design and only tiny instances are feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.guards import classify_program, is_warded_with_minimal_interaction
+from repro.datalog.atoms import Atom
+from repro.datalog.chase import ChaseEngine
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.datalog.program import Program
+from repro.datalog.terms import Constant
+
+#: Cursor movements.
+LEFT = -1
+RIGHT = +1
+
+#: Reserved state names.
+ACCEPT_STATE = "s_accept"
+REJECT_STATE = "s_reject"
+
+#: The constant identifying the initial configuration.
+INITIAL_CONFIGURATION = Constant("iota")
+
+BLANK = "_"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """``delta(state, symbol) = ((s1, a1, m1), (s2, a2, m2))``.
+
+    Alternation branches over exactly two successor configurations, matching
+    the shape of the ``transition`` facts in the paper's reduction.
+    """
+
+    state: str
+    symbol: str
+    first: Tuple[str, str, int]
+    second: Tuple[str, str, int]
+
+
+@dataclass
+class AlternatingTuringMachine:
+    """A linear-space alternating Turing machine.
+
+    ``existential_states`` / ``universal_states`` partition the non-final
+    states; ``ACCEPT_STATE`` and ``REJECT_STATE`` are implicit members of the
+    state set.  A configuration with no applicable transition rejects unless
+    its state is ``ACCEPT_STATE``.
+    """
+
+    existential_states: FrozenSet[str]
+    universal_states: FrozenSet[str]
+    transitions: Tuple[Transition, ...]
+    initial_state: str
+
+    def transition_for(self, state: str, symbol: str) -> Optional[Transition]:
+        for transition in self.transitions:
+            if transition.state == state and transition.symbol == symbol:
+                return transition
+        return None
+
+    # -- direct semantics -------------------------------------------------------
+
+    def accepts(self, tape: Sequence[str], max_depth: int = 64) -> bool:
+        """Direct recursive acceptance check (the ground truth for the reduction)."""
+        return self._accepts(self.initial_state, 0, tuple(tape), max_depth)
+
+    def _accepts(self, state: str, cursor: int, tape: Tuple[str, ...], budget: int) -> bool:
+        if state == ACCEPT_STATE:
+            return True
+        if state == REJECT_STATE or budget <= 0:
+            return False
+        if cursor < 0 or cursor >= len(tape):
+            return False
+        transition = self.transition_for(state, tape[cursor])
+        if transition is None:
+            return False
+
+        def follow(branch: Tuple[str, str, int]) -> bool:
+            next_state, written, move = branch
+            next_tape = tuple(
+                written if i == cursor else symbol for i, symbol in enumerate(tape)
+            )
+            return self._accepts(next_state, cursor + move, next_tape, budget - 1)
+
+        first = follow(transition.first)
+        if state in self.existential_states:
+            return first or follow(transition.second)
+        second = follow(transition.second)
+        return first and second
+
+
+# ---------------------------------------------------------------------------
+# The fixed program of Theorem 6.15
+# ---------------------------------------------------------------------------
+
+ATM_RULES = """
+% ----- configuration tree -----------------------------------------------------
+config(?V) -> exists ?V1 ?V2 .
+    succ(?V, ?V1, ?V2), config(?V1), config(?V2), follows(?V, ?V1), follows(?V, ?V2).
+
+% ----- auxiliary join predicate keeping the rules minimally interacting -------
+state(?S, ?V), cursor(?C, ?V) -> state_cursor(?S, ?C, ?V).
+state_cursor(?S, ?C, ?V), symbol(?A, ?C, ?V) -> state_cursor_symbol(?S, ?C, ?A, ?V).
+
+% ----- transitions: four rules, one per pair of cursor moves -------------------
+transition(?S, ?A, ?S1, ?A1, mleft, ?S2, ?A2, mright),
+    succ(?V, ?V1, ?V2), state_cursor_symbol(?S, ?C, ?A, ?V),
+    next_cell(?C1, ?C), next_cell(?C, ?C2) ->
+    state(?S1, ?V1), state(?S2, ?V2),
+    symbol(?A1, ?C, ?V1), symbol(?A2, ?C, ?V2),
+    cursor(?C1, ?V1), cursor(?C2, ?V2).
+
+transition(?S, ?A, ?S1, ?A1, mright, ?S2, ?A2, mleft),
+    succ(?V, ?V1, ?V2), state_cursor_symbol(?S, ?C, ?A, ?V),
+    next_cell(?C1, ?C), next_cell(?C, ?C2) ->
+    state(?S1, ?V1), state(?S2, ?V2),
+    symbol(?A1, ?C, ?V1), symbol(?A2, ?C, ?V2),
+    cursor(?C2, ?V1), cursor(?C1, ?V2).
+
+transition(?S, ?A, ?S1, ?A1, mleft, ?S2, ?A2, mleft),
+    succ(?V, ?V1, ?V2), state_cursor_symbol(?S, ?C, ?A, ?V),
+    next_cell(?C1, ?C) ->
+    state(?S1, ?V1), state(?S2, ?V2),
+    symbol(?A1, ?C, ?V1), symbol(?A2, ?C, ?V2),
+    cursor(?C1, ?V1), cursor(?C1, ?V2).
+
+transition(?S, ?A, ?S1, ?A1, mright, ?S2, ?A2, mright),
+    succ(?V, ?V1, ?V2), state_cursor_symbol(?S, ?C, ?A, ?V),
+    next_cell(?C, ?C2) ->
+    state(?S1, ?V1), state(?S2, ?V2),
+    symbol(?A1, ?C, ?V1), symbol(?A2, ?C, ?V2),
+    cursor(?C2, ?V1), cursor(?C2, ?V2).
+
+% ----- cells not under the cursor keep their symbols ----------------------------
+state_cursor_symbol(?S, ?C, ?A, ?V), neq(?C, ?Cp), symbol(?Ap, ?Cp, ?V) ->
+    next_symbol(?Cp, ?Ap, ?V).
+follows(?V, ?Vp), next_symbol(?C, ?A, ?V) -> symbol(?A, ?C, ?Vp).
+
+% ----- acceptance ----------------------------------------------------------------
+state(s_accept, ?V) -> accept(?V).
+follows(?V, ?Vp), state(?S, ?V) -> previous_state(?S, ?Vp).
+succ(?V, ?V1, ?V2), accept(?V2) -> sibling_accept(?V1).
+succ(?V, ?V1, ?V2), accept(?V1) -> sibling_accept(?V2).
+accept(?V), sibling_accept(?V) -> both_siblings_accept(?V).
+previous_state(?S, ?V), exists_state(?S), accept(?V) -> previous_accept(?V).
+previous_state(?S, ?V), forall_state(?S), both_siblings_accept(?V) -> previous_accept(?V).
+follows(?V, ?Vp), previous_accept(?Vp) -> accept(?V).
+"""
+
+
+def atm_program() -> Program:
+    """The fixed program of the reduction (independent of the machine)."""
+    return parse_program(ATM_RULES)
+
+
+def atm_database(machine: AlternatingTuringMachine, tape: Sequence[str]) -> Database:
+    """``D_M``: initial configuration, tape layout and transition table."""
+    if not tape:
+        raise ValueError("the input tape must contain at least one cell")
+    database = Database()
+    database.add(Atom("config", (INITIAL_CONFIGURATION,)))
+    database.add(Atom("state", (Constant(machine.initial_state), INITIAL_CONFIGURATION)))
+    database.add(Atom("cursor", (Constant("c1"), INITIAL_CONFIGURATION)))
+    for index, symbol in enumerate(tape, start=1):
+        database.add(
+            Atom("symbol", (Constant(symbol), Constant(f"c{index}"), INITIAL_CONFIGURATION))
+        )
+    for index in range(1, len(tape)):
+        database.add(Atom("next_cell", (Constant(f"c{index}"), Constant(f"c{index + 1}"))))
+    for i in range(1, len(tape) + 1):
+        for j in range(1, len(tape) + 1):
+            if i != j:
+                database.add(Atom("neq", (Constant(f"c{i}"), Constant(f"c{j}"))))
+    for state in machine.existential_states:
+        database.add(Atom("exists_state", (Constant(state),)))
+    for state in machine.universal_states:
+        database.add(Atom("forall_state", (Constant(state),)))
+    for transition in machine.transitions:
+        database.add(
+            Atom(
+                "transition",
+                (
+                    Constant(transition.state),
+                    Constant(transition.symbol),
+                    Constant(transition.first[0]),
+                    Constant(transition.first[1]),
+                    Constant("mleft" if transition.first[2] == LEFT else "mright"),
+                    Constant(transition.second[0]),
+                    Constant(transition.second[1]),
+                    Constant("mleft" if transition.second[2] == LEFT else "mright"),
+                ),
+            )
+        )
+    return database
+
+
+def atm_accepts_directly(machine: AlternatingTuringMachine, tape: Sequence[str], max_depth: int = 64) -> bool:
+    """Ground truth via the direct recursive semantics."""
+    return machine.accepts(tape, max_depth)
+
+
+def atm_accepts_via_datalog(
+    machine: AlternatingTuringMachine,
+    tape: Sequence[str],
+    depth: int = 6,
+    max_steps: int = 500_000,
+) -> bool:
+    """Run the Theorem 6.15 reduction through the chase and check ``accept(ι)``.
+
+    The configuration-tree rule makes the full chase infinite, so the chase is
+    cut off at null depth ``depth`` (configurations reachable in at most
+    ``depth`` machine steps).  The answer is therefore exact whenever the
+    machine halts within ``depth`` steps on every branch — which is how the
+    test machines are chosen.
+    """
+    program = atm_program()
+    database = atm_database(machine, tape)
+    engine = ChaseEngine(max_steps=max_steps, max_null_depth=depth, on_limit="stop")
+    result = engine.chase(database, program)
+    return Atom("accept", (INITIAL_CONFIGURATION,)) in result.instance

@@ -1,0 +1,132 @@
+"""Example 4.3: deciding k-cliques in TriQ 1.0.
+
+The paper encodes an undirected graph ``G = (V, E)`` and an integer ``k`` in a
+database::
+
+    { node0(v) | v ∈ V } ∪ { edge0(v, w) | (v, w) ∈ E } ∪ { succ0(0,1), ..., succ0(k-1, k) }
+
+and gives a fixed-per-k TriQ 1.0 query ``Q = (Pi_aux ∪ Pi_clique, yes)`` such
+that ``G`` contains a k-clique iff ``Q(D) ≠ ∅``.  The program builds, through
+existential rules, a tree of mappings ``[1, k] → V`` (of size ``n^k``) and
+checks that some leaf maps onto a clique — which is why evaluation of TriQ 1.0
+queries is ExpTime-hard in data complexity (Theorem 4.4; the benchmark
+``bench_theorem44_exptime.py`` measures the blow-up empirically).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, Sequence, Set, Tuple
+
+from repro.core.triq import TriQQuery
+from repro.datalog.atoms import Atom
+from repro.datalog.chase import ChaseEngine
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.datalog.program import Program
+from repro.datalog.semantics import INCONSISTENT
+from repro.datalog.terms import Constant
+
+#: The paper's program, verbatim (Pi_aux followed by Pi_clique).
+CLIQUE_RULES = """
+% ----- Pi_aux: the linear order on [0, k] ------------------------------------
+succ0(?X, ?Y) -> less0(?X, ?Y).
+succ0(?X, ?Y), less0(?Y, ?Z) -> less0(?X, ?Z).
+
+less0(?X, ?Y) -> not_max(?X).
+less0(?X, ?Y) -> not_min(?Y).
+less0(?X, ?Y), not not_min(?X) -> zero0(?X).
+less0(?Y, ?X), not not_max(?X) -> max0(?X).
+
+% ----- Pi_aux: copy the database into the schema used by Pi_clique ------------
+node0(?X) -> node(?X).
+edge0(?X, ?Y) -> edge(?X, ?Y).
+succ0(?X, ?Y) -> succ(?X, ?Y).
+less0(?X, ?Y) -> less(?X, ?Y).
+zero0(?X) -> zero(?X).
+max0(?X) -> max(?X).
+
+% ----- Pi_clique: the tree of mappings [1, i] -> V ------------------------------
+zero(?X) -> exists ?Y . ism(?Y, ?X).
+ism(?X, ?Y), succ(?Y, ?Z), node(?W) ->
+    exists ?U . next(?X, ?W, ?U), ism(?U, ?Z), map(?U, ?Z, ?W).
+next(?X, ?Y, ?Z), map(?X, ?U, ?V) -> map(?Z, ?U, ?V).
+
+% ----- Pi_clique: detecting non-cliques and accepting ----------------------------
+less(?X, ?Y), map(?Z, ?X, ?W), map(?Z, ?Y, ?U), not edge(?W, ?U) -> noclique(?Z).
+less(?X, ?Y), map(?Z, ?X, ?W), map(?Z, ?Y, ?W) -> noclique(?Z).
+ism(?X, ?Y), max(?Y), not noclique(?X) -> yes().
+"""
+
+
+def clique_program() -> Program:
+    """The paper's program ``Pi_aux ∪ Pi_clique`` (independent of the data)."""
+    return parse_program(CLIQUE_RULES)
+
+
+def clique_query(validate: bool = True) -> TriQQuery:
+    """The TriQ 1.0 query ``(Pi, yes)`` of Example 4.3."""
+    return TriQQuery(clique_program(), "yes", output_arity=0, validate=validate)
+
+
+def clique_database(edges: Iterable[Tuple[str, str]], k: int) -> Database:
+    """Encode an undirected graph and the integer ``k`` as the database ``D``.
+
+    Edges are given over arbitrary hashable vertex names; both orientations of
+    every edge are stored since the graph is undirected.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    database = Database()
+    vertices: Set[str] = set()
+    for source, target in edges:
+        vertices.add(str(source))
+        vertices.add(str(target))
+        database.add(Atom("edge0", (Constant(str(source)), Constant(str(target)))))
+        database.add(Atom("edge0", (Constant(str(target)), Constant(str(source)))))
+    for vertex in vertices:
+        database.add(Atom("node0", (Constant(vertex),)))
+    for i in range(k):
+        database.add(Atom("succ0", (Constant(str(i)), Constant(str(i + 1)))))
+    return database
+
+
+def contains_clique(
+    edges: Iterable[Tuple[str, str]],
+    k: int,
+    max_steps: int = 2_000_000,
+) -> bool:
+    """Decide k-clique containment by evaluating the Example 4.3 query.
+
+    The evaluation materialises the full mapping tree (``n^k`` leaves), so
+    keep ``n`` and ``k`` small — the exponential cost is the point of the
+    construction, not an implementation accident.
+    """
+    edges = list(edges)
+    database = clique_database(edges, k)
+    query = clique_query()
+    engine = ChaseEngine(max_steps=max_steps, on_limit="raise")
+    result = query.evaluate(database, engine)
+    if result is INCONSISTENT:
+        raise RuntimeError("the clique program has no constraints; ⊤ is impossible")
+    return () in result
+
+
+def contains_clique_bruteforce(edges: Iterable[Tuple[str, str]], k: int) -> bool:
+    """Reference implementation: enumerate all k-subsets of vertices."""
+    adjacency: Set[Tuple[str, str]] = set()
+    vertices: Set[str] = set()
+    for source, target in edges:
+        source, target = str(source), str(target)
+        vertices.add(source)
+        vertices.add(target)
+        adjacency.add((source, target))
+        adjacency.add((target, source))
+    if k == 1:
+        return bool(vertices)
+    for subset in itertools.combinations(sorted(vertices), k):
+        if all(
+            (a, b) in adjacency for a, b in itertools.combinations(subset, 2)
+        ):
+            return True
+    return False

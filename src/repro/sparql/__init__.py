@@ -1,0 +1,66 @@
+"""SPARQL algebra substrate (Section 3.1).
+
+Graph patterns are built from basic graph patterns (sets of triple patterns
+over URIs, blank nodes and variables) with the binary operators AND, UNION,
+OPT and FILTER, plus SELECT projection, following the Pérez–Arenas–Gutierrez
+algebraic formalisation the paper adopts.  The evaluator implements the
+mapping-based semantics ``⟦P⟧_G`` literally.
+"""
+
+from repro.sparql.ast import (
+    TriplePattern,
+    BGP,
+    And,
+    Union,
+    Opt,
+    Filter,
+    Select,
+    GraphPattern,
+    Condition,
+    Bound,
+    EqualsConstant,
+    EqualsVariable,
+    Not,
+    OrCondition,
+    AndCondition,
+)
+from repro.sparql.mappings import (
+    Mapping,
+    EMPTY_MAPPING,
+    compatible,
+    join,
+    union,
+    minus,
+    left_outer_join,
+)
+from repro.sparql.evaluator import evaluate_pattern
+from repro.sparql.parser import parse_sparql, SPARQLParseError, SelectQuery
+
+__all__ = [
+    "TriplePattern",
+    "BGP",
+    "And",
+    "Union",
+    "Opt",
+    "Filter",
+    "Select",
+    "GraphPattern",
+    "Condition",
+    "Bound",
+    "EqualsConstant",
+    "EqualsVariable",
+    "Not",
+    "OrCondition",
+    "AndCondition",
+    "Mapping",
+    "EMPTY_MAPPING",
+    "compatible",
+    "join",
+    "union",
+    "minus",
+    "left_outer_join",
+    "evaluate_pattern",
+    "parse_sparql",
+    "SPARQLParseError",
+    "SelectQuery",
+]

@@ -1,0 +1,361 @@
+"""Abstract syntax of SPARQL graph patterns and built-in conditions (Section 3.1).
+
+The grammar implemented is exactly the paper's:
+
+* built-in conditions: ``bound(?X)``, ``?X = c``, ``?X = ?Y`` closed under
+  ``¬``, ``∨`` and ``∧``;
+* graph patterns: basic graph patterns (finite sets of triple patterns over
+  ``U ∪ B ∪ V``), ``(P1 AND P2)``, ``(P1 UNION P2)``, ``(P1 OPT P2)``,
+  ``(P FILTER R)`` with ``var(R) ⊆ var(P)``, and ``(SELECT W P)``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Sequence, Tuple, Union as TypingUnion
+
+from repro.datalog.terms import Constant, Null, Term, Variable
+
+PatternTerm = TypingUnion[Constant, Null, Variable]
+
+
+# ---------------------------------------------------------------------------
+# Built-in conditions
+# ---------------------------------------------------------------------------
+
+
+class Condition:
+    """Base class of built-in conditions used in FILTER."""
+
+    def variables(self) -> FrozenSet[Variable]:
+        raise NotImplementedError
+
+
+class Bound(Condition):
+    """``bound(?X)``."""
+
+    def __init__(self, variable: Variable):
+        self.variable = variable
+
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset({self.variable})
+
+    def __repr__(self) -> str:
+        return f"Bound({self.variable})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Bound) and self.variable == other.variable
+
+    def __hash__(self) -> int:
+        return hash((Bound, self.variable))
+
+
+class EqualsConstant(Condition):
+    """``?X = c``."""
+
+    def __init__(self, variable: Variable, constant: Constant):
+        self.variable = variable
+        self.constant = constant
+
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset({self.variable})
+
+    def __repr__(self) -> str:
+        return f"EqualsConstant({self.variable}, {self.constant})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, EqualsConstant)
+            and self.variable == other.variable
+            and self.constant == other.constant
+        )
+
+    def __hash__(self) -> int:
+        return hash((EqualsConstant, self.variable, self.constant))
+
+
+class EqualsVariable(Condition):
+    """``?X = ?Y``."""
+
+    def __init__(self, left: Variable, right: Variable):
+        self.left = left
+        self.right = right
+
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset({self.left, self.right})
+
+    def __repr__(self) -> str:
+        return f"EqualsVariable({self.left}, {self.right})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, EqualsVariable)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash((EqualsVariable, self.left, self.right))
+
+
+class Not(Condition):
+    """``(¬ R)``."""
+
+    def __init__(self, condition: Condition):
+        self.condition = condition
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.condition.variables()
+
+    def __repr__(self) -> str:
+        return f"Not({self.condition!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and self.condition == other.condition
+
+    def __hash__(self) -> int:
+        return hash((Not, self.condition))
+
+
+class OrCondition(Condition):
+    """``(R1 ∨ R2)``."""
+
+    def __init__(self, left: Condition, right: Condition):
+        self.left = left
+        self.right = right
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self) -> str:
+        return f"OrCondition({self.left!r}, {self.right!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, OrCondition)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash((OrCondition, self.left, self.right))
+
+
+class AndCondition(Condition):
+    """``(R1 ∧ R2)``."""
+
+    def __init__(self, left: Condition, right: Condition):
+        self.left = left
+        self.right = right
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self) -> str:
+        return f"AndCondition({self.left!r}, {self.right!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, AndCondition)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash((AndCondition, self.left, self.right))
+
+
+# ---------------------------------------------------------------------------
+# Graph patterns
+# ---------------------------------------------------------------------------
+
+
+def _as_pattern_term(value) -> PatternTerm:
+    if isinstance(value, (Constant, Null, Variable)):
+        return value
+    if isinstance(value, str):
+        if value.startswith("?"):
+            return Variable(value)
+        if value.startswith("_:"):
+            return Null(value)
+        return Constant(value)
+    raise TypeError(f"invalid triple-pattern term {value!r}")
+
+
+class TriplePattern:
+    """A triple pattern over ``(U ∪ B ∪ V)^3``."""
+
+    __slots__ = ("subject", "predicate", "object")
+
+    def __init__(self, subject, predicate, object):
+        self.subject = _as_pattern_term(subject)
+        self.predicate = _as_pattern_term(predicate)
+        self.object = _as_pattern_term(object)
+
+    def __iter__(self):
+        return iter((self.subject, self.predicate, self.object))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TriplePattern) and tuple(self) == tuple(other)
+
+    def __hash__(self) -> int:
+        return hash((TriplePattern, self.subject, self.predicate, self.object))
+
+    def __repr__(self) -> str:
+        return f"TriplePattern({self.subject}, {self.predicate}, {self.object})"
+
+    def __str__(self) -> str:
+        return f"({self.subject}, {self.predicate}, {self.object})"
+
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset(t for t in self if isinstance(t, Variable))
+
+    def blank_nodes(self) -> FrozenSet[Null]:
+        return frozenset(t for t in self if isinstance(t, Null))
+
+
+class GraphPattern:
+    """Base class of SPARQL graph patterns."""
+
+    def variables(self) -> FrozenSet[Variable]:
+        """``var(P)``: the variables occurring in the pattern."""
+        raise NotImplementedError
+
+
+class BGP(GraphPattern):
+    """A basic graph pattern: a finite set of triple patterns."""
+
+    def __init__(self, patterns: Iterable[TriplePattern]):
+        self.patterns: Tuple[TriplePattern, ...] = tuple(patterns)
+
+    @classmethod
+    def of(cls, *triples) -> "BGP":
+        """``BGP.of(("?X", "name", "?Y"), ...)``."""
+        return cls(TriplePattern(*t) if not isinstance(t, TriplePattern) else t for t in triples)
+
+    def variables(self) -> FrozenSet[Variable]:
+        return frozenset(v for p in self.patterns for v in p.variables())
+
+    def blank_nodes(self) -> FrozenSet[Null]:
+        return frozenset(b for p in self.patterns for b in p.blank_nodes())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BGP) and set(self.patterns) == set(other.patterns)
+
+    def __hash__(self) -> int:
+        return hash((BGP, frozenset(self.patterns)))
+
+    def __repr__(self) -> str:
+        return f"BGP({list(self.patterns)!r})"
+
+    def __str__(self) -> str:
+        return "{ " + " . ".join(str(p) for p in self.patterns) + " }"
+
+
+class And(GraphPattern):
+    """``(P1 AND P2)``."""
+
+    def __init__(self, left: GraphPattern, right: GraphPattern):
+        self.left = left
+        self.right = right
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self) -> str:
+        return f"And({self.left!r}, {self.right!r})"
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+class Union(GraphPattern):
+    """``(P1 UNION P2)``."""
+
+    def __init__(self, left: GraphPattern, right: GraphPattern):
+        self.left = left
+        self.right = right
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self) -> str:
+        return f"Union({self.left!r}, {self.right!r})"
+
+    def __str__(self) -> str:
+        return f"({self.left} UNION {self.right})"
+
+
+class Opt(GraphPattern):
+    """``(P1 OPT P2)``."""
+
+    def __init__(self, left: GraphPattern, right: GraphPattern):
+        self.left = left
+        self.right = right
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self) -> str:
+        return f"Opt({self.left!r}, {self.right!r})"
+
+    def __str__(self) -> str:
+        return f"({self.left} OPT {self.right})"
+
+
+class Filter(GraphPattern):
+    """``(P FILTER R)`` with the well-formedness condition ``var(R) ⊆ var(P)``."""
+
+    def __init__(self, pattern: GraphPattern, condition: Condition):
+        if not condition.variables() <= pattern.variables():
+            raise ValueError(
+                "FILTER condition mentions variables not occurring in the pattern"
+            )
+        self.pattern = pattern
+        self.condition = condition
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.pattern.variables()
+
+    def __repr__(self) -> str:
+        return f"Filter({self.pattern!r}, {self.condition!r})"
+
+    def __str__(self) -> str:
+        return f"({self.pattern} FILTER {self.condition!r})"
+
+
+class Select(GraphPattern):
+    """``(SELECT W P)``: projection to a finite set of variables."""
+
+    def __init__(self, variables: Iterable[Variable], pattern: GraphPattern):
+        self.projection: FrozenSet[Variable] = frozenset(
+            v if isinstance(v, Variable) else Variable(v) for v in variables
+        )
+        self.pattern = pattern
+
+    def variables(self) -> FrozenSet[Variable]:
+        return self.projection & self.pattern.variables() | self.projection
+
+    def __repr__(self) -> str:
+        return f"Select({sorted(self.projection)!r}, {self.pattern!r})"
+
+    def __str__(self) -> str:
+        names = " ".join(str(v) for v in sorted(self.projection))
+        return f"(SELECT {names} {self.pattern})"
+
+
+def walk_basic_patterns(pattern: GraphPattern):
+    """Yield every basic graph pattern occurring in ``pattern`` (left-to-right)."""
+    if isinstance(pattern, BGP):
+        yield pattern
+        return
+    if isinstance(pattern, (And, Union, Opt)):
+        yield from walk_basic_patterns(pattern.left)
+        yield from walk_basic_patterns(pattern.right)
+        return
+    if isinstance(pattern, Filter):
+        yield from walk_basic_patterns(pattern.pattern)
+        return
+    if isinstance(pattern, Select):
+        yield from walk_basic_patterns(pattern.pattern)
+        return
+    raise TypeError(f"unknown graph pattern {pattern!r}")

@@ -1,0 +1,140 @@
+"""The SPARQL evaluation function ``⟦P⟧_G`` (Section 3.1).
+
+The semantics is defined recursively on the pattern structure:
+
+1. basic graph patterns: all mappings ``mu`` with ``dom(mu) = var(P)`` such
+   that some assignment ``h: B -> U`` of the blank nodes makes
+   ``mu(h(P)) ⊆ G``;
+2. ``⟦P1 AND P2⟧ = ⟦P1⟧ ⋈ ⟦P2⟧``;
+3. ``⟦P1 UNION P2⟧ = ⟦P1⟧ ∪ ⟦P2⟧``;
+4. ``⟦P1 OPT P2⟧ = ⟦P1⟧ ⟕ ⟦P2⟧``;
+5. ``⟦P FILTER R⟧ = { mu ∈ ⟦P⟧ | mu ⊨ R }``;
+6. ``⟦SELECT W P⟧ = { mu|_W | mu ∈ ⟦P⟧ }``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set, Union as TypingUnion
+
+from repro.datalog.terms import Constant, Null, Variable
+from repro.rdf.graph import RDFGraph, Triple
+from repro.sparql.ast import (
+    And,
+    AndCondition,
+    BGP,
+    Bound,
+    Condition,
+    EqualsConstant,
+    EqualsVariable,
+    Filter,
+    GraphPattern,
+    Not,
+    Opt,
+    OrCondition,
+    Select,
+    TriplePattern,
+    Union,
+)
+from repro.sparql.mappings import Mapping, join, left_outer_join, minus, union
+
+
+def satisfies(mapping: Mapping, condition: Condition) -> bool:
+    """``mu ⊨ R`` for built-in conditions (Section 3.1)."""
+    if isinstance(condition, Bound):
+        return condition.variable in mapping
+    if isinstance(condition, EqualsConstant):
+        value = mapping.get(condition.variable)
+        return value is not None and value == condition.constant
+    if isinstance(condition, EqualsVariable):
+        left = mapping.get(condition.left)
+        right = mapping.get(condition.right)
+        return left is not None and right is not None and left == right
+    if isinstance(condition, Not):
+        return not satisfies(mapping, condition.condition)
+    if isinstance(condition, OrCondition):
+        return satisfies(mapping, condition.left) or satisfies(mapping, condition.right)
+    if isinstance(condition, AndCondition):
+        return satisfies(mapping, condition.left) and satisfies(mapping, condition.right)
+    raise TypeError(f"unknown built-in condition {condition!r}")
+
+
+def _match_triple_pattern(
+    pattern: TriplePattern,
+    graph: RDFGraph,
+    binding: Dict[TypingUnion[Variable, Null], Constant],
+) -> Iterator[Dict[TypingUnion[Variable, Null], Constant]]:
+    """Extend ``binding`` in all ways that map the triple pattern into the graph.
+
+    Variables and blank nodes are treated uniformly here; the caller later
+    projects blank-node bindings away (they play the role of existential
+    variables in basic graph patterns).
+    """
+
+    def resolve(term):
+        if isinstance(term, (Variable, Null)):
+            return binding.get(term)
+        return term
+
+    subject = resolve(pattern.subject)
+    predicate = resolve(pattern.predicate)
+    object_ = resolve(pattern.object)
+    for triple in graph.triples(subject, predicate, object_):
+        extension = dict(binding)
+        consistent = True
+        for pattern_term, value in zip(pattern, triple):
+            if isinstance(pattern_term, (Variable, Null)):
+                bound = extension.get(pattern_term)
+                if bound is None:
+                    extension[pattern_term] = value
+                elif bound != value:
+                    consistent = False
+                    break
+            elif pattern_term != value:
+                consistent = False
+                break
+        if consistent:
+            yield extension
+
+
+def evaluate_bgp(bgp: BGP, graph: RDFGraph) -> Set[Mapping]:
+    """Case (1) of the semantics: basic graph patterns."""
+    bindings: list = [{}]
+    for pattern in bgp.patterns:
+        bindings = [
+            extension
+            for binding in bindings
+            for extension in _match_triple_pattern(pattern, graph, binding)
+        ]
+    variables = bgp.variables()
+    results: Set[Mapping] = set()
+    for binding in bindings:
+        results.add(
+            Mapping({v: c for v, c in binding.items() if isinstance(v, Variable) and v in variables})
+        )
+    return results
+
+
+def evaluate_pattern(pattern: GraphPattern, graph: RDFGraph) -> Set[Mapping]:
+    """``⟦P⟧_G``: the set of mappings resulting from evaluating ``P`` over ``G``."""
+    if isinstance(pattern, BGP):
+        return evaluate_bgp(pattern, graph)
+    if isinstance(pattern, And):
+        return join(evaluate_pattern(pattern.left, graph), evaluate_pattern(pattern.right, graph))
+    if isinstance(pattern, Union):
+        return union(evaluate_pattern(pattern.left, graph), evaluate_pattern(pattern.right, graph))
+    if isinstance(pattern, Opt):
+        return left_outer_join(
+            evaluate_pattern(pattern.left, graph), evaluate_pattern(pattern.right, graph)
+        )
+    if isinstance(pattern, Filter):
+        return {
+            mapping
+            for mapping in evaluate_pattern(pattern.pattern, graph)
+            if satisfies(mapping, pattern.condition)
+        }
+    if isinstance(pattern, Select):
+        return {
+            mapping.restrict(pattern.projection)
+            for mapping in evaluate_pattern(pattern.pattern, graph)
+        }
+    raise TypeError(f"unknown graph pattern {pattern!r}")

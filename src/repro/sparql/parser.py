@@ -1,0 +1,300 @@
+"""A compact concrete syntax for SPARQL SELECT queries.
+
+The parser accepts the fragment of SPARQL used in the paper's examples::
+
+    SELECT ?X
+    WHERE {
+      ?Y is_author_of ?Z .
+      ?Y name ?X
+    }
+
+    SELECT ?X
+    WHERE {
+      { ?Y is_author_of ?Z . ?Y name ?X }
+      UNION
+      { ?Y is_author_of ?Z . ?Y owl:sameAs ?W . ?W name ?X }
+    }
+
+    SELECT ?X ?N WHERE { ?X name ?N OPTIONAL { ?X phone ?P } FILTER (bound(?N)) }
+
+Supported: basic graph patterns (with blank nodes ``_:B``), nested groups,
+``UNION``, ``OPTIONAL``, ``FILTER`` with ``bound(?X)``, ``?X = ?Y``,
+``?X = const``, ``!``, ``&&`` and ``||``.  The result is a
+:class:`SelectQuery` carrying the projected variables and the algebraic
+pattern of :mod:`repro.sparql.ast`; the operator nesting follows the
+Pérez–Arenas–Gutierrez algebra the paper uses (group elements are folded left
+to right with AND, OPTIONAL attaches to the group built so far, FILTER applies
+to the whole group).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.datalog.terms import Constant, Null, Variable
+from repro.sparql.ast import (
+    And,
+    AndCondition,
+    BGP,
+    Bound,
+    Condition,
+    EqualsConstant,
+    EqualsVariable,
+    Filter,
+    GraphPattern,
+    Not,
+    Opt,
+    OrCondition,
+    Select,
+    TriplePattern,
+    Union,
+)
+
+
+class SPARQLParseError(ValueError):
+    """Raised on malformed query text."""
+
+
+@dataclass
+class SelectQuery:
+    """A parsed ``SELECT`` query: projected variables plus the body pattern."""
+
+    projection: Tuple[Variable, ...]
+    pattern: GraphPattern
+
+    def algebra(self) -> GraphPattern:
+        """The full algebraic form ``(SELECT W body)``."""
+        return Select(self.projection, self.pattern)
+
+
+class _Token(NamedTuple):
+    kind: str
+    value: str
+
+
+_TOKEN_SPEC = [
+    ("WS", r"[ \t\r\n]+"),
+    ("COMMENT", r"#[^\n]*"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("DOT", r"\."),
+    ("ANDAND", r"&&"),
+    ("OROR", r"\|\|"),
+    ("BANG", r"!"),
+    ("EQUALS", r"="),
+    ("VARIABLE", r"\?[A-Za-z_][A-Za-z0-9_]*"),
+    ("BLANK", r"_:[A-Za-z0-9_]+"),
+    ("STRING", r'"[^"]*"'),
+    ("URIREF", r"<[^<>\s]*>"),
+    ("NAME", r"[A-Za-z0-9_][A-Za-z0-9_:\-/#]*"),
+    ("MISMATCH", r"."),
+]
+_TOKEN_RE = re.compile("|".join(f"(?P<{n}>{p})" for n, p in _TOKEN_SPEC))
+
+_KEYWORDS = {"SELECT", "WHERE", "UNION", "OPTIONAL", "FILTER", "BOUND"}
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup or "MISMATCH"
+        value = match.group()
+        if kind in ("WS", "COMMENT"):
+            continue
+        if kind == "MISMATCH":
+            raise SPARQLParseError(f"unexpected character {value!r}")
+        if kind == "NAME" and value.upper() in _KEYWORDS:
+            tokens.append(_Token(value.upper(), value))
+            continue
+        tokens.append(_Token(kind, value))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: Sequence[_Token]):
+        self._tokens = list(tokens)
+        self._index = 0
+
+    def _peek(self) -> Optional[_Token]:
+        return self._tokens[self._index] if self._index < len(self._tokens) else None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise SPARQLParseError("unexpected end of query")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            found = token.kind if token else "end of query"
+            raise SPARQLParseError(f"expected {kind}, found {found}")
+        return self._advance()
+
+    def _accept(self, kind: str) -> Optional[_Token]:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            return self._advance()
+        return None
+
+    # -- terms -------------------------------------------------------------------
+
+    def _parse_term(self):
+        token = self._advance()
+        if token.kind == "VARIABLE":
+            return Variable(token.value)
+        if token.kind == "BLANK":
+            return Null(token.value)
+        if token.kind == "STRING":
+            return Constant(token.value[1:-1])
+        if token.kind == "URIREF":
+            return Constant(token.value[1:-1])
+        if token.kind == "NAME":
+            return Constant(token.value)
+        raise SPARQLParseError(f"expected a term, found {token.kind} {token.value!r}")
+
+    def _parse_constant_or_variable(self):
+        token = self._peek()
+        if token is None:
+            raise SPARQLParseError("unexpected end of query in FILTER")
+        if token.kind == "VARIABLE":
+            return Variable(self._advance().value)
+        return self._parse_term()
+
+    # -- conditions -----------------------------------------------------------------
+
+    def _parse_condition(self) -> Condition:
+        return self._parse_or_condition()
+
+    def _parse_or_condition(self) -> Condition:
+        left = self._parse_and_condition()
+        while self._accept("OROR"):
+            left = OrCondition(left, self._parse_and_condition())
+        return left
+
+    def _parse_and_condition(self) -> Condition:
+        left = self._parse_unary_condition()
+        while self._accept("ANDAND"):
+            left = AndCondition(left, self._parse_unary_condition())
+        return left
+
+    def _parse_unary_condition(self) -> Condition:
+        if self._accept("BANG"):
+            return Not(self._parse_unary_condition())
+        if self._accept("LPAREN"):
+            condition = self._parse_condition()
+            self._expect("RPAREN")
+            return condition
+        if self._accept("BOUND"):
+            self._expect("LPAREN")
+            variable = Variable(self._expect("VARIABLE").value)
+            self._expect("RPAREN")
+            return Bound(variable)
+        left = self._parse_constant_or_variable()
+        self._expect("EQUALS")
+        right = self._parse_constant_or_variable()
+        if isinstance(left, Variable) and isinstance(right, Variable):
+            return EqualsVariable(left, right)
+        if isinstance(left, Variable) and isinstance(right, Constant):
+            return EqualsConstant(left, right)
+        if isinstance(left, Constant) and isinstance(right, Variable):
+            return EqualsConstant(right, left)
+        raise SPARQLParseError("a FILTER equality needs at least one variable")
+
+    # -- patterns ----------------------------------------------------------------------
+
+    def _parse_group(self) -> GraphPattern:
+        self._expect("LBRACE")
+        current: Optional[GraphPattern] = None
+        pending_triples: List[TriplePattern] = []
+        pending_filters: List[Condition] = []
+
+        def flush_triples() -> None:
+            nonlocal current
+            if pending_triples:
+                bgp = BGP(tuple(pending_triples))
+                pending_triples.clear()
+                current = bgp if current is None else And(current, bgp)
+
+        while True:
+            token = self._peek()
+            if token is None:
+                raise SPARQLParseError("unterminated group: missing '}'")
+            if token.kind == "RBRACE":
+                self._advance()
+                break
+            if token.kind == "LBRACE":
+                flush_triples()
+                group = self._parse_group()
+                if self._accept("UNION"):
+                    right = self._parse_union_operand()
+                    group = Union(group, right)
+                current = group if current is None else And(current, group)
+                continue
+            if token.kind == "OPTIONAL":
+                self._advance()
+                flush_triples()
+                optional_group = self._parse_group()
+                if current is None:
+                    current = Opt(BGP(()), optional_group)
+                else:
+                    current = Opt(current, optional_group)
+                continue
+            if token.kind == "FILTER":
+                self._advance()
+                self._expect("LPAREN")
+                pending_filters.append(self._parse_condition())
+                self._expect("RPAREN")
+                continue
+            if token.kind == "DOT":
+                self._advance()
+                continue
+            # Otherwise it must be a triple.
+            subject = self._parse_term()
+            predicate = self._parse_term()
+            object_ = self._parse_term()
+            pending_triples.append(TriplePattern(subject, predicate, object_))
+
+        flush_triples()
+        if current is None:
+            current = BGP(())
+        for condition in pending_filters:
+            current = Filter(current, condition)
+        return current
+
+    def _parse_union_operand(self) -> GraphPattern:
+        operand = self._parse_group()
+        if self._accept("UNION"):
+            return Union(operand, self._parse_union_operand())
+        return operand
+
+    # -- query ---------------------------------------------------------------------------
+
+    def parse_query(self) -> SelectQuery:
+        self._expect("SELECT")
+        projection: List[Variable] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise SPARQLParseError("unexpected end of query after SELECT")
+            if token.kind == "VARIABLE":
+                projection.append(Variable(self._advance().value))
+                continue
+            break
+        if not projection:
+            raise SPARQLParseError("SELECT needs at least one variable")
+        self._expect("WHERE")
+        pattern = self._parse_group()
+        if self._peek() is not None:
+            raise SPARQLParseError(f"trailing tokens after query: {self._peek()!r}")
+        return SelectQuery(projection=tuple(projection), pattern=pattern)
+
+
+def parse_sparql(text: str) -> SelectQuery:
+    """Parse a SELECT query in the supported fragment."""
+    return _Parser(_tokenize(text)).parse_query()

@@ -1,0 +1,39 @@
+"""Translations from SPARQL to Datalog-based queries (Section 5).
+
+* :mod:`repro.translation.sparql_to_datalog` — the translation ``P_dat`` of
+  Section 5.1: every graph pattern becomes a (non-recursive) Datalog¬s query
+  over ``tau_db(G)`` whose answers, decoded through the reserved constant
+  ``⋆``, coincide with ``⟦P⟧_G`` (Theorem 5.2).
+* :mod:`repro.translation.entailment_regime` — the variants ``P^U_dat`` and
+  ``P^All_dat`` of Sections 5.2-5.3 that prepend the fixed program
+  ``tau_owl2ql_core``; both are TriQ-Lite 1.0 queries (Corollaries 5.4 / 6.2).
+* :mod:`repro.translation.answers` — decoding of ⋆-padded answer tuples back
+  into SPARQL mappings (the ``⟦(P_dat, D)⟧`` notation of the paper).
+"""
+
+from repro.translation.sparql_to_datalog import (
+    STAR,
+    DatalogTranslation,
+    SPARQLToDatalogTranslator,
+    translate_pattern,
+    translate_select_query,
+)
+from repro.translation.answers import decode_answers, mappings_of_translation
+from repro.translation.entailment_regime import (
+    translate_under_entailment,
+    entailment_regime_query,
+    EntailmentMode,
+)
+
+__all__ = [
+    "STAR",
+    "DatalogTranslation",
+    "SPARQLToDatalogTranslator",
+    "translate_pattern",
+    "translate_select_query",
+    "decode_answers",
+    "mappings_of_translation",
+    "translate_under_entailment",
+    "entailment_regime_query",
+    "EntailmentMode",
+]

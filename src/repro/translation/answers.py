@@ -1,0 +1,52 @@
+"""Decoding Datalog answers back into SPARQL mappings.
+
+The paper defines, for a tuple ``t = (t1, ..., tn)`` in ``P_dat(tau_db(G))``,
+the mapping ``mu_{t,P}`` that binds the i-th answer variable to ``ti``
+whenever ``ti ≠ ⋆``, and then
+
+    ``⟦(P_dat, tau_db(G))⟧ = { mu_{t,P} | t ∈ P_dat(tau_db(G)) }``.
+
+Theorem 5.2 (and 5.3 for the entailment regimes) states that this set equals
+``⟦P⟧_G`` (respectively ``⟦P⟧^U_G``); the test-suite and the T5.2/T5.3
+benchmarks verify exactly that equality.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Sequence, Set, Tuple, Union
+
+from repro.datalog.semantics import INCONSISTENT, QueryResult
+from repro.datalog.terms import Constant, Variable
+from repro.sparql.mappings import Mapping
+from repro.translation.sparql_to_datalog import STAR, DatalogTranslation
+
+
+def decode_answers(
+    tuples: Iterable[Tuple[Constant, ...]],
+    answer_variables: Sequence[Variable],
+) -> Set[Mapping]:
+    """Turn ⋆-padded answer tuples into SPARQL mappings (``mu_{t,P}``)."""
+    mappings: Set[Mapping] = set()
+    for answer in tuples:
+        bindings = {
+            variable: value
+            for variable, value in zip(answer_variables, answer)
+            if value != STAR
+        }
+        mappings.add(Mapping(bindings))
+    return mappings
+
+
+def mappings_of_translation(
+    translation: DatalogTranslation,
+    result: QueryResult,
+) -> Union[Set[Mapping], type(INCONSISTENT)]:
+    """``⟦(P_dat, D)⟧`` from an already-computed query result.
+
+    Propagates ``INCONSISTENT`` (⊤) unchanged, which only arises for the
+    entailment-regime translations when the ontology violates a disjointness
+    constraint.
+    """
+    if result is INCONSISTENT:
+        return INCONSISTENT
+    return decode_answers(result, translation.answer_variables)

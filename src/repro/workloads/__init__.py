@@ -1,0 +1,45 @@
+"""Synthetic workload generators used by the examples, tests and benchmarks.
+
+The paper evaluates nothing experimentally (it is a PODS/TODS theory paper),
+so this package provides the synthetic data its constructions need to be
+exercised at laptop scale: the motivating RDF graphs of Section 2, random RDF
+graphs and SPARQL patterns, transport networks, random undirected graphs for
+the k-clique query, the chain ontologies of Lemma 6.5, and a scalable
+university-style OWL 2 QL core ontology for the entailment-regime benchmarks.
+"""
+
+from repro.workloads.graphs import (
+    section2_g1,
+    section2_g2,
+    section2_g3,
+    section2_g4,
+    transport_network,
+    random_rdf_graph,
+    random_undirected_graph,
+)
+from repro.workloads.ontologies import (
+    chain_ontology,
+    chain_ontology_graph,
+    chain_basic_graph_pattern,
+    university_ontology,
+    university_graph,
+)
+from repro.workloads.queries import random_bgp, random_pattern, author_queries
+
+__all__ = [
+    "section2_g1",
+    "section2_g2",
+    "section2_g3",
+    "section2_g4",
+    "transport_network",
+    "random_rdf_graph",
+    "random_undirected_graph",
+    "chain_ontology",
+    "chain_ontology_graph",
+    "chain_basic_graph_pattern",
+    "university_ontology",
+    "university_graph",
+    "random_bgp",
+    "random_pattern",
+    "author_queries",
+]

@@ -1,0 +1,109 @@
+"""Query generators: the paper's running queries plus random SPARQL patterns."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datalog.terms import Constant, Null, Variable
+from repro.rdf.graph import RDFGraph
+from repro.sparql.ast import (
+    And,
+    BGP,
+    Bound,
+    EqualsVariable,
+    Filter,
+    GraphPattern,
+    Opt,
+    Select,
+    TriplePattern,
+    Union,
+)
+
+
+def author_queries() -> Dict[str, str]:
+    """The Section 2 SPARQL queries (text form, parseable by ``parse_sparql``)."""
+    return {
+        "authors": "SELECT ?X WHERE { ?Y is_author_of ?Z . ?Y name ?X }",
+        "authors_sameas": """
+            SELECT ?X WHERE {
+              { ?Y is_author_of ?Z . ?Y name ?X }
+              UNION
+              { ?Y is_author_of ?Z . ?Y owl:sameAs ?W . ?W name ?X }
+            }
+        """,
+        "authors_restriction": """
+            SELECT ?X WHERE {
+              ?Y name ?X .
+              ?Y rdf:type ?Z .
+              ?Z rdf:type owl:Restriction .
+              ?Z owl:onProperty is_author_of .
+              ?Z owl:someValuesFrom owl:Thing
+            }
+        """,
+    }
+
+
+def random_bgp(
+    graph: RDFGraph,
+    n_triples: int = 2,
+    n_variables: int = 2,
+    seed: int = 0,
+) -> BGP:
+    """A random basic graph pattern whose constants come from ``graph``.
+
+    Triple patterns reuse a small pool of variables so that joins actually
+    happen; constants are sampled from the graph's predicates and nodes so the
+    pattern has a reasonable chance of matching.
+    """
+    rng = random.Random(seed)
+    triples = list(graph)
+    if not triples:
+        raise ValueError("cannot build a pattern over an empty graph")
+    variables = [Variable(f"V{i}") for i in range(max(1, n_variables))]
+
+    def pick_term(value: Constant):
+        roll = rng.random()
+        if roll < 0.55:
+            return variables[rng.randrange(len(variables))]
+        return value
+
+    patterns = []
+    for i in range(n_triples):
+        base = triples[rng.randrange(len(triples))]
+        patterns.append(
+            TriplePattern(
+                pick_term(base.subject),
+                base.predicate if rng.random() < 0.7 else variables[rng.randrange(len(variables))],
+                pick_term(base.object),
+            )
+        )
+    return BGP(patterns)
+
+
+def random_pattern(
+    graph: RDFGraph,
+    depth: int = 2,
+    seed: int = 0,
+) -> GraphPattern:
+    """A random graph pattern using AND / UNION / OPT / FILTER over random BGPs."""
+    rng = random.Random(seed)
+
+    def build(level: int, salt: int) -> GraphPattern:
+        if level <= 0:
+            return random_bgp(graph, n_triples=rng.randint(1, 2), n_variables=3, seed=seed * 97 + salt)
+        left = build(level - 1, salt * 2 + 1)
+        right = build(level - 1, salt * 2 + 2)
+        choice = rng.random()
+        if choice < 0.35:
+            return And(left, right)
+        if choice < 0.65:
+            return Union(left, right)
+        if choice < 0.9:
+            return Opt(left, right)
+        variables = sorted(left.variables())
+        if not variables:
+            return And(left, right)
+        return Filter(left, Bound(variables[0]))
+
+    return build(depth, 1)

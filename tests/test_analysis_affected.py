@@ -1,0 +1,79 @@
+"""Tests for affected positions — including the paper's Example 4.1 verbatim."""
+
+from repro.analysis.affected import affected_positions, nonaffected_positions
+from repro.datalog.atoms import Position
+from repro.datalog.parser import parse_program
+
+
+def positions(names):
+    return {Position(p, i) for p, i in names}
+
+
+class TestAffectedPositions:
+    def test_example_41(self):
+        """Example 4.1: affected(Pi) = {t[3], p[1], t[2], p[2], s[2]}."""
+        program = parse_program(
+            """
+            p(?X, ?Y), s(?Y, ?Z) -> exists ?W . t(?Y, ?X, ?W).
+            t(?X, ?Y, ?Z) -> exists ?W . p(?W, ?Z).
+            t(?X, ?Y, ?Z) -> s(?X, ?Y).
+            """
+        )
+        assert affected_positions(program) == positions(
+            {("t", 3), ("p", 1), ("t", 2), ("p", 2), ("s", 2)}
+        )
+
+    def test_example_41_nonaffected(self):
+        program = parse_program(
+            """
+            p(?X, ?Y), s(?Y, ?Z) -> exists ?W . t(?Y, ?X, ?W).
+            t(?X, ?Y, ?Z) -> exists ?W . p(?W, ?Z).
+            t(?X, ?Y, ?Z) -> s(?X, ?Y).
+            """
+        )
+        assert nonaffected_positions(program) == positions({("t", 1), ("s", 1)})
+
+    def test_datalog_program_has_no_affected_positions(self):
+        program = parse_program("e(?X, ?Y) -> t(?X, ?Y). t(?X, ?Y), e(?Y, ?Z) -> t(?X, ?Z).")
+        assert affected_positions(program) == frozenset()
+
+    def test_existential_position_is_affected(self):
+        program = parse_program("p(?X) -> exists ?Y . s(?X, ?Y).")
+        assert affected_positions(program) == positions({("s", 2)})
+
+    def test_propagation_through_heads(self):
+        program = parse_program(
+            """
+            p(?X) -> exists ?Y . s(?X, ?Y).
+            s(?X, ?Y) -> t(?Y).
+            t(?X) -> u(?X, ?X).
+            """
+        )
+        affected = affected_positions(program)
+        assert Position("t", 1) in affected
+        assert Position("u", 1) in affected and Position("u", 2) in affected
+
+    def test_harmless_occurrence_blocks_propagation(self):
+        # ?Y also occurs at the non-affected position base[1], so it is not
+        # propagated even though it appears at an affected position too.
+        program = parse_program(
+            """
+            p(?X) -> exists ?Y . s(?X, ?Y).
+            s(?X, ?Y), base(?Y) -> t(?Y).
+            """
+        )
+        affected = affected_positions(program)
+        assert Position("t", 1) not in affected
+
+    def test_owl2ql_core_affected_positions(self):
+        """The fixed entailment program: nulls live in triple1[1], triple1[3], type[1]."""
+        from repro.owl.entailment_rules import owl2ql_core_program
+
+        affected = affected_positions(owl2ql_core_program())
+        assert Position("triple1", 3) in affected
+        assert Position("triple1", 1) in affected
+        assert Position("type", 1) in affected
+        assert Position("triple1", 2) not in affected
+        assert Position("sp", 1) not in affected
+        assert Position("sc", 2) not in affected
+        assert Position("C", 1) not in affected

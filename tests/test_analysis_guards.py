@@ -1,0 +1,172 @@
+"""Tests for the guardedness / wardedness hierarchy (Sections 4, 6)."""
+
+from repro.analysis.guards import (
+    classify_program,
+    find_ward,
+    has_grounded_negation,
+    is_frontier_guarded,
+    is_guarded,
+    is_nearly_frontier_guarded,
+    is_warded,
+    is_warded_with_minimal_interaction,
+    is_weakly_frontier_guarded,
+    is_weakly_guarded,
+)
+from repro.analysis.variables import classify_rule_variables
+from repro.datalog.parser import parse_program
+
+
+def example_41_program():
+    return parse_program(
+        """
+        p(?X, ?Y), s(?Y, ?Z) -> exists ?W . t(?Y, ?X, ?W).
+        t(?X, ?Y, ?Z) -> exists ?W . p(?W, ?Z).
+        t(?X, ?Y, ?Z) -> s(?X, ?Y).
+        """
+    )
+
+
+class TestHierarchyOnPaperExamples:
+    def test_example_41_weakly_frontier_guarded_not_weakly_guarded(self):
+        """The paper states this program is weakly-frontier-guarded but not weakly-guarded."""
+        program = example_41_program()
+        assert is_weakly_frontier_guarded(program)
+        assert not is_weakly_guarded(program)
+
+    def test_plain_datalog_is_everything(self):
+        """Every Datalog program is trivially warded (Section 6.3 observation)."""
+        program = parse_program("e(?X, ?Y) -> t(?X, ?Y). t(?X, ?Y), e(?Y, ?Z) -> t(?X, ?Z).")
+        report = classify_program(program)
+        assert report.warded and report.weakly_frontier_guarded
+        assert report.weakly_guarded and report.nearly_frontier_guarded
+        assert report.is_triq and report.is_triq_lite
+
+    def test_guardedness_requires_single_atom_with_all_variables(self):
+        guarded = parse_program("r(?X, ?Y, ?Z), s(?X, ?Y) -> t(?X, ?Z).")
+        not_guarded = parse_program("r(?X, ?Y), s(?Y, ?Z) -> t(?X, ?Z).")
+        assert is_guarded(guarded)
+        assert not is_guarded(not_guarded)
+
+    def test_frontier_guarded(self):
+        program = parse_program("r(?X, ?Z), s(?Z, ?Y) -> exists ?W . t(?X, ?W).")
+        assert is_frontier_guarded(program)
+
+    def test_example_610_is_warded(self):
+        program = parse_program(
+            """
+            s(?X, ?Y, ?Z) -> exists ?W . s(?X, ?Z, ?W).
+            s(?X, ?Y, ?Z), s(?Y, ?Z, ?W) -> q(?X, ?Y).
+            t(?X) -> exists ?Z . p(?X, ?Z).
+            p(?X, ?Y), q(?X, ?Z) -> r(?X, ?Y, ?Z).
+            r(?X, ?Y, ?Z) -> p(?X, ?Z).
+            """
+        )
+        assert is_warded(program)
+
+    def test_owl2ql_core_is_warded(self):
+        from repro.owl.entailment_rules import owl2ql_core_program
+
+        report = classify_program(owl2ql_core_program())
+        assert report.warded
+        assert report.grounded_negation  # no negation at all
+        assert report.is_triq_lite
+
+    def test_clique_program_is_triq_but_not_triq_lite(self):
+        from repro.reductions.clique import clique_program
+
+        report = classify_program(clique_program())
+        assert report.is_triq
+        assert not report.warded
+        assert not report.is_triq_lite
+
+    def test_atm_program_minimal_interaction_but_not_warded(self):
+        from repro.reductions.atm import atm_program
+
+        program = atm_program()
+        assert is_warded_with_minimal_interaction(program)
+        assert not is_warded(program)
+
+    def test_warded_implies_minimal_interaction(self):
+        program = example_41_program()
+        if is_warded(program):
+            assert is_warded_with_minimal_interaction(program)
+
+
+class TestNearlyFrontierGuarded:
+    def test_transitive_closure_is_nearly_frontier_guarded(self):
+        # Not frontier-guarded, but all body variables are harmless.
+        program = parse_program(
+            """
+            e(?X, ?Y) -> t(?X, ?Y).
+            t(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).
+            """
+        )
+        assert is_nearly_frontier_guarded(program)
+
+    def test_violating_program(self):
+        # The second rule is not frontier-guarded and ?Y is harmful.
+        program = parse_program(
+            """
+            p(?X) -> exists ?Y . s(?X, ?Y).
+            s(?X, ?Y), s(?Z, ?Y) -> s(?X, ?Z).
+            """
+        )
+        assert not is_nearly_frontier_guarded(program)
+
+
+class TestGroundedNegation:
+    def test_grounded_negation_accepts_constant_and_harmless_terms(self):
+        program = parse_program(
+            """
+            p(?X) -> exists ?Y . s(?X, ?Y).
+            base(?X), not bad(?X) -> good(?X).
+            """
+        )
+        assert has_grounded_negation(program)
+
+    def test_negation_on_harmful_variable_rejected(self):
+        program = parse_program(
+            """
+            p(?X) -> exists ?Y . s(?X, ?Y).
+            s(?X, ?Y), not seen(?Y) -> fresh(?X).
+            """
+        )
+        assert not has_grounded_negation(program)
+
+    def test_clique_program_negation_is_not_grounded(self):
+        from repro.reductions.clique import clique_program
+
+        assert not has_grounded_negation(clique_program())
+
+
+class TestWardSearch:
+    def test_find_ward_returns_none_without_dangerous_variables(self):
+        program = parse_program("e(?X, ?Y) -> t(?X, ?Y).")
+        rule = program.rules[0]
+        assert find_ward(rule, classify_rule_variables(rule, program)) is None
+
+    def test_find_ward_identifies_the_ward(self):
+        program = parse_program(
+            """
+            p(?X) -> exists ?Y . s(?X, ?Y).
+            s(?X, ?Y), base(?X) -> s(?Y, ?X).
+            """
+        )
+        rule = program.rules[1]
+        classification = classify_rule_variables(rule, program.positive_program())
+        ward = find_ward(rule, classification)
+        assert ward is not None and ward.predicate == "s"
+
+
+class TestReport:
+    def test_violations_are_reported(self):
+        from repro.reductions.clique import clique_program
+
+        report = classify_program(clique_program())
+        assert "warded" in report.violations
+        assert "rule" in report.violations["warded"]
+
+    def test_stratification_flag(self):
+        program = parse_program("p(?X), not q(?X) -> q(?X).")
+        report = classify_program(program)
+        assert not report.stratified and not report.is_triq

@@ -1,0 +1,83 @@
+"""Tests for ground connections and the UGCP analysis (Lemmas 6.5 / 6.6)."""
+
+from repro.analysis.ugcp import (
+    ground_connection,
+    is_series_bounded,
+    max_ground_connection,
+    mgc_series,
+)
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Instance
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Constant, Null
+from repro.owl.entailment_rules import owl2ql_core_program
+from repro.workloads.ontologies import chain_ontology_graph
+
+
+class TestGroundConnection:
+    def test_ground_connection_of_null(self):
+        z = Null("_:z")
+        instance = Instance(
+            [
+                Atom("p", (Constant("a"), z)),
+                Atom("q", (z, Constant("b"), Constant("c"))),
+                Atom("r", (Constant("d"), Constant("e"))),
+            ]
+        )
+        assert ground_connection(z, instance) == {Constant("a"), Constant("b"), Constant("c")}
+
+    def test_max_ground_connection_no_nulls(self):
+        instance = Instance([Atom("p", (Constant("a"),))])
+        assert max_ground_connection(instance) == 0
+
+    def test_max_ground_connection_picks_largest(self):
+        z1, z2 = Null("_:z1"), Null("_:z2")
+        instance = Instance(
+            [
+                Atom("p", (Constant("a"), z1)),
+                Atom("p", (Constant("b"), z2)),
+                Atom("q", (z2, Constant("c"), Constant("d"))),
+            ]
+        )
+        assert max_ground_connection(instance) == 3
+
+
+class TestMgcSeries:
+    def test_warded_encoding_of_lemma_65_is_unbounded(self):
+        """mgc(n) grows with n for tau_owl2ql_core over the chain ontologies O_n."""
+        program = owl2ql_core_program()
+        series = mgc_series(
+            program,
+            lambda n: chain_ontology_graph(n).to_database(),
+            sizes=[1, 2, 4, 6],
+        )
+        values = [v for _, v in series]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+        assert not is_series_bounded(series)
+
+    def test_datalog_program_is_bounded(self):
+        """A plain Datalog program never invents nulls, so mgc is constantly 0 (Lemma 6.6 spirit)."""
+        program = parse_program(
+            "triple(?X, ?Y, ?Z) -> t(?X, ?Z). t(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z)."
+        )
+        series = mgc_series(
+            program,
+            lambda n: chain_ontology_graph(n).to_database(),
+            sizes=[1, 2, 4],
+        )
+        assert all(v == 0 for _, v in series)
+        assert is_series_bounded(series)
+
+    def test_nearly_frontier_guarded_program_is_bounded(self):
+        """A frontier-guarded existential program keeps gc(z) bounded by the rule width."""
+        program = parse_program("person(?X) -> exists ?Y . parent(?X, ?Y).")
+        series = mgc_series(
+            program,
+            lambda n: Instance(
+                Atom("person", (Constant(f"p{i}"),)) for i in range(n)
+            ),
+            sizes=[1, 3, 6],
+        )
+        assert all(v <= 1 for _, v in series)
+        assert is_series_bounded(series)

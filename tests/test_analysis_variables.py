@@ -1,0 +1,83 @@
+"""Tests for the harmless / harmful / dangerous variable classification."""
+
+from repro.analysis.affected import affected_positions
+from repro.analysis.variables import (
+    classify_rule_variables,
+    dangerous_variables,
+    harmful_variables,
+    harmless_variables,
+)
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Variable
+
+X, Y, Z, W, V, U = (Variable(n) for n in "XYZWVU")
+
+
+def example_41_program():
+    return parse_program(
+        """
+        p(?X, ?Y), s(?Y, ?Z) -> exists ?W . t(?Y, ?X, ?W).
+        t(?X, ?Y, ?Z) -> exists ?W . p(?W, ?Z).
+        t(?X, ?Y, ?Z) -> s(?X, ?Y).
+        """
+    )
+
+
+class TestClassification:
+    def test_datalog_rules_are_all_harmless(self):
+        program = parse_program("e(?X, ?Y), f(?Y, ?Z) -> g(?X, ?Z).")
+        rule = program.rules[0]
+        classification = classify_rule_variables(rule, program)
+        assert classification.harmless == {X, Y, Z}
+        assert classification.harmful == frozenset()
+        assert classification.dangerous == frozenset()
+
+    def test_example_41_first_rule(self):
+        program = example_41_program()
+        rule = program.rules[0]
+        classification = classify_rule_variables(rule, program)
+        # ?X occurs only at p[1] (affected) -> harmful and in the head -> dangerous;
+        # ?Y occurs at p[2] (affected) and s[1] (non-affected) -> harmless;
+        # ?Z occurs at s[2] (affected) only -> harmful, but not in the head.
+        assert classification.is_dangerous(X)
+        assert classification.is_harmless(Y)
+        assert classification.is_harmful(Z) and not classification.is_dangerous(Z)
+
+    def test_example_41_second_rule(self):
+        program = example_41_program()
+        rule = program.rules[1]
+        classification = classify_rule_variables(rule, program)
+        # ?Z occurs at t[3] (affected) and is propagated to the head.
+        assert classification.is_dangerous(Z)
+        # ?X occurs at t[1] which is not affected.
+        assert classification.is_harmless(X)
+
+    def test_convenience_wrappers(self):
+        program = example_41_program()
+        rule = program.rules[0]
+        assert dangerous_variables(rule, program) == {X}
+        assert Z in harmful_variables(rule, program)
+        assert Y in harmless_variables(rule, program)
+
+    def test_precomputed_affected_positions(self):
+        program = example_41_program()
+        affected = affected_positions(program)
+        rule = program.rules[2]
+        classification = classify_rule_variables(rule, program, affected)
+        # ?X at t[1] harmless, ?Y at t[2] harmful and in the head -> dangerous.
+        assert classification.is_harmless(X)
+        assert classification.is_dangerous(Y)
+
+    def test_negative_atoms_do_not_affect_classification(self):
+        program = parse_program(
+            """
+            p(?X) -> exists ?Y . s(?X, ?Y).
+            s(?X, ?Y), base(?X), not bad(?X) -> t(?X).
+            """
+        )
+        rule = [r for r in program.rules if r.has_negation][0]
+        classification = classify_rule_variables(
+            rule.positive_part(), program.positive_program()
+        )
+        assert classification.is_harmless(X)
+        assert classification.is_harmful(Y)

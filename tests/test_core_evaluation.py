@@ -1,0 +1,124 @@
+"""Tests for the top-level evaluate() API (plainness in practice)."""
+
+import pytest
+
+from repro.core.evaluation import eval_decision_problem, evaluate
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_atom
+from repro.datalog.semantics import INCONSISTENT
+from repro.datalog.terms import Constant
+from repro.workloads.graphs import paper_transport_graph
+
+
+def db(*facts):
+    return Database([parse_atom(f) for f in facts])
+
+
+TRANSPORT_PROGRAM = """
+    triple(?X, partOf, transportService) -> ts(?X).
+    triple(?X, partOf, ?Y), ts(?Y) -> ts(?X).
+    ts(?T), triple(?X, ?T, ?Y) -> query(?X, ?Y).
+    ts(?T), triple(?X, ?T, ?Z), query(?Z, ?Y) -> query(?X, ?Y).
+"""
+
+
+class TestEvaluate:
+    def test_transport_reachability_from_section2(self):
+        """The Section 2 query SPARQL 1.1 cannot express: reachability by transport services."""
+        database = paper_transport_graph().to_database()
+        answers = evaluate(TRANSPORT_PROGRAM, "query", database)
+        pairs = {(a.value, b.value) for a, b in answers}
+        assert ("Oxford", "Valladolid") in pairs
+        assert ("Oxford", "London") in pairs
+        assert len(pairs) == 6
+
+    def test_recursive_output_predicate_is_wrapped(self):
+        # "query" occurs in a rule body; evaluate() must still work.
+        database = paper_transport_graph().to_database()
+        assert evaluate(TRANSPORT_PROGRAM, "query", database)
+
+    def test_program_object_accepted(self):
+        from repro.datalog.parser import parse_program
+
+        program = parse_program("e(?X, ?Y) -> answer(?X).")
+        assert evaluate(program, "answer", db("e(a,b)")) == {(Constant("a"),)}
+
+    def test_triq_fallback_for_non_warded_programs(self):
+        from repro.reductions.clique import CLIQUE_RULES, clique_database
+
+        database = clique_database([("a", "b"), ("b", "c"), ("a", "c")], 3)
+        answers = evaluate(CLIQUE_RULES, "yes", database, output_arity=0)
+        assert answers == {()}
+
+    def test_rejects_programs_outside_triq(self):
+        # Dangerous variables spread over two atoms that never co-occur.
+        bad = """
+            p(?X) -> exists ?Y . s(?X, ?Y).
+            p(?X) -> exists ?Y . r(?X, ?Y).
+            s(?X, ?Y), r(?X, ?Z) -> answer(?Y, ?Z).
+        """
+        with pytest.raises(ValueError):
+            evaluate(bad, "answer", db("p(a)"))
+
+    def test_inconsistent_database(self):
+        program = "p(?X) -> answer(?X). p(?X), q(?X) -> false."
+        assert evaluate(program, "answer", db("p(a)", "q(a)")) is INCONSISTENT
+
+    def test_eval_decision_problem(self):
+        program = "e(?X, ?Y) -> answer(?X)."
+        assert eval_decision_problem(program, "answer", db("e(a,b)"), (Constant("a"),))
+        assert not eval_decision_problem(program, "answer", db("e(a,b)"), (Constant("b"),))
+
+
+class TestSection2Scenarios:
+    def test_construct_style_output(self):
+        """Rule (3): producing an RDF graph as output by writing into triple-shaped facts."""
+        from repro.rdf.graph import database_to_graph
+        from repro.workloads.graphs import section2_g1
+
+        program = """
+            triple(?Y, is_author_of, ?Z), triple(?Y, name, ?X) -> out(?X, name_author, ?Z).
+        """
+        database = section2_g1().to_database()
+        answers = evaluate(program, "out", database)
+        graph = database_to_graph(
+            parse_atom(f'triple("{a.value}", {b.value}, "{c.value}")') for a, b, c in answers
+        )
+        assert len(graph) == 1
+
+    def test_sameas_library_rules(self):
+        """Adding the fixed owl:sameAs rules makes query (1) work over G4."""
+        from repro.workloads.graphs import section2_g4
+
+        program = """
+            triple(?X, owl:sameAs, ?Y), triple(?Y, owl:sameAs, ?Z) -> triple2(?X, owl:sameAs, ?Z).
+            triple(?X, ?Y, ?Z) -> triple2(?X, ?Y, ?Z).
+            triple2(?X1, owl:sameAs, ?X2), triple2(?X1, ?U, ?Y1) -> triple2(?X2, ?U, ?Y1).
+            triple2(?Y1, owl:sameAs, ?Y2), triple2(?X1, ?U, ?Y1) -> triple2(?X1, ?U, ?Y2).
+            triple2(?Y, is_author_of, ?Z), triple2(?Y, name, ?X) -> answer(?X).
+        """
+        database = section2_g4().to_database()
+        answers = evaluate(program, "answer", database)
+        assert (Constant("Jeffrey Ullman"),) in answers
+
+    def test_anonymisation_rules(self):
+        """The subject-anonymisation program of Section 2 (global blank nodes)."""
+        from repro.core.triqlite import TriQLiteQuery
+        from repro.datalog.parser import parse_program
+        from repro.workloads.graphs import section2_g1
+
+        program = parse_program(
+            """
+            triple(?X, ?Y, ?Z) -> subj(?X).
+            subj(?X) -> exists ?Y . bn(?X, ?Y).
+            triple(?X, ?Y, ?Z), bn(?X, ?U) -> output(?U, ?Y, ?Z).
+            """
+        )
+        query = TriQLiteQuery(program, "output", output_arity=3, validate=True)
+        result = query.materialise(section2_g1().to_database())
+        outputs = list(result.instance.with_predicate("output"))
+        assert len(outputs) == 2
+        # Both triples of G1 share the same subject, so they must share the same blank node.
+        assert len({atom.terms[0] for atom in outputs}) == 1
+        # Every output subject is anonymised (a labelled null).
+        assert all(not atom.terms[0].is_ground for atom in outputs)

@@ -1,0 +1,91 @@
+"""Tests for the Section 6.3 rule normal forms."""
+
+from repro.analysis.guards import is_warded
+from repro.core.normalization import (
+    normalize_single_existential,
+    normalize_warded_program,
+    split_existentials,
+    split_head_grounded,
+)
+from repro.core.warded_engine import WardedEngine
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_atom, parse_program
+
+
+def db(*facts):
+    return Database([parse_atom(f) for f in facts])
+
+
+class TestSingleExistential:
+    def test_rule_with_one_existential_untouched(self):
+        program = parse_program("p(?X) -> exists ?Y . s(?X, ?Y).")
+        assert split_existentials(program.rules[0]) == [program.rules[0]]
+
+    def test_rule_with_two_existentials_split(self):
+        program = parse_program("p(?X) -> exists ?Y ?Z . s(?X, ?Y, ?Z).")
+        rules = split_existentials(program.rules[0])
+        assert len(rules) == 3
+        assert all(len(rule.existential_variables) <= 1 for rule in rules)
+
+    def test_ground_semantics_preserved(self):
+        program = parse_program(
+            """
+            p(?X) -> exists ?Y ?Z . s(?X, ?Y, ?Z).
+            s(?X, ?Y, ?Z) -> witnessed(?X).
+            """
+        )
+        normalized = normalize_single_existential(program)
+        database = db("p(a)", "p(b)")
+        original = WardedEngine(program, check_warded=False).ground_semantics(database)
+        rewritten = WardedEngine(normalized, check_warded=False).ground_semantics(database)
+        original_facts = {a for a in original if not a.predicate.startswith("__")}
+        rewritten_facts = {a for a in rewritten if not a.predicate.startswith("__")}
+        assert original_facts == rewritten_facts
+
+    def test_wardedness_preserved(self):
+        program = parse_program(
+            """
+            coauthor(?X, ?Y) -> exists ?Z ?W . wrote(?X, ?Z, ?W), wrote(?Y, ?Z, ?W).
+            """
+        )
+        assert is_warded(program)
+        assert is_warded(normalize_single_existential(program))
+
+
+class TestHeadGroundedSplit:
+    def test_datalog_program_unchanged_semantics(self):
+        program = parse_program(
+            """
+            e(?X, ?Y), f(?Y, ?Z), g(?Z, ?W) -> t(?X, ?W).
+            """
+        )
+        normalized = split_head_grounded(program)
+        database = db("e(a,b)", "f(b,c)", "g(c,d)")
+        original = WardedEngine(program, check_warded=False).ground_semantics(database)
+        rewritten = WardedEngine(normalized, check_warded=False).ground_semantics(database)
+        assert original.with_predicate("t") == rewritten.with_predicate("t")
+
+    def test_warded_program_semantics_preserved(self):
+        program = parse_program(
+            """
+            person(?X) -> exists ?Y . parent(?X, ?Y).
+            parent(?X, ?Y), alive(?X), registered(?X) -> tracked(?X).
+            """
+        )
+        normalized = normalize_warded_program(program)
+        database = db("person(a)", "alive(a)", "registered(a)", "person(b)", "alive(b)")
+        original = WardedEngine(program, check_warded=False).ground_semantics(database)
+        rewritten = WardedEngine(normalized, check_warded=False).ground_semantics(database)
+        assert original.with_predicate("tracked") == rewritten.with_predicate("tracked")
+
+    def test_normalized_owl_program_keeps_entailments(self):
+        from repro.owl.entailment_rules import owl2ql_core_program
+        from repro.workloads.ontologies import chain_ontology_graph
+
+        program = owl2ql_core_program()
+        normalized = normalize_warded_program(program)
+        database = chain_ontology_graph(2).to_database()
+        original = WardedEngine(program, check_warded=False).ground_semantics(database)
+        rewritten = WardedEngine(normalized, check_warded=False).ground_semantics(database)
+        assert original.with_predicate("triple1") == rewritten.with_predicate("triple1")
+        assert original.with_predicate("type") == rewritten.with_predicate("type")

@@ -1,0 +1,82 @@
+"""Tests for proof trees (Definition 6.11 / Figure 1, Example 6.10)."""
+
+import pytest
+
+from repro.core.prooftree import ProofTreeError, extract_proof_tree
+from repro.core.warded_engine import WardedEngine
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_atom, parse_program
+
+
+def example_610():
+    program = parse_program(
+        """
+        s(?X, ?Y, ?Z) -> exists ?W . s(?X, ?Z, ?W).
+        s(?X, ?Y, ?Z), s(?Y, ?Z, ?W) -> q(?X, ?Y).
+        t(?X) -> exists ?Z . p(?X, ?Z).
+        p(?X, ?Y), q(?X, ?Z) -> r(?X, ?Y, ?Z).
+        r(?X, ?Y, ?Z) -> p(?X, ?Z).
+        """
+    )
+    database = Database([parse_atom("s(a,a,a)"), parse_atom("t(a)")])
+    return program, database
+
+
+class TestFigure1:
+    def test_p_a_a_is_derived(self):
+        """Example 6.10: p(a,a) belongs to Pi(D)."""
+        program, database = example_610()
+        result = WardedEngine(program).materialise(database)
+        assert parse_atom("p(a,a)") in result.instance
+
+    def test_proof_tree_structure(self):
+        program, database = example_610()
+        result = WardedEngine(program).materialise(database)
+        tree = extract_proof_tree(parse_atom("p(a,a)"), result, database)
+        # Figure 1(b): the root is p(a,a), derived through r(a, z, a).
+        assert tree.root.atom == parse_atom("p(a,a)")
+        assert tree.root.rule is not None and tree.root.rule.head[0].predicate == "p"
+        child_predicates = {child.atom.predicate for child in tree.root.children}
+        assert child_predicates == {"r"}
+        assert tree.depth() >= 4
+
+    def test_leaves_are_database_atoms(self):
+        program, database = example_610()
+        result = WardedEngine(program).materialise(database)
+        tree = extract_proof_tree(parse_atom("p(a,a)"), result, database)
+        assert tree.leaves_in_database()
+        assert set(tree.leaves()) <= {parse_atom("s(a,a,a)"), parse_atom("t(a)")}
+
+    def test_rules_used_come_from_the_program(self):
+        program, database = example_610()
+        result = WardedEngine(program).materialise(database)
+        tree = extract_proof_tree(parse_atom("p(a,a)"), result, database)
+        assert set(tree.rules_used()) <= set(program.rules)
+
+    def test_render_mentions_every_atom(self):
+        program, database = example_610()
+        result = WardedEngine(program).materialise(database)
+        tree = extract_proof_tree(parse_atom("p(a,a)"), result, database)
+        rendering = tree.render()
+        assert "p(a, a)" in rendering and "t(a)" in rendering
+        assert rendering.count("\n") + 1 == tree.size()
+
+    def test_size_and_depth_consistency(self):
+        program, database = example_610()
+        result = WardedEngine(program).materialise(database)
+        tree = extract_proof_tree(parse_atom("q(a,a)"), result, database)
+        assert tree.size() >= tree.depth()
+
+
+class TestProofTreeErrors:
+    def test_underived_atom_rejected(self):
+        program, database = example_610()
+        result = WardedEngine(program).materialise(database)
+        with pytest.raises(ProofTreeError):
+            extract_proof_tree(parse_atom("p(b,b)"), result, database)
+
+    def test_database_atom_is_a_leaf_tree(self):
+        program, database = example_610()
+        result = WardedEngine(program).materialise(database)
+        tree = extract_proof_tree(parse_atom("t(a)"), result, database)
+        assert tree.size() == 1 and tree.root.is_leaf

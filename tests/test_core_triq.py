@@ -1,0 +1,111 @@
+"""Tests for TriQ 1.0 queries (Definition 4.2, Theorem 4.4 machinery)."""
+
+import pytest
+
+from repro.core.triq import STAR, TriQQuery, TriQValidationError, constraint_free_rewriting
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_atom, parse_program
+from repro.datalog.program import Query
+from repro.datalog.semantics import INCONSISTENT, evaluate_query
+from repro.datalog.terms import Constant
+
+
+def db(*facts):
+    return Database([parse_atom(f) for f in facts])
+
+
+class TestValidation:
+    def test_accepts_weakly_frontier_guarded_program(self):
+        program = parse_program(
+            """
+            p(?X, ?Y), s(?Y, ?Z) -> exists ?W . t(?Y, ?X, ?W).
+            t(?X, ?Y, ?Z) -> answer(?X).
+            """
+        )
+        query = TriQQuery(program, "answer")
+        assert query.report.is_triq
+
+    def test_rejects_non_wfg_program(self):
+        # The dangerous variables ?Y and ?Z never share an atom.
+        program = parse_program(
+            """
+            p(?X) -> exists ?Y . s(?X, ?Y).
+            p(?X) -> exists ?Y . r(?X, ?Y).
+            s(?X, ?Y), r(?X, ?Z) -> answer(?Y, ?Z).
+            """
+        )
+        with pytest.raises(TriQValidationError) as excinfo:
+            TriQQuery(program, "answer")
+        assert not excinfo.value.report.is_triq
+
+    def test_rejects_unstratified_program(self):
+        program = parse_program("p(?X), not answer(?X) -> q(?X). q(?X) -> answer(?X).")
+        with pytest.raises(Exception):
+            TriQQuery(program, "answer")
+
+    def test_validation_can_be_disabled(self):
+        from repro.reductions.clique import clique_program
+
+        query = TriQQuery(clique_program(), "yes", output_arity=0, validate=True)
+        assert query.report.is_triq
+
+
+class TestEvaluation:
+    def test_simple_evaluation(self):
+        program = parse_program("e(?X, ?Y) -> answer(?X).")
+        query = TriQQuery(program, "answer")
+        assert query.evaluate(db("e(a,b)")) == {(Constant("a"),)}
+
+    def test_holds_convention(self):
+        program = parse_program("e(?X, ?Y) -> answer(?X). e(?X, ?X) -> false.")
+        query = TriQQuery(program, "answer")
+        assert query.holds(db("e(a,b)"), (Constant("a"),))
+        assert not query.holds(db("e(a,b)"), (Constant("b"),))
+        assert query.holds(db("e(a,a)"), (Constant("zzz"),))  # inconsistent database
+
+    def test_clique_example(self):
+        from repro.reductions.clique import clique_database, clique_query
+
+        query = clique_query()
+        triangle = clique_database([("a", "b"), ("b", "c"), ("a", "c")], 3)
+        path = clique_database([("a", "b"), ("b", "c")], 3)
+        assert query.evaluate(triangle) == {()}
+        assert query.evaluate(path) == frozenset()
+
+
+class TestConstraintFreeRewriting:
+    def test_rewriting_replaces_constraints_with_star_rules(self):
+        program = parse_program(
+            """
+            e(?X, ?Y) -> answer(?X, ?Y).
+            e(?X, ?X) -> false.
+            """
+        )
+        query = Query(program, "answer")
+        rewritten, star = constraint_free_rewriting(query)
+        assert star == STAR
+        assert not rewritten.program.has_constraints
+        assert len(rewritten.program.rules) == 2
+
+    def test_theorem_44_equivalence(self):
+        """Q(D) != ⊤ iff (⋆,...,⋆) not in Q'(D); on consistent databases answers agree."""
+        program = parse_program(
+            """
+            e(?X, ?Y) -> answer(?X, ?Y).
+            e(?X, ?X) -> false.
+            """
+        )
+        query = Query(program, "answer")
+        rewritten, star = constraint_free_rewriting(query)
+
+        consistent = db("e(a,b)")
+        inconsistent = db("e(a,a)", "e(a,b)")
+
+        assert evaluate_query(query, consistent) is not INCONSISTENT
+        assert (star, star) not in evaluate_query(rewritten, consistent)
+        assert evaluate_query(query, consistent) == {
+            t for t in evaluate_query(rewritten, consistent) if star not in t
+        }
+
+        assert evaluate_query(query, inconsistent) is INCONSISTENT
+        assert (star, star) in evaluate_query(rewritten, inconsistent)

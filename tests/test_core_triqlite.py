@@ -1,0 +1,122 @@
+"""Tests for TriQ-Lite 1.0 queries (Definition 6.1, Theorem 6.7 machinery)."""
+
+import pytest
+
+from repro.core.triqlite import TriQLiteQuery, TriQLiteValidationError
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_atom, parse_program
+from repro.datalog.semantics import INCONSISTENT
+from repro.datalog.terms import Constant
+
+
+def db(*facts):
+    return Database([parse_atom(f) for f in facts])
+
+
+class TestValidation:
+    def test_every_datalog_query_is_triq_lite(self):
+        """Section 6.3: every Datalog query is a TriQ-Lite 1.0 query."""
+        program = parse_program(
+            "e(?X, ?Y) -> t(?X, ?Y). t(?X, ?Y), e(?Y, ?Z) -> t(?X, ?Z). t(?X, ?Y) -> answer(?X, ?Y)."
+        )
+        query = TriQLiteQuery(program, "answer")
+        assert query.report.is_triq_lite
+
+    def test_warded_existential_program_accepted(self):
+        program = parse_program(
+            """
+            person(?X) -> exists ?Y . parent(?X, ?Y).
+            parent(?X, ?Y) -> person(?Y).
+            person(?X) -> answer(?X).
+            """
+        )
+        assert TriQLiteQuery(program, "answer").report.is_triq_lite
+
+    def test_clique_program_rejected(self):
+        from repro.reductions.clique import clique_program
+
+        with pytest.raises(TriQLiteValidationError):
+            TriQLiteQuery(clique_program(), "yes", output_arity=0)
+
+    def test_non_grounded_negation_rejected(self):
+        program = parse_program(
+            """
+            p(?X) -> exists ?Y . s(?X, ?Y).
+            s(?X, ?Y), not seen(?Y) -> answer(?X).
+            """
+        )
+        with pytest.raises(TriQLiteValidationError) as excinfo:
+            TriQLiteQuery(program, "answer")
+        message = str(excinfo.value)
+        assert "negated" in message or "grounded" in message or "warded" in message
+
+    def test_owl_entailment_translations_are_triq_lite(self):
+        """Corollary 6.2 on a concrete pattern."""
+        from repro.sparql.parser import parse_sparql
+        from repro.translation.entailment_regime import entailment_regime_query
+
+        pattern = parse_sparql("SELECT ?X WHERE { ?X eats _:B }")
+        for mode in ("U", "All"):
+            query, _ = entailment_regime_query(pattern, mode)
+            assert query.report.is_triq_lite
+
+
+class TestEvaluation:
+    def test_recursive_reachability(self):
+        program = parse_program(
+            """
+            edge(?X, ?Y) -> reach(?X, ?Y).
+            reach(?X, ?Y), edge(?Y, ?Z) -> reach(?X, ?Z).
+            reach(?X, ?Y) -> answer(?X, ?Y).
+            """
+        )
+        query = TriQLiteQuery(program, "answer")
+        answers = query.evaluate(db("edge(a,b)", "edge(b,c)"))
+        assert (Constant("a"), Constant("c")) in answers
+
+    def test_existential_witnesses_do_not_leak(self):
+        program = parse_program(
+            """
+            person(?X) -> exists ?Y . parent(?X, ?Y).
+            parent(?X, ?Y) -> has_parent(?X).
+            has_parent(?X) -> answer(?X).
+            """
+        )
+        query = TriQLiteQuery(program, "answer")
+        assert query.evaluate(db("person(a)")) == {(Constant("a"),)}
+
+    def test_constraints(self):
+        program = parse_program(
+            """
+            p(?X) -> answer(?X).
+            p(?X), q(?X) -> false.
+            """
+        )
+        query = TriQLiteQuery(program, "answer")
+        assert query.evaluate(db("p(a)")) == {(Constant("a"),)}
+        assert query.evaluate(db("p(a)", "q(a)")) is INCONSISTENT
+        assert query.holds(db("p(a)", "q(a)"), (Constant("anything"),))
+        assert not query.is_consistent(db("p(a)", "q(a)"))
+
+    def test_materialise_exposes_provenance(self):
+        program = parse_program("e(?X, ?Y) -> answer(?X).")
+        query = TriQLiteQuery(program, "answer")
+        result = query.materialise(db("e(a,b)"))
+        assert parse_atom("answer(a)") in result.provenance
+
+    def test_agrees_with_generic_chase_semantics(self):
+        from repro.datalog.program import Query
+        from repro.datalog.semantics import evaluate_query
+
+        program = parse_program(
+            """
+            emp(?X) -> exists ?Y . works_for(?X, ?Y).
+            works_for(?X, ?Y) -> employed(?X).
+            emp(?X), not senior(?X) -> junior(?X).
+            junior(?X) -> answer(?X).
+            """
+        )
+        database = db("emp(a)", "emp(b)", "senior(b)")
+        lite = TriQLiteQuery(program, "answer").evaluate(database)
+        generic = evaluate_query(Query(program, "answer"), database)
+        assert lite == generic == {(Constant("a"),)}

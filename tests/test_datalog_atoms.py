@@ -1,0 +1,106 @@
+"""Unit tests for atoms, positions and fact unification."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, Position, unify_with_fact
+from repro.datalog.terms import Constant, Null, Variable
+
+
+class TestPosition:
+    def test_one_based(self):
+        with pytest.raises(ValueError):
+            Position("p", 0)
+
+    def test_equality_and_str(self):
+        assert Position("p", 1) == Position("p", 1)
+        assert str(Position("triple", 3)) == "triple[3]"
+
+    def test_ordering(self):
+        assert Position("p", 1) < Position("p", 2) < Position("q", 1)
+
+
+class TestAtom:
+    def test_of_constructor(self):
+        atom = Atom.of("p", Constant("a"), Variable("X"))
+        assert atom.predicate == "p" and atom.arity == 2
+
+    def test_variables_constants_nulls(self):
+        atom = Atom("p", (Constant("a"), Variable("X"), Null("_:b")))
+        assert atom.variables == {Variable("X")}
+        assert atom.constants == {Constant("a")}
+        assert atom.nulls == {Null("_:b")}
+        assert atom.domain == {Constant("a"), Variable("X"), Null("_:b")}
+
+    def test_groundness(self):
+        assert Atom("p", (Constant("a"),)).is_ground
+        assert not Atom("p", (Null("_:b"),)).is_ground
+        assert Atom("p", (Null("_:b"),)).is_fact
+        assert not Atom("p", (Variable("X"),)).is_fact
+
+    def test_positions(self):
+        atom = Atom("p", (Constant("a"), Constant("b")))
+        assert atom.positions() == (Position("p", 1), Position("p", 2))
+
+    def test_positions_of_term(self):
+        atom = Atom("p", (Variable("X"), Constant("a"), Variable("X")))
+        assert atom.positions_of(Variable("X")) == (Position("p", 1), Position("p", 3))
+
+    def test_apply_substitution(self):
+        atom = Atom("p", (Variable("X"), Constant("a")))
+        assert atom.apply({Variable("X"): Constant("c")}) == Atom(
+            "p", (Constant("c"), Constant("a"))
+        )
+
+    def test_apply_leaves_unmapped_terms(self):
+        atom = Atom("p", (Variable("X"), Variable("Y")))
+        result = atom.apply({Variable("X"): Constant("c")})
+        assert result.terms == (Constant("c"), Variable("Y"))
+
+    def test_rename_variables_only(self):
+        atom = Atom("p", (Variable("X"), Constant("a")))
+        renamed = atom.rename_variables({Variable("X"): Variable("Z")})
+        assert renamed == Atom("p", (Variable("Z"), Constant("a")))
+
+    def test_zero_arity(self):
+        atom = Atom("yes", ())
+        assert atom.arity == 0 and atom.is_ground
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("", (Constant("a"),))
+
+    def test_str(self):
+        assert str(Atom("p", (Variable("X"), Constant("a")))) == "p(?X, a)"
+
+
+class TestUnifyWithFact:
+    def test_simple_match(self):
+        pattern = Atom("p", (Variable("X"), Constant("a")))
+        fact = Atom("p", (Constant("c"), Constant("a")))
+        assert unify_with_fact(pattern, fact) == {Variable("X"): Constant("c")}
+
+    def test_constant_mismatch(self):
+        pattern = Atom("p", (Variable("X"), Constant("a")))
+        fact = Atom("p", (Constant("c"), Constant("b")))
+        assert unify_with_fact(pattern, fact) is None
+
+    def test_repeated_variable_must_agree(self):
+        pattern = Atom("p", (Variable("X"), Variable("X")))
+        assert unify_with_fact(pattern, Atom("p", (Constant("a"), Constant("a")))) is not None
+        assert unify_with_fact(pattern, Atom("p", (Constant("a"), Constant("b")))) is None
+
+    def test_different_predicates_never_unify(self):
+        assert unify_with_fact(Atom("p", (Variable("X"),)), Atom("q", (Constant("a"),))) is None
+
+    def test_nulls_behave_like_constants(self):
+        null = Null("_:z")
+        pattern = Atom("p", (null, Variable("X")))
+        fact_good = Atom("p", (null, Constant("a")))
+        fact_bad = Atom("p", (Null("_:other"), Constant("a")))
+        assert unify_with_fact(pattern, fact_good) == {Variable("X"): Constant("a")}
+        assert unify_with_fact(pattern, fact_bad) is None
+
+    def test_variable_can_bind_to_null(self):
+        pattern = Atom("p", (Variable("X"),))
+        fact = Atom("p", (Null("_:z"),))
+        assert unify_with_fact(pattern, fact) == {Variable("X"): Null("_:z")}

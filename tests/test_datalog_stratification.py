@@ -1,0 +1,114 @@
+"""Unit tests for stratification (Section 3.2)."""
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.datalog.stratification import (
+    DependencyGraph,
+    StratificationError,
+    is_stratified,
+    partition_by_stratum,
+    stratify,
+)
+
+
+class TestDependencyGraph:
+    def test_edges_and_polarity(self):
+        program = parse_program(
+            """
+            e(?X, ?Y) -> r(?X, ?Y).
+            r(?X, ?Y), not blocked(?X) -> ok(?X).
+            """
+        )
+        graph = DependencyGraph(program)
+        assert ("e", "r") not in graph.negative_edges()
+        assert ("blocked", "ok") in graph.negative_edges()
+        assert ("r", False) in graph.successors("e")
+
+    def test_sccs_group_mutual_recursion(self):
+        program = parse_program(
+            """
+            p(?X) -> q(?X).
+            q(?X) -> p(?X).
+            base(?X) -> p(?X).
+            """
+        )
+        components = DependencyGraph(program).strongly_connected_components()
+        assert frozenset({"p", "q"}) in components
+
+
+class TestStratify:
+    def test_negation_free_program_single_stratum(self):
+        program = parse_program("e(?X, ?Y) -> t(?X, ?Y). t(?X, ?Y), e(?Y, ?Z) -> t(?X, ?Z).")
+        strata = stratify(program)
+        assert set(strata.values()) == {0}
+
+    def test_negation_pushes_to_higher_stratum(self):
+        program = parse_program(
+            """
+            e(?X, ?Y) -> r(?X, ?Y).
+            node(?X), not r(?X, ?X) -> irreflexive(?X).
+            """
+        )
+        strata = stratify(program)
+        assert strata["irreflexive"] > strata["r"]
+
+    def test_chained_negation_increases_strata(self):
+        program = parse_program(
+            """
+            a(?X), not b(?X) -> c(?X).
+            d(?X), not c(?X) -> e(?X).
+            """
+        )
+        strata = stratify(program)
+        assert strata["e"] > strata["c"] >= strata["b"]
+
+    def test_negation_through_recursion_rejected(self):
+        program = parse_program(
+            """
+            p(?X), not q(?X) -> q(?X).
+            """
+        )
+        with pytest.raises(StratificationError):
+            stratify(program)
+
+    def test_mutual_recursion_with_negation_rejected(self):
+        program = parse_program(
+            """
+            a(?X), not q(?X) -> p(?X).
+            p(?X) -> q(?X).
+            """
+        )
+        with pytest.raises(StratificationError):
+            stratify(program)
+        assert not is_stratified(program)
+
+    def test_is_stratified_positive(self):
+        program = parse_program("p(?X) -> q(?X).")
+        assert is_stratified(program)
+
+    def test_clique_program_is_stratified(self):
+        from repro.reductions.clique import clique_program
+
+        strata = stratify(clique_program().ex())
+        assert strata["yes"] > strata["noclique"]
+        assert strata["zero0"] > strata["not_min"]
+
+
+class TestPartition:
+    def test_rules_grouped_by_head_stratum(self):
+        program = parse_program(
+            """
+            e(?X, ?Y) -> r(?X, ?Y).
+            node(?X), not r(?X, ?X) -> irr(?X).
+            """
+        )
+        strata = stratify(program)
+        partition = partition_by_stratum(program, strata)
+        assert len(partition) == max(strata.values()) + 1
+        assert any(rule.head[0].predicate == "r" for rule in partition[0])
+        assert any(rule.head[0].predicate == "irr" for rule in partition[-1])
+
+    def test_empty_program(self):
+        program = parse_program("")
+        assert partition_by_stratum(program, {}) == [[]]

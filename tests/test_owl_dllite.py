@@ -1,0 +1,119 @@
+"""Tests for the DL-Lite_R entailment oracle."""
+
+from repro.datalog.terms import Constant
+from repro.owl.dllite import DLLiteReasoner
+from repro.owl.model import NamedClass, NamedProperty, Ontology, inverse, some
+from repro.rdf.graph import Triple
+from repro.rdf.namespaces import RDF, RDFS
+
+
+def animal_ontology() -> Ontology:
+    ontology = Ontology()
+    ontology.assert_class("animal", "dog")
+    ontology.sub_class("animal", some("eats"))
+    ontology.sub_class(some(inverse("eats")), "plant_material")
+    return ontology
+
+
+class TestTBoxReasoning:
+    def test_class_hierarchy_closure(self):
+        ontology = Ontology()
+        ontology.sub_class("A", "B").sub_class("B", "C")
+        reasoner = DLLiteReasoner(ontology)
+        assert reasoner.is_subclass(NamedClass("A"), NamedClass("C"))
+        assert reasoner.is_subclass(NamedClass("A"), NamedClass("A"))
+        assert not reasoner.is_subclass(NamedClass("C"), NamedClass("A"))
+
+    def test_property_hierarchy_induces_existential_subsumption(self):
+        ontology = Ontology()
+        ontology.sub_property("headOf", "worksFor")
+        reasoner = DLLiteReasoner(ontology)
+        assert reasoner.is_subproperty(NamedProperty("headOf"), NamedProperty("worksFor"))
+        assert reasoner.is_subproperty(inverse("headOf"), inverse("worksFor"))
+        assert reasoner.is_subclass(some("headOf"), some("worksFor"))
+        assert reasoner.is_subclass(some(inverse("headOf")), some(inverse("worksFor")))
+
+
+class TestABoxReasoning:
+    def test_membership_from_class_hierarchy(self):
+        ontology = Ontology()
+        ontology.sub_class("Student", "Person").assert_class("Student", "alice")
+        reasoner = DLLiteReasoner(ontology)
+        assert reasoner.is_member(Constant("alice"), NamedClass("Person"))
+        assert reasoner.instances_of(NamedClass("Person")) == {Constant("alice")}
+
+    def test_membership_from_role_assertion(self):
+        ontology = Ontology()
+        ontology.assert_property("eats", "dog", "bone")
+        reasoner = DLLiteReasoner(ontology)
+        assert reasoner.is_member(Constant("dog"), some("eats"))
+        assert reasoner.is_member(Constant("bone"), some(inverse("eats")))
+
+    def test_role_pairs_closed_under_subproperties_and_inverses(self):
+        ontology = Ontology()
+        ontology.sub_property("headOf", "worksFor")
+        ontology.assert_property("headOf", "ann", "dept")
+        reasoner = DLLiteReasoner(ontology)
+        assert (Constant("ann"), Constant("dept")) in reasoner.role_pairs(NamedProperty("worksFor"))
+        assert (Constant("dept"), Constant("ann")) in reasoner.role_pairs(inverse("worksFor"))
+
+    def test_existential_axioms_do_not_create_named_role_pairs(self):
+        reasoner = DLLiteReasoner(animal_ontology())
+        assert reasoner.role_pairs(NamedProperty("eats")) == frozenset()
+        assert reasoner.is_member(Constant("dog"), some("eats"))
+
+
+class TestConsistency:
+    def test_consistent_ontology(self):
+        assert DLLiteReasoner(animal_ontology()).is_consistent()
+
+    def test_disjoint_classes_violation(self):
+        ontology = Ontology()
+        ontology.disjoint_classes("Cat", "Dog")
+        ontology.assert_class("Cat", "felix").assert_class("Dog", "felix")
+        reasoner = DLLiteReasoner(ontology)
+        assert not reasoner.is_consistent()
+        assert reasoner.inconsistency_witnesses()
+
+    def test_disjointness_closed_under_hierarchy(self):
+        ontology = Ontology()
+        ontology.disjoint_classes("Animal", "Plant")
+        ontology.sub_class("Dog", "Animal").sub_class("Tree", "Plant")
+        ontology.assert_class("Dog", "x").assert_class("Tree", "x")
+        # The memberships of x include Animal and Plant, which are disjoint.
+        assert not DLLiteReasoner(ontology).is_consistent()
+
+    def test_disjoint_properties_violation(self):
+        ontology = Ontology()
+        ontology.disjoint_properties("likes", "hates")
+        ontology.assert_property("likes", "a", "b").assert_property("hates", "a", "b")
+        assert not DLLiteReasoner(ontology).is_consistent()
+
+
+class TestTripleEntailment:
+    def test_entails_instance_triples(self):
+        reasoner = DLLiteReasoner(animal_ontology())
+        assert reasoner.entails_triple(Triple("dog", RDF.type, "animal"))
+        assert reasoner.entails_triple(Triple("dog", RDF.type, "some_eats"))
+        assert not reasoner.entails_triple(Triple("dog", RDF.type, "plant_material"))
+
+    def test_entails_tbox_triples(self):
+        reasoner = DLLiteReasoner(animal_ontology())
+        assert reasoner.entails_triple(Triple("animal", RDFS.subClassOf, "some_eats"))
+        assert reasoner.entails_triple(Triple("some_eats-", RDFS.subClassOf, "plant_material"))
+
+    def test_entails_role_triples(self):
+        ontology = Ontology()
+        ontology.sub_property("headOf", "worksFor")
+        ontology.assert_property("headOf", "ann", "dept")
+        reasoner = DLLiteReasoner(ontology)
+        assert reasoner.entails_triple(Triple("ann", "worksFor", "dept"))
+        assert reasoner.entails_triple(Triple("dept", "worksFor-", "ann"))
+        assert not reasoner.entails_triple(Triple("dept", "worksFor", "ann"))
+
+    def test_inconsistent_ontology_entails_everything(self):
+        ontology = Ontology()
+        ontology.disjoint_classes("A", "B")
+        ontology.assert_class("A", "x").assert_class("B", "x")
+        reasoner = DLLiteReasoner(ontology)
+        assert reasoner.entails_triple(Triple("anything", "whatever", "really"))

@@ -1,0 +1,123 @@
+"""Tests for the fixed program tau_owl2ql_core (Section 5.2).
+
+The key cross-validation: the Datalog encoding agrees with the independent
+DL-Lite_R oracle on instance/subclass entailment over the RDF representation
+of ontologies — this is the computational content of Theorem 5.3 at the level
+of single triples.
+"""
+
+import pytest
+
+from repro.analysis.guards import classify_program
+from repro.core.warded_engine import WardedEngine
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant
+from repro.owl.dllite import DLLiteReasoner
+from repro.owl.entailment_rules import owl2ql_core_program
+from repro.owl.model import Ontology, inverse, some
+from repro.owl.rdf_mapping import class_uri, ontology_to_graph
+from repro.rdf.namespaces import RDF
+from repro.workloads.ontologies import university_ontology
+
+
+@pytest.fixture(scope="module")
+def program():
+    return owl2ql_core_program()
+
+
+@pytest.fixture(scope="module")
+def engine(program):
+    return WardedEngine(program)
+
+
+class TestProgramShape:
+    def test_program_is_fixed_and_warded(self, program):
+        report = classify_program(program)
+        assert report.warded
+        assert report.is_triq_lite
+        assert program.has_constraints  # the two disjointness constraints
+
+    def test_program_has_one_existential_rule(self, program):
+        assert sum(1 for rule in program.rules if rule.has_existentials) == 1
+
+
+class TestAgainstOracle:
+    def _derived_types(self, engine, ontology):
+        graph = ontology_to_graph(ontology)
+        ground = engine.ground_semantics(graph.to_database())
+        memberships = set()
+        for atom in ground.with_predicate("type"):
+            if atom.is_ground:
+                memberships.add((atom.terms[0], atom.terms[1]))
+        return memberships
+
+    def test_animal_example(self, engine):
+        ontology = Ontology()
+        ontology.assert_class("animal", "dog")
+        ontology.sub_class("animal", some("eats"))
+        memberships = self._derived_types(engine, ontology)
+        assert (Constant("dog"), Constant("animal")) in memberships
+        assert (Constant("dog"), Constant("some_eats")) in memberships
+
+    def test_agrees_with_dllite_oracle_on_university(self, engine):
+        ontology = university_ontology(n_departments=1, students_per_department=4)
+        reasoner = DLLiteReasoner(ontology)
+        memberships = self._derived_types(engine, ontology)
+        named_classes = {c.name for c in ontology.classes}
+        individuals = ontology.individuals()
+
+        for individual in individuals:
+            for class_name in named_classes:
+                oracle = reasoner.is_member(individual, __import__("repro.owl.model", fromlist=["NamedClass"]).NamedClass(class_name))
+                datalog = (individual, Constant(class_name)) in memberships
+                assert oracle == datalog, (
+                    f"mismatch for {individual} : {class_name}: oracle={oracle} datalog={datalog}"
+                )
+
+    def test_subclass_closure_matches_oracle(self, engine):
+        from repro.owl.model import NamedClass
+
+        ontology = university_ontology(n_departments=1, students_per_department=2)
+        reasoner = DLLiteReasoner(ontology)
+        graph = ontology_to_graph(ontology)
+        ground = engine.ground_semantics(graph.to_database())
+        sc = {(a.terms[0], a.terms[1]) for a in ground.with_predicate("sc")}
+        for sub in ("GraduateStudent", "Student", "Professor", "Faculty"):
+            for sup in ("Person", "Employee", "Student", "Faculty"):
+                oracle = reasoner.is_subclass(NamedClass(sub), NamedClass(sup))
+                datalog = (Constant(sub), Constant(sup)) in sc
+                assert oracle == datalog, f"{sub} subClassOf {sup}"
+
+    def test_inverse_role_propagation(self, engine):
+        ontology = Ontology()
+        ontology.sub_property("headOf", "worksFor")
+        ontology.assert_property("headOf", "ann", "dept")
+        graph = ontology_to_graph(ontology)
+        ground = engine.ground_semantics(graph.to_database())
+        triples1 = {tuple(a.terms) for a in ground.with_predicate("triple1")}
+        assert (Constant("ann"), Constant("worksFor"), Constant("dept")) in triples1
+        assert (Constant("dept"), Constant("worksFor-"), Constant("ann")) in triples1
+
+
+class TestConsistencyConstraints:
+    def test_disjointness_violation_detected(self, program):
+        engine = WardedEngine(program)
+        ontology = Ontology()
+        ontology.disjoint_classes("Cat", "Dog")
+        ontology.assert_class("Cat", "felix").assert_class("Dog", "felix")
+        database = ontology_to_graph(ontology).to_database()
+        assert not engine.is_consistent(database)
+
+    def test_consistent_ontology_passes(self, program):
+        engine = WardedEngine(program)
+        ontology = university_ontology(n_departments=1, students_per_department=2, with_disjointness=True)
+        database = ontology_to_graph(ontology).to_database()
+        assert engine.is_consistent(database)
+
+    def test_property_disjointness_violation(self, program):
+        engine = WardedEngine(program)
+        ontology = Ontology()
+        ontology.disjoint_properties("likes", "hates")
+        ontology.assert_property("likes", "a", "b").assert_property("hates", "a", "b")
+        database = ontology_to_graph(ontology).to_database()
+        assert not engine.is_consistent(database)

@@ -1,0 +1,74 @@
+"""Tests for the OWL 2 QL core ontology model."""
+
+from repro.datalog.terms import Constant
+from repro.owl.model import (
+    ClassAssertion,
+    DisjointClasses,
+    ExistentialClass,
+    InverseProperty,
+    NamedClass,
+    NamedProperty,
+    ObjectPropertyAssertion,
+    Ontology,
+    SubClassOf,
+    SubObjectPropertyOf,
+    inverse,
+    some,
+)
+
+
+class TestBasicEntities:
+    def test_inverse_is_involutive(self):
+        assert inverse(inverse("p")) == NamedProperty("p")
+        assert inverse("p") == InverseProperty("p")
+
+    def test_some_builds_existential_class(self):
+        assert some("eats") == ExistentialClass(NamedProperty("eats"))
+        assert some(inverse("eats")).property.is_inverse
+
+    def test_str_forms(self):
+        assert str(inverse("p")) == "p-"
+        assert str(some("p")) == "∃p"
+        assert str(NamedClass("Person")) == "Person"
+
+
+class TestOntology:
+    def test_builder_methods_register_vocabulary(self):
+        ontology = Ontology()
+        ontology.sub_class("Student", "Person")
+        ontology.sub_property("headOf", "worksFor")
+        ontology.assert_class("Student", "alice")
+        ontology.assert_property("worksFor", "alice", "uni")
+        assert NamedClass("Student") in ontology.classes
+        assert NamedClass("Person") in ontology.classes
+        assert NamedProperty("headOf") in ontology.properties
+        assert NamedProperty("worksFor") in ontology.properties
+
+    def test_existential_axiom_registers_property(self):
+        ontology = Ontology()
+        ontology.sub_class("Animal", some("eats"))
+        assert NamedProperty("eats") in ontology.properties
+
+    def test_tbox_abox_partition(self):
+        ontology = Ontology()
+        ontology.sub_class("A", "B").assert_class("A", "x").assert_property("p", "x", "y")
+        assert len(ontology.tbox()) == 1
+        assert len(ontology.abox()) == 2
+
+    def test_individuals(self):
+        ontology = Ontology()
+        ontology.assert_class("A", "x").assert_property("p", "y", "z")
+        assert ontology.individuals() == {Constant("x"), Constant("y"), Constant("z")}
+
+    def test_is_positive(self):
+        ontology = Ontology()
+        ontology.sub_class("A", "B")
+        assert ontology.is_positive()
+        ontology.disjoint_classes("A", "C")
+        assert not ontology.is_positive()
+
+    def test_axiom_equality(self):
+        assert SubClassOf(NamedClass("A"), some("p")) == SubClassOf(NamedClass("A"), some("p"))
+        assert ClassAssertion(NamedClass("A"), Constant("x")) != ClassAssertion(
+            NamedClass("A"), Constant("y")
+        )

@@ -1,0 +1,131 @@
+"""Tests for Table 1: storing OWL 2 QL core ontologies as RDF graphs."""
+
+from repro.datalog.terms import Constant
+from repro.owl.model import (
+    ClassAssertion,
+    DisjointClasses,
+    DisjointObjectProperties,
+    NamedClass,
+    NamedProperty,
+    ObjectPropertyAssertion,
+    Ontology,
+    SubClassOf,
+    SubObjectPropertyOf,
+    inverse,
+    some,
+)
+from repro.owl.rdf_mapping import (
+    axiom_to_triple,
+    class_uri,
+    graph_to_ontology,
+    ontology_to_graph,
+    parse_class_uri,
+    parse_property_uri,
+    property_uri,
+)
+from repro.rdf.graph import Triple
+from repro.rdf.namespaces import OWL, RDF, RDFS
+
+
+class TestURIConventions:
+    def test_property_uri_roundtrip(self):
+        for prop in (NamedProperty("eats"), inverse("eats")):
+            assert parse_property_uri(property_uri(prop)) == prop
+
+    def test_class_uri_roundtrip(self):
+        for cls in (NamedClass("Animal"), some("eats"), some(inverse("eats"))):
+            assert parse_class_uri(class_uri(cls)) == cls
+
+    def test_uri_forms(self):
+        assert property_uri(inverse("eats")) == Constant("eats-")
+        assert class_uri(some("eats")) == Constant("some_eats")
+        assert class_uri(some(inverse("eats"))) == Constant("some_eats-")
+
+
+class TestTable1:
+    def test_each_axiom_form(self):
+        """The exact triple of Table 1 for each of the six axiom forms."""
+        assert axiom_to_triple(SubClassOf(NamedClass("b1"), NamedClass("b2"))) == Triple(
+            "b1", RDFS.subClassOf, "b2"
+        )
+        assert axiom_to_triple(
+            SubObjectPropertyOf(NamedProperty("r1"), NamedProperty("r2"))
+        ) == Triple("r1", RDFS.subPropertyOf, "r2")
+        assert axiom_to_triple(DisjointClasses(NamedClass("b1"), NamedClass("b2"))) == Triple(
+            "b1", OWL.disjointWith, "b2"
+        )
+        assert axiom_to_triple(
+            DisjointObjectProperties(NamedProperty("r1"), NamedProperty("r2"))
+        ) == Triple("r1", OWL.propertyDisjointWith, "r2")
+        assert axiom_to_triple(ClassAssertion(NamedClass("b"), Constant("a"))) == Triple(
+            "a", RDF.type, "b"
+        )
+        assert axiom_to_triple(
+            ObjectPropertyAssertion(NamedProperty("p"), Constant("a1"), Constant("a2"))
+        ) == Triple("a1", "p", "a2")
+
+    def test_basic_class_and_property_arguments(self):
+        triple = axiom_to_triple(SubClassOf(some(inverse("p")), NamedClass("a1")))
+        assert triple == Triple("some_p-", RDFS.subClassOf, "a1")
+
+
+class TestDeclarations:
+    def test_property_declarations_present(self):
+        ontology = Ontology()
+        ontology.sub_class("Animal", some("eats"))
+        graph = ontology_to_graph(ontology)
+        assert ("eats", RDF.type, OWL.ObjectProperty) in graph
+        assert ("eats-", RDF.type, OWL.ObjectProperty) in graph
+        assert ("eats", OWL.inverseOf, "eats-") in graph
+        assert ("some_eats", RDF.type, OWL.Restriction) in graph
+        assert ("some_eats", OWL.onProperty, "eats") in graph
+        assert ("some_eats", OWL.someValuesFrom, OWL.Thing) in graph
+        assert ("some_eats", RDF.type, OWL.Class) in graph
+        assert ("some_eats-", OWL.onProperty, "eats-") in graph
+
+    def test_class_declarations_present(self):
+        ontology = Ontology()
+        ontology.sub_class("Animal", "LivingThing")
+        graph = ontology_to_graph(ontology)
+        assert ("Animal", RDF.type, OWL.Class) in graph
+        assert ("LivingThing", RDF.type, OWL.Class) in graph
+
+    def test_declarations_optional(self):
+        ontology = Ontology()
+        ontology.sub_class("A", "B")
+        assert len(ontology_to_graph(ontology, include_declarations=False)) == 1
+
+
+class TestRoundtrip:
+    def test_graph_to_ontology_recovers_axioms(self):
+        ontology = Ontology()
+        ontology.sub_class("Student", "Person")
+        ontology.sub_class("Person", some("hasName"))
+        ontology.sub_property("headOf", "worksFor")
+        ontology.disjoint_classes("Student", "Course")
+        ontology.disjoint_properties("headOf", "takesCourse")
+        ontology.assert_class("Student", "alice")
+        ontology.assert_property("worksFor", "alice", "uni")
+
+        recovered = graph_to_ontology(ontology_to_graph(ontology))
+        assert sorted(map(str, recovered.axioms)) == sorted(map(str, ontology.axioms))
+
+    def test_roundtrip_on_university_workload(self):
+        from repro.workloads.ontologies import university_ontology
+
+        ontology = university_ontology(n_departments=1, students_per_department=4)
+        recovered = graph_to_ontology(ontology_to_graph(ontology))
+        assert sorted(map(str, recovered.axioms)) == sorted(map(str, ontology.axioms))
+
+    def test_inverse_property_assertion_reoriented(self):
+        """An assertion stored over p- is read back as an assertion over p."""
+        graph = ontology_to_graph(Ontology().sub_property("p", "q"))
+        graph.add(("a", "p-", "b"))
+        recovered = graph_to_ontology(graph)
+        assert any(
+            isinstance(axiom, ObjectPropertyAssertion)
+            and axiom.property == NamedProperty("p")
+            and axiom.subject == Constant("b")
+            and axiom.object == Constant("a")
+            for axiom in recovered.axioms
+        )

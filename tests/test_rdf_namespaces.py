@@ -1,0 +1,39 @@
+"""Tests for the vocabulary namespaces."""
+
+from repro.datalog.terms import Constant
+from repro.rdf.namespaces import OWL, RDF, RDFS, XSD, Namespace, common_prefixes
+
+
+class TestNamespaces:
+    def test_prefixed_constants(self):
+        assert RDF.type == Constant("rdf:type")
+        assert RDFS.subClassOf == Constant("rdfs:subClassOf")
+        assert RDFS.subPropertyOf == Constant("rdfs:subPropertyOf")
+        assert OWL.sameAs == Constant("owl:sameAs")
+        assert OWL.Restriction == Constant("owl:Restriction")
+        assert OWL.someValuesFrom == Constant("owl:someValuesFrom")
+        assert OWL.inverseOf == Constant("owl:inverseOf")
+        assert OWL.Thing == Constant("owl:Thing")
+
+    def test_dynamic_attribute_access(self):
+        assert XSD.integer == Constant("xsd:integer")
+        assert OWL["disjointWith"] == Constant("owl:disjointWith")
+
+    def test_custom_namespace(self):
+        ex = Namespace("ex")
+        assert ex.knows == Constant("ex:knows")
+        assert ex.prefix == "ex"
+
+    def test_common_prefixes(self):
+        prefixes = common_prefixes()
+        assert set(prefixes) == {"rdf", "rdfs", "owl", "xsd"}
+
+    def test_paper_vocabulary_matches_rule_constants(self):
+        """The constants used by tau_owl2ql_core are exactly the namespace constants."""
+        from repro.owl.entailment_rules import owl2ql_core_program
+
+        constants = {c.value for c in owl2ql_core_program().constants}
+        assert "rdf:type" in constants
+        assert "owl:Restriction" in constants
+        assert "owl:someValuesFrom" in constants
+        assert "rdfs:subClassOf" in constants

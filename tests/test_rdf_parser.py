@@ -1,0 +1,69 @@
+"""Tests for the N-Triples-style parser and serialiser."""
+
+import pytest
+
+from repro.datalog.terms import Constant, Null
+from repro.rdf.parser import RDFParseError, parse_ntriples, serialize_ntriples
+
+
+class TestParse:
+    def test_basic_triples(self):
+        graph = parse_ntriples(
+            """
+            dbUllman is_author_of "The Complete Book" .
+            dbUllman name "Jeffrey Ullman" .
+            """
+        )
+        assert len(graph) == 2
+        assert ("dbUllman", "name", "Jeffrey Ullman") in graph
+
+    def test_comments_and_blank_lines(self):
+        graph = parse_ntriples("# a comment\n\n a p b .\n")
+        assert len(graph) == 1
+
+    def test_prefixed_names(self):
+        graph = parse_ntriples("r1 rdf:type owl:Restriction .")
+        assert ("r1", "rdf:type", "owl:Restriction") in graph
+
+    def test_angle_uris(self):
+        graph = parse_ntriples("<http://dbpedia.org/u> owl:sameAs yagoUllman .")
+        assert ("http://dbpedia.org/u", "owl:sameAs", "yagoUllman") in graph
+
+    def test_blank_nodes(self):
+        graph = parse_ntriples("_:b1 is_author_of book .")
+        triple = next(iter(graph))
+        assert isinstance(triple.subject, Null)
+
+    def test_missing_component_fails(self):
+        with pytest.raises(RDFParseError):
+            parse_ntriples("a p .")
+
+    def test_trailing_garbage_fails(self):
+        with pytest.raises(RDFParseError):
+            parse_ntriples("a p b extra stuff .")
+
+    def test_dot_is_optional(self):
+        assert len(parse_ntriples("a p b")) == 1
+
+
+class TestSerialize:
+    def test_roundtrip(self):
+        source = parse_ntriples(
+            """
+            dbUllman is_author_of "The Complete Book" .
+            dbAho name "Alfred Aho" .
+            r1 rdf:type owl:Restriction .
+            <http://example.org/x> owl:sameAs y .
+            """
+        )
+        assert parse_ntriples(serialize_ntriples(source)) == source
+
+    def test_empty_graph(self):
+        from repro.rdf.graph import RDFGraph
+
+        assert serialize_ntriples(RDFGraph()) == ""
+
+    def test_deterministic_order(self):
+        graph = parse_ntriples("b p c .\na p b .")
+        lines = serialize_ntriples(graph).strip().splitlines()
+        assert lines == sorted(lines)

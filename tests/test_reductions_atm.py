@@ -1,0 +1,119 @@
+"""Tests for alternating Turing machines and the Theorem 6.15 reduction."""
+
+import pytest
+
+from repro.analysis.guards import classify_program
+from repro.reductions.atm import (
+    ACCEPT_STATE,
+    REJECT_STATE,
+    AlternatingTuringMachine,
+    Transition,
+    atm_accepts_directly,
+    atm_accepts_via_datalog,
+    atm_database,
+    atm_program,
+)
+
+
+def exist_machine(first_ok=True, second_ok=False):
+    """delta(s0, 1) = ((s_accept|s_reject), ..., R), ((s_accept|s_reject), ..., R)."""
+    return AlternatingTuringMachine(
+        existential_states=frozenset({"s0"}),
+        universal_states=frozenset(),
+        transitions=(
+            Transition(
+                "s0",
+                "1",
+                (ACCEPT_STATE if first_ok else REJECT_STATE, "1", +1),
+                (ACCEPT_STATE if second_ok else REJECT_STATE, "1", +1),
+            ),
+        ),
+        initial_state="s0",
+    )
+
+
+def forall_machine(first_ok=True, second_ok=True):
+    return AlternatingTuringMachine(
+        existential_states=frozenset(),
+        universal_states=frozenset({"s0"}),
+        transitions=(
+            Transition(
+                "s0",
+                "1",
+                (ACCEPT_STATE if first_ok else REJECT_STATE, "1", +1),
+                (ACCEPT_STATE if second_ok else REJECT_STATE, "1", +1),
+            ),
+        ),
+        initial_state="s0",
+    )
+
+
+def two_step_machine():
+    """Existential then universal step: accepts iff the first cell is 1 and the second is 1."""
+    return AlternatingTuringMachine(
+        existential_states=frozenset({"s0"}),
+        universal_states=frozenset({"s1"}),
+        transitions=(
+            Transition("s0", "1", ("s1", "1", +1), ("s1", "1", +1)),
+            Transition("s1", "1", (ACCEPT_STATE, "1", -1), (ACCEPT_STATE, "1", -1)),
+            Transition("s1", "0", (REJECT_STATE, "0", -1), (REJECT_STATE, "0", -1)),
+        ),
+        initial_state="s0",
+    )
+
+
+class TestDirectSemantics:
+    def test_existential_accepts_if_some_branch_accepts(self):
+        assert atm_accepts_directly(exist_machine(True, False), ["1", "1"])
+        assert atm_accepts_directly(exist_machine(False, True), ["1", "1"])
+        assert not atm_accepts_directly(exist_machine(False, False), ["1", "1"])
+
+    def test_universal_needs_both_branches(self):
+        assert atm_accepts_directly(forall_machine(True, True), ["1", "1"])
+        assert not atm_accepts_directly(forall_machine(True, False), ["1", "1"])
+
+    def test_two_step_machine_reads_tape(self):
+        machine = two_step_machine()
+        assert atm_accepts_directly(machine, ["1", "1"])
+        assert not atm_accepts_directly(machine, ["1", "0"])
+        assert not atm_accepts_directly(machine, ["0", "1"])
+
+
+class TestReduction:
+    def test_program_is_fixed_minimal_interaction_but_not_warded(self):
+        report = classify_program(atm_program())
+        assert report.warded_minimal_interaction
+        assert not report.warded
+        assert report.is_triq  # it is weakly-frontier-guarded
+
+    def test_database_encodes_machine_and_input(self):
+        from repro.datalog.atoms import Atom
+        from repro.datalog.terms import Constant
+
+        database = atm_database(exist_machine(), ["1", "0"])
+        predicates = {atom.predicate for atom in database}
+        assert {"config", "state", "cursor", "symbol", "next_cell", "neq", "transition"} <= predicates
+        assert Atom("exists_state", (Constant("s0"),)) in database
+
+    def test_empty_tape_rejected(self):
+        with pytest.raises(ValueError):
+            atm_database(exist_machine(), [])
+
+    @pytest.mark.parametrize(
+        "machine,tape",
+        [
+            (exist_machine(True, False), ["1", "1"]),
+            (exist_machine(False, False), ["1", "1"]),
+            (forall_machine(True, True), ["1", "1"]),
+            (forall_machine(True, False), ["1", "1"]),
+        ],
+    )
+    def test_reduction_faithful_on_single_step_machines(self, machine, tape):
+        assert atm_accepts_via_datalog(machine, tape, depth=3) == atm_accepts_directly(
+            machine, tape
+        )
+
+    def test_reduction_faithful_on_two_step_machine(self):
+        machine = two_step_machine()
+        assert atm_accepts_via_datalog(machine, ["1", "1"], depth=4) is True
+        assert atm_accepts_via_datalog(machine, ["1", "0"], depth=4) is False

@@ -1,0 +1,65 @@
+"""Tests for the Example 4.3 k-clique reduction."""
+
+import pytest
+
+from repro.analysis.guards import classify_program
+from repro.datalog.parser import parse_atom
+from repro.reductions.clique import (
+    clique_database,
+    clique_program,
+    clique_query,
+    contains_clique,
+    contains_clique_bruteforce,
+)
+from repro.workloads.graphs import random_undirected_graph
+
+TRIANGLE = [("a", "b"), ("b", "c"), ("a", "c")]
+PATH = [("a", "b"), ("b", "c")]
+SQUARE = [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")]
+K4 = [("a", "b"), ("a", "c"), ("a", "d"), ("b", "c"), ("b", "d"), ("c", "d")]
+
+
+class TestDatabaseEncoding:
+    def test_nodes_edges_and_successors(self):
+        database = clique_database(TRIANGLE, 3)
+        assert parse_atom("node0(a)") in database
+        assert parse_atom("edge0(a,b)") in database and parse_atom("edge0(b,a)") in database
+        assert parse_atom("succ0(0,1)") in database and parse_atom("succ0(2,3)") in database
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            clique_database(TRIANGLE, 0)
+
+
+class TestProgramShape:
+    def test_query_is_triq_but_not_triq_lite(self):
+        report = classify_program(clique_program())
+        assert report.is_triq and not report.is_triq_lite
+
+    def test_query_object_validates(self):
+        assert clique_query().output_arity == 0
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "edges,k,expected",
+        [
+            (TRIANGLE, 3, True),
+            (TRIANGLE, 2, True),
+            (PATH, 3, False),
+            (PATH, 2, True),
+            (SQUARE, 3, False),
+            (K4, 3, True),
+        ],
+    )
+    def test_against_bruteforce(self, edges, k, expected):
+        assert contains_clique_bruteforce(edges, k) is expected
+        assert contains_clique(edges, k) is expected
+
+    def test_random_graphs_agree_with_bruteforce(self):
+        for seed in range(3):
+            edges = random_undirected_graph(5, 0.5, seed=seed)
+            if not edges:
+                continue
+            for k in (2, 3):
+                assert contains_clique(edges, k) == contains_clique_bruteforce(edges, k)

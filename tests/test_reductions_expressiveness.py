@@ -1,0 +1,59 @@
+"""Tests for program expressive power (Theorems 7.1 / 7.2)."""
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.reductions.expressiveness import (
+    datalog_pep_coexistence,
+    pep_output_rules,
+    pep_witness_database,
+    pep_witness_program,
+    warded_pep_separation,
+)
+
+
+class TestWitnesses:
+    def test_witness_program_is_warded_but_not_datalog(self):
+        from repro.analysis.guards import is_warded
+
+        program = pep_witness_program()
+        assert program.has_existentials
+        assert is_warded(program)
+
+    def test_witness_database(self):
+        database = pep_witness_database()
+        assert len(database) == 1
+
+    def test_output_rules_share_the_output_predicate(self):
+        lambda1, lambda2 = pep_output_rules()
+        assert lambda1.rules[0].head[0].predicate == "q"
+        assert lambda2.rules[0].head[0].predicate == "q"
+
+
+class TestTheorem71:
+    def test_warded_program_separates(self):
+        """() ∈ Q1(D) and () ∉ Q2(D) for the warded witness program."""
+        separation = warded_pep_separation()
+        assert separation.q1_holds
+        assert not separation.q2_holds
+        assert separation.separates
+
+    @pytest.mark.parametrize(
+        "program_text",
+        [
+            "",  # the empty program
+            "p(?X) -> s(?X, ?X).",
+            "p(?X) -> s(?X, c).",
+            "p(?X), p(?Y) -> s(?X, ?Y).",
+            "p(?X) -> r(?X). r(?X) -> s(?X, ?X).",
+            "p(?X) -> s(c, c).",
+        ],
+    )
+    def test_datalog_programs_cannot_separate(self, program_text):
+        """For Datalog programs the two memberships coexist (the Theorem 7.1 argument)."""
+        program = parse_program(program_text)
+        assert datalog_pep_coexistence(program)
+
+    def test_existential_program_rejected_by_coexistence_check(self):
+        with pytest.raises(ValueError):
+            datalog_pep_coexistence(pep_witness_program())

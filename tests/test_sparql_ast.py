@@ -1,0 +1,72 @@
+"""Tests for the SPARQL pattern AST (variables, well-formedness, traversal)."""
+
+import pytest
+
+from repro.datalog.terms import Constant, Null, Variable
+from repro.sparql.ast import (
+    And,
+    BGP,
+    Bound,
+    EqualsConstant,
+    EqualsVariable,
+    Filter,
+    Opt,
+    Select,
+    TriplePattern,
+    Union,
+    walk_basic_patterns,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestTriplePattern:
+    def test_term_coercion(self):
+        pattern = TriplePattern("?X", "name", "_:B")
+        assert pattern.subject == X
+        assert pattern.predicate == Constant("name")
+        assert isinstance(pattern.object, Null)
+
+    def test_variables_and_blank_nodes(self):
+        pattern = TriplePattern("?X", "?Y", "_:B")
+        assert pattern.variables() == {X, Y}
+        assert len(pattern.blank_nodes()) == 1
+
+
+class TestVarOfPattern:
+    def test_bgp_variables(self):
+        bgp = BGP.of(("?X", "name", "?Y"), ("?X", "phone", "?Z"))
+        assert bgp.variables() == {X, Y, Z}
+
+    def test_operator_variables_are_unions(self):
+        left = BGP.of(("?X", "p", "?Y"))
+        right = BGP.of(("?Y", "q", "?Z"))
+        for combinator in (And, Union, Opt):
+            assert combinator(left, right).variables() == {X, Y, Z}
+
+    def test_select_variables(self):
+        pattern = Select([X], BGP.of(("?X", "p", "?Y")))
+        assert pattern.variables() == {X}
+
+    def test_filter_requires_condition_variables_in_pattern(self):
+        with pytest.raises(ValueError):
+            Filter(BGP.of(("?X", "p", "?Y")), Bound(Z))
+        assert Filter(BGP.of(("?X", "p", "?Y")), EqualsVariable(X, Y))
+
+
+class TestConditionVariables:
+    def test_atomic_conditions(self):
+        assert Bound(X).variables() == {X}
+        assert EqualsConstant(X, Constant("a")).variables() == {X}
+        assert EqualsVariable(X, Y).variables() == {X, Y}
+
+
+class TestWalk:
+    def test_walk_basic_patterns_visits_all_bgps(self):
+        first = BGP.of(("?X", "p", "?Y"))
+        second = BGP.of(("?Y", "q", "?Z"))
+        third = BGP.of(("?Z", "r", "?X"))
+        pattern = Select([X], And(Union(first, second), Opt(third, first)))
+        visited = list(walk_basic_patterns(pattern))
+        assert visited.count(first) == 2
+        assert second in visited and third in visited

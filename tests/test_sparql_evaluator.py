@@ -1,0 +1,134 @@
+"""Tests for the SPARQL evaluation semantics ⟦P⟧_G (Section 3.1)."""
+
+from repro.datalog.terms import Constant, Null, Variable
+from repro.rdf.graph import RDFGraph
+from repro.sparql.ast import (
+    And,
+    BGP,
+    Bound,
+    EqualsConstant,
+    EqualsVariable,
+    Filter,
+    Not,
+    Opt,
+    OrCondition,
+    Select,
+    TriplePattern,
+    Union,
+)
+from repro.sparql.evaluator import evaluate_bgp, evaluate_pattern, satisfies
+from repro.sparql.mappings import Mapping
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def graph():
+    return RDFGraph(
+        [
+            ("alice", "name", "Alice"),
+            ("alice", "phone", "123"),
+            ("bob", "name", "Bob"),
+            ("alice", "knows", "bob"),
+        ]
+    )
+
+
+class TestBGP:
+    def test_single_pattern(self):
+        result = evaluate_pattern(BGP.of(("?X", "name", "?Y")), graph())
+        assert Mapping({X: "alice", Y: "Alice"}) in result
+        assert len(result) == 2
+
+    def test_join_within_bgp(self):
+        result = evaluate_pattern(BGP.of(("?X", "name", "?Y"), ("?X", "phone", "?Z")), graph())
+        assert result == {Mapping({X: "alice", Y: "Alice", Z: "123"})}
+
+    def test_blank_nodes_are_existential(self):
+        pattern = BGP.of(("?X", "phone", "_:B"))
+        result = evaluate_pattern(pattern, graph())
+        assert result == {Mapping({X: "alice"})}
+
+    def test_constants_must_match(self):
+        result = evaluate_pattern(BGP.of(("bob", "name", "?Y")), graph())
+        assert result == {Mapping({Y: "Bob"})}
+
+    def test_empty_bgp_yields_empty_mapping(self):
+        assert evaluate_pattern(BGP(()), graph()) == {Mapping({})}
+
+    def test_repeated_variable(self):
+        g = RDFGraph([("a", "p", "a"), ("a", "p", "b")])
+        result = evaluate_pattern(BGP.of(("?X", "p", "?X")), g)
+        assert result == {Mapping({X: "a"})}
+
+
+class TestOperators:
+    def test_and(self):
+        pattern = And(BGP.of(("?X", "name", "?Y")), BGP.of(("?X", "phone", "?Z")))
+        assert evaluate_pattern(pattern, graph()) == {
+            Mapping({X: "alice", Y: "Alice", Z: "123"})
+        }
+
+    def test_union(self):
+        pattern = Union(BGP.of(("?X", "phone", "?Z")), BGP.of(("?X", "knows", "?Z")))
+        assert len(evaluate_pattern(pattern, graph())) == 2
+
+    def test_opt_keeps_unmatched_left(self):
+        pattern = Opt(BGP.of(("?X", "name", "?Y")), BGP.of(("?X", "phone", "?Z")))
+        result = evaluate_pattern(pattern, graph())
+        assert Mapping({X: "alice", Y: "Alice", Z: "123"}) in result
+        assert Mapping({X: "bob", Y: "Bob"}) in result
+
+    def test_filter_equals_constant(self):
+        pattern = Filter(BGP.of(("?X", "name", "?Y")), EqualsConstant(Y, Constant("Alice")))
+        assert evaluate_pattern(pattern, graph()) == {Mapping({X: "alice", Y: "Alice"})}
+
+    def test_filter_bound_after_opt(self):
+        pattern = Filter(
+            Opt(BGP.of(("?X", "name", "?Y")), BGP.of(("?X", "phone", "?Z"))),
+            Bound(Z),
+        )
+        assert evaluate_pattern(pattern, graph()) == {
+            Mapping({X: "alice", Y: "Alice", Z: "123"})
+        }
+
+    def test_filter_negation(self):
+        pattern = Filter(
+            BGP.of(("?X", "name", "?Y")), Not(EqualsConstant(Y, Constant("Alice")))
+        )
+        assert evaluate_pattern(pattern, graph()) == {Mapping({X: "bob", Y: "Bob"})}
+
+    def test_select_projects(self):
+        pattern = Select([X], BGP.of(("?X", "name", "?Y")))
+        assert evaluate_pattern(pattern, graph()) == {
+            Mapping({X: "alice"}),
+            Mapping({X: "bob"}),
+        }
+
+    def test_nested_operators(self):
+        pattern = Select(
+            [X, Z],
+            And(
+                Union(BGP.of(("?X", "name", "Alice")), BGP.of(("?X", "name", "Bob"))),
+                Opt(BGP.of(("?X", "name", "?Y")), BGP.of(("?X", "phone", "?Z"))),
+            ),
+        )
+        result = evaluate_pattern(pattern, graph())
+        assert Mapping({X: "alice", Z: "123"}) in result
+        assert Mapping({X: "bob"}) in result
+
+
+class TestConditionSatisfaction:
+    def test_bound(self):
+        assert satisfies(Mapping({X: "a"}), Bound(X))
+        assert not satisfies(Mapping({}), Bound(X))
+
+    def test_equals_variable(self):
+        assert satisfies(Mapping({X: "a", Y: "a"}), EqualsVariable(X, Y))
+        assert not satisfies(Mapping({X: "a", Y: "b"}), EqualsVariable(X, Y))
+        assert not satisfies(Mapping({X: "a"}), EqualsVariable(X, Y))
+
+    def test_boolean_connectives(self):
+        condition = OrCondition(EqualsConstant(X, Constant("a")), Bound(Y))
+        assert satisfies(Mapping({X: "a"}), condition)
+        assert satisfies(Mapping({X: "zzz", Y: "w"}), condition)
+        assert not satisfies(Mapping({X: "zzz"}), condition)

@@ -1,0 +1,88 @@
+"""Tests for mappings and the SPARQL algebra operators (Section 3.1)."""
+
+from repro.datalog.terms import Constant, Variable
+from repro.sparql.mappings import (
+    EMPTY_MAPPING,
+    Mapping,
+    compatible,
+    join,
+    left_outer_join,
+    minus,
+    union,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+class TestMapping:
+    def test_construction_coerces_strings(self):
+        mapping = Mapping({"?X": "a"})
+        assert mapping[X] == a
+
+    def test_domain(self):
+        assert Mapping({X: a, Y: b}).domain == {X, Y}
+
+    def test_restrict(self):
+        mapping = Mapping({X: a, Y: b})
+        assert mapping.restrict([X]) == Mapping({X: a})
+        assert mapping.restrict([Z]) == EMPTY_MAPPING
+
+    def test_merge(self):
+        assert Mapping({X: a}).merge(Mapping({Y: b})) == Mapping({X: a, Y: b})
+
+    def test_equality_and_hash(self):
+        assert Mapping({X: a, Y: b}) == Mapping({Y: b, X: a})
+        assert len({Mapping({X: a}), Mapping({X: a})}) == 1
+
+    def test_get_and_contains(self):
+        mapping = Mapping({X: a})
+        assert X in mapping and Y not in mapping
+        assert mapping.get(Y) is None
+
+
+class TestCompatibility:
+    def test_empty_mapping_compatible_with_everything(self):
+        assert compatible(EMPTY_MAPPING, Mapping({X: a}))
+
+    def test_agreeing_mappings(self):
+        assert compatible(Mapping({X: a}), Mapping({X: a, Y: b}))
+
+    def test_conflicting_mappings(self):
+        assert not compatible(Mapping({X: a}), Mapping({X: b}))
+
+    def test_disjoint_domains_are_compatible(self):
+        assert compatible(Mapping({X: a}), Mapping({Y: b}))
+
+
+class TestAlgebra:
+    def test_join(self):
+        left = {Mapping({X: a}), Mapping({X: b})}
+        right = {Mapping({X: a, Y: c})}
+        assert join(left, right) == {Mapping({X: a, Y: c})}
+
+    def test_join_with_incompatible_is_empty(self):
+        assert join({Mapping({X: a})}, {Mapping({X: b})}) == set()
+
+    def test_union(self):
+        assert union({Mapping({X: a})}, {Mapping({Y: b})}) == {
+            Mapping({X: a}),
+            Mapping({Y: b}),
+        }
+
+    def test_minus(self):
+        left = {Mapping({X: a}), Mapping({X: b})}
+        right = {Mapping({X: a, Y: c})}
+        # Mapping X->a is compatible with the right mapping, X->b is not.
+        assert minus(left, right) == {Mapping({X: b})}
+
+    def test_left_outer_join(self):
+        left = {Mapping({X: a}), Mapping({X: b})}
+        right = {Mapping({X: a, Y: c})}
+        assert left_outer_join(left, right) == {Mapping({X: a, Y: c}), Mapping({X: b})}
+
+    def test_paper_identity(self):
+        """Omega1 ⟕ Omega2 = (Omega1 ⋈ Omega2) ∪ (Omega1 ∖ Omega2)."""
+        left = {Mapping({X: a}), Mapping({X: b, Y: c})}
+        right = {Mapping({X: a, Z: c}), Mapping({Y: b})}
+        assert left_outer_join(left, right) == union(join(left, right), minus(left, right))

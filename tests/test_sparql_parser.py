@@ -1,0 +1,90 @@
+"""Tests for the SPARQL concrete-syntax parser."""
+
+import pytest
+
+from repro.datalog.terms import Variable
+from repro.sparql.ast import And, BGP, Filter, Opt, Select, Union
+from repro.sparql.parser import SPARQLParseError, parse_sparql
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestParser:
+    def test_simple_select(self):
+        query = parse_sparql("SELECT ?X WHERE { ?Y is_author_of ?Z . ?Y name ?X }")
+        assert query.projection == (X,)
+        assert isinstance(query.pattern, BGP)
+        assert len(query.pattern.patterns) == 2
+
+    def test_projection_order_preserved(self):
+        query = parse_sparql("SELECT ?Z ?X WHERE { ?X p ?Z }")
+        assert query.projection == (Z, X)
+
+    def test_union(self):
+        query = parse_sparql(
+            """
+            SELECT ?X WHERE {
+              { ?X name ?Y }
+              UNION
+              { ?X phone ?Y }
+            }
+            """
+        )
+        assert isinstance(query.pattern, Union)
+
+    def test_optional(self):
+        query = parse_sparql("SELECT ?X ?Z WHERE { ?X name ?Y OPTIONAL { ?X phone ?Z } }")
+        assert isinstance(query.pattern, Opt)
+
+    def test_filter(self):
+        query = parse_sparql('SELECT ?X WHERE { ?X name ?Y FILTER (?Y = "Alice") }')
+        assert isinstance(query.pattern, Filter)
+
+    def test_filter_connectives(self):
+        query = parse_sparql(
+            "SELECT ?X WHERE { ?X name ?Y FILTER (bound(?Y) && !(?Y = ?X)) }"
+        )
+        assert isinstance(query.pattern, Filter)
+
+    def test_nested_groups_joined_with_and(self):
+        query = parse_sparql("SELECT ?X WHERE { { ?X p ?Y } { ?Y q ?Z } }")
+        assert isinstance(query.pattern, And)
+
+    def test_blank_nodes(self):
+        query = parse_sparql("SELECT ?X WHERE { ?X eats _:B }")
+        assert isinstance(query.pattern, BGP)
+        assert len(query.pattern.blank_nodes()) == 1
+
+    def test_algebra_wraps_in_select(self):
+        query = parse_sparql("SELECT ?X WHERE { ?X p ?Y }")
+        assert isinstance(query.algebra(), Select)
+
+    def test_keywords_case_insensitive(self):
+        query = parse_sparql("select ?X where { ?X p ?Y optional { ?X q ?Z } }")
+        assert isinstance(query.pattern, Opt)
+
+    def test_comments(self):
+        query = parse_sparql("SELECT ?X WHERE { ?X p ?Y # trailing comment\n }")
+        assert isinstance(query.pattern, BGP)
+
+
+class TestParserErrors:
+    def test_missing_where(self):
+        with pytest.raises(SPARQLParseError):
+            parse_sparql("SELECT ?X { ?X p ?Y }")
+
+    def test_missing_projection(self):
+        with pytest.raises(SPARQLParseError):
+            parse_sparql("SELECT WHERE { ?X p ?Y }")
+
+    def test_unterminated_group(self):
+        with pytest.raises(SPARQLParseError):
+            parse_sparql("SELECT ?X WHERE { ?X p ?Y ")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(SPARQLParseError):
+            parse_sparql("SELECT ?X WHERE { ?X p ?Y } garbage")
+
+    def test_filter_without_variable(self):
+        with pytest.raises(SPARQLParseError):
+            parse_sparql("SELECT ?X WHERE { ?X p ?Y FILTER (a = b) }")

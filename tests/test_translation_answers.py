@@ -1,0 +1,44 @@
+"""Tests for the answer decoding (⋆-padded tuples -> mappings)."""
+
+from repro.datalog.semantics import INCONSISTENT
+from repro.datalog.terms import Constant, Variable
+from repro.sparql.mappings import Mapping
+from repro.sparql.parser import parse_sparql
+from repro.translation.answers import decode_answers, mappings_of_translation
+from repro.translation.sparql_to_datalog import STAR, translate_select_query
+
+X, Y = Variable("X"), Variable("Y")
+
+
+class TestDecodeAnswers:
+    def test_full_tuple(self):
+        mappings = decode_answers({(Constant("a"), Constant("b"))}, (X, Y))
+        assert mappings == {Mapping({X: "a", Y: "b"})}
+
+    def test_star_positions_dropped(self):
+        mappings = decode_answers({(Constant("a"), STAR)}, (X, Y))
+        assert mappings == {Mapping({X: "a"})}
+
+    def test_all_star_tuple_is_empty_mapping(self):
+        mappings = decode_answers({(STAR, STAR)}, (X, Y))
+        assert mappings == {Mapping({})}
+
+    def test_multiple_tuples(self):
+        mappings = decode_answers(
+            {(Constant("a"), STAR), (Constant("a"), Constant("b"))}, (X, Y)
+        )
+        assert len(mappings) == 2
+
+    def test_empty_answer_set(self):
+        assert decode_answers(set(), (X, Y)) == set()
+
+
+class TestMappingsOfTranslation:
+    def test_propagates_inconsistent(self):
+        translation = translate_select_query(parse_sparql("SELECT ?X WHERE { ?X p ?Y }"))
+        assert mappings_of_translation(translation, INCONSISTENT) is INCONSISTENT
+
+    def test_decodes_regular_results(self):
+        translation = translate_select_query(parse_sparql("SELECT ?X WHERE { ?X p ?Y }"))
+        result = frozenset({(Constant("a"),)})
+        assert mappings_of_translation(translation, result) == {Mapping({X: "a"})}

@@ -1,0 +1,123 @@
+"""Tests for the SPARQL -> Datalog translation P_dat (Section 5.1, Theorem 5.2)."""
+
+import pytest
+
+from repro.datalog.seminaive import SemiNaiveEvaluator
+from repro.rdf.graph import RDFGraph
+from repro.sparql.evaluator import evaluate_pattern
+from repro.sparql.parser import parse_sparql
+from repro.translation.answers import decode_answers
+from repro.translation.sparql_to_datalog import (
+    STAR,
+    SPARQLToDatalogTranslator,
+    translate_pattern,
+    translate_select_query,
+)
+
+
+def example_graph() -> RDFGraph:
+    return RDFGraph(
+        [
+            ("a", "name", "Alice"),
+            ("a", "phone", "123"),
+            ("b", "name", "Bob"),
+            ("b", "phone_company", "Acme"),
+            ("123", "phone_company", "TelCo"),
+            ("a", "knows", "b"),
+        ]
+    )
+
+
+def datalog_mappings(translation, graph):
+    evaluator = SemiNaiveEvaluator(translation.program)
+    instance = evaluator.evaluate(graph.to_database())
+    tuples = {
+        tuple(atom.terms)
+        for atom in instance.with_predicate(translation.answer_predicate)
+        if atom.is_ground
+    }
+    return decode_answers(tuples, translation.answer_variables)
+
+
+THEOREM_52_QUERIES = [
+    "SELECT ?X ?Y WHERE { ?X name ?Y }",
+    "SELECT ?X WHERE { ?X name _:B }",
+    "SELECT ?X ?Y WHERE { ?X knows ?Y . ?Y name ?Z }",
+    "SELECT ?X ?Y ?Z WHERE { ?X name ?Y OPTIONAL { ?X phone ?Z } }",
+    "SELECT ?X ?Y ?Z ?W WHERE { { ?X name ?Y OPTIONAL { ?X phone ?Z } } { ?Z phone_company ?W } }",
+    'SELECT ?X ?Y WHERE { ?X name ?Y FILTER (?Y = "Alice") }',
+    'SELECT ?X ?Y WHERE { ?X name ?Y FILTER (!(?Y = "Alice")) }',
+    "SELECT ?X ?Y ?Z WHERE { ?X name ?Y OPTIONAL { ?X phone ?Z } FILTER (bound(?Z)) }",
+    "SELECT ?X ?Y ?Z WHERE { ?X name ?Y OPTIONAL { ?X phone ?Z } FILTER (!bound(?Z)) }",
+    'SELECT ?X WHERE { { ?X name "Alice" } UNION { ?X phone_company ?W } }',
+    "SELECT ?X ?W WHERE { { ?X name _:B } UNION { ?X knows ?W OPTIONAL { ?W phone ?P } } }",
+    "SELECT ?X WHERE { ?X name ?Y FILTER (bound(?Y) && !(?Y = ?X)) }",
+]
+
+
+class TestTheorem52:
+    @pytest.mark.parametrize("query_text", THEOREM_52_QUERIES)
+    def test_translation_agrees_with_sparql_semantics(self, query_text):
+        """⟦P⟧_G = ⟦(P_dat, tau_db(G))⟧ on the Example 5.1 style suite."""
+        graph = example_graph()
+        query = parse_sparql(query_text)
+        sparql_answers = evaluate_pattern(query.algebra(), graph)
+        translation = translate_select_query(query)
+        assert datalog_mappings(translation, graph) == sparql_answers
+
+    def test_translation_on_empty_graph(self):
+        graph = RDFGraph()
+        query = parse_sparql("SELECT ?X WHERE { ?X name ?Y }")
+        translation = translate_select_query(query)
+        assert datalog_mappings(translation, graph) == set()
+
+
+class TestTranslationStructure:
+    def test_program_is_plain_datalog_with_stratified_negation(self):
+        query = parse_sparql("SELECT ?X ?Z WHERE { ?X name ?Y OPTIONAL { ?X phone ?Z } }")
+        translation = translate_select_query(query)
+        assert not translation.program.has_existentials
+        from repro.datalog.stratification import is_stratified
+
+        assert is_stratified(translation.program)
+
+    def test_translation_is_triq_lite(self):
+        """P_dat is in particular a warded program with grounded negation."""
+        from repro.analysis.guards import classify_program
+
+        query = parse_sparql("SELECT ?X ?Z WHERE { ?X name ?Y OPTIONAL { ?X phone ?Z } }")
+        translation = translate_select_query(query)
+        assert classify_program(translation.program).is_triq_lite
+
+    def test_star_padding_for_unbound_positions(self):
+        graph = example_graph()
+        query = parse_sparql("SELECT ?X ?Z WHERE { ?X name ?Y OPTIONAL { ?X phone ?Z } }")
+        translation = translate_select_query(query)
+        evaluator = SemiNaiveEvaluator(translation.program)
+        instance = evaluator.evaluate(graph.to_database())
+        tuples = {
+            tuple(atom.terms)
+            for atom in instance.with_predicate(translation.answer_predicate)
+        }
+        assert any(STAR in t for t in tuples)
+
+    def test_answer_variable_order_follows_projection(self):
+        query = parse_sparql("SELECT ?Z ?X WHERE { ?X name ?Z }")
+        translation = translate_select_query(query)
+        assert [v.name for v in translation.answer_variables] == ["Z", "X"]
+
+    def test_blank_nodes_become_non_projected_variables(self):
+        query = parse_sparql("SELECT ?X WHERE { ?X eats _:B }")
+        translation = translate_select_query(query)
+        assert len(translation.answer_variables) == 1
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SPARQLToDatalogTranslator("bogus")
+
+    def test_pattern_translation_without_select(self):
+        from repro.sparql.ast import BGP
+
+        pattern = BGP.of(("?X", "name", "?Y"))
+        translation = translate_pattern(pattern)
+        assert {v.name for v in translation.answer_variables} == {"X", "Y"}

@@ -1,0 +1,111 @@
+"""Tests for the synthetic workload generators."""
+
+from repro.owl.rdf_mapping import ontology_to_graph
+from repro.rdf.namespaces import OWL, RDF, RDFS
+from repro.workloads.graphs import (
+    paper_transport_graph,
+    random_rdf_graph,
+    random_undirected_graph,
+    section2_g1,
+    section2_g2,
+    section2_g3,
+    section2_g4,
+    transport_network,
+)
+from repro.workloads.ontologies import (
+    chain_basic_graph_pattern,
+    chain_ontology,
+    chain_ontology_graph,
+    university_ontology,
+)
+from repro.workloads.queries import author_queries, random_bgp, random_pattern
+
+
+class TestSection2Graphs:
+    def test_g1_to_g4_shapes(self):
+        assert len(section2_g1()) == 2
+        assert len(section2_g2()) == 4
+        assert len(section2_g3()) == 11
+        assert len(section2_g4()) == 3
+
+    def test_g3_contains_the_restriction_triples(self):
+        graph = section2_g3()
+        assert ("r1", RDFS.subClassOf, "r2") in graph
+        assert ("r1", OWL.onProperty, "is_coauthor_of") in graph
+
+    def test_transport_paper_figure(self):
+        graph = paper_transport_graph()
+        assert ("Oxford", "A311", "London") in graph
+        assert len(graph) == 9
+
+
+class TestTransportNetwork:
+    def test_structure(self):
+        graph, cities = transport_network(6, n_services=2, hierarchy_depth=3, seed=1)
+        assert len(cities) == 6
+        # every consecutive pair of cities is connected by some service
+        service_triples = [t for t in graph if t.subject.value.startswith("city")]
+        assert len(service_triples) == 5
+
+    def test_deterministic_given_seed(self):
+        first, _ = transport_network(5, seed=7)
+        second, _ = transport_network(5, seed=7)
+        assert first == second
+
+
+class TestRandomGenerators:
+    def test_random_rdf_graph_size_and_determinism(self):
+        graph = random_rdf_graph(40, n_nodes=15, seed=3)
+        assert len(graph) == 40
+        assert graph == random_rdf_graph(40, n_nodes=15, seed=3)
+
+    def test_random_undirected_graph_edge_probability_extremes(self):
+        assert random_undirected_graph(5, 0.0, seed=1) == []
+        assert len(random_undirected_graph(5, 1.0, seed=1)) == 10
+
+    def test_random_bgp_and_pattern_are_valid(self):
+        graph = random_rdf_graph(30, seed=2)
+        bgp = random_bgp(graph, n_triples=3, seed=4)
+        assert len(bgp.patterns) == 3
+        pattern = random_pattern(graph, depth=2, seed=5)
+        assert pattern.variables()
+
+
+class TestChainOntologies:
+    def test_chain_ontology_axioms(self):
+        ontology = chain_ontology(4)
+        assert len(ontology.axioms) == 3 + 3  # assertion + two existential-related + chain of 3
+        graph = chain_ontology_graph(4)
+        assert ("a0", RDFS.subClassOf, "some_p") in graph
+        assert ("a3", RDFS.subClassOf, "a4") in graph
+
+    def test_chain_pattern_mentions_all_classes(self):
+        pattern = chain_basic_graph_pattern(3)
+        objects = {p.object.value for p in pattern.patterns}
+        assert objects == {"a1", "a2", "a3"}
+
+
+class TestUniversityOntology:
+    def test_scaling(self):
+        small = university_ontology(n_departments=1, students_per_department=2)
+        large = university_ontology(n_departments=3, students_per_department=10)
+        assert len(large.axioms) > len(small.axioms)
+
+    def test_positive_unless_requested(self):
+        assert university_ontology().is_positive()
+        assert not university_ontology(with_disjointness=True).is_positive()
+
+    def test_graph_representation_parses_back(self):
+        from repro.owl.rdf_mapping import graph_to_ontology
+
+        ontology = university_ontology(n_departments=1, students_per_department=3)
+        recovered = graph_to_ontology(ontology_to_graph(ontology))
+        assert len(recovered.axioms) == len(ontology.axioms)
+
+
+class TestAuthorQueries:
+    def test_queries_parse(self):
+        from repro.sparql.parser import parse_sparql
+
+        for text in author_queries().values():
+            assert parse_sparql(text)
