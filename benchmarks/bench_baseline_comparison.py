@@ -25,7 +25,7 @@ from repro.datalog.semantics import StratifiedSemantics
 from repro.datalog.seminaive import SemiNaiveEvaluator
 from repro.owl.entailment_rules import owl2ql_core_program
 from repro.rdf.graph import RDFGraph
-from repro.rdf.namespaces import OWL, RDF, RDFS
+from repro.rdf.namespaces import RDF
 from repro.workloads.graphs import section2_g3
 
 #: The simple author query (the user's view under the entailment regime).

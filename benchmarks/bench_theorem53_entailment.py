@@ -8,7 +8,7 @@ against the independent DL-Lite_R oracle.
 
 import pytest
 
-from repro.datalog.terms import Constant, Variable
+from repro.datalog.terms import Variable
 from repro.owl.dllite import DLLiteReasoner
 from repro.owl.model import NamedClass
 from repro.owl.rdf_mapping import ontology_to_graph

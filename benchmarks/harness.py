@@ -1,0 +1,368 @@
+#!/usr/bin/env python
+"""Single-runner benchmark harness for every ``bench_*.py`` scenario.
+
+Runs all benchmark scenarios in-process with warmup and repeats, samples the
+engine-core counters (:mod:`repro.engine.stats`) around each measured
+section, and writes ``BENCH_engine_core.json`` in a stable schema that CI
+diffs against the committed baseline.
+
+The ``bench_*.py`` files stay plain pytest-benchmark suites; the harness
+discovers their ``test_*`` functions, expands ``pytest.mark.parametrize``
+marks itself, and injects a proxy ``benchmark`` fixture, so the same
+scenarios run identically under ``pytest`` and under this runner — but here
+with controlled warmup/repeat counts and no pytest overhead.  Only the
+benchmarked callable is timed; scenario setup (ontology generation, graph
+construction, translation that the test performs outside ``benchmark``)
+stays out of the measured section.
+
+Usage::
+
+    python benchmarks/harness.py                      # full run, writes BENCH_engine_core.json
+    python benchmarks/harness.py --quick              # 1 warmup + 2 repeats, writes nothing
+    python benchmarks/harness.py --quick --baseline BENCH_engine_core.json
+                                                      # CI smoke: fail on >25% regression
+    python benchmarks/harness.py --only theorem67     # substring filter
+    python benchmarks/harness.py --list               # show scenario ids and exit
+
+See ``benchmarks/README.md`` for the JSON schema and the CI contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import itertools
+import json
+import os
+import statistics
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+SRC = os.path.join(REPO_ROOT, "src")
+for path in (SRC, BENCH_DIR):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.engine.stats import STATS  # noqa: E402
+
+SCHEMA_VERSION = 1
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine_core.json")
+#: Regressions smaller than this (seconds) never fail the gate: scenarios in
+#: the low-millisecond range jitter far more than 25% on shared CI runners.
+MIN_REGRESSION_SECONDS = 0.010
+
+
+class HarnessBenchmark:
+    """Stand-in for the pytest-benchmark fixture.
+
+    Times exactly one invocation of the benchmarked callable per test-function
+    call (the harness drives warmup/repeats by re-invoking the test function),
+    and snapshots the engine counters around the measured section.
+    """
+
+    def __init__(self) -> None:
+        self.extra_info: Dict[str, Any] = {}
+        self.wall_seconds: Optional[float] = None
+        self.stats: Dict[str, int] = {}
+
+    def _measure(self, fn: Callable, args: tuple, kwargs: dict) -> Any:
+        STATS.reset()
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        self.wall_seconds = time.perf_counter() - start
+        self.stats = STATS.snapshot()
+        return result
+
+    def __call__(self, fn: Callable, *args: Any, **kwargs: Any) -> Any:
+        return self._measure(fn, args, kwargs)
+
+    def pedantic(
+        self,
+        fn: Callable,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        rounds: int = 1,
+        iterations: int = 1,
+        warmup_rounds: int = 0,
+    ) -> Any:
+        return self._measure(fn, args, kwargs or {})
+
+
+def _load_module(path: str):
+    name = os.path.splitext(os.path.basename(path))[0]
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _param_id(value: Any) -> str:
+    if isinstance(value, (list, tuple)):
+        return "-".join(_param_id(v) for v in value)
+    return str(value)
+
+
+def _expand_parametrize(fn: Callable) -> List[Tuple[str, Dict[str, Any]]]:
+    """Expand stacked ``pytest.mark.parametrize`` marks into (id, kwargs) pairs."""
+    marks = [
+        mark
+        for mark in getattr(fn, "pytestmark", [])
+        if getattr(mark, "name", None) == "parametrize"
+    ]
+    if not marks:
+        return [("", {})]
+    # Stacked marks multiply; pytest applies the closest decorator first, so
+    # iterate in reverse to match its id order.
+    axes: List[List[Tuple[str, Dict[str, Any]]]] = []
+    for mark in reversed(marks):
+        argnames, argvalues = mark.args[0], mark.args[1]
+        names = [n.strip() for n in argnames.split(",")]
+        cases: List[Tuple[str, Dict[str, Any]]] = []
+        for value in argvalues:
+            values = getattr(value, "values", None)
+            if values is not None and hasattr(value, "marks"):  # pytest.param
+                value = values if len(names) > 1 else values[0]
+            if len(names) == 1:
+                cases.append((_param_id(value), {names[0]: value}))
+            else:
+                cases.append(
+                    (_param_id(value), dict(zip(names, value)))
+                )
+        axes.append(cases)
+    expanded: List[Tuple[str, Dict[str, Any]]] = []
+    for combo in itertools.product(*axes):
+        ident = "-".join(part for part, _ in combo)
+        kwargs: Dict[str, Any] = {}
+        for _, case_kwargs in combo:
+            kwargs.update(case_kwargs)
+        expanded.append((ident, kwargs))
+    return expanded
+
+
+def discover_scenarios(only: Optional[str] = None) -> List[Dict[str, Any]]:
+    """All (file, function, params) scenarios of the ``bench_*.py`` suite."""
+    scenarios: List[Dict[str, Any]] = []
+    for filename in sorted(os.listdir(BENCH_DIR)):
+        if not filename.startswith("bench_") or not filename.endswith(".py"):
+            continue
+        module = _load_module(os.path.join(BENCH_DIR, filename))
+        for attr in sorted(dir(module)):
+            if not attr.startswith("test_"):
+                continue
+            fn = getattr(module, attr)
+            if not callable(fn):
+                continue
+            for ident, kwargs in _expand_parametrize(fn):
+                scenario_id = f"{filename}::{attr}" + (f"[{ident}]" if ident else "")
+                if only and only not in scenario_id:
+                    continue
+                scenarios.append(
+                    {"id": scenario_id, "file": filename, "fn": fn, "kwargs": kwargs}
+                )
+    return scenarios
+
+
+def run_scenario(
+    scenario: Dict[str, Any], warmup: int, repeats: int
+) -> Dict[str, Any]:
+    """Run one scenario ``warmup + repeats`` times; keep the measured runs."""
+    runs: List[float] = []
+    record: Dict[str, Any] = {"id": scenario["id"], "file": scenario["file"]}
+    proxy = HarnessBenchmark()
+    for i in range(warmup + repeats):
+        proxy = HarnessBenchmark()
+        scenario["fn"](benchmark=proxy, **scenario["kwargs"])
+        if proxy.wall_seconds is None:
+            raise RuntimeError(
+                f"{scenario['id']} never invoked the benchmark fixture"
+            )
+        if i >= warmup:
+            runs.append(proxy.wall_seconds)
+    median = statistics.median(runs)
+    last_stats = proxy.stats
+    record.update(
+        {
+            "wall_seconds": {
+                "median": round(median, 6),
+                "min": round(min(runs), 6),
+                "runs": [round(r, 6) for r in runs],
+            },
+            "facts_added": last_stats["facts_added"],
+            "chase_steps": last_stats["triggers_fired"],
+            "nulls_invented": last_stats["nulls_invented"],
+            "facts_per_second": (
+                round(last_stats["facts_added"] / median) if median > 0 else None
+            ),
+            "extra": {
+                k: v
+                for k, v in sorted(proxy.extra_info.items())
+                if isinstance(v, (int, float, str, bool))
+            },
+        }
+    )
+    return record
+
+
+def compare_to_baseline(
+    results: List[Dict[str, Any]],
+    baseline: Dict[str, Any],
+    threshold: float,
+    min_delta: float,
+) -> List[str]:
+    """Regression messages for scenarios slower than baseline by > threshold.
+
+    The baseline may have been recorded on a different machine, so raw wall
+    times are not comparable; comparisons are normalised by the overall speed
+    ratio between the two runs (sum of medians over the shared scenarios).
+    A regression is then a scenario that got slower *relative to the rest of
+    the suite* — which is machine-independent — by more than ``threshold``
+    and by more than ``min_delta`` (speed-adjusted) in absolute terms.
+    """
+    baseline_by_id = {s["id"]: s for s in baseline.get("scenarios", [])}
+    shared = [
+        (record, baseline_by_id[record["id"]])
+        for record in results
+        if record["id"] in baseline_by_id
+    ]
+    if not shared:
+        return []
+    current_sum = sum(r["wall_seconds"]["median"] for r, _ in shared)
+    baseline_sum = sum(b["wall_seconds"]["median"] for _, b in shared)
+    if baseline_sum <= 0:
+        return []
+    speed_ratio = current_sum / baseline_sum  # >1 when this machine/run is slower overall
+    regressions: List[str] = []
+    for record, base in shared:
+        current = record["wall_seconds"]["median"]
+        reference = base["wall_seconds"]["median"] * speed_ratio
+        if current > reference * (1 + threshold) and current - reference > min_delta:
+            regressions.append(
+                f"{record['id']}: {current * 1000:.1f}ms vs speed-adjusted baseline "
+                f"{reference * 1000:.1f}ms (+{(current / reference - 1) * 100:.0f}%, "
+                f"suite speed ratio {speed_ratio:.2f})"
+            )
+        # The engine counters are deterministic and machine-independent, so
+        # they need no speed adjustment and catch what normalised wall time
+        # cannot: a uniform algorithmic regression across the whole suite
+        # (e.g. the compiled core suddenly firing more triggers everywhere).
+        for counter in ("chase_steps", "facts_added", "nulls_invented"):
+            now, then = record.get(counter), base.get(counter)
+            if now is None or not then:
+                continue
+            if now > then * (1 + threshold) and now - then > 50:
+                regressions.append(
+                    f"{record['id']}: {counter} {now} vs baseline {then} "
+                    f"(+{(now / then - 1) * 100:.0f}%)"
+                )
+    return regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[1])
+    parser.add_argument("--quick", action="store_true", help="1 warmup + 2 repeats")
+    parser.add_argument("--warmup", type=int, default=None, help="warmup runs per scenario")
+    parser.add_argument("--repeats", type=int, default=None, help="measured runs per scenario")
+    parser.add_argument("--only", default=None, help="substring filter on scenario ids")
+    parser.add_argument("--list", action="store_true", help="list scenario ids and exit")
+    parser.add_argument(
+        "--output",
+        default=None,
+        help=f"JSON output path (default: {os.path.relpath(DEFAULT_OUTPUT, REPO_ROOT)}; "
+        "suppressed when --baseline is given unless set explicitly)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, help="baseline JSON to diff against (CI gate)"
+    )
+    parser.add_argument(
+        "--fail-threshold",
+        type=float,
+        default=0.25,
+        help="relative slowdown vs baseline that fails the gate (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    warmup = args.warmup if args.warmup is not None else 1
+    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 5)
+
+    scenarios = discover_scenarios(args.only)
+    if args.list:
+        for scenario in scenarios:
+            print(scenario["id"])
+        return 0
+    if not scenarios:
+        print("no scenarios matched", file=sys.stderr)
+        return 2
+
+    results: List[Dict[str, Any]] = []
+    total_start = time.perf_counter()
+    for scenario in scenarios:
+        record = run_scenario(scenario, warmup, repeats)
+        results.append(record)
+        wall = record["wall_seconds"]["median"]
+        print(f"{record['id']:78s} {wall * 1000:9.2f} ms  "
+              f"{record['facts_added']:>8d} facts")
+    total_wall = time.perf_counter() - total_start
+
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "mode": "quick" if args.quick else "full",
+        "warmup": warmup,
+        "repeats": repeats,
+        "python": ".".join(map(str, sys.version_info[:3])),
+        "scenario_count": len(results),
+        "scenarios": results,
+        "totals": {
+            "wall_seconds_median_sum": round(
+                sum(r["wall_seconds"]["median"] for r in results), 6
+            ),
+            "facts_added": sum(r["facts_added"] for r in results),
+            "chase_steps": sum(r["chase_steps"] for r in results),
+            "nulls_invented": sum(r["nulls_invented"] for r in results),
+        },
+    }
+    print(f"\n{len(results)} scenarios, "
+          f"median-sum {document['totals']['wall_seconds_median_sum']:.3f}s, "
+          f"harness wall {total_wall:.1f}s")
+
+    # Only a full, unfiltered run may implicitly overwrite the committed
+    # baseline; quick/filtered runs write only with an explicit --output.
+    output = args.output
+    if output is None and args.baseline is None and not args.quick and not args.only:
+        output = DEFAULT_OUTPUT
+    if output:
+        with open(output, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        print(f"wrote {os.path.relpath(output, os.getcwd())}")
+
+    if args.baseline:
+        try:
+            with open(args.baseline) as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot read baseline {args.baseline}: {error}", file=sys.stderr)
+            return 2
+        regressions = compare_to_baseline(
+            results, baseline, args.fail_threshold, MIN_REGRESSION_SECONDS
+        )
+        missing = {s["id"] for s in baseline.get("scenarios", [])} - {
+            r["id"] for r in results
+        }
+        if args.only is None and missing:
+            print(f"warning: {len(missing)} baseline scenarios did not run: "
+                  + ", ".join(sorted(missing)[:5]))
+        if regressions:
+            print(f"\nFAIL: {len(regressions)} regression(s) vs {args.baseline}:")
+            for line in regressions:
+                print("  " + line)
+            return 1
+        print(f"\nOK: no scenario regressed more than "
+              f"{args.fail_threshold * 100:.0f}% vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

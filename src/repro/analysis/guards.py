@@ -26,7 +26,7 @@ Definition 6.1 (negated atoms mention constants and harmless variables only).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.analysis.affected import affected_positions
 from repro.analysis.variables import VariableClassification, classify_rule_variables
@@ -282,8 +282,28 @@ class GuardReport:
         return self.stratified and self.warded and self.grounded_negation
 
 
+_CLASSIFY_CACHE: Dict[Program, GuardReport] = {}
+_CLASSIFY_CACHE_LIMIT = 512
+
+
 def classify_program(program: Program) -> GuardReport:
-    """Classify ``program`` against every syntactic class at once."""
+    """Classify ``program`` against every syntactic class at once.
+
+    Reports are cached by program content (programs are immutable by
+    convention), so validating the same translated query repeatedly — the
+    common shape in the SPARQL entailment pipeline — analyses it once.
+    """
+    cached = _CLASSIFY_CACHE.get(program)
+    if cached is not None:
+        return cached
+    report = _classify_program(program)
+    if len(_CLASSIFY_CACHE) >= _CLASSIFY_CACHE_LIMIT:
+        _CLASSIFY_CACHE.clear()
+    _CLASSIFY_CACHE[program] = report
+    return report
+
+
+def _classify_program(program: Program) -> GuardReport:
     from repro.datalog.stratification import is_stratified
 
     reference, affected, by_rule = _classifications(program)

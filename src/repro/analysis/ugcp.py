@@ -18,9 +18,8 @@ both lemmas measurable (see ``benchmarks/bench_lemma65_ugcp.py``).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.datalog.atoms import Atom
 from repro.datalog.chase import ChaseEngine
 from repro.datalog.database import Database, Instance
 from repro.datalog.program import Program

@@ -18,7 +18,7 @@ the ``reference`` argument when classifying rules of a program with negation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional
+from typing import FrozenSet, Optional
 
 from repro.analysis.affected import affected_positions
 from repro.datalog.atoms import Position

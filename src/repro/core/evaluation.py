@@ -25,7 +25,7 @@ from repro.core.triqlite import TriQLiteQuery
 from repro.datalog.atoms import Atom
 from repro.datalog.chase import ChaseEngine
 from repro.datalog.parser import parse_program
-from repro.datalog.program import Program, Query
+from repro.datalog.program import Program
 from repro.datalog.semantics import INCONSISTENT, QueryResult
 from repro.datalog.terms import Constant
 

@@ -19,7 +19,7 @@ Two normalisations are provided, both preserving the ground semantics
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 from repro.analysis.affected import affected_positions
 from repro.analysis.variables import classify_rule_variables

@@ -19,9 +19,9 @@ paper for Example 6.10 (see ``benchmarks/bench_figure1_proof_tree.py`` and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Tuple
 
-from repro.core.warded_engine import Justification, WardedResult
+from repro.core.warded_engine import WardedResult
 from repro.datalog.atoms import Atom
 from repro.datalog.database import Instance
 from repro.datalog.rules import Rule

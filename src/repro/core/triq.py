@@ -14,19 +14,13 @@ constraint rewriting ``Pi_⊥`` (turning every constraint into a rule deriving
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Optional, Sequence, Tuple, Union
+from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.analysis.guards import GuardReport, classify_program
 from repro.datalog.atoms import Atom
 from repro.datalog.chase import ChaseEngine
 from repro.datalog.program import Program, Query
-from repro.datalog.rules import Constraint, Rule
-from repro.datalog.semantics import (
-    INCONSISTENT,
-    QueryResult,
-    StratifiedSemantics,
-    evaluate_query,
-)
+from repro.datalog.semantics import INCONSISTENT, QueryResult, evaluate_query
 from repro.datalog.terms import Constant
 
 #: The reserved constant ``*`` of the Theorem 4.4 rewriting.

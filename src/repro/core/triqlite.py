@@ -18,7 +18,7 @@ inclusion explicitly.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Optional, Sequence, Tuple, Union
+from typing import Iterable, Optional, Sequence
 
 from repro.analysis.guards import GuardReport, classify_program
 from repro.core.warded_engine import WardedEngine, WardedResult

@@ -32,18 +32,20 @@ Definition 6.11 / Figure 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
 
 from repro.analysis.guards import classify_program
-from repro.datalog.atoms import Atom, unify_with_fact
-from repro.datalog.chase import match_atoms, satisfies_some
-from repro.datalog.database import Database, Instance
+from repro.datalog.atoms import Atom
+from repro.datalog.chase import match_atoms
+from repro.datalog.database import Instance
 from repro.datalog.program import Program, Query
 from repro.datalog.rules import Rule
 from repro.datalog.semantics import INCONSISTENT, QueryResult
 from repro.datalog.stratification import partition_by_stratum, stratify
 from repro.datalog.terms import Constant, Null, Term, Variable
+from repro.engine.plan import compile_rule
+from repro.engine.stats import STATS
 
 # A justification: the rule plus the instantiated body atoms used to derive a fact.
 Justification = Tuple[Rule, Tuple[Atom, ...]]
@@ -83,23 +85,35 @@ class WardedEngine:
                 )
         self.stratification = stratify(program.ex())
         self.strata = partition_by_stratum(program.ex(), self.stratification)
+        self.compiled_strata = [
+            [compile_rule(rule) for rule in stratum] for stratum in self.strata
+        ]
 
     # -- public API ------------------------------------------------------------
 
-    def materialise(self, database: Iterable[Atom]) -> WardedResult:
-        """Materialise the stratified semantics of the program over ``database``."""
+    def materialise(
+        self, database: Iterable[Atom], with_provenance: bool = True
+    ) -> WardedResult:
+        """Materialise the stratified semantics of the program over ``database``.
+
+        ``with_provenance=False`` skips recording one justification per
+        derived fact (and the body instantiations that requires); use it when
+        only the materialised instance matters, e.g. plain query answering.
+        """
         instance = Instance(database)
-        provenance: Dict[Atom, Justification] = {}
+        provenance: Optional[Dict[Atom, Justification]] = (
+            {} if with_provenance else None
+        )
         null_types: Dict[Null, Tuple] = {}
         fired = 0
-        for stratum_rules in self.strata:
-            if not stratum_rules:
+        for stratum in self.compiled_strata:
+            if not stratum:
                 continue
-            reference = instance.copy()
-            fired += self._fixpoint(stratum_rules, instance, reference, provenance, null_types)
+            reference = instance.snapshot()
+            fired += self._fixpoint(stratum, instance, reference, provenance, null_types)
         return WardedResult(
             instance=instance,
-            provenance=provenance,
+            provenance=provenance if provenance is not None else {},
             null_types=null_types,
             fired_triggers=fired,
         )
@@ -110,7 +124,7 @@ class WardedEngine:
 
     def is_consistent(self, database: Iterable[Atom]) -> bool:
         """True iff no constraint body embeds into the materialisation."""
-        result = self.materialise(database)
+        result = self.materialise(database, with_provenance=False)
         for constraint in self.program.constraints:
             if next(match_atoms(constraint.body, result.instance), None) is not None:
                 return False
@@ -120,7 +134,7 @@ class WardedEngine:
         """``Q(D)`` under the paper's semantics (⊤ on constraint violation)."""
         if query.program is not self.program and query.program != self.program:
             raise ValueError("query program differs from the engine's program")
-        result = self.materialise(database)
+        result = self.materialise(database, with_provenance=False)
         for constraint in self.program.constraints:
             if next(match_atoms(constraint.body, result.instance), None) is not None:
                 return INCONSISTENT
@@ -134,19 +148,20 @@ class WardedEngine:
 
     def _fixpoint(
         self,
-        rules: Sequence[Rule],
+        compiled: Sequence,
         instance: Instance,
-        negation_reference: Instance,
-        provenance: Dict[Atom, Justification],
+        negation_reference,
+        provenance: Optional[Dict[Atom, Justification]],
         null_types: Dict[Null, Tuple],
     ) -> int:
         fired = 0
         fired_existential_triggers: Set[Tuple[int, Tuple]] = set()
 
-        def process(rule_index: int, rule: Rule, substitution: Dict[Variable, Term], delta_sink: Instance) -> int:
+        def process(rule_index: int, crule, substitution: Dict[Variable, Term], delta_sink: Instance) -> int:
             nonlocal fired
-            if rule.body_negative and satisfies_some(
-                rule.body_negative, negation_reference, substitution
+            rule = crule.rule
+            if crule.negation and crule.negation_blocked(
+                substitution, negation_reference
             ):
                 return 0
             if fired >= self.max_triggers:
@@ -154,61 +169,56 @@ class WardedEngine:
                     f"warded engine exceeded max_triggers={self.max_triggers}; "
                     "the program/database pair is larger than expected"
                 )
-            extension = dict(substitution)
             if rule.existential_variables:
-                abstract = self._abstract_trigger(rule, substitution, null_types)
+                abstract = self._abstract_trigger(
+                    crule.sorted_frontier, substitution, null_types
+                )
                 key = (rule_index, abstract)
                 if key in fired_existential_triggers:
                     return 0
                 fired_existential_triggers.add(key)
-                for existential in sorted(rule.existential_variables):
+                extension = dict(substitution)
+                for existential in crule.sorted_existentials:
                     fresh = Null.fresh(existential.name.lower())
                     extension[existential] = fresh
                     null_types[fresh] = (rule_index, existential.name, abstract)
-            body_instantiation = tuple(
-                atom.apply(substitution) for atom in rule.body_positive
-            )
+                    STATS.nulls_invented += 1
+            else:
+                extension = substitution
             added = 0
             fired += 1
-            for head_atom in rule.head:
-                fact = head_atom.apply(extension)
-                if instance.add(fact):
-                    delta_sink.add(fact)
+            STATS.triggers_fired += 1
+            body_instantiation = None
+            for fact in crule.head_facts(extension):
+                if instance.add_fact(fact):
+                    delta_sink.add_fact(fact)
                     added += 1
-                    if fact not in provenance:
+                    if provenance is not None and fact not in provenance:
+                        # Provenance is only instantiated for genuinely new
+                        # facts; duplicate triggers skip the body application.
+                        if body_instantiation is None:
+                            body_instantiation = tuple(
+                                atom.apply(substitution) for atom in rule.body_positive
+                            )
                         provenance[fact] = (rule, body_instantiation)
             return added
 
         # Naive first round over the full instance.
         delta = Instance()
-        for rule_index, rule in enumerate(rules):
-            for substitution in list(match_atoms(rule.body_positive, instance)):
-                process(rule_index, rule, substitution, delta)
+        for rule_index, crule in enumerate(compiled):
+            for substitution in list(crule.substitutions(instance)):
+                process(rule_index, crule, substitution, delta)
 
-        # Semi-naive delta rounds.
+        # Semi-naive delta rounds: the precompiled pivot plans read the pivot
+        # atom's candidates from the delta and join the rest against the full
+        # instance.
         while len(delta):
             new_delta = Instance()
-            for rule_index, rule in enumerate(rules):
-                delta_predicates = delta.predicates
-                pivots = [
-                    i
-                    for i, atom in enumerate(rule.body_positive)
-                    if atom.predicate in delta_predicates
-                ]
-                for pivot in pivots:
-                    pivot_atom = rule.body_positive[pivot]
-                    others = [a for i, a in enumerate(rule.body_positive) if i != pivot]
-                    for fact in list(delta.matching(pivot_atom)):
-                        seed = unify_with_fact(pivot_atom, fact)
-                        if seed is None:
-                            continue
-                        if others:
-                            for substitution in list(
-                                match_atoms(others, instance, initial=seed)
-                            ):
-                                process(rule_index, rule, substitution, new_delta)
-                        else:
-                            process(rule_index, rule, seed, new_delta)
+            for rule_index, crule in enumerate(compiled):
+                for substitution in list(
+                    crule.delta_substitutions(instance, delta)
+                ):
+                    process(rule_index, crule, substitution, new_delta)
             delta = new_delta
         return fired
 
@@ -216,7 +226,9 @@ class WardedEngine:
 
     @staticmethod
     def _abstract_trigger(
-        rule: Rule, substitution: Dict[Variable, Term], null_types: Dict[Null, Tuple]
+        frontier: Sequence[Variable],
+        substitution: Dict[Variable, Term],
+        null_types: Dict[Null, Tuple],
     ) -> Tuple:
         """The trigger abstraction: the frontier binding with nulls anonymised.
 
@@ -238,7 +250,7 @@ class WardedEngine:
         """
         items = []
         first_seen: Dict[Null, int] = {}
-        for variable in sorted(rule.frontier):
+        for variable in frontier:
             value = substitution.get(variable)
             if isinstance(value, Null):
                 if value not in first_seen:

@@ -18,18 +18,27 @@ Negation is handled the way the stratified semantics needs it: the engine can
 be given a fixed *negation reference* instance; a trigger is discarded when
 one of its negative body atoms is satisfied in that reference (this realises
 the indefinite grounding ``Pi^I`` of Section 3.2).
+
+Rule bodies are evaluated through the shared join-plan core
+(:mod:`repro.engine`): each rule is compiled once into a
+:class:`~repro.engine.plan.CompiledRule` (selectivity-ordered joins, plan-time
+bound/free resolution, precompiled negation probes and head-satisfaction
+plans).  :func:`match_atoms` remains as the compatibility wrapper for callers
+that match ad-hoc atom sequences (constraint checks, analysis, tests).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Set, Tuple
 
 from repro.datalog.atoms import Atom, unify_with_fact
 from repro.datalog.database import Instance
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Constant, Null, Term, Variable
+from repro.datalog.terms import Null, Term, Variable
+from repro.engine.plan import compile_body, compile_rule
+from repro.engine.stats import STATS
 
 
 class ChaseNonTermination(RuntimeError):
@@ -57,36 +66,19 @@ def match_atoms(
 ) -> Iterator[Dict[Variable, Term]]:
     """All homomorphisms mapping every atom of ``atoms`` into ``instance``.
 
-    Variables already bound by ``initial`` are respected.  Atoms are joined
-    left to right after a light selectivity reordering (atoms with more
-    non-variable terms first); within each step the instance's indexes narrow
-    the candidate facts.
+    Variables already bound by ``initial`` are respected (and included in the
+    yielded substitutions).  Thin wrapper over the compiled join-plan core:
+    the (cached) plan fixes the join order and per-position checks once, so
+    repeated calls over the same body pay no per-call strategy cost.
     """
-    substitution: Dict[Variable, Term] = dict(initial or {})
-    ordered = sorted(
-        atoms,
-        key=lambda a: -sum(1 for t in a.terms if not isinstance(t, Variable)),
-    )
-
-    def backtrack(position: int) -> Iterator[Dict[Variable, Term]]:
-        if position == len(ordered):
-            yield dict(substitution)
-            return
-        pattern = ordered[position].apply(substitution)
-        for fact in instance.matching(pattern):
-            binding = unify_with_fact(pattern, fact)
-            if binding is None:
-                continue
-            for variable, value in binding.items():
-                substitution[variable] = value
-            yield from backtrack(position + 1)
-            for variable in binding:
-                del substitution[variable]
-
-    return backtrack(0)
+    atoms = tuple(atoms)
+    prebound = frozenset(initial) if initial else frozenset()
+    return compile_body(atoms, prebound).execute(instance, initial)
 
 
-def satisfies_some(atoms: Sequence[Atom], instance: Instance, substitution: Dict[Variable, Term]) -> bool:
+def satisfies_some(
+    atoms: Sequence[Atom], instance: Instance, substitution: Dict[Variable, Term]
+) -> bool:
     """True iff at least one of ``atoms`` (under ``substitution``) holds in ``instance``."""
     for atom in atoms:
         grounded = atom.apply(substitution)
@@ -134,6 +126,7 @@ class ChaseEngine:
         instance = Instance(database)
         reference = negation_reference if negation_reference is not None else instance
         null_depth: Dict[Null, int] = {n: 0 for n in instance.nulls()}
+        compiled = [compile_rule(rule) for rule in program.rules]
 
         steps = 0
         invented = 0
@@ -143,11 +136,12 @@ class ChaseEngine:
         changed = True
         while changed:
             changed = False
-            for rule_index, rule in enumerate(program.rules):
-                triggers = list(match_atoms(rule.body_positive, instance))
+            for rule_index, crule in enumerate(compiled):
+                rule = crule.rule
+                triggers = list(crule.substitutions(instance))
                 for substitution in triggers:
-                    if rule.body_negative and satisfies_some(
-                        rule.body_negative, reference, substitution
+                    if crule.negation and crule.negation_blocked(
+                        substitution, reference
                     ):
                         continue
                     frontier_binding = tuple(
@@ -161,7 +155,7 @@ class ChaseEngine:
                         if trigger_key in fired:
                             continue
                     else:
-                        if self._head_satisfied(rule, substitution, instance):
+                        if crule.head_satisfied(substitution, instance):
                             continue
                     # Resource accounting.
                     if steps >= self.max_steps:
@@ -185,10 +179,13 @@ class ChaseEngine:
                         extension[existential] = fresh
                         null_depth[fresh] = depth + 1
                         invented += 1
-                    new_atoms = [atom.apply(extension) for atom in rule.head]
-                    added = instance.add_all(new_atoms)
+                    added = 0
+                    for fact in crule.head_facts(extension):
+                        if instance.add_fact(fact):
+                            added += 1
                     fired.add(trigger_key)
                     steps += 1
+                    STATS.triggers_fired += 1
                     if added:
                         changed = True
                 if limit_reason:
@@ -196,6 +193,7 @@ class ChaseEngine:
             if limit_reason:
                 break
 
+        STATS.nulls_invented += invented
         if limit_reason and self.on_limit == "raise":
             raise ChaseNonTermination(limit_reason)
         return ChaseResult(
@@ -209,21 +207,6 @@ class ChaseEngine:
     # -- helpers ------------------------------------------------------------------
 
     @staticmethod
-    def _head_satisfied(
-        rule: Rule, substitution: Dict[Variable, Term], instance: Instance
-    ) -> bool:
-        """Restricted-chase check: can the trigger be extended to satisfy the head?
-
-        For rules without existentials this reduces to "all head atoms already
-        present".  With existentials we search for a joint extension of the
-        substitution covering every head atom.
-        """
-        if not rule.existential_variables:
-            return all(atom.apply(substitution) in instance for atom in rule.head)
-        head_patterns = [atom.apply(substitution) for atom in rule.head]
-        return _exists_extension(head_patterns, instance, {})
-
-    @staticmethod
     def _trigger_depth(
         rule: Rule, substitution: Dict[Variable, Term], null_depth: Dict[Null, int]
     ) -> int:
@@ -232,22 +215,3 @@ class ChaseEngine:
             if isinstance(value, Null):
                 depth = max(depth, null_depth.get(value, 0))
         return depth
-
-
-def _exists_extension(
-    patterns: Sequence[Atom], instance: Instance, binding: Dict[Variable, Term]
-) -> bool:
-    """Does some assignment of the remaining variables map all patterns into ``instance``?"""
-    if not patterns:
-        return True
-    first, rest = patterns[0], patterns[1:]
-    grounded = first.apply(binding)
-    for fact in instance.matching(grounded):
-        extra = unify_with_fact(grounded, fact)
-        if extra is None:
-            continue
-        merged = dict(binding)
-        merged.update(extra)
-        if _exists_extension([a.apply(merged) for a in rest], instance, merged):
-            return True
-    return False

@@ -25,7 +25,7 @@ the end of the line.  Each clause is terminated with ``.``.
 from __future__ import annotations
 
 import re
-from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple, Union
+from typing import List, NamedTuple, Optional, Sequence, Tuple, Union
 
 from repro.datalog.atoms import Atom
 from repro.datalog.program import Program

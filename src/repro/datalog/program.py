@@ -7,11 +7,11 @@ occur in any rule body (Section 3.2).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.datalog.atoms import Atom, Position
 from repro.datalog.rules import Constraint, Rule, RuleError
-from repro.datalog.terms import Constant, Variable
+from repro.datalog.terms import Constant
 
 
 class Program:
@@ -64,6 +64,20 @@ class Program:
             and set(self.rules) == set(other.rules)
             and set(self.constraints) == set(other.constraints)
         )
+
+    def __hash__(self) -> int:
+        """Order-insensitive content hash (matches ``__eq__``).
+
+        Programs are immutable by convention; hashability lets the analysis
+        and stratification caches key on them, so re-translating the same
+        query does not re-run wardedness checks or SCC computations.
+        """
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = self.__dict__["_hash"] = hash(
+                (frozenset(self.rules), frozenset(self.constraints))
+            )
+        return cached
 
     def __repr__(self) -> str:
         return f"Program({len(self.rules)} rules, {len(self.constraints)} constraints)"

@@ -24,7 +24,7 @@ A constraint is ``a1, ..., an -> false`` (the ``⊥`` of the paper).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterable, Mapping, Optional, Tuple
 
 from repro.datalog.atoms import Atom
 from repro.datalog.terms import Constant, Null, Term, Variable

@@ -26,11 +26,11 @@ from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Un
 
 from repro.datalog.atoms import Atom
 from repro.datalog.chase import ChaseEngine, match_atoms
-from repro.datalog.database import Database, Instance
+from repro.datalog.database import Instance
 from repro.datalog.program import Program, Query
-from repro.datalog.rules import Constraint, Rule
+from repro.datalog.rules import Constraint
 from repro.datalog.stratification import partition_by_stratum, stratify
-from repro.datalog.terms import Constant, Term
+from repro.datalog.terms import Constant
 
 
 class _Inconsistent:
@@ -71,7 +71,7 @@ class StratifiedSemantics:
         for stratum_rules in self.strata:
             if not stratum_rules:
                 continue
-            reference = current.copy()
+            reference = current.snapshot()
             result = self.chase_engine.chase(
                 current, Program(stratum_rules), negation_reference=reference
             )
@@ -92,7 +92,7 @@ class StratifiedSemantics:
         for stratum_rules in self.strata:
             if not stratum_rules:
                 continue
-            reference = current.copy()
+            reference = current.snapshot()
             current = self.chase_engine.chase(
                 current, Program(stratum_rules), negation_reference=reference
             ).instance

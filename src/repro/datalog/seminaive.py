@@ -12,20 +12,27 @@ Rules must not contain existential head variables; use the chase or the
 warded engine for those.  Negated body atoms are evaluated against the result
 of the lower strata, which is exactly the stratified semantics of Section 3.2
 restricted to Datalog¬s.
+
+Each rule is compiled once (per process, the plan cache is keyed by rule)
+into a :class:`~repro.engine.plan.CompiledRule`; the delta rounds run the
+precompiled pivot plans against the delta's index, and the lower-strata
+negation reference is a frozen :meth:`~repro.datalog.database.Instance.snapshot`
+rather than a full copy.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Set
 
-from repro.datalog.atoms import Atom, unify_with_fact
-from repro.datalog.chase import match_atoms, satisfies_some
+from repro.datalog.atoms import Atom
+from repro.datalog.chase import match_atoms
 from repro.datalog.database import Instance
 from repro.datalog.program import Program
-from repro.datalog.rules import Rule, RuleError
+from repro.datalog.rules import RuleError
 from repro.datalog.stratification import partition_by_stratum, stratify
 from repro.datalog.terms import Term, Variable
+from repro.engine.plan import compile_rule
+from repro.engine.stats import STATS
 
 
 class SemiNaiveEvaluator:
@@ -40,17 +47,20 @@ class SemiNaiveEvaluator:
         self.program = program
         self.stratification = stratify(program.ex())
         self.strata = partition_by_stratum(program.ex(), self.stratification)
+        self.compiled_strata = [
+            [compile_rule(rule) for rule in stratum] for stratum in self.strata
+        ]
 
     # -- public API ---------------------------------------------------------------
 
     def evaluate(self, database: Iterable[Atom]) -> Instance:
         """Materialise all derivable facts (ignores constraints)."""
         instance = Instance(database)
-        for stratum_rules in self.strata:
-            if not stratum_rules:
+        for stratum in self.compiled_strata:
+            if not stratum:
                 continue
-            reference = instance.copy()
-            self._evaluate_stratum(stratum_rules, instance, reference)
+            reference = instance.snapshot()
+            self._evaluate_stratum(stratum, instance, reference)
         return instance
 
     def facts_of(self, database: Iterable[Atom], predicate: str) -> Set[Atom]:
@@ -68,50 +78,42 @@ class SemiNaiveEvaluator:
     # -- internals --------------------------------------------------------------------
 
     def _evaluate_stratum(
-        self, rules: Sequence[Rule], instance: Instance, negation_reference: Instance
+        self, compiled: Sequence, instance: Instance, negation_reference
     ) -> None:
         """Fixpoint of one stratum using delta iteration.
 
-        ``negation_reference`` holds the facts of the strictly lower strata;
-        negated atoms are checked against it only, which is sound because a
-        stratified program never derives a negated predicate in the same or a
-        higher stratum.
+        ``negation_reference`` holds the facts of the strictly lower strata
+        (a frozen snapshot); negated atoms are checked against it only, which
+        is sound because a stratified program never derives a negated
+        predicate in the same or a higher stratum.
         """
         # First round: plain naive pass so that rules whose bodies are fully
         # satisfied by lower strata fire at least once.
         delta = Instance()
-        for rule in rules:
-            for substitution in match_atoms(rule.body_positive, instance):
-                if rule.body_negative and satisfies_some(
-                    rule.body_negative, negation_reference, substitution
+        for crule in compiled:
+            for substitution in crule.substitutions(instance):
+                if crule.negation and crule.negation_blocked(
+                    substitution, negation_reference
                 ):
                     continue
-                for head_atom in rule.head:
-                    fact = head_atom.apply(substitution)
-                    if instance.add(fact):
-                        delta.add(fact)
+                STATS.triggers_fired += 1
+                for fact in crule.head_facts(substitution):
+                    if instance.add_fact(fact):
+                        delta.add_fact(fact)
 
         # Delta rounds: at least one body atom must come from the last delta.
         while len(delta):
             new_delta = Instance()
-            for rule in rules:
-                relevant = [
-                    i
-                    for i, atom in enumerate(rule.body_positive)
-                    if atom.predicate in delta.predicates
-                ]
-                for pivot in relevant:
-                    for substitution in self._match_with_pivot(
-                        rule.body_positive, pivot, delta, instance
+            for crule in compiled:
+                for substitution in crule.delta_substitutions(instance, delta):
+                    if crule.negation and crule.negation_blocked(
+                        substitution, negation_reference
                     ):
-                        if rule.body_negative and satisfies_some(
-                            rule.body_negative, negation_reference, substitution
-                        ):
-                            continue
-                        for head_atom in rule.head:
-                            fact = head_atom.apply(substitution)
-                            if instance.add(fact):
-                                new_delta.add(fact)
+                        continue
+                    STATS.triggers_fired += 1
+                    for fact in crule.head_facts(substitution):
+                        if instance.add_fact(fact):
+                            new_delta.add_fact(fact)
             delta = new_delta
 
     @staticmethod
@@ -121,14 +123,12 @@ class SemiNaiveEvaluator:
         delta: Instance,
         instance: Instance,
     ) -> Iterator[Dict[Variable, Term]]:
-        """Homomorphisms where the ``pivot``-th atom maps into ``delta``."""
-        pivot_atom = atoms[pivot]
-        others = [a for i, a in enumerate(atoms) if i != pivot]
-        for fact in delta.matching(pivot_atom):
-            seed = unify_with_fact(pivot_atom, fact)
-            if seed is None:
-                continue
-            if not others:
-                yield seed
-                continue
-            yield from match_atoms(others, instance, initial=seed)
+        """Homomorphisms where the ``pivot``-th atom maps into ``delta``.
+
+        Retained for API compatibility; the evaluator itself now runs the
+        precompiled pivot plans of :class:`~repro.engine.plan.CompiledRule`.
+        """
+        from repro.engine.plan import compile_pivot
+
+        plan = compile_pivot(tuple(atoms), pivot)
+        return plan.execute(instance, None, delta_source=delta)

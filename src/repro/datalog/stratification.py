@@ -15,7 +15,7 @@ the longest "negative distance" from the sources of the condensation.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
@@ -111,13 +111,29 @@ class DependencyGraph:
         return components
 
 
+_STRATIFY_CACHE: Dict[Program, Dict[str, int]] = {}
+_STRATIFY_CACHE_LIMIT = 512
+
+
 def stratify(program: Program) -> Dict[str, int]:
     """Compute a stratification ``mu`` of ``program`` or raise.
 
     The returned mapping assigns every predicate of ``sch(Pi)`` a stratum in
     ``[0, l]``; EDB-only predicates land in stratum 0.  Raises
     :class:`StratificationError` when negation occurs inside a recursive cycle.
+    Results are cached by program content; callers get a fresh copy.
     """
+    cached = _STRATIFY_CACHE.get(program)
+    if cached is not None:
+        return dict(cached)
+    result = _stratify(program)
+    if len(_STRATIFY_CACHE) >= _STRATIFY_CACHE_LIMIT:
+        _STRATIFY_CACHE.clear()
+    _STRATIFY_CACHE[program] = dict(result)
+    return result
+
+
+def _stratify(program: Program) -> Dict[str, int]:
     graph = DependencyGraph(program)
     components = graph.strongly_connected_components()
     component_of: Dict[str, int] = {}

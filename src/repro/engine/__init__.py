@@ -1,0 +1,40 @@
+"""The shared join-plan evaluation core.
+
+Every engine in the library — the restricted/oblivious chase
+(:mod:`repro.datalog.chase`), the semi-naive Datalog¬s evaluator
+(:mod:`repro.datalog.seminaive`), and the warded materialisation engine
+(:mod:`repro.core.warded_engine`) — evaluates rule bodies through this
+package instead of re-deriving join strategy per call:
+
+* :class:`~repro.engine.index.PredicateIndex` stores facts in append-only
+  per-predicate rows with hash postings of row ids, so candidate buckets are
+  iterated under a captured length instead of being copied per lookup, and
+  frozen prefix views (:class:`~repro.engine.index.InstanceSnapshot` via
+  ``Instance.snapshot()``) come for free.
+* :func:`~repro.engine.plan.compile_body` / :func:`~repro.engine.plan.compile_rule`
+  turn a rule body into a :class:`~repro.engine.plan.JoinPlan` exactly once:
+  atoms are selectivity-ordered, every position is resolved at plan time into
+  a constant check, a bound-slot check, or a slot binding (this covers
+  repeated variables), negated atoms become precompiled membership probes,
+  and semi-naive pivots get one dedicated plan per body atom.
+* :mod:`repro.engine.stats` exposes the counters (facts added, triggers
+  fired, nulls invented) that ``benchmarks/harness.py`` samples per scenario.
+* :mod:`repro.engine.reference` keeps the original interpretive backtracker
+  as the executable specification that the differential tests in
+  ``tests/test_engine_parity.py`` compare the compiled paths against.
+"""
+
+from repro.engine.index import InstanceSnapshot, PredicateIndex
+from repro.engine.plan import CompiledRule, JoinPlan, compile_body, compile_rule
+from repro.engine.stats import STATS, EngineStats
+
+__all__ = [
+    "CompiledRule",
+    "EngineStats",
+    "InstanceSnapshot",
+    "JoinPlan",
+    "PredicateIndex",
+    "STATS",
+    "compile_body",
+    "compile_rule",
+]

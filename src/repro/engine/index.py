@@ -1,0 +1,214 @@
+"""Hash-indexed fact storage with copy-free candidate iteration.
+
+The seed implementation kept per-``(predicate, position, term)`` *sets* of
+atoms and copied the chosen bucket into a fresh list on every lookup so that
+callers could keep adding facts while consuming the iterator.  That snapshot
+list — allocated once per join step per candidate — was the single largest
+constant-factor cost of the interpretive matcher.
+
+:class:`PredicateIndex` stores facts instead in **append-only per-predicate
+rows** and keeps postings of integer row ids per ``(predicate, position,
+term)`` key.  Because rows are append-only, row ids within a postings list
+are strictly increasing, and a lookup is made stable under concurrent
+insertion simply by capturing the candidate count once — no copying.  The
+same mechanism yields frozen prefix views (:class:`InstanceSnapshot`): a
+snapshot is just the captured per-predicate row counts, so "freeze the lower
+strata" costs O(#predicates) instead of re-indexing every fact.
+
+Deletion (rare: only diagnostic/test paths use it) tombstones the row in
+place; probes skip tombstones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Term, Variable
+
+
+class PredicateIndex:
+    """Append-only rows per predicate plus row-id postings per bound term."""
+
+    __slots__ = ("rows", "postings", "live", "tombstoned")
+
+    def __init__(self) -> None:
+        # predicate -> list of facts in insertion order (None = tombstone).
+        self.rows: Dict[str, List[Optional[Atom]]] = {}
+        # (predicate, position, term) -> ascending row ids.
+        self.postings: Dict[Tuple[str, int, Term], List[int]] = {}
+        # predicate -> number of non-tombstoned rows.
+        self.live: Dict[str, int] = {}
+        # Total tombstones ever created (lets snapshots detect deletions).
+        self.tombstoned = 0
+
+    def add(self, atom: Atom) -> int:
+        """Append a (caller-deduplicated) fact; returns its row id."""
+        predicate = atom.predicate
+        rows = self.rows.get(predicate)
+        if rows is None:
+            rows = self.rows[predicate] = []
+            self.live[predicate] = 0
+        row_id = len(rows)
+        rows.append(atom)
+        self.live[predicate] += 1
+        postings = self.postings
+        for position, term in enumerate(atom.terms):
+            key = (predicate, position, term)
+            bucket = postings.get(key)
+            if bucket is None:
+                postings[key] = [row_id]
+            else:
+                bucket.append(row_id)
+        return row_id
+
+    def tombstone(self, atom: Atom) -> bool:
+        """Mark a fact deleted; postings keep the (now skipped) row id."""
+        rows = self.rows.get(atom.predicate)
+        if not rows:
+            return False
+        bucket = self.postings.get((atom.predicate, 0, atom.terms[0])) if atom.terms else None
+        candidates = bucket if bucket is not None else range(len(rows))
+        for row_id in candidates:
+            if rows[row_id] == atom:
+                rows[row_id] = None
+                self.live[atom.predicate] -= 1
+                self.tombstoned += 1
+                return True
+        return False
+
+    def row_count(self, predicate: str) -> int:
+        rows = self.rows.get(predicate)
+        return len(rows) if rows else 0
+
+    def row_limits(self) -> Dict[str, int]:
+        """Current per-predicate row counts (the state an InstanceSnapshot captures)."""
+        return {predicate: len(rows) for predicate, rows in self.rows.items()}
+
+    def scan(
+        self,
+        pattern: Atom,
+        row_limits: Optional[Dict[str, int]] = None,
+    ) -> Iterator[Atom]:
+        """Candidate facts for ``pattern``, matching the legacy ``Instance.matching``.
+
+        The most selective available postings bucket is probed; remaining
+        constant positions and repeated variables are left to the caller's
+        unifier (exactly the seed contract).  ``row_limits`` restricts the
+        scan to a frozen prefix; without it the prefix is captured **now**,
+        at call time (not at first consumption), preserving the seed's
+        snapshot-per-call semantics even when the iterator is consumed after
+        later insertions.
+        """
+        predicate = pattern.predicate
+        rows = self.rows.get(predicate)
+        if not rows:
+            return iter(())
+        best: Optional[List[int]] = None
+        for position, term in enumerate(pattern.terms):
+            if isinstance(term, Variable):
+                continue
+            bucket = self.postings.get((predicate, position, term))
+            if bucket is None:
+                return iter(())
+            if best is None or len(bucket) < len(best):
+                best = bucket
+        cap = len(rows) if row_limits is None else min(len(rows), row_limits.get(predicate, 0))
+        bucket_end = len(best) if best is not None else cap
+        return self._iterate(rows, best, cap, bucket_end, len(pattern.terms))
+
+    @staticmethod
+    def _iterate(
+        rows: List[Optional[Atom]],
+        bucket: Optional[List[int]],
+        cap: int,
+        bucket_end: int,
+        arity: int,
+    ) -> Iterator[Atom]:
+        if bucket is None:
+            for row_id in range(cap):
+                fact = rows[row_id]
+                if fact is not None and len(fact.terms) == arity:
+                    yield fact
+        else:
+            for k in range(bucket_end):
+                row_id = bucket[k]
+                if row_id >= cap:
+                    break
+                fact = rows[row_id]
+                if fact is not None and len(fact.terms) == arity:
+                    yield fact
+
+
+class InstanceSnapshot:
+    """A frozen prefix view of an :class:`~repro.datalog.database.Instance`.
+
+    Captures the per-predicate row counts and the global insertion cut of the
+    underlying instance at construction time; facts added to the instance
+    afterwards are invisible through the view.  This is the negation
+    reference the stratified engines need — "the facts of the strictly lower
+    strata" — without the full re-index that ``Instance.copy()`` performed
+    per stratum.  (Deletions, which no engine performs, do propagate.)
+    """
+
+    __slots__ = ("_ordinals", "_index", "_cut", "_limits", "_size", "_tombstoned")
+
+    def __init__(
+        self,
+        ordinals: Dict[Atom, int],
+        index: PredicateIndex,
+        cut: int,
+        limits: Dict[str, int],
+        size: int,
+    ):
+        self._ordinals = ordinals
+        self._index = index
+        self._cut = cut
+        self._limits = limits
+        self._size = size
+        self._tombstoned = index.tombstoned
+
+    def __contains__(self, atom: Atom) -> bool:
+        ordinal = self._ordinals.get(atom)
+        return ordinal is not None and ordinal < self._cut
+
+    def __iter__(self) -> Iterator[Atom]:
+        cut = self._cut
+        for atom, ordinal in self._ordinals.items():
+            if ordinal >= cut:
+                break
+            yield atom
+
+    def __len__(self) -> int:
+        # The captured size is exact unless the base instance deleted facts
+        # after the snapshot; in that (rare, diagnostic-only) case, recount so
+        # len() stays consistent with iteration and membership.
+        if self._index.tombstoned != self._tombstoned:
+            return sum(1 for _ in self)
+        return self._size
+
+    def __repr__(self) -> str:
+        return f"InstanceSnapshot({self._size} atoms)"
+
+    def matching(self, pattern: Atom) -> Iterator[Atom]:
+        """As ``Instance.matching``, restricted to the frozen prefix."""
+        return self._index.scan(pattern, self._limits)
+
+    def with_predicate(self, predicate: str) -> FrozenSet[Atom]:
+        rows = self._index.rows.get(predicate)
+        if not rows:
+            return frozenset()
+        limit = min(len(rows), self._limits.get(predicate, 0))
+        return frozenset(fact for fact in rows[:limit] if fact is not None)
+
+    @property
+    def predicates(self) -> FrozenSet[str]:
+        return frozenset(
+            predicate
+            for predicate, limit in self._limits.items()
+            if any(fact is not None for fact in self._index.rows.get(predicate, ())[:limit])
+        )
+
+    def _plan_source(self) -> Tuple[PredicateIndex, Optional[Dict[str, int]]]:
+        """(index, row limits) pair the join-plan executor runs against."""
+        return self._index, self._limits

@@ -1,0 +1,498 @@
+"""Compile-once join plans for rule-body evaluation.
+
+The seed matcher (`repro.engine.reference.reference_match_atoms`, formerly
+``chase.match_atoms``) re-derived its entire strategy on every call: it
+re-``sorted()`` the body atoms, re-applied the running substitution to build
+a fresh pattern ``Atom`` per candidate, and delegated per-fact verification
+to a generic unifier.  All of that is static for a fixed body, so this module
+resolves it **once** at plan time:
+
+* **Atom order** — a greedy selectivity order (most bound positions first,
+  then most constants, then fewest fresh variables) computed over the
+  statically known set of bound variables at each join step.
+* **Positions** — every term position compiles to one of three ops:
+  ``CHECK_CONST`` (the position must equal a constant), ``CHECK_SLOT`` (the
+  position must equal an already-bound variable slot — this is also how
+  repeated variables are enforced), or ``BIND_SLOT`` (the position binds a
+  fresh slot).  Verification of a candidate fact is a flat loop over these
+  ops on the fact's term tuple; no substitution dicts, no pattern atoms.
+* **Probes** — the positions usable for index lookup (constants and bound
+  slots) are precomputed; at run time the executor picks the shortest
+  postings bucket among them.
+* **Negation** — each negated atom (ground under any full body match, by
+  rule safety) compiles to a membership template evaluated directly against
+  the negation reference.
+* **Pivots** — for semi-naive delta joins, :func:`compile_rule` prepares one
+  plan per body atom with that atom forced first; the executor reads the
+  first step's candidates from the delta and the rest from the full instance.
+
+Plans are cached (bodies and rules are hashable), so constraint checks and
+repeated engine runs over the same program compile nothing after the first
+call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.datalog.atoms import Atom
+from repro.datalog.rules import Rule
+from repro.datalog.terms import Term, Variable
+
+CHECK_CONST = 0
+CHECK_SLOT = 1
+BIND_SLOT = 2
+
+# Probe kinds: position equals a constant / the value of a bound slot.
+PROBE_CONST = 0
+PROBE_SLOT = 1
+
+
+class _Step:
+    """One join step: candidate probes plus verification ops for a body atom."""
+
+    __slots__ = ("atom", "predicate", "arity", "ops", "probes")
+
+    def __init__(
+        self,
+        atom: Atom,
+        ops: Tuple[Tuple[int, int, object], ...],
+        probes: Tuple[Tuple[int, int, object], ...],
+    ):
+        self.atom = atom
+        self.predicate = atom.predicate
+        self.arity = atom.arity
+        self.ops = ops
+        self.probes = probes
+
+
+class JoinPlan:
+    """A compiled join over a fixed atom sequence.
+
+    ``execute`` yields one substitution dict per homomorphism of the body
+    into the instance, exactly as the legacy matcher did; ``exists`` is the
+    allocation-free boolean variant used for head-satisfaction and
+    constraint checks.
+    """
+
+    __slots__ = ("atoms", "steps", "slot_of", "n_slots", "emit", "prebound")
+
+    def __init__(
+        self,
+        atoms: Tuple[Atom, ...],
+        steps: Tuple[_Step, ...],
+        slot_of: Dict[Variable, int],
+        prebound: FrozenSet[Variable],
+    ):
+        self.atoms = atoms
+        self.steps = steps
+        self.slot_of = slot_of
+        self.n_slots = len(slot_of)
+        # Slot ids are assigned in insertion order of ``slot_of``, so the
+        # variable tuple is index-aligned with the runtime slots list and a
+        # substitution dict is one C-level dict(zip(...)).
+        self.emit = tuple(slot_of)
+        self.prebound = prebound
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(
+        self,
+        source,
+        initial: Optional[Dict[Variable, Term]] = None,
+        delta_source=None,
+    ) -> Iterator[Dict[Variable, Term]]:
+        """All homomorphisms as variable→term dicts (including seeded bindings).
+
+        ``source`` is anything exposing ``_plan_source()`` (an ``Instance``
+        or an ``InstanceSnapshot``).  With ``delta_source``, the first step's
+        candidates are read from it instead — the semi-naive pivot join.
+        """
+        emit = self.emit
+        for slots in self._run(source, initial, delta_source):
+            yield dict(zip(emit, slots))
+
+    def exists(
+        self,
+        source,
+        initial: Optional[Dict[Variable, Term]] = None,
+    ) -> bool:
+        """True iff at least one homomorphism exists (no dict per result)."""
+        for _ in self._run(source, initial, None):
+            return True
+        return False
+
+    def _run(self, source, initial, delta_source) -> Iterator[List[Term]]:
+        index, limits = source._plan_source()
+        slots: List[Term] = [None] * self.n_slots
+        if initial:
+            slot_of = self.slot_of
+            for variable, value in initial.items():
+                slot = slot_of.get(variable)
+                if slot is not None:
+                    slots[slot] = value
+        steps = self.steps
+        n_steps = len(steps)
+        if n_steps == 0:
+            yield slots
+            return
+        if delta_source is not None:
+            delta_index, delta_limits = delta_source._plan_source()
+        else:
+            delta_index, delta_limits = index, limits
+
+        # Per-depth candidate state: the rows list, the postings bucket (or
+        # None for a full scan), the cursor, the iteration bound, and the
+        # row-id cap capturing the prefix visible to this lookup.
+        rows_s: List[Optional[List[Optional[Atom]]]] = [None] * n_steps
+        ids_s: List[Optional[List[int]]] = [None] * n_steps
+        pos_s = [0] * n_steps
+        end_s = [0] * n_steps
+        cap_s = [0] * n_steps
+
+        def start(depth: int) -> None:
+            step = steps[depth]
+            idx = delta_index if depth == 0 and delta_source is not None else index
+            lim = delta_limits if depth == 0 and delta_source is not None else limits
+            rows = idx.rows.get(step.predicate)
+            pos_s[depth] = 0
+            if not rows:
+                rows_s[depth] = None
+                end_s[depth] = 0
+                return
+            best: Optional[List[int]] = None
+            for position, kind, payload in step.probes:
+                value = payload if kind == PROBE_CONST else slots[payload]
+                bucket = idx.postings.get((step.predicate, position, value))
+                if bucket is None:
+                    rows_s[depth] = None
+                    end_s[depth] = 0
+                    return
+                if best is None or len(bucket) < len(best):
+                    best = bucket
+            cap = len(rows) if lim is None else min(len(rows), lim.get(step.predicate, 0))
+            rows_s[depth] = rows
+            ids_s[depth] = best
+            cap_s[depth] = cap
+            end_s[depth] = len(best) if best is not None else cap
+
+        depth = 0
+        start(0)
+        last = n_steps - 1
+        while depth >= 0:
+            step = steps[depth]
+            rows = rows_s[depth]
+            ids = ids_s[depth]
+            k = pos_s[depth]
+            end = end_s[depth]
+            cap = cap_s[depth]
+            ops = step.ops
+            arity = step.arity
+            advanced = False
+            while k < end:
+                if ids is None:
+                    row_id = k
+                else:
+                    row_id = ids[k]
+                    if row_id >= cap:
+                        k = end
+                        break
+                k += 1
+                fact = rows[row_id]
+                if fact is None:
+                    continue
+                terms = fact.terms
+                if len(terms) != arity:
+                    continue
+                ok = True
+                for code, position, payload in ops:
+                    term = terms[position]
+                    if code == CHECK_CONST:
+                        if term == payload:
+                            continue
+                        ok = False
+                        break
+                    if code == CHECK_SLOT:
+                        if term == slots[payload]:
+                            continue
+                        ok = False
+                        break
+                    slots[payload] = term
+                if ok:
+                    advanced = True
+                    break
+            pos_s[depth] = k
+            if not advanced:
+                depth -= 1
+                continue
+            if depth == last:
+                yield slots
+            else:
+                depth += 1
+                start(depth)
+
+
+class _NegationProbe:
+    """A negated body atom compiled to a ground membership template."""
+
+    __slots__ = ("atom", "predicate", "template")
+
+    def __init__(self, atom: Atom):
+        self.atom = atom
+        self.predicate = atom.predicate
+        # (is_variable, payload) per position; rule safety guarantees every
+        # variable is bound by any full positive-body match, so the built
+        # atom is a fact and satisfaction is plain membership.
+        self.template = tuple(
+            (isinstance(term, Variable), term) for term in atom.terms
+        )
+
+    def satisfied(self, substitution: Dict[Variable, Term], reference) -> bool:
+        fact = Atom(
+            self.predicate,
+            tuple(
+                substitution[payload] if is_var else payload
+                for is_var, payload in self.template
+            ),
+        )
+        return fact in reference
+
+
+class CompiledRule:
+    """Everything static about one rule, resolved at plan time.
+
+    * ``plan`` — the full positive-body join.
+    * ``pivot_plans[i]`` — the same join with body atom ``i`` first, for
+      semi-naive rounds where atom ``i`` ranges over the delta.
+    * ``negation`` — membership probes for the negated atoms.
+    * ``head_plan`` — join over the head atoms with the frontier prebound,
+      used by the restricted chase to test whether a trigger's head is
+      already satisfiable (the existential case); ``None`` for rules without
+      existential variables, where the check is plain membership.
+    """
+
+    __slots__ = (
+        "rule",
+        "plan",
+        "pivot_plans",
+        "negation",
+        "head_plan",
+        "sorted_frontier",
+        "sorted_existentials",
+        "head_templates",
+    )
+
+    def __init__(self, rule: Rule):
+        self.rule = rule
+        self.sorted_frontier = tuple(sorted(rule.frontier))
+        self.sorted_existentials = tuple(sorted(rule.existential_variables))
+        # (predicate, ((is_variable, payload), ...)) per head atom: building a
+        # head fact is then direct dict indexing, no Atom.apply fallbacks.
+        self.head_templates = tuple(
+            (atom.predicate, tuple((isinstance(t, Variable), t) for t in atom.terms))
+            for atom in rule.head
+        )
+        body = rule.body_positive
+        self.plan = compile_body(body, ())
+        self.pivot_plans = tuple(
+            compile_pivot(body, pivot) for pivot in range(len(body))
+        )
+        self.negation = tuple(_NegationProbe(atom) for atom in rule.body_negative)
+        if rule.existential_variables:
+            self.head_plan = compile_body(rule.head, rule.frontier)
+        else:
+            self.head_plan = None
+
+    # -- matching -----------------------------------------------------------
+
+    def substitutions(self, instance) -> Iterator[Dict[Variable, Term]]:
+        """All matches of the positive body (negation not yet applied)."""
+        return self.plan.execute(instance)
+
+    def delta_substitutions(self, instance, delta) -> Iterator[Dict[Variable, Term]]:
+        """Semi-naive matches: at least one body atom maps into ``delta``.
+
+        One pivot plan runs per body atom whose predicate occurs in the
+        delta; as in the legacy evaluators, a match reachable through
+        several pivots is yielded once per pivot and deduplicated by the
+        caller's ``Instance.add``.
+        """
+        delta_live = delta._plan_source()[0].live
+        for pivot, atom in enumerate(self.rule.body_positive):
+            if not delta_live.get(atom.predicate):
+                continue
+            yield from self.pivot_plans[pivot].execute(
+                instance, None, delta_source=delta
+            )
+
+    def negation_blocked(self, substitution: Dict[Variable, Term], reference) -> bool:
+        """True iff some negated atom holds in ``reference`` under ``substitution``."""
+        for probe in self.negation:
+            if probe.satisfied(substitution, reference):
+                return True
+        return False
+
+    def head_facts(self, substitution: Dict[Variable, Term]) -> List[Atom]:
+        """The head atoms instantiated under ``substitution``.
+
+        ``substitution`` must bind every head variable (frontier plus, for
+        existential rules, the freshly invented nulls), which every engine
+        guarantees at fire time.
+        """
+        return [
+            Atom(
+                predicate,
+                tuple(
+                    substitution[payload] if is_var else payload
+                    for is_var, payload in template
+                ),
+            )
+            for predicate, template in self.head_templates
+        ]
+
+    def head_satisfied(self, substitution: Dict[Variable, Term], instance) -> bool:
+        """Restricted-chase check: does an extension satisfying the head exist?"""
+        if self.head_plan is None:
+            return all(
+                atom.apply(substitution) in instance for atom in self.rule.head
+            )
+        return self.head_plan.exists(instance, substitution)
+
+
+# -- compilation ---------------------------------------------------------------
+
+
+def _selectivity_order(
+    atoms: Sequence[Atom], prebound: FrozenSet[Variable], first: Optional[int]
+) -> List[int]:
+    """Greedy join order: most bound positions, then most constants, then
+    fewest fresh variables; ties keep the original order.  ``first`` pins a
+    pivot atom to the front."""
+    order: List[int] = []
+    bound = set(prebound)
+    remaining = list(range(len(atoms)))
+    if first is not None:
+        order.append(first)
+        remaining.remove(first)
+        bound.update(atoms[first].variables)
+    while remaining:
+        best_index = None
+        best_score = None
+        for i in remaining:
+            atom = atoms[i]
+            n_bound = 0
+            n_const = 0
+            fresh = set()
+            for term in atom.terms:
+                if isinstance(term, Variable):
+                    if term in bound:
+                        n_bound += 1
+                    else:
+                        fresh.add(term)
+                else:
+                    n_bound += 1
+                    n_const += 1
+            score = (n_bound, n_const, -len(fresh), -i)
+            if best_score is None or score > best_score:
+                best_score = score
+                best_index = i
+        order.append(best_index)
+        remaining.remove(best_index)
+        bound.update(atoms[best_index].variables)
+    return order
+
+
+def _compile_ordered(
+    atoms: Sequence[Atom], first: Optional[int], prebound: FrozenSet[Variable]
+) -> JoinPlan:
+    atoms = tuple(atoms)
+    order = _selectivity_order(atoms, prebound, first)
+    slot_of: Dict[Variable, int] = {}
+    for variable in sorted(prebound):
+        slot_of[variable] = len(slot_of)
+    bound_slots = set(slot_of.values())
+    steps: List[_Step] = []
+    for i in order:
+        atom = atoms[i]
+        probes: List[Tuple[int, int, object]] = []
+        hoisted: List[Tuple[int, int, object]] = []
+        trailing: List[Tuple[int, int, object]] = []
+        for position, term in enumerate(atom.terms):
+            if not isinstance(term, Variable):
+                hoisted.append((CHECK_CONST, position, term))
+                probes.append((position, PROBE_CONST, term))
+                continue
+            slot = slot_of.get(term)
+            if slot is None:
+                slot = slot_of[term] = len(slot_of)
+            if slot in bound_slots:
+                # Bound before this atom: probe-able and hoistable.  Bound
+                # within this atom (repeated variable): the check must stay
+                # after its BIND_SLOT, and the slot value is not yet known
+                # at probe time.
+                if any(op[0] == BIND_SLOT and op[2] == slot for op in trailing):
+                    trailing.append((CHECK_SLOT, position, slot))
+                else:
+                    hoisted.append((CHECK_SLOT, position, slot))
+                    probes.append((position, PROBE_SLOT, slot))
+            else:
+                bound_slots.add(slot)
+                trailing.append((BIND_SLOT, position, slot))
+        steps.append(_Step(atom, tuple(hoisted + trailing), tuple(probes)))
+    return JoinPlan(atoms, tuple(steps), slot_of, prebound)
+
+
+_BODY_CACHE: Dict[Tuple[Tuple[Atom, ...], FrozenSet[Variable]], JoinPlan] = {}
+_PIVOT_CACHE: Dict[Tuple[Tuple[Atom, ...], int], JoinPlan] = {}
+_RULE_CACHE: Dict[Rule, CompiledRule] = {}
+_CACHE_LIMIT = 4096
+
+
+def compile_body(
+    atoms: Iterable[Atom], prebound: Iterable[Variable] = ()
+) -> JoinPlan:
+    """Compile (and cache) a join plan for an atom sequence.
+
+    ``prebound`` names the variables that will arrive already bound in the
+    seed substitution; they receive dedicated slots so the executor treats
+    them as bound from step one.
+    """
+    atoms = tuple(atoms)
+    prebound_set = frozenset(prebound)
+    key = (atoms, prebound_set)
+    plan = _BODY_CACHE.get(key)
+    if plan is None:
+        if len(_BODY_CACHE) >= _CACHE_LIMIT:
+            _BODY_CACHE.clear()
+        plan = _compile_ordered(atoms, None, prebound_set)
+        _BODY_CACHE[key] = plan
+    return plan
+
+
+def compile_pivot(atoms: Iterable[Atom], pivot: int) -> JoinPlan:
+    """Compile (and cache) a join plan with atom ``pivot`` forced first.
+
+    Executed with ``delta_source``, the pivot atom's candidates come from the
+    delta and the remaining atoms join against the full instance — the
+    semi-naive step.
+    """
+    atoms = tuple(atoms)
+    key = (atoms, pivot)
+    plan = _PIVOT_CACHE.get(key)
+    if plan is None:
+        if len(_PIVOT_CACHE) >= _CACHE_LIMIT:
+            _PIVOT_CACHE.clear()
+        plan = _compile_ordered(atoms, pivot, frozenset())
+        _PIVOT_CACHE[key] = plan
+    return plan
+
+
+def compile_rule(rule: Rule) -> CompiledRule:
+    """Compile (and cache) the full per-rule plan bundle."""
+    compiled = _RULE_CACHE.get(rule)
+    if compiled is None:
+        if len(_RULE_CACHE) >= _CACHE_LIMIT:
+            _RULE_CACHE.clear()
+        compiled = CompiledRule(rule)
+        _RULE_CACHE[rule] = compiled
+    return compiled

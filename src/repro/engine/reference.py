@@ -1,0 +1,62 @@
+"""The seed's interpretive matcher, kept as an executable specification.
+
+This is, verbatim in behaviour, the backtracking homomorphism matcher that
+``repro.datalog.chase.match_atoms`` implemented before the compiled join-plan
+core existed: selectivity reordering by constant count, substitution
+application per step, and per-fact unification.  It is deliberately simple
+and obviously correct, which makes it the reference oracle for the
+differential tests in ``tests/test_engine_parity.py`` — every compiled plan
+must produce exactly this set of substitutions.
+
+Production code must not import this module; it is quadratic-ish in all the
+ways the compiled core exists to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Sequence
+
+from repro.datalog.atoms import Atom, unify_with_fact
+from repro.datalog.terms import Term, Variable
+
+
+def reference_match_atoms(
+    atoms: Sequence[Atom],
+    instance,
+    initial: Optional[Dict[Variable, Term]] = None,
+) -> Iterator[Dict[Variable, Term]]:
+    """All homomorphisms mapping every atom of ``atoms`` into ``instance``."""
+    substitution: Dict[Variable, Term] = dict(initial or {})
+    ordered = sorted(
+        atoms,
+        key=lambda a: -sum(1 for t in a.terms if not isinstance(t, Variable)),
+    )
+
+    def backtrack(position: int) -> Iterator[Dict[Variable, Term]]:
+        if position == len(ordered):
+            yield dict(substitution)
+            return
+        pattern = ordered[position].apply(substitution)
+        for fact in instance.matching(pattern):
+            binding = unify_with_fact(pattern, fact)
+            if binding is None:
+                continue
+            for variable, value in binding.items():
+                substitution[variable] = value
+            yield from backtrack(position + 1)
+            for variable in binding:
+                del substitution[variable]
+
+    return backtrack(0)
+
+
+def reference_satisfies_some(
+    atoms: Sequence[Atom], instance, substitution: Dict[Variable, Term]
+) -> bool:
+    """True iff at least one of ``atoms`` (under ``substitution``) holds in ``instance``."""
+    for atom in atoms:
+        grounded = atom.apply(substitution)
+        for fact in instance.matching(grounded):
+            if unify_with_fact(grounded, fact) is not None:
+                return True
+    return False

@@ -1,0 +1,41 @@
+"""Global engine counters sampled by the benchmark harness.
+
+The harness (``benchmarks/harness.py``) needs per-scenario throughput
+numbers — facts materialised, triggers fired, nulls invented — without every
+benchmark having to thread a result object out of whatever engine it happens
+to exercise.  The engines therefore increment one process-global
+:class:`EngineStats` instance (:data:`STATS`); the harness resets it before a
+measured run and snapshots it afterwards.
+
+The counters are advisory instrumentation: they are not thread-safe and must
+never influence evaluation results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EngineStats:
+    """Monotonic counters incremented by the evaluation engines."""
+
+    facts_added: int = 0
+    triggers_fired: int = 0
+    nulls_invented: int = 0
+
+    def reset(self) -> None:
+        self.facts_added = 0
+        self.triggers_fired = 0
+        self.nulls_invented = 0
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy, in the key order the harness JSON uses."""
+        return {
+            "facts_added": self.facts_added,
+            "triggers_fired": self.triggers_fired,
+            "nulls_invented": self.nulls_invented,
+        }
+
+
+STATS = EngineStats()

@@ -19,7 +19,7 @@ It is deliberately independent from the Datalog encoding
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.datalog.terms import Constant
 from repro.owl.model import (
@@ -30,21 +30,13 @@ from repro.owl.model import (
     DisjointObjectProperties,
     ExistentialClass,
     InverseProperty,
-    NamedClass,
     NamedProperty,
     ObjectPropertyAssertion,
     Ontology,
     SubClassOf,
     SubObjectPropertyOf,
 )
-from repro.owl.rdf_mapping import (
-    class_uri,
-    parse_class_uri,
-    parse_property_uri,
-    property_uri,
-    SOME_PREFIX,
-    INVERSE_SUFFIX,
-)
+from repro.owl.rdf_mapping import class_uri, parse_class_uri, parse_property_uri, property_uri
 from repro.rdf.graph import Triple
 from repro.rdf.namespaces import OWL, RDF, RDFS
 

@@ -17,7 +17,7 @@ Table 1:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import FrozenSet, Iterable, Iterator, List, Set, Union
 
 from repro.datalog.terms import Constant
 

@@ -35,7 +35,7 @@ ObjectPropertyAssertion(p,a,b)  (a, p, b)
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+from typing import List, Union
 
 from repro.datalog.terms import Constant
 from repro.owl.model import (

@@ -11,11 +11,11 @@ relational view used by every translation of Section 5.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set, Tuple, Union
 
 from repro.datalog.atoms import Atom
 from repro.datalog.database import Database, Instance
-from repro.datalog.terms import Constant, Null, Term
+from repro.datalog.terms import Constant, Null
 
 #: The relational predicate storing RDF triples.
 TRIPLE_PREDICATE = "triple"
@@ -212,18 +212,20 @@ class RDFGraph:
         database; graphs containing blank nodes should use
         :meth:`to_instance` instead.
         """
-        database = Database()
         for triple in self._triples:
             if not triple.is_ground:
                 raise ValueError(
                     f"graph contains the non-ground triple {triple}; use to_instance()"
                 )
-            database.add(triple.to_atom())
+        database = Database()
+        database.bulk_load(t.to_atom() for t in self._triples)
         return database
 
     def to_instance(self) -> Instance:
         """The instance view, allowing blank nodes (labelled nulls)."""
-        return Instance(t.to_atom() for t in self._triples)
+        instance = Instance()
+        instance.bulk_load(t.to_atom() for t in self._triples)
+        return instance
 
 
 def graph_to_database(graph: RDFGraph) -> Database:

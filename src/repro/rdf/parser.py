@@ -17,7 +17,7 @@ blank nodes.  Lines starting with ``#`` are comments.
 from __future__ import annotations
 
 import re
-from typing import Iterable, List
+from typing import List
 
 from repro.datalog.terms import Constant, Null
 from repro.rdf.graph import RDFGraph, Triple

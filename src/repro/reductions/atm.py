@@ -25,10 +25,9 @@ design and only tiny instances are feasible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence, Tuple
 
-from repro.analysis.guards import classify_program, is_warded_with_minimal_interaction
 from repro.datalog.atoms import Atom
 from repro.datalog.chase import ChaseEngine
 from repro.datalog.database import Database

@@ -16,7 +16,7 @@ queries is ExpTime-hard in data complexity (Theorem 4.4; the benchmark
 from __future__ import annotations
 
 import itertools
-from typing import FrozenSet, Iterable, Sequence, Set, Tuple
+from typing import Iterable, Set, Tuple
 
 from repro.core.triq import TriQQuery
 from repro.datalog.atoms import Atom
@@ -77,17 +77,19 @@ def clique_database(edges: Iterable[Tuple[str, str]], k: int) -> Database:
     """
     if k < 1:
         raise ValueError("k must be at least 1")
-    database = Database()
+    facts = []
     vertices: Set[str] = set()
     for source, target in edges:
         vertices.add(str(source))
         vertices.add(str(target))
-        database.add(Atom("edge0", (Constant(str(source)), Constant(str(target)))))
-        database.add(Atom("edge0", (Constant(str(target)), Constant(str(source)))))
-    for vertex in vertices:
-        database.add(Atom("node0", (Constant(vertex),)))
-    for i in range(k):
-        database.add(Atom("succ0", (Constant(str(i)), Constant(str(i + 1)))))
+        facts.append(Atom("edge0", (Constant(str(source)), Constant(str(target)))))
+        facts.append(Atom("edge0", (Constant(str(target)), Constant(str(source)))))
+    facts.extend(Atom("node0", (Constant(vertex),)) for vertex in sorted(vertices))
+    facts.extend(
+        Atom("succ0", (Constant(str(i)), Constant(str(i + 1)))) for i in range(k)
+    )
+    database = Database()
+    database.bulk_load(facts)
     return database
 
 

@@ -22,7 +22,7 @@ Datalog programs and verifies the implication for each of them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.core.warded_engine import WardedEngine
 from repro.datalog.atoms import Atom

@@ -11,9 +11,9 @@ The grammar implemented is exactly the paper's:
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Sequence, Tuple, Union as TypingUnion
+from typing import FrozenSet, Iterable, Tuple, Union as TypingUnion
 
-from repro.datalog.terms import Constant, Null, Term, Variable
+from repro.datalog.terms import Constant, Null, Variable
 
 PatternTerm = TypingUnion[Constant, Null, Variable]
 

@@ -14,10 +14,10 @@ The semantics is defined recursively on the pattern structure:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Set, Union as TypingUnion
+from typing import Dict, Iterator, Set, Union as TypingUnion
 
 from repro.datalog.terms import Constant, Null, Variable
-from repro.rdf.graph import RDFGraph, Triple
+from repro.rdf.graph import RDFGraph
 from repro.sparql.ast import (
     And,
     AndCondition,
@@ -35,7 +35,7 @@ from repro.sparql.ast import (
     TriplePattern,
     Union,
 )
-from repro.sparql.mappings import Mapping, join, left_outer_join, minus, union
+from repro.sparql.mappings import Mapping, join, left_outer_join, union
 
 
 def satisfies(mapping: Mapping, condition: Condition) -> bool:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Iterator, Mapping as TypingMapping, Optional, Set, Tuple
 
-from repro.datalog.terms import Constant, Term, Variable
+from repro.datalog.terms import Constant, Variable
 
 
 class Mapping:

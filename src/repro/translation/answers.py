@@ -13,7 +13,7 @@ benchmarks verify exactly that equality.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Optional, Sequence, Set, Tuple, Union
+from typing import Iterable, Sequence, Set, Tuple, Union
 
 from repro.datalog.semantics import INCONSISTENT, QueryResult
 from repro.datalog.terms import Constant, Variable

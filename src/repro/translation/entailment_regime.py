@@ -20,15 +20,13 @@ Theorem 5.3 states ``⟦P⟧^U_G = ⟦(P^U_dat, tau_db(G))⟧`` and Definition 5
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Set, Tuple, Union
+from typing import Tuple, Union
 
 from repro.core.triqlite import TriQLiteQuery
-from repro.datalog.program import Program
 from repro.datalog.semantics import INCONSISTENT
 from repro.owl.entailment_rules import owl2ql_core_program
 from repro.rdf.graph import RDFGraph
 from repro.sparql.ast import GraphPattern
-from repro.sparql.mappings import Mapping
 from repro.sparql.parser import SelectQuery
 from repro.translation.answers import decode_answers
 from repro.translation.sparql_to_datalog import (

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union as TypingUnion
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple, Union as TypingUnion
 
 from repro.datalog.atoms import Atom
 from repro.datalog.program import Program, Query
@@ -54,7 +54,6 @@ from repro.sparql.ast import (
     Opt,
     OrCondition,
     Select,
-    TriplePattern,
     Union,
 )
 from repro.sparql.parser import SelectQuery

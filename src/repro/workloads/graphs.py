@@ -3,10 +3,9 @@
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.datalog.terms import Constant
-from repro.rdf.graph import RDFGraph, Triple
+from repro.rdf.graph import RDFGraph
 from repro.rdf.namespaces import OWL, RDF, RDFS
 
 

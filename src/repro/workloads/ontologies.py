@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
 
 from repro.datalog.terms import Constant, Null
 from repro.owl.model import Ontology, some, inverse

@@ -3,22 +3,11 @@
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict
 
-from repro.datalog.terms import Constant, Null, Variable
+from repro.datalog.terms import Constant, Variable
 from repro.rdf.graph import RDFGraph
-from repro.sparql.ast import (
-    And,
-    BGP,
-    Bound,
-    EqualsVariable,
-    Filter,
-    GraphPattern,
-    Opt,
-    Select,
-    TriplePattern,
-    Union,
-)
+from repro.sparql.ast import And, BGP, Bound, Filter, GraphPattern, Opt, TriplePattern, Union
 
 
 def author_queries() -> Dict[str, str]:

@@ -1,0 +1,190 @@
+"""Unit tests for the compiled join-plan core (:mod:`repro.engine`)."""
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Database, Instance
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Constant, Null, Variable
+from repro.engine.plan import compile_body, compile_rule
+from repro.engine.stats import STATS
+
+a, b, c, d = Constant("a"), Constant("b"), Constant("c"), Constant("d")
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def subs(plan, instance, initial=None):
+    return sorted(
+        tuple(sorted((v.name, str(t)) for v, t in s.items()))
+        for s in plan.execute(instance, initial)
+    )
+
+
+class TestJoinPlan:
+    def test_single_atom_scan(self):
+        instance = Instance([Atom("p", (a, b)), Atom("p", (b, c))])
+        plan = compile_body((Atom("p", (X, Y)),))
+        assert subs(plan, instance) == [
+            (("X", "a"), ("Y", "b")),
+            (("X", "b"), ("Y", "c")),
+        ]
+
+    def test_constant_probe(self):
+        instance = Instance([Atom("p", (a, b)), Atom("p", (b, c))])
+        plan = compile_body((Atom("p", (a, Y)),))
+        assert subs(plan, instance) == [(("Y", "b"),)]
+
+    def test_join_two_atoms(self):
+        instance = Instance(
+            [Atom("e", (a, b)), Atom("e", (b, c)), Atom("e", (c, d))]
+        )
+        plan = compile_body((Atom("e", (X, Y)), Atom("e", (Y, Z))))
+        assert subs(plan, instance) == [
+            (("X", "a"), ("Y", "b"), ("Z", "c")),
+            (("X", "b"), ("Y", "c"), ("Z", "d")),
+        ]
+
+    def test_repeated_variable_within_atom(self):
+        instance = Instance([Atom("p", (a, a)), Atom("p", (a, b))])
+        plan = compile_body((Atom("p", (X, X)),))
+        assert subs(plan, instance) == [(("X", "a"),)]
+
+    def test_repeated_variable_across_atoms(self):
+        instance = Instance([Atom("p", (a,)), Atom("q", (a,)), Atom("q", (b,))])
+        plan = compile_body((Atom("p", (X,)), Atom("q", (X,))))
+        assert subs(plan, instance) == [(("X", "a"),)]
+
+    def test_initial_bindings_respected_and_emitted(self):
+        instance = Instance([Atom("p", (a, b)), Atom("p", (b, c))])
+        plan = compile_body((Atom("p", (X, Y)),), prebound=(X,))
+        assert subs(plan, instance, {X: b}) == [(("X", "b"), ("Y", "c"))]
+
+    def test_initial_binding_of_foreign_variable_is_kept(self):
+        instance = Instance([Atom("p", (a,))])
+        plan = compile_body((Atom("p", (X,)),), prebound=(Z,))
+        assert subs(plan, instance, {Z: d}) == [(("X", "a"), ("Z", "d"))]
+
+    def test_empty_body_yields_one_empty_substitution(self):
+        plan = compile_body(())
+        assert subs(plan, Instance()) == [()]
+
+    def test_no_match_on_missing_predicate(self):
+        plan = compile_body((Atom("missing", (X,)),))
+        assert subs(plan, Instance([Atom("p", (a,))])) == []
+
+    def test_arity_mismatch_is_skipped(self):
+        instance = Instance([Atom("p", (a,)), Atom("p", (a, b))])
+        plan = compile_body((Atom("p", (X, Y)),))
+        assert subs(plan, instance) == [(("X", "a"), ("Y", "b"))]
+
+    def test_additions_during_iteration_are_invisible(self):
+        instance = Instance([Atom("p", (a,))])
+        plan = compile_body((Atom("p", (X,)),))
+        seen = []
+        for sub in plan.execute(instance):
+            instance.add(Atom("p", (Constant(f"x{len(seen)}"),)))
+            seen.append(sub[X])
+        assert seen == [a]
+
+    def test_exists(self):
+        instance = Instance([Atom("p", (a, b))])
+        assert compile_body((Atom("p", (X, Y)),)).exists(instance)
+        assert not compile_body((Atom("p", (b, Y)),)).exists(instance)
+
+    def test_plan_cache_returns_same_object(self):
+        body = (Atom("p", (X, Y)), Atom("q", (Y,)))
+        assert compile_body(body) is compile_body(body)
+        assert compile_body(body) is not compile_body(body, prebound=(X,))
+
+
+class TestCompiledRule:
+    def test_negation_probe_blocks(self):
+        program = parse_program("p(?X), not q(?X) -> r(?X).")
+        crule = compile_rule(program.rules[0])
+        reference = Instance([Atom("q", (a,))])
+        assert crule.negation_blocked({X: a}, reference)
+        assert not crule.negation_blocked({X: b}, reference)
+
+    def test_negation_probe_against_snapshot(self):
+        program = parse_program("p(?X), not q(?X) -> r(?X).")
+        crule = compile_rule(program.rules[0])
+        instance = Instance([Atom("q", (a,))])
+        frozen = instance.snapshot()
+        instance.add(Atom("q", (b,)))
+        assert crule.negation_blocked({X: a}, frozen)
+        assert not crule.negation_blocked({X: b}, frozen)
+
+    def test_delta_substitutions_require_delta_overlap(self):
+        program = parse_program("e(?X, ?Y), e(?Y, ?Z) -> t(?X, ?Z).")
+        crule = compile_rule(program.rules[0])
+        instance = Instance([Atom("e", (a, b)), Atom("e", (b, c))])
+        empty_delta = Instance([Atom("other", (a,))])
+        assert list(crule.delta_substitutions(instance, empty_delta)) == []
+        delta = Instance([Atom("e", (b, c))])
+        found = {
+            tuple(sorted((v.name, str(t)) for v, t in s.items()))
+            for s in crule.delta_substitutions(instance, delta)
+        }
+        # Both pivots hit the delta fact e(b, c).
+        assert (("X", "a"), ("Y", "b"), ("Z", "c")) in found
+
+    def test_head_facts_ground_and_existential(self):
+        program = parse_program("p(?X) -> exists ?Y . q(?X, ?Y).")
+        crule = compile_rule(program.rules[0])
+        fresh = Null.fresh("w")
+        ev = next(iter(program.rules[0].existential_variables))
+        facts = crule.head_facts({X: a, ev: fresh})
+        assert facts == [Atom("q", (a, fresh))]
+
+    def test_head_satisfied_existential(self):
+        program = parse_program("p(?X) -> exists ?Y . q(?X, ?Y).")
+        crule = compile_rule(program.rules[0])
+        instance = Instance([Atom("p", (a,)), Atom("q", (a, Null("_:w0")))])
+        assert crule.head_satisfied({X: a}, instance)
+        assert not crule.head_satisfied({X: b}, instance)
+
+
+class TestInstanceSnapshot:
+    def test_snapshot_is_frozen_against_additions(self):
+        instance = Instance([Atom("p", (a,))])
+        frozen = instance.snapshot()
+        instance.add(Atom("p", (b,)))
+        assert Atom("p", (a,)) in frozen
+        assert Atom("p", (b,)) not in frozen
+        assert len(frozen) == 1
+        assert set(frozen) == {Atom("p", (a,))}
+        assert list(frozen.matching(Atom("p", (X,)))) == [Atom("p", (a,))]
+
+    def test_snapshot_with_predicate_and_predicates(self):
+        instance = Instance([Atom("p", (a,)), Atom("q", (b,))])
+        frozen = instance.snapshot()
+        instance.add(Atom("r", (c,)))
+        assert frozen.with_predicate("p") == {Atom("p", (a,))}
+        assert frozen.predicates == {"p", "q"}
+
+
+class TestBulkLoadAndStats:
+    def test_bulk_load_counts_new_facts(self):
+        instance = Instance()
+        added = instance.bulk_load([Atom("p", (a,)), Atom("p", (a,)), Atom("p", (b,))])
+        assert added == 2
+        assert len(instance) == 2
+
+    def test_bulk_load_rejects_variables(self):
+        with pytest.raises(ValueError):
+            Instance().bulk_load([Atom("p", (X,))])
+
+    def test_database_bulk_load_rejects_nulls(self):
+        with pytest.raises(ValueError, match="ground atoms"):
+            Database().bulk_load([Atom("p", (Null("_:z"),))])
+
+    def test_stats_count_added_facts(self):
+        STATS.reset()
+        Instance([Atom("p", (a,)), Atom("p", (b,))])
+        assert STATS.facts_added == 2
+
+    def test_discard_hides_fact_from_matching(self):
+        instance = Instance([Atom("p", (a,)), Atom("p", (b,))])
+        assert instance.discard(Atom("p", (a,)))
+        assert list(instance.matching(Atom("p", (X,)))) == [Atom("p", (b,))]
+        assert compile_body((Atom("p", (X,)),)).execute(instance).__next__()[X] == b

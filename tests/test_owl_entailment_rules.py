@@ -10,13 +10,11 @@ import pytest
 
 from repro.analysis.guards import classify_program
 from repro.core.warded_engine import WardedEngine
-from repro.datalog.atoms import Atom
 from repro.datalog.terms import Constant
 from repro.owl.dllite import DLLiteReasoner
 from repro.owl.entailment_rules import owl2ql_core_program
-from repro.owl.model import Ontology, inverse, some
-from repro.owl.rdf_mapping import class_uri, ontology_to_graph
-from repro.rdf.namespaces import RDF
+from repro.owl.model import Ontology, some
+from repro.owl.rdf_mapping import ontology_to_graph
 from repro.workloads.ontologies import university_ontology
 
 

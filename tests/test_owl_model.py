@@ -3,15 +3,12 @@
 from repro.datalog.terms import Constant
 from repro.owl.model import (
     ClassAssertion,
-    DisjointClasses,
     ExistentialClass,
     InverseProperty,
     NamedClass,
     NamedProperty,
-    ObjectPropertyAssertion,
     Ontology,
     SubClassOf,
-    SubObjectPropertyOf,
     inverse,
     some,
 )

@@ -5,7 +5,7 @@ import pytest
 from repro.datalog.atoms import Atom
 from repro.datalog.terms import Constant, Null
 from repro.rdf.graph import RDFGraph, Triple, database_to_graph, graph_to_database, triple_atom
-from repro.rdf.namespaces import OWL, RDF, RDFS
+from repro.rdf.namespaces import OWL, RDF
 
 
 class TestTriple:

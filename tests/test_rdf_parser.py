@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.datalog.terms import Constant, Null
+from repro.datalog.terms import Null
 from repro.rdf.parser import RDFParseError, parse_ntriples, serialize_ntriples
 
 

@@ -1,6 +1,6 @@
 """Tests for the SPARQL evaluation semantics ⟦P⟧_G (Section 3.1)."""
 
-from repro.datalog.terms import Constant, Null, Variable
+from repro.datalog.terms import Constant, Variable
 from repro.rdf.graph import RDFGraph
 from repro.sparql.ast import (
     And,
@@ -13,10 +13,9 @@ from repro.sparql.ast import (
     Opt,
     OrCondition,
     Select,
-    TriplePattern,
     Union,
 )
-from repro.sparql.evaluator import evaluate_bgp, evaluate_pattern, satisfies
+from repro.sparql.evaluator import evaluate_pattern, satisfies
 from repro.sparql.mappings import Mapping
 
 X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")

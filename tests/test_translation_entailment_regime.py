@@ -3,7 +3,7 @@
 import pytest
 
 from repro.datalog.semantics import INCONSISTENT
-from repro.datalog.terms import Constant, Variable
+from repro.datalog.terms import Variable
 from repro.owl.dllite import DLLiteReasoner
 from repro.owl.model import NamedClass, Ontology, inverse, some
 from repro.owl.rdf_mapping import ontology_to_graph
@@ -14,7 +14,7 @@ from repro.translation.entailment_regime import (
     evaluate_under_entailment,
     translate_under_entailment,
 )
-from repro.workloads.graphs import section2_g3, section2_g4
+from repro.workloads.graphs import section2_g3
 from repro.workloads.ontologies import university_ontology
 
 X = Variable("X")

@@ -1,7 +1,7 @@
 """Tests for the synthetic workload generators."""
 
 from repro.owl.rdf_mapping import ontology_to_graph
-from repro.rdf.namespaces import OWL, RDF, RDFS
+from repro.rdf.namespaces import OWL, RDFS
 from repro.workloads.graphs import (
     paper_transport_graph,
     random_rdf_graph,
