@@ -6,6 +6,16 @@ engine-core counters (:mod:`repro.engine.stats`) around each measured
 section, and writes ``BENCH_engine_core.json`` in a stable schema that CI
 diffs against the committed baseline.
 
+Every scenario runs once per **execution mode** (row-at-a-time and
+column-at-a-time batch; see :mod:`repro.engine.mode`), producing one record
+per ``scenario@mode`` id.  Besides the per-mode wall times — which is how
+the batch executor's speedups are tracked in the committed baseline — the
+harness enforces the cross-mode counter contract: the mode-independent
+counters (facts added, triggers fired, nulls invented, pivots skipped) must
+be *identical* between the two modes of a scenario, and the run fails
+otherwise.  That equality is what keeps the bench-smoke counter gate
+meaningful with two executors behind one baseline.
+
 The ``bench_*.py`` files stay plain pytest-benchmark suites; the harness
 discovers their ``test_*`` functions, expands ``pytest.mark.parametrize``
 marks itself, and injects a proxy ``benchmark`` fixture, so the same
@@ -18,10 +28,11 @@ stays out of the measured section.
 Usage::
 
     python benchmarks/harness.py                      # full run, writes BENCH_engine_core.json
-    python benchmarks/harness.py --quick              # 1 warmup + 2 repeats, writes nothing
+    python benchmarks/harness.py --quick              # 1 warmup + 3 repeats, writes nothing
     python benchmarks/harness.py --quick --baseline BENCH_engine_core.json
                                                       # CI smoke: fail on >25% regression
     python benchmarks/harness.py --only theorem67     # substring filter
+    python benchmarks/harness.py --modes batch        # only one executor
     python benchmarks/harness.py --list               # show scenario ids and exit
 
 See ``benchmarks/README.md`` for the JSON schema and the CI contract.
@@ -30,6 +41,7 @@ See ``benchmarks/README.md`` for the JSON schema and the CI contract.
 from __future__ import annotations
 
 import argparse
+import gc
 import importlib.util
 import itertools
 import json
@@ -46,10 +58,19 @@ for path in (SRC, BENCH_DIR):
     if path not in sys.path:
         sys.path.insert(0, path)
 
+from repro.engine.mode import execution_mode  # noqa: E402
 from repro.engine.stats import STATS  # noqa: E402
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine_core.json")
+MODES = ("row", "batch")
+#: Counters that must be identical between execution modes of one scenario.
+MODE_INDEPENDENT_COUNTERS = (
+    "facts_added",
+    "chase_steps",
+    "nulls_invented",
+    "pivots_skipped",
+)
 #: Regressions smaller than this (seconds) never fail the gate: scenarios in
 #: the low-millisecond range jitter far more than 25% on shared CI runners.
 MIN_REGRESSION_SECONDS = 0.010
@@ -69,6 +90,11 @@ class HarnessBenchmark:
         self.stats: Dict[str, int] = {}
 
     def _measure(self, fn: Callable, args: tuple, kwargs: dict) -> Any:
+        # Flush collectable garbage from previous scenarios so a GC cycle
+        # triggered by *their* allocations does not land inside this measured
+        # section — the dominant source of run-to-run jitter for the
+        # allocation-heavy scenarios.
+        gc.collect()
         STATS.reset()
         start = time.perf_counter()
         result = fn(*args, **kwargs)
@@ -142,7 +168,7 @@ def _expand_parametrize(fn: Callable) -> List[Tuple[str, Dict[str, Any]]]:
     return expanded
 
 
-def discover_scenarios(only: Optional[str] = None) -> List[Dict[str, Any]]:
+def discover_scenarios() -> List[Dict[str, Any]]:
     """All (file, function, params) scenarios of the ``bench_*.py`` suite."""
     scenarios: List[Dict[str, Any]] = []
     for filename in sorted(os.listdir(BENCH_DIR)):
@@ -157,30 +183,49 @@ def discover_scenarios(only: Optional[str] = None) -> List[Dict[str, Any]]:
                 continue
             for ident, kwargs in _expand_parametrize(fn):
                 scenario_id = f"{filename}::{attr}" + (f"[{ident}]" if ident else "")
-                if only and only not in scenario_id:
-                    continue
                 scenarios.append(
                     {"id": scenario_id, "file": filename, "fn": fn, "kwargs": kwargs}
                 )
     return scenarios
 
 
+def select_runs(
+    scenarios: List[Dict[str, Any]], modes: List[str], only: Optional[str]
+) -> List[Tuple[Dict[str, Any], str]]:
+    """The (scenario, mode) pairs to run.  ``--only`` matches the full
+    ``scenario@mode`` record id, so any id printed by ``--list`` (or found in
+    the baseline JSON) is a valid filter: ``--only theorem67`` selects both
+    modes of the theorem67 scenarios, ``--only @batch`` selects every
+    scenario's batch record, and a full record id selects exactly one run."""
+    return [
+        (scenario, mode)
+        for scenario in scenarios
+        for mode in modes
+        if not only or only in f"{scenario['id']}@{mode}"
+    ]
+
+
 def run_scenario(
-    scenario: Dict[str, Any], warmup: int, repeats: int
+    scenario: Dict[str, Any], warmup: int, repeats: int, mode: str
 ) -> Dict[str, Any]:
-    """Run one scenario ``warmup + repeats`` times; keep the measured runs."""
+    """Run one scenario ``warmup + repeats`` times under ``mode``."""
     runs: List[float] = []
-    record: Dict[str, Any] = {"id": scenario["id"], "file": scenario["file"]}
+    record: Dict[str, Any] = {
+        "id": f"{scenario['id']}@{mode}",
+        "file": scenario["file"],
+        "mode": mode,
+    }
     proxy = HarnessBenchmark()
-    for i in range(warmup + repeats):
-        proxy = HarnessBenchmark()
-        scenario["fn"](benchmark=proxy, **scenario["kwargs"])
-        if proxy.wall_seconds is None:
-            raise RuntimeError(
-                f"{scenario['id']} never invoked the benchmark fixture"
-            )
-        if i >= warmup:
-            runs.append(proxy.wall_seconds)
+    with execution_mode(mode):
+        for i in range(warmup + repeats):
+            proxy = HarnessBenchmark()
+            scenario["fn"](benchmark=proxy, **scenario["kwargs"])
+            if proxy.wall_seconds is None:
+                raise RuntimeError(
+                    f"{scenario['id']} never invoked the benchmark fixture"
+                )
+            if i >= warmup:
+                runs.append(proxy.wall_seconds)
     median = statistics.median(runs)
     last_stats = proxy.stats
     record.update(
@@ -193,6 +238,8 @@ def run_scenario(
             "facts_added": last_stats["facts_added"],
             "chase_steps": last_stats["triggers_fired"],
             "nulls_invented": last_stats["nulls_invented"],
+            "pivots_skipped": last_stats["pivots_skipped"],
+            "batch_probe_groups": last_stats["batch_probe_groups"],
             "facts_per_second": (
                 round(last_stats["facts_added"] / median) if median > 0 else None
             ),
@@ -206,6 +253,33 @@ def run_scenario(
     return record
 
 
+def cross_mode_mismatches(results: List[Dict[str, Any]]) -> List[str]:
+    """Scenarios whose mode-independent counters differ between modes.
+
+    Both executors are required to fire the same triggers in the same order,
+    so any divergence here is a correctness bug in the batch path (or a
+    nondeterministic scenario), never an acceptable perf trade-off.
+    """
+    by_scenario: Dict[str, Dict[str, Dict[str, Any]]] = {}
+    for record in results:
+        base = record["id"].rsplit("@", 1)[0]
+        by_scenario.setdefault(base, {})[record["mode"]] = record
+    mismatches: List[str] = []
+    for base, per_mode in sorted(by_scenario.items()):
+        if len(per_mode) < 2:
+            continue
+        row, batch = per_mode.get("row"), per_mode.get("batch")
+        if row is None or batch is None:
+            continue
+        for counter in MODE_INDEPENDENT_COUNTERS:
+            if row.get(counter) != batch.get(counter):
+                mismatches.append(
+                    f"{base}: {counter} row={row.get(counter)} "
+                    f"batch={batch.get(counter)}"
+                )
+    return mismatches
+
+
 def compare_to_baseline(
     results: List[Dict[str, Any]],
     baseline: Dict[str, Any],
@@ -215,11 +289,21 @@ def compare_to_baseline(
     """Regression messages for scenarios slower than baseline by > threshold.
 
     The baseline may have been recorded on a different machine, so raw wall
-    times are not comparable; comparisons are normalised by the overall speed
-    ratio between the two runs (sum of medians over the shared scenarios).
-    A regression is then a scenario that got slower *relative to the rest of
-    the suite* — which is machine-independent — by more than ``threshold``
-    and by more than ``min_delta`` (speed-adjusted) in absolute terms.
+    times are not comparable; comparisons are normalised by the speed ratio
+    between the two runs (sum of per-record *minimum* wall times over the
+    shared records — the minimum is the least noise-sensitive estimate of a
+    scenario's true cost, since timing noise on a shared runner is strictly
+    one-sided).  Machine
+    speed is mode-independent, so the ratio is anchored on the **row**
+    records alone whenever both sides have them: if the batch executor
+    uniformly loses its edge (e.g. the probe cache stops working) the row
+    anchor stays put and every ``@batch`` record reads as a genuine relative
+    regression, instead of the slowdown inflating a pooled "machine speed"
+    ratio and hiding inside it.  (Pooled over all shared records is the
+    fallback for single-mode runs and pre-mode baselines.)  A regression is
+    then a record that got slower *relative to the anchor* — which is
+    machine-independent — by more than ``threshold`` and by more than
+    ``min_delta`` (speed-adjusted) in absolute terms.
     """
     baseline_by_id = {s["id"]: s for s in baseline.get("scenarios", [])}
     shared = [
@@ -229,15 +313,18 @@ def compare_to_baseline(
     ]
     if not shared:
         return []
-    current_sum = sum(r["wall_seconds"]["median"] for r, _ in shared)
-    baseline_sum = sum(b["wall_seconds"]["median"] for _, b in shared)
+    anchor = [
+        (r, b) for r, b in shared if r.get("mode") == "row"
+    ] or shared
+    current_sum = sum(r["wall_seconds"]["min"] for r, _ in anchor)
+    baseline_sum = sum(b["wall_seconds"]["min"] for _, b in anchor)
     if baseline_sum <= 0:
         return []
     speed_ratio = current_sum / baseline_sum  # >1 when this machine/run is slower overall
     regressions: List[str] = []
     for record, base in shared:
-        current = record["wall_seconds"]["median"]
-        reference = base["wall_seconds"]["median"] * speed_ratio
+        current = record["wall_seconds"]["min"]
+        reference = base["wall_seconds"]["min"] * speed_ratio
         if current > reference * (1 + threshold) and current - reference > min_delta:
             regressions.append(
                 f"{record['id']}: {current * 1000:.1f}ms vs speed-adjusted baseline "
@@ -257,15 +344,31 @@ def compare_to_baseline(
                     f"{record['id']}: {counter} {now} vs baseline {then} "
                     f"(+{(now / then - 1) * 100:.0f}%)"
                 )
+        # pivots_skipped gates in the opposite direction: a *drop* means the
+        # cost-based pivot selection stopped skipping (delta rounds probing
+        # pivots they should not), which is invisible to the work counters
+        # above because skipped pivots produce no triggers or facts.
+        now, then = record.get("pivots_skipped"), base.get("pivots_skipped")
+        if now is not None and then:
+            if now < then * (1 - threshold) and then - now > 50:
+                regressions.append(
+                    f"{record['id']}: pivots_skipped {now} vs baseline {then} "
+                    f"({(now / then - 1) * 100:.0f}%)"
+                )
     return regressions
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[1])
-    parser.add_argument("--quick", action="store_true", help="1 warmup + 2 repeats")
+    parser.add_argument("--quick", action="store_true", help="1 warmup + 3 repeats")
     parser.add_argument("--warmup", type=int, default=None, help="warmup runs per scenario")
     parser.add_argument("--repeats", type=int, default=None, help="measured runs per scenario")
     parser.add_argument("--only", default=None, help="substring filter on scenario ids")
+    parser.add_argument(
+        "--modes",
+        default=",".join(MODES),
+        help="comma-separated execution modes to run (default: row,batch)",
+    )
     parser.add_argument("--list", action="store_true", help="list scenario ids and exit")
     parser.add_argument(
         "--output",
@@ -285,32 +388,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     warmup = args.warmup if args.warmup is not None else 1
-    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 5)
+    repeats = args.repeats if args.repeats is not None else (3 if args.quick else 5)
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    for mode in modes:
+        if mode not in MODES:
+            print(f"error: unknown mode {mode!r} (choose from {MODES})", file=sys.stderr)
+            return 2
 
-    scenarios = discover_scenarios(args.only)
+    runs = select_runs(discover_scenarios(), modes, args.only)
     if args.list:
-        for scenario in scenarios:
-            print(scenario["id"])
+        for scenario, mode in runs:
+            print(f"{scenario['id']}@{mode}")
         return 0
-    if not scenarios:
+    if not runs:
         print("no scenarios matched", file=sys.stderr)
         return 2
 
     results: List[Dict[str, Any]] = []
     total_start = time.perf_counter()
-    for scenario in scenarios:
-        record = run_scenario(scenario, warmup, repeats)
+    for scenario, mode in runs:
+        record = run_scenario(scenario, warmup, repeats, mode)
         results.append(record)
         wall = record["wall_seconds"]["median"]
-        print(f"{record['id']:78s} {wall * 1000:9.2f} ms  "
+        print(f"{record['id']:84s} {wall * 1000:9.2f} ms  "
               f"{record['facts_added']:>8d} facts")
     total_wall = time.perf_counter() - total_start
 
+    per_mode_sums = {
+        mode: sum(
+            r["wall_seconds"]["median"] for r in results if r["mode"] == mode
+        )
+        for mode in modes
+    }
     document = {
         "schema_version": SCHEMA_VERSION,
         "mode": "quick" if args.quick else "full",
         "warmup": warmup,
         "repeats": repeats,
+        "execution_modes": modes,
         "python": ".".join(map(str, sys.version_info[:3])),
         "scenario_count": len(results),
         "scenarios": results,
@@ -318,19 +433,46 @@ def main(argv: Optional[List[str]] = None) -> int:
             "wall_seconds_median_sum": round(
                 sum(r["wall_seconds"]["median"] for r in results), 6
             ),
+            "wall_seconds_by_mode": {
+                mode: round(total, 6) for mode, total in per_mode_sums.items()
+            },
             "facts_added": sum(r["facts_added"] for r in results),
             "chase_steps": sum(r["chase_steps"] for r in results),
             "nulls_invented": sum(r["nulls_invented"] for r in results),
+            "pivots_skipped": sum(r["pivots_skipped"] for r in results),
         },
     }
-    print(f"\n{len(results)} scenarios, "
+    print(f"\n{len(results)} records, "
           f"median-sum {document['totals']['wall_seconds_median_sum']:.3f}s, "
           f"harness wall {total_wall:.1f}s")
+    if (
+        "row" in modes
+        and "batch" in modes
+        and per_mode_sums["batch"] > 0
+        and per_mode_sums["row"] > 0
+    ):
+        print(f"suite speedup batch vs row: "
+              f"{per_mode_sums['row'] / per_mode_sums['batch']:.2f}x")
 
-    # Only a full, unfiltered run may implicitly overwrite the committed
-    # baseline; quick/filtered runs write only with an explicit --output.
+    if len(modes) > 1:
+        mismatches = cross_mode_mismatches(results)
+        if mismatches:
+            print(f"\nFAIL: {len(mismatches)} cross-mode counter mismatch(es):")
+            for line in mismatches:
+                print("  " + line)
+            return 1
+
+    # Only a full, unfiltered, all-modes run may implicitly overwrite the
+    # committed baseline; quick/filtered/single-mode runs write only with an
+    # explicit --output.
     output = args.output
-    if output is None and args.baseline is None and not args.quick and not args.only:
+    if (
+        output is None
+        and args.baseline is None
+        and not args.quick
+        and not args.only
+        and set(modes) == set(MODES)
+    ):
         output = DEFAULT_OUTPUT
     if output:
         with open(output, "w") as handle:

@@ -44,6 +44,7 @@ from repro.datalog.rules import Rule
 from repro.datalog.semantics import INCONSISTENT, QueryResult
 from repro.datalog.stratification import partition_by_stratum, stratify
 from repro.datalog.terms import Constant, Null, Term, Variable
+from repro.engine.mode import batch_enabled
 from repro.engine.plan import compile_rule
 from repro.engine.stats import STATS
 
@@ -203,11 +204,73 @@ class WardedEngine:
                         provenance[fact] = (rule, body_instantiation)
             return added
 
+        def process_rows(rule_index: int, crule, delta_sink: Instance, delta=None) -> None:
+            """Batch-mode firing: slot rows in, head facts out — no dicts.
+
+            Negation is pre-filtered in bulk against the frozen lower-strata
+            snapshot inside ``trigger_row_batches`` (equivalent to the row
+            path's per-trigger check because the reference cannot change
+            between match time and fire time); head facts, provenance bodies,
+            and the trigger abstraction all come from precompiled RowOps slot
+            templates.
+            """
+            nonlocal fired
+            rule = crule.rule
+            has_existentials = bool(rule.existential_variables)
+            for plan, rows in crule.trigger_row_batches(
+                instance, delta, negation_reference
+            ):
+                ops = crule.row_ops(plan)
+                frontier_slots = ops.frontier_slots
+                for row in rows:
+                    if fired >= self.max_triggers:
+                        raise RuntimeError(
+                            f"warded engine exceeded max_triggers={self.max_triggers}; "
+                            "the program/database pair is larger than expected"
+                        )
+                    if has_existentials:
+                        abstract = self._abstract_items(
+                            (variable.name, row[slot])
+                            for variable, slot in frontier_slots
+                        )
+                        key = (rule_index, abstract)
+                        if key in fired_existential_triggers:
+                            continue
+                        fired_existential_triggers.add(key)
+                        fresh_nulls = []
+                        for existential in crule.sorted_existentials:
+                            fresh = Null.fresh(existential.name.lower())
+                            fresh_nulls.append(fresh)
+                            null_types[fresh] = (rule_index, existential.name, abstract)
+                            STATS.nulls_invented += 1
+                        extended = row + tuple(fresh_nulls)
+                    else:
+                        extended = row
+                    fired += 1
+                    STATS.triggers_fired += 1
+                    body_instantiation = None
+                    for fact in ops.head_facts_row(extended):
+                        if instance.add_fact(fact):
+                            delta_sink.add_fact(fact)
+                            if provenance is not None and fact not in provenance:
+                                if body_instantiation is None:
+                                    body_instantiation = ops.body_facts_row(row)
+                                provenance[fact] = (rule, body_instantiation)
+
+        # Body matching honours the process-wide execution mode; both paths
+        # produce triggers in the same order and invent nulls in
+        # ``sorted_existentials`` order, so the materialisation is identical
+        # atom for atom across modes.
+        use_batch = batch_enabled()
+
         # Naive first round over the full instance.
         delta = Instance()
         for rule_index, crule in enumerate(compiled):
-            for substitution in list(crule.substitutions(instance)):
-                process(rule_index, crule, substitution, delta)
+            if use_batch:
+                process_rows(rule_index, crule, delta)
+            else:
+                for substitution in list(crule.substitutions(instance)):
+                    process(rule_index, crule, substitution, delta)
 
         # Semi-naive delta rounds: the precompiled pivot plans read the pivot
         # atom's candidates from the delta and join the rest against the full
@@ -215,10 +278,13 @@ class WardedEngine:
         while len(delta):
             new_delta = Instance()
             for rule_index, crule in enumerate(compiled):
-                for substitution in list(
-                    crule.delta_substitutions(instance, delta)
-                ):
-                    process(rule_index, crule, substitution, new_delta)
+                if use_batch:
+                    process_rows(rule_index, crule, new_delta, delta)
+                else:
+                    for substitution in list(
+                        crule.delta_substitutions(instance, delta)
+                    ):
+                        process(rule_index, crule, substitution, new_delta)
             delta = new_delta
         return fired
 
@@ -248,14 +314,21 @@ class WardedEngine:
         therefore exactly the same *ground* consequences (the argument of
         Lemma 6.6 read constructively).
         """
+        return WardedEngine._abstract_items(
+            (variable.name, substitution.get(variable)) for variable in frontier
+        )
+
+    @staticmethod
+    def _abstract_items(named_values) -> Tuple:
+        """The abstraction over (variable name, value) pairs — shared by the
+        dict-based and the row-based (batch) trigger paths."""
         items = []
         first_seen: Dict[Null, int] = {}
-        for variable in frontier:
-            value = substitution.get(variable)
+        for name, value in named_values:
             if isinstance(value, Null):
                 if value not in first_seen:
                     first_seen[value] = len(first_seen)
-                items.append((variable.name, ("null", first_seen[value])))
+                items.append((name, ("null", first_seen[value])))
             else:
-                items.append((variable.name, ("ground", str(value))))
+                items.append((name, ("ground", str(value))))
         return tuple(items)

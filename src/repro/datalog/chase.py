@@ -37,6 +37,7 @@ from repro.datalog.database import Instance
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Null, Term, Variable
+from repro.engine.mode import batch_enabled
 from repro.engine.plan import compile_body, compile_rule
 from repro.engine.stats import STATS
 
@@ -133,35 +134,66 @@ class ChaseEngine:
         fired: Set[Tuple[int, Tuple[Tuple[Variable, Term], ...]]] = set()
         limit_reason: Optional[str] = None
 
+        # Body matching honours the process-wide execution mode; both paths
+        # materialise the trigger list for this round before firing and
+        # produce it in the same order, and both invent nulls in
+        # ``sorted_existentials`` order, so the two modes build the same
+        # instance atom for atom.  The batch path works on slot rows
+        # throughout (RowOps templates); negation stays a per-trigger check
+        # in both — not a batched pre-filter — because ``reference`` may be
+        # the working instance itself, which mutates as triggers fire.
+        use_batch = batch_enabled()
+
         changed = True
         while changed:
             changed = False
             for rule_index, crule in enumerate(compiled):
                 rule = crule.rule
-                triggers = list(crule.substitutions(instance))
-                for substitution in triggers:
-                    if crule.negation and crule.negation_blocked(
-                        substitution, reference
-                    ):
-                        continue
-                    frontier_binding = tuple(
-                        sorted(
-                            ((v, t) for v, t in substitution.items()),
-                            key=lambda item: item[0].name,
+                if use_batch:
+                    triggers = crule.plan.run_batch(instance)
+                    ops = crule.row_ops(crule.plan)
+                else:
+                    triggers = list(crule.substitutions(instance))
+                    ops = None
+                for trigger in triggers:
+                    if use_batch:
+                        if crule.negation and ops.negation_blocked_row(
+                            trigger, reference
+                        ):
+                            continue
+                        trigger_key = (rule_index, ops.binding_key(trigger))
+                    else:
+                        if crule.negation and crule.negation_blocked(
+                            trigger, reference
+                        ):
+                            continue
+                        trigger_key = (
+                            rule_index,
+                            tuple(
+                                sorted(
+                                    trigger.items(),
+                                    key=lambda item: item[0].name,
+                                )
+                            ),
                         )
-                    )
-                    trigger_key = (rule_index, frontier_binding)
                     if not self.restricted:
                         if trigger_key in fired:
                             continue
                     else:
-                        if crule.head_satisfied(substitution, instance):
+                        if use_batch:
+                            satisfied = self._head_satisfied_row(
+                                crule, ops, trigger, instance
+                            )
+                        else:
+                            satisfied = crule.head_satisfied(trigger, instance)
+                        if satisfied:
                             continue
                     # Resource accounting.
                     if steps >= self.max_steps:
                         limit_reason = f"max_steps={self.max_steps} exceeded"
                         break
-                    depth = self._trigger_depth(rule, substitution, null_depth)
+                    values = trigger if use_batch else trigger.values()
+                    depth = self._values_depth(values, null_depth)
                     if (
                         self.max_null_depth is not None
                         and rule.has_existentials
@@ -173,14 +205,26 @@ class ChaseEngine:
                         if self.on_limit == "raise":
                             raise ChaseNonTermination(limit_reason)
                         continue
-                    extension = dict(substitution)
-                    for existential in rule.existential_variables:
-                        fresh = Null.fresh(existential.name.lower())
-                        extension[existential] = fresh
-                        null_depth[fresh] = depth + 1
-                        invented += 1
+                    if use_batch:
+                        fresh_nulls = []
+                        for existential in crule.sorted_existentials:
+                            fresh = Null.fresh(existential.name.lower())
+                            fresh_nulls.append(fresh)
+                            null_depth[fresh] = depth + 1
+                            invented += 1
+                        head_facts = ops.head_facts_row(
+                            trigger + tuple(fresh_nulls)
+                        )
+                    else:
+                        extension = dict(trigger)
+                        for existential in crule.sorted_existentials:
+                            fresh = Null.fresh(existential.name.lower())
+                            extension[existential] = fresh
+                            null_depth[fresh] = depth + 1
+                            invented += 1
+                        head_facts = crule.head_facts(extension)
                     added = 0
-                    for fact in crule.head_facts(extension):
+                    for fact in head_facts:
                         if instance.add_fact(fact):
                             added += 1
                     fired.add(trigger_key)
@@ -207,11 +251,25 @@ class ChaseEngine:
     # -- helpers ------------------------------------------------------------------
 
     @staticmethod
-    def _trigger_depth(
-        rule: Rule, substitution: Dict[Variable, Term], null_depth: Dict[Null, int]
-    ) -> int:
+    def _head_satisfied_row(crule, ops, row, instance) -> bool:
+        """Row-level restricted-chase head check (batch mode).
+
+        Existential-free heads reduce to membership of the instantiated head
+        atoms; existential heads seed the precompiled head plan with just the
+        frontier values.
+        """
+        if crule.head_plan is None:
+            for fact in ops.head_facts_row(row):
+                if fact not in instance:
+                    return False
+            return True
+        initial = {variable: row[slot] for variable, slot in ops.frontier_slots}
+        return crule.head_plan.exists(instance, initial)
+
+    @staticmethod
+    def _values_depth(values, null_depth: Dict[Null, int]) -> int:
         depth = 0
-        for value in substitution.values():
+        for value in values:
             if isinstance(value, Null):
                 depth = max(depth, null_depth.get(value, 0))
         return depth

@@ -18,6 +18,15 @@ into a :class:`~repro.engine.plan.CompiledRule`; the delta rounds run the
 precompiled pivot plans against the delta's index, and the lower-strata
 negation reference is a frozen :meth:`~repro.datalog.database.Instance.snapshot`
 rather than a full copy.
+
+Two executor modes (:mod:`repro.engine.mode`) share the same plans: the
+row-at-a-time backtracker and the column-at-a-time batch executor, which
+fetches one bulk index probe per distinct probe key per step and filters
+negation in bulk against the frozen snapshot.  Matches arrive in the same
+order in both modes, so results and counters are mode-independent.  Delta
+rounds additionally skip pivots whose delta postings bucket is empty for a
+*bound* term of the pivot atom (not just pivots whose predicate is absent
+from the delta) — counted in ``STATS.pivots_skipped``.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ from repro.datalog.program import Program
 from repro.datalog.rules import RuleError
 from repro.datalog.stratification import partition_by_stratum, stratify
 from repro.datalog.terms import Term, Variable
+from repro.engine.mode import batch_enabled
 from repro.engine.plan import compile_rule
 from repro.engine.stats import STATS
 
@@ -87,11 +97,31 @@ class SemiNaiveEvaluator:
         is sound because a stratified program never derives a negated
         predicate in the same or a higher stratum.
         """
-        # First round: plain naive pass so that rules whose bodies are fully
-        # satisfied by lower strata fire at least once.
-        delta = Instance()
-        for crule in compiled:
-            for substitution in crule.substitutions(instance):
+        # Trigger lists are materialised per rule before firing in both modes
+        # (the batch executor inherently computes whole match lists), so each
+        # evaluation point sees the same instance state regardless of mode
+        # and the two executors stay trigger-for-trigger identical.  The
+        # batch path fires head facts directly from slot rows (precompiled
+        # RowOps templates); the row path goes through substitution dicts.
+        use_batch = batch_enabled()
+
+        def fire_batches(crule, delta_sink, delta=None) -> None:
+            for plan, rows in crule.trigger_row_batches(
+                instance, delta, negation_reference
+            ):
+                head_facts_row = crule.row_ops(plan).head_facts_row
+                for row in rows:
+                    STATS.triggers_fired += 1
+                    for fact in head_facts_row(row):
+                        if instance.add_fact(fact):
+                            delta_sink.add_fact(fact)
+
+        def fire_rows(crule, delta_sink, delta=None) -> None:
+            if delta is None:
+                found = list(crule.substitutions(instance))
+            else:
+                found = list(crule.delta_substitutions(instance, delta))
+            for substitution in found:
                 if crule.negation and crule.negation_blocked(
                     substitution, negation_reference
                 ):
@@ -99,21 +129,21 @@ class SemiNaiveEvaluator:
                 STATS.triggers_fired += 1
                 for fact in crule.head_facts(substitution):
                     if instance.add_fact(fact):
-                        delta.add_fact(fact)
+                        delta_sink.add_fact(fact)
+
+        fire = fire_batches if use_batch else fire_rows
+
+        # First round: plain naive pass so that rules whose bodies are fully
+        # satisfied by lower strata fire at least once.
+        delta = Instance()
+        for crule in compiled:
+            fire(crule, delta)
 
         # Delta rounds: at least one body atom must come from the last delta.
         while len(delta):
             new_delta = Instance()
             for crule in compiled:
-                for substitution in crule.delta_substitutions(instance, delta):
-                    if crule.negation and crule.negation_blocked(
-                        substitution, negation_reference
-                    ):
-                        continue
-                    STATS.triggers_fired += 1
-                    for fact in crule.head_facts(substitution):
-                        if instance.add_fact(fact):
-                            new_delta.add_fact(fact)
+                fire(crule, new_delta, delta)
             delta = new_delta
 
     @staticmethod

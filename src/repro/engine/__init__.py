@@ -10,21 +10,39 @@ package instead of re-deriving join strategy per call:
   per-predicate rows with hash postings of row ids, so candidate buckets are
   iterated under a captured length instead of being copied per lookup, and
   frozen prefix views (:class:`~repro.engine.index.InstanceSnapshot` via
-  ``Instance.snapshot()``) come for free.
+  ``Instance.snapshot()``) come for free.  ``probe_ids`` is the bulk probe:
+  a capped postings slice, or a posting-list intersection over several bound
+  positions.
 * :func:`~repro.engine.plan.compile_body` / :func:`~repro.engine.plan.compile_rule`
   turn a rule body into a :class:`~repro.engine.plan.JoinPlan` exactly once:
   atoms are selectivity-ordered, every position is resolved at plan time into
   a constant check, a bound-slot check, or a slot binding (this covers
   repeated variables), negated atoms become precompiled membership probes,
   and semi-naive pivots get one dedicated plan per body atom.
+* Each plan has **two executors** selected by :mod:`repro.engine.mode`
+  (``REPRO_ENGINE_MODE`` env var, or :func:`set_execution_mode`):
+  the row-at-a-time depth-first backtracker (``JoinPlan.execute``), and the
+  column-at-a-time batch executor (:mod:`repro.engine.batch`,
+  ``JoinPlan.run_batch``) that extends a whole batch of partial matches per
+  step, sharing one bulk index probe per distinct probe key and filtering
+  negation in bulk against frozen snapshot views.  Both produce the same
+  matches in the same order, so results and counters are mode-independent.
 * :mod:`repro.engine.stats` exposes the counters (facts added, triggers
-  fired, nulls invented) that ``benchmarks/harness.py`` samples per scenario.
+  fired, nulls invented, pivots skipped, batch probe groups) that
+  ``benchmarks/harness.py`` samples per scenario and per execution mode.
 * :mod:`repro.engine.reference` keeps the original interpretive backtracker
   as the executable specification that the differential tests in
-  ``tests/test_engine_parity.py`` compare the compiled paths against.
+  ``tests/test_engine_parity.py`` and the fuzz suite in
+  ``tests/test_engine_batch_parity.py`` compare both compiled paths against.
 """
 
 from repro.engine.index import InstanceSnapshot, PredicateIndex
+from repro.engine.mode import (
+    batch_enabled,
+    execution_mode,
+    get_execution_mode,
+    set_execution_mode,
+)
 from repro.engine.plan import CompiledRule, JoinPlan, compile_body, compile_rule
 from repro.engine.stats import STATS, EngineStats
 
@@ -35,6 +53,10 @@ __all__ = [
     "JoinPlan",
     "PredicateIndex",
     "STATS",
+    "batch_enabled",
     "compile_body",
     "compile_rule",
+    "execution_mode",
+    "get_execution_mode",
+    "set_execution_mode",
 ]

@@ -21,7 +21,8 @@ place; probes skip tombstones.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+from bisect import bisect_left
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from repro.datalog.atoms import Atom
 from repro.datalog.terms import Term, Variable
@@ -76,6 +77,73 @@ class PredicateIndex:
                 self.tombstoned += 1
                 return True
         return False
+
+    def probe_ids(
+        self,
+        predicate: str,
+        pairs: Sequence[Tuple[int, Term]],
+        cap: int,
+    ) -> Sequence[int]:
+        """Row ids (< ``cap``, ascending) whose fact equals every ``(position,
+        term)`` pair — the bulk probe of the column-at-a-time executor.
+
+        With one bound pair this is a capped postings slice; with several it
+        is a posting-list intersection anchored on the shortest bucket, which
+        is walked in order so the result stays ascending.  The intersection
+        strategy is selectivity-adaptive: when the anchor is short, the other
+        bound positions are verified directly on the candidate facts; when
+        the anchor is long relative to the other buckets, those buckets are
+        hashed once and probed instead.  An empty ``pairs`` means a full scan
+        of the ``cap`` prefix.  Ids of tombstoned or wrong-arity rows may be
+        included; callers skip them exactly as the row-at-a-time executor
+        does.
+        """
+        if not pairs:
+            return range(cap)
+        postings = self.postings
+        if len(pairs) == 1:
+            position, value = pairs[0]
+            bucket = postings.get((predicate, position, value))
+            if not bucket:
+                return ()
+            end = bisect_left(bucket, cap)
+            return bucket if end == len(bucket) else bucket[:end]
+        buckets: List[Tuple[int, List[int], int, Term]] = []
+        for position, value in pairs:
+            bucket = postings.get((predicate, position, value))
+            if not bucket:
+                return ()
+            buckets.append((len(bucket), bucket, position, value))
+        buckets.sort(key=lambda item: item[0])
+        smallest = buckets[0][1]
+        end = bisect_left(smallest, cap)
+        rest = buckets[1:]
+        out: List[int] = []
+        if end * len(rest) <= sum(item[0] for item in rest):
+            # Short anchor: verifying the remaining positions on the facts is
+            # cheaper than hashing the other postings lists.
+            rows = self.rows[predicate]
+            for k in range(end):
+                row_id = smallest[k]
+                fact = rows[row_id]
+                if fact is None:
+                    continue
+                terms = fact.terms
+                for _, _, position, value in rest:
+                    if position >= len(terms) or terms[position] != value:
+                        break
+                else:
+                    out.append(row_id)
+        else:
+            others = [set(item[1]) for item in rest]
+            for k in range(end):
+                row_id = smallest[k]
+                for other in others:
+                    if row_id not in other:
+                        break
+                else:
+                    out.append(row_id)
+        return out
 
     def row_count(self, predicate: str) -> int:
         rows = self.rows.get(predicate)

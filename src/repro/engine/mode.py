@@ -1,0 +1,68 @@
+"""Process-wide execution-mode switch: row-at-a-time vs column-at-a-time.
+
+Every engine (chase, semi-naive, warded) evaluates rule bodies through the
+compiled :class:`~repro.engine.plan.JoinPlan`; this module selects *how* those
+plans are executed:
+
+* ``"row"`` — the depth-first backtracking executor (``JoinPlan._run``): one
+  candidate row id at a time, one substitution yielded per match.
+* ``"batch"`` — the column-at-a-time executor (:mod:`repro.engine.batch`):
+  each plan step consumes and produces a whole batch of partial slot tuples,
+  probe lookups are shared across all rows with equal probe keys, and
+  negation is checked in bulk against the frozen snapshot reference.
+
+Both executors produce the same matches **in the same order** (the batch
+executor emits row-major, candidates ascending — exactly the depth-first
+order), so engine results, invented-null sequences, and the
+:mod:`~repro.engine.stats` counters are identical in both modes; the
+differential suite in ``tests/test_engine_batch_parity.py`` locks this in.
+
+The mode is read from the ``REPRO_ENGINE_MODE`` environment variable at
+import time (default ``"row"``) and can be changed per process with
+:func:`set_execution_mode` or temporarily with :func:`execution_mode`.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+ROW = "row"
+BATCH = "batch"
+_VALID = (ROW, BATCH)
+
+_mode = os.environ.get("REPRO_ENGINE_MODE", ROW)
+if _mode not in _VALID:
+    raise ValueError(
+        f"REPRO_ENGINE_MODE must be one of {_VALID}, got {_mode!r}"
+    )
+
+
+def get_execution_mode() -> str:
+    """The current mode: ``"row"`` or ``"batch"``."""
+    return _mode
+
+
+def set_execution_mode(mode: str) -> None:
+    """Select the executor every engine uses from now on in this process."""
+    global _mode
+    if mode not in _VALID:
+        raise ValueError(f"execution mode must be one of {_VALID}, got {mode!r}")
+    _mode = mode
+
+
+def batch_enabled() -> bool:
+    """True iff engines should run plans column-at-a-time."""
+    return _mode == BATCH
+
+
+@contextmanager
+def execution_mode(mode: str) -> Iterator[None]:
+    """Temporarily switch mode (used by the harness and the parity tests)."""
+    previous = get_execution_mode()
+    set_execution_mode(mode)
+    try:
+        yield
+    finally:
+        set_execution_mode(previous)

@@ -38,6 +38,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
 from repro.datalog.atoms import Atom
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Term, Variable
+from repro.engine.stats import STATS
 
 CHECK_CONST = 0
 CHECK_SLOT = 1
@@ -75,7 +76,7 @@ class JoinPlan:
     constraint checks.
     """
 
-    __slots__ = ("atoms", "steps", "slot_of", "n_slots", "emit", "prebound")
+    __slots__ = ("atoms", "steps", "slot_of", "n_slots", "emit", "prebound", "batch_plan")
 
     def __init__(
         self,
@@ -93,6 +94,8 @@ class JoinPlan:
         # substitution dict is one C-level dict(zip(...)).
         self.emit = tuple(slot_of)
         self.prebound = prebound
+        # Lazily-built column-at-a-time executor (repro.engine.batch).
+        self.batch_plan = None
 
     # -- execution ----------------------------------------------------------
 
@@ -111,6 +114,50 @@ class JoinPlan:
         emit = self.emit
         for slots in self._run(source, initial, delta_source):
             yield dict(zip(emit, slots))
+
+    def run_batch(
+        self,
+        source,
+        initial: Optional[Dict[Variable, Term]] = None,
+        delta_source=None,
+    ) -> List[Tuple[Term, ...]]:
+        """All homomorphisms as full slot tuples, column-at-a-time.
+
+        Same multiset *and order* as :meth:`execute` (each tuple is
+        index-aligned with :attr:`emit`), but computed by the batch executor
+        of :mod:`repro.engine.batch`: one probe per distinct probe key per
+        step instead of one probe per outer binding.
+        """
+        batch = self.batch_plan
+        if batch is None:
+            from repro.engine.batch import BatchPlan
+
+            batch = self.batch_plan = BatchPlan(self)
+        return batch.run(source, initial, delta_source)
+
+    def execute_batch(
+        self,
+        source,
+        initial: Optional[Dict[Variable, Term]] = None,
+        delta_source=None,
+    ) -> List[Dict[Variable, Term]]:
+        """Batched :meth:`execute`: the matches as a list of substitution dicts."""
+        emit = self.emit
+        return [dict(zip(emit, row)) for row in self.run_batch(source, initial, delta_source)]
+
+    def pivot_viable(self, index) -> bool:
+        """False iff a constant probe of the first step has an empty postings
+        bucket in ``index`` — the cheap pre-check behind semi-naive pivot
+        skipping (``index`` is the delta; a pivot whose bound terms never
+        occur in the delta cannot produce a match and is skipped wholesale).
+        """
+        step = self.steps[0]
+        predicate = step.predicate
+        postings = index.postings
+        for position, kind, payload in step.probes:
+            if kind == PROBE_CONST and not postings.get((predicate, position, payload)):
+                return False
+        return True
 
     def exists(
         self,
@@ -258,6 +305,110 @@ class _NegationProbe:
         return fact in reference
 
 
+class RowOps:
+    """Row-level firing helpers for one (rule, plan) pair.
+
+    The batch executor represents matches as slot tuples; this object is the
+    precompiled bridge from those rows to everything an engine does with a
+    match — building head facts, body instantiations (provenance), frontier
+    and full binding keys, and negation membership probes — without ever
+    materialising a substitution dict.  Existential head variables map to
+    *extended* slot ids ``n_slots + j`` (``j`` over the rule's sorted
+    existentials): engines append the invented nulls to the row and feed the
+    extended tuple to :meth:`head_facts_row`.
+    """
+
+    __slots__ = (
+        "emit",
+        "n_slots",
+        "head_templates",
+        "body_templates",
+        "frontier_slots",
+        "binding_order",
+        "neg_templates",
+    )
+
+    def __init__(self, crule: "CompiledRule", plan: JoinPlan):
+        slot_of = plan.slot_of
+        rule = crule.rule
+        n_slots = plan.n_slots
+        existential_slot = {
+            variable: n_slots + j
+            for j, variable in enumerate(crule.sorted_existentials)
+        }
+
+        def template(atom: Atom):
+            parts = []
+            for term in atom.terms:
+                if isinstance(term, Variable):
+                    slot = slot_of.get(term)
+                    if slot is None:
+                        slot = existential_slot[term]
+                    parts.append((True, slot))
+                else:
+                    parts.append((False, term))
+            return (atom.predicate, tuple(parts))
+
+        self.emit = plan.emit
+        self.n_slots = n_slots
+        self.head_templates = tuple(template(atom) for atom in rule.head)
+        self.body_templates = tuple(template(atom) for atom in rule.body_positive)
+        self.frontier_slots = tuple(
+            (variable, slot_of[variable]) for variable in crule.sorted_frontier
+        )
+        # All (variable, slot) pairs ordered by variable name — the chase's
+        # canonical trigger-identity key, equal in content to sorting the
+        # substitution dict's items.
+        self.binding_order = tuple(
+            sorted(slot_of.items(), key=lambda item: item[0].name)
+        )
+        self.neg_templates = crule._negation_slots(plan)[1]
+
+    def head_facts_row(self, extended_row) -> List[Atom]:
+        """The head atoms instantiated from an (extended) slot row."""
+        return [
+            Atom(
+                predicate,
+                tuple(
+                    extended_row[payload] if is_slot else payload
+                    for is_slot, payload in template
+                ),
+            )
+            for predicate, template in self.head_templates
+        ]
+
+    def body_facts_row(self, row) -> Tuple[Atom, ...]:
+        """The positive body instantiated from a row (provenance records)."""
+        return tuple(
+            Atom(
+                predicate,
+                tuple(
+                    row[payload] if is_slot else payload
+                    for is_slot, payload in template
+                ),
+            )
+            for predicate, template in self.body_templates
+        )
+
+    def binding_key(self, row) -> Tuple:
+        """The name-sorted (variable, value) tuple identifying this trigger."""
+        return tuple((variable, row[slot]) for variable, slot in self.binding_order)
+
+    def negation_blocked_row(self, row, reference) -> bool:
+        """Unmemoised per-row negation check (for mutable references)."""
+        for predicate, template in self.neg_templates:
+            fact = Atom(
+                predicate,
+                tuple(
+                    row[payload] if is_slot else payload
+                    for is_slot, payload in template
+                ),
+            )
+            if fact in reference:
+                return True
+        return False
+
+
 class CompiledRule:
     """Everything static about one rule, resolved at plan time.
 
@@ -280,6 +431,8 @@ class CompiledRule:
         "sorted_frontier",
         "sorted_existentials",
         "head_templates",
+        "_neg_slot_cache",
+        "_row_ops_cache",
     )
 
     def __init__(self, rule: Rule):
@@ -302,6 +455,11 @@ class CompiledRule:
             self.head_plan = compile_body(rule.head, rule.frontier)
         else:
             self.head_plan = None
+        # Per-plan slot templates for batched negation and row-level firing
+        # (plan id -> compiled forms); pivot plans assign different slot
+        # numberings, hence the keying.
+        self._neg_slot_cache: Dict[int, Tuple] = {}
+        self._row_ops_cache: Dict[int, RowOps] = {}
 
     # -- matching -----------------------------------------------------------
 
@@ -317,13 +475,135 @@ class CompiledRule:
         several pivots is yielded once per pivot and deduplicated by the
         caller's ``Instance.add``.
         """
-        delta_live = delta._plan_source()[0].live
+        delta_index = delta._plan_source()[0]
+        delta_live = delta_index.live
         for pivot, atom in enumerate(self.rule.body_positive):
             if not delta_live.get(atom.predicate):
                 continue
-            yield from self.pivot_plans[pivot].execute(
-                instance, None, delta_source=delta
+            plan = self.pivot_plans[pivot]
+            if not plan.pivot_viable(delta_index):
+                STATS.pivots_skipped += 1
+                continue
+            yield from plan.execute(instance, None, delta_source=delta)
+
+    # -- batched matching ----------------------------------------------------
+
+    def row_ops(self, plan: JoinPlan) -> RowOps:
+        """The (cached) row-level firing helpers for ``plan``'s slot layout."""
+        ops = self._row_ops_cache.get(id(plan))
+        if ops is None:
+            ops = self._row_ops_cache[id(plan)] = RowOps(self, plan)
+        return ops
+
+    def trigger_row_batches(
+        self, instance, delta=None, negation_reference=None
+    ) -> List[Tuple[JoinPlan, List[Tuple[Term, ...]]]]:
+        """Batched body matches as (plan, slot-row list) pairs.
+
+        The engine-facing batch entry point: one batch for the full join, or
+        one per viable pivot when ``delta`` is given (same pivot order and
+        empty-bucket skips as :meth:`delta_substitutions`).  The list is
+        computed **eagerly** — every pivot is matched against the same
+        instance state before the caller fires a single trigger — mirroring
+        the row path's ``list(...)`` materialisation; a lazy variant would
+        let earlier pivots' head facts leak into later pivots' matches.
+
+        When a *frozen* ``negation_reference`` is supplied (an
+        :class:`~repro.engine.index.InstanceSnapshot`, or an instance that is
+        not mutated while triggers are processed), negated atoms are
+        pre-filtered in bulk; pre-filtering is only equivalent to the row
+        path's per-trigger check under that frozenness assumption.  Rows
+        arrive in row-at-a-time order; feed them to :meth:`row_ops` helpers
+        to fire heads without building substitution dicts.
+        """
+        batches: List[Tuple[JoinPlan, List[Tuple[Term, ...]]]] = []
+        if delta is None:
+            plan = self.plan
+            rows = plan.run_batch(instance)
+            if self.negation and negation_reference is not None:
+                rows = self._filter_negation_rows(rows, plan, negation_reference)
+            if rows:
+                batches.append((plan, rows))
+            return batches
+        delta_index = delta._plan_source()[0]
+        delta_live = delta_index.live
+        for pivot, atom in enumerate(self.rule.body_positive):
+            if not delta_live.get(atom.predicate):
+                continue
+            plan = self.pivot_plans[pivot]
+            if not plan.pivot_viable(delta_index):
+                STATS.pivots_skipped += 1
+                continue
+            rows = plan.run_batch(instance, None, delta_source=delta)
+            if self.negation and negation_reference is not None:
+                rows = self._filter_negation_rows(rows, plan, negation_reference)
+            if rows:
+                batches.append((plan, rows))
+        return batches
+
+    def _negation_slots(self, plan: JoinPlan) -> Tuple:
+        """(referenced slots, per-probe slot templates) for ``plan``'s layout."""
+        cached = self._neg_slot_cache.get(id(plan))
+        if cached is None:
+            slot_of = plan.slot_of
+            templates = tuple(
+                (
+                    probe.predicate,
+                    tuple(
+                        (True, slot_of[payload]) if is_var else (False, payload)
+                        for is_var, payload in probe.template
+                    ),
+                )
+                for probe in self.negation
             )
+            slots = tuple(
+                sorted(
+                    {
+                        payload
+                        for _, template in templates
+                        for is_slot, payload in template
+                        if is_slot
+                    }
+                )
+            )
+            cached = (slots, templates)
+            self._neg_slot_cache[id(plan)] = cached
+        return cached
+
+    def _filter_negation_rows(self, rows, plan: JoinPlan, reference):
+        """Drop slot rows whose negated atoms hold in ``reference``.
+
+        The membership probes are batched: rows agreeing on every slot the
+        negated atoms read share one memoised verdict, so the ground atoms
+        are built once per distinct key instead of once per match.
+        """
+        if not rows:
+            return rows
+        neg_slots, templates = self._negation_slots(plan)
+        memo: Dict[Tuple, bool] = {}
+        memo_get = memo.get
+        kept = []
+        append = kept.append
+        for row in rows:
+            key = tuple(row[slot] for slot in neg_slots)
+            blocked = memo_get(key)
+            if blocked is None:
+                blocked = False
+                for predicate, template in templates:
+                    fact = Atom(
+                        predicate,
+                        tuple(
+                            row[payload] if is_slot else payload
+                            for is_slot, payload in template
+                        ),
+                    )
+                    if fact in reference:
+                        blocked = True
+                        break
+                memo[key] = blocked
+            if not blocked:
+                append(row)
+        return kept
 
     def negation_blocked(self, substitution: Dict[Variable, Term], reference) -> bool:
         """True iff some negated atom holds in ``reference`` under ``substitution``."""
