@@ -6,15 +6,17 @@ engine-core counters (:mod:`repro.engine.stats`) around each measured
 section, and writes ``BENCH_engine_core.json`` in a stable schema that CI
 diffs against the committed baseline.
 
-Every scenario runs once per **execution mode** (row-at-a-time and
-column-at-a-time batch; see :mod:`repro.engine.mode`), producing one record
-per ``scenario@mode`` id.  Besides the per-mode wall times — which is how
-the batch executor's speedups are tracked in the committed baseline — the
-harness enforces the cross-mode counter contract: the mode-independent
-counters (facts added, triggers fired, nulls invented, pivots skipped) must
-be *identical* between the two modes of a scenario, and the run fails
-otherwise.  That equality is what keeps the bench-smoke counter gate
-meaningful with two executors behind one baseline.
+Every scenario runs once per **execution mode** (row-at-a-time,
+column-at-a-time batch, and the sharded parallel executor; see
+:mod:`repro.engine.mode`), producing one record per ``scenario@mode`` id
+(parallel records additionally carry the worker count).  Besides the
+per-mode wall times — which is how the batch and parallel executors'
+speedups are tracked in the committed baseline — the harness enforces the
+cross-mode counter contract: the mode-independent counters (facts added,
+triggers fired, nulls invented, pivots skipped) must be *identical* across
+every mode of a scenario, and the run fails otherwise.  That equality is
+what keeps the bench-smoke counter gate meaningful with three executors
+behind one baseline.
 
 The ``bench_*.py`` files stay plain pytest-benchmark suites; the harness
 discovers their ``test_*`` functions, expands ``pytest.mark.parametrize``
@@ -33,6 +35,7 @@ Usage::
                                                       # CI smoke: fail on >25% regression
     python benchmarks/harness.py --only theorem67     # substring filter
     python benchmarks/harness.py --modes batch        # only one executor
+    python benchmarks/harness.py --workers 4          # parallel-mode pool size
     python benchmarks/harness.py --list               # show scenario ids and exit
 
 See ``benchmarks/README.md`` for the JSON schema and the CI contract.
@@ -59,11 +62,15 @@ for path in (SRC, BENCH_DIR):
         sys.path.insert(0, path)
 
 from repro.engine.mode import execution_mode  # noqa: E402
+from repro.engine.parallel import shutdown_pool  # noqa: E402
 from repro.engine.stats import STATS  # noqa: E402
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine_core.json")
-MODES = ("row", "batch")
+MODES = ("row", "batch", "parallel")
+# An empty string counts as unset, matching repro.engine.mode (CI matrices
+# export REPRO_ENGINE_PARALLEL='' for the non-parallel rows).
+DEFAULT_WORKERS = int(os.environ.get("REPRO_ENGINE_PARALLEL") or 2)
 #: Counters that must be identical between execution modes of one scenario.
 MODE_INDEPENDENT_COUNTERS = (
     "facts_added",
@@ -206,7 +213,7 @@ def select_runs(
 
 
 def run_scenario(
-    scenario: Dict[str, Any], warmup: int, repeats: int, mode: str
+    scenario: Dict[str, Any], warmup: int, repeats: int, mode: str, workers: int
 ) -> Dict[str, Any]:
     """Run one scenario ``warmup + repeats`` times under ``mode``."""
     runs: List[float] = []
@@ -214,9 +221,10 @@ def run_scenario(
         "id": f"{scenario['id']}@{mode}",
         "file": scenario["file"],
         "mode": mode,
+        "workers": workers if mode == "parallel" else 1,
     }
     proxy = HarnessBenchmark()
-    with execution_mode(mode):
+    with execution_mode(mode, workers if mode == "parallel" else None):
         for i in range(warmup + repeats):
             proxy = HarnessBenchmark()
             scenario["fn"](benchmark=proxy, **scenario["kwargs"])
@@ -240,6 +248,8 @@ def run_scenario(
             "nulls_invented": last_stats["nulls_invented"],
             "pivots_skipped": last_stats["pivots_skipped"],
             "batch_probe_groups": last_stats["batch_probe_groups"],
+            "parallel_tasks": last_stats["parallel_tasks"],
+            "parallel_fallbacks": last_stats["parallel_fallbacks"],
             "facts_per_second": (
                 round(last_stats["facts_added"] / median) if median > 0 else None
             ),
@@ -256,9 +266,11 @@ def run_scenario(
 def cross_mode_mismatches(results: List[Dict[str, Any]]) -> List[str]:
     """Scenarios whose mode-independent counters differ between modes.
 
-    Both executors are required to fire the same triggers in the same order,
-    so any divergence here is a correctness bug in the batch path (or a
-    nondeterministic scenario), never an acceptable perf trade-off.
+    All executors — row, batch, and sharded parallel — are required to fire
+    the same triggers in the same order, so any divergence here is a
+    correctness bug in an executor (or a nondeterministic scenario), never an
+    acceptable perf trade-off.  Every mode present is compared against the
+    first (in ``MODES`` order) that ran for the scenario.
     """
     by_scenario: Dict[str, Dict[str, Dict[str, Any]]] = {}
     for record in results:
@@ -266,17 +278,18 @@ def cross_mode_mismatches(results: List[Dict[str, Any]]) -> List[str]:
         by_scenario.setdefault(base, {})[record["mode"]] = record
     mismatches: List[str] = []
     for base, per_mode in sorted(by_scenario.items()):
-        if len(per_mode) < 2:
+        ran = [mode for mode in MODES if mode in per_mode]
+        if len(ran) < 2:
             continue
-        row, batch = per_mode.get("row"), per_mode.get("batch")
-        if row is None or batch is None:
-            continue
-        for counter in MODE_INDEPENDENT_COUNTERS:
-            if row.get(counter) != batch.get(counter):
-                mismatches.append(
-                    f"{base}: {counter} row={row.get(counter)} "
-                    f"batch={batch.get(counter)}"
-                )
+        anchor_mode, anchor = ran[0], per_mode[ran[0]]
+        for mode in ran[1:]:
+            record = per_mode[mode]
+            for counter in MODE_INDEPENDENT_COUNTERS:
+                if anchor.get(counter) != record.get(counter):
+                    mismatches.append(
+                        f"{base}: {counter} {anchor_mode}={anchor.get(counter)} "
+                        f"{mode}={record.get(counter)}"
+                    )
     return mismatches
 
 
@@ -367,7 +380,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--modes",
         default=",".join(MODES),
-        help="comma-separated execution modes to run (default: row,batch)",
+        help="comma-separated execution modes to run (default: row,batch,parallel)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=DEFAULT_WORKERS,
+        help="worker processes for parallel-mode records "
+        f"(default: $REPRO_ENGINE_PARALLEL or {DEFAULT_WORKERS})",
     )
     parser.add_argument("--list", action="store_true", help="list scenario ids and exit")
     parser.add_argument(
@@ -407,7 +427,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     results: List[Dict[str, Any]] = []
     total_start = time.perf_counter()
     for scenario, mode in runs:
-        record = run_scenario(scenario, warmup, repeats, mode)
+        record = run_scenario(scenario, warmup, repeats, mode, args.workers)
         results.append(record)
         wall = record["wall_seconds"]["median"]
         print(f"{record['id']:84s} {wall * 1000:9.2f} ms  "
@@ -426,6 +446,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "warmup": warmup,
         "repeats": repeats,
         "execution_modes": modes,
+        "parallel_workers": args.workers,
         "python": ".".join(map(str, sys.version_info[:3])),
         "scenario_count": len(results),
         "scenarios": results,
@@ -453,6 +474,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     ):
         print(f"suite speedup batch vs row: "
               f"{per_mode_sums['row'] / per_mode_sums['batch']:.2f}x")
+    if (
+        "batch" in modes
+        and "parallel" in modes
+        and per_mode_sums["parallel"] > 0
+        and per_mode_sums["batch"] > 0
+    ):
+        print(f"suite speedup parallel({args.workers}w) vs batch: "
+              f"{per_mode_sums['batch'] / per_mode_sums['parallel']:.2f}x")
 
     if len(modes) > 1:
         mismatches = cross_mode_mismatches(results)
@@ -503,6 +532,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 1
         print(f"\nOK: no scenario regressed more than "
               f"{args.fail_threshold * 100:.0f}% vs {args.baseline}")
+    shutdown_pool()
     return 0
 
 

@@ -38,6 +38,7 @@ from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Null, Term, Variable
 from repro.engine.mode import batch_enabled
+from repro.engine.parallel import maybe_session
 from repro.engine.plan import compile_body, compile_rule
 from repro.engine.stats import STATS
 
@@ -113,6 +114,9 @@ class ChaseEngine:
         database: Iterable[Atom],
         program: Program,
         negation_reference: Optional[Instance] = None,
+        *,
+        reuse_instance: bool = False,
+        session=None,
     ) -> ChaseResult:
         """Run the chase of ``program`` over ``database``.
 
@@ -121,28 +125,67 @@ class ChaseEngine:
         stratified semantics).  When omitted, negated atoms are evaluated
         against the *initial* instance, which is only correct for programs
         whose negated predicates are never derived within the same run.
+
+        ``reuse_instance=True`` chases **in place** when ``database`` is
+        already a plain :class:`Instance`: no copy, no re-index — the caller
+        gets the same (mutated) object back in the result.  This is how
+        :class:`~repro.datalog.semantics.StratifiedSemantics` threads one
+        live instance through all strata, taking a frozen
+        :meth:`~repro.datalog.database.Instance.snapshot` per stratum as the
+        negation reference instead of rebuilding the index each time.
+
+        ``session`` (engine-internal) supplies an externally owned
+        :class:`~repro.engine.parallel.ParallelSession` bound to the working
+        instance, so a caller chasing the same instance repeatedly (one chase
+        per stratum) reuses one worker replica instead of resetting and
+        re-shipping the whole instance per call; it is ignored unless it is
+        bound to the instance actually chased, and never closed here.
         """
-        # Always copy into a plain Instance: the working set may receive nulls
-        # even when the input is a (constants-only) Database.
-        instance = Instance(database)
+        # Otherwise copy into a plain Instance: the working set may receive
+        # nulls even when the input is a (constants-only) Database, and the
+        # caller's input must stay untouched.
+        if reuse_instance and type(database) is Instance:
+            instance = database
+        else:
+            instance = Instance(database)
         reference = negation_reference if negation_reference is not None else instance
         null_depth: Dict[Null, int] = {n: 0 for n in instance.nulls()}
         compiled = [compile_rule(rule) for rule in program.rules]
 
+        # Body matching honours the process-wide execution mode; all paths
+        # materialise the trigger list for this round before firing and
+        # produce it in the same order, and all invent nulls in
+        # ``sorted_existentials`` order, so every mode builds the same
+        # instance atom for atom.  The batch path works on slot rows
+        # throughout (RowOps templates), and the parallel session distributes
+        # exactly that matching across the worker pool (firing stays here).
+        # Negation stays a per-trigger check in every mode — not a batched
+        # pre-filter — because ``reference`` may be the working instance
+        # itself, which mutates as triggers fire.
+        use_batch = batch_enabled()
+        owned_session = None
+        if session is not None and (
+            not use_batch or session.instance is not instance
+        ):
+            session = None
+        if session is None and use_batch:
+            session = owned_session = maybe_session(instance, compiled)
+
+        try:
+            return self._chase_loop(
+                instance, reference, compiled, null_depth, use_batch, session
+            )
+        finally:
+            if owned_session is not None:
+                owned_session.close()
+
+    def _chase_loop(
+        self, instance, reference, compiled, null_depth, use_batch, session
+    ) -> ChaseResult:
         steps = 0
         invented = 0
         fired: Set[Tuple[int, Tuple[Tuple[Variable, Term], ...]]] = set()
         limit_reason: Optional[str] = None
-
-        # Body matching honours the process-wide execution mode; both paths
-        # materialise the trigger list for this round before firing and
-        # produce it in the same order, and both invent nulls in
-        # ``sorted_existentials`` order, so the two modes build the same
-        # instance atom for atom.  The batch path works on slot rows
-        # throughout (RowOps templates); negation stays a per-trigger check
-        # in both — not a batched pre-filter — because ``reference`` may be
-        # the working instance itself, which mutates as triggers fire.
-        use_batch = batch_enabled()
 
         changed = True
         while changed:
@@ -150,7 +193,10 @@ class ChaseEngine:
             for rule_index, crule in enumerate(compiled):
                 rule = crule.rule
                 if use_batch:
-                    triggers = crule.plan.run_batch(instance)
+                    if session is not None:
+                        triggers = session.full_rows(crule)
+                    else:
+                        triggers = crule.plan.run_batch(instance)
                     ops = crule.row_ops(crule.plan)
                 else:
                     triggers = list(crule.substitutions(instance))

@@ -66,19 +66,51 @@ class StratifiedSemantics:
         self.strata = partition_by_stratum(program.ex(), self.stratification)
 
     def materialise(self, database: Iterable[Atom]) -> SemanticsResult:
-        """Compute ``Pi(D)`` (an instance, or ``INCONSISTENT``)."""
+        """Compute ``Pi(D)`` (an instance, or ``INCONSISTENT``).
+
+        One live :class:`Instance` is threaded through all strata
+        (``reuse_instance=True``): each stratum's chase extends it in place,
+        and the stratum's negation reference is a frozen
+        :meth:`~repro.datalog.database.Instance.snapshot` — per-predicate row
+        counts, not a copy — so the per-stratum re-index the seed performed
+        is gone.  In parallel mode one worker session spans all strata for
+        the same reason: each fact ships to the pool once, not once per
+        stratum.
+        """
         current = Instance(database)
-        for stratum_rules in self.strata:
-            if not stratum_rules:
-                continue
-            reference = current.snapshot()
-            result = self.chase_engine.chase(
-                current, Program(stratum_rules), negation_reference=reference
-            )
-            current = result.instance
+        session = self._session_for(current)
+        try:
+            for stratum_rules in self.strata:
+                if not stratum_rules:
+                    continue
+                reference = current.snapshot()
+                self.chase_engine.chase(
+                    current,
+                    Program(stratum_rules),
+                    negation_reference=reference,
+                    reuse_instance=True,
+                    session=session,
+                )
+        finally:
+            if session is not None:
+                session.close()
         if self._violates_constraints(current):
             return INCONSISTENT
         return current
+
+    def _session_for(self, current: Instance):
+        """One parallel session spanning every stratum's chase (or None)."""
+        from repro.engine.mode import parallel_enabled
+
+        if not parallel_enabled():
+            return None
+        from repro.engine.parallel import maybe_session
+        from repro.engine.plan import compile_rule
+
+        return maybe_session(
+            current,
+            [compile_rule(rule) for stratum in self.strata for rule in stratum],
+        )
 
     def _violates_constraints(self, instance: Instance) -> bool:
         for constraint in self.program.constraints:
@@ -89,13 +121,22 @@ class StratifiedSemantics:
     def violated_constraints(self, database: Iterable[Atom]) -> List[Constraint]:
         """The constraints violated by ``database`` under the program (diagnostics)."""
         current = Instance(database)
-        for stratum_rules in self.strata:
-            if not stratum_rules:
-                continue
-            reference = current.snapshot()
-            current = self.chase_engine.chase(
-                current, Program(stratum_rules), negation_reference=reference
-            ).instance
+        session = self._session_for(current)
+        try:
+            for stratum_rules in self.strata:
+                if not stratum_rules:
+                    continue
+                reference = current.snapshot()
+                self.chase_engine.chase(
+                    current,
+                    Program(stratum_rules),
+                    negation_reference=reference,
+                    reuse_instance=True,
+                    session=session,
+                )
+        finally:
+            if session is not None:
+                session.close()
         return [
             c
             for c in self.program.constraints

@@ -19,11 +19,14 @@ precompiled pivot plans against the delta's index, and the lower-strata
 negation reference is a frozen :meth:`~repro.datalog.database.Instance.snapshot`
 rather than a full copy.
 
-Two executor modes (:mod:`repro.engine.mode`) share the same plans: the
-row-at-a-time backtracker and the column-at-a-time batch executor, which
+Three executor modes (:mod:`repro.engine.mode`) share the same plans: the
+row-at-a-time backtracker, the column-at-a-time batch executor — which
 fetches one bulk index probe per distinct probe key per step and filters
-negation in bulk against the frozen snapshot.  Matches arrive in the same
-order in both modes, so results and counters are mode-independent.  Delta
+negation in bulk against the frozen snapshot — and the sharded parallel
+executor (:mod:`repro.engine.parallel`), which fans each round's match work
+out to worker processes and merges the shard streams back into batch order
+before firing.  Matches arrive in the same order in every mode, so results
+and counters are mode-independent.  Delta
 rounds additionally skip pivots whose delta postings bucket is empty for a
 *bound* term of the pivot atom (not just pivots whose predicate is absent
 from the delta) — counted in ``STATS.pivots_skipped``.
@@ -41,6 +44,7 @@ from repro.datalog.rules import RuleError
 from repro.datalog.stratification import partition_by_stratum, stratify
 from repro.datalog.terms import Term, Variable
 from repro.engine.mode import batch_enabled
+from repro.engine.parallel import maybe_session
 from repro.engine.plan import compile_rule
 from repro.engine.stats import STATS
 
@@ -66,11 +70,18 @@ class SemiNaiveEvaluator:
     def evaluate(self, database: Iterable[Atom]) -> Instance:
         """Materialise all derivable facts (ignores constraints)."""
         instance = Instance(database)
-        for stratum in self.compiled_strata:
-            if not stratum:
-                continue
-            reference = instance.snapshot()
-            self._evaluate_stratum(stratum, instance, reference)
+        session = maybe_session(
+            instance, [crule for stratum in self.compiled_strata for crule in stratum]
+        )
+        try:
+            for stratum in self.compiled_strata:
+                if not stratum:
+                    continue
+                reference = instance.snapshot()
+                self._evaluate_stratum(stratum, instance, reference, session)
+        finally:
+            if session is not None:
+                session.close()
         return instance
 
     def facts_of(self, database: Iterable[Atom], predicate: str) -> Set[Atom]:
@@ -88,7 +99,7 @@ class SemiNaiveEvaluator:
     # -- internals --------------------------------------------------------------------
 
     def _evaluate_stratum(
-        self, compiled: Sequence, instance: Instance, negation_reference
+        self, compiled: Sequence, instance: Instance, negation_reference, session=None
     ) -> None:
         """Fixpoint of one stratum using delta iteration.
 
@@ -97,18 +108,22 @@ class SemiNaiveEvaluator:
         is sound because a stratified program never derives a negated
         predicate in the same or a higher stratum.
         """
-        # Trigger lists are materialised per rule before firing in both modes
+        # Trigger lists are materialised per rule before firing in every mode
         # (the batch executor inherently computes whole match lists), so each
         # evaluation point sees the same instance state regardless of mode
-        # and the two executors stay trigger-for-trigger identical.  The
-        # batch path fires head facts directly from slot rows (precompiled
-        # RowOps templates); the row path goes through substitution dicts.
+        # and the executors stay trigger-for-trigger identical.  The batch
+        # path fires head facts directly from slot rows (precompiled RowOps
+        # templates); the row path goes through substitution dicts.  With a
+        # parallel ``session``, matching is fanned out to the worker pool and
+        # merged back into the same order; firing stays sequential here.
         use_batch = batch_enabled()
 
         def fire_batches(crule, delta_sink, delta=None) -> None:
-            for plan, rows in crule.trigger_row_batches(
-                instance, delta, negation_reference
-            ):
+            if session is not None:
+                batches = session.trigger_row_batches(crule, delta, negation_reference)
+            else:
+                batches = crule.trigger_row_batches(instance, delta, negation_reference)
+            for plan, rows in batches:
                 head_facts_row = crule.row_ops(plan).head_facts_row
                 for row in rows:
                     STATS.triggers_fired += 1

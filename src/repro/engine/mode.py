@@ -1,4 +1,4 @@
-"""Process-wide execution-mode switch: row-at-a-time vs column-at-a-time.
+"""Process-wide execution-mode switch: row, batch, or sharded-parallel.
 
 Every engine (chase, semi-naive, warded) evaluates rule bodies through the
 compiled :class:`~repro.engine.plan.JoinPlan`; this module selects *how* those
@@ -10,29 +10,64 @@ plans are executed:
   each plan step consumes and produces a whole batch of partial slot tuples,
   probe lookups are shared across all rows with equal probe keys, and
   negation is checked in bulk against the frozen snapshot reference.
+* ``"parallel"`` — the sharded multi-process executor
+  (:mod:`repro.engine.parallel`): rule-body matching is fanned out to a pool
+  of worker processes, each matching the hash shard of step-0 candidates it
+  owns (:mod:`repro.engine.shard`); the parent merges the shard results back
+  into the exact batch-mode order and fires heads sequentially.  Work below a
+  cost threshold falls back to the in-process batch executor, so small
+  fixpoints never pay IPC costs.
 
-Both executors produce the same matches **in the same order** (the batch
-executor emits row-major, candidates ascending — exactly the depth-first
-order), so engine results, invented-null sequences, and the
-:mod:`~repro.engine.stats` counters are identical in both modes; the
-differential suite in ``tests/test_engine_batch_parity.py`` locks this in.
+All three executors produce the same matches **in the same order** (batch
+emits row-major, candidates ascending — exactly the depth-first order; the
+parallel merge reconstructs that order from the shard streams), so engine
+results, invented-null sequences, and the mode-independent
+:mod:`~repro.engine.stats` counters are identical in every mode; the
+differential suites in ``tests/test_engine_batch_parity.py`` and
+``tests/test_engine_shard_parity.py`` lock this in.
 
 The mode is read from the ``REPRO_ENGINE_MODE`` environment variable at
-import time (default ``"row"``) and can be changed per process with
+import time (default ``"batch"``; ``REPRO_ENGINE_MODE=row`` restores the
+row-at-a-time executor) and can be changed per process with
 :func:`set_execution_mode` or temporarily with :func:`execution_mode`.
+Setting ``REPRO_ENGINE_PARALLEL=N`` selects the parallel executor with ``N``
+worker processes without touching ``REPRO_ENGINE_MODE``; when both are set,
+``REPRO_ENGINE_MODE`` wins and ``REPRO_ENGINE_PARALLEL`` only sizes the pool.
 """
 
 from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Optional
 
 ROW = "row"
 BATCH = "batch"
-_VALID = (ROW, BATCH)
+PARALLEL = "parallel"
+_VALID = (ROW, BATCH, PARALLEL)
 
-_mode = os.environ.get("REPRO_ENGINE_MODE", ROW)
+# An empty string counts as unset (CI matrices pass '' for non-parallel rows).
+_workers_env = os.environ.get("REPRO_ENGINE_PARALLEL") or None
+if _workers_env is not None:
+    try:
+        _workers = int(_workers_env)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_ENGINE_PARALLEL must be an integer worker count, got {_workers_env!r}"
+        ) from None
+    if _workers < 1:
+        raise ValueError(
+            f"REPRO_ENGINE_PARALLEL must be >= 1, got {_workers}"
+        )
+else:
+    _workers = 2
+
+_mode = os.environ.get("REPRO_ENGINE_MODE") or None
+if _mode is None:
+    # ``REPRO_ENGINE_PARALLEL=N`` alone is the documented toggle for the
+    # sharded executor; otherwise batch is the default (ROADMAP: flipped
+    # after soaking in CI behind the row default).
+    _mode = PARALLEL if _workers_env is not None else BATCH
 if _mode not in _VALID:
     raise ValueError(
         f"REPRO_ENGINE_MODE must be one of {_VALID}, got {_mode!r}"
@@ -40,7 +75,7 @@ if _mode not in _VALID:
 
 
 def get_execution_mode() -> str:
-    """The current mode: ``"row"`` or ``"batch"``."""
+    """The current mode: ``"row"``, ``"batch"``, or ``"parallel"``."""
     return _mode
 
 
@@ -53,16 +88,43 @@ def set_execution_mode(mode: str) -> None:
 
 
 def batch_enabled() -> bool:
-    """True iff engines should run plans column-at-a-time."""
-    return _mode == BATCH
+    """True iff engines should run plans column-at-a-time.
+
+    The parallel executor is a distribution layer over the batch executor
+    (workers match shards column-at-a-time, the parent fires from slot rows),
+    so engines use their batch firing paths in parallel mode too.
+    """
+    return _mode != ROW
+
+
+def parallel_enabled() -> bool:
+    """True iff engines should fan rule-body matching out to the worker pool."""
+    return _mode == PARALLEL
+
+
+def get_worker_count() -> int:
+    """Worker processes the parallel executor uses (``REPRO_ENGINE_PARALLEL``)."""
+    return _workers
+
+
+def set_worker_count(workers: int) -> None:
+    """Resize the parallel executor (takes effect at the next pool spawn)."""
+    global _workers
+    if workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {workers}")
+    _workers = workers
 
 
 @contextmanager
-def execution_mode(mode: str) -> Iterator[None]:
+def execution_mode(mode: str, workers: Optional[int] = None) -> Iterator[None]:
     """Temporarily switch mode (used by the harness and the parity tests)."""
     previous = get_execution_mode()
+    previous_workers = get_worker_count()
     set_execution_mode(mode)
+    if workers is not None:
+        set_worker_count(workers)
     try:
         yield
     finally:
         set_execution_mode(previous)
+        set_worker_count(previous_workers)

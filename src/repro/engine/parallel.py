@@ -1,0 +1,496 @@
+"""The sharded multi-process fixpoint executor.
+
+:mod:`repro.engine.shard` defines *what* a worker computes — the matches of
+one plan whose step-0 candidates fall in the worker's hash shard, tagged
+with global insertion ordinals so the streams merge back into single-process
+order.  This module runs that scheme across a pool of ``fork``-started
+worker processes and exposes it to the engines as a drop-in replacement for
+:meth:`CompiledRule.trigger_row_batches <repro.engine.plan.CompiledRule.trigger_row_batches>`:
+
+* **Workers hold replicas, the parent holds the truth.**  Each worker keeps
+  a full :class:`~repro.datalog.database.Instance` replica plus the
+  :class:`~repro.engine.shard.ShardedInstance` shard it owns.  The parent
+  never ships whole instances per round: a :class:`ParallelSession` tracks
+  per-predicate row counts and broadcasts only the facts appended since the
+  last sync, in global insertion order, so replica ordinals equal parent
+  ordinals by construction.
+* **Matching is distributed, firing is not.**  A match task asks every
+  worker for its shard's slice of one rule's trigger batches (the full join
+  of a naive round, or the viable pivots of a delta round, whose candidate
+  window is the delta's contiguous ordinal range in the parent instance).
+  The parent merges the shard streams by ordinal
+  (:func:`~repro.engine.shard.merge_sharded`), applies the frozen-snapshot
+  negation pre-filter, and the engine fires heads / invents nulls / updates
+  counters sequentially exactly as in batch mode — which is what makes
+  results, null sequences, and the mode-independent counters byte-identical
+  across ``row``, ``batch``, and ``parallel``.
+* **Small work never pays IPC.**  A dispatch whose estimated step-0
+  candidate count is below :func:`parallel_threshold` (default 4096,
+  ``REPRO_PARALLEL_THRESHOLD``) runs the in-process batch executor instead;
+  the fallback is counted in ``STATS.parallel_fallbacks`` and — because all
+  executors agree match-for-match — never observable in results.
+
+The pool is process-global and lazy: nothing is forked until the first
+dispatch actually crosses the threshold, sessions re-arm it when another
+session (e.g. a nested engine run) used it in between, and the pool survives
+across engine runs so repeated materialisations pay the fork cost once.
+Platforms without the ``fork`` start method degrade to the in-process batch
+path transparently.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.mode import get_worker_count, parallel_enabled
+from repro.engine.shard import ShardedInstance, merge_sharded, run_batch_sharded
+from repro.engine.stats import STATS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: database builds on engine
+    from repro.datalog.database import Instance
+
+_threshold_env = os.environ.get("REPRO_PARALLEL_THRESHOLD")
+_threshold = int(_threshold_env) if _threshold_env else 4096
+
+#: Seconds the parent waits for one worker's match result before declaring
+#: the pool wedged (generous: match tasks are pure in-memory joins).
+_RESULT_TIMEOUT = 300.0
+
+
+def parallel_threshold() -> int:
+    """Step-0 candidate estimate below which dispatches stay in-process."""
+    return _threshold
+
+
+def set_parallel_threshold(threshold: int) -> None:
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    global _threshold
+    _threshold = threshold
+
+
+@contextmanager
+def parallel_threshold_override(threshold: int) -> Iterator[None]:
+    """Temporarily force/relax dispatch (the parity tests use 0)."""
+    previous = parallel_threshold()
+    set_parallel_threshold(threshold)
+    try:
+        yield
+    finally:
+        set_parallel_threshold(previous)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(worker_id: int, n_workers: int, task_queue, result_queue) -> None:
+    """The worker loop: maintain a replica + shard, answer match tasks.
+
+    Replica ordinals equal parent ordinals because sync messages arrive in
+    global insertion order; the shard's gid arrays record them.  Rules are
+    compiled locally (plan compilation is deterministic, so worker plans are
+    slot-for-slot identical to the parent's).
+    """
+    from repro.datalog.database import Instance
+    from repro.engine.plan import compile_rule
+
+    replica = Instance()
+    sharded = ShardedInstance(n_workers, keep=worker_id)
+    shard = sharded.shard(worker_id)
+    rules: List = []
+    compiled: Dict[int, object] = {}
+    while True:
+        message = task_queue.get()
+        tag = message[0]
+        if tag == "sync":
+            # The payload is pre-pickled once in the parent (a broadcast
+            # would otherwise pickle the same atom list once per worker).
+            # The parent only ships genuinely new facts (and disables
+            # dispatch entirely if its instance ever saw a deletion), so
+            # add_fact returning False cannot happen; the guard keeps a
+            # duplicate from stealing the next fact's gid even so.
+            for atom in pickle.loads(message[1]):
+                gid = replica._counter
+                if replica.add_fact(atom):
+                    sharded.ingest(atom, gid)
+        elif tag == "match":
+            _, task_id, rule_id, spec = message
+            try:
+                crule = compiled.get(rule_id)
+                if crule is None:
+                    crule = compiled[rule_id] = compile_rule(rules[rule_id])
+                STATS.reset()
+                payload: List[Tuple[List[int], List[Tuple]]] = []
+                if spec[0] == "full":
+                    payload.append(run_batch_sharded(crule.plan, shard, replica))
+                else:
+                    _, gid_lo, gid_hi, pivots = spec
+                    for pivot in pivots:
+                        payload.append(
+                            run_batch_sharded(
+                                crule.pivot_plans[pivot], shard, replica, gid_lo, gid_hi
+                            )
+                        )
+                result_queue.put(
+                    ("ok", task_id, worker_id, payload, STATS.batch_probe_groups)
+                )
+            except Exception as error:  # pragma: no cover - defensive
+                result_queue.put(
+                    ("err", task_id, worker_id, f"{type(error).__name__}: {error}")
+                )
+        elif tag == "reset":
+            replica = Instance()
+            sharded = ShardedInstance(n_workers, keep=worker_id)
+            shard = sharded.shard(worker_id)
+            rules = message[1]
+            compiled = {}
+        elif tag == "clear":
+            replica = Instance()
+            sharded = ShardedInstance(n_workers, keep=worker_id)
+            shard = sharded.shard(worker_id)
+            rules = []
+            compiled = {}
+        elif tag == "stop":
+            return
+
+
+# ---------------------------------------------------------------------------
+# Parent side: the pool
+# ---------------------------------------------------------------------------
+
+
+class WorkerPool:
+    """N fork-started workers, one task pipe each, one shared result queue."""
+
+    def __init__(self, n_workers: int):
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        self.n_workers = n_workers
+        self.task_queues = [context.SimpleQueue() for _ in range(n_workers)]
+        self.result_queue = context.Queue()
+        self.processes = [
+            context.Process(
+                target=_worker_main,
+                args=(worker_id, n_workers, self.task_queues[worker_id], self.result_queue),
+                daemon=True,
+                name=f"repro-shard-{worker_id}",
+            )
+            for worker_id in range(n_workers)
+        ]
+        for process in self.processes:
+            process.start()
+        self._task_counter = 0
+        #: The session whose replica state the workers currently hold.
+        self.current_session: Optional["ParallelSession"] = None
+
+    def broadcast(self, message) -> None:
+        for queue in self.task_queues:
+            queue.put(message)
+
+    def match(self, rule_id: int, spec) -> List[List[Tuple[List[int], List[Tuple]]]]:
+        """Run one match task on every worker; per-worker payloads, by id."""
+        self._task_counter += 1
+        task_id = self._task_counter
+        self.broadcast(("match", task_id, rule_id, spec))
+        payloads: List[Optional[List]] = [None] * self.n_workers
+        pending = self.n_workers
+        probe_groups = 0
+        waited = 0.0
+        while pending:
+            # Short poll intervals so a crashed worker (segfault, OOM kill)
+            # fails the dispatch within ~a second instead of stalling for
+            # the whole deadline.
+            try:
+                result = self.result_queue.get(timeout=1.0)
+            except Exception:
+                waited += 1.0
+                dead = [p.name for p in self.processes if not p.is_alive()]
+                if dead:
+                    raise RuntimeError(
+                        f"parallel worker(s) died mid-task: {', '.join(dead)}"
+                    ) from None
+                if waited >= _RESULT_TIMEOUT:
+                    raise RuntimeError(
+                        "parallel executor timed out waiting for workers"
+                    ) from None
+                continue
+            if result[0] == "err":
+                raise RuntimeError(
+                    f"parallel worker {result[2]} failed on task {result[1]}: {result[3]}"
+                )
+            _, result_task, worker_id, payload, groups = result
+            if result_task != task_id:  # pragma: no cover - protocol guard
+                raise RuntimeError(
+                    f"parallel protocol error: expected task {task_id}, got {result_task}"
+                )
+            payloads[worker_id] = payload
+            probe_groups += groups
+            pending -= 1
+        STATS.batch_probe_groups += probe_groups
+        return payloads  # type: ignore[return-value]
+
+    def shutdown(self) -> None:
+        for queue in self.task_queues:
+            try:
+                queue.put(("stop",))
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        for process in self.processes:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - teardown best effort
+                process.terminate()
+
+
+_POOL: Optional[WorkerPool] = None
+_POOL_BROKEN = False
+
+
+def _get_pool(n_workers: int) -> Optional[WorkerPool]:
+    """The process-global pool, (re)spawned lazily at the requested size."""
+    global _POOL, _POOL_BROKEN
+    if _POOL_BROKEN:
+        return None
+    if _POOL is not None and _POOL.n_workers != n_workers:
+        shutdown_pool()
+    if _POOL is None:
+        try:
+            _POOL = WorkerPool(n_workers)
+        except Exception:
+            # No fork start method (or the platform refuses to spawn):
+            # degrade to the in-process batch executor for good.
+            _POOL_BROKEN = True
+            return None
+        atexit.register(shutdown_pool)
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Stop the worker pool (tests and interpreter exit)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+
+
+# ---------------------------------------------------------------------------
+# Parent side: sessions
+# ---------------------------------------------------------------------------
+
+
+class ParallelSession:
+    """One engine run's window onto the worker pool.
+
+    Bound to the run's working :class:`Instance` and its compiled rules.
+    Creation is free: the pool is spawned and the initial database shipped
+    only when a dispatch first crosses the cost threshold.  If another
+    session used the pool in between (nested engine runs), the next dispatch
+    transparently resets the workers and resyncs from scratch.
+    """
+
+    def __init__(self, instance: Instance, compiled: Sequence, n_workers: int):
+        self.instance = instance
+        self.compiled = list(compiled)
+        self.n_workers = n_workers
+        # Keyed by Rule *value* (rules hash by content), not CompiledRule
+        # identity: the plan cache may recompile a rule mid-run after a
+        # wholesale clear, and the fresh object must still dispatch.
+        self._rule_ids = {crule.rule: i for i, crule in enumerate(self.compiled)}
+        self._synced_limits: Dict[str, int] = {}
+        self._synced_count = 0
+        self._pool: Optional[WorkerPool] = None
+        #: Set when the bound instance violates the replica protocol's
+        #: append-only assumption (a deletion was observed): every later
+        #: dispatch falls back to the in-process executor.
+        self._disabled = False
+        # (id(delta), len(delta)) -> validated window, so the O(len) ordinal
+        # check runs once per round, not once per rule.
+        self._window_cache: Optional[Tuple[int, int, Optional[Tuple[int, int]]]] = None
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _ensure_active(self) -> bool:
+        """Arm the pool for this session; False if no pool is available.
+
+        The replica protocol ships appended facts only, and the merge
+        contract equates replica ordinals with parent ordinals — both break
+        if the bound instance ever deletes a fact (no engine does during a
+        fixpoint; `Instance.discard` is a diagnostic path).  A tombstone
+        observed at any point therefore disables dispatch for the whole
+        session rather than risk divergence.
+        """
+        if self._disabled:
+            return False
+        if self.instance._index.tombstoned:
+            self._disabled = True
+            return False
+        pool = _get_pool(self.n_workers)
+        if pool is None:
+            return False
+        self._pool = pool
+        if pool.current_session is not self:
+            pool.broadcast(("reset", [crule.rule for crule in self.compiled]))
+            self._synced_limits = {}
+            self._synced_count = 0
+            pool.current_session = self
+        self._sync()
+        return True
+
+    def _sync(self) -> None:
+        """Ship the facts appended since the last sync, in ordinal order."""
+        instance = self.instance
+        if instance._counter == self._synced_count:
+            return
+        new_atoms = []
+        limits = self._synced_limits
+        for predicate, rows in instance._index.rows.items():
+            start = limits.get(predicate, 0)
+            if start < len(rows):
+                new_atoms.extend(fact for fact in rows[start:] if fact is not None)
+                limits[predicate] = len(rows)
+        new_atoms.sort(key=instance._ordinals.__getitem__)
+        self._pool.broadcast(("sync", pickle.dumps(new_atoms, pickle.HIGHEST_PROTOCOL)))
+        self._synced_count = instance._counter
+
+    def _delta_window(self, delta: Instance) -> Optional[Tuple[int, int]]:
+        """The delta's ordinal range in the parent instance, or None.
+
+        Every engine builds its delta as "the facts newly added to the
+        working instance this round", so the delta maps to a contiguous,
+        ascending ordinal window; anything else (an ad-hoc delta instance)
+        falls back to the in-process executor.  The full mapping is checked
+        — span and count alone would accept a delta like ordinals
+        ``[3, 9, 5]`` and silently match the wrong window — and the
+        validated result is cached per delta object, so the O(len) walk
+        runs once per round rather than once per rule.
+        """
+        cached = self._window_cache
+        if cached is not None and cached[0] == id(delta) and cached[1] == len(delta):
+            return cached[2]
+        window = None
+        ordinals = self.instance._ordinals
+        expected = None
+        for atom in delta._ordinals:
+            ordinal = ordinals.get(atom)
+            if ordinal is None or (expected is not None and ordinal != expected):
+                expected = None
+                break
+            if expected is None:
+                window = ordinal
+            expected = ordinal + 1
+        window = (window, expected) if expected is not None else None
+        self._window_cache = (id(delta), len(delta), window)
+        return window
+
+    def _dispatch(self, crule, spec) -> List[List[Tuple]]:
+        """One match task; merged rows per plan, in spec order."""
+        rule_id = self._rule_ids[crule.rule]
+        try:
+            payloads = self._pool.match(rule_id, spec)
+        except RuntimeError:
+            # A failed or timed-out task leaves the surviving workers'
+            # results queued (and their replicas suspect): tear the pool
+            # down so the next dispatch starts from a clean respawn instead
+            # of tripping over stale results.
+            shutdown_pool()
+            self._pool = None
+            raise
+        STATS.parallel_tasks += 1
+        n_plans = 1 if spec[0] == "full" else len(spec[3])
+        return [
+            merge_sharded([payload[i] for payload in payloads])
+            for i in range(n_plans)
+        ]
+
+    # -- engine-facing API --------------------------------------------------
+
+    def full_rows(self, crule) -> List[Tuple]:
+        """``crule.plan.run_batch(instance)``, distributed (the chase path).
+
+        No negation filtering: the chase checks negation per trigger at fire
+        time because its reference may be the mutating working instance.
+        """
+        plan = crule.plan
+        steps = plan.steps
+        if steps and not plan.prebound and crule.rule in self._rule_ids:
+            estimate = self.instance._index.live.get(steps[0].predicate, 0)
+            if estimate >= _threshold and self._ensure_active():
+                return self._dispatch(crule, ("full",))[0]
+        STATS.parallel_fallbacks += 1
+        return plan.run_batch(self.instance)
+
+    def trigger_row_batches(
+        self, crule, delta=None, negation_reference=None
+    ) -> List[Tuple[object, List[Tuple]]]:
+        """Distributed :meth:`CompiledRule.trigger_row_batches`.
+
+        Same eager pivot semantics, same ``pivots_skipped`` accounting (done
+        here in the parent, so the counter stays mode-independent), same
+        frozen-snapshot negation pre-filter (applied after the merge) — the
+        only difference is who computes the matches.
+        """
+        instance = self.instance
+        if delta is None:
+            rows = self.full_rows(crule)
+            if crule.negation and negation_reference is not None and rows:
+                rows = crule._filter_negation_rows(rows, crule.plan, negation_reference)
+            return [(crule.plan, rows)] if rows else []
+        delta_index = delta._plan_source()[0]
+        delta_live = delta_index.live
+        pivots: List[int] = []
+        estimate = 0
+        for pivot, atom in enumerate(crule.rule.body_positive):
+            count = delta_live.get(atom.predicate)
+            if not count:
+                continue
+            plan = crule.pivot_plans[pivot]
+            if not plan.pivot_viable(delta_index):
+                STATS.pivots_skipped += 1
+                continue
+            pivots.append(pivot)
+            estimate += count
+        if not pivots:
+            return []
+        window = (
+            self._delta_window(delta)
+            if estimate >= _threshold and crule.rule in self._rule_ids
+            else None
+        )
+        if window is not None and self._ensure_active():
+            lo, hi = window
+            merged = self._dispatch(crule, ("delta", lo, hi, tuple(pivots)))
+        else:
+            STATS.parallel_fallbacks += 1
+            merged = [
+                crule.pivot_plans[pivot].run_batch(instance, None, delta_source=delta)
+                for pivot in pivots
+            ]
+        batches = []
+        for pivot, rows in zip(pivots, merged):
+            plan = crule.pivot_plans[pivot]
+            if crule.negation and negation_reference is not None and rows:
+                rows = crule._filter_negation_rows(rows, plan, negation_reference)
+            if rows:
+                batches.append((plan, rows))
+        return batches
+
+    def close(self) -> None:
+        """Release the workers' replica memory (the pool itself survives)."""
+        pool = self._pool
+        if pool is not None and pool.current_session is self:
+            pool.broadcast(("clear",))
+            pool.current_session = None
+        self._pool = None
+
+
+def maybe_session(instance: Instance, compiled: Sequence) -> Optional[ParallelSession]:
+    """A session when parallel mode is on, else None (engine entry point)."""
+    if not parallel_enabled() or not compiled:
+        return None
+    return ParallelSession(instance, compiled, get_worker_count())

@@ -1,0 +1,247 @@
+"""Hash-partitioned shards of an instance, and the sharded batch runner.
+
+The parallel executor (:mod:`repro.engine.parallel`) splits the work of one
+join — *"match this plan against the current instance"* — by partitioning the
+**step-0 candidates** across worker processes: worker ``s`` extends only the
+candidates whose fact hashes to shard ``s``, joining the remaining body atoms
+against its full replica of the instance.  This module provides the two
+halves of that scheme:
+
+* :class:`ShardedInstance` — a hash-partitioned mirror of an
+  :class:`~repro.datalog.database.Instance`: facts are routed to one of
+  ``n_shards`` :class:`~repro.engine.index.PredicateIndex` shards by
+  :func:`shard_of` (a stable CRC-32 over the predicate and the first term),
+  and every shard row carries the fact's **global insertion ordinal** (its
+  *gid*) in a side array aligned with the shard's row list.  A worker holds
+  only its own shard (``keep=s``); tests can hold all of them.
+* :func:`run_batch_sharded` — ``JoinPlan.run_batch`` restricted to one
+  shard's step-0 candidates, returning ``(gids, rows)`` where ``gids[i]`` is
+  the ordinal of the candidate that seeded ``rows[i]``.  Steps past the
+  first run the ordinary column-at-a-time machinery
+  (:meth:`~repro.engine.batch._BatchStep.apply_tracked`) against the full
+  replica, so per-shard output order is exactly batch order restricted to
+  that shard.
+
+**The deterministic merge contract.**  Within one shard, gids ascend (shard
+rows are appended in global insertion order, so shard-local row ids ascend
+with ordinals), and a candidate's extensions stay contiguous in depth-first
+order.  Across shards, every step-0 candidate lives in exactly one shard.
+Merging the per-shard streams by gid (:func:`merge_sharded`) therefore
+reconstructs the *exact* match order of the single-process batch executor —
+which is itself the depth-first order of the row executor — so results,
+invented-null sequences, and the mode-independent counters are byte-identical
+across ``row``, ``batch``, and ``parallel`` modes.
+
+Shard assignment keys on the predicate plus the **first** term because the
+first position is the most common bound term of pivot atoms (transitive
+closures, property chains), which spreads hot delta predicates across shards
+even when a single predicate dominates a round.  The hash is CRC-32 over a
+stable encoding — never the process-seeded built-in ``hash`` — so shard
+layouts are reproducible across runs and machines.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from heapq import merge as _heap_merge
+from typing import Dict, List, Optional, Sequence, Tuple
+from zlib import crc32
+
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant, Null
+from repro.engine.index import PredicateIndex
+from repro.engine.stats import STATS
+
+SlotRow = Tuple
+
+
+def shard_of(atom: Atom, n_shards: int) -> int:
+    """The shard owning ``atom``: stable hash of (predicate, first term).
+
+    Nulls and constants with the same spelling must not collide into the
+    same key, hence the type tag; variables never occur in facts.
+    """
+    h = crc32(atom.predicate.encode("utf-8"))
+    if atom.terms:
+        term = atom.terms[0]
+        if isinstance(term, Constant):
+            payload = "c:" + term.value
+        elif isinstance(term, Null):
+            payload = "n:" + term.label
+        else:  # pragma: no cover - facts carry no variables
+            payload = "v:" + str(term)
+        h = crc32(payload.encode("utf-8"), h)
+    return h % n_shards
+
+
+class Shard:
+    """One hash partition: a :class:`PredicateIndex` plus per-row ordinals.
+
+    ``gids[predicate][row_id]`` is the global insertion ordinal of
+    ``index.rows[predicate][row_id]``; both lists are append-only and
+    parallel, and gids ascend within a predicate because ingestion follows
+    global insertion order.
+    """
+
+    __slots__ = ("index", "gids")
+
+    def __init__(self) -> None:
+        self.index = PredicateIndex()
+        self.gids: Dict[str, List[int]] = {}
+
+    def add(self, atom: Atom, gid: int) -> None:
+        self.index.add(atom)
+        bucket = self.gids.get(atom.predicate)
+        if bucket is None:
+            self.gids[atom.predicate] = [gid]
+        else:
+            bucket.append(gid)
+
+
+class ShardedInstance:
+    """A hash-partitioned mirror of an instance's fact rows.
+
+    ``keep=s`` stores only shard ``s`` (the worker configuration: routing is
+    still computed for every fact, but foreign facts are dropped);
+    ``keep=None`` stores all shards (tests, and the in-process merge parity
+    checks).  Facts must be ingested in global insertion order with their
+    ordinals — :meth:`ingest` trusts the caller on both.
+    """
+
+    __slots__ = ("n_shards", "keep", "shards")
+
+    def __init__(self, n_shards: int, keep: Optional[int] = None):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if keep is not None and not 0 <= keep < n_shards:
+            raise ValueError(f"keep must be in [0, {n_shards}), got {keep}")
+        self.n_shards = n_shards
+        self.keep = keep
+        self.shards: List[Optional[Shard]] = [
+            Shard() if keep is None or s == keep else None for s in range(n_shards)
+        ]
+
+    def ingest(self, atom: Atom, gid: int) -> int:
+        """Route one fact; returns the shard id it belongs to."""
+        s = shard_of(atom, self.n_shards)
+        shard = self.shards[s]
+        if shard is not None:
+            shard.add(atom, gid)
+        return s
+
+    def shard(self, s: int) -> Shard:
+        shard = self.shards[s]
+        if shard is None:
+            raise ValueError(f"shard {s} is not kept by this ShardedInstance")
+        return shard
+
+    @classmethod
+    def mirror(cls, instance, n_shards: int) -> "ShardedInstance":
+        """Shard every current fact of ``instance`` (test/diagnostic helper)."""
+        sharded = cls(n_shards)
+        ordinals = instance._ordinals
+        for atom in ordinals:
+            sharded.ingest(atom, ordinals[atom])
+        return sharded
+
+    def __repr__(self) -> str:
+        sizes = [
+            sum(shard.index.live.values()) if shard is not None else None
+            for shard in self.shards
+        ]
+        return f"ShardedInstance(n_shards={self.n_shards}, sizes={sizes})"
+
+
+def _batch_steps(plan):
+    """The (lazily built, plan-cached) batch steps of a compiled plan."""
+    batch = plan.batch_plan
+    if batch is None:
+        from repro.engine.batch import BatchPlan
+
+        batch = plan.batch_plan = BatchPlan(plan)
+    return batch.steps
+
+
+def run_batch_sharded(
+    plan,
+    shard: Shard,
+    source,
+    gid_lo: int = 0,
+    gid_hi: Optional[int] = None,
+) -> Tuple[List[int], List[SlotRow]]:
+    """Matches of ``plan`` whose step-0 candidate lies in ``shard``.
+
+    ``source`` is the full instance (or a replica in lockstep with it) that
+    the remaining steps join against.  ``[gid_lo, gid_hi)`` restricts step-0
+    candidates by global ordinal — the delta window of a semi-naive round;
+    the defaults select every shard row (the naive/full join, where the
+    window is implicitly capped by the shard's current contents, which the
+    caller guarantees mirror the instance state being matched).
+
+    Returns ``(gids, rows)``: full slot tuples in batch order restricted to
+    this shard, each tagged with its step-0 candidate's ordinal.  Plans with
+    prebound slots or empty bodies are not shardable (no step-0 candidate
+    stream to partition) and must be run by the caller directly.
+    """
+    steps = _batch_steps(plan)
+    if not steps:
+        raise ValueError("cannot shard a plan with an empty body")
+    step0 = steps[0]
+    if step0.slot_probes:
+        raise ValueError("cannot shard a plan whose first step probes bound slots")
+    rows_list = shard.index.rows.get(step0.predicate)
+    if not rows_list:
+        return [], []
+    gids_list = shard.gids[step0.predicate]
+    cap = len(rows_list) if gid_hi is None else bisect_left(gids_list, gid_hi)
+    if cap <= 0:
+        return [], []
+    candidate_ids = shard.index.probe_ids(step0.predicate, step0.const_pairs, cap)
+    STATS.batch_probe_groups += 1
+    arity = step0.arity
+    bind_positions = step0.bind_positions
+    intra_pairs = step0.intra_pairs
+    gids: List[int] = []
+    rows: List[SlotRow] = []
+    for row_id in candidate_ids:
+        gid = gids_list[row_id]
+        if gid < gid_lo:
+            continue
+        fact = rows_list[row_id]
+        terms = fact.terms
+        if len(terms) != arity:
+            continue
+        for position, bound_position in intra_pairs:
+            if terms[position] != terms[bound_position]:
+                break
+        else:
+            gids.append(gid)
+            rows.append(tuple(terms[position] for position in bind_positions))
+    index, limits = source._plan_source()
+    for step in steps[1:]:
+        if not rows:
+            break
+        gids, rows = step.apply_tracked(index, limits, gids, rows)
+    return gids, rows
+
+
+def merge_sharded(
+    parts: Sequence[Tuple[List[int], List[SlotRow]]],
+) -> List[SlotRow]:
+    """Merge per-shard ``(gids, rows)`` streams back into batch order.
+
+    Each stream is ascending in gid and gids never repeat across shards (a
+    candidate lives in exactly one shard), so a k-way merge on the gid is a
+    total, deterministic order — the single-process match order.
+    """
+    live = [part for part in parts if part[0]]
+    if not live:
+        return []
+    if len(live) == 1:
+        return live[0][1]
+    return [
+        row
+        for _, row in _heap_merge(
+            *(zip(gids, rows) for gids, rows in live), key=lambda item: item[0]
+        )
+    ]

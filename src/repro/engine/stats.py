@@ -11,14 +11,24 @@ Two classes of counter coexist:
 
 * **Mode-independent** (``facts_added``, ``triggers_fired``,
   ``nulls_invented``, ``pivots_skipped``) — identical whether plans run
-  row-at-a-time or column-at-a-time, because both executors produce the same
-  matches in the same order and the pivot-skip test is shared.  These are the
+  row-at-a-time, column-at-a-time, or sharded across the parallel worker
+  pool, because every executor produces the same matches in the same order,
+  the pivot-skip test is shared (and evaluated in the parent in parallel
+  mode), and firing always happens in the parent process.  These are the
   counters the bench-smoke gate diffs against the committed baseline;
   ``tests/test_engine_stats_determinism.py`` pins both the repeatability and
   the cross-mode equality.
 * **Batch instrumentation** (``batch_probe_groups``) — only advances in
-  batch mode; it counts distinct probe-key groups per step and is reported
-  in the benchmark JSON but never gated.
+  batch/parallel mode; it counts distinct probe-key groups per step and is
+  reported in the benchmark JSON but never gated.  In parallel mode the
+  worker-side groups are aggregated back into the parent's counter per match
+  task (sharded probing changes the grouping, so the value is comparable
+  within a mode but not across modes — another reason it is never gated).
+* **Parallel instrumentation** (``parallel_tasks``, ``parallel_fallbacks``)
+  — only advances in parallel mode: match dispatches actually fanned out to
+  the worker pool, and dispatches that fell back to the in-process batch
+  executor because the estimated candidate count was below the cost
+  threshold.  Reported, never gated.
 
 The counters are advisory instrumentation: they are not thread-safe and must
 never influence evaluation results.
@@ -42,7 +52,14 @@ class EngineStats:
     pivots_skipped: int = 0
     #: Distinct probe-key groups evaluated by the batch executor (0 in row
     #: mode); the ratio to batch rows shows how much probe work was shared.
+    #: In parallel mode, worker-side groups are folded in per match task.
     batch_probe_groups: int = 0
+    #: Match dispatches fanned out to the parallel worker pool (0 outside
+    #: parallel mode).
+    parallel_tasks: int = 0
+    #: Parallel-mode dispatches that ran in-process instead because the
+    #: estimated candidate count was below the cost threshold.
+    parallel_fallbacks: int = 0
 
     def reset(self) -> None:
         self.facts_added = 0
@@ -50,6 +67,8 @@ class EngineStats:
         self.nulls_invented = 0
         self.pivots_skipped = 0
         self.batch_probe_groups = 0
+        self.parallel_tasks = 0
+        self.parallel_fallbacks = 0
 
     def snapshot(self) -> dict:
         """A plain-dict copy, in the key order the harness JSON uses."""
@@ -59,6 +78,8 @@ class EngineStats:
             "nulls_invented": self.nulls_invented,
             "pivots_skipped": self.pivots_skipped,
             "batch_probe_groups": self.batch_probe_groups,
+            "parallel_tasks": self.parallel_tasks,
+            "parallel_fallbacks": self.parallel_fallbacks,
         }
 
     def gated(self) -> dict:

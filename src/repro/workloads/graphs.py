@@ -161,3 +161,48 @@ def random_undirected_graph(
             if rng.random() < edge_probability:
                 edges.append((f"v{i}", f"v{j}"))
     return edges
+
+
+# ---------------------------------------------------------------------------
+# Deep chains and layered graphs (the parallel-scale reachability series)
+# ---------------------------------------------------------------------------
+
+
+def chain_graph(
+    length: int, branches_per_node: int = 0, predicate: str = "knows"
+) -> RDFGraph:
+    """A depth-``length`` chain ``c0 → c1 → … → c_length`` of ``predicate``
+    edges, optionally with ``branches_per_node`` leaf branches hanging off
+    every chain node.
+
+    Transitive closure over the chain produces Θ(length²) pairs in Θ(length)
+    semi-naive rounds — the deep-fixpoint shape (many small deltas) that
+    stresses per-round overhead, as opposed to the wide-delta shape of
+    :func:`layered_graph`.
+    """
+    graph = RDFGraph()
+    for i in range(length):
+        graph.add((f"c{i}", predicate, f"c{i + 1}"))
+        for b in range(branches_per_node):
+            graph.add((f"c{i}", predicate, f"c{i}b{b}"))
+    return graph
+
+
+def layered_graph(
+    layers: int, width: int, out_degree: int = 3, seed: int = 0, predicate: str = "knows"
+) -> RDFGraph:
+    """A layered DAG: ``width`` nodes per layer, each with ``out_degree``
+    random edges into the next layer.
+
+    Reachability closes in Θ(layers) rounds over wide deltas of up to
+    ``width²`` pairs per layer distance — the bulk-delta shape the sharded
+    parallel executor partitions across workers.
+    """
+    rng = random.Random(seed)
+    graph = RDFGraph()
+    for layer in range(layers):
+        for i in range(width):
+            for _ in range(out_degree):
+                j = rng.randrange(width)
+                graph.add((f"l{layer}n{i}", predicate, f"l{layer + 1}n{j}"))
+    return graph

@@ -1,0 +1,438 @@
+"""Shard determinism: the parallel executor vs batch vs row, byte for byte.
+
+The sharded parallel executor promises *exact* parity with the in-process
+executors: hash-partitioning step-0 candidates across workers and merging
+the per-shard streams by global insertion ordinal must reconstruct the
+single-process match order, so engine results, invented-null sequences, and
+the mode-independent counters are identical in ``row``, ``batch``, and
+``parallel`` modes.  This suite locks that in at three levels:
+
+* **shard level** — :class:`~repro.engine.shard.ShardedInstance` partitions
+  are disjoint, complete, and stable across processes (CRC-based keys);
+* **match level** — merging :func:`~repro.engine.shard.run_batch_sharded`
+  over all shards equals ``JoinPlan.run_batch`` row for row *in order*, on
+  the same fuzz corpus the batch suite uses (no processes involved: the
+  merge contract itself is what is being tested);
+* **engine level** — all three engines produce atom-for-atom identical
+  instances (and null sequences, and gated counters) under
+  ``REPRO_ENGINE_PARALLEL=2`` with the dispatch threshold forced to 0, so
+  every match actually crosses the process boundary.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.warded_engine import WardedEngine
+from repro.datalog.chase import ChaseEngine
+from repro.datalog.database import Instance
+from repro.datalog.parser import parse_program
+from repro.datalog.seminaive import SemiNaiveEvaluator
+from repro.datalog.terms import Null
+from repro.engine.mode import execution_mode
+from repro.engine.parallel import (
+    parallel_threshold_override,
+    shutdown_pool,
+)
+from repro.engine.plan import compile_body
+from repro.engine.shard import ShardedInstance, merge_sharded, run_batch_sharded, shard_of
+from repro.engine.stats import STATS
+from test_engine_batch_parity import (
+    random_body,
+    random_datalog_program,
+    random_instance,
+    random_rdf_graph,
+)
+
+WORKERS = 2
+
+
+@pytest.fixture(scope="module", autouse=True)
+def stop_pool_after_module():
+    yield
+    shutdown_pool()
+
+
+# ---------------------------------------------------------------------------
+# Shard level
+# ---------------------------------------------------------------------------
+
+
+class TestSharding:
+    def test_partition_is_complete_and_disjoint(self):
+        rng = random.Random(0)
+        instance, _ = random_instance(rng, n_constants=8, n_facts=120)
+        for n_shards in (1, 2, 3, 5):
+            sharded = ShardedInstance.mirror(instance, n_shards)
+            total = 0
+            seen = set()
+            for s in range(n_shards):
+                shard = sharded.shard(s)
+                for predicate, rows in shard.index.rows.items():
+                    assert len(rows) == len(shard.gids[predicate])
+                    for fact in rows:
+                        assert shard_of(fact, n_shards) == s
+                        assert fact not in seen
+                        seen.add(fact)
+                        total += 1
+            assert total == len(instance)
+
+    def test_gids_match_instance_ordinals_and_ascend(self):
+        rng = random.Random(1)
+        instance, _ = random_instance(rng, n_constants=6, n_facts=80)
+        sharded = ShardedInstance.mirror(instance, 3)
+        for s in range(3):
+            shard = sharded.shard(s)
+            for predicate, rows in shard.index.rows.items():
+                gids = shard.gids[predicate]
+                assert gids == sorted(gids)
+                for fact, gid in zip(rows, gids):
+                    assert instance._ordinals[fact] == gid
+
+    def test_keep_stores_only_one_shard(self):
+        rng = random.Random(2)
+        instance, _ = random_instance(rng, n_constants=5, n_facts=40)
+        kept = ShardedInstance(4, keep=1)
+        for atom in instance:
+            kept.ingest(atom, instance._ordinals[atom])
+        mirror = ShardedInstance.mirror(instance, 4)
+        assert kept.shard(1).index.live == mirror.shard(1).index.live
+        with pytest.raises(ValueError):
+            kept.shard(0)
+
+    def test_shard_keys_are_stable_across_processes(self):
+        # CRC-based, not the seed-randomised built-in hash: a forked (or
+        # even freshly spawned) worker must route facts identically.
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.datalog.atoms import Atom\n"
+            "from repro.datalog.terms import Constant, Null\n"
+            "from repro.engine.shard import shard_of\n"
+            "atoms = [Atom('e', (Constant('a'), Constant('b'))),"
+            " Atom('p', (Null('_:z1'), Constant('c'))), Atom('q', ())]\n"
+            "print([shard_of(a, 7) for a in atoms])\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={**os.environ, "PYTHONPATH": "src", "PYTHONHASHSEED": "random"},
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        from repro.datalog.atoms import Atom
+        from repro.datalog.terms import Constant
+
+        atoms = [
+            Atom("e", (Constant("a"), Constant("b"))),
+            Atom("p", (Null("_:z1"), Constant("c"))),
+            Atom("q", ()),
+        ]
+        assert result.stdout.strip() == str([shard_of(a, 7) for a in atoms])
+
+
+# ---------------------------------------------------------------------------
+# Match level: merge(shards) == run_batch, in order
+# ---------------------------------------------------------------------------
+
+
+def assert_sharded_merge_parity(body, instance, n_shards=3):
+    plan = compile_body(tuple(body))
+    if not plan.steps:
+        return
+    expected = plan.run_batch(instance)
+    sharded = ShardedInstance.mirror(instance, n_shards)
+    parts = [
+        run_batch_sharded(plan, sharded.shard(s), instance) for s in range(n_shards)
+    ]
+    assert merge_sharded(parts) == expected  # exact order, not just content
+    for gids, rows in parts:
+        assert len(gids) == len(rows)
+        assert gids == sorted(gids)
+
+
+class TestMatchLevelMerge:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_bodies(self, seed):
+        rng = random.Random(seed)
+        instance, constants = random_instance(rng, n_constants=6, n_facts=90)
+        for n_atoms in (1, 2, 3):
+            for _ in range(4):
+                body = random_body(rng, constants, n_atoms)
+                assert_sharded_merge_parity(body, instance)
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4, 8])
+    def test_shard_count_never_changes_the_merge(self, n_shards):
+        rng = random.Random(17)
+        instance, constants = random_instance(rng, n_constants=5, n_facts=70)
+        for _ in range(6):
+            body = random_body(rng, constants, 2)
+            assert_sharded_merge_parity(body, instance, n_shards=n_shards)
+
+    def test_delta_window_restricts_step0_candidates(self):
+        from repro.datalog.atoms import Atom
+        from repro.datalog.terms import Constant, Variable
+
+        instance = Instance()
+        for i in range(30):
+            instance.add(Atom("e", (Constant(f"a{i}"), Constant(f"a{i + 1}"))))
+        plan = compile_body((Atom("e", (Variable("X"), Variable("Y"))),))
+        sharded = ShardedInstance.mirror(instance, 3)
+        lo, hi = 10, 25
+        parts = [
+            run_batch_sharded(plan, sharded.shard(s), instance, lo, hi)
+            for s in range(3)
+        ]
+        merged = merge_sharded(parts)
+        expected = plan.run_batch(instance)[lo:hi]
+        assert merged == expected
+        for gids, _ in parts:
+            assert all(lo <= gid < hi for gid in gids)
+
+
+# ---------------------------------------------------------------------------
+# Engine level: three modes, forced through the worker pool
+# ---------------------------------------------------------------------------
+
+
+def run_three_modes(fn):
+    """fn() per mode (parallel forced through 2 workers); {mode: (result, counters)}."""
+    results = {}
+    for mode, workers, threshold in (
+        ("row", None, None),
+        ("batch", None, None),
+        ("parallel", WORKERS, 0),
+    ):
+        with execution_mode(mode, workers):
+            Null._counter = itertools.count()
+            STATS.reset()
+            if threshold is None:
+                results[mode] = (fn(), STATS.gated())
+            else:
+                with parallel_threshold_override(threshold):
+                    results[mode] = (fn(), STATS.gated())
+    return results
+
+
+def assert_three_mode_parity(outcome):
+    assert outcome["row"][0] == outcome["batch"][0] == outcome["parallel"][0]
+    assert outcome["row"][1] == outcome["batch"][1] == outcome["parallel"][1]
+
+
+class TestEngineLevelParity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_seminaive_fuzzed_programs(self, seed):
+        rng = random.Random(400 + seed)
+        instance, constants = random_instance(rng, n_constants=5, n_facts=50)
+        program = random_datalog_program(rng, constants)
+        database = list(instance)
+        outcome = run_three_modes(
+            lambda: list(SemiNaiveEvaluator(program).evaluate(database))
+        )
+        assert_three_mode_parity(outcome)
+
+    def test_seminaive_transitive_closure_with_negation(self):
+        graph = random_rdf_graph(n_triples=150, n_nodes=20, seed=5)
+        program = parse_program(
+            """
+            triple(?X, knows, ?Y) -> knows(?X, ?Y).
+            knows(?X, ?Y) -> connected(?X, ?Y).
+            connected(?X, ?Y), knows(?Y, ?Z) -> connected(?X, ?Z).
+            knows(?X, ?Y), not connected(?Y, ?X) -> oneway(?X, ?Y).
+            """
+        )
+        database = graph.to_database()
+        outcome = run_three_modes(
+            lambda: list(SemiNaiveEvaluator(program).evaluate(database))
+        )
+        assert_three_mode_parity(outcome)
+
+    def test_chase_with_existentials_null_sequences(self):
+        from repro.datalog.atoms import Atom
+        from repro.datalog.terms import Constant
+
+        program = parse_program(
+            """
+            person(?X) -> exists ?Y . parent(?X, ?Y), person(?Y).
+            parent(?X, ?Y) -> ancestor(?X, ?Y).
+            ancestor(?X, ?Y), parent(?Y, ?Z) -> ancestor(?X, ?Z).
+            """
+        )
+        database = [Atom("person", (Constant(f"p{i}"),)) for i in range(12)] + [
+            Atom("parent", (Constant(f"p{i}"), Constant(f"p{i + 1}")))
+            for i in range(11)
+        ]
+        outcome = run_three_modes(
+            lambda: list(
+                ChaseEngine(max_null_depth=2, on_limit="stop")
+                .chase(database, program)
+                .instance
+            )
+        )
+        # Atom-for-atom equality covers the invented-null *labels*, i.e. the
+        # exact global invention sequence.
+        assert_three_mode_parity(outcome)
+
+    def test_warded_materialisation_with_provenance(self):
+        graph = random_rdf_graph(n_triples=100, n_nodes=16, seed=8)
+        program = parse_program(
+            """
+            triple(?X, knows, ?Y) -> knows(?X, ?Y).
+            knows(?X, ?Y) -> exists ?Z . contact(?Y, ?Z).
+            contact(?X, ?Z), knows(?W, ?X) -> reachable(?W, ?X).
+            knows(?X, ?Y), not reachable(?X, ?Y) -> pending(?X, ?Y).
+            """
+        )
+        database = graph.to_database()
+
+        def materialise():
+            result = WardedEngine(program).materialise(database)
+            return list(result.instance), sorted(result.provenance, key=str)
+
+        outcome = run_three_modes(materialise)
+        assert_three_mode_parity(outcome)
+
+    def test_parallel_dispatch_actually_crosses_processes(self):
+        graph = random_rdf_graph(n_triples=120, n_nodes=18, seed=9)
+        program = parse_program(
+            """
+            triple(?X, knows, ?Y) -> knows(?X, ?Y).
+            knows(?X, ?Y) -> connected(?X, ?Y).
+            connected(?X, ?Y), knows(?Y, ?Z) -> connected(?X, ?Z).
+            """
+        )
+        database = graph.to_database()
+        with execution_mode("parallel", WORKERS), parallel_threshold_override(0):
+            STATS.reset()
+            SemiNaiveEvaluator(program).evaluate(database)
+            assert STATS.parallel_tasks > 0
+
+    def test_threshold_fallback_is_equivalent_and_counted(self):
+        graph = random_rdf_graph(n_triples=80, n_nodes=14, seed=10)
+        program = parse_program(
+            """
+            triple(?X, knows, ?Y) -> knows(?X, ?Y).
+            connected(?X, ?Y), knows(?Y, ?Z) -> connected(?X, ?Z).
+            knows(?X, ?Y) -> connected(?X, ?Y).
+            """
+        )
+        database = graph.to_database()
+        with execution_mode("batch"):
+            STATS.reset()
+            expected = list(SemiNaiveEvaluator(program).evaluate(database))
+            gated = STATS.gated()
+        with execution_mode("parallel", WORKERS), parallel_threshold_override(10**9):
+            STATS.reset()
+            fell_back = list(SemiNaiveEvaluator(program).evaluate(database))
+            assert STATS.parallel_tasks == 0
+            assert STATS.parallel_fallbacks > 0
+            assert STATS.gated() == gated
+        assert fell_back == expected
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_worker_count_never_changes_results(self, workers):
+        graph = random_rdf_graph(n_triples=90, n_nodes=15, seed=11)
+        program = parse_program(
+            """
+            triple(?X, knows, ?Y) -> knows(?X, ?Y).
+            knows(?X, ?Y) -> connected(?X, ?Y).
+            connected(?X, ?Y), knows(?Y, ?Z) -> connected(?X, ?Z).
+            """
+        )
+        database = graph.to_database()
+        with execution_mode("batch"):
+            expected = list(SemiNaiveEvaluator(program).evaluate(database))
+        with execution_mode("parallel", workers), parallel_threshold_override(0):
+            got = list(SemiNaiveEvaluator(program).evaluate(database))
+        assert got == expected
+
+    def test_noncontiguous_delta_window_is_rejected(self):
+        from repro.datalog.atoms import Atom
+        from repro.datalog.terms import Constant
+        from repro.engine.parallel import ParallelSession
+
+        instance = Instance(
+            [Atom("e", (Constant(f"a{i}"), Constant(f"a{i + 1}"))) for i in range(10)]
+        )
+        session = ParallelSession(instance, [], WORKERS)
+        atoms = list(instance)
+
+        contiguous = Instance()
+        for atom in atoms[3:7]:
+            contiguous.add_fact(atom)
+        assert session._delta_window(contiguous) == (3, 7)
+
+        gapped = Instance()
+        for index in (3, 9, 5):  # span/count alone would accept this
+            gapped.add_fact(atoms[index])
+        assert session._delta_window(gapped) is None
+
+        foreign = Instance()
+        foreign.add_fact(Atom("e", (Constant("x"), Constant("y"))))
+        assert session._delta_window(foreign) is None
+
+    def test_deletion_disables_dispatch_but_stays_correct(self):
+        # Engines copy their input, so the only way a session can see a
+        # tombstoned instance is the in-place chase; a tombstone anywhere
+        # breaks the ordinal/replica contract, so the session must refuse to
+        # dispatch (and still compute correctly via the in-process path).
+        from repro.datalog.atoms import Atom
+        from repro.datalog.terms import Constant
+
+        graph = random_rdf_graph(n_triples=100, n_nodes=15, seed=14)
+        program = parse_program(
+            """
+            triple(?X, knows, ?Y) -> knows(?X, ?Y).
+            knows(?X, ?Y) -> connected(?X, ?Y).
+            connected(?X, ?Y), knows(?Y, ?Z) -> connected(?X, ?Z).
+            """
+        )
+
+        def tombstoned_instance():
+            instance = Instance(graph.to_database())
+            doomed = Atom("e", (Constant("tmp"), Constant("tmp")))
+            instance.add(doomed)
+            instance.discard(doomed)
+            return instance
+
+        with execution_mode("batch"):
+            expected = list(
+                ChaseEngine()
+                .chase(tombstoned_instance(), program, reuse_instance=True)
+                .instance
+            )
+        with execution_mode("parallel", WORKERS), parallel_threshold_override(0):
+            STATS.reset()
+            got = list(
+                ChaseEngine()
+                .chase(tombstoned_instance(), program, reuse_instance=True)
+                .instance
+            )
+            assert STATS.parallel_tasks == 0
+            assert STATS.parallel_fallbacks > 0
+        assert got == expected
+
+    def test_nested_engine_runs_rearm_the_pool(self):
+        # A warded run interleaved between two halves of a semi-naive run
+        # (here: two back-to-back runs sharing the pool) must not leak one
+        # session's replica state into the other.
+        tc = parse_program(
+            """
+            triple(?X, knows, ?Y) -> knows(?X, ?Y).
+            knows(?X, ?Y) -> connected(?X, ?Y).
+            connected(?X, ?Y), knows(?Y, ?Z) -> connected(?X, ?Z).
+            """
+        )
+        g1 = random_rdf_graph(n_triples=100, n_nodes=15, seed=12).to_database()
+        g2 = random_rdf_graph(n_triples=100, n_nodes=15, seed=13).to_database()
+        with execution_mode("batch"):
+            expected1 = list(SemiNaiveEvaluator(tc).evaluate(g1))
+            expected2 = list(SemiNaiveEvaluator(tc).evaluate(g2))
+        with execution_mode("parallel", WORKERS), parallel_threshold_override(0):
+            assert list(SemiNaiveEvaluator(tc).evaluate(g1)) == expected1
+            assert list(SemiNaiveEvaluator(tc).evaluate(g2)) == expected2
+            assert list(SemiNaiveEvaluator(tc).evaluate(g1)) == expected1

@@ -3,6 +3,8 @@
 from repro.owl.rdf_mapping import ontology_to_graph
 from repro.rdf.namespaces import OWL, RDFS
 from repro.workloads.graphs import (
+    chain_graph,
+    layered_graph,
     paper_transport_graph,
     random_rdf_graph,
     random_undirected_graph,
@@ -16,6 +18,7 @@ from repro.workloads.ontologies import (
     chain_basic_graph_pattern,
     chain_ontology,
     chain_ontology_graph,
+    lubm_style_ontology,
     university_ontology,
 )
 from repro.workloads.queries import author_queries, random_bgp, random_pattern
@@ -99,6 +102,49 @@ class TestUniversityOntology:
         from repro.owl.rdf_mapping import graph_to_ontology
 
         ontology = university_ontology(n_departments=1, students_per_department=3)
+        recovered = graph_to_ontology(ontology_to_graph(ontology))
+        assert len(recovered.axioms) == len(ontology.axioms)
+
+
+class TestScaleGraphs:
+    def test_chain_graph_shape(self):
+        graph = chain_graph(10)
+        assert len(graph) == 10
+        assert ("c0", "knows", "c1") in graph
+        assert ("c9", "knows", "c10") in graph
+
+    def test_chain_graph_branches(self):
+        graph = chain_graph(5, branches_per_node=2)
+        assert len(graph) == 5 + 5 * 2
+        assert ("c3", "knows", "c3b1") in graph
+
+    def test_layered_graph_edges_stay_between_adjacent_layers(self):
+        graph = layered_graph(4, 6, out_degree=2, seed=9)
+        for triple in graph:
+            src_layer = int(triple.subject.value[1 : triple.subject.value.index("n")])
+            dst_layer = int(triple.object.value[1 : triple.object.value.index("n")])
+            assert dst_layer == src_layer + 1
+        assert graph == layered_graph(4, 6, out_degree=2, seed=9)
+
+
+class TestLubmStyleOntology:
+    def test_scaling_across_universities(self):
+        small = lubm_style_ontology(n_universities=1, departments_per_university=1)
+        large = lubm_style_ontology(n_universities=3, departments_per_university=3)
+        assert len(large.axioms) > len(small.axioms)
+        assert small.is_positive()
+
+    def test_deterministic_given_seed(self):
+        first = lubm_style_ontology(n_universities=2, seed=4)
+        second = lubm_style_ontology(n_universities=2, seed=4)
+        assert ontology_to_graph(first) == ontology_to_graph(second)
+
+    def test_graph_representation_parses_back(self):
+        from repro.owl.rdf_mapping import graph_to_ontology
+
+        ontology = lubm_style_ontology(
+            n_universities=1, departments_per_university=1, students_per_department=4
+        )
         recovered = graph_to_ontology(ontology_to_graph(ontology))
         assert len(recovered.axioms) == len(ontology.axioms)
 
