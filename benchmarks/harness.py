@@ -65,7 +65,7 @@ from repro.engine.mode import execution_mode  # noqa: E402
 from repro.engine.parallel import shutdown_pool  # noqa: E402
 from repro.engine.stats import STATS  # noqa: E402
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine_core.json")
 MODES = ("row", "batch", "parallel")
 # An empty string counts as unset, matching repro.engine.mode (CI matrices
@@ -253,6 +253,18 @@ def run_scenario(
             "facts_per_second": (
                 round(last_stats["facts_added"] / median) if median > 0 else None
             ),
+            # Schema v4: first-class streaming columns.  ``delta_rounds`` is
+            # the number of incremental delta rounds a streaming scenario
+            # executed; ``incremental_speedup`` is recompute-per-arrival wall
+            # time over the *measured* incremental wall time (min run, the
+            # least noise-sensitive estimate).  Both are None for
+            # non-streaming scenarios.
+            "delta_rounds": proxy.extra_info.get("delta_rounds"),
+            "incremental_speedup": (
+                round(proxy.extra_info["recompute_seconds"] / min(runs), 2)
+                if proxy.extra_info.get("recompute_seconds") and min(runs) > 0
+                else None
+            ),
             "extra": {
                 k: v
                 for k, v in sorted(proxy.extra_info.items())
@@ -356,6 +368,17 @@ def compare_to_baseline(
                 regressions.append(
                     f"{record['id']}: {counter} {now} vs baseline {then} "
                     f"(+{(now / then - 1) * 100:.0f}%)"
+                )
+        # incremental_speedup (schema v4) is a within-run ratio, so it needs
+        # no machine normalisation; it gates streaming scenarios against the
+        # incremental path degenerating toward recomputation.  Halving the
+        # baseline ratio (or dropping below break-even) fails; smaller noise
+        # on the unmeasured recompute probe does not.
+        now, then = record.get("incremental_speedup"), base.get("incremental_speedup")
+        if now is not None and then:
+            if now < max(1.0, then * 0.5):
+                regressions.append(
+                    f"{record['id']}: incremental_speedup {now}x vs baseline {then}x"
                 )
         # pivots_skipped gates in the opposite direction: a *drop* means the
         # cost-based pivot selection stopped skipping (delta rounds probing

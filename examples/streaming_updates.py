@@ -1,0 +1,68 @@
+"""Streaming updates: keep a materialisation fresh with a ``DeltaSession``.
+
+The batch engines recompute the whole fixpoint per run; a
+:class:`~repro.engine.incremental.DeltaSession` materialises once and then
+*resumes* evaluation from each batch of new facts — including correct
+handling of stratified negation, where new facts can *withdraw* previously
+derived conclusions (the session re-runs exactly the strata whose negation
+references changed).
+
+The scenario: a small social graph with transitive reachability and a
+negation rule flagging one-way relationships.  We load an initial graph,
+then feed three delta batches, querying between arrivals.
+
+Run with::
+
+    python examples/streaming_updates.py
+"""
+
+from repro import DeltaSession
+
+PROGRAM = """
+    triple(?X, follows, ?Y) -> follows(?X, ?Y).
+    follows(?X, ?Y) -> reaches(?X, ?Y).
+    reaches(?X, ?Y), follows(?Y, ?Z) -> reaches(?X, ?Z).
+    follows(?X, ?Y), not reaches(?Y, ?X) -> unreciprocated(?X, ?Y).
+"""
+
+INITIAL = [
+    ("ana", "follows", "bo"),
+    ("bo", "follows", "cem"),
+]
+
+BATCHES = [
+    # 1. the chain grows: new reachability, nothing withdrawn
+    [("cem", "follows", "dee"), ("dee", "follows", "eli")],
+    # 2. a cycle closes: `bo -> ana` makes earlier one-way edges mutual,
+    #    so the negation stratum is re-run and facts are *withdrawn*
+    [("bo", "follows", "ana")],
+    # 3. a newcomer attaches to the existing component
+    [("fay", "follows", "ana")],
+]
+
+
+def show(session, label):
+    reaches = sorted((str(a), str(b)) for a, b in session.query("reaches"))
+    oneway = sorted((str(a), str(b)) for a, b in session.query("unreciprocated"))
+    print(f"{label}: {len(session)} facts")
+    print(f"  reaches        : {reaches}")
+    print(f"  unreciprocated : {oneway}")
+
+
+def main():
+    with DeltaSession(PROGRAM, INITIAL) as session:
+        show(session, "initial load")
+        for i, batch in enumerate(BATCHES, start=1):
+            result = session.push(batch)
+            action = (
+                f"re-ran strata >= {result.rebuilt_from}"
+                if result.rebuilt_from is not None
+                else f"continued from stratum {result.affected_stratum} "
+                f"in {result.rounds} delta round(s)"
+            )
+            print(f"\nbatch {i} ({result.new_edb} new facts, {action})")
+            show(session, f"after batch {i}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Fail on broken relative links in the repo's Markdown documentation.
+
+Scans the documentation tier — ``README.md``, ``docs/*.md``, and the
+package-level READMEs — for Markdown links and validates every *relative*
+target against the working tree (anchors and external ``http(s)``/``mailto``
+targets are ignored; absolute paths are rejected as unportable).  Run by the
+CI lint job and by ``tests/test_docs_links.py``, so a file rename that
+orphans a docs link fails before merge.
+
+Usage::
+
+    python scripts/check_doc_links.py            # checks the default set
+    python scripts/check_doc_links.py FILE...    # checks specific files
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Inline Markdown links: [text](target); images share the syntax.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+DEFAULT_DOCS = (
+    ["README.md", "ROADMAP.md"]
+    + sorted(glob.glob("docs/*.md", root_dir=REPO_ROOT))
+    + ["benchmarks/README.md", "src/repro/engine/README.md"]
+)
+
+
+def check_file(path: str) -> list:
+    """Broken-link messages for one Markdown file (empty when clean)."""
+    problems = []
+    full = os.path.join(REPO_ROOT, path)
+    with open(full, encoding="utf-8") as handle:
+        text = handle.read()
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        if target.startswith("/"):
+            problems.append(f"{path}: absolute link {target!r} is unportable")
+            continue
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(full), target.split("#", 1)[0])
+        )
+        if not os.path.exists(resolved):
+            problems.append(f"{path}: broken relative link {target!r}")
+    return problems
+
+
+def main(argv) -> int:
+    """Check every given (or default) doc; print problems; non-zero on any."""
+    docs = argv or [doc for doc in DEFAULT_DOCS if os.path.exists(os.path.join(REPO_ROOT, doc))]
+    problems = []
+    for path in docs:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} broken doc link(s)", file=sys.stderr)
+        return 1
+    print(f"doc links OK ({len(docs)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -48,7 +48,12 @@ from repro.core import (
     extract_proof_tree,
 )
 
+# Imported last: the streaming subsystem builds on the datalog layer above.
+from repro.engine.incremental import DeltaSession, PushResult
+
 __all__ = [
+    "DeltaSession",
+    "PushResult",
     "__version__",
     "Atom",
     "Constant",

@@ -100,6 +100,7 @@ class Atom:
 
     @property
     def arity(self) -> int:
+        """The number of term positions."""
         return len(self.terms)
 
     @property
@@ -109,10 +110,12 @@ class Atom:
 
     @property
     def constants(self) -> FrozenSet[Constant]:
+        """The constants occurring in the atom."""
         return frozenset(t for t in self.terms if isinstance(t, Constant))
 
     @property
     def nulls(self) -> FrozenSet[Null]:
+        """The labelled nulls occurring in the atom."""
         return frozenset(t for t in self.terms if isinstance(t, Null))
 
     @property

@@ -29,14 +29,15 @@ that match ad-hoc atom sequences (constraint checks, analysis, tests).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, Optional, Sequence, Set, Tuple
 
 from repro.datalog.atoms import Atom, unify_with_fact
 from repro.datalog.database import Instance
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
-from repro.datalog.terms import Null, Term, Variable
+from repro.datalog.terms import Constant, Null, Term, Variable
 from repro.engine.mode import batch_enabled
 from repro.engine.parallel import maybe_session
 from repro.engine.plan import compile_body, compile_rule
@@ -56,9 +57,65 @@ class ChaseResult:
     completed: bool
     limit_reason: Optional[str] = None
     invented_nulls: int = 0
+    #: Delta rounds executed by :meth:`ChaseEngine.resume` (0 for full runs).
+    delta_rounds: int = 0
 
     def __iter__(self) -> Iterator[Atom]:
         return iter(self.instance)
+
+
+@dataclass
+class ChaseState:
+    """Resumable bookkeeping carried across incremental chase rounds.
+
+    A :class:`~repro.engine.incremental.DeltaSession` hands the same state
+    object to the initial :meth:`ChaseEngine.chase` and every later
+    :meth:`ChaseEngine.resume`, so the null-depth map survives between
+    batches (depth bounds keep applying to continuation rounds) and the
+    session can report lifetime totals.  The ``max_steps`` budget stays
+    *per call*: each push gets a fresh allowance — bounding a runaway
+    program without an ever-growing total eventually bricking a long-lived
+    stream — while ``steps``/``invented`` accumulate for reporting.
+    """
+
+    #: Invention depth of every labelled null seen so far (inputs are 0).
+    null_depth: Dict[Null, int] = field(default_factory=dict)
+    #: Cumulative restricted-chase steps fired under this state (reporting
+    #: only; the per-call budget does not read it).
+    steps: int = 0
+    #: Cumulative nulls invented under this state.
+    invented: int = 0
+
+
+#: Rule -> stable textual signature, the deterministic-null key component.
+#: Cached because resumable sessions re-enter the chase once per push per
+#: stratum, and re-serialising every rule each time is pure waste (rules are
+#: immutable and hash by content, like the plan caches' keys).
+_SIGNATURE_CACHE: Dict[Rule, str] = {}
+
+
+def _rule_signature(rule: Rule) -> str:
+    """The cached ``str(rule)`` used in deterministic-null keys."""
+    signature = _SIGNATURE_CACHE.get(rule)
+    if signature is None:
+        if len(_SIGNATURE_CACHE) >= 4096:
+            _SIGNATURE_CACHE.clear()
+        signature = _SIGNATURE_CACHE[rule] = str(rule)
+    return signature
+
+
+def _term_key(value: Term) -> str:
+    """A stable, collision-free serialisation of a ground term (nulls allowed).
+
+    Length-prefixed (netstring style): term values are arbitrary strings, so
+    separator characters alone could let two distinct frontiers serialise
+    identically; a prefix-free encoding cannot alias.
+    """
+    if isinstance(value, Constant):
+        return f"c{len(value.value)}:{value.value}"
+    if isinstance(value, Null):
+        return f"n{len(value.label)}:{value.label}"
+    raise TypeError(f"frontier values must be ground terms, got {value!r}")
 
 
 def match_atoms(
@@ -99,13 +156,40 @@ class ChaseEngine:
         max_null_depth: Optional[int] = None,
         on_limit: str = "raise",
         restricted: bool = True,
+        deterministic_nulls: bool = False,
     ):
+        """Configure resource bounds and chase variant.
+
+        ``deterministic_nulls=True`` replaces the global ``Null.fresh``
+        counter with content-addressed labels: each invented null is named by
+        a digest of (rule, frontier binding, existential variable), so the
+        *same* trigger invents the *same* null in every run — a cold run, an
+        incremental :class:`~repro.engine.incremental.DeltaSession`
+        continuation, or a stratum re-run all agree label for label.  Under
+        the restricted chase this is purely a naming change (a trigger never
+        fires twice: the second time its head is already satisfied); under
+        the oblivious chase two triggers that agree on the frontier share
+        nulls, which collapses their head facts — leave it off there unless
+        that identification is wanted.
+        """
         if on_limit not in ("raise", "stop"):
             raise ValueError("on_limit must be 'raise' or 'stop'")
         self.max_steps = max_steps
         self.max_null_depth = max_null_depth
         self.on_limit = on_limit
         self.restricted = restricted
+        self.deterministic_nulls = deterministic_nulls
+
+    def _fresh_null(
+        self, signature: str, frontier_values, existential: Variable
+    ) -> Null:
+        """Invent one null: globally fresh, or content-addressed (stable)."""
+        if not self.deterministic_nulls:
+            return Null.fresh(existential.name.lower())
+        parts = (signature, existential.name, *map(_term_key, frontier_values))
+        key = "".join(f"{len(part)}:{part}" for part in parts)
+        digest = hashlib.sha1(key.encode("utf-8")).hexdigest()[:16]
+        return Null(f"_:d{digest}")
 
     # -- public API ------------------------------------------------------------
 
@@ -117,6 +201,7 @@ class ChaseEngine:
         *,
         reuse_instance: bool = False,
         session=None,
+        state: Optional[ChaseState] = None,
     ) -> ChaseResult:
         """Run the chase of ``program`` over ``database``.
 
@@ -140,6 +225,13 @@ class ChaseEngine:
         per stratum) reuses one worker replica instead of resetting and
         re-shipping the whole instance per call; it is ignored unless it is
         bound to the instance actually chased, and never closed here.
+
+        ``state`` carries resumable bookkeeping (:class:`ChaseState`): when
+        supplied, the null-depth map is read from and written back to it and
+        the lifetime step/null totals accumulate onto it — this is how
+        :class:`~repro.engine.incremental.DeltaSession` threads an initial
+        chase and its later :meth:`resume` continuations together.  The
+        ``max_steps`` budget stays per call.
         """
         # Otherwise copy into a plain Instance: the working set may receive
         # nulls even when the input is a (constants-only) Database, and the
@@ -149,7 +241,12 @@ class ChaseEngine:
         else:
             instance = Instance(database)
         reference = negation_reference if negation_reference is not None else instance
-        null_depth: Dict[Null, int] = {n: 0 for n in instance.nulls()}
+        if state is None:
+            null_depth: Dict[Null, int] = {n: 0 for n in instance.nulls()}
+        else:
+            null_depth = state.null_depth
+            for null in instance.nulls():
+                null_depth.setdefault(null, 0)
         compiled = [compile_rule(rule) for rule in program.rules]
 
         # Body matching honours the process-wide execution mode; all paths
@@ -173,19 +270,22 @@ class ChaseEngine:
 
         try:
             return self._chase_loop(
-                instance, reference, compiled, null_depth, use_batch, session
+                instance, reference, compiled, null_depth, use_batch, session, state
             )
         finally:
             if owned_session is not None:
                 owned_session.close()
 
     def _chase_loop(
-        self, instance, reference, compiled, null_depth, use_batch, session
+        self, instance, reference, compiled, null_depth, use_batch, session, state=None
     ) -> ChaseResult:
         steps = 0
         invented = 0
         fired: Set[Tuple[int, Tuple[Tuple[Variable, Term], ...]]] = set()
         limit_reason: Optional[str] = None
+        signatures = (
+            [_rule_signature(crule.rule) for crule in compiled] if self.deterministic_nulls else None
+        )
 
         changed = True
         while changed:
@@ -252,9 +352,20 @@ class ChaseEngine:
                             raise ChaseNonTermination(limit_reason)
                         continue
                     if use_batch:
+                        if signatures is not None and crule.sorted_existentials:
+                            frontier = tuple(
+                                trigger[slot] for _, slot in ops.frontier_slots
+                            )
+                        else:
+                            frontier = ()
                         fresh_nulls = []
                         for existential in crule.sorted_existentials:
-                            fresh = Null.fresh(existential.name.lower())
+                            if signatures is None:
+                                fresh = Null.fresh(existential.name.lower())
+                            else:
+                                fresh = self._fresh_null(
+                                    signatures[rule_index], frontier, existential
+                                )
                             fresh_nulls.append(fresh)
                             null_depth[fresh] = depth + 1
                             invented += 1
@@ -263,8 +374,19 @@ class ChaseEngine:
                         )
                     else:
                         extension = dict(trigger)
+                        if signatures is not None and crule.sorted_existentials:
+                            frontier = tuple(
+                                trigger[variable] for variable in crule.sorted_frontier
+                            )
+                        else:
+                            frontier = ()
                         for existential in crule.sorted_existentials:
-                            fresh = Null.fresh(existential.name.lower())
+                            if signatures is None:
+                                fresh = Null.fresh(existential.name.lower())
+                            else:
+                                fresh = self._fresh_null(
+                                    signatures[rule_index], frontier, existential
+                                )
                             extension[existential] = fresh
                             null_depth[fresh] = depth + 1
                             invented += 1
@@ -284,6 +406,9 @@ class ChaseEngine:
                 break
 
         STATS.nulls_invented += invented
+        if state is not None:
+            state.steps += steps
+            state.invented += invented
         if limit_reason and self.on_limit == "raise":
             raise ChaseNonTermination(limit_reason)
         return ChaseResult(
@@ -292,6 +417,219 @@ class ChaseEngine:
             completed=limit_reason is None,
             limit_reason=limit_reason,
             invented_nulls=invented,
+        )
+
+    def resume(
+        self,
+        instance: Instance,
+        program: Program,
+        delta: Instance,
+        negation_reference: Optional[Instance] = None,
+        *,
+        state: Optional[ChaseState] = None,
+        session=None,
+    ) -> ChaseResult:
+        """Continue a completed chase after new facts were appended.
+
+        ``instance`` is the live result of an earlier chase of ``program``
+        (typically run with ``reuse_instance=True``) that has since received
+        new facts; ``delta`` holds exactly those new facts (they must already
+        be present in ``instance``).  Instead of re-enumerating every rule
+        body, each round runs only the semi-naive pivot plans against the
+        current delta — sound for the restricted chase because a trigger not
+        seen before must read at least one new fact, previously skipped
+        triggers stay skipped (their heads remain satisfied: facts are never
+        deleted), and previously fired triggers would be skipped again for
+        the same reason.  The oblivious chase re-fires old triggers by
+        definition, so resuming it is refused.
+
+        Negated body atoms are checked per trigger against
+        ``negation_reference`` exactly as in :meth:`chase`.  ``state``
+        (:class:`ChaseState`) carries the null-depth map and the lifetime
+        step/null totals from the initial run (the ``max_steps`` budget is
+        per call); ``session`` is an externally owned
+        :class:`~repro.engine.parallel.ParallelSession` bound to
+        ``instance``, re-armed here for every delta round so streaming
+        callers keep one synced worker replica across batches.
+
+        Returns a :class:`ChaseResult` whose ``steps`` / ``invented_nulls``
+        count this continuation and whose ``delta_rounds`` reports the
+        rounds executed.
+        """
+        if not self.restricted:
+            raise ValueError(
+                "incremental continuation requires the restricted chase: the "
+                "oblivious chase fires every trigger exactly once and cannot "
+                "skip the old ones on resumption"
+            )
+        if state is None:
+            state = ChaseState(null_depth={n: 0 for n in instance.nulls()})
+        null_depth = state.null_depth
+        reference = negation_reference if negation_reference is not None else instance
+        compiled = [compile_rule(rule) for rule in program.rules]
+        signatures = (
+            [_rule_signature(crule.rule) for crule in compiled] if self.deterministic_nulls else None
+        )
+        use_batch = batch_enabled()
+        owned_session = None
+        if session is not None and (
+            not use_batch or session.instance is not instance
+        ):
+            session = None
+        if session is None and use_batch:
+            session = owned_session = maybe_session(instance, compiled)
+        try:
+            return self._resume_loop(
+                instance,
+                reference,
+                compiled,
+                signatures,
+                state,
+                use_batch,
+                session,
+                delta,
+            )
+        finally:
+            if owned_session is not None:
+                owned_session.close()
+
+    def _resume_loop(
+        self, instance, reference, compiled, signatures, state, use_batch, session, delta
+    ) -> ChaseResult:
+        # The per-trigger core below deliberately mirrors _chase_loop's (in
+        # both executor flavours) rather than sharing a helper: the cold
+        # chase is the hottest interpreted loop in the library and a
+        # per-trigger function call there is measurable.  A semantic change
+        # to negation/head-satisfaction/budget/null-invention handling must
+        # be applied to both loops — the incremental parity suite
+        # (tests/test_engine_incremental_parity.py) is the tripwire.
+        steps = 0
+        null_depth = state.null_depth
+        invented = 0
+        rounds = 0
+        limit_reason: Optional[str] = None
+
+        while len(delta) and not limit_reason:
+            rounds += 1
+            new_delta = Instance()
+            for rule_index, crule in enumerate(compiled):
+                rule = crule.rule
+                if use_batch:
+                    if session is not None:
+                        batches = session.trigger_row_batches(crule, delta, None)
+                    else:
+                        batches = crule.trigger_row_batches(instance, delta, None)
+                    for plan, rows in batches:
+                        ops = crule.row_ops(plan)
+                        for trigger in rows:
+                            if crule.negation and ops.negation_blocked_row(
+                                trigger, reference
+                            ):
+                                continue
+                            if self._head_satisfied_row(crule, ops, trigger, instance):
+                                continue
+                            if steps >= self.max_steps:
+                                limit_reason = f"max_steps={self.max_steps} exceeded"
+                                break
+                            depth = self._values_depth(trigger, null_depth)
+                            if (
+                                self.max_null_depth is not None
+                                and rule.has_existentials
+                                and depth + 1 > self.max_null_depth
+                            ):
+                                limit_reason = (
+                                    f"max_null_depth={self.max_null_depth} exceeded"
+                                )
+                                if self.on_limit == "raise":
+                                    raise ChaseNonTermination(limit_reason)
+                                continue
+                            if signatures is not None and crule.sorted_existentials:
+                                frontier = tuple(
+                                    trigger[slot] for _, slot in ops.frontier_slots
+                                )
+                            else:
+                                frontier = ()
+                            fresh_nulls = []
+                            for existential in crule.sorted_existentials:
+                                if signatures is None:
+                                    fresh = Null.fresh(existential.name.lower())
+                                else:
+                                    fresh = self._fresh_null(
+                                        signatures[rule_index], frontier, existential
+                                    )
+                                fresh_nulls.append(fresh)
+                                null_depth[fresh] = depth + 1
+                                invented += 1
+                            steps += 1
+                            STATS.triggers_fired += 1
+                            for fact in ops.head_facts_row(
+                                trigger + tuple(fresh_nulls)
+                            ):
+                                if instance.add_fact(fact):
+                                    new_delta.add_fact(fact)
+                        if limit_reason:
+                            break
+                else:
+                    for trigger in list(crule.delta_substitutions(instance, delta)):
+                        if crule.negation and crule.negation_blocked(
+                            trigger, reference
+                        ):
+                            continue
+                        if crule.head_satisfied(trigger, instance):
+                            continue
+                        if steps >= self.max_steps:
+                            limit_reason = f"max_steps={self.max_steps} exceeded"
+                            break
+                        depth = self._values_depth(trigger.values(), null_depth)
+                        if (
+                            self.max_null_depth is not None
+                            and rule.has_existentials
+                            and depth + 1 > self.max_null_depth
+                        ):
+                            limit_reason = (
+                                f"max_null_depth={self.max_null_depth} exceeded"
+                            )
+                            if self.on_limit == "raise":
+                                raise ChaseNonTermination(limit_reason)
+                            continue
+                        extension = dict(trigger)
+                        if signatures is not None and crule.sorted_existentials:
+                            frontier = tuple(
+                                trigger[variable] for variable in crule.sorted_frontier
+                            )
+                        else:
+                            frontier = ()
+                        for existential in crule.sorted_existentials:
+                            if signatures is None:
+                                fresh = Null.fresh(existential.name.lower())
+                            else:
+                                fresh = self._fresh_null(
+                                    signatures[rule_index], frontier, existential
+                                )
+                            extension[existential] = fresh
+                            null_depth[fresh] = depth + 1
+                            invented += 1
+                        steps += 1
+                        STATS.triggers_fired += 1
+                        for fact in crule.head_facts(extension):
+                            if instance.add_fact(fact):
+                                new_delta.add_fact(fact)
+                if limit_reason:
+                    break
+            delta = new_delta
+
+        STATS.nulls_invented += invented
+        state.steps += steps
+        state.invented += invented
+        if limit_reason and self.on_limit == "raise":
+            raise ChaseNonTermination(limit_reason)
+        return ChaseResult(
+            instance=instance,
+            steps=steps,
+            completed=limit_reason is None,
+            limit_reason=limit_reason,
+            invented_nulls=invented,
+            delta_rounds=rounds,
         )
 
     # -- helpers ------------------------------------------------------------------

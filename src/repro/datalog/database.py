@@ -136,9 +136,11 @@ class Instance:
         return f"{type(self).__name__}({len(self._ordinals)} atoms)"
 
     def copy(self) -> "Instance":
+        """An independent instance with the same facts (fresh index)."""
         return type(self)(self._ordinals)
 
     def to_set(self) -> FrozenSet[Atom]:
+        """The facts as a frozen set."""
         return frozenset(self._ordinals)
 
     def snapshot(self) -> InstanceSnapshot:
@@ -184,6 +186,7 @@ class Instance:
 
     @property
     def predicates(self) -> FrozenSet[str]:
+        """Predicates with at least one live fact."""
         return frozenset(
             predicate for predicate, count in self._index.live.items() if count
         )
@@ -193,11 +196,13 @@ class Instance:
         return frozenset(t for atom in self._ordinals for t in atom.terms)
 
     def constants(self) -> FrozenSet[Constant]:
+        """All constants occurring in the instance."""
         return frozenset(
             t for atom in self._ordinals for t in atom.terms if isinstance(t, Constant)
         )
 
     def nulls(self) -> FrozenSet[Null]:
+        """All labelled nulls occurring in the instance."""
         return frozenset(
             t for atom in self._ordinals for t in atom.terms if isinstance(t, Null)
         )
@@ -207,6 +212,7 @@ class Instance:
         return Instance(a for a in self._ordinals if a.is_ground)
 
     def arity_of(self, predicate: str) -> Optional[int]:
+        """The arity of ``predicate``'s facts, or None if absent."""
         rows = self._index.rows.get(predicate)
         if rows:
             for fact in rows:
@@ -225,6 +231,7 @@ class Database(Instance):
     __slots__ = ()
 
     def add(self, atom: Atom) -> bool:
+        """Add a ground fact over constants; rejects nulls and variables."""
         if not atom.is_ground:
             raise ValueError(
                 f"databases may only contain ground atoms over constants; got {atom}"
@@ -240,10 +247,12 @@ class Database(Instance):
         return f"databases may only contain ground atoms over constants; got {atom}"
 
     def add_fact(self, atom: Atom) -> bool:
+        """Trusted-path add, still enforcing the constants-only invariant."""
         # The trusted fast path must not bypass the constants-only invariant.
         if not atom.is_ground:
             raise ValueError(self._invalid_message(atom))
         return super().add_fact(atom)
 
     def copy(self) -> "Database":
+        """An independent database with the same facts."""
         return Database(self._ordinals)

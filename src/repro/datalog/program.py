@@ -47,6 +47,7 @@ class Program:
         return self.union(other)
 
     def with_rules(self, extra: Iterable[Rule]) -> "Program":
+        """A new program with ``extra`` rules appended (constraints kept)."""
         return Program(tuple(self.rules) + tuple(extra), self.constraints)
 
     # -- basic protocol ---------------------------------------------------------
@@ -113,6 +114,7 @@ class Program:
 
     @property
     def body_predicates(self) -> FrozenSet[str]:
+        """Predicates occurring in some rule body (either polarity)."""
         preds: Set[str] = set()
         for rule in self.rules:
             preds |= rule.body_predicates
@@ -127,6 +129,7 @@ class Program:
 
     @property
     def constants(self) -> FrozenSet[Constant]:
+        """All constants mentioned by the rules and constraints."""
         consts: Set[Constant] = set()
         for rule in self.rules:
             consts |= rule.constants
@@ -164,21 +167,26 @@ class Program:
 
     @property
     def has_existentials(self) -> bool:
+        """True iff some rule has existential head variables."""
         return any(r.has_existentials for r in self.rules)
 
     @property
     def has_negation(self) -> bool:
+        """True iff some rule has negated body atoms."""
         return any(r.has_negation for r in self.rules)
 
     @property
     def has_constraints(self) -> bool:
+        """True iff the program carries negative constraints."""
         return bool(self.constraints)
 
     @property
     def is_plain_datalog(self) -> bool:
+        """True iff plain Datalog: no existentials, negation, or constraints."""
         return not (self.has_existentials or self.has_negation or self.has_constraints)
 
     def rules_defining(self, predicate: str) -> Tuple[Rule, ...]:
+        """The rules whose head mentions ``predicate``."""
         return tuple(r for r in self.rules if predicate in r.head_predicates)
 
     def fresh_predicate(self, prefix: str) -> str:

@@ -141,22 +141,26 @@ class Rule:
 
     @property
     def positive_body_variables(self) -> FrozenSet[Variable]:
+        """Variables of the positive body atoms."""
         return frozenset(
             v for atom in self.body_positive for v in atom.variables
         )
 
     @property
     def negative_body_variables(self) -> FrozenSet[Variable]:
+        """Variables of the negated body atoms."""
         return frozenset(
             v for atom in self.body_negative for v in atom.variables
         )
 
     @property
     def body_variables(self) -> FrozenSet[Variable]:
+        """Variables occurring anywhere in the body."""
         return self.positive_body_variables | self.negative_body_variables
 
     @property
     def head_variables(self) -> FrozenSet[Variable]:
+        """Variables occurring in the head."""
         return frozenset(v for atom in self.head for v in atom.variables)
 
     @property
@@ -166,20 +170,24 @@ class Rule:
 
     @property
     def variables(self) -> FrozenSet[Variable]:
+        """All variables of the rule."""
         return self.body_variables | self.head_variables | self.existential_variables
 
     @property
     def constants(self) -> FrozenSet[Constant]:
+        """All constants of the rule."""
         return frozenset(
             c for atom in self.body + self.head for c in atom.constants
         )
 
     @property
     def has_existentials(self) -> bool:
+        """True iff the head has existential variables."""
         return bool(self.existential_variables)
 
     @property
     def has_negation(self) -> bool:
+        """True iff the body has negated atoms."""
         return bool(self.body_negative)
 
     @property
@@ -189,14 +197,17 @@ class Rule:
 
     @property
     def head_predicates(self) -> FrozenSet[str]:
+        """Predicates of the head atoms."""
         return frozenset(a.predicate for a in self.head)
 
     @property
     def body_predicates(self) -> FrozenSet[str]:
+        """Predicates of the body atoms (either polarity)."""
         return frozenset(a.predicate for a in self.body)
 
     @property
     def predicates(self) -> FrozenSet[str]:
+        """All predicates of the rule."""
         return self.head_predicates | self.body_predicates
 
     # -- transformations --------------------------------------------------------
@@ -306,10 +317,12 @@ class Constraint:
 
     @property
     def variables(self) -> FrozenSet[Variable]:
+        """Variables of the constraint body."""
         return frozenset(v for atom in self.body for v in atom.variables)
 
     @property
     def body_predicates(self) -> FrozenSet[str]:
+        """Predicates of the constraint body."""
         return frozenset(a.predicate for a in self.body)
 
     def to_rule(self, witness_predicate: str, arity: int, star: Constant) -> Rule:

@@ -98,6 +98,21 @@ class StratifiedSemantics:
             return INCONSISTENT
         return current
 
+    def delta_session(self, database: Iterable[Atom] = ()):
+        """An incremental session computing ``Pi(D)`` over a growing ``D``.
+
+        Materialises ``database`` once with this semantics' chase engine and
+        returns a :class:`~repro.engine.incremental.DeltaSession`: batches of
+        new EDB facts fed to :meth:`~repro.engine.incremental.DeltaSession.push`
+        resume evaluation from the affected strata only, instead of
+        recomputing the stratified fixpoint from scratch.
+        """
+        from repro.engine.incremental import DeltaSession
+
+        return DeltaSession(
+            self.program, database, engine="chase", chase_engine=self.chase_engine
+        )
+
     def _session_for(self, current: Instance):
         """One parallel session spanning every stratum's chase (or None)."""
         from repro.engine.mode import parallel_enabled

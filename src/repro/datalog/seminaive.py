@@ -96,6 +96,29 @@ class SemiNaiveEvaluator:
                 violated.append(i)
         return violated
 
+    def resume_stratum(
+        self,
+        stratum: int,
+        instance: Instance,
+        delta: Instance,
+        negation_reference,
+        session=None,
+    ) -> int:
+        """Continue one stratum's fixpoint from an externally supplied delta.
+
+        ``instance`` must already contain the facts of ``delta`` (they are
+        the facts appended since the stratum last reached its fixpoint) and
+        ``negation_reference`` must reflect the lower strata's *current*
+        state.  This is the semi-naive entry point of the incremental
+        streaming subsystem (:class:`~repro.engine.incremental.DeltaSession`):
+        only the delta rounds run — the naive first pass already happened
+        when the stratum was first evaluated.  Returns the number of delta
+        rounds executed.
+        """
+        return self._delta_rounds(
+            self.compiled_strata[stratum], instance, delta, negation_reference, session
+        )
+
     # -- internals --------------------------------------------------------------------
 
     def _evaluate_stratum(
@@ -108,17 +131,62 @@ class SemiNaiveEvaluator:
         is sound because a stratified program never derives a negated
         predicate in the same or a higher stratum.
         """
-        # Trigger lists are materialised per rule before firing in every mode
-        # (the batch executor inherently computes whole match lists), so each
-        # evaluation point sees the same instance state regardless of mode
-        # and the executors stay trigger-for-trigger identical.  The batch
-        # path fires head facts directly from slot rows (precompiled RowOps
-        # templates); the row path goes through substitution dicts.  With a
-        # parallel ``session``, matching is fanned out to the worker pool and
-        # merged back into the same order; firing stays sequential here.
         use_batch = batch_enabled()
 
-        def fire_batches(crule, delta_sink, delta=None) -> None:
+        # First round: plain naive pass so that rules whose bodies are fully
+        # satisfied by lower strata fire at least once.
+        delta = Instance()
+        for crule in compiled:
+            self._fire_rule(
+                crule, instance, negation_reference, delta, None, session, use_batch
+            )
+
+        # Delta rounds: at least one body atom must come from the last delta.
+        self._delta_rounds(compiled, instance, delta, negation_reference, session)
+
+    def _delta_rounds(
+        self,
+        compiled: Sequence,
+        instance: Instance,
+        delta: Instance,
+        negation_reference,
+        session=None,
+    ) -> int:
+        """Run delta rounds until the fixpoint; returns the round count."""
+        use_batch = batch_enabled()
+        rounds = 0
+        while len(delta):
+            rounds += 1
+            new_delta = Instance()
+            for crule in compiled:
+                self._fire_rule(
+                    crule,
+                    instance,
+                    negation_reference,
+                    new_delta,
+                    delta,
+                    session,
+                    use_batch,
+                )
+            delta = new_delta
+        return rounds
+
+    @staticmethod
+    def _fire_rule(
+        crule, instance, negation_reference, delta_sink, delta, session, use_batch
+    ) -> None:
+        """Match and fire one rule for one round (naive when ``delta`` is None).
+
+        Trigger lists are materialised per rule before firing in every mode
+        (the batch executor inherently computes whole match lists), so each
+        evaluation point sees the same instance state regardless of mode and
+        the executors stay trigger-for-trigger identical.  The batch path
+        fires head facts directly from slot rows (precompiled RowOps
+        templates); the row path goes through substitution dicts.  With a
+        parallel ``session``, matching is fanned out to the worker pool and
+        merged back into the same order; firing stays sequential here.
+        """
+        if use_batch:
             if session is not None:
                 batches = session.trigger_row_batches(crule, delta, negation_reference)
             else:
@@ -130,8 +198,7 @@ class SemiNaiveEvaluator:
                     for fact in head_facts_row(row):
                         if instance.add_fact(fact):
                             delta_sink.add_fact(fact)
-
-        def fire_rows(crule, delta_sink, delta=None) -> None:
+        else:
             if delta is None:
                 found = list(crule.substitutions(instance))
             else:
@@ -145,21 +212,6 @@ class SemiNaiveEvaluator:
                 for fact in crule.head_facts(substitution):
                     if instance.add_fact(fact):
                         delta_sink.add_fact(fact)
-
-        fire = fire_batches if use_batch else fire_rows
-
-        # First round: plain naive pass so that rules whose bodies are fully
-        # satisfied by lower strata fire at least once.
-        delta = Instance()
-        for crule in compiled:
-            fire(crule, delta)
-
-        # Delta rounds: at least one body atom must come from the last delta.
-        while len(delta):
-            new_delta = Instance()
-            for crule in compiled:
-                fire(crule, new_delta, delta)
-            delta = new_delta
 
     @staticmethod
     def _match_with_pivot(

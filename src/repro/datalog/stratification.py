@@ -46,9 +46,11 @@ class DependencyGraph:
                     self.edges[body_atom.predicate].add((head_atom.predicate, True))
 
     def successors(self, predicate: str) -> FrozenSet[Tuple[str, bool]]:
+        """The (head predicate, negative?) pairs derived from ``predicate``."""
         return frozenset(self.edges.get(predicate, ()))
 
     def negative_edges(self) -> FrozenSet[Tuple[str, str]]:
+        """All (source, target) pairs connected by a negative edge."""
         return frozenset(
             (source, target)
             for source, targets in self.edges.items()
@@ -59,6 +61,7 @@ class DependencyGraph:
     # -- strongly connected components (iterative Tarjan) ----------------------
 
     def strongly_connected_components(self) -> List[FrozenSet[str]]:
+        """Tarjan's SCCs of the dependency graph, iteratively."""
         index_counter = [0]
         indices: Dict[str, int] = {}
         lowlinks: Dict[str, int] = {}

@@ -50,6 +50,7 @@ class Constant:
 
     @property
     def is_ground(self) -> bool:
+        """Always True: constants are ground by definition."""
         return True
 
 
@@ -93,6 +94,7 @@ class Null:
 
     @property
     def is_ground(self) -> bool:
+        """Always False: a null is a placeholder, not a ground value."""
         return False
 
 
@@ -128,6 +130,7 @@ class Variable:
 
     @property
     def is_ground(self) -> bool:
+        """Always False: variables are never ground."""
         return False
 
 

@@ -63,8 +63,26 @@ from repro.engine.plan import CompiledRule, JoinPlan, compile_body, compile_rule
 from repro.engine.shard import ShardedInstance, merge_sharded, run_batch_sharded, shard_of
 from repro.engine.stats import STATS, EngineStats
 
+# The incremental streaming subsystem builds *on top of* the datalog layer
+# (which itself imports this package), so it is re-exported lazily: an eager
+# import here would run mid-way through repro.datalog's initialisation.
+_INCREMENTAL_EXPORTS = ("DeltaSession", "PushResult", "cold_equivalent")
+
+
+def __getattr__(name: str):
+    """PEP 562 lazy re-export of :mod:`repro.engine.incremental`."""
+    if name in _INCREMENTAL_EXPORTS:
+        from repro.engine import incremental
+
+        return getattr(incremental, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "CompiledRule",
+    "DeltaSession",
+    "PushResult",
+    "cold_equivalent",
     "EngineStats",
     "InstanceSnapshot",
     "JoinPlan",

@@ -1,0 +1,522 @@
+"""Incremental streaming-delta evaluation: the :class:`DeltaSession` API.
+
+Every engine in this library is batch-oriented: hand it a database, get a
+fixpoint back.  Under a streaming workload — facts trickling in from a feed,
+a growing ontology, a social graph gaining edges — that model recomputes the
+whole materialisation per arrival, which is exactly the waste semi-naive
+evaluation exists to avoid *within* a run.  This module extends the same
+delta discipline *across* runs:
+
+* A :class:`DeltaSession` materialises an initial database once (the cold
+  fixpoint the engines already compute), then accepts batches of new EDB
+  facts via :meth:`DeltaSession.push`.  Each push appends the batch to the
+  live :class:`~repro.datalog.database.Instance` (the in-place machinery
+  behind ``ChaseEngine.chase(..., reuse_instance=True)``) and resumes
+  evaluation **from the delta only**: the precompiled semi-naive pivot plans
+  of :class:`~repro.engine.plan.CompiledRule` enumerate exactly the matches
+  that read at least one new fact, so unchanged derivations are never
+  revisited.
+* **Stratified negation** is handled by stratum arithmetic.  New EDB facts
+  of stratum ``s`` cannot change any stratum below ``s``, and *within* a
+  stratum evaluation is monotone (negated predicates live strictly below),
+  so strata up to the first one that negates a predicate of stratum ``>= s``
+  are *continued* from the delta.  From that stratum upward the negation
+  references have grown — previously derived facts may no longer be
+  derivable — so those strata (and only those) are **re-run**: their derived
+  facts are dropped, the kept lower prefix plus the accumulated EDB is
+  reloaded, and the strata are evaluated cold, exactly as
+  :class:`~repro.datalog.semantics.StratifiedSemantics` would.
+* **Null stability.**  For programs with existential rules the session runs
+  the restricted chase with *content-addressed* null labels
+  (``ChaseEngine(deterministic_nulls=True)``): an invented null is named by
+  a digest of (rule, frontier binding, existential variable), so a stratum
+  re-run re-derives byte-identical facts for every unchanged derivation and
+  a continuation invents the same nulls a cold run over the grown database
+  invents for the same triggers.  The differential suite in
+  ``tests/test_engine_incremental_parity.py`` pins the resulting parity
+  contract: existential-free sessions are **byte-identical** (sorted facts)
+  to a cold evaluation of the accumulated EDB in all three execution modes;
+  chase sessions agree byte-identically whenever the cold run fires the same
+  triggers, and always agree on the ground fact set and on query answers
+  (both results are universal models of the same database and program).
+* **Execution modes.**  Continuations run through the same row, batch, and
+  sharded-parallel executors as cold runs (:mod:`repro.engine.mode`).  In
+  parallel mode the session owns one
+  :class:`~repro.engine.parallel.ParallelSession` spanning all pushes: each
+  delta round's dispatch re-arms the worker replicas by shipping only the
+  facts appended since the last sync, so a long-lived stream pays the
+  replica cost once, not once per batch.  Every per-stratum delta is a
+  contiguous ordinal window of the live instance, which is precisely the
+  shape the parallel executor's delta dispatch requires.
+
+Deletions are out of scope: the instance is append-only (the replica and
+snapshot contracts rely on it), so the session accepts *insertions* only —
+the right model for the monotone feeds the benchmarks simulate
+(``benchmarks/bench_scale_streaming.py``; generators in
+:mod:`repro.workloads.streams`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.datalog.atoms import Atom
+from repro.datalog.chase import ChaseEngine, ChaseState, match_atoms
+from repro.datalog.database import Instance
+from repro.datalog.program import Program
+from repro.datalog.semantics import INCONSISTENT, SemanticsResult
+from repro.datalog.seminaive import SemiNaiveEvaluator
+from repro.datalog.stratification import partition_by_stratum, stratify
+from repro.datalog.terms import Term
+from repro.engine.parallel import maybe_session
+from repro.engine.plan import compile_rule
+
+
+@dataclass
+class PushResult:
+    """What one :meth:`DeltaSession.push` did.
+
+    ``derived`` is the net change in materialised facts beyond the new EDB
+    facts themselves; it can be negative when a stratum re-run withdraws
+    facts that stratified negation no longer supports.  ``rebuilt_from`` is
+    the lowest stratum that was re-run from scratch (``None`` for a pure
+    continuation), ``rounds`` counts the continuation delta rounds, and
+    ``consistent`` reports the program's constraints against the new
+    materialisation (always ``True`` for constraint-free programs).
+
+    ``completed`` is ``False`` when a bounded chase engine configured with
+    ``on_limit='stop'`` hit a resource limit during this session (the
+    ``limit_reason`` says which): the materialisation is then an
+    under-approximation of the stratified semantics and stays flagged on
+    every later push — callers that supply budgets must check it.
+    (With the default ``on_limit='raise'`` the limit surfaces as a
+    :class:`~repro.datalog.chase.ChaseNonTermination` instead.)
+    """
+
+    batch_size: int
+    new_edb: int
+    derived: int
+    affected_stratum: int
+    rebuilt_from: Optional[int]
+    rounds: int
+    consistent: bool
+    completed: bool = True
+    limit_reason: Optional[str] = None
+
+
+class DeltaSession:
+    """Incremental evaluation of a stratified program over a growing database.
+
+    Usage::
+
+        session = DeltaSession(program, initial_database)
+        session.push(batch_of_new_facts)       # resumes from the delta
+        answers = session.query("connected")   # ground tuples, any time
+        session.close()
+
+    ``program`` is a :class:`~repro.datalog.program.Program` (or rule text,
+    parsed with :func:`~repro.datalog.parser.parse_program`); facts may be
+    :class:`~repro.datalog.atoms.Atom` objects, RDF
+    :class:`~repro.rdf.graph.Triple` objects, or plain ``(s, p, o)`` string
+    triples.  ``engine`` selects the evaluator: ``"seminaive"`` (plain
+    Datalog¬s), ``"chase"`` (existential rules via the restricted chase), or
+    ``"auto"`` (chase iff the program has existentials).  A custom
+    ``chase_engine`` may supply resource bounds; it must be a *restricted*
+    chase.  Step budgets apply per push (each batch gets a fresh
+    ``max_steps`` allowance — a long-lived stream is never starved by its
+    own history), while ``ChaseState.steps`` reports the lifetime total.
+
+    The session may be used as a context manager; :meth:`close` releases the
+    parallel worker replicas (no-op outside parallel mode).
+    """
+
+    def __init__(
+        self,
+        program,
+        database: Iterable = (),
+        *,
+        engine: str = "auto",
+        chase_engine: Optional[ChaseEngine] = None,
+    ):
+        """Materialise ``database`` under ``program`` and arm the session."""
+        if isinstance(program, str):
+            from repro.datalog.parser import parse_program
+
+            program = parse_program(program)
+        if engine not in ("auto", "seminaive", "chase"):
+            raise ValueError(
+                f"engine must be 'auto', 'seminaive' or 'chase', got {engine!r}"
+            )
+        self.program: Program = program
+        self._uses_chase = engine == "chase" or (
+            engine == "auto"
+            and (program.has_existentials or chase_engine is not None)
+        )
+        if self._uses_chase:
+            self.chase_engine = chase_engine or ChaseEngine(deterministic_nulls=True)
+            if not self.chase_engine.restricted:
+                raise ValueError(
+                    "DeltaSession requires the restricted chase (the oblivious "
+                    "chase cannot skip already-fired triggers on resumption)"
+                )
+            self._evaluator = None
+            self.stratification = stratify(program.ex())
+            self.strata = partition_by_stratum(program.ex(), self.stratification)
+            self.compiled_strata = [
+                [compile_rule(rule) for rule in stratum] for stratum in self.strata
+            ]
+            self._chase_state = ChaseState()
+        else:
+            if chase_engine is not None:
+                raise ValueError("chase_engine is only meaningful with engine='chase'")
+            self.chase_engine = None
+            self._evaluator = SemiNaiveEvaluator(program)
+            self.stratification = self._evaluator.stratification
+            self.strata = self._evaluator.strata
+            self.compiled_strata = self._evaluator.compiled_strata
+            self._chase_state = None
+        self.n_strata = len(self.strata)
+        self._stratum_programs = [Program(rules) for rules in self.strata]
+        self._all_compiled = [
+            crule for stratum in self.compiled_strata for crule in stratum
+        ]
+        #: Negated predicates per stratum — the stratum-re-run trigger.
+        self._neg_preds: List[Set[str]] = [
+            {atom.predicate for rule in stratum for atom in rule.body_negative}
+            for stratum in self.strata
+        ]
+        #: predicate -> head predicates of rules reading it (any polarity);
+        #: the static "may change" reachability used to scope stratum re-runs.
+        self._dependents: Dict[str, Set[str]] = {}
+        for stratum in self.strata:
+            for rule in stratum:
+                for atom in (*rule.body_positive, *rule.body_negative):
+                    targets = self._dependents.setdefault(atom.predicate, set())
+                    for head in rule.head:
+                        targets.add(head.predicate)
+        #: The accumulated EDB in arrival order (insertion-ordered set).
+        self._edb: Dict[Atom, None] = {}
+        self.instance = Instance()
+        for fact in (self._as_fact(value) for value in database):
+            self._edb[fact] = None
+            self.instance.add_fact(fact)
+        self._closed = False
+        self._session = maybe_session(self.instance, self._all_compiled)
+        self.pushes = 0
+        #: False once a stop-mode chase engine hit a resource limit: the
+        #: materialisation is an under-approximation from then on.
+        self.completed = True
+        self.limit_reason: Optional[str] = None
+        self._materialise_from(0)
+
+    # -- streaming API -------------------------------------------------------
+
+    def push(self, facts: Iterable) -> PushResult:
+        """Feed one batch of new EDB facts and resume evaluation.
+
+        Facts already present (as EDB or as derived facts) are recorded in
+        the EDB but seed no work.  The evaluation resumed is exactly the
+        stratified semantics of the accumulated database: strata below the
+        batch's lowest stratum are untouched, monotone strata are continued
+        from the delta, and strata whose negation references changed are
+        re-run (see the module docstring for the argument).
+        """
+        if self._closed:
+            raise RuntimeError("DeltaSession is closed")
+        batch = [self._as_fact(value) for value in facts]
+        for fact in batch:
+            self._edb[fact] = None
+        size_before = len(self.instance)
+        mark = self.instance._counter
+        mark_limits = self.instance._index.row_limits()
+        added: List[Atom] = []
+        for fact in batch:
+            if self.instance.add_fact(fact):
+                added.append(fact)
+        self.pushes += 1
+        if not added:
+            return PushResult(
+                len(batch),
+                0,
+                0,
+                -1,
+                None,
+                0,
+                self._check_consistent(),
+                self.completed,
+                self.limit_reason,
+            )
+        affected = min(
+            self.stratification.get(fact.predicate, 0) for fact in added
+        )
+        rebuild_from = self._rebuild_point(affected, added)
+        stop = rebuild_from if rebuild_from is not None else self.n_strata
+        rounds = 0
+        for stratum in range(affected, stop):
+            if not self.compiled_strata[stratum]:
+                continue
+            delta = self._window_delta(mark, mark_limits)
+            reference = self.instance.snapshot()
+            rounds += self._continue_stratum(stratum, delta, reference)
+        if rebuild_from is not None:
+            self._rebuild(rebuild_from)
+        return PushResult(
+            batch_size=len(batch),
+            new_edb=len(added),
+            derived=len(self.instance) - size_before - len(added),
+            affected_stratum=affected,
+            rebuilt_from=rebuild_from,
+            rounds=rounds,
+            consistent=self._check_consistent(),
+            completed=self.completed,
+            limit_reason=self.limit_reason,
+        )
+
+    def query(self, predicate: str) -> FrozenSet[Tuple[Term, ...]]:
+        """The ground answer tuples over ``predicate`` — the paper's ``Q(D)``."""
+        return frozenset(
+            tuple(atom.terms)
+            for atom in self.instance.with_predicate(predicate)
+            if atom.is_ground
+        )
+
+    def facts(self, predicate: str) -> FrozenSet[Atom]:
+        """All materialised facts over ``predicate`` (including nulls)."""
+        return self.instance.with_predicate(predicate)
+
+    def result(self) -> SemanticsResult:
+        """``Pi(D)`` for the accumulated database: the instance, or ⊤."""
+        if not self._check_consistent():
+            return INCONSISTENT
+        return self.instance
+
+    def check_consistency(self) -> bool:
+        """True iff no constraint body embeds into the materialisation."""
+        for constraint in self.program.constraints:
+            if next(match_atoms(constraint.body, self.instance), None) is not None:
+                return False
+        return True
+
+    def close(self) -> None:
+        """Release the parallel worker replicas; the session becomes read-only."""
+        if self._session is not None:
+            self._session.close()
+            self._session = None
+        self._closed = True
+
+    def __enter__(self) -> "DeltaSession":
+        """Context-manager entry (returns the session itself)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: :meth:`close`."""
+        self.close()
+
+    def __len__(self) -> int:
+        """Number of materialised facts."""
+        return len(self.instance)
+
+    def __contains__(self, atom: Atom) -> bool:
+        """Membership test against the materialisation."""
+        return atom in self.instance
+
+    # -- internals -----------------------------------------------------------
+
+    def _materialise_from(self, first: int) -> None:
+        """Evaluate strata ``first..top`` cold on the current instance."""
+        for stratum in range(first, self.n_strata):
+            compiled = self.compiled_strata[stratum]
+            if not compiled:
+                continue
+            reference = self.instance.snapshot()
+            if self._uses_chase:
+                result = self.chase_engine.chase(
+                    self.instance,
+                    self._stratum_programs[stratum],
+                    negation_reference=reference,
+                    reuse_instance=True,
+                    session=self._session,
+                    state=self._chase_state,
+                )
+                self._note_chase_outcome(result)
+            else:
+                self._evaluator._evaluate_stratum(
+                    compiled, self.instance, reference, self._session
+                )
+
+    def _continue_stratum(self, stratum: int, delta: Instance, reference) -> int:
+        """Resume one stratum's fixpoint from ``delta``; returns round count."""
+        if self._uses_chase:
+            result = self.chase_engine.resume(
+                self.instance,
+                self._stratum_programs[stratum],
+                delta,
+                reference,
+                state=self._chase_state,
+                session=self._session,
+            )
+            self._note_chase_outcome(result)
+            return result.delta_rounds
+        return self._evaluator.resume_stratum(
+            stratum, self.instance, delta, reference, self._session
+        )
+
+    def _note_chase_outcome(self, result) -> None:
+        """Record a stop-mode resource truncation (raise mode raised already)."""
+        if not result.completed:
+            self.completed = False
+            if self.limit_reason is None:
+                self.limit_reason = result.limit_reason
+
+    def _rebuild_point(self, affected: int, added: Sequence[Atom]) -> Optional[int]:
+        """Lowest stratum above ``affected`` that must be re-run, or None.
+
+        A stratum must be re-run iff it negates a predicate whose fact set
+        can have changed.  "Can have changed" is the static upward closure of
+        the pushed predicates in the dependency graph (a predicate only gains
+        or loses facts if some rule reading a changed predicate — positively
+        or through negation — derives it); everything below the first such
+        stratum is monotone in the new facts and is continued instead.
+        """
+        changed: Set[str] = {fact.predicate for fact in added}
+        queue = list(changed)
+        while queue:
+            predicate = queue.pop()
+            for dependent in self._dependents.get(predicate, ()):
+                if dependent not in changed:
+                    changed.add(dependent)
+                    queue.append(dependent)
+        for stratum in range(affected + 1, self.n_strata):
+            if self._neg_preds[stratum] & changed:
+                return stratum
+        return None
+
+    def _rebuild(self, first: int) -> None:
+        """Re-run strata ``first..top``: drop their derivations, evaluate cold.
+
+        The new instance keeps every fact of the strata below ``first`` (in
+        their original insertion order — ordinals of surviving facts are
+        stable relative to each other) plus the accumulated EDB facts of the
+        re-run strata, then the strata are materialised exactly as an
+        initial run would.  With deterministic nulls the unchanged
+        derivations of the re-run strata come back byte-identical.
+        """
+        stratum_of = self.stratification
+        kept = [
+            atom
+            for atom in self.instance
+            if stratum_of.get(atom.predicate, 0) < first
+        ]
+        extras = [
+            fact
+            for fact in self._edb
+            if stratum_of.get(fact.predicate, 0) >= first
+        ]
+        if self._session is not None:
+            self._session.close()
+            self._session = None
+        instance = Instance()
+        instance.bulk_load(kept)
+        instance.bulk_load(extras)
+        self.instance = instance
+        self._session = maybe_session(self.instance, self._all_compiled)
+        self._materialise_from(first)
+
+    def _window_delta(self, mark: int, mark_limits: Dict[str, int]) -> Instance:
+        """The facts appended since ordinal ``mark``, as a delta instance.
+
+        ``mark_limits`` holds the per-predicate row counts captured at
+        ``mark``, so the window is collected from the index's row suffixes in
+        O(delta) — not by skipping ``mark`` entries of the ordinal map, which
+        would make every push pay for the whole accumulated history.  The
+        session's instance is append-only, so insertion position equals
+        ordinal and the re-sorted window is a contiguous, ascending ordinal
+        range — the exact shape
+        :class:`~repro.engine.parallel.ParallelSession` accepts for
+        distributed delta dispatch.
+        """
+        delta = Instance()
+        if self.instance._counter > mark:
+            fresh: List[Atom] = []
+            for predicate, rows in self.instance._index.rows.items():
+                start = mark_limits.get(predicate, 0)
+                if start < len(rows):
+                    fresh.extend(fact for fact in rows[start:] if fact is not None)
+            fresh.sort(key=self.instance._ordinals.__getitem__)
+            for atom in fresh:
+                delta.add_fact(atom)
+        return delta
+
+    def _check_consistent(self) -> bool:
+        """Constraint check, skipped entirely for constraint-free programs."""
+        if not self.program.constraints:
+            return True
+        return self.check_consistency()
+
+    @staticmethod
+    def _as_fact(value) -> Atom:
+        """Normalise an input fact: Atom, Triple, or ``(s, p, o)`` strings."""
+        if isinstance(value, Atom):
+            atom = value
+        elif hasattr(value, "to_atom"):
+            atom = value.to_atom()
+        elif isinstance(value, tuple) and len(value) == 3:
+            from repro.rdf.graph import triple_atom
+
+            atom = triple_atom(*value)
+        else:
+            raise TypeError(
+                "streamed facts must be Atoms, Triples, or (s, p, o) tuples; "
+                f"got {value!r}"
+            )
+        if not atom.is_ground:
+            raise ValueError(
+                f"streamed facts must be ground over constants; got {atom}"
+            )
+        return atom
+
+
+def cold_equivalent(
+    session_or_program,
+    database: Iterable = (),
+    *,
+    engine: str = "auto",
+    chase_engine: Optional[ChaseEngine] = None,
+) -> SemanticsResult:
+    """The cold (from-scratch) evaluation a :class:`DeltaSession` must match.
+
+    Given a session, re-evaluates its program over its *accumulated* EDB with
+    the same engine selection in one batch run — the reference side of the
+    incremental parity contract, used by the differential suite and by the
+    streaming benchmarks' recompute baseline.  Given a program (plus a
+    database), behaves like :func:`~repro.datalog.semantics.evaluate_program`
+    / :meth:`~repro.datalog.seminaive.SemiNaiveEvaluator.evaluate` under the
+    same selection rules as :class:`DeltaSession`.
+    """
+    if isinstance(session_or_program, DeltaSession):
+        session = session_or_program
+        return cold_equivalent(
+            session.program,
+            list(session._edb),
+            engine="chase" if session._uses_chase else "seminaive",
+            chase_engine=session.chase_engine,
+        )
+    program = session_or_program
+    if isinstance(program, str):
+        from repro.datalog.parser import parse_program
+
+        program = parse_program(program)
+    uses_chase = engine == "chase" or (
+        engine == "auto" and (program.has_existentials or chase_engine is not None)
+    )
+    if uses_chase:
+        from repro.datalog.semantics import StratifiedSemantics
+
+        chase = chase_engine or ChaseEngine(deterministic_nulls=True)
+        return StratifiedSemantics(program, chase).materialise(database)
+    evaluator = SemiNaiveEvaluator(program)
+    instance = evaluator.evaluate(database)
+    if evaluator.violated_constraints(instance):
+        return INCONSISTENT
+    return instance

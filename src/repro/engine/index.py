@@ -146,6 +146,7 @@ class PredicateIndex:
         return out
 
     def row_count(self, predicate: str) -> int:
+        """The number of rows stored for ``predicate`` (tombstones included)."""
         rows = self.rows.get(predicate)
         return len(rows) if rows else 0
 
@@ -263,6 +264,7 @@ class InstanceSnapshot:
         return self._index.scan(pattern, self._limits)
 
     def with_predicate(self, predicate: str) -> FrozenSet[Atom]:
+        """The snapshot's facts over ``predicate`` (prefix rows only)."""
         rows = self._index.rows.get(predicate)
         if not rows:
             return frozenset()
@@ -271,6 +273,7 @@ class InstanceSnapshot:
 
     @property
     def predicates(self) -> FrozenSet[str]:
+        """Predicates with at least one live fact inside the snapshot."""
         return frozenset(
             predicate
             for predicate, limit in self._limits.items()

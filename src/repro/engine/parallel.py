@@ -67,6 +67,7 @@ def parallel_threshold() -> int:
 
 
 def set_parallel_threshold(threshold: int) -> None:
+    """Set the dispatch cost threshold for this process."""
     if threshold < 0:
         raise ValueError(f"threshold must be >= 0, got {threshold}")
     global _threshold
@@ -191,6 +192,7 @@ class WorkerPool:
         self.current_session: Optional["ParallelSession"] = None
 
     def broadcast(self, message) -> None:
+        """Send one message to every worker's task queue."""
         for queue in self.task_queues:
             queue.put(message)
 
@@ -237,6 +239,7 @@ class WorkerPool:
         return payloads  # type: ignore[return-value]
 
     def shutdown(self) -> None:
+        """Stop every worker (best effort; terminates stragglers)."""
         for queue in self.task_queues:
             try:
                 queue.put(("stop",))
@@ -309,9 +312,16 @@ class ParallelSession:
         #: append-only assumption (a deletion was observed): every later
         #: dispatch falls back to the in-process executor.
         self._disabled = False
-        # (id(delta), len(delta)) -> validated window, so the O(len) ordinal
-        # check runs once per round, not once per rule.
-        self._window_cache: Optional[Tuple[int, int, Optional[Tuple[int, int]]]] = None
+        # (id(delta), len(delta), parent counter) -> validated window, so the
+        # O(len) ordinal check is shared while the delta and the instance are
+        # both unchanged.  The parent counter guards against id reuse: delta
+        # instances are transient, and a freed delta's address can be recycled
+        # by a later same-length delta — any firing in between moves the
+        # counter, and without firing an equal-length delta over an unchanged
+        # append-only instance validates to the same window anyway.
+        self._window_cache: Optional[
+            Tuple[int, int, int, Optional[Tuple[int, int]]]
+        ] = None
 
     # -- plumbing -----------------------------------------------------------
 
@@ -367,12 +377,18 @@ class ParallelSession:
         falls back to the in-process executor.  The full mapping is checked
         — span and count alone would accept a delta like ordinals
         ``[3, 9, 5]`` and silently match the wrong window — and the
-        validated result is cached per delta object, so the O(len) walk
-        runs once per round rather than once per rule.
+        validated result is memoised while the delta object and the parent
+        instance are both unchanged, so back-to-back lookups (several rules
+        matched before anything fires) pay the O(len) walk once.
         """
         cached = self._window_cache
-        if cached is not None and cached[0] == id(delta) and cached[1] == len(delta):
-            return cached[2]
+        if (
+            cached is not None
+            and cached[0] == id(delta)
+            and cached[1] == len(delta)
+            and cached[2] == self.instance._counter
+        ):
+            return cached[3]
         window = None
         ordinals = self.instance._ordinals
         expected = None
@@ -385,7 +401,7 @@ class ParallelSession:
                 window = ordinal
             expected = ordinal + 1
         window = (window, expected) if expected is not None else None
-        self._window_cache = (id(delta), len(delta), window)
+        self._window_cache = (id(delta), len(delta), self.instance._counter, window)
         return window
 
     def _dispatch(self, crule, spec) -> List[List[Tuple]]:

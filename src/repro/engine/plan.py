@@ -198,6 +198,7 @@ class JoinPlan:
         cap_s = [0] * n_steps
 
         def start(depth: int) -> None:
+            """Position the candidate cursor for the join step at ``depth``."""
             step = steps[depth]
             idx = delta_index if depth == 0 and delta_source is not None else index
             lim = delta_limits if depth == 0 and delta_source is not None else limits
@@ -295,6 +296,7 @@ class _NegationProbe:
         )
 
     def satisfied(self, substitution: Dict[Variable, Term], reference) -> bool:
+        """True iff the instantiated negated atom is a fact of ``reference``."""
         fact = Atom(
             self.predicate,
             tuple(
@@ -338,6 +340,7 @@ class RowOps:
         }
 
         def template(atom: Atom):
+            """Compile one atom into a (predicate, slot-or-constant parts) pair."""
             parts = []
             for term in atom.terms:
                 if isinstance(term, Variable):

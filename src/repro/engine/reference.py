@@ -33,6 +33,7 @@ def reference_match_atoms(
     )
 
     def backtrack(position: int) -> Iterator[Dict[Variable, Term]]:
+        """Depth-first extension of ``substitution`` over atoms[index:]."""
         if position == len(ordered):
             yield dict(substitution)
             return

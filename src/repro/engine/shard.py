@@ -90,6 +90,7 @@ class Shard:
         self.gids: Dict[str, List[int]] = {}
 
     def add(self, atom: Atom, gid: int) -> None:
+        """Append one fact with its global insertion ordinal."""
         self.index.add(atom)
         bucket = self.gids.get(atom.predicate)
         if bucket is None:
@@ -130,6 +131,7 @@ class ShardedInstance:
         return s
 
     def shard(self, s: int) -> Shard:
+        """The shard owned by worker ``s`` (only the kept one, if narrowed)."""
         shard = self.shards[s]
         if shard is None:
             raise ValueError(f"shard {s} is not kept by this ShardedInstance")

@@ -62,6 +62,7 @@ class EngineStats:
     parallel_fallbacks: int = 0
 
     def reset(self) -> None:
+        """Zero every counter (the harness calls this before a measured run)."""
         self.facts_added = 0
         self.triggers_fired = 0
         self.nulls_invented = 0

@@ -85,7 +85,11 @@ class RDFGraph:
     """A finite set of RDF triples with subject/predicate/object indexes."""
 
     def __init__(self, triples: Iterable[Union[Triple, TripleLike]] = ()):
-        self._triples: Set[Triple] = set()
+        # Insertion-ordered (dict-backed): iteration and ``to_database()``
+        # must not depend on the per-process string-hash seed, or downstream
+        # null numbering (e.g. the anonymisation example) flips between
+        # runs and example outputs stop being byte-comparable across modes.
+        self._triples: Dict[Triple, None] = {}
         self._by_subject: Dict[Union[Constant, Null], Set[Triple]] = defaultdict(set)
         self._by_predicate: Dict[Union[Constant, Null], Set[Triple]] = defaultdict(set)
         self._by_object: Dict[Union[Constant, Null], Set[Triple]] = defaultdict(set)
@@ -99,7 +103,7 @@ class RDFGraph:
             triple = Triple(*triple)
         if triple in self._triples:
             return False
-        self._triples.add(triple)
+        self._triples[triple] = None
         self._by_subject[triple.subject].add(triple)
         self._by_predicate[triple.predicate].add(triple)
         self._by_object[triple.object].add(triple)
@@ -113,7 +117,7 @@ class RDFGraph:
             triple = Triple(*triple)
         if triple not in self._triples:
             return False
-        self._triples.discard(triple)
+        del self._triples[triple]
         self._by_subject[triple.subject].discard(triple)
         self._by_predicate[triple.predicate].discard(triple)
         self._by_object[triple.object].discard(triple)
@@ -141,7 +145,7 @@ class RDFGraph:
         return len(self._triples)
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, RDFGraph) and self._triples == other._triples
+        return isinstance(other, RDFGraph) and self._triples.keys() == other._triples.keys()
 
     def __repr__(self) -> str:
         return f"RDFGraph({len(self._triples)} triples)"

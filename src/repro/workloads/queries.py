@@ -52,6 +52,7 @@ def random_bgp(
     variables = [Variable(f"V{i}") for i in range(max(1, n_variables))]
 
     def pick_term(value: Constant):
+        """One random term: variable, constant, or blank node."""
         roll = rng.random()
         if roll < 0.55:
             return variables[rng.randrange(len(variables))]
@@ -79,6 +80,7 @@ def random_pattern(
     rng = random.Random(seed)
 
     def build(level: int, salt: int) -> GraphPattern:
+        """A random algebra subtree of the given depth."""
         if level <= 0:
             return random_bgp(graph, n_triples=rng.randint(1, 2), n_variables=3, seed=seed * 97 + salt)
         left = build(level - 1, salt * 2 + 1)

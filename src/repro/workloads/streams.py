@@ -1,0 +1,141 @@
+"""Streaming workload generators: insert-only fact feeds for `DeltaSession`.
+
+The batch workloads in :mod:`repro.workloads.graphs` and
+:mod:`repro.workloads.ontologies` produce one database; the generators here
+produce a database **plus a schedule of arrival batches**, which is the input
+shape of the incremental subsystem (:mod:`repro.engine.incremental`) and of
+``benchmarks/bench_scale_streaming.py``.  Every generator returns
+``(initial, batches)`` where ``initial`` is an :class:`~repro.rdf.graph.RDFGraph`
+and ``batches`` is a list of lists of :class:`~repro.rdf.graph.Triple` —
+both feed :meth:`~repro.engine.incremental.DeltaSession.push` directly.
+
+All streams are **insert-only**: the incremental engine's instance is
+append-only (its snapshot and worker-replica contracts rely on that), so the
+generators model monotone feeds — growing link graphs, a monotonically
+growing ontology ABox, a social graph whose *activity* slides while its
+history accumulates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.rdf.graph import RDFGraph, Triple
+from repro.workloads.ontologies import lubm_style_graph
+
+Stream = Tuple[RDFGraph, List[List[Triple]]]
+
+
+def trickle_insert_chain(
+    initial_length: int,
+    batches: int,
+    edges_per_batch: int = 1,
+    predicate: str = "knows",
+) -> Stream:
+    """A chain that keeps growing at the tip, one small batch at a time.
+
+    The initial graph is the chain ``c0 → … → c{initial_length}``; each batch
+    appends ``edges_per_batch`` further chain edges.  Under transitive
+    closure every batch extends Θ(length) new pairs while a recompute costs
+    Θ(length²) — the workload where incremental evaluation wins the most,
+    and the trickle-insert scenario of the streaming benchmarks.
+    """
+    graph = RDFGraph()
+    for i in range(initial_length):
+        graph.add((f"c{i}", predicate, f"c{i + 1}"))
+    feed: List[List[Triple]] = []
+    tip = initial_length
+    for _ in range(batches):
+        batch = [
+            Triple(f"c{tip + j}", predicate, f"c{tip + j + 1}")
+            for j in range(edges_per_batch)
+        ]
+        tip += edges_per_batch
+        feed.append(batch)
+    return graph, feed
+
+
+def growing_university_stream(
+    universities: int,
+    departments_per_university: int = 2,
+    faculty_per_department: int = 3,
+    students_per_department: int = 12,
+    courses_per_department: int = 4,
+    seed: int = 0,
+) -> Stream:
+    """A LUBM-style universe growing one university per batch.
+
+    The initial graph holds one university; batch ``k`` delivers exactly the
+    triples of university ``k + 1`` (TBox axioms arrive with the first
+    university and never change).  Relies on the prefix property of
+    :func:`~repro.workloads.ontologies.lubm_style_ontology`: universities
+    are generated sequentially from one seeded RNG, so scale ``n`` is a
+    superset of scale ``n - 1`` and consecutive set differences are precisely
+    the new university's ABox.
+    """
+    if universities < 1:
+        raise ValueError("need at least one university")
+    scale = dict(
+        departments_per_university=departments_per_university,
+        faculty_per_department=faculty_per_department,
+        students_per_department=students_per_department,
+        courses_per_department=courses_per_department,
+        seed=seed,
+    )
+    previous = lubm_style_graph(n_universities=1, **scale)
+    initial = previous
+    feed: List[List[Triple]] = []
+    for n in range(2, universities + 1):
+        current = lubm_style_graph(n_universities=n, **scale)
+        fresh = [triple for triple in current if triple not in previous]
+        feed.append(fresh)
+        previous = current
+    return initial, feed
+
+
+def sliding_social_stream(
+    initial_edges: int = 200,
+    batches: int = 10,
+    edges_per_batch: int = 40,
+    window: int = 50,
+    drift: int = 5,
+    predicate: str = "knows",
+    seed: int = 0,
+) -> Stream:
+    """A social graph whose activity window slides over an unbounded userbase.
+
+    Edges always connect two users inside the current activity window of
+    ``window`` user ids; after every batch the window slides forward by
+    ``drift`` ids, so fresh users keep entering the graph, old users stop
+    receiving edges, and the accumulated history only ever grows (the stream
+    stays insert-only — "sliding" is the locality of *new* edges, not a
+    deletion).  Duplicate edges are retried a bounded number of times, so
+    batch sizes are approximate upper bounds on dense windows.
+    """
+    rng = random.Random(seed)
+    graph = RDFGraph()
+    seen = set()
+
+    def fresh_edges(count: int, base: int) -> List[Triple]:
+        """Up to ``count`` never-seen edges inside the current window."""
+        edges: List[Triple] = []
+        attempts = 0
+        while len(edges) < count and attempts < 20 * count:
+            attempts += 1
+            a = base + rng.randrange(window)
+            b = base + rng.randrange(window)
+            if a == b or (a, b) in seen:
+                continue
+            seen.add((a, b))
+            edges.append(Triple(f"user{a}", predicate, f"user{b}"))
+        return edges
+
+    for triple in fresh_edges(initial_edges, 0):
+        graph.add(triple)
+    feed: List[List[Triple]] = []
+    base = 0
+    for _ in range(batches):
+        base += drift
+        feed.append(fresh_edges(edges_per_batch, base))
+    return graph, feed

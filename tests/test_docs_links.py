@@ -1,0 +1,36 @@
+"""The docs tier must not contain broken relative links.
+
+Thin pytest wrapper around ``scripts/check_doc_links.py`` (which CI also
+runs as a lint step), so a rename that orphans a README/docs link fails the
+tier-1 suite locally too.
+"""
+
+import importlib.util
+import os
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_doc_links", os.path.join(REPO_ROOT, "scripts", "check_doc_links.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_have_no_broken_relative_links():
+    checker = _load_checker()
+    problems = []
+    for path in checker.DEFAULT_DOCS:
+        if os.path.exists(os.path.join(checker.REPO_ROOT, path)):
+            problems.extend(checker.check_file(path))
+    assert not problems, "\n".join(problems)
+
+
+def test_default_set_covers_the_docs_tier():
+    checker = _load_checker()
+    assert "README.md" in checker.DEFAULT_DOCS
+    assert "docs/architecture.md" in checker.DEFAULT_DOCS
+    assert "docs/benchmarks.md" in checker.DEFAULT_DOCS

@@ -1,0 +1,49 @@
+"""Executability smoke test for every script in ``examples/``.
+
+The README and the docs link these scripts as the entry points into the
+library, so they must never rot: each one is run as a real subprocess (fresh
+interpreter, ``PYTHONPATH=src``, no test-session state) and must exit 0.
+New examples are picked up automatically — dropping a file into
+``examples/`` enrols it here.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_examples_exist():
+    # The README's quickstart depends on these two by name.
+    assert "quickstart.py" in EXAMPLES
+    assert "streaming_updates.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, (
+        f"examples/{script} exited {result.returncode}\n"
+        f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"examples/{script} printed nothing"

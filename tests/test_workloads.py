@@ -155,3 +155,56 @@ class TestAuthorQueries:
 
         for text in author_queries().values():
             assert parse_sparql(text)
+
+
+class TestStreams:
+    def test_trickle_insert_chain_shapes(self):
+        from repro.workloads.streams import trickle_insert_chain
+
+        initial, feed = trickle_insert_chain(10, batches=4, edges_per_batch=2)
+        assert len(initial) == 10
+        assert len(feed) == 4 and all(len(batch) == 2 for batch in feed)
+        # Batches continue the chain without gaps or overlaps.
+        tips = [str(t.subject) for batch in feed for t in batch]
+        assert tips == [f"c{10 + i}" for i in range(8)]
+
+    def test_growing_university_stream_is_exact_diff(self):
+        from repro.workloads.ontologies import lubm_style_graph
+        from repro.workloads.streams import growing_university_stream
+
+        initial, feed = growing_university_stream(
+            3, departments_per_university=2, students_per_department=4
+        )
+        assert len(feed) == 2
+        accumulated = set(initial)
+        for batch in feed:
+            assert not (set(batch) & accumulated)  # genuinely new triples
+            accumulated.update(batch)
+        full = set(
+            lubm_style_graph(
+                n_universities=3,
+                departments_per_university=2,
+                faculty_per_department=3,
+                students_per_department=4,
+                courses_per_department=4,
+            )
+        )
+        assert accumulated == full
+
+    def test_sliding_social_stream_is_insert_only_and_slides(self):
+        from repro.workloads.streams import sliding_social_stream
+
+        initial, feed = sliding_social_stream(
+            initial_edges=50, batches=5, edges_per_batch=10, window=20, drift=10
+        )
+        seen = {(str(t.subject), str(t.object)) for t in initial}
+        for batch in feed:
+            for triple in batch:
+                pair = (str(triple.subject), str(triple.object))
+                assert pair not in seen  # never re-delivered
+                seen.add(pair)
+        # The last batch's users live in the slid window, not the first one.
+        last_users = {
+            int(str(t.subject)[4:]) for t in feed[-1]
+        } | {int(str(t.object)[4:]) for t in feed[-1]}
+        assert min(last_users) >= 5 * 10 - 1  # drifted well past the origin
