@@ -54,6 +54,11 @@ import sys
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
+
 BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(BENCH_DIR)
 SRC = os.path.join(REPO_ROOT, "src")
@@ -61,11 +66,12 @@ for path in (SRC, BENCH_DIR):
     if path not in sys.path:
         sys.path.insert(0, path)
 
+from repro.engine import plancache  # noqa: E402
 from repro.engine.mode import execution_mode  # noqa: E402
 from repro.engine.parallel import shutdown_pool  # noqa: E402
 from repro.engine.stats import STATS  # noqa: E402
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine_core.json")
 MODES = ("row", "batch", "parallel")
 # An empty string counts as unset, matching repro.engine.mode (CI matrices
@@ -81,6 +87,25 @@ MODE_INDEPENDENT_COUNTERS = (
 #: Regressions smaller than this (seconds) never fail the gate: scenarios in
 #: the low-millisecond range jitter far more than 25% on shared CI runners.
 MIN_REGRESSION_SECONDS = 0.010
+#: Parallel payload regressions smaller than this (bytes) never fail the
+#: gate; tiny dispatches jitter with pickling details, big ones matter.
+MIN_BYTES_REGRESSION = 65536
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """The process high-water RSS in KiB (None where unavailable).
+
+    ``ru_maxrss`` is a lifetime maximum, so per-record values are
+    monotonically non-decreasing across a run; the per-scenario number
+    answers "how much memory had the suite needed by the time this scenario
+    finished", which is the regression-relevant shape for an in-process
+    runner (a per-scenario reset is not possible without forking).
+    """
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    return peak // 1024 if sys.platform == "darwin" else peak
 
 
 class HarnessBenchmark:
@@ -250,6 +275,12 @@ def run_scenario(
             "batch_probe_groups": last_stats["batch_probe_groups"],
             "parallel_tasks": last_stats["parallel_tasks"],
             "parallel_fallbacks": last_stats["parallel_fallbacks"],
+            # Schema v5: the parallel IPC payload volume of the last measured
+            # run (dictionary deltas + columnar fact/result arrays; 0 outside
+            # parallel mode) and the process peak RSS sampled after the
+            # scenario.
+            "parallel_bytes_shipped": last_stats["parallel_bytes_shipped"],
+            "peak_rss_kb": _peak_rss_kb(),
             "facts_per_second": (
                 round(last_stats["facts_added"] / median) if median > 0 else None
             ),
@@ -391,6 +422,25 @@ def compare_to_baseline(
                     f"{record['id']}: pivots_skipped {now} vs baseline {then} "
                     f"({(now / then - 1) * 100:.0f}%)"
                 )
+        # parallel_bytes_shipped (schema v5) gates the IPC payload volume of
+        # dispatching scenarios: the columnar dictionary-encoded wire format
+        # exists to keep this down, and an executor change that silently
+        # reverts to object shipping would be invisible to wall time on small
+        # runners.  Deterministic per machine, so no speed adjustment.
+        now, then = (
+            record.get("parallel_bytes_shipped"),
+            base.get("parallel_bytes_shipped"),
+        )
+        # A zero baseline still gates: a scenario that never dispatched
+        # suddenly shipping real payload is exactly the object-shipping
+        # regression this counter exists to catch.
+        if now is not None and then is not None:
+            if now > then * (1 + threshold) and now - then > MIN_BYTES_REGRESSION:
+                grew = f"+{(now / then - 1) * 100:.0f}%" if then else "was 0"
+                regressions.append(
+                    f"{record['id']}: parallel_bytes_shipped {now} vs baseline "
+                    f"{then} ({grew})"
+                )
     return regressions
 
 
@@ -423,6 +473,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--baseline", default=None, help="baseline JSON to diff against (CI gate)"
     )
     parser.add_argument(
+        "--plan-cache",
+        default=None,
+        metavar="PATH",
+        help="persisted compiled-plan bundle: staged before the run (cold-start "
+        "scenarios skip rule compilation) and rewritten from this run's plan "
+        "cache afterwards",
+    )
+    parser.add_argument(
         "--fail-threshold",
         type=float,
         default=0.25,
@@ -437,6 +495,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         if mode not in MODES:
             print(f"error: unknown mode {mode!r} (choose from {MODES})", file=sys.stderr)
             return 2
+
+    staged_plans = 0
+    if args.plan_cache:
+        staged_plans = plancache.load_plan_cache(args.plan_cache)
+        if staged_plans:
+            print(f"plan cache: staged {staged_plans} rule bundle(s) from {args.plan_cache}")
 
     runs = select_runs(discover_scenarios(), modes, args.only)
     if args.list:
@@ -472,6 +536,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "parallel_workers": args.workers,
         "python": ".".join(map(str, sys.version_info[:3])),
         "scenario_count": len(results),
+        "plan_cache": {
+            "staged": staged_plans,
+            "hits": plancache.cache_hits(),
+        },
         "scenarios": results,
         "totals": {
             "wall_seconds_median_sum": round(
@@ -531,6 +599,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump(document, handle, indent=2, sort_keys=False)
             handle.write("\n")
         print(f"wrote {os.path.relpath(output, os.getcwd())}")
+
+    if args.plan_cache:
+        saved = plancache.save_plan_cache(args.plan_cache)
+        print(f"plan cache: wrote {saved} rule bundle(s) to {args.plan_cache} "
+              f"({plancache.cache_hits()} rebuild hits this run)")
 
     if args.baseline:
         try:

@@ -44,6 +44,7 @@ from repro.datalog.rules import Rule
 from repro.datalog.semantics import INCONSISTENT, QueryResult
 from repro.datalog.stratification import partition_by_stratum, stratify
 from repro.datalog.terms import Constant, Null, Term, Variable
+from repro.engine.interning import TERMS
 from repro.engine.mode import batch_enabled
 from repro.engine.parallel import maybe_session
 from repro.engine.plan import compile_rule
@@ -232,9 +233,12 @@ class WardedEngine:
                 batches = session.trigger_row_batches(crule, delta, negation_reference)
             else:
                 batches = crule.trigger_row_batches(instance, delta, negation_reference)
+            add_key = instance.add_key
+            sink_add = delta_sink.add_fact
             for plan, rows in batches:
                 ops = crule.row_ops(plan)
                 frontier_slots = ops.frontier_slots
+                head_keys_row = ops.head_keys_row
                 for row in rows:
                     if fired >= self.max_triggers:
                         raise RuntimeError(
@@ -242,7 +246,7 @@ class WardedEngine:
                             "the program/database pair is larger than expected"
                         )
                     if has_existentials:
-                        abstract = self._abstract_items(
+                        abstract = self._abstract_id_items(
                             (variable.name, row[slot])
                             for variable, slot in frontier_slots
                         )
@@ -250,21 +254,28 @@ class WardedEngine:
                         if key in fired_existential_triggers:
                             continue
                         fired_existential_triggers.add(key)
-                        fresh_nulls = []
+                        # The dedup key stays ID-based (fast, injective), but
+                        # the *public* null_types record decodes the ground
+                        # markers so the field is mode-identical and free of
+                        # process-local IDs; this runs once per fired
+                        # existential trigger, not per row.
+                        decoded = self._decode_abstract(abstract)
+                        fresh_ids = []
                         for existential in crule.sorted_existentials:
                             fresh = Null.fresh(existential.name.lower())
-                            fresh_nulls.append(fresh)
-                            null_types[fresh] = (rule_index, existential.name, abstract)
+                            fresh_ids.append(TERMS.intern_term(fresh))
+                            null_types[fresh] = (rule_index, existential.name, decoded)
                             STATS.nulls_invented += 1
-                        extended = row + tuple(fresh_nulls)
+                        extended = row + tuple(fresh_ids)
                     else:
                         extended = row
                     fired += 1
                     STATS.triggers_fired += 1
                     body_instantiation = None
-                    for fact in ops.head_facts_row(extended):
-                        if instance.add_fact(fact):
-                            delta_sink.add_fact(fact)
+                    for fact_key in head_keys_row(extended):
+                        fact = add_key(fact_key)
+                        if fact is not None:
+                            sink_add(fact)
                             if provenance is not None and fact not in provenance:
                                 if body_instantiation is None:
                                     body_instantiation = ops.body_facts_row(row)
@@ -334,8 +345,7 @@ class WardedEngine:
 
     @staticmethod
     def _abstract_items(named_values) -> Tuple:
-        """The abstraction over (variable name, value) pairs — shared by the
-        dict-based and the row-based (batch) trigger paths."""
+        """The abstraction over (variable name, term value) pairs (row mode)."""
         items = []
         first_seen: Dict[Null, int] = {}
         for name, value in named_values:
@@ -345,4 +355,37 @@ class WardedEngine:
                 items.append((name, ("null", first_seen[value])))
             else:
                 items.append((name, ("ground", str(value))))
+        return tuple(items)
+
+    @staticmethod
+    def _decode_abstract(abstract: Tuple) -> Tuple:
+        """Decode an ID-keyed abstraction into the row-mode (spelling) form.
+
+        Null markers are already ID-free (equality-pattern indexes); ground
+        markers swap the process-local term ID for ``str(term)``, which is
+        what the row path records and what external consumers of
+        ``WardedResult.null_types`` can compare across modes and runs.
+        """
+        return tuple(
+            (name, marker if marker[0] == "null" else ("ground", str(TERMS.term(marker[1]))))
+            for name, marker in abstract
+        )
+
+    @staticmethod
+    def _abstract_id_items(named_ids) -> Tuple:
+        """The abstraction over (variable name, term-ID) pairs (batch mode).
+
+        Ground markers key on the dictionary ID instead of the spelling —
+        injective within a process, so the dedup classes are exactly those
+        of :meth:`_abstract_items`, with the null test reduced to a bit op.
+        """
+        items = []
+        first_seen: Dict[int, int] = {}
+        for name, tid in named_ids:
+            if tid & 1:
+                if tid not in first_seen:
+                    first_seen[tid] = len(first_seen)
+                items.append((name, ("null", first_seen[tid])))
+            else:
+                items.append((name, ("ground", tid)))
         return tuple(items)

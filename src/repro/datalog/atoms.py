@@ -53,7 +53,7 @@ class Atom:
     plain Python sets of atoms, matching the paper's set-based definitions.
     """
 
-    __slots__ = ("predicate", "terms", "_hash")
+    __slots__ = ("predicate", "terms", "_hash", "_key")
 
     def __init__(self, predicate: str, terms: Iterable[Term]):
         if not predicate:
@@ -61,6 +61,20 @@ class Atom:
         self.predicate = predicate
         self.terms: Tuple[Term, ...] = tuple(terms)
         self._hash = hash((Atom, self.predicate, self.terms))
+        # Memoised dictionary-encoded fact key ``(pid, tid1, ..., tidn)``
+        # (:meth:`repro.engine.interning.TermTable.atom_key`); cache state,
+        # never part of the value.
+        self._key = None
+
+    def __getstate__(self):
+        """Pickle the value only; hashes and interned keys are process-local."""
+        return (self.predicate, self.terms)
+
+    def __setstate__(self, state):
+        """Restore the value and recompute the process-local caches."""
+        self.predicate, self.terms = state
+        self._hash = hash((Atom, self.predicate, self.terms))
+        self._key = None
 
     # -- construction helpers -------------------------------------------------
 

@@ -38,6 +38,7 @@ from repro.datalog.database import Instance
 from repro.datalog.program import Program
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Constant, Null, Term, Variable
+from repro.engine.interning import TERMS
 from repro.engine.mode import batch_enabled
 from repro.engine.parallel import maybe_session
 from repro.engine.plan import compile_body, compile_rule
@@ -78,8 +79,11 @@ class ChaseState:
     stream — while ``steps``/``invented`` accumulate for reporting.
     """
 
-    #: Invention depth of every labelled null seen so far (inputs are 0).
-    null_depth: Dict[Null, int] = field(default_factory=dict)
+    #: Invention depth of every labelled null seen so far (inputs are 0),
+    #: keyed by the null's dictionary-encoded term ID
+    #: (:mod:`repro.engine.interning`) — a slot value tests as a null with
+    #: one bit operation in the batch trigger loops.
+    null_depth: Dict[int, int] = field(default_factory=dict)
     #: Cumulative restricted-chase steps fired under this state (reporting
     #: only; the per-call budget does not read it).
     steps: int = 0
@@ -109,7 +113,11 @@ def _term_key(value: Term) -> str:
 
     Length-prefixed (netstring style): term values are arbitrary strings, so
     separator characters alone could let two distinct frontiers serialise
-    identically; a prefix-free encoding cannot alias.
+    identically; a prefix-free encoding cannot alias.  Deterministic-null
+    keys must be **content**-addressed — never ID-addressed — because term
+    IDs depend on per-process interning order while the labels must stay
+    byte-stable across pushes, re-runs, and processes; batch-mode frontier
+    IDs are therefore decoded back to terms before keying.
     """
     if isinstance(value, Constant):
         return f"c{len(value.value)}:{value.value}"
@@ -242,11 +250,11 @@ class ChaseEngine:
             instance = Instance(database)
         reference = negation_reference if negation_reference is not None else instance
         if state is None:
-            null_depth: Dict[Null, int] = {n: 0 for n in instance.nulls()}
+            null_depth: Dict[int, int] = {tid: 0 for tid in instance.null_ids()}
         else:
             null_depth = state.null_depth
-            for null in instance.nulls():
-                null_depth.setdefault(null, 0)
+            for tid in instance.null_ids():
+                null_depth.setdefault(tid, 0)
         compiled = [compile_rule(rule) for rule in program.rules]
 
         # Body matching honours the process-wide execution mode; all paths
@@ -338,8 +346,10 @@ class ChaseEngine:
                     if steps >= self.max_steps:
                         limit_reason = f"max_steps={self.max_steps} exceeded"
                         break
-                    values = trigger if use_batch else trigger.values()
-                    depth = self._values_depth(values, null_depth)
+                    if use_batch:
+                        depth = self._values_depth_ids(trigger, null_depth)
+                    else:
+                        depth = self._values_depth(trigger.values(), null_depth)
                     if (
                         self.max_null_depth is not None
                         and rule.has_existentials
@@ -351,14 +361,15 @@ class ChaseEngine:
                         if self.on_limit == "raise":
                             raise ChaseNonTermination(limit_reason)
                         continue
+                    added = 0
                     if use_batch:
                         if signatures is not None and crule.sorted_existentials:
-                            frontier = tuple(
+                            frontier = TERMS.decode(
                                 trigger[slot] for _, slot in ops.frontier_slots
                             )
                         else:
                             frontier = ()
-                        fresh_nulls = []
+                        fresh_ids = []
                         for existential in crule.sorted_existentials:
                             if signatures is None:
                                 fresh = Null.fresh(existential.name.lower())
@@ -366,12 +377,13 @@ class ChaseEngine:
                                 fresh = self._fresh_null(
                                     signatures[rule_index], frontier, existential
                                 )
-                            fresh_nulls.append(fresh)
-                            null_depth[fresh] = depth + 1
+                            nid = TERMS.intern_term(fresh)
+                            fresh_ids.append(nid)
+                            null_depth[nid] = depth + 1
                             invented += 1
-                        head_facts = ops.head_facts_row(
-                            trigger + tuple(fresh_nulls)
-                        )
+                        for key in ops.head_keys_row(trigger + tuple(fresh_ids)):
+                            if instance.add_key(key) is not None:
+                                added += 1
                     else:
                         extension = dict(trigger)
                         if signatures is not None and crule.sorted_existentials:
@@ -388,13 +400,11 @@ class ChaseEngine:
                                     signatures[rule_index], frontier, existential
                                 )
                             extension[existential] = fresh
-                            null_depth[fresh] = depth + 1
+                            null_depth[TERMS.intern_term(fresh)] = depth + 1
                             invented += 1
-                        head_facts = crule.head_facts(extension)
-                    added = 0
-                    for fact in head_facts:
-                        if instance.add_fact(fact):
-                            added += 1
+                        for fact in crule.head_facts(extension):
+                            if instance.add_fact(fact):
+                                added += 1
                     fired.add(trigger_key)
                     steps += 1
                     STATS.triggers_fired += 1
@@ -463,7 +473,7 @@ class ChaseEngine:
                 "skip the old ones on resumption"
             )
         if state is None:
-            state = ChaseState(null_depth={n: 0 for n in instance.nulls()})
+            state = ChaseState(null_depth={tid: 0 for tid in instance.null_ids()})
         null_depth = state.null_depth
         reference = negation_reference if negation_reference is not None else instance
         compiled = [compile_rule(rule) for rule in program.rules]
@@ -531,7 +541,7 @@ class ChaseEngine:
                             if steps >= self.max_steps:
                                 limit_reason = f"max_steps={self.max_steps} exceeded"
                                 break
-                            depth = self._values_depth(trigger, null_depth)
+                            depth = self._values_depth_ids(trigger, null_depth)
                             if (
                                 self.max_null_depth is not None
                                 and rule.has_existentials
@@ -544,12 +554,12 @@ class ChaseEngine:
                                     raise ChaseNonTermination(limit_reason)
                                 continue
                             if signatures is not None and crule.sorted_existentials:
-                                frontier = tuple(
+                                frontier = TERMS.decode(
                                     trigger[slot] for _, slot in ops.frontier_slots
                                 )
                             else:
                                 frontier = ()
-                            fresh_nulls = []
+                            fresh_ids = []
                             for existential in crule.sorted_existentials:
                                 if signatures is None:
                                     fresh = Null.fresh(existential.name.lower())
@@ -557,16 +567,16 @@ class ChaseEngine:
                                     fresh = self._fresh_null(
                                         signatures[rule_index], frontier, existential
                                     )
-                                fresh_nulls.append(fresh)
-                                null_depth[fresh] = depth + 1
+                                nid = TERMS.intern_term(fresh)
+                                fresh_ids.append(nid)
+                                null_depth[nid] = depth + 1
                                 invented += 1
                             steps += 1
                             STATS.triggers_fired += 1
-                            for fact in ops.head_facts_row(
-                                trigger + tuple(fresh_nulls)
-                            ):
-                                if instance.add_fact(fact):
-                                    new_delta.add_fact(fact)
+                            for key in ops.head_keys_row(trigger + tuple(fresh_ids)):
+                                atom = instance.add_key(key)
+                                if atom is not None:
+                                    new_delta.add_fact(atom)
                         if limit_reason:
                             break
                 else:
@@ -607,7 +617,7 @@ class ChaseEngine:
                                     signatures[rule_index], frontier, existential
                                 )
                             extension[existential] = fresh
-                            null_depth[fresh] = depth + 1
+                            null_depth[TERMS.intern_term(fresh)] = depth + 1
                             invented += 1
                         steps += 1
                         STATS.triggers_fired += 1
@@ -638,22 +648,33 @@ class ChaseEngine:
     def _head_satisfied_row(crule, ops, row, instance) -> bool:
         """Row-level restricted-chase head check (batch mode).
 
-        Existential-free heads reduce to membership of the instantiated head
-        atoms; existential heads seed the precompiled head plan with just the
-        frontier values.
+        Existential-free heads reduce to encoded-key membership of the
+        instantiated head atoms (no Atom built); existential heads seed the
+        precompiled head plan with just the frontier slot IDs.
         """
         if crule.head_plan is None:
-            for fact in ops.head_facts_row(row):
-                if fact not in instance:
+            has_key = instance.has_key
+            for key in ops.head_keys_row(row):
+                if not has_key(key):
                     return False
             return True
         initial = {variable: row[slot] for variable, slot in ops.frontier_slots}
         return crule.head_plan.exists(instance, initial)
 
     @staticmethod
-    def _values_depth(values, null_depth: Dict[Null, int]) -> int:
+    def _values_depth(values, null_depth: Dict[int, int]) -> int:
+        """Max invention depth over term values (the row-mode trigger path)."""
         depth = 0
         for value in values:
             if isinstance(value, Null):
-                depth = max(depth, null_depth.get(value, 0))
+                depth = max(depth, null_depth.get(TERMS.intern_term(value), 0))
+        return depth
+
+    @staticmethod
+    def _values_depth_ids(ids, null_depth: Dict[int, int]) -> int:
+        """Max invention depth over slot IDs — null test is one bit op."""
+        depth = 0
+        for tid in ids:
+            if tid & 1:
+                depth = max(depth, null_depth.get(tid, 0))
         return depth

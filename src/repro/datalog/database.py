@@ -18,18 +18,23 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 from repro.datalog.atoms import Atom
 from repro.datalog.terms import Constant, Null, Term, Variable
 from repro.engine.index import InstanceSnapshot, PredicateIndex
+from repro.engine.interning import TERMS
 from repro.engine.stats import STATS
 
 
 class Instance:
     """A mutable, indexed set of variable-free atoms (facts)."""
 
-    __slots__ = ("_ordinals", "_index", "_counter")
+    __slots__ = ("_ordinals", "_keys", "_index", "_counter")
 
     def __init__(self, atoms: Iterable[Atom] = ()):
         # atom -> global insertion ordinal; dict order is insertion order,
         # which is what makes snapshots a prefix.
         self._ordinals: Dict[Atom, int] = {}
+        # encoded fact key (pid, tid1, ..., tidn) -> ordinal: the
+        # dictionary-encoded membership map the executors probe (negation
+        # templates, head dedup) without building an Atom.
+        self._keys: Dict[Tuple[int, ...], int] = {}
         self._index = PredicateIndex()
         self._counter = 0
         if atoms is not None:
@@ -39,12 +44,15 @@ class Instance:
 
     def add(self, atom: Atom) -> bool:
         """Add a fact; returns True if it was new."""
+        # Membership goes through the Atom map (cached hash) so duplicate
+        # adds — the common case inside a fixpoint — pay no encoding.
         if atom in self._ordinals:
             return False
         for t in atom.terms:
             if isinstance(t, Variable):
                 raise ValueError(f"cannot add non-fact atom {atom} to an instance")
         self._ordinals[atom] = self._counter
+        self._keys[TERMS.atom_key(atom)] = self._counter
         self._counter += 1
         self._index.add(atom)
         STATS.facts_added += 1
@@ -64,6 +72,7 @@ class Instance:
         if atom in self._ordinals:
             return False
         self._ordinals[atom] = self._counter
+        self._keys[TERMS.atom_key(atom)] = self._counter
         self._counter += 1
         self._index.add(atom)
         STATS.facts_added += 1
@@ -79,7 +88,9 @@ class Instance:
         time stays out of measured sections.
         """
         ordinals = self._ordinals
+        keys = self._keys
         index = self._index
+        atom_key = TERMS.atom_key
         counter = self._counter
         added = 0
         for atom in atoms:
@@ -90,6 +101,7 @@ class Instance:
                 STATS.facts_added += added
                 raise ValueError(self._invalid_message(atom))
             ordinals[atom] = counter
+            keys[atom_key(atom)] = counter
             counter += 1
             index.add(atom)
             added += 1
@@ -111,8 +123,43 @@ class Instance:
         if atom not in self._ordinals:
             return False
         del self._ordinals[atom]
+        del self._keys[TERMS.atom_key(atom)]
         self._index.tombstone(atom)
         return True
+
+    # -- dictionary-encoded fast paths ---------------------------------------
+
+    def has_key(self, key: Tuple[int, ...]) -> bool:
+        """Membership of an encoded fact key ``(pid, tid1, ..., tidn)``.
+
+        The executors\' negation probes and restricted-chase head checks go
+        through this — one int-tuple dict lookup, no Atom construction.
+        """
+        return key in self._keys
+
+    def add_key(self, key: Tuple[int, ...]) -> Optional[Atom]:
+        """Add an encoded fact; returns its (decoded) Atom if new, else None.
+
+        This is how the batch/parallel firing paths land head facts: the
+        duplicate check costs one int-tuple lookup, and the Atom is only
+        materialised for genuinely new facts (it is needed for the decoded
+        row view and the ordinal map — the result boundary).
+        """
+        if key in self._keys:
+            return None
+        atom = TERMS.decode_atom(key)
+        self._ordinals[atom] = self._counter
+        self._keys[key] = self._counter
+        self._counter += 1
+        self._index.add(atom)
+        STATS.facts_added += 1
+        return atom
+
+    def null_ids(self) -> "frozenset[int]":
+        """The term IDs of every labelled null occurring in the instance."""
+        return frozenset(
+            tid for key in self._keys for tid in key[1:] if tid & 1
+        )
 
     # -- set protocol -----------------------------------------------------------
 
@@ -152,6 +199,7 @@ class Instance:
         """
         return InstanceSnapshot(
             self._ordinals,
+            self._keys,
             self._index,
             self._counter,
             self._index.row_limits(),
@@ -252,6 +300,15 @@ class Database(Instance):
         if not atom.is_ground:
             raise ValueError(self._invalid_message(atom))
         return super().add_fact(atom)
+
+    def add_key(self, key: Tuple[int, ...]) -> Optional[Atom]:
+        """Encoded add, still enforcing constants-only (one bit test per term)."""
+        if any(tid & 1 for tid in key[1:]):
+            raise ValueError(
+                "databases may only contain ground atoms over constants; "
+                f"got {TERMS.decode_atom(key)}"
+            )
+        return super().add_key(key)
 
     def copy(self) -> "Database":
         """An independent database with the same facts."""

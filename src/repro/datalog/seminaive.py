@@ -191,13 +191,18 @@ class SemiNaiveEvaluator:
                 batches = session.trigger_row_batches(crule, delta, negation_reference)
             else:
                 batches = crule.trigger_row_batches(instance, delta, negation_reference)
+            add_key = instance.add_key
+            sink_add = delta_sink.add_fact
             for plan, rows in batches:
-                head_facts_row = crule.row_ops(plan).head_facts_row
+                head_keys_row = crule.row_ops(plan).head_keys_row
                 for row in rows:
                     STATS.triggers_fired += 1
-                    for fact in head_facts_row(row):
-                        if instance.add_fact(fact):
-                            delta_sink.add_fact(fact)
+                    for key in head_keys_row(row):
+                        # Encoded dedup first; the Atom is only decoded for
+                        # genuinely new facts (the result boundary).
+                        atom = add_key(key)
+                        if atom is not None:
+                            sink_add(atom)
         else:
             if delta is None:
                 found = list(crule.substitutions(instance))

@@ -21,15 +21,29 @@ class Constant:
     """An element of ``U``: a URI or any other constant value.
 
     Constants compare by value and are hashable, so they can populate sets,
-    dictionary keys, and database tuples directly.
+    dictionary keys, and database tuples directly.  ``_tid`` memoises the
+    term's dense integer ID in the engine's dictionary-encoding layer
+    (:mod:`repro.engine.interning`); it is identity-local cache state, never
+    part of the value, and never pickled (a foreign process has its own
+    table).
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_tid")
 
     def __init__(self, value: str):
         if not isinstance(value, str):
             raise TypeError(f"constant value must be a string, got {type(value).__name__}")
         self.value = value
+        self._tid = None
+
+    def __getstate__(self):
+        """Pickle the value only — interned IDs do not cross processes."""
+        return self.value
+
+    def __setstate__(self, state):
+        """Restore from the pickled value with a cold ID cache."""
+        self.value = state
+        self._tid = None
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Constant) and self.value == other.value
@@ -61,7 +75,7 @@ class Null:
     They compare by label.  ``Null.fresh()`` hands out globally fresh labels.
     """
 
-    __slots__ = ("label",)
+    __slots__ = ("label", "_tid")
 
     _counter = itertools.count()
 
@@ -69,6 +83,16 @@ class Null:
         if not isinstance(label, str):
             raise TypeError(f"null label must be a string, got {type(label).__name__}")
         self.label = label
+        self._tid = None
+
+    def __getstate__(self):
+        """Pickle the label only — interned IDs do not cross processes."""
+        return self.label
+
+    def __setstate__(self, state):
+        """Restore from the pickled label with a cold ID cache."""
+        self.label = state
+        self._tid = None
 
     @classmethod
     def fresh(cls, hint: str = "z") -> "Null":

@@ -6,13 +6,19 @@ Every engine in the library — the restricted/oblivious chase
 (:mod:`repro.core.warded_engine`) — evaluates rule bodies through this
 package instead of re-deriving join strategy per call:
 
+* :mod:`repro.engine.interning` dictionary-encodes every ground term (and
+  predicate name) into a dense int ID via the process-global
+  :data:`~repro.engine.interning.TERMS` table — constants even, nulls odd —
+  and the whole stack below runs on those IDs; decoding happens only at
+  result boundaries.
 * :class:`~repro.engine.index.PredicateIndex` stores facts in append-only
-  per-predicate rows with hash postings of row ids, so candidate buckets are
-  iterated under a captured length instead of being copied per lookup, and
-  frozen prefix views (:class:`~repro.engine.index.InstanceSnapshot` via
-  ``Instance.snapshot()``) come for free.  ``probe_ids`` is the bulk probe:
-  a capped postings slice, or a posting-list intersection over several bound
-  positions.
+  per-predicate rows (the decoded view) plus aligned **ID rows** with hash
+  postings of row ids per ``(predicate, position, term-ID)``, so candidate
+  buckets are iterated under a captured length instead of being copied per
+  lookup, and frozen prefix views
+  (:class:`~repro.engine.index.InstanceSnapshot` via ``Instance.snapshot()``)
+  come for free.  ``probe_ids`` is the bulk probe: a capped postings slice,
+  or a posting-list intersection over several bound positions.
 * :func:`~repro.engine.plan.compile_body` / :func:`~repro.engine.plan.compile_rule`
   turn a rule body into a :class:`~repro.engine.plan.JoinPlan` exactly once:
   atoms are selectivity-ordered, every position is resolved at plan time into
@@ -42,6 +48,7 @@ package instead of re-deriving join strategy per call:
 """
 
 from repro.engine.index import InstanceSnapshot, PredicateIndex
+from repro.engine.interning import TERMS, TermTable, is_null_id
 from repro.engine.mode import (
     batch_enabled,
     execution_mode,
@@ -60,6 +67,7 @@ from repro.engine.parallel import (
     shutdown_pool,
 )
 from repro.engine.plan import CompiledRule, JoinPlan, compile_body, compile_rule
+from repro.engine.plancache import load_plan_cache, save_plan_cache
 from repro.engine.shard import ShardedInstance, merge_sharded, run_batch_sharded, shard_of
 from repro.engine.stats import STATS, EngineStats
 
@@ -90,18 +98,23 @@ __all__ = [
     "PredicateIndex",
     "STATS",
     "ShardedInstance",
+    "TERMS",
+    "TermTable",
     "batch_enabled",
     "compile_body",
     "compile_rule",
     "execution_mode",
     "get_execution_mode",
     "get_worker_count",
+    "is_null_id",
+    "load_plan_cache",
     "maybe_session",
     "merge_sharded",
     "parallel_enabled",
     "parallel_threshold",
     "parallel_threshold_override",
     "run_batch_sharded",
+    "save_plan_cache",
     "set_execution_mode",
     "set_parallel_threshold",
     "set_worker_count",

@@ -9,7 +9,12 @@ keys.
 
 This module executes the same plan **step by step over a whole batch**: each
 :class:`_BatchStep` consumes a list of partial slot tuples and produces the
-list extended through one body atom.
+list extended through one body atom.  Since the dictionary-encoding refactor
+(:mod:`repro.engine.interning`), slot tuples carry **term IDs**: probes,
+probe-key grouping, and intra-atom equality checks are all flat int
+operations over the index's ID rows
+(:attr:`~repro.engine.index.PredicateIndex.cols`) — no term-object hashing
+anywhere in the loop.
 
 * **Bulk probes** — the batch is grouped by the tuple of probed slot values;
   one :meth:`~repro.engine.index.PredicateIndex.probe_ids` call (a capped
@@ -38,10 +43,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.datalog.terms import Term
 from repro.engine.stats import STATS
 
-SlotRow = Tuple[Term, ...]
+#: A (partial) match: one term ID per bound slot, in slot order.
+SlotRow = Tuple[int, ...]
 
 
 class _BatchStep:
@@ -71,7 +76,7 @@ class _BatchStep:
 
         self.predicate: str = step.predicate
         self.arity: int = step.arity
-        self.const_pairs: Tuple[Tuple[int, Term], ...] = tuple(
+        self.const_pairs: Tuple[Tuple[int, int], ...] = tuple(
             (position, payload)
             for position, kind, payload in step.probes
             if kind == PROBE_CONST
@@ -111,7 +116,7 @@ class _BatchStep:
         suite (``tests/test_engine_shard_parity.py``) fails on divergence.
         """
         predicate = self.predicate
-        rows = index.rows.get(predicate)
+        rows = index.cols.get(predicate)
         if not rows:
             return []
         cap = len(rows) if limits is None else min(len(rows), limits.get(predicate, 0))
@@ -182,7 +187,7 @@ class _BatchStep:
         candidates ascending — identical to :meth:`apply`.
         """
         predicate = self.predicate
-        rows = index.rows.get(predicate)
+        rows = index.cols.get(predicate)
         if not rows:
             return [], []
         cap = len(rows) if limits is None else min(len(rows), limits.get(predicate, 0))
@@ -247,34 +252,30 @@ class _BatchStep:
         n_bind = len(bind_positions)
         if not intra_pairs and n_bind <= 2:
             # The dominant shapes (0-2 fresh variables, no repeated variable
-            # inside the atom) get allocation-minimal loops.
+            # inside the atom) get allocation-minimal loops.  ``rows`` holds
+            # the ID rows, so every access below is a flat int-tuple index.
             if n_bind == 0:
                 for row_id in candidate_ids:
-                    fact = rows[row_id]
-                    if fact is not None and len(fact.terms) == arity:
+                    terms = rows[row_id]
+                    if terms is not None and len(terms) == arity:
                         append(())
             elif n_bind == 1:
                 bind = bind_positions[0]
                 for row_id in candidate_ids:
-                    fact = rows[row_id]
-                    if fact is not None:
-                        terms = fact.terms
-                        if len(terms) == arity:
-                            append((terms[bind],))
+                    terms = rows[row_id]
+                    if terms is not None and len(terms) == arity:
+                        append((terms[bind],))
             else:
                 first, second = bind_positions
                 for row_id in candidate_ids:
-                    fact = rows[row_id]
-                    if fact is not None:
-                        terms = fact.terms
-                        if len(terms) == arity:
-                            append((terms[first], terms[second]))
+                    terms = rows[row_id]
+                    if terms is not None and len(terms) == arity:
+                        append((terms[first], terms[second]))
             return exts
         for row_id in candidate_ids:
-            fact = rows[row_id]
-            if fact is None:
+            terms = rows[row_id]
+            if terms is None:
                 continue
-            terms = fact.terms
             if len(terms) != arity:
                 continue
             for position, bound_position in intra_pairs:
@@ -326,14 +327,16 @@ class BatchPlan:
             delta_index, delta_limits = delta_source._plan_source()
         else:
             delta_index, delta_limits = index, limits
-        base: List[Optional[Term]] = [None] * self.n_prebound
+        base: List[Optional[int]] = [None] * self.n_prebound
         if initial:
+            from repro.engine.plan import _seed_id
+
             slot_of = self.plan.slot_of
             n_prebound = self.n_prebound
             for variable, value in initial.items():
                 slot = slot_of.get(variable)
                 if slot is not None and slot < n_prebound:
-                    base[slot] = value
+                    base[slot] = _seed_id(value)
         rows_batch: List[SlotRow] = [tuple(base)]
         for depth, step in enumerate(self.steps):
             if depth == 0 and delta_source is not None:

@@ -1,22 +1,34 @@
-"""Hash-indexed fact storage with copy-free candidate iteration.
+"""Hash-indexed fact storage, dictionary-encoded on dense integer term IDs.
 
 The seed implementation kept per-``(predicate, position, term)`` *sets* of
-atoms and copied the chosen bucket into a fresh list on every lookup so that
-callers could keep adding facts while consuming the iterator.  That snapshot
-list — allocated once per join step per candidate — was the single largest
-constant-factor cost of the interpretive matcher.
+atoms and copied the chosen bucket into a fresh list on every lookup.  PR 1
+replaced that with append-only per-predicate rows plus row-id postings; this
+revision **dictionary-encodes** the whole structure on the engine's
+:mod:`~repro.engine.interning` term IDs:
 
-:class:`PredicateIndex` stores facts instead in **append-only per-predicate
-rows** and keeps postings of integer row ids per ``(predicate, position,
-term)`` key.  Because rows are append-only, row ids within a postings list
-are strictly increasing, and a lookup is made stable under concurrent
-insertion simply by capturing the candidate count once — no copying.  The
-same mechanism yields frozen prefix views (:class:`InstanceSnapshot`): a
-snapshot is just the captured per-predicate row counts, so "freeze the lower
-strata" costs O(#predicates) instead of re-indexing every fact.
+* ``rows[predicate]`` still holds the decoded :class:`Atom` objects — they
+  *are* the result boundary (instance iteration, provenance, snapshots), so
+  keeping them costs nothing extra and decoding is free.
+* ``cols[predicate]`` holds the **ID rows**: one ``(tid1, ..., tidn)`` int
+  tuple per fact, aligned index-for-index with ``rows``.  Every executor —
+  the row-at-a-time backtracker, the column-at-a-time batch steps, the
+  sharded workers — probes and verifies on these flat int tuples; no term
+  ``__eq__``/``__hash__`` dispatch on the hot path.
+* ``postings`` keys are ``(predicate, position, tid)`` — int-keyed buckets,
+  probed with IDs the plans compiled in at plan time.
 
-Deletion (rare: only diagnostic/test paths use it) tombstones the row in
+Because rows are append-only, row ids within a postings list are strictly
+increasing, and a lookup is made stable under concurrent insertion simply by
+capturing the candidate count once — no copying.  The same mechanism yields
+frozen prefix views (:class:`InstanceSnapshot`).  Deletion (rare: only
+diagnostic/test paths use it) tombstones both the row and the ID row in
 place; probes skip tombstones.
+
+Worker replicas of the parallel executor ingest facts through
+:meth:`PredicateIndex.add_encoded`, which stores the ID row **without**
+materialising the Atom (a ``None`` placeholder keeps the lists aligned);
+workers only match on ``cols``, so the decoded view is never consulted
+there.
 """
 
 from __future__ import annotations
@@ -25,37 +37,59 @@ from bisect import bisect_left
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from repro.datalog.atoms import Atom
-from repro.datalog.terms import Term, Variable
+from repro.datalog.terms import Variable
+from repro.engine.interning import TERMS
+
+#: Distinct-value summaries larger than this are not materialised: the
+#: per-round pivot-viability probe walks the summary value by value, so an
+#: unbounded summary would turn a cheap skip test into a scan.
+_SUMMARY_CAP = 128
 
 
 class PredicateIndex:
-    """Append-only rows per predicate plus row-id postings per bound term."""
+    """Append-only decoded rows + aligned ID rows + int-keyed postings."""
 
-    __slots__ = ("rows", "postings", "live", "tombstoned")
+    __slots__ = ("rows", "cols", "postings", "live", "tombstoned", "_summaries")
 
     def __init__(self) -> None:
-        # predicate -> list of facts in insertion order (None = tombstone).
+        # predicate -> list of facts in insertion order (None = tombstone,
+        # or an encoded-only row in worker replicas).
         self.rows: Dict[str, List[Optional[Atom]]] = {}
-        # (predicate, position, term) -> ascending row ids.
-        self.postings: Dict[Tuple[str, int, Term], List[int]] = {}
+        # predicate -> aligned list of ID rows (None = tombstone).
+        self.cols: Dict[str, List[Optional[Tuple[int, ...]]]] = {}
+        # (predicate, position, tid) -> ascending row ids.
+        self.postings: Dict[Tuple[str, int, int], List[int]] = {}
         # predicate -> number of non-tombstoned rows.
         self.live: Dict[str, int] = {}
         # Total tombstones ever created (lets snapshots detect deletions).
         self.tombstoned = 0
+        # (predicate, position) -> (row count, distinct tids | None) — the
+        # per-round bound-value summaries behind extended pivot skipping.
+        self._summaries: Dict[Tuple[str, int], Tuple[int, Optional[frozenset]]] = {}
 
     def add(self, atom: Atom) -> int:
         """Append a (caller-deduplicated) fact; returns its row id."""
-        predicate = atom.predicate
+        return self._append(atom.predicate, atom, TERMS.atom_key(atom)[1:])
+
+    def add_encoded(self, predicate: str, ids: Tuple[int, ...]) -> int:
+        """Append an ID row without materialising its Atom (worker replicas)."""
+        return self._append(predicate, None, ids)
+
+    def _append(
+        self, predicate: str, atom: Optional[Atom], ids: Tuple[int, ...]
+    ) -> int:
         rows = self.rows.get(predicate)
         if rows is None:
             rows = self.rows[predicate] = []
+            self.cols[predicate] = []
             self.live[predicate] = 0
         row_id = len(rows)
         rows.append(atom)
+        self.cols[predicate].append(ids)
         self.live[predicate] += 1
         postings = self.postings
-        for position, term in enumerate(atom.terms):
-            key = (predicate, position, term)
+        for position, tid in enumerate(ids):
+            key = (predicate, position, tid)
             bucket = postings.get(key)
             if bucket is None:
                 postings[key] = [row_id]
@@ -65,15 +99,19 @@ class PredicateIndex:
 
     def tombstone(self, atom: Atom) -> bool:
         """Mark a fact deleted; postings keep the (now skipped) row id."""
-        rows = self.rows.get(atom.predicate)
-        if not rows:
+        predicate = atom.predicate
+        cols = self.cols.get(predicate)
+        if not cols:
             return False
-        bucket = self.postings.get((atom.predicate, 0, atom.terms[0])) if atom.terms else None
-        candidates = bucket if bucket is not None else range(len(rows))
+        key = TERMS.atom_key(atom)
+        ids = key[1:]
+        bucket = self.postings.get((predicate, 0, ids[0])) if ids else None
+        candidates = bucket if bucket is not None else range(len(cols))
         for row_id in candidates:
-            if rows[row_id] == atom:
-                rows[row_id] = None
-                self.live[atom.predicate] -= 1
+            if cols[row_id] == ids:
+                cols[row_id] = None
+                self.rows[predicate][row_id] = None
+                self.live[predicate] -= 1
                 self.tombstoned += 1
                 return True
         return False
@@ -81,17 +119,18 @@ class PredicateIndex:
     def probe_ids(
         self,
         predicate: str,
-        pairs: Sequence[Tuple[int, Term]],
+        pairs: Sequence[Tuple[int, int]],
         cap: int,
     ) -> Sequence[int]:
-        """Row ids (< ``cap``, ascending) whose fact equals every ``(position,
-        term)`` pair — the bulk probe of the column-at-a-time executor.
+        """Row ids (< ``cap``, ascending) whose ID row equals every
+        ``(position, tid)`` pair — the bulk probe of the column-at-a-time
+        executor.
 
         With one bound pair this is a capped postings slice; with several it
         is a posting-list intersection anchored on the shortest bucket, which
         is walked in order so the result stays ascending.  The intersection
         strategy is selectivity-adaptive: when the anchor is short, the other
-        bound positions are verified directly on the candidate facts; when
+        bound positions are verified directly on the candidate ID rows; when
         the anchor is long relative to the other buckets, those buckets are
         hashed once and probed instead.  An empty ``pairs`` means a full scan
         of the ``cap`` prefix.  Ids of tombstoned or wrong-arity rows may be
@@ -108,7 +147,7 @@ class PredicateIndex:
                 return ()
             end = bisect_left(bucket, cap)
             return bucket if end == len(bucket) else bucket[:end]
-        buckets: List[Tuple[int, List[int], int, Term]] = []
+        buckets: List[Tuple[int, List[int], int, int]] = []
         for position, value in pairs:
             bucket = postings.get((predicate, position, value))
             if not bucket:
@@ -120,17 +159,16 @@ class PredicateIndex:
         rest = buckets[1:]
         out: List[int] = []
         if end * len(rest) <= sum(item[0] for item in rest):
-            # Short anchor: verifying the remaining positions on the facts is
-            # cheaper than hashing the other postings lists.
-            rows = self.rows[predicate]
+            # Short anchor: verifying the remaining positions on the ID rows
+            # is cheaper than hashing the other postings lists.
+            cols = self.cols[predicate]
             for k in range(end):
                 row_id = smallest[k]
-                fact = rows[row_id]
-                if fact is None:
+                ids = cols[row_id]
+                if ids is None:
                     continue
-                terms = fact.terms
                 for _, _, position, value in rest:
-                    if position >= len(terms) or terms[position] != value:
+                    if position >= len(ids) or ids[position] != value:
                         break
                 else:
                     out.append(row_id)
@@ -144,6 +182,35 @@ class PredicateIndex:
                 else:
                     out.append(row_id)
         return out
+
+    def distinct_values(self, predicate: str, position: int) -> Optional[frozenset]:
+        """The distinct term IDs at ``predicate[position]``, or None.
+
+        ``None`` means "no usable summary" — either more than
+        ``_SUMMARY_CAP`` distinct values (walking them would cost more than
+        the join it guards) or an out-of-range position.  The summary is
+        memoised per (predicate, position) and invalidated by appends, so a
+        frozen delta pays the scan once per round however many pivot plans
+        consult it.
+        """
+        cols = self.cols.get(predicate)
+        if not cols:
+            return frozenset()
+        key = (predicate, position)
+        cached = self._summaries.get(key)
+        if cached is not None and cached[0] == len(cols):
+            return cached[1]
+        values = set()
+        for ids in cols:
+            if ids is None or position >= len(ids):
+                continue
+            values.add(ids[position])
+            if len(values) > _SUMMARY_CAP:
+                self._summaries[key] = (len(cols), None)
+                return None
+        summary = frozenset(values)
+        self._summaries[key] = (len(cols), summary)
+        return summary
 
     def row_count(self, predicate: str) -> int:
         """The number of rows stored for ``predicate`` (tombstones included)."""
@@ -163,9 +230,11 @@ class PredicateIndex:
 
         The most selective available postings bucket is probed; remaining
         constant positions and repeated variables are left to the caller's
-        unifier (exactly the seed contract).  ``row_limits`` restricts the
-        scan to a frozen prefix; without it the prefix is captured **now**,
-        at call time (not at first consumption), preserving the seed's
+        unifier (exactly the seed contract).  Bound pattern terms are looked
+        up in the term table without interning, so scans over unseen
+        vocabulary allocate nothing.  ``row_limits`` restricts the scan to a
+        frozen prefix; without it the prefix is captured **now**, at call
+        time (not at first consumption), preserving the seed's
         snapshot-per-call semantics even when the iterator is consumed after
         later insertions.
         """
@@ -177,7 +246,12 @@ class PredicateIndex:
         for position, term in enumerate(pattern.terms):
             if isinstance(term, Variable):
                 continue
-            bucket = self.postings.get((predicate, position, term))
+            tid = TERMS.find_term(term)
+            bucket = (
+                self.postings.get((predicate, position, tid))
+                if tid is not None
+                else None
+            )
             if bucket is None:
                 return iter(())
             if best is None or len(bucket) < len(best):
@@ -218,19 +292,24 @@ class InstanceSnapshot:
     reference the stratified engines need — "the facts of the strictly lower
     strata" — without the full re-index that ``Instance.copy()`` performed
     per stratum.  (Deletions, which no engine performs, do propagate.)
+    Membership is answered both at the Atom level (``in``) and at the
+    encoded-key level (:meth:`has_key`), the latter being the executors' hot
+    path.
     """
 
-    __slots__ = ("_ordinals", "_index", "_cut", "_limits", "_size", "_tombstoned")
+    __slots__ = ("_ordinals", "_keys", "_index", "_cut", "_limits", "_size", "_tombstoned")
 
     def __init__(
         self,
         ordinals: Dict[Atom, int],
+        keys: Dict[Tuple[int, ...], int],
         index: PredicateIndex,
         cut: int,
         limits: Dict[str, int],
         size: int,
     ):
         self._ordinals = ordinals
+        self._keys = keys
         self._index = index
         self._cut = cut
         self._limits = limits
@@ -239,6 +318,11 @@ class InstanceSnapshot:
 
     def __contains__(self, atom: Atom) -> bool:
         ordinal = self._ordinals.get(atom)
+        return ordinal is not None and ordinal < self._cut
+
+    def has_key(self, key: Tuple[int, ...]) -> bool:
+        """Encoded-fact membership inside the frozen prefix."""
+        ordinal = self._keys.get(key)
         return ordinal is not None and ordinal < self._cut
 
     def __iter__(self) -> Iterator[Atom]:

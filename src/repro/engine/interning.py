@@ -1,0 +1,273 @@
+"""Dictionary-encoded term storage: the :class:`TermTable` interning layer.
+
+Every layer built since PR 1 — postings probes, batch columns, shard
+pickling, incremental delta windows — manipulated boxed
+:class:`~repro.datalog.terms.Constant` / :class:`~repro.datalog.terms.Null`
+objects, paying Python-level ``__hash__`` / ``__eq__`` dispatch on every
+probe and shipping full object graphs on every parallel dispatch.  This
+module is the classic Datalog-engine answer: **dictionary-encode** every
+ground term into a dense ``int`` ID once, and run the whole storage and
+execution stack on those IDs.
+
+* :data:`TERMS` is the process-global table.  IDs are dense and append-only:
+  a constant interned as the *k*-th distinct constant gets ID ``k << 1``, a
+  null interned as the *k*-th distinct null gets ``k << 1 | 1``.  The low
+  bit therefore answers "is this a labelled null?" without touching the
+  table — the chase's null-depth bookkeeping and ``ground_part`` checks
+  become single bit tests.
+* Decoding (``term(tid)``) returns the **canonical** term object held by the
+  table, so repeated decodes share objects and re-encoding a decoded term is
+  a cached attribute read (terms memoise their ID in a ``_tid`` slot).
+* Predicate names are interned through the same constant space
+  (:func:`TermTable.intern_constant`), which makes a whole fact a flat
+  ``(pid, tid1, ..., tidn)`` int tuple — the membership key of
+  :class:`~repro.datalog.database.Instance` and the wire format of the
+  parallel executor.
+
+**The dictionary-delta protocol.**  The table is append-only and IDs are
+assigned in interning order, so a replica that replays the same entries in
+the same order assigns the same IDs.  The parallel executor exploits this:
+the parent ships each worker the table *suffix* it has not seen yet
+(:meth:`TermTable.delta_since` → :meth:`TermTable.apply_delta`) together
+with facts as flat int arrays; each constant string crosses the process
+boundary **once per pool lifetime** instead of once per fact occurrence.
+Workers must never intern a term the parent has not shipped — worker-side
+plan compilation only touches rule constants, which the parent interned when
+it compiled the same rules — and :meth:`apply_delta` asserts the alignment.
+
+Decoding back to terms happens only at result boundaries (``Instance``
+iteration, provenance records, SPARQL answers); the chase, semi-naive, and
+warded engines plus all three execution modes run ID-native in between.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant, Null, Term
+
+
+def is_null_id(tid: int) -> bool:
+    """True iff ``tid`` encodes a labelled null (the tag bit is set)."""
+    return bool(tid & 1)
+
+
+class TermTable:
+    """Append-only dictionary encoding of ground terms to dense int IDs.
+
+    Constants and nulls live in disjoint ID spaces distinguished by the low
+    bit (constants even, nulls odd); both spaces are dense and append-only,
+    which is what makes the worker dictionary-delta protocol a plain suffix
+    ship.  The table never forgets an entry: a reset would invalidate every
+    compiled plan and every encoded instance in the process.  Constant
+    vocabularies are small and repeat across runs; invented-null labels are
+    unique per invention, so a process that runs chases forever accrues one
+    entry per null ever invented (~200 bytes each; the whole benchmark
+    suite invents ~25k).  For a long-lived service that is a slow monotone
+    cost — an epoch-based reset that also drops the plan caches is the
+    ROADMAP follow-up if it ever matters in practice.
+    """
+
+    __slots__ = ("_constants", "_constant_ids", "_nulls", "_null_ids", "_memoise")
+
+    def __init__(self, _memoise: bool = False) -> None:
+        # Index k holds the canonical term of ID (k << 1) / (k << 1 | 1).
+        self._constants: List[Constant] = []
+        self._constant_ids: Dict[str, int] = {}
+        self._nulls: List[Null] = []
+        self._null_ids: Dict[str, int] = {}
+        # Only the process-global :data:`TERMS` may write the ``_tid`` /
+        # ``_key`` caches on term and atom objects: a secondary table (the
+        # worker-protocol tests, ad-hoc tooling) caching ITS ids onto shared
+        # objects would silently corrupt every lookup against the global
+        # encoding.  Secondary tables always go through their dicts.
+        self._memoise = _memoise
+
+    # -- interning ----------------------------------------------------------
+
+    def intern_constant(self, value: str) -> int:
+        """The ID of the constant ``value``, interning it if new."""
+        tid = self._constant_ids.get(value)
+        if tid is None:
+            tid = len(self._constants) << 1
+            self._constant_ids[value] = tid
+            term = Constant(value)
+            if self._memoise:
+                term._tid = tid
+            self._constants.append(term)
+        return tid
+
+    def intern_null(self, label: str) -> int:
+        """The ID of the null labelled ``label``, interning it if new."""
+        tid = self._null_ids.get(label)
+        if tid is None:
+            tid = (len(self._nulls) << 1) | 1
+            self._null_ids[label] = tid
+            term = Null(label)
+            if self._memoise:
+                term._tid = tid
+            self._nulls.append(term)
+        return tid
+
+    def intern_term(self, term: Term) -> int:
+        """The ID of a ground term (memoised on the term object by :data:`TERMS`)."""
+        if self._memoise:
+            try:
+                tid = term._tid
+            except AttributeError:  # Variables carry no ID slot
+                raise TypeError(f"cannot intern non-ground term {term!r}") from None
+            if tid is not None:
+                return tid
+        if type(term) is Constant:
+            tid = self.intern_constant(term.value)
+        elif type(term) is Null:
+            tid = self.intern_null(term.label)
+        else:
+            raise TypeError(f"cannot intern non-ground term {term!r}")
+        if self._memoise:
+            term._tid = tid
+        return tid
+
+    def find_term(self, term: Term) -> "int | None":
+        """The ID of ``term`` if already interned, else None (never interns).
+
+        The membership/scan paths use this so probing for facts over unseen
+        vocabulary does not grow the table.
+        """
+        if self._memoise:
+            try:
+                tid = term._tid
+            except AttributeError:  # Variables carry no ID slot
+                return None
+            if tid is not None:
+                return tid
+        if type(term) is Constant:
+            tid = self._constant_ids.get(term.value)
+        elif type(term) is Null:
+            tid = self._null_ids.get(term.label)
+        else:
+            return None
+        if tid is not None and self._memoise:
+            term._tid = tid
+        return tid
+
+    # -- decoding -----------------------------------------------------------
+
+    def term(self, tid: int) -> Term:
+        """The canonical term object for ``tid``."""
+        return (self._nulls if tid & 1 else self._constants)[tid >> 1]
+
+    def decode(self, ids: Iterable[int]) -> Tuple[Term, ...]:
+        """Decode a tuple of IDs into canonical term objects."""
+        nulls = self._nulls
+        constants = self._constants
+        return tuple(
+            (nulls if tid & 1 else constants)[tid >> 1] for tid in ids
+        )
+
+    def decode_atom(self, key: Sequence[int]) -> Atom:
+        """Rebuild the :class:`Atom` of an encoded fact key ``(pid, *tids)``.
+
+        The returned atom carries the key in its ``_key`` cache, so adding it
+        to further instances (delta sinks, rebuild loads) re-encodes nothing.
+        """
+        atom = Atom(self._constants[key[0] >> 1].value, self.decode(key[1:]))
+        if self._memoise:
+            atom._key = tuple(key)
+        return atom
+
+    def atom_key(self, atom: Atom) -> Tuple[int, ...]:
+        """The encoded fact key ``(pid, tid1, ..., tidn)`` of ``atom``.
+
+        Memoised on the atom; raises :class:`TypeError` for non-fact atoms
+        (variables cannot be interned).
+        """
+        if not self._memoise:
+            intern = self.intern_term
+            return (
+                self.intern_constant(atom.predicate),
+                *(intern(term) for term in atom.terms),
+            )
+        key = atom._key
+        if key is None:
+            intern = self.intern_term
+            key = atom._key = (
+                self.intern_constant(atom.predicate),
+                *(intern(term) for term in atom.terms),
+            )
+        return key
+
+    # -- worker dictionary deltas -------------------------------------------
+
+    def counts(self) -> Tuple[int, int]:
+        """(#constants, #nulls) — the replica-sync high-water mark."""
+        return len(self._constants), len(self._nulls)
+
+    def delta_since(self, n_constants: int, n_nulls: int) -> Tuple[List[str], List[str]]:
+        """The table suffix beyond the given per-kind counts (parent side)."""
+        return (
+            [term.value for term in self._constants[n_constants:]],
+            [term.label for term in self._nulls[n_nulls:]],
+        )
+
+    def apply_delta(
+        self,
+        n_constants: int,
+        n_nulls: int,
+        constants: Sequence[str],
+        nulls: Sequence[str],
+    ) -> None:
+        """Replay a parent table suffix (worker side).
+
+        ``n_constants`` / ``n_nulls`` are the parent-side counts the delta
+        starts at.  Entries this table already holds are verified to be a
+        prefix of the parent's (the worker must never have interned a term
+        the parent did not ship — that would fork the ID spaces and silently
+        corrupt every subsequent match).
+        """
+        if len(self._constants) < n_constants or len(self._nulls) < n_nulls:
+            raise RuntimeError(
+                "term-table delta out of order: replica is behind the delta start"
+            )
+        for offset, value in enumerate(constants):
+            index = n_constants + offset
+            if index < len(self._constants):
+                if self._constants[index].value != value:
+                    raise RuntimeError(
+                        f"term-table divergence: constant slot {index} holds "
+                        f"{self._constants[index].value!r}, parent shipped {value!r}"
+                    )
+            elif self.intern_constant(value) != index << 1:
+                raise RuntimeError(
+                    f"term-table divergence: constant {value!r} already "
+                    "interned out of parent order"
+                )
+        for offset, label in enumerate(nulls):
+            index = n_nulls + offset
+            if index < len(self._nulls):
+                if self._nulls[index].label != label:
+                    raise RuntimeError(
+                        f"term-table divergence: null slot {index} holds "
+                        f"{self._nulls[index].label!r}, parent shipped {label!r}"
+                    )
+            elif self.intern_null(label) != (index << 1) | 1:
+                raise RuntimeError(
+                    f"term-table divergence: null {label!r} already "
+                    "interned out of parent order"
+                )
+
+    def __len__(self) -> int:
+        """Total interned entries (both kinds)."""
+        return len(self._constants) + len(self._nulls)
+
+    def __repr__(self) -> str:
+        return (
+            f"TermTable({len(self._constants)} constants, "
+            f"{len(self._nulls)} nulls)"
+        )
+
+
+#: The process-global table every engine layer encodes through — the only
+#: table allowed to memoise IDs on term/atom objects.
+TERMS = TermTable(_memoise=True)

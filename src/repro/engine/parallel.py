@@ -8,12 +8,21 @@ worker processes and exposes it to the engines as a drop-in replacement for
 :meth:`CompiledRule.trigger_row_batches <repro.engine.plan.CompiledRule.trigger_row_batches>`:
 
 * **Workers hold replicas, the parent holds the truth.**  Each worker keeps
-  a full :class:`~repro.datalog.database.Instance` replica plus the
+  an encoded replica (ID rows + postings, no Atom objects) plus the
   :class:`~repro.engine.shard.ShardedInstance` shard it owns.  The parent
   never ships whole instances per round: a :class:`ParallelSession` tracks
   per-predicate row counts and broadcasts only the facts appended since the
   last sync, in global insertion order, so replica ordinals equal parent
   ordinals by construction.
+* **The wire format is columnar.**  Facts cross the process boundary as one
+  flat int array of term IDs (``[pred, arity, ids...]`` per fact, 4-byte
+  entries unless IDs overflow) plus
+  an **incremental dictionary delta** — the term-table suffix
+  (:meth:`~repro.engine.interning.TermTable.delta_since`) the workers have
+  not replayed yet.  Each constant string is therefore pickled once per pool
+  lifetime, not once per fact occurrence; match results come back the same
+  way (gid arrays + flat slot-ID arrays).  The parent counts every payload
+  byte in ``STATS.parallel_bytes_shipped``.
 * **Matching is distributed, firing is not.**  A match task asks every
   worker for its shard's slice of one rule's trigger batches (the full join
   of a naive round, or the viable pivots of a delta round, whose candidate
@@ -34,8 +43,11 @@ The pool is process-global and lazy: nothing is forked until the first
 dispatch actually crosses the threshold, sessions re-arm it when another
 session (e.g. a nested engine run) used it in between, and the pool survives
 across engine runs so repeated materialisations pay the fork cost once.
-Platforms without the ``fork`` start method degrade to the in-process batch
-path transparently.
+Worker term tables are never cleared: the parent's table is append-only, so
+every session's dictionary deltas extend the same replayed prefix and the
+pool-level high-water mark (:attr:`WorkerPool.synced_terms`) persists across
+sessions.  Platforms without the ``fork`` start method degrade to the
+in-process batch path transparently.
 """
 
 from __future__ import annotations
@@ -43,9 +55,12 @@ from __future__ import annotations
 import atexit
 import os
 import pickle
+from array import array
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.engine.index import PredicateIndex
+from repro.engine.interning import TERMS
 from repro.engine.mode import get_worker_count, parallel_enabled
 from repro.engine.shard import ShardedInstance, merge_sharded, run_batch_sharded
 from repro.engine.stats import STATS
@@ -86,58 +101,153 @@ def parallel_threshold_override(threshold: int) -> Iterator[None]:
 
 
 # ---------------------------------------------------------------------------
+# Columnar wire helpers
+# ---------------------------------------------------------------------------
+
+
+def _int_array(values) -> array:
+    """An int array at the narrowest safe width (4-byte unless IDs overflow).
+
+    Term IDs and ordinals are small in practice; a fixed ``'q'`` would ship
+    8 bytes per slot where the old object pickles paid ~5 per memo
+    reference, losing the byte-volume war the columnar format exists to
+    win.  The typecode travels inside the array's pickle, so the receiver
+    is width-agnostic.
+    """
+    arr = array("i")
+    try:
+        arr.extend(values)
+        return arr
+    except OverflowError:
+        return array("q", values)
+
+
+def _pack_parts(
+    parts: List[Tuple[List[int], List[Tuple[int, ...]]]],
+) -> List[Tuple[array, int, array]]:
+    """Flatten per-plan (gids, slot-ID rows) into int-array columns."""
+    packed = []
+    for gids, rows in parts:
+        width = len(rows[0]) if rows else 0
+        flat = []
+        for row in rows:
+            flat.extend(row)
+        packed.append((_int_array(gids), width, _int_array(flat)))
+    return packed
+
+
+def _unpack_parts(
+    packed: Sequence[Tuple[array, int, array]],
+) -> List[Tuple[List[int], List[Tuple[int, ...]]]]:
+    """Rebuild (gids, slot-ID rows) lists from the flat wire columns."""
+    parts = []
+    for gids_arr, width, flat in packed:
+        gids = list(gids_arr)
+        if width:
+            it = iter(flat)
+            rows: List[Tuple[int, ...]] = list(zip(*([it] * width)))
+        else:
+            rows = [()] * len(gids)
+        parts.append((gids, rows))
+    return parts
+
+
+class _Replica:
+    """A worker's encoded mirror of the parent instance.
+
+    Holds only what matching needs: the ID-row index and the insertion
+    counter (replica ordinals equal parent ordinals because sync messages
+    arrive in global insertion order).  No Atom is ever materialised — the
+    decoded view is a parent-side, result-boundary concern.
+    """
+
+    __slots__ = ("_index", "_counter")
+
+    def __init__(self) -> None:
+        self._index = PredicateIndex()
+        self._counter = 0
+
+    def add_encoded(self, predicate: str, ids: Tuple[int, ...]) -> int:
+        """Append one (parent-deduplicated) encoded fact; returns its gid."""
+        gid = self._counter
+        self._counter = gid + 1
+        self._index.add_encoded(predicate, ids)
+        return gid
+
+    def _plan_source(self):
+        """(index, row limits) pair the join-plan executor runs against."""
+        return self._index, None
+
+
+# ---------------------------------------------------------------------------
 # Worker side
 # ---------------------------------------------------------------------------
 
 
 def _worker_main(worker_id: int, n_workers: int, task_queue, result_queue) -> None:
-    """The worker loop: maintain a replica + shard, answer match tasks.
+    """The worker loop: maintain an encoded replica + shard, answer match tasks.
 
-    Replica ordinals equal parent ordinals because sync messages arrive in
-    global insertion order; the shard's gid arrays record them.  Rules are
-    compiled locally (plan compilation is deterministic, so worker plans are
-    slot-for-slot identical to the parent's).
+    Rules are compiled locally (plan compilation is deterministic and interns
+    only constants the parent interned first, so worker plans are
+    slot-for-slot and ID-for-ID identical to the parent's).
     """
-    from repro.datalog.database import Instance
     from repro.engine.plan import compile_rule
 
-    replica = Instance()
+    replica = _Replica()
     sharded = ShardedInstance(n_workers, keep=worker_id)
     shard = sharded.shard(worker_id)
     rules: List = []
     compiled: Dict[int, object] = {}
+    #: A failed sync (e.g. a dictionary-delta divergence) leaves the replica
+    #: suspect: the diagnostic is held here and reported on the next match
+    #: task instead of killing the process with the message unread.
+    sync_error: Optional[str] = None
     while True:
         message = task_queue.get()
         tag = message[0]
         if tag == "sync":
-            # The payload is pre-pickled once in the parent (a broadcast
-            # would otherwise pickle the same atom list once per worker).
-            # The parent only ships genuinely new facts (and disables
-            # dispatch entirely if its instance ever saw a deletion), so
-            # add_fact returning False cannot happen; the guard keeps a
-            # duplicate from stealing the next fact's gid even so.
-            for atom in pickle.loads(message[1]):
-                gid = replica._counter
-                if replica.add_fact(atom):
-                    sharded.ingest(atom, gid)
+            # The payload is pickled once in the parent (a broadcast would
+            # otherwise pickle the same columns once per worker): the term
+            # dictionary delta, the message's predicate name table, and the
+            # flat [pred, arity, ids...] fact stream in ordinal order.
+            try:
+                c_start, consts, n_start, nulls, preds, stream = pickle.loads(message[1])
+                TERMS.apply_delta(c_start, n_start, consts, nulls)
+                cursor = 0
+                end = len(stream)
+                while cursor < end:
+                    predicate = preds[stream[cursor]]
+                    arity = stream[cursor + 1]
+                    ids = tuple(stream[cursor + 2 : cursor + 2 + arity])
+                    cursor += 2 + arity
+                    gid = replica.add_encoded(predicate, ids)
+                    sharded.ingest_encoded(predicate, ids, gid)
+            except Exception as error:
+                sync_error = f"sync failed: {type(error).__name__}: {error}"
         elif tag == "match":
             _, task_id, rule_id, spec = message
+            if sync_error is not None:
+                result_queue.put(("err", task_id, worker_id, sync_error))
+                continue
             try:
                 crule = compiled.get(rule_id)
                 if crule is None:
                     crule = compiled[rule_id] = compile_rule(rules[rule_id])
                 STATS.reset()
-                payload: List[Tuple[List[int], List[Tuple]]] = []
+                parts: List[Tuple[List[int], List[Tuple]]] = []
                 if spec[0] == "full":
-                    payload.append(run_batch_sharded(crule.plan, shard, replica))
+                    parts.append(run_batch_sharded(crule.plan, shard, replica))
                 else:
                     _, gid_lo, gid_hi, pivots = spec
                     for pivot in pivots:
-                        payload.append(
+                        parts.append(
                             run_batch_sharded(
                                 crule.pivot_plans[pivot], shard, replica, gid_lo, gid_hi
                             )
                         )
+                payload = pickle.dumps(
+                    _pack_parts(parts), pickle.HIGHEST_PROTOCOL
+                )
                 result_queue.put(
                     ("ok", task_id, worker_id, payload, STATS.batch_probe_groups)
                 )
@@ -146,17 +256,19 @@ def _worker_main(worker_id: int, n_workers: int, task_queue, result_queue) -> No
                     ("err", task_id, worker_id, f"{type(error).__name__}: {error}")
                 )
         elif tag == "reset":
-            replica = Instance()
+            replica = _Replica()
             sharded = ShardedInstance(n_workers, keep=worker_id)
             shard = sharded.shard(worker_id)
             rules = message[1]
             compiled = {}
+            sync_error = None
         elif tag == "clear":
-            replica = Instance()
+            replica = _Replica()
             sharded = ShardedInstance(n_workers, keep=worker_id)
             shard = sharded.shard(worker_id)
             rules = []
             compiled = {}
+            sync_error = None
         elif tag == "stop":
             return
 
@@ -176,6 +288,9 @@ class WorkerPool:
         self.n_workers = n_workers
         self.task_queues = [context.SimpleQueue() for _ in range(n_workers)]
         self.result_queue = context.Queue()
+        #: Per-kind term-table counts the workers hold (fork inherits the
+        #: table; dictionary deltas extend it from here, across sessions).
+        self.synced_terms: Tuple[int, int] = TERMS.counts()
         self.processes = [
             context.Process(
                 target=_worker_main,
@@ -232,7 +347,8 @@ class WorkerPool:
                 raise RuntimeError(
                     f"parallel protocol error: expected task {task_id}, got {result_task}"
                 )
-            payloads[worker_id] = payload
+            STATS.parallel_bytes_shipped += len(payload)
+            payloads[worker_id] = _unpack_parts(pickle.loads(payload))
             probe_groups += groups
             pending -= 1
         STATS.batch_probe_groups += probe_groups
@@ -353,7 +469,15 @@ class ParallelSession:
         return True
 
     def _sync(self) -> None:
-        """Ship the facts appended since the last sync, in ordinal order."""
+        """Ship the facts appended since the last sync, in ordinal order.
+
+        The payload is columnar: the term-dictionary suffix the workers have
+        not replayed yet (pool-level high-water mark, so strings ship once
+        per pool lifetime even across sessions), the message's predicate
+        name table, and one flat int array of ``[pred, arity, ids...]``
+        records.  Encoded keys are read from the atoms' memoised ``_key``
+        caches — no re-interning, no object graphs.
+        """
         instance = self.instance
         if instance._counter == self._synced_count:
             return
@@ -365,7 +489,30 @@ class ParallelSession:
                 new_atoms.extend(fact for fact in rows[start:] if fact is not None)
                 limits[predicate] = len(rows)
         new_atoms.sort(key=instance._ordinals.__getitem__)
-        self._pool.broadcast(("sync", pickle.dumps(new_atoms, pickle.HIGHEST_PROTOCOL)))
+        pool = self._pool
+        c_start, n_start = pool.synced_terms
+        consts, nulls = TERMS.delta_since(c_start, n_start)
+        pool.synced_terms = TERMS.counts()
+        pred_ids: Dict[str, int] = {}
+        preds: List[str] = []
+        stream: List[int] = []
+        atom_key = TERMS.atom_key
+        for atom in new_atoms:
+            key = atom_key(atom)
+            predicate = atom.predicate
+            pred_idx = pred_ids.get(predicate)
+            if pred_idx is None:
+                pred_idx = pred_ids[predicate] = len(preds)
+                preds.append(predicate)
+            stream.append(pred_idx)
+            stream.append(len(key) - 1)
+            stream.extend(key[1:])
+        payload = pickle.dumps(
+            (c_start, consts, n_start, nulls, preds, _int_array(stream)),
+            pickle.HIGHEST_PROTOCOL,
+        )
+        STATS.parallel_bytes_shipped += len(payload) * self.n_workers
+        pool.broadcast(("sync", payload))
         self._synced_count = instance._counter
 
     def _delta_window(self, delta: Instance) -> Optional[Tuple[int, int]]:
@@ -458,6 +605,7 @@ class ParallelSession:
                 rows = crule._filter_negation_rows(rows, crule.plan, negation_reference)
             return [(crule.plan, rows)] if rows else []
         delta_index = delta._plan_source()[0]
+        full_index = instance._plan_source()[0]
         delta_live = delta_index.live
         pivots: List[int] = []
         estimate = 0
@@ -466,7 +614,7 @@ class ParallelSession:
             if not count:
                 continue
             plan = crule.pivot_plans[pivot]
-            if not plan.pivot_viable(delta_index):
+            if not plan.pivot_viable(delta_index, full_index):
                 STATS.pivots_skipped += 1
                 continue
             pivots.append(pivot)

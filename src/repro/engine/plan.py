@@ -1,4 +1,4 @@
-"""Compile-once join plans for rule-body evaluation.
+"""Compile-once join plans for rule-body evaluation, executed on term IDs.
 
 The seed matcher (`repro.engine.reference.reference_match_atoms`, formerly
 ``chase.match_atoms``) re-derived its entire strategy on every call: it
@@ -11,42 +11,74 @@ resolves it **once** at plan time:
   then most constants, then fewest fresh variables) computed over the
   statically known set of bound variables at each join step.
 * **Positions** — every term position compiles to one of three ops:
-  ``CHECK_CONST`` (the position must equal a constant), ``CHECK_SLOT`` (the
-  position must equal an already-bound variable slot — this is also how
-  repeated variables are enforced), or ``BIND_SLOT`` (the position binds a
-  fresh slot).  Verification of a candidate fact is a flat loop over these
-  ops on the fact's term tuple; no substitution dicts, no pattern atoms.
-* **Probes** — the positions usable for index lookup (constants and bound
+  ``CHECK_CONST`` (the position must equal a constant — whose **dictionary
+  ID** is resolved here, at plan time, so the runtime comparison is a plain
+  int equality), ``CHECK_SLOT`` (the position must equal an already-bound
+  variable slot — this is also how repeated variables are enforced), or
+  ``BIND_SLOT`` (the position binds a fresh slot).  Verification of a
+  candidate fact is a flat loop over these ops on the fact's **ID row**
+  (:attr:`~repro.engine.index.PredicateIndex.cols`); no substitution dicts,
+  no pattern atoms, no term-object dispatch.
+* **Probes** — the positions usable for index lookup (constant IDs and bound
   slots) are precomputed; at run time the executor picks the shortest
   postings bucket among them.
 * **Negation** — each negated atom (ground under any full body match, by
   rule safety) compiles to a membership template evaluated directly against
-  the negation reference.
+  the negation reference — at the encoded-key level on the batch paths.
 * **Pivots** — for semi-naive delta joins, :func:`compile_rule` prepares one
   plan per body atom with that atom forced first; the executor reads the
-  first step's candidates from the delta and the rest from the full instance.
+  first step's candidates from the delta and the rest from the full
+  instance.  :meth:`JoinPlan.pivot_viable` is the cost-based pre-check: a
+  pivot is skipped when a bound constant of the pivot atom has an empty
+  delta postings bucket, **or** when every value the delta can bind into a
+  slot probed by a later step is absent from the full instance's postings at
+  that probed position (the per-round bound-value summaries of
+  :meth:`~repro.engine.index.PredicateIndex.distinct_values`).
+
+Slot values are integers (term IDs) throughout execution; decoding back to
+:class:`~repro.datalog.terms.Term` objects happens only when substitution
+dicts leave the executor (:meth:`JoinPlan.execute`, the row-mode engine
+surface) or when head facts are genuinely new (the result boundary).
 
 Plans are cached (bodies and rules are hashable), so constraint checks and
 repeated engine runs over the same program compile nothing after the first
-call.
+call.  :mod:`repro.engine.plancache` can pre-stage serialised plan bundles
+for fixed programs; :func:`compile_rule` consults the staging area before
+compiling from scratch.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.datalog.atoms import Atom
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Term, Variable
+from repro.engine.interning import TERMS
 from repro.engine.stats import STATS
 
 CHECK_CONST = 0
 CHECK_SLOT = 1
 BIND_SLOT = 2
 
-# Probe kinds: position equals a constant / the value of a bound slot.
+# Probe kinds: position equals a constant ID / the value of a bound slot.
 PROBE_CONST = 0
 PROBE_SLOT = 1
+
+
+def _seed_id(value):
+    """Normalise a seed binding to a term ID (engine rows carry raw ints).
+
+    A seed term the table has never interned is kept as the term object
+    itself rather than interned: an absent term can never equal any stored
+    ID (so joins on it correctly find nothing), a foreign prebound variable
+    still round-trips through :meth:`JoinPlan.execute` unchanged, and
+    ad-hoc query vocabulary does not grow the process-global table.
+    """
+    if type(value) is int:
+        return value
+    tid = TERMS.find_term(value)
+    return value if tid is None else tid
 
 
 class _Step:
@@ -57,8 +89,8 @@ class _Step:
     def __init__(
         self,
         atom: Atom,
-        ops: Tuple[Tuple[int, int, object], ...],
-        probes: Tuple[Tuple[int, int, object], ...],
+        ops: Tuple[Tuple[int, int, int], ...],
+        probes: Tuple[Tuple[int, int, int], ...],
     ):
         self.atom = atom
         self.predicate = atom.predicate
@@ -71,12 +103,22 @@ class JoinPlan:
     """A compiled join over a fixed atom sequence.
 
     ``execute`` yields one substitution dict per homomorphism of the body
-    into the instance, exactly as the legacy matcher did; ``exists`` is the
-    allocation-free boolean variant used for head-satisfaction and
-    constraint checks.
+    into the instance, exactly as the legacy matcher did (term objects are
+    decoded at that boundary); ``run_batch`` returns the raw ID rows the
+    batch engines fire from; ``exists`` is the allocation-free boolean
+    variant used for head-satisfaction and constraint checks.
     """
 
-    __slots__ = ("atoms", "steps", "slot_of", "n_slots", "emit", "prebound", "batch_plan")
+    __slots__ = (
+        "atoms",
+        "steps",
+        "slot_of",
+        "n_slots",
+        "emit",
+        "prebound",
+        "batch_plan",
+        "pivot_flow",
+    )
 
     def __init__(
         self,
@@ -96,6 +138,9 @@ class JoinPlan:
         self.prebound = prebound
         # Lazily-built column-at-a-time executor (repro.engine.batch).
         self.batch_plan = None
+        # Lazily-built (step0 position, later predicate, later position)
+        # triples for the slot-bound pivot-viability test.
+        self.pivot_flow: Optional[Tuple[Tuple[int, str, int], ...]] = None
 
     # -- execution ----------------------------------------------------------
 
@@ -112,21 +157,42 @@ class JoinPlan:
         candidates are read from it instead — the semi-naive pivot join.
         """
         emit = self.emit
+        nulls = TERMS._nulls
+        constants = TERMS._constants
         for slots in self._run(source, initial, delta_source):
-            yield dict(zip(emit, slots))
+            try:
+                yield dict(
+                    zip(emit, [(nulls if t & 1 else constants)[t >> 1] for t in slots])
+                )
+            except TypeError:
+                # Non-int slots pass through undecoded: None for a prebound
+                # variable never seeded nor bound (the legacy contract), or
+                # the original term object for a seed the table never
+                # interned (see :func:`_seed_id`).
+                yield dict(
+                    zip(
+                        emit,
+                        [
+                            (nulls if t & 1 else constants)[t >> 1]
+                            if type(t) is int
+                            else t
+                            for t in slots
+                        ],
+                    )
+                )
 
     def run_batch(
         self,
         source,
         initial: Optional[Dict[Variable, Term]] = None,
         delta_source=None,
-    ) -> List[Tuple[Term, ...]]:
-        """All homomorphisms as full slot tuples, column-at-a-time.
+    ) -> List[Tuple[int, ...]]:
+        """All homomorphisms as full slot-ID tuples, column-at-a-time.
 
         Same multiset *and order* as :meth:`execute` (each tuple is
-        index-aligned with :attr:`emit`), but computed by the batch executor
-        of :mod:`repro.engine.batch`: one probe per distinct probe key per
-        step instead of one probe per outer binding.
+        index-aligned with :attr:`emit`, values are term IDs), but computed
+        by the batch executor of :mod:`repro.engine.batch`: one probe per
+        distinct probe key per step instead of one probe per outer binding.
         """
         batch = self.batch_plan
         if batch is None:
@@ -143,13 +209,63 @@ class JoinPlan:
     ) -> List[Dict[Variable, Term]]:
         """Batched :meth:`execute`: the matches as a list of substitution dicts."""
         emit = self.emit
-        return [dict(zip(emit, row)) for row in self.run_batch(source, initial, delta_source)]
+        term = TERMS.term
+        return [
+            dict(
+                zip(emit, (term(tid) if type(tid) is int else tid for tid in row))
+            )
+            for row in self.run_batch(source, initial, delta_source)
+        ]
 
-    def pivot_viable(self, index) -> bool:
-        """False iff a constant probe of the first step has an empty postings
-        bucket in ``index`` — the cheap pre-check behind semi-naive pivot
-        skipping (``index`` is the delta; a pivot whose bound terms never
-        occur in the delta cannot produce a match and is skipped wholesale).
+    def _pivot_flow(self) -> Tuple[Tuple[int, str, int], ...]:
+        """(step0 bind position, later predicate, later probed position) triples.
+
+        For each later step that probes a slot **bound by step 0**, the
+        triple records where in the pivot atom the value comes from and
+        which postings bucket of the full instance it will be probed
+        against.  If, for every distinct value the delta holds at that
+        pivot position, the probed bucket is empty, the whole pivot join
+        cannot produce a match — the slot-bound half of pivot skipping.
+        """
+        flow = self.pivot_flow
+        if flow is None:
+            steps = self.steps
+            if not steps:
+                flow = ()
+            else:
+                bound_at: Dict[int, int] = {}
+                for code, position, payload in steps[0].ops:
+                    if code == BIND_SLOT:
+                        bound_at[payload] = position
+                triples: List[Tuple[int, str, int]] = []
+                for step in steps[1:]:
+                    for position, kind, payload in step.probes:
+                        if kind == PROBE_SLOT and payload in bound_at:
+                            triples.append(
+                                (bound_at[payload], step.predicate, position)
+                            )
+                flow = tuple(triples)
+            self.pivot_flow = flow
+        return flow
+
+    def pivot_viable(self, index, full_index=None) -> bool:
+        """False iff this pivot join provably has no match in the delta.
+
+        Two cheap pre-checks, both evaluated identically in every execution
+        mode (parallel mode runs them in the parent):
+
+        * a **constant** probe of the first step has an empty postings
+          bucket in ``index`` (the delta) — the bound term never occurs in
+          the delta; or
+        * with ``full_index`` given, some later step probes a slot bound at
+          step 0, and none of the delta's distinct values at that pivot
+          position (:meth:`~repro.engine.index.PredicateIndex.distinct_values`,
+          the per-round bound-value summary) has a postings bucket at the
+          probed position of the full instance — every candidate binding
+          dead-ends at that step.
+
+        Both tests are conservative: postings buckets may contain tombstoned
+        rows, which only ever yields "viable" for a pivot that finds nothing.
         """
         step = self.steps[0]
         predicate = step.predicate
@@ -157,6 +273,17 @@ class JoinPlan:
         for position, kind, payload in step.probes:
             if kind == PROBE_CONST and not postings.get((predicate, position, payload)):
                 return False
+        if full_index is not None:
+            full_postings = full_index.postings
+            for pivot_position, later_predicate, later_position in self._pivot_flow():
+                values = index.distinct_values(predicate, pivot_position)
+                if values is None:
+                    continue
+                for tid in values:
+                    if full_postings.get((later_predicate, later_position, tid)):
+                        break
+                else:
+                    return False
         return True
 
     def exists(
@@ -169,15 +296,15 @@ class JoinPlan:
             return True
         return False
 
-    def _run(self, source, initial, delta_source) -> Iterator[List[Term]]:
+    def _run(self, source, initial, delta_source) -> Iterator[List[int]]:
         index, limits = source._plan_source()
-        slots: List[Term] = [None] * self.n_slots
+        slots: List[Optional[int]] = [None] * self.n_slots
         if initial:
             slot_of = self.slot_of
             for variable, value in initial.items():
                 slot = slot_of.get(variable)
                 if slot is not None:
-                    slots[slot] = value
+                    slots[slot] = _seed_id(value)
         steps = self.steps
         n_steps = len(steps)
         if n_steps == 0:
@@ -188,10 +315,10 @@ class JoinPlan:
         else:
             delta_index, delta_limits = index, limits
 
-        # Per-depth candidate state: the rows list, the postings bucket (or
+        # Per-depth candidate state: the ID-row list, the postings bucket (or
         # None for a full scan), the cursor, the iteration bound, and the
         # row-id cap capturing the prefix visible to this lookup.
-        rows_s: List[Optional[List[Optional[Atom]]]] = [None] * n_steps
+        rows_s: List[Optional[List[Optional[Tuple[int, ...]]]]] = [None] * n_steps
         ids_s: List[Optional[List[int]]] = [None] * n_steps
         pos_s = [0] * n_steps
         end_s = [0] * n_steps
@@ -202,7 +329,7 @@ class JoinPlan:
             step = steps[depth]
             idx = delta_index if depth == 0 and delta_source is not None else index
             lim = delta_limits if depth == 0 and delta_source is not None else limits
-            rows = idx.rows.get(step.predicate)
+            rows = idx.cols.get(step.predicate)
             pos_s[depth] = 0
             if not rows:
                 rows_s[depth] = None
@@ -249,12 +376,11 @@ class JoinPlan:
                 fact = rows[row_id]
                 if fact is None:
                     continue
-                terms = fact.terms
-                if len(terms) != arity:
+                if len(fact) != arity:
                     continue
                 ok = True
                 for code, position, payload in ops:
-                    term = terms[position]
+                    term = fact[position]
                     if code == CHECK_CONST:
                         if term == payload:
                             continue
@@ -281,7 +407,12 @@ class JoinPlan:
 
 
 class _NegationProbe:
-    """A negated body atom compiled to a ground membership template."""
+    """A negated body atom compiled to a ground membership template.
+
+    Term-level (the row-mode path): the instantiated atom is built with term
+    objects and checked with ``in``.  The batch paths use the encoded-key
+    templates of :meth:`CompiledRule._negation_slots` instead.
+    """
 
     __slots__ = ("atom", "predicate", "template")
 
@@ -307,17 +438,49 @@ class _NegationProbe:
         return fact in reference
 
 
+def _reference_has_key(reference) -> Optional[Callable]:
+    """The encoded-membership probe of ``reference``, or None.
+
+    Instances and snapshots answer membership at the key level; anything
+    else (a plain set in a test, say) falls back to decoded-Atom ``in``.
+    """
+    return getattr(reference, "has_key", None)
+
+
+def _negation_hit(templates, row, has_key, reference) -> bool:
+    """True iff some encoded negation template matches ``reference`` at ``row``.
+
+    The single definition both the per-row check and the memoised batch
+    pre-filter go through, so the two paths cannot drift: keys are built
+    from the slot templates and answered via ``has_key`` when the reference
+    speaks encoded keys, else by decoded-Atom membership.
+    """
+    for _, pid, template in templates:
+        key = (pid, *(
+            row[payload] if is_slot else payload
+            for is_slot, payload in template
+        ))
+        if (
+            has_key(key)
+            if has_key is not None
+            else TERMS.decode_atom(key) in reference
+        ):
+            return True
+    return False
+
+
 class RowOps:
     """Row-level firing helpers for one (rule, plan) pair.
 
-    The batch executor represents matches as slot tuples; this object is the
-    precompiled bridge from those rows to everything an engine does with a
-    match — building head facts, body instantiations (provenance), frontier
-    and full binding keys, and negation membership probes — without ever
-    materialising a substitution dict.  Existential head variables map to
+    The batch executor represents matches as slot-ID tuples; this object is
+    the precompiled bridge from those rows to everything an engine does with
+    a match — building encoded head-fact keys, body instantiations
+    (provenance), frontier and full binding keys, and negation membership
+    probes — without ever materialising a substitution dict (or, on the
+    firing fast path, an Atom).  Existential head variables map to
     *extended* slot ids ``n_slots + j`` (``j`` over the rule's sorted
-    existentials): engines append the invented nulls to the row and feed the
-    extended tuple to :meth:`head_facts_row`.
+    existentials): engines append the invented nulls' IDs to the row and
+    feed the extended tuple to :meth:`head_keys_row`.
     """
 
     __slots__ = (
@@ -340,7 +503,7 @@ class RowOps:
         }
 
         def template(atom: Atom):
-            """Compile one atom into a (predicate, slot-or-constant parts) pair."""
+            """Compile one atom into (predicate, pid, slot-or-ID parts)."""
             parts = []
             for term in atom.terms:
                 if isinstance(term, Variable):
@@ -349,8 +512,8 @@ class RowOps:
                         slot = existential_slot[term]
                     parts.append((True, slot))
                 else:
-                    parts.append((False, term))
-            return (atom.predicate, tuple(parts))
+                    parts.append((False, TERMS.intern_term(term)))
+            return (atom.predicate, TERMS.intern_constant(atom.predicate), tuple(parts))
 
         self.emit = plan.emit
         self.n_slots = n_slots
@@ -367,49 +530,43 @@ class RowOps:
         )
         self.neg_templates = crule._negation_slots(plan)[1]
 
-    def head_facts_row(self, extended_row) -> List[Atom]:
-        """The head atoms instantiated from an (extended) slot row."""
+    def head_keys_row(self, extended_row) -> List[Tuple[int, ...]]:
+        """The encoded head-fact keys instantiated from an (extended) slot row."""
         return [
-            Atom(
-                predicate,
-                tuple(
-                    extended_row[payload] if is_slot else payload
-                    for is_slot, payload in template
-                ),
-            )
-            for predicate, template in self.head_templates
+            (pid, *(
+                extended_row[payload] if is_slot else payload
+                for is_slot, payload in template
+            ))
+            for _, pid, template in self.head_templates
         ]
+
+    def head_facts_row(self, extended_row) -> List[Atom]:
+        """The head atoms instantiated from an (extended) slot-ID row (decoded)."""
+        decode_atom = TERMS.decode_atom
+        return [decode_atom(key) for key in self.head_keys_row(extended_row)]
 
     def body_facts_row(self, row) -> Tuple[Atom, ...]:
         """The positive body instantiated from a row (provenance records)."""
+        decode_atom = TERMS.decode_atom
         return tuple(
-            Atom(
-                predicate,
-                tuple(
+            decode_atom(
+                (pid, *(
                     row[payload] if is_slot else payload
                     for is_slot, payload in template
-                ),
+                ))
             )
-            for predicate, template in self.body_templates
+            for _, pid, template in self.body_templates
         )
 
     def binding_key(self, row) -> Tuple:
-        """The name-sorted (variable, value) tuple identifying this trigger."""
+        """The name-sorted (variable, value-ID) tuple identifying this trigger."""
         return tuple((variable, row[slot]) for variable, slot in self.binding_order)
 
     def negation_blocked_row(self, row, reference) -> bool:
         """Unmemoised per-row negation check (for mutable references)."""
-        for predicate, template in self.neg_templates:
-            fact = Atom(
-                predicate,
-                tuple(
-                    row[payload] if is_slot else payload
-                    for is_slot, payload in template
-                ),
-            )
-            if fact in reference:
-                return True
-        return False
+        return _negation_hit(
+            self.neg_templates, row, _reference_has_key(reference), reference
+        )
 
 
 class CompiledRule:
@@ -440,24 +597,46 @@ class CompiledRule:
 
     def __init__(self, rule: Rule):
         self.rule = rule
+        self._finish_init(
+            rule,
+            compile_body(rule.body_positive, ()),
+            tuple(
+                compile_pivot(rule.body_positive, pivot)
+                for pivot in range(len(rule.body_positive))
+            ),
+            compile_body(rule.head, rule.frontier)
+            if rule.existential_variables
+            else None,
+        )
+
+    @classmethod
+    def _restore(
+        cls,
+        rule: Rule,
+        plan: JoinPlan,
+        pivot_plans: Tuple[JoinPlan, ...],
+        head_plan: Optional[JoinPlan],
+    ) -> "CompiledRule":
+        """Rebuild a compiled rule from persisted plans (plan-cache load)."""
+        self = cls.__new__(cls)
+        self.rule = rule
+        self._finish_init(rule, plan, pivot_plans, head_plan)
+        return self
+
+    def _finish_init(self, rule, plan, pivot_plans, head_plan) -> None:
         self.sorted_frontier = tuple(sorted(rule.frontier))
         self.sorted_existentials = tuple(sorted(rule.existential_variables))
         # (predicate, ((is_variable, payload), ...)) per head atom: building a
-        # head fact is then direct dict indexing, no Atom.apply fallbacks.
+        # head fact is then direct dict indexing, no Atom.apply fallbacks
+        # (term-level — the row-mode firing path).
         self.head_templates = tuple(
             (atom.predicate, tuple((isinstance(t, Variable), t) for t in atom.terms))
             for atom in rule.head
         )
-        body = rule.body_positive
-        self.plan = compile_body(body, ())
-        self.pivot_plans = tuple(
-            compile_pivot(body, pivot) for pivot in range(len(body))
-        )
+        self.plan = plan
+        self.pivot_plans = pivot_plans
         self.negation = tuple(_NegationProbe(atom) for atom in rule.body_negative)
-        if rule.existential_variables:
-            self.head_plan = compile_body(rule.head, rule.frontier)
-        else:
-            self.head_plan = None
+        self.head_plan = head_plan
         # Per-plan slot templates for batched negation and row-level firing
         # (plan id -> compiled forms); pivot plans assign different slot
         # numberings, hence the keying.
@@ -479,12 +658,13 @@ class CompiledRule:
         caller's ``Instance.add``.
         """
         delta_index = delta._plan_source()[0]
+        full_index = instance._plan_source()[0]
         delta_live = delta_index.live
         for pivot, atom in enumerate(self.rule.body_positive):
             if not delta_live.get(atom.predicate):
                 continue
             plan = self.pivot_plans[pivot]
-            if not plan.pivot_viable(delta_index):
+            if not plan.pivot_viable(delta_index, full_index):
                 STATS.pivots_skipped += 1
                 continue
             yield from plan.execute(instance, None, delta_source=delta)
@@ -500,8 +680,8 @@ class CompiledRule:
 
     def trigger_row_batches(
         self, instance, delta=None, negation_reference=None
-    ) -> List[Tuple[JoinPlan, List[Tuple[Term, ...]]]]:
-        """Batched body matches as (plan, slot-row list) pairs.
+    ) -> List[Tuple[JoinPlan, List[Tuple[int, ...]]]]:
+        """Batched body matches as (plan, slot-ID-row list) pairs.
 
         The engine-facing batch entry point: one batch for the full join, or
         one per viable pivot when ``delta`` is given (same pivot order and
@@ -519,7 +699,7 @@ class CompiledRule:
         arrive in row-at-a-time order; feed them to :meth:`row_ops` helpers
         to fire heads without building substitution dicts.
         """
-        batches: List[Tuple[JoinPlan, List[Tuple[Term, ...]]]] = []
+        batches: List[Tuple[JoinPlan, List[Tuple[int, ...]]]] = []
         if delta is None:
             plan = self.plan
             rows = plan.run_batch(instance)
@@ -529,12 +709,13 @@ class CompiledRule:
                 batches.append((plan, rows))
             return batches
         delta_index = delta._plan_source()[0]
+        full_index = instance._plan_source()[0]
         delta_live = delta_index.live
         for pivot, atom in enumerate(self.rule.body_positive):
             if not delta_live.get(atom.predicate):
                 continue
             plan = self.pivot_plans[pivot]
-            if not plan.pivot_viable(delta_index):
+            if not plan.pivot_viable(delta_index, full_index):
                 STATS.pivots_skipped += 1
                 continue
             rows = plan.run_batch(instance, None, delta_source=delta)
@@ -545,15 +726,23 @@ class CompiledRule:
         return batches
 
     def _negation_slots(self, plan: JoinPlan) -> Tuple:
-        """(referenced slots, per-probe slot templates) for ``plan``'s layout."""
+        """(referenced slots, per-probe key templates) for ``plan``'s layout.
+
+        Template payloads are term IDs for constants and slot indices for
+        variables, so instantiating a probe under a slot-ID row yields the
+        encoded membership key directly.
+        """
         cached = self._neg_slot_cache.get(id(plan))
         if cached is None:
             slot_of = plan.slot_of
             templates = tuple(
                 (
                     probe.predicate,
+                    TERMS.intern_constant(probe.predicate),
                     tuple(
-                        (True, slot_of[payload]) if is_var else (False, payload)
+                        (True, slot_of[payload])
+                        if is_var
+                        else (False, TERMS.intern_term(payload))
                         for is_var, payload in probe.template
                     ),
                 )
@@ -563,7 +752,7 @@ class CompiledRule:
                 sorted(
                     {
                         payload
-                        for _, template in templates
+                        for _, _, template in templates
                         for is_slot, payload in template
                         if is_slot
                     }
@@ -577,12 +766,15 @@ class CompiledRule:
         """Drop slot rows whose negated atoms hold in ``reference``.
 
         The membership probes are batched: rows agreeing on every slot the
-        negated atoms read share one memoised verdict, so the ground atoms
-        are built once per distinct key instead of once per match.
+        negated atoms read share one memoised verdict, so the encoded keys
+        are built once per distinct key instead of once per match — and no
+        Atom is ever constructed when the reference answers at the key
+        level.
         """
         if not rows:
             return rows
         neg_slots, templates = self._negation_slots(plan)
+        has_key = _reference_has_key(reference)
         memo: Dict[Tuple, bool] = {}
         memo_get = memo.get
         kept = []
@@ -591,19 +783,7 @@ class CompiledRule:
             key = tuple(row[slot] for slot in neg_slots)
             blocked = memo_get(key)
             if blocked is None:
-                blocked = False
-                for predicate, template in templates:
-                    fact = Atom(
-                        predicate,
-                        tuple(
-                            row[payload] if is_slot else payload
-                            for is_slot, payload in template
-                        ),
-                    )
-                    if fact in reference:
-                        blocked = True
-                        break
-                memo[key] = blocked
+                blocked = memo[key] = _negation_hit(templates, row, has_key, reference)
             if not blocked:
                 append(row)
         return kept
@@ -685,11 +865,17 @@ def _selectivity_order(
     return order
 
 
-def _compile_ordered(
-    atoms: Sequence[Atom], first: Optional[int], prebound: FrozenSet[Variable]
+def _build_ordered(
+    atoms: Tuple[Atom, ...], order: Sequence[int], prebound: FrozenSet[Variable]
 ) -> JoinPlan:
-    atoms = tuple(atoms)
-    order = _selectivity_order(atoms, prebound, first)
+    """Build the plan for a fixed atom order (the post-selectivity half).
+
+    Split from :func:`_compile_ordered` so the plan cache
+    (:mod:`repro.engine.plancache`) can rebuild persisted plans without
+    re-running the greedy ordering.  Constant payloads are interned to term
+    IDs **here** — at plan-build time — which is what makes every runtime
+    comparison an int equality.
+    """
     slot_of: Dict[Variable, int] = {}
     for variable in sorted(prebound):
         slot_of[variable] = len(slot_of)
@@ -697,13 +883,14 @@ def _compile_ordered(
     steps: List[_Step] = []
     for i in order:
         atom = atoms[i]
-        probes: List[Tuple[int, int, object]] = []
-        hoisted: List[Tuple[int, int, object]] = []
-        trailing: List[Tuple[int, int, object]] = []
+        probes: List[Tuple[int, int, int]] = []
+        hoisted: List[Tuple[int, int, int]] = []
+        trailing: List[Tuple[int, int, int]] = []
         for position, term in enumerate(atom.terms):
             if not isinstance(term, Variable):
-                hoisted.append((CHECK_CONST, position, term))
-                probes.append((position, PROBE_CONST, term))
+                tid = TERMS.intern_term(term)
+                hoisted.append((CHECK_CONST, position, tid))
+                probes.append((position, PROBE_CONST, tid))
                 continue
             slot = slot_of.get(term)
             if slot is None:
@@ -725,10 +912,27 @@ def _compile_ordered(
     return JoinPlan(atoms, tuple(steps), slot_of, prebound)
 
 
+def _compile_ordered(
+    atoms: Sequence[Atom], first: Optional[int], prebound: FrozenSet[Variable]
+) -> JoinPlan:
+    atoms = tuple(atoms)
+    return _build_ordered(atoms, _selectivity_order(atoms, prebound, first), prebound)
+
+
 _BODY_CACHE: Dict[Tuple[Tuple[Atom, ...], FrozenSet[Variable]], JoinPlan] = {}
 _PIVOT_CACHE: Dict[Tuple[Tuple[Atom, ...], int], JoinPlan] = {}
 _RULE_CACHE: Dict[Rule, CompiledRule] = {}
 _CACHE_LIMIT = 4096
+
+#: Hook installed by :mod:`repro.engine.plancache`: rule -> CompiledRule or
+#: None, consulted on a rule-cache miss before compiling from scratch.
+_STAGED_LOOKUP: Optional[Callable[[Rule], Optional[CompiledRule]]] = None
+
+
+def set_staged_lookup(lookup: Optional[Callable[[Rule], Optional[CompiledRule]]]) -> None:
+    """Install (or clear) the plan-cache staging hook for this process."""
+    global _STAGED_LOOKUP
+    _STAGED_LOOKUP = lookup
 
 
 def compile_body(
@@ -771,11 +975,20 @@ def compile_pivot(atoms: Iterable[Atom], pivot: int) -> JoinPlan:
 
 
 def compile_rule(rule: Rule) -> CompiledRule:
-    """Compile (and cache) the full per-rule plan bundle."""
+    """Compile (and cache) the full per-rule plan bundle.
+
+    A staged plan-cache entry (:mod:`repro.engine.plancache`) is consulted
+    first on a miss: persisted bundles rebuild the plans structurally and
+    re-intern their constants against this process's term table, skipping
+    the selectivity search and op construction.
+    """
     compiled = _RULE_CACHE.get(rule)
     if compiled is None:
         if len(_RULE_CACHE) >= _CACHE_LIMIT:
             _RULE_CACHE.clear()
-        compiled = CompiledRule(rule)
+        if _STAGED_LOOKUP is not None:
+            compiled = _STAGED_LOOKUP(rule)
+        if compiled is None:
+            compiled = CompiledRule(rule)
         _RULE_CACHE[rule] = compiled
     return compiled

@@ -50,6 +50,7 @@ from zlib import crc32
 from repro.datalog.atoms import Atom
 from repro.datalog.terms import Constant, Null
 from repro.engine.index import PredicateIndex
+from repro.engine.interning import TERMS
 from repro.engine.stats import STATS
 
 SlotRow = Tuple
@@ -70,6 +71,24 @@ def shard_of(atom: Atom, n_shards: int) -> int:
             payload = "n:" + term.label
         else:  # pragma: no cover - facts carry no variables
             payload = "v:" + str(term)
+        h = crc32(payload.encode("utf-8"), h)
+    return h % n_shards
+
+
+def shard_of_encoded(predicate: str, ids: Tuple[int, ...], n_shards: int) -> int:
+    """:func:`shard_of` for a dictionary-encoded fact ``(predicate, ID row)``.
+
+    Worker replicas ingest facts as flat int rows (no Atom is ever built);
+    the routing key is still the **string** spelling of the first term —
+    decoded once from the term table — because term IDs are process-history
+    dependent while shard layouts must be reproducible across runs and
+    machines (``tests/test_engine_shard_parity.py`` pins this).
+    """
+    h = crc32(predicate.encode("utf-8"))
+    if ids:
+        tid = ids[0]
+        term = TERMS.term(tid)
+        payload = ("n:" + term.label) if tid & 1 else ("c:" + term.value)
         h = crc32(payload.encode("utf-8"), h)
     return h % n_shards
 
@@ -95,6 +114,15 @@ class Shard:
         bucket = self.gids.get(atom.predicate)
         if bucket is None:
             self.gids[atom.predicate] = [gid]
+        else:
+            bucket.append(gid)
+
+    def add_encoded(self, predicate: str, ids: Tuple[int, ...], gid: int) -> None:
+        """Append one dictionary-encoded fact (worker ingest; no Atom built)."""
+        self.index.add_encoded(predicate, ids)
+        bucket = self.gids.get(predicate)
+        if bucket is None:
+            self.gids[predicate] = [gid]
         else:
             bucket.append(gid)
 
@@ -128,6 +156,14 @@ class ShardedInstance:
         shard = self.shards[s]
         if shard is not None:
             shard.add(atom, gid)
+        return s
+
+    def ingest_encoded(self, predicate: str, ids: Tuple[int, ...], gid: int) -> int:
+        """Route one encoded fact (the worker replica path); returns its shard."""
+        s = shard_of_encoded(predicate, ids, self.n_shards)
+        shard = self.shards[s]
+        if shard is not None:
+            shard.add_encoded(predicate, ids, gid)
         return s
 
     def shard(self, s: int) -> Shard:
@@ -191,7 +227,7 @@ def run_batch_sharded(
     step0 = steps[0]
     if step0.slot_probes:
         raise ValueError("cannot shard a plan whose first step probes bound slots")
-    rows_list = shard.index.rows.get(step0.predicate)
+    rows_list = shard.index.cols.get(step0.predicate)
     if not rows_list:
         return [], []
     gids_list = shard.gids[step0.predicate]
@@ -209,8 +245,7 @@ def run_batch_sharded(
         gid = gids_list[row_id]
         if gid < gid_lo:
             continue
-        fact = rows_list[row_id]
-        terms = fact.terms
+        terms = rows_list[row_id]
         if len(terms) != arity:
             continue
         for position, bound_position in intra_pairs:

@@ -60,6 +60,11 @@ class EngineStats:
     #: Parallel-mode dispatches that ran in-process instead because the
     #: estimated candidate count was below the cost threshold.
     parallel_fallbacks: int = 0
+    #: Total bytes of parallel IPC payload shipped (sync broadcasts, counted
+    #: once per worker, plus worker match-result payloads).  0 outside
+    #: parallel mode.  The dictionary-encoded columnar wire format exists to
+    #: drive this down; the bench-smoke gate fails if it regresses.
+    parallel_bytes_shipped: int = 0
 
     def reset(self) -> None:
         """Zero every counter (the harness calls this before a measured run)."""
@@ -70,6 +75,7 @@ class EngineStats:
         self.batch_probe_groups = 0
         self.parallel_tasks = 0
         self.parallel_fallbacks = 0
+        self.parallel_bytes_shipped = 0
 
     def snapshot(self) -> dict:
         """A plain-dict copy, in the key order the harness JSON uses."""
@@ -81,6 +87,7 @@ class EngineStats:
             "batch_probe_groups": self.batch_probe_groups,
             "parallel_tasks": self.parallel_tasks,
             "parallel_fallbacks": self.parallel_fallbacks,
+            "parallel_bytes_shipped": self.parallel_bytes_shipped,
         }
 
     def gated(self) -> dict:

@@ -141,9 +141,11 @@ class DLLiteReasoner:
         return frozenset(self._property_subsumers.get(prop, {prop}))
 
     def is_subclass(self, sub: BasicClass, sup: BasicClass) -> bool:
+        """True iff ``sub ⊑* sup`` is entailed by the TBox closure."""
         return sup in self._class_subsumers.get(sub, {sub})
 
     def is_subproperty(self, sub: BasicProperty, sup: BasicProperty) -> bool:
+        """True iff ``sub ⊑* sup`` is entailed by the TBox closure."""
         return sup in self._property_subsumers.get(sub, {sub})
 
     def instances_of(self, cls: BasicClass) -> FrozenSet[Constant]:
@@ -155,6 +157,7 @@ class DLLiteReasoner:
         )
 
     def member_classes(self, individual: Constant) -> FrozenSet[BasicClass]:
+        """All basic classes ``individual`` certainly belongs to."""
         return frozenset(self._memberships.get(individual, set()))
 
     def role_pairs(self, prop: BasicProperty) -> FrozenSet[Tuple[Constant, Constant]]:
@@ -162,6 +165,7 @@ class DLLiteReasoner:
         return frozenset(self._role_pairs.get(prop, set()))
 
     def is_member(self, individual: Constant, cls: BasicClass) -> bool:
+        """True iff ``individual`` is a certain member of ``cls``."""
         return cls in self._memberships.get(individual, set())
 
     # -- consistency ------------------------------------------------------------------------
@@ -186,6 +190,7 @@ class DLLiteReasoner:
         return witnesses
 
     def is_consistent(self) -> bool:
+        """True iff no disjointness axiom is violated."""
         return not self.inconsistency_witnesses()
 
     # -- triple entailment: the ``G ⊨ t`` of Section 5.2 -----------------------------------------

@@ -38,13 +38,16 @@ class NamedProperty:
     name: str
 
     def inverse(self) -> "InverseProperty":
+        """The inverse ``p⁻`` of this property."""
         return InverseProperty(self.name)
 
     def named(self) -> "NamedProperty":
+        """This property itself (it is already named)."""
         return self
 
     @property
     def is_inverse(self) -> bool:
+        """Always False for a named property."""
         return False
 
     def __str__(self) -> str:
@@ -58,13 +61,16 @@ class InverseProperty:
     name: str
 
     def inverse(self) -> NamedProperty:
+        """The underlying named property ``p``."""
         return NamedProperty(self.name)
 
     def named(self) -> NamedProperty:
+        """The underlying named property ``p``."""
         return NamedProperty(self.name)
 
     @property
     def is_inverse(self) -> bool:
+        """Always True for an inverse property."""
         return True
 
     def __str__(self) -> str:
@@ -240,6 +246,7 @@ class Ontology:
     # -- construction helpers ----------------------------------------------------
 
     def add(self, axiom: Axiom) -> None:
+        """Append ``axiom`` and register the vocabulary it mentions."""
         self.axioms.append(axiom)
         self._register_vocabulary(axiom)
 
@@ -275,28 +282,33 @@ class Ontology:
     # -- convenience constructors --------------------------------------------------
 
     def sub_class(self, sub: Union[BasicClass, str], sup: Union[BasicClass, str]) -> "Ontology":
+        """Add ``sub ⊑ sup`` (class inclusion); returns the ontology for chaining."""
         self.add(SubClassOf(_as_class(sub), _as_class(sup)))
         return self
 
     def sub_property(
         self, sub: Union[BasicProperty, str], sup: Union[BasicProperty, str]
     ) -> "Ontology":
+        """Add ``sub ⊑ sup`` (property inclusion); returns the ontology for chaining."""
         self.add(SubObjectPropertyOf(_as_property(sub), _as_property(sup)))
         return self
 
     def disjoint_classes(
         self, first: Union[BasicClass, str], second: Union[BasicClass, str]
     ) -> "Ontology":
+        """Add a class-disjointness axiom; returns the ontology for chaining."""
         self.add(DisjointClasses(_as_class(first), _as_class(second)))
         return self
 
     def disjoint_properties(
         self, first: Union[BasicProperty, str], second: Union[BasicProperty, str]
     ) -> "Ontology":
+        """Add a property-disjointness axiom; returns the ontology for chaining."""
         self.add(DisjointObjectProperties(_as_property(first), _as_property(second)))
         return self
 
     def assert_class(self, cls: Union[BasicClass, str], individual: Union[Constant, str]) -> "Ontology":
+        """Assert ``cls(individual)``; returns the ontology for chaining."""
         self.add(ClassAssertion(_as_class(cls), _as_constant(individual)))
         return self
 
@@ -306,6 +318,7 @@ class Ontology:
         subject: Union[Constant, str],
         object: Union[Constant, str],
     ) -> "Ontology":
+        """Assert ``prop(subject, object)``; returns the ontology for chaining."""
         named = prop if isinstance(prop, NamedProperty) else NamedProperty(prop)
         self.add(ObjectPropertyAssertion(named, _as_constant(subject), _as_constant(object)))
         return self
@@ -314,10 +327,12 @@ class Ontology:
 
     @property
     def classes(self) -> FrozenSet[NamedClass]:
+        """The named classes mentioned by the axioms."""
         return frozenset(self._classes)
 
     @property
     def properties(self) -> FrozenSet[NamedProperty]:
+        """The named properties mentioned by the axioms."""
         return frozenset(self._properties)
 
     def tbox(self) -> List[Axiom]:
@@ -329,6 +344,7 @@ class Ontology:
         return [a for a in self.axioms if isinstance(a, _ABOX_TYPES)]
 
     def individuals(self) -> FrozenSet[Constant]:
+        """Every individual mentioned by an assertional axiom."""
         individuals: Set[Constant] = set()
         for axiom in self.axioms:
             if isinstance(axiom, ClassAssertion):

@@ -69,6 +69,7 @@ class Triple:
 
     @property
     def is_ground(self) -> bool:
+        """True iff every component is a URI (no blank nodes, no variables)."""
         return all(isinstance(t, Constant) for t in self)
 
 
@@ -99,6 +100,7 @@ class RDFGraph:
     # -- mutation -----------------------------------------------------------
 
     def add(self, triple: Union[Triple, TripleLike]) -> bool:
+        """Add a triple; returns True if it was new."""
         if not isinstance(triple, Triple):
             triple = Triple(*triple)
         if triple in self._triples:
@@ -110,9 +112,11 @@ class RDFGraph:
         return True
 
     def add_all(self, triples: Iterable[Union[Triple, TripleLike]]) -> int:
+        """Add many triples; returns the number genuinely new."""
         return sum(1 for t in triples if self.add(t))
 
     def discard(self, triple: Union[Triple, TripleLike]) -> bool:
+        """Remove a triple if present; returns True if it was there."""
         if not isinstance(triple, Triple):
             triple = Triple(*triple)
         if triple not in self._triples:
@@ -124,6 +128,7 @@ class RDFGraph:
         return True
 
     def union(self, other: "RDFGraph") -> "RDFGraph":
+        """A new graph holding the triples of both graphs."""
         merged = RDFGraph(self._triples)
         merged.add_all(other)
         return merged
@@ -151,6 +156,7 @@ class RDFGraph:
         return f"RDFGraph({len(self._triples)} triples)"
 
     def copy(self) -> "RDFGraph":
+        """An independent graph with the same triples."""
         return RDFGraph(self._triples)
 
     # -- lookup -------------------------------------------------------------------
@@ -189,12 +195,15 @@ class RDFGraph:
             yield triple
 
     def subjects(self) -> FrozenSet[Union[Constant, Null]]:
+        """All subject nodes."""
         return frozenset(t.subject for t in self._triples)
 
     def predicates(self) -> FrozenSet[Union[Constant, Null]]:
+        """All predicate nodes."""
         return frozenset(t.predicate for t in self._triples)
 
     def objects(self) -> FrozenSet[Union[Constant, Null]]:
+        """All object nodes."""
         return frozenset(t.object for t in self._triples)
 
     def nodes(self) -> FrozenSet[Union[Constant, Null]]:
@@ -205,6 +214,7 @@ class RDFGraph:
         return frozenset(nodes)
 
     def constants(self) -> FrozenSet[Constant]:
+        """Every URI (constant) occurring in the graph."""
         return frozenset(n for n in self.nodes() if isinstance(n, Constant))
 
     # -- relational view ------------------------------------------------------------

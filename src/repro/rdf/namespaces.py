@@ -22,9 +22,11 @@ class Namespace:
 
     @property
     def prefix(self) -> str:
+        """The namespace prefix string."""
         return self._prefix
 
     def term(self, local_name: str) -> Constant:
+        """The constant ``prefix:local_name``."""
         return Constant(f"{self._prefix}:{local_name}")
 
     def __getattr__(self, local_name: str) -> Constant:

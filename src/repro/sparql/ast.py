@@ -27,6 +27,7 @@ class Condition:
     """Base class of built-in conditions used in FILTER."""
 
     def variables(self) -> FrozenSet[Variable]:
+        """The variables occurring in this node."""
         raise NotImplementedError
 
 
@@ -37,6 +38,7 @@ class Bound(Condition):
         self.variable = variable
 
     def variables(self) -> FrozenSet[Variable]:
+        """The variables occurring in this node."""
         return frozenset({self.variable})
 
     def __repr__(self) -> str:
@@ -57,6 +59,7 @@ class EqualsConstant(Condition):
         self.constant = constant
 
     def variables(self) -> FrozenSet[Variable]:
+        """The variables occurring in this node."""
         return frozenset({self.variable})
 
     def __repr__(self) -> str:
@@ -81,6 +84,7 @@ class EqualsVariable(Condition):
         self.right = right
 
     def variables(self) -> FrozenSet[Variable]:
+        """The variables occurring in this node."""
         return frozenset({self.left, self.right})
 
     def __repr__(self) -> str:
@@ -104,6 +108,7 @@ class Not(Condition):
         self.condition = condition
 
     def variables(self) -> FrozenSet[Variable]:
+        """The variables occurring in this node."""
         return self.condition.variables()
 
     def __repr__(self) -> str:
@@ -124,6 +129,7 @@ class OrCondition(Condition):
         self.right = right
 
     def variables(self) -> FrozenSet[Variable]:
+        """The variables occurring in this node."""
         return self.left.variables() | self.right.variables()
 
     def __repr__(self) -> str:
@@ -148,6 +154,7 @@ class AndCondition(Condition):
         self.right = right
 
     def variables(self) -> FrozenSet[Variable]:
+        """The variables occurring in this node."""
         return self.left.variables() | self.right.variables()
 
     def __repr__(self) -> str:
@@ -207,9 +214,11 @@ class TriplePattern:
         return f"({self.subject}, {self.predicate}, {self.object})"
 
     def variables(self) -> FrozenSet[Variable]:
+        """The variables occurring in this node."""
         return frozenset(t for t in self if isinstance(t, Variable))
 
     def blank_nodes(self) -> FrozenSet[Null]:
+        """The blank nodes occurring in this node."""
         return frozenset(t for t in self if isinstance(t, Null))
 
 
@@ -233,9 +242,11 @@ class BGP(GraphPattern):
         return cls(TriplePattern(*t) if not isinstance(t, TriplePattern) else t for t in triples)
 
     def variables(self) -> FrozenSet[Variable]:
+        """The variables occurring in this node."""
         return frozenset(v for p in self.patterns for v in p.variables())
 
     def blank_nodes(self) -> FrozenSet[Null]:
+        """The blank nodes occurring in this node."""
         return frozenset(b for p in self.patterns for b in p.blank_nodes())
 
     def __eq__(self, other: object) -> bool:
@@ -259,6 +270,7 @@ class And(GraphPattern):
         self.right = right
 
     def variables(self) -> FrozenSet[Variable]:
+        """The variables occurring in this node."""
         return self.left.variables() | self.right.variables()
 
     def __repr__(self) -> str:
@@ -276,6 +288,7 @@ class Union(GraphPattern):
         self.right = right
 
     def variables(self) -> FrozenSet[Variable]:
+        """The variables occurring in this node."""
         return self.left.variables() | self.right.variables()
 
     def __repr__(self) -> str:
@@ -293,6 +306,7 @@ class Opt(GraphPattern):
         self.right = right
 
     def variables(self) -> FrozenSet[Variable]:
+        """The variables occurring in this node."""
         return self.left.variables() | self.right.variables()
 
     def __repr__(self) -> str:
@@ -314,6 +328,7 @@ class Filter(GraphPattern):
         self.condition = condition
 
     def variables(self) -> FrozenSet[Variable]:
+        """The variables occurring in this node."""
         return self.pattern.variables()
 
     def __repr__(self) -> str:
@@ -333,6 +348,7 @@ class Select(GraphPattern):
         self.pattern = pattern
 
     def variables(self) -> FrozenSet[Variable]:
+        """The variables occurring in this node."""
         return self.projection & self.pattern.variables() | self.projection
 
     def __repr__(self) -> str:

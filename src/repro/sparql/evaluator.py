@@ -71,6 +71,7 @@ def _match_triple_pattern(
     """
 
     def resolve(term):
+        """The bound value of a variable/blank node, or the term itself."""
         if isinstance(term, (Variable, Null)):
             return binding.get(term)
         return term

@@ -60,6 +60,7 @@ class Mapping:
         raise KeyError(variable)
 
     def get(self, variable: Variable, default: Optional[Constant] = None) -> Optional[Constant]:
+        """The binding of ``variable``, or ``default`` when unbound."""
         for v, c in self._bindings:
             if v == variable:
                 return c
@@ -73,9 +74,11 @@ class Mapping:
         return frozenset(v for v, _ in self._bindings)
 
     def items(self) -> Tuple[Tuple[Variable, Constant], ...]:
+        """The bindings as (variable, constant) pairs in canonical order."""
         return self._bindings
 
     def as_dict(self) -> Dict[Variable, Constant]:
+        """The bindings as a plain dict."""
         return dict(self._bindings)
 
     def restrict(self, variables: Iterable[Variable]) -> "Mapping":

@@ -215,6 +215,7 @@ class _Parser:
         pending_filters: List[Condition] = []
 
         def flush_triples() -> None:
+            """Fold the pending triple patterns into the running group pattern."""
             nonlocal current
             if pending_triples:
                 bgp = BGP(tuple(pending_triples))

@@ -1,0 +1,347 @@
+"""The dictionary-encoding contract: TermTable round-trips and ID-native parity.
+
+Three layers of guarantee:
+
+* **Round-trips** — property-based fuzz over collision-heavy spellings
+  (shared prefixes, separator characters, null labels that look like
+  constant values): encode→decode is the identity, IDs are dense and
+  kind-tagged, and re-interning is idempotent.
+* **The delta protocol** — replaying a parent table's suffixes into a fresh
+  table reproduces the exact ID assignment (the parallel replica contract),
+  and out-of-order replicas are rejected loudly.
+* **Cross-mode parity** — an end-to-end run over a program exercising
+  constants, invented nulls, and negation is byte-identical (sorted facts,
+  null labels, gated counters) across ``row``, ``batch``, and ``parallel``
+  executors after the ID-native refactor, and instance round-trips
+  (encode → key → decode) reproduce the original atoms object-for-object.
+"""
+
+import itertools
+import random
+import string
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.database import Instance
+from repro.datalog.parser import parse_program
+from repro.datalog.seminaive import SemiNaiveEvaluator
+from repro.datalog.semantics import StratifiedSemantics
+from repro.datalog.terms import Constant, Null, Variable
+from repro.engine.interning import TERMS, TermTable, is_null_id
+from repro.engine.mode import execution_mode
+from repro.engine.parallel import parallel_threshold_override, shutdown_pool
+from repro.engine.stats import STATS
+
+
+@pytest.fixture(scope="module", autouse=True)
+def stop_pool_after_module():
+    yield
+    shutdown_pool()
+
+
+def _nasty_spellings(rng, n):
+    """Collision-prone strings: shared prefixes, separators, lookalikes."""
+    alphabet = ["a", "ab", "a:b", "_:z1", "c3:", ":", "", '"q"', "\n", "0"]
+    out = []
+    for i in range(n):
+        base = rng.choice(alphabet)
+        out.append(base + rng.choice(["", str(i % 7), base, "|" + base]))
+    # The empty string is not a valid spelling everywhere; keep it non-empty.
+    return [s or "x" for s in out]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_encode_decode_identity_and_tagging(self, seed):
+        rng = random.Random(seed)
+        table = TermTable()
+        spellings = _nasty_spellings(rng, 200)
+        ids = []
+        for i, spelling in enumerate(spellings):
+            if i % 3 == 0:
+                tid = table.intern_null(spelling)
+                assert is_null_id(tid)
+                assert table.term(tid).label == spelling
+            else:
+                tid = table.intern_constant(spelling)
+                assert not is_null_id(tid)
+                assert table.term(tid).value == spelling
+            ids.append(tid)
+        # Idempotence: re-interning returns the same IDs.
+        for i, spelling in enumerate(spellings):
+            if i % 3 == 0:
+                assert table.intern_null(spelling) == ids[i]
+            else:
+                assert table.intern_constant(spelling) == ids[i]
+        # Distinct (kind, spelling) pairs never share an ID.
+        seen = {}
+        for i, (spelling, tid) in enumerate(zip(spellings, ids)):
+            kind = "n" if i % 3 == 0 else "c"
+            assert seen.setdefault((kind, spelling), tid) == tid
+        by_key = {}
+        for (kind, spelling), tid in seen.items():
+            assert by_key.setdefault(tid, (kind, spelling)) == (kind, spelling)
+
+    def test_constant_and_null_spaces_are_disjoint(self):
+        table = TermTable()
+        c = table.intern_constant("_:z1")  # a constant that *spells* like a null
+        n = table.intern_null("_:z1")
+        assert c != n
+        assert isinstance(table.term(c), Constant)
+        assert isinstance(table.term(n), Null)
+
+    def test_intern_term_memoises_and_rejects_variables(self):
+        # Only the canonical global table writes the per-object memo.
+        term = Constant("hello-memo-check")
+        tid = TERMS.intern_term(term)
+        assert term._tid == tid
+        assert TERMS.intern_term(term) == tid
+        with pytest.raises(TypeError):
+            TERMS.intern_term(Variable("X"))
+
+    def test_secondary_tables_never_touch_the_shared_memo(self):
+        # A non-canonical table must not cache ITS ids on term objects — that
+        # would silently corrupt lookups against the global encoding.
+        table = TermTable()
+        table.intern_constant("padding")  # skew the secondary id space
+        term = Constant("isolated-spelling")
+        tid = table.intern_term(term)
+        assert term._tid is None
+        assert table.intern_term(term) == tid
+        with pytest.raises(TypeError):
+            table.intern_term(Variable("X"))
+
+    def test_find_term_never_interns(self):
+        table = TermTable()
+        before = len(table)
+        assert table.find_term(Constant("never-seen")) is None
+        assert len(table) == before
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_atom_key_round_trip(self, seed):
+        rng = random.Random(100 + seed)
+        spellings = _nasty_spellings(rng, 40)
+        atoms = []
+        for _ in range(60):
+            arity = rng.randint(0, 3)
+            terms = tuple(
+                Null("_:" + rng.choice(spellings))
+                if rng.random() < 0.3
+                else Constant(rng.choice(spellings))
+                for _ in range(arity)
+            )
+            atoms.append(Atom(rng.choice(["p", "q", "r:"]), terms))
+        for atom in atoms:
+            key = TERMS.atom_key(atom)
+            assert TERMS.decode_atom(key) == atom
+            # The memoised key is stable.
+            assert TERMS.atom_key(atom) is key
+
+
+class TestDeltaProtocol:
+    def test_replay_reproduces_ids(self):
+        rng = random.Random(7)
+        parent = TermTable()
+        replica = TermTable()
+        marks = (0, 0)
+        for _ in range(5):
+            for spelling in _nasty_spellings(rng, 30):
+                if rng.random() < 0.4:
+                    parent.intern_null(spelling)
+                else:
+                    parent.intern_constant(spelling)
+            consts, nulls = parent.delta_since(*marks)
+            replica.apply_delta(marks[0], marks[1], consts, nulls)
+            marks = parent.counts()
+            assert replica.counts() == parent.counts()
+        # Every parent ID decodes identically in the replica.
+        for tid in list(parent._constant_ids.values()) + list(parent._null_ids.values()):
+            assert type(replica.term(tid)) is type(parent.term(tid))
+            assert str(replica.term(tid)) == str(parent.term(tid))
+
+    def test_overlapping_delta_is_idempotent(self):
+        parent = TermTable()
+        replica = TermTable()
+        for value in ("a", "b", "c"):
+            parent.intern_constant(value)
+        consts, nulls = parent.delta_since(0, 0)
+        replica.apply_delta(0, 0, consts, nulls)
+        # Re-applying the same suffix (a re-ship after a pool respawn) is a no-op.
+        replica.apply_delta(0, 0, consts, nulls)
+        assert replica.counts() == parent.counts()
+
+    def test_diverged_replica_is_rejected(self):
+        replica = TermTable()
+        replica.intern_constant("foreign")
+        with pytest.raises(RuntimeError, match="divergence"):
+            replica.apply_delta(0, 0, ["a"], [])
+
+    def test_behind_the_start_is_rejected(self):
+        replica = TermTable()
+        with pytest.raises(RuntimeError, match="behind"):
+            replica.apply_delta(5, 0, ["a"], [])
+
+
+class TestInstanceEncoding:
+    def test_instance_round_trip_and_key_membership(self):
+        rng = random.Random(11)
+        atoms = [
+            Atom("p", (Constant(f"c{rng.randint(0, 9)}"), Constant(f"c{rng.randint(0, 9)}")))
+            for _ in range(50)
+        ] + [Atom("q", (Null(f"_:n{i}"),)) for i in range(5)]
+        instance = Instance(atoms)
+        assert set(instance) == set(atoms)
+        for atom in set(atoms):
+            assert instance.has_key(TERMS.atom_key(atom))
+        assert not instance.has_key(TERMS.atom_key(Atom("p", (Constant("zz"), Constant("zz")))))
+        assert instance.null_ids() == frozenset(
+            TERMS.intern_term(Null(f"_:n{i}")) for i in range(5)
+        )
+
+    def test_add_key_decodes_only_new_facts(self):
+        instance = Instance()
+        key = TERMS.atom_key(Atom("p", (Constant("a"),)))
+        atom = instance.add_key(key)
+        assert atom == Atom("p", (Constant("a"),))
+        assert instance.add_key(key) is None
+        assert len(instance) == 1
+
+    def test_snapshot_has_key_respects_the_cut(self):
+        instance = Instance([Atom("p", (Constant("a"),))])
+        frozen = instance.snapshot()
+        instance.add(Atom("p", (Constant("b"),)))
+        assert frozen.has_key(TERMS.atom_key(Atom("p", (Constant("a"),))))
+        assert not frozen.has_key(TERMS.atom_key(Atom("p", (Constant("b"),))))
+
+
+PROGRAM = """
+triple(?X, knows, ?Y) -> knows(?X, ?Y).
+knows(?X, ?Y) -> connected(?X, ?Y).
+connected(?X, ?Y), knows(?Y, ?Z) -> connected(?X, ?Z).
+knows(?X, ?Y), not connected(?Y, ?X) -> oneway(?X, ?Y).
+"""
+
+EXISTENTIAL = """
+person(?X) -> exists ?Y . parent(?X, ?Y), person(?Y).
+parent(?X, ?Y) -> ancestor(?X, ?Y).
+ancestor(?X, ?Y), parent(?Y, ?Z) -> ancestor(?X, ?Z).
+"""
+
+
+def _edge_database(seed, n=60, nodes=14):
+    rng = random.Random(seed)
+    knows = Constant("knows")
+    return [
+        Atom(
+            "triple",
+            (Constant(f"v{rng.randint(0, nodes)}"), knows, Constant(f"v{rng.randint(0, nodes)}")),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestCrossModeParity:
+    """Byte-identical results and gated counters across all three executors."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_seminaive_three_modes(self, seed):
+        database = _edge_database(seed)
+        outcomes = {}
+        for mode, workers, threshold in (
+            ("row", None, None),
+            ("batch", None, None),
+            ("parallel", 2, 0),
+        ):
+            with execution_mode(mode, workers):
+                STATS.reset()
+                if threshold is None:
+                    result = list(SemiNaiveEvaluator(parse_program(PROGRAM)).evaluate(database))
+                else:
+                    with parallel_threshold_override(threshold):
+                        result = list(
+                            SemiNaiveEvaluator(parse_program(PROGRAM)).evaluate(database)
+                        )
+                outcomes[mode] = (result, STATS.gated())
+        assert outcomes["row"] == outcomes["batch"] == outcomes["parallel"]
+
+    def test_chase_null_labels_three_modes(self):
+        program = parse_program(EXISTENTIAL)
+        database = [Atom("person", (Constant(f"p{i}"),)) for i in range(8)]
+        outcomes = {}
+        for mode, workers, threshold in (
+            ("row", None, None),
+            ("batch", None, None),
+            ("parallel", 2, 0),
+        ):
+            with execution_mode(mode, workers):
+                Null._counter = itertools.count()
+                STATS.reset()
+                from repro.datalog.chase import ChaseEngine
+
+                if threshold is None:
+                    result = ChaseEngine(max_null_depth=2, on_limit="stop").chase(
+                        database, program
+                    )
+                else:
+                    with parallel_threshold_override(threshold):
+                        result = ChaseEngine(max_null_depth=2, on_limit="stop").chase(
+                            database, program
+                        )
+                # sorted_atoms() stringifies every term — the full decode
+                # boundary — so label-for-label equality is pinned here.
+                outcomes[mode] = (
+                    result.instance.sorted_atoms(),
+                    STATS.gated(),
+                )
+        assert outcomes["row"] == outcomes["batch"] == outcomes["parallel"]
+
+    def test_stratified_semantics_is_unchanged_by_encoding(self):
+        # An end-to-end object-level check through the decode boundary:
+        # semantics results equal a straightforward reference set.
+        program = parse_program("p(?X), not q(?X) -> r(?X).")
+        database = [
+            Atom("p", (Constant("a"),)),
+            Atom("p", (Constant("b"),)),
+            Atom("q", (Constant("a"),)),
+        ]
+        result = StratifiedSemantics(program).materialise(database)
+        assert Atom("r", (Constant("b"),)) in result
+        assert Atom("r", (Constant("a"),)) not in result
+
+    def test_parallel_dispatch_ships_columnar_bytes(self):
+        database = _edge_database(99, n=120, nodes=18)
+        with execution_mode("parallel", 2), parallel_threshold_override(0):
+            STATS.reset()
+            SemiNaiveEvaluator(parse_program(PROGRAM)).evaluate(database)
+            assert STATS.parallel_tasks > 0
+            assert STATS.parallel_bytes_shipped > 0
+
+    def test_string_spellings_ship_once_not_per_fact(self):
+        # The dictionary-delta contract, observed through payload sizes: with
+        # long URI-like spellings, shipping N facts over a small vocabulary
+        # must cost far less than N * spelling-length, because each spelling
+        # crosses the boundary once.
+        long = "http://example.org/a-very-long-namespace/prefix#"
+        database = [
+            Atom(
+                "triple",
+                (
+                    Constant(f"{long}node{i % 20}"),
+                    Constant("knows"),
+                    Constant(f"{long}node{(i * 7) % 20}"),
+                ),
+            )
+            for i in range(5000)
+        ]
+        program = parse_program("triple(?X, knows, ?Y) -> knows(?X, ?Y).")
+        with execution_mode("parallel", 2), parallel_threshold_override(0):
+            STATS.reset()
+            SemiNaiveEvaluator(program).evaluate(database)
+            assert STATS.parallel_tasks > 0
+            shipped = STATS.parallel_bytes_shipped
+        naive_floor = len(database) * len(long)
+        assert shipped < naive_floor, (
+            f"columnar wire format shipped {shipped} bytes; object shipping "
+            f"would exceed {naive_floor}"
+        )

@@ -1,0 +1,179 @@
+"""Persisted compiled-plan bundles: save → fresh-stage → rebuild parity.
+
+The plan cache must be **process-independent**: a bundle written by one
+process (with its own term-interning history and hash seed) must rebuild in
+another into plans that match exactly — same join order, same slot layout,
+same results in every execution mode — or be ignored wholesale when stale.
+"""
+
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_program
+from repro.datalog.seminaive import SemiNaiveEvaluator
+from repro.datalog.terms import Constant
+from repro.engine import plan as plan_module
+from repro.engine import plancache
+from repro.engine.mode import execution_mode
+
+PROGRAM_TEXT = """
+triple(?X, knows, ?Y) -> knows(?X, ?Y).
+knows(?X, ?Y) -> connected(?X, ?Y).
+connected(?X, ?Y), knows(?Y, ?Z) -> connected(?X, ?Z).
+knows(?X, ?Y), not connected(?Y, ?X) -> oneway(?X, ?Y).
+person(?X) -> exists ?Z . parent(?X, ?Z), person(?Z).
+"""
+
+
+@pytest.fixture(autouse=True)
+def clean_staging():
+    plancache.clear_staging()
+    yield
+    plancache.clear_staging()
+
+
+def _database(seed=3, n=40):
+    rng = random.Random(seed)
+    knows = Constant("knows")
+    return [
+        Atom("triple", (Constant(f"v{rng.randint(0, 10)}"), knows, Constant(f"v{rng.randint(0, 10)}")))
+        for _ in range(n)
+    ] + [Atom("person", (Constant("p0"),))]
+
+
+def test_save_load_round_trip_in_process(tmp_path):
+    program = parse_program(PROGRAM_TEXT)
+    path = str(tmp_path / "plans.pkl")
+    saved = plancache.save_plan_cache(path, program.rules)
+    assert saved == len(program.rules)
+
+    # Rebuild every rule from staging and compare the structural layout of
+    # the freshly compiled plans.
+    compiled = [plan_module.compile_rule(rule) for rule in program.rules]
+    assert plancache.load_plan_cache(path) == saved
+    for rule, crule in zip(program.rules, compiled):
+        rebuilt = plancache._staged_lookup(rule)
+        assert rebuilt is not None
+        for fresh_plan, staged_plan in zip(
+            (crule.plan, *crule.pivot_plans), (rebuilt.plan, *rebuilt.pivot_plans)
+        ):
+            assert [s.atom for s in staged_plan.steps] == [s.atom for s in fresh_plan.steps]
+            assert [s.ops for s in staged_plan.steps] == [s.ops for s in fresh_plan.steps]
+            assert [s.probes for s in staged_plan.steps] == [s.probes for s in fresh_plan.steps]
+            assert staged_plan.slot_of == fresh_plan.slot_of
+            assert staged_plan.prebound == fresh_plan.prebound
+        assert (rebuilt.head_plan is None) == (crule.head_plan is None)
+    assert plancache.cache_hits() >= len(program.rules)
+
+
+def test_rebuilt_plans_evaluate_identically(tmp_path):
+    program = parse_program(PROGRAM_TEXT)
+    database = _database()
+    path = str(tmp_path / "plans.pkl")
+    plancache.save_plan_cache(path, program.rules)
+
+    with execution_mode("batch"):
+        expected = list(SemiNaiveEvaluator(parse_program("""
+            triple(?X, knows, ?Y) -> knows(?X, ?Y).
+            knows(?X, ?Y) -> connected(?X, ?Y).
+            connected(?X, ?Y), knows(?Y, ?Z) -> connected(?X, ?Z).
+            knows(?X, ?Y), not connected(?Y, ?X) -> oneway(?X, ?Y).
+        """)).evaluate(database))
+
+    # Evict the in-process cache, stage the file, and re-evaluate: every
+    # compile_rule call must be served by a rebuild.
+    plan_module._RULE_CACHE.clear()
+    plan_module._BODY_CACHE.clear()
+    plan_module._PIVOT_CACHE.clear()
+    assert plancache.load_plan_cache(path) > 0
+    before = plancache.cache_hits()
+    with execution_mode("batch"):
+        got = list(SemiNaiveEvaluator(parse_program("""
+            triple(?X, knows, ?Y) -> knows(?X, ?Y).
+            knows(?X, ?Y) -> connected(?X, ?Y).
+            connected(?X, ?Y), knows(?Y, ?Z) -> connected(?X, ?Z).
+            knows(?X, ?Y), not connected(?Y, ?X) -> oneway(?X, ?Y).
+        """)).evaluate(database))
+    assert got == expected
+    assert plancache.cache_hits() > before
+
+
+def test_cross_process_rebuild_matches(tmp_path):
+    """A bundle written by a *different* process (different interning history,
+    randomised hash seed) rebuilds into plans that produce identical results."""
+    path = str(tmp_path / "plans.pkl")
+    writer = (
+        "import sys\n"
+        "from repro.datalog.parser import parse_program\n"
+        "from repro.datalog.atoms import Atom\n"
+        "from repro.datalog.terms import Constant\n"
+        "from repro.engine import plancache\n"
+        # Perturb the interning history so persisted IDs could never be
+        # accidentally valid here.
+        "from repro.engine.interning import TERMS\n"
+        "[TERMS.intern_constant(f'pad{i}') for i in range(137)]\n"
+        f"program = parse_program({PROGRAM_TEXT!r})\n"
+        f"n = plancache.save_plan_cache({path!r}, program.rules)\n"
+        "print(n)\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", writer],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={"PYTHONPATH": "src", "PYTHONHASHSEED": "random"},
+        cwd=__file__.rsplit("/tests/", 1)[0],
+    )
+    assert int(result.stdout.strip()) > 0
+
+    program = parse_program(PROGRAM_TEXT)
+    database = _database(seed=8)
+    with execution_mode("batch"):
+        expected = list(SemiNaiveEvaluator(parse_program("""
+            triple(?X, knows, ?Y) -> knows(?X, ?Y).
+            knows(?X, ?Y) -> connected(?X, ?Y).
+            connected(?X, ?Y), knows(?Y, ?Z) -> connected(?X, ?Z).
+        """)).evaluate(database))
+    plan_module._RULE_CACHE.clear()
+    assert plancache.load_plan_cache(path) == len(program.rules)
+    before = plancache.cache_hits()
+    with execution_mode("batch"):
+        got = list(SemiNaiveEvaluator(parse_program("""
+            triple(?X, knows, ?Y) -> knows(?X, ?Y).
+            knows(?X, ?Y) -> connected(?X, ?Y).
+            connected(?X, ?Y), knows(?Y, ?Z) -> connected(?X, ?Z).
+        """)).evaluate(database))
+    assert got == expected
+    assert plancache.cache_hits() > before
+
+
+def test_stale_and_corrupt_files_are_ignored(tmp_path):
+    bad = tmp_path / "bad.pkl"
+    bad.write_bytes(b"not a pickle")
+    assert plancache.load_plan_cache(str(bad)) == 0
+    missing = tmp_path / "missing.pkl"
+    assert plancache.load_plan_cache(str(missing)) == 0
+
+    # A digest hit whose signature mismatches (stale entry) recompiles.
+    program = parse_program("p(?X) -> q(?X).")
+    path = str(tmp_path / "plans.pkl")
+    plancache.save_plan_cache(path, program.rules)
+    assert plancache.load_plan_cache(path) == 1
+    other = parse_program("p(?X) -> r(?X).").rules[0]
+    assert plancache._staged_lookup(other) is None
+
+
+def test_unknown_rules_fall_through_to_compilation(tmp_path):
+    program = parse_program("p(?X) -> q(?X).")
+    path = str(tmp_path / "plans.pkl")
+    plancache.save_plan_cache(path, program.rules)
+    plan_module._RULE_CACHE.clear()
+    assert plancache.load_plan_cache(path) == 1
+    fresh = parse_program("a(?X, ?Y), b(?Y) -> c(?X).").rules[0]
+    crule = plan_module.compile_rule(fresh)
+    assert crule.rule == fresh
+    assert len(crule.pivot_plans) == 2

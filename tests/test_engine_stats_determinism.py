@@ -175,3 +175,80 @@ class TestPivotSkipping:
         assert any(
             atom == Atom("out", (C("n0"), C("n1"))) for atom in derived
         )
+
+
+class TestSlotBoundPivotSkipping:
+    """Regression for the slot-bound half of pivot viability (ROADMAP item).
+
+    ``d(?X), r(?X, ?Z) -> out(?Z)`` has a pivot on ``d`` with **no constant
+    probes** — the empty-bucket test of :class:`TestPivotSkipping` cannot
+    fire.  But the second step probes ``r[0]`` with the slot bound at
+    ``d[0]``, so the per-round bound-value summary of the delta's ``d``
+    column decides viability: when no derived ``d`` value ever occurs in
+    ``r[0]``, the pivot join provably has no match and must be skipped (and
+    counted) in every mode.
+    """
+
+    PROGRAM = """
+        e(?X, ?Y) -> d(?Y).
+        d(?X), r(?X, ?Z) -> out(?Z).
+    """
+
+    def database(self, overlap=False):
+        facts = [Atom("e", (C("a"), C(f"y{i}"))) for i in range(5)] + [
+            Atom("r", (C(f"z{i}"), C("w"))) for i in range(5)
+        ]
+        if overlap:
+            facts.append(Atom("r", (C("y3"), C("hit"))))
+        return facts
+
+    @pytest.mark.parametrize("mode", ["row", "batch"])
+    def test_dead_end_slot_probe_skips_pivot(self, mode):
+        program = parse_program(self.PROGRAM)
+        with execution_mode(mode):
+            STATS.reset()
+            result = SemiNaiveEvaluator(program).evaluate(self.database())
+        assert STATS.pivots_skipped > 0
+        assert not any(atom.predicate == "out" for atom in result)
+
+    def test_skip_counts_identical_across_modes(self):
+        program = parse_program(self.PROGRAM)
+        counts = {}
+        for mode in ("row", "batch"):
+            with execution_mode(mode):
+                STATS.reset()
+                SemiNaiveEvaluator(program).evaluate(self.database())
+                counts[mode] = STATS.pivots_skipped
+        assert counts["row"] == counts["batch"] > 0
+
+    def test_overlapping_value_keeps_the_pivot_and_the_match(self):
+        # One derived d-value does occur in r[0]: the summary test must keep
+        # the pivot viable and the derivation must appear in every mode.
+        program = parse_program(self.PROGRAM)
+        results = {}
+        for mode in ("row", "batch"):
+            with execution_mode(mode):
+                STATS.reset()
+                results[mode] = SemiNaiveEvaluator(program).evaluate(
+                    self.database(overlap=True)
+                )
+        assert list(results["row"]) == list(results["batch"])
+        assert Atom("out", (C("hit"),)) in set(results["batch"])
+
+    def test_wide_summaries_do_not_skip(self):
+        # More distinct delta values than the summary cap: the viability test
+        # must conservatively keep the pivot (and stay mode-identical).
+        from repro.engine.index import _SUMMARY_CAP
+
+        n = _SUMMARY_CAP + 20
+        program = parse_program(self.PROGRAM)
+        database = [Atom("e", (C("a"), C(f"y{i}"))) for i in range(n)] + [
+            Atom("r", (C("y0"), C("hit")))
+        ]
+        results = {}
+        for mode in ("row", "batch"):
+            with execution_mode(mode):
+                STATS.reset()
+                results[mode] = SemiNaiveEvaluator(program).evaluate(database)
+        assert list(results["row"]) == list(results["batch"])
+        assert Atom("out", (C("hit"),)) in set(results["batch"])
