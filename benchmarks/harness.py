@@ -71,7 +71,7 @@ from repro.engine.mode import execution_mode  # noqa: E402
 from repro.engine.parallel import shutdown_pool  # noqa: E402
 from repro.engine.stats import STATS  # noqa: E402
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine_core.json")
 MODES = ("row", "batch", "parallel")
 # An empty string counts as unset, matching repro.engine.mode (CI matrices
@@ -291,6 +291,21 @@ def run_scenario(
             # least noise-sensitive estimate).  Both are None for
             # non-streaming scenarios.
             "delta_rounds": proxy.extra_info.get("delta_rounds"),
+            # Schema v6: first-class concurrent-service columns.  The
+            # service scenarios report queries-per-second and p50/p99
+            # per-query latency through extra_info; both are None for every
+            # other scenario and gated against the baseline like wall time
+            # (speed-adjusted; p99 is recorded but not gated — tail noise on
+            # shared runners swamps it).
+            "qps": proxy.extra_info.get("qps"),
+            "latency_ms": (
+                {
+                    "p50": proxy.extra_info["latency_p50_ms"],
+                    "p99": proxy.extra_info["latency_p99_ms"],
+                }
+                if "latency_p50_ms" in proxy.extra_info
+                else None
+            ),
             "incremental_speedup": (
                 round(proxy.extra_info["recompute_seconds"] / min(runs), 2)
                 if proxy.extra_info.get("recompute_seconds") and min(runs) > 0
@@ -304,6 +319,38 @@ def run_scenario(
         }
     )
     return record
+
+
+def merge_remeasure(record: Dict[str, Any], retry: Dict[str, Any]) -> Dict[str, Any]:
+    """Fold an isolated re-measurement into ``record``, keeping the best case.
+
+    Only the noise-sensitive wall-clock fields are merged (minimum wall time,
+    maximum qps, minimum latency percentiles, maximum incremental speedup) —
+    on a shared runner a transient CPU-steal burst can slow every repeat of
+    the main pass, and the best of two independent passes is a strictly
+    better estimate of the true cost.  The deterministic engine counters are
+    deliberately left untouched: they are identical run to run, so a retry
+    can never mask a genuine counter regression.
+    """
+    merged = dict(record)
+    runs = sorted(record["wall_seconds"]["runs"] + retry["wall_seconds"]["runs"])
+    merged["wall_seconds"] = {
+        "median": round(statistics.median(runs), 6),
+        "min": round(min(runs), 6),
+        "runs": runs,
+    }
+    if retry.get("qps") is not None:
+        merged["qps"] = max(record.get("qps") or 0, retry["qps"]) or None
+    if retry.get("latency_ms") and record.get("latency_ms"):
+        merged["latency_ms"] = {
+            "p50": min(record["latency_ms"]["p50"], retry["latency_ms"]["p50"]),
+            "p99": min(record["latency_ms"]["p99"], retry["latency_ms"]["p99"]),
+        }
+    if retry.get("incremental_speedup") is not None:
+        merged["incremental_speedup"] = max(
+            record.get("incremental_speedup") or 0, retry["incremental_speedup"]
+        ) or None
+    return merged
 
 
 def cross_mode_mismatches(results: List[Dict[str, Any]]) -> List[str]:
@@ -422,6 +469,30 @@ def compare_to_baseline(
                     f"{record['id']}: pivots_skipped {now} vs baseline {then} "
                     f"({(now / then - 1) * 100:.0f}%)"
                 )
+        # Schema v6: the concurrent-service columns.  p50 latency is wall
+        # clock, so it is speed-adjusted exactly like the scenario wall time;
+        # QPS gates downward (a throughput *drop* is the regression) with the
+        # inverse adjustment.  p99 is recorded but not gated.
+        now_lat, then_lat = record.get("latency_ms"), base.get("latency_ms")
+        if now_lat and then_lat and then_lat.get("p50"):
+            reference = then_lat["p50"] * speed_ratio
+            if (
+                now_lat["p50"] > reference * (1 + threshold)
+                and now_lat["p50"] - reference > min_delta * 1000
+            ):
+                regressions.append(
+                    f"{record['id']}: latency p50 {now_lat['p50']:.1f}ms vs "
+                    f"speed-adjusted baseline {reference:.1f}ms "
+                    f"(+{(now_lat['p50'] / reference - 1) * 100:.0f}%)"
+                )
+        now, then = record.get("qps"), base.get("qps")
+        if now is not None and then:
+            reference = then / speed_ratio
+            if now < reference * (1 - threshold) and reference - now > 1:
+                regressions.append(
+                    f"{record['id']}: qps {now:.1f} vs speed-adjusted baseline "
+                    f"{reference:.1f} ({(now / reference - 1) * 100:.0f}%)"
+                )
         # parallel_bytes_shipped (schema v5) gates the IPC payload volume of
         # dispatching scenarios: the columnar dictionary-encoded wire format
         # exists to keep this down, and an executor change that silently
@@ -485,6 +556,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=float,
         default=0.25,
         help="relative slowdown vs baseline that fails the gate (default 0.25)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="re-measure suspected wall-clock regressions in isolation this "
+        "many times before failing the gate (0 disables; counter regressions "
+        "are deterministic and unaffected)",
     )
     args = parser.parse_args(argv)
 
@@ -621,6 +700,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.only is None and missing:
             print(f"warning: {len(missing)} baseline scenarios did not run: "
                   + ", ".join(sorted(missing)[:5]))
+        if regressions and args.retries > 0:
+            # Wall-clock minima on a shared runner are vulnerable to
+            # sustained CPU-steal bursts that cover every repeat of the main
+            # pass (the suite-level speed ratio only corrects *uniform*
+            # slowness).  Before failing the gate, re-measure just the
+            # suspect records in isolation and keep the best observation —
+            # transient noise does not survive a second independent pass,
+            # a genuine regression does, and the deterministic counter gates
+            # cannot be masked because counters are identical run to run.
+            by_id = {f"{s['id']}@{m}": (s, m) for s, m in runs}
+            index_of = {r["id"]: i for i, r in enumerate(results)}
+            suspects = sorted(
+                {line.split(": ", 1)[0] for line in regressions} & by_id.keys()
+            )
+            for attempt in range(args.retries):
+                if not regressions:
+                    break
+                print(f"\n{len(regressions)} suspected regression(s); "
+                      f"re-measuring {len(suspects)} record(s) in isolation "
+                      f"(pass {attempt + 1}/{args.retries})...")
+                for rid in suspects:
+                    scenario, mode = by_id[rid]
+                    retry = run_scenario(scenario, warmup, repeats, mode, args.workers)
+                    results[index_of[rid]] = merge_remeasure(
+                        results[index_of[rid]], retry
+                    )
+                regressions = compare_to_baseline(
+                    results, baseline, args.fail_threshold, MIN_REGRESSION_SECONDS
+                )
+                suspects = sorted(
+                    {line.split(": ", 1)[0] for line in regressions} & by_id.keys()
+                )
         if regressions:
             print(f"\nFAIL: {len(regressions)} regression(s) vs {args.baseline}:")
             for line in regressions:

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""CI smoke test for the query service: boot, query mix, latency ceiling.
+
+Boots a real :class:`repro.service.QueryService` on an ephemeral port, runs
+a fixed query mix over HTTP (interleaved with delta pushes and an epoch
+reset), checks every response for consistency, and asserts the query p50
+stays under a deliberately loose ceiling — this is a smoke gate against
+"serving got 100x slower or wedged", not a benchmark (the harness's
+``bench_service_concurrent.py`` scenario is the measured, baseline-gated
+number).
+
+Exit status 0 on success; prints the latency summary either way.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py [--p50-ceiling-ms 250]
+"""
+
+import argparse
+import asyncio
+import json
+import statistics
+import sys
+import threading
+import time
+import urllib.parse
+import urllib.request
+
+QUERY_TEXTS = (
+    "SELECT ?X WHERE { ?X rdf:type Person }",
+    "SELECT ?X WHERE { ?X rdf:type Student }",
+    "SELECT ?X WHERE { ?X takesCourse ?Y }",
+    "SELECT ?X WHERE { ?X worksFor _:B }",
+)
+ROUNDS = 10
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="query-service smoke test")
+    parser.add_argument(
+        "--p50-ceiling-ms",
+        type=float,
+        default=250.0,
+        help="fail if the query p50 exceeds this many milliseconds (loose by "
+        "design: a smoke gate, not a benchmark)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.service import QueryService
+    from repro.workloads.ontologies import university_graph
+
+    service = QueryService(
+        university_graph(n_departments=1, students_per_department=5), port=0
+    )
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(service.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    if not started.wait(timeout=60):
+        print("FAIL: server did not start within 60s", file=sys.stderr)
+        return 1
+    base = f"http://127.0.0.1:{service.port}"
+
+    def get(path):
+        with urllib.request.urlopen(base + path, timeout=60) as response:
+            return json.loads(response.read())
+
+    def post(path, document):
+        request = urllib.request.Request(
+            base + path, data=json.dumps(document).encode(), method="POST"
+        )
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return json.loads(response.read())
+
+    failures = []
+    latencies = []
+    health = get("/healthz")
+    if health.get("status") != "ok" or not health.get("consistent"):
+        failures.append(f"unhealthy boot: {health}")
+
+    for round_number in range(ROUNDS):
+        for text in QUERY_TEXTS:
+            quoted = urllib.parse.quote(text)
+            start = time.perf_counter()
+            response = get(f"/query?q={quoted}&mode=U")
+            latencies.append(time.perf_counter() - start)
+            if not response["consistent"]:
+                failures.append(f"inconsistent answer for {text!r}")
+            if response["cardinality"] != len(response["answers"]):
+                failures.append(f"cardinality mismatch for {text!r}")
+        # Interleave writer traffic: a push every other round, one epoch
+        # reset mid-run.
+        if round_number % 2 == 0:
+            pushed = post(
+                "/push",
+                {"triples": [[f"smoke_{round_number}", "rdf:type", "Student"]]},
+            )
+            if not pushed["consistent"]:
+                failures.append(f"push declared inconsistent: {pushed}")
+        if round_number == ROUNDS // 2:
+            post("/rematerialize", {})
+
+    stats = get("/stats")
+    latencies.sort()
+    p50 = statistics.median(latencies) * 1000
+    p99 = latencies[min(len(latencies) - 1, (len(latencies) * 99) // 100)] * 1000
+    print(
+        f"serve-smoke: {len(latencies)} queries, p50 {p50:.2f}ms, p99 {p99:.2f}ms, "
+        f"{stats['pushes']} pushes, epoch {stats['epoch']}, "
+        f"{stats['facts']} facts"
+    )
+
+    if p50 > args.p50_ceiling_ms:
+        failures.append(f"p50 {p50:.2f}ms exceeds ceiling {args.p50_ceiling_ms}ms")
+    if stats["epoch"] < 1:
+        failures.append("epoch reset did not happen")
+
+    asyncio.run_coroutine_threadsafe(service.stop(), loop).result(30)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=30)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("serve-smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,12 +36,15 @@ class VariableClassification:
     dangerous: FrozenSet[Variable]
 
     def is_harmless(self, variable: Variable) -> bool:
+        """Return whether ``variable`` occurs in no affected position."""
         return variable in self.harmless
 
     def is_harmful(self, variable: Variable) -> bool:
+        """Return whether ``variable`` occurs in some affected position."""
         return variable in self.harmful
 
     def is_dangerous(self, variable: Variable) -> bool:
+        """Return whether ``variable`` is harmful *and* propagated to the head."""
         return variable in self.dangerous
 
 

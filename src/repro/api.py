@@ -1,0 +1,259 @@
+"""The programmatic facade: :class:`EngineConfig` + :class:`Engine`.
+
+Historically the engine was configured through environment variables
+(``REPRO_ENGINE_MODE``, ``REPRO_ENGINE_PARALLEL``,
+``REPRO_PARALLEL_THRESHOLD``) read at import time — a footgun for any caller
+that imported submodules before setting them.  This module replaces that
+with explicit configuration::
+
+    import repro
+
+    engine = repro.Engine(repro.EngineConfig(mode="parallel", workers=4))
+    answers = engine.evaluate(program_text, "connected", database)
+    with engine.delta_session(program_text) as session:
+        session.push(facts)
+
+The environment variables still work — they are now *lazy fallbacks*, read
+at the first evaluation that needs them and only when nothing was configured
+programmatically (see :mod:`repro.engine.mode`).  The legacy module-level
+setters (:func:`repro.engine.set_execution_mode` and friends) remain as thin
+shims over the same state the facade writes; new code should construct an
+:class:`Engine`.
+
+One process, one engine configuration: the execution mode is process-global
+state (worker pools, plan caches, and the interning table are shared), so
+:class:`Engine` is a configuration *scope*, not an isolated instance —
+constructing a second Engine with a different config reconfigures the
+process, exactly like the env vars always did.  The class exists so that the
+configuration is explicit, inspectable, and independent of import order.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional, Union
+
+from repro.core.evaluation import evaluate as _evaluate
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import parse_program
+from repro.datalog.program import Program
+from repro.datalog.semantics import evaluate_program
+from repro.engine import mode as _mode
+from repro.engine import parallel as _parallel
+from repro.engine.plancache import load_plan_cache, save_plan_cache
+
+_VALID_MODES = (None, "row", "batch", "parallel")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything the env vars used to configure, as one explicit value.
+
+    ``None`` for any field means "keep the current setting" — which, when
+    nothing was ever set, means the documented lazy env-var fallback.
+
+    ========================  ==============================  ================
+    field                     replaces                        default
+    ========================  ==============================  ================
+    ``mode``                  ``REPRO_ENGINE_MODE``           ``"batch"``
+    ``workers``               ``REPRO_ENGINE_PARALLEL``       ``2``
+    ``parallel_threshold``    ``REPRO_PARALLEL_THRESHOLD``    ``4096``
+    ``plan_cache``            —                               no persistence
+    ========================  ==============================  ================
+
+    ``plan_cache`` is a filesystem path: compiled join plans are staged from
+    it when the engine is constructed (missing file = cold start) and written
+    back by :meth:`Engine.save_plan_cache`.
+    """
+
+    mode: Optional[str] = None
+    workers: Optional[int] = None
+    parallel_threshold: Optional[int] = None
+    plan_cache: Optional[str] = None
+
+    def __post_init__(self):
+        if self.mode not in _VALID_MODES:
+            raise ValueError(
+                f"mode must be one of {_VALID_MODES[1:]} or None, got {self.mode!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.parallel_threshold is not None and self.parallel_threshold < 0:
+            raise ValueError(
+                f"parallel_threshold must be >= 0, got {self.parallel_threshold}"
+            )
+
+    @classmethod
+    def from_env(cls, environ=None) -> "EngineConfig":
+        """Snapshot the legacy environment variables into an explicit config.
+
+        The migration helper for code moving off env-var configuration:
+        ``Engine(EngineConfig.from_env())`` pins exactly what the lazy
+        fallback would have resolved, immune to later ``os.environ`` edits.
+        """
+        environ = os.environ if environ is None else environ
+        workers_raw = environ.get("REPRO_ENGINE_PARALLEL") or None
+        workers = int(workers_raw) if workers_raw else None
+        mode = environ.get("REPRO_ENGINE_MODE") or None
+        if mode is None and workers is not None:
+            mode = "parallel"
+        threshold_raw = environ.get("REPRO_PARALLEL_THRESHOLD") or None
+        threshold = int(threshold_raw) if threshold_raw else None
+        return cls(mode=mode, workers=workers, parallel_threshold=threshold)
+
+    def with_overrides(self, **changes) -> "EngineConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+class Engine:
+    """The library's front door: configure once, then evaluate/chase/serve.
+
+    Construction applies the config to the process-global engine state (see
+    the module docstring for why it is global) and stages the plan cache if
+    one was named.  All methods accept programs as rule text or
+    :class:`~repro.datalog.program.Program` objects, mirroring the
+    module-level functions they supersede.
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None, **kwargs):
+        if config is not None and kwargs:
+            raise TypeError("pass either a config object or field keywords, not both")
+        self.config = config if config is not None else EngineConfig(**kwargs)
+        self._apply()
+
+    def _apply(self) -> None:
+        if self.config.mode is not None:
+            _mode.set_execution_mode(self.config.mode)
+        if self.config.workers is not None:
+            _mode.set_worker_count(self.config.workers)
+        if self.config.parallel_threshold is not None:
+            _parallel.set_parallel_threshold(self.config.parallel_threshold)
+        if self.config.plan_cache is not None and os.path.exists(self.config.plan_cache):
+            load_plan_cache(self.config.plan_cache)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """The execution mode actually in effect (resolves the lazy default)."""
+        return _mode.get_execution_mode()
+
+    @property
+    def workers(self) -> int:
+        """The parallel worker count actually in effect."""
+        return _mode.get_worker_count()
+
+    # -- evaluation ----------------------------------------------------------
+
+    @staticmethod
+    def _as_program(program: Union[str, Program]) -> Program:
+        return program if isinstance(program, Program) else parse_program(program)
+
+    def evaluate(
+        self,
+        program: Union[str, Program],
+        output_predicate: str,
+        database: Iterable[Atom],
+        output_arity: Optional[int] = None,
+        chase_engine=None,
+    ):
+        """Answer tuples of the query, or ``INCONSISTENT`` (⊤).
+
+        The facade form of :func:`repro.evaluate`: classifies the program
+        (TriQ-Lite → warded engine, TriQ → chase + rewriting) and evaluates.
+        """
+        return _evaluate(
+            program, output_predicate, database, output_arity, chase_engine
+        )
+
+    def chase(
+        self,
+        program: Union[str, Program],
+        database: Iterable[Atom],
+        chase_engine=None,
+    ):
+        """Materialise the stratified semantics; an Instance or ``INCONSISTENT``.
+
+        The facade form of
+        :func:`repro.datalog.semantics.evaluate_program`.
+        """
+        return evaluate_program(self._as_program(program), database, chase_engine)
+
+    def delta_session(
+        self,
+        program: Union[str, Program],
+        database: Iterable = (),
+        **kwargs,
+    ):
+        """An incremental :class:`~repro.engine.incremental.DeltaSession`."""
+        from repro.engine.incremental import DeltaSession
+
+        return DeltaSession(self._as_program(program), database, **kwargs)
+
+    def entailment_view(self, graph):
+        """A :class:`~repro.translation.entailment_regime.EntailmentView`."""
+        from repro.translation.entailment_regime import EntailmentView
+
+        return EntailmentView(graph)
+
+    def materialized_view(self, graph=None, program=None):
+        """A :class:`~repro.service.MaterializedView` (no HTTP, in-process)."""
+        from repro.service import MaterializedView
+
+        return MaterializedView(graph, program)
+
+    def serve(
+        self,
+        graph=None,
+        host: str = "127.0.0.1",
+        port: int = 8377,
+        block: bool = True,
+    ):
+        """Boot the HTTP query service over ``graph``.
+
+        With ``block=True`` (the default) this runs the server until
+        interrupted.  With ``block=False`` it returns the unstarted
+        :class:`~repro.service.QueryService` — call ``await service.start()``
+        from your own event loop (the end-to-end tests drive it this way).
+        """
+        from repro.service import QueryService
+
+        service = QueryService(graph, host=host, port=port)
+        if block:
+            service.run_forever()
+        return service
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def save_plan_cache(self, path: Optional[str] = None) -> int:
+        """Persist compiled join plans; returns the number written."""
+        target = path if path is not None else self.config.plan_cache
+        if target is None:
+            raise ValueError("no plan_cache path configured or given")
+        return save_plan_cache(target)
+
+    def close(self) -> None:
+        """Release process-level engine resources (the parallel worker pool)."""
+        from repro.engine.parallel import shutdown_pool
+
+        shutdown_pool()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"Engine(mode={self.mode!r}, workers={self.workers}, config={self.config})"
+
+
+def configure(config: Optional[EngineConfig] = None, **kwargs) -> Engine:
+    """Apply a configuration to the process and return the Engine scope.
+
+    ``repro.configure(mode="parallel", workers=4)`` is the one-liner form of
+    ``repro.Engine(EngineConfig(...))``.
+    """
+    return Engine(config, **kwargs)

@@ -37,17 +37,21 @@ class ProofTreeNode:
 
     @property
     def is_leaf(self) -> bool:
+        """Return whether this node has no children (a database-atom candidate)."""
         return not self.children
 
     def depth(self) -> int:
+        """Return the depth of the subtree rooted here (a single node has depth 1)."""
         if not self.children:
             return 1
         return 1 + max(child.depth() for child in self.children)
 
     def size(self) -> int:
+        """Return the number of nodes in the subtree rooted here."""
         return 1 + sum(child.size() for child in self.children)
 
     def atoms(self) -> List[Atom]:
+        """Return every atom in the subtree, pre-order."""
         result = [self.atom]
         for child in self.children:
             result.extend(child.atoms())
@@ -62,12 +66,15 @@ class ProofTree:
     database: Instance
 
     def depth(self) -> int:
+        """Return the depth of the tree."""
         return self.root.depth()
 
     def size(self) -> int:
+        """Return the total number of nodes in the tree."""
         return self.root.size()
 
     def leaves(self) -> List[Atom]:
+        """Return the atoms at the leaves, pre-order."""
         leaves: List[Atom] = []
 
         def collect(node: ProofTreeNode) -> None:
@@ -84,6 +91,7 @@ class ProofTree:
         return all(leaf in self.database for leaf in self.leaves())
 
     def rules_used(self) -> List[Rule]:
+        """Return the rules applied at internal nodes, pre-order."""
         rules: List[Rule] = []
 
         def collect(node: ProofTreeNode) -> None:

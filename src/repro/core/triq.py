@@ -65,14 +65,17 @@ class TriQQuery:
 
     @property
     def program(self) -> Program:
+        """Return the validated warded program."""
         return self.query.program
 
     @property
     def output_predicate(self) -> str:
+        """Return the name of the output predicate."""
         return self.query.output_predicate
 
     @property
     def output_arity(self) -> int:
+        """Return the arity of the output predicate."""
         return self.query.output_arity
 
     def __repr__(self) -> str:

@@ -67,18 +67,22 @@ class TriQLiteQuery:
 
     @property
     def program(self) -> Program:
+        """Return the validated TriQ-Lite program."""
         return self.query.program
 
     @property
     def output_predicate(self) -> str:
+        """Return the name of the output predicate."""
         return self.query.output_predicate
 
     @property
     def output_arity(self) -> int:
+        """Return the arity of the output predicate."""
         return self.query.output_arity
 
     @property
     def engine(self) -> WardedEngine:
+        """Return the warded engine the query evaluates through."""
         return self._engine
 
     def __repr__(self) -> str:

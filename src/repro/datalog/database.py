@@ -226,6 +226,22 @@ class Instance:
         """
         return self._index.scan(pattern)
 
+    def matching_ids(
+        self,
+        predicate: str,
+        arity: int,
+        pairs: Iterable[Tuple[int, int]] = (),
+    ) -> Iterator[Tuple[int, ...]]:
+        """ID rows of ``predicate`` matching every ``(position, tid)`` pair.
+
+        The ID-level sibling of :meth:`matching`: yields the flat term-ID
+        tuples without touching an Atom, so callers (the ID-native SPARQL
+        evaluator, the query service) decode only at their own result
+        boundary.  Same snapshot-per-call capture as :meth:`matching`.
+        """
+        pairs = pairs if isinstance(pairs, (tuple, list)) else tuple(pairs)
+        return self._index.scan_ids(predicate, arity, pairs)
+
     def _plan_source(self) -> Tuple[PredicateIndex, Optional[Dict[str, int]]]:
         """(index, row limits) pair the join-plan executor runs against."""
         return self._index, None

@@ -183,6 +183,50 @@ class PredicateIndex:
                     out.append(row_id)
         return out
 
+    def scan_ids(
+        self,
+        predicate: str,
+        arity: int,
+        pairs: Sequence[Tuple[int, int]],
+        row_limits: Optional[Dict[str, int]] = None,
+    ) -> Iterator[Tuple[int, ...]]:
+        """ID rows of ``predicate`` whose value at each ``(position, tid)``
+        pair matches — the ID-level sibling of :meth:`scan`.
+
+        Yields the flat ``(tid1, ..., tidn)`` tuples directly (no Atom is
+        touched), skipping tombstoned and wrong-arity rows.  ``row_limits``
+        restricts the scan to a frozen prefix (snapshot isolation); without
+        it the prefix is captured at call time, like :meth:`scan`.  The
+        SPARQL evaluator's BGP matching and the query service's read path
+        run on this.
+        """
+        cols = self.cols.get(predicate)
+        if not cols:
+            return iter(())
+        cap = len(cols) if row_limits is None else min(len(cols), row_limits.get(predicate, 0))
+        if cap <= 0:
+            return iter(())
+        return self._iterate_ids(cols, self.probe_ids(predicate, pairs, cap), cap, arity)
+
+    @staticmethod
+    def _iterate_ids(
+        cols: List[Optional[Tuple[int, ...]]],
+        row_ids: Sequence[int],
+        cap: int,
+        arity: int,
+    ) -> Iterator[Tuple[int, ...]]:
+        # Row ids ascend in every probe_ids branch, so the cap re-check can
+        # break instead of continue; it guards the single-pair branch, which
+        # returns the live postings bucket when the whole bucket fits the cap
+        # — appends racing the iteration would otherwise leak past the
+        # snapshot prefix.
+        for row_id in row_ids:
+            if row_id >= cap:
+                break
+            ids = cols[row_id]
+            if ids is not None and len(ids) == arity:
+                yield ids
+
     def distinct_values(self, predicate: str, position: int) -> Optional[frozenset]:
         """The distinct term IDs at ``predicate[position]``, or None.
 
@@ -343,9 +387,32 @@ class InstanceSnapshot:
     def __repr__(self) -> str:
         return f"InstanceSnapshot({self._size} atoms)"
 
+    @property
+    def cut(self) -> int:
+        """The global insertion ordinal this view is frozen at.
+
+        Monotone over the lifetime of the base instance — the query
+        service publishes it as the reader-visible high-water mark.
+        """
+        return self._cut
+
     def matching(self, pattern: Atom) -> Iterator[Atom]:
         """As ``Instance.matching``, restricted to the frozen prefix."""
         return self._index.scan(pattern, self._limits)
+
+    def matching_ids(
+        self,
+        predicate: str,
+        arity: int,
+        pairs: Sequence[Tuple[int, int]] = (),
+    ) -> Iterator[Tuple[int, ...]]:
+        """As ``Instance.matching_ids``, restricted to the frozen prefix.
+
+        This is the query service's snapshot-isolated read path: the captured
+        per-predicate row counts are the ordinal high-water mark, so a reader
+        holding this snapshot never observes rows a concurrent writer appends.
+        """
+        return self._index.scan_ids(predicate, arity, pairs, self._limits)
 
     def with_predicate(self, predicate: str) -> FrozenSet[Atom]:
         """The snapshot's facts over ``predicate`` (prefix rows only)."""

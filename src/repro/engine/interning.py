@@ -42,7 +42,7 @@ warded engines plus all three execution modes run ID-native in between.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 from repro.datalog.atoms import Atom
 from repro.datalog.terms import Constant, Null, Term
@@ -53,23 +53,58 @@ def is_null_id(tid: int) -> bool:
     return bool(tid & 1)
 
 
+#: Callbacks invoked by :meth:`TermTable.begin_epoch` *before* the null space
+#: is dropped.  The engine layers register the invalidation work they own:
+#: :mod:`repro.engine.plan` drops its compiled-plan caches (plans embed
+#: constant IDs only and would survive, but a clean slate is cheap and makes
+#: the contract trivially auditable) and :mod:`repro.engine.parallel` shuts
+#: down the worker pool (replicas have replayed the null suffix, and the
+#: dictionary-delta protocol cannot express a shrinking table).
+_EPOCH_HOOKS: List[Callable[[], None]] = []
+
+
+def register_epoch_hook(hook: Callable[[], None]) -> Callable[[], None]:
+    """Register a callback to run at every :meth:`TermTable.begin_epoch`.
+
+    Returns the hook so it can be used as a decorator.  Duplicate
+    registrations are ignored (module reloads under pytest would otherwise
+    stack them).
+    """
+    if hook not in _EPOCH_HOOKS:
+        _EPOCH_HOOKS.append(hook)
+    return hook
+
+
 class TermTable:
     """Append-only dictionary encoding of ground terms to dense int IDs.
 
     Constants and nulls live in disjoint ID spaces distinguished by the low
     bit (constants even, nulls odd); both spaces are dense and append-only,
     which is what makes the worker dictionary-delta protocol a plain suffix
-    ship.  The table never forgets an entry: a reset would invalidate every
-    compiled plan and every encoded instance in the process.  Constant
-    vocabularies are small and repeat across runs; invented-null labels are
-    unique per invention, so a process that runs chases forever accrues one
-    entry per null ever invented (~200 bytes each; the whole benchmark
-    suite invents ~25k).  For a long-lived service that is a slow monotone
-    cost — an epoch-based reset that also drops the plan caches is the
-    ROADMAP follow-up if it ever matters in practice.
+    ship.  Constant vocabularies are small and repeat across runs, so the
+    constant space never shrinks.  Invented-null labels are unique per
+    invention (~200 bytes each; the whole benchmark suite invents ~25k), so a
+    long-lived process that materializes forever accrues a slow monotone
+    cost.  :meth:`begin_epoch` is the reclamation valve: it drops the **null
+    space only** and bumps :meth:`epoch`.  Compiled plans embed constant IDs
+    exclusively (rule bodies contain variables and constants, never nulls),
+    so constants surviving the reset is exactly what keeps the rest of the
+    process coherent; everything null-bearing — encoded instances, snapshots,
+    delta sessions, decoded atoms carrying ``_key`` memos — belongs to the
+    discarded materialization and must be dropped by the caller *before* the
+    reset (the service layer enforces this by fencing reads).  Hooks
+    registered via :func:`register_epoch_hook` run first and take care of the
+    engine-internal invalidation (plan caches, worker pool).
     """
 
-    __slots__ = ("_constants", "_constant_ids", "_nulls", "_null_ids", "_memoise")
+    __slots__ = (
+        "_constants",
+        "_constant_ids",
+        "_nulls",
+        "_null_ids",
+        "_memoise",
+        "_epoch",
+    )
 
     def __init__(self, _memoise: bool = False) -> None:
         # Index k holds the canonical term of ID (k << 1) / (k << 1 | 1).
@@ -77,6 +112,7 @@ class TermTable:
         self._constant_ids: Dict[str, int] = {}
         self._nulls: List[Null] = []
         self._null_ids: Dict[str, int] = {}
+        self._epoch = 0
         # Only the process-global :data:`TERMS` may write the ``_tid`` /
         # ``_key`` caches on term and atom objects: a secondary table (the
         # worker-protocol tests, ad-hoc tooling) caching ITS ids onto shared
@@ -257,6 +293,38 @@ class TermTable:
                     "interned out of parent order"
                 )
 
+    # -- epoch lifecycle ----------------------------------------------------
+
+    def epoch(self) -> int:
+        """The current epoch ordinal (0 at process start, +1 per reset).
+
+        Snapshot holders record the epoch they were built under; a holder
+        whose recorded epoch no longer matches must not decode through this
+        table (its null IDs may have been reassigned).
+        """
+        return self._epoch
+
+    def begin_epoch(self) -> int:
+        """Reclaim the invented-null dictionary space and start a new epoch.
+
+        Drops every null entry (constants are kept — compiled plans and rule
+        ``_key`` memos embed constant IDs only and stay valid), clears the
+        ``_tid`` memo on each canonical null object so a stale null that
+        leaks back in cannot resurrect a reassigned ID, runs the registered
+        epoch hooks (plan caches, worker pool), and returns the new epoch
+        ordinal.  The caller owns discarding every null-bearing structure
+        built in the previous epoch first.
+        """
+        for hook in _EPOCH_HOOKS:
+            hook()
+        if self._memoise:
+            for null in self._nulls:
+                null._tid = None
+        self._nulls.clear()
+        self._null_ids.clear()
+        self._epoch += 1
+        return self._epoch
+
     def __len__(self) -> int:
         """Total interned entries (both kinds)."""
         return len(self._constants) + len(self._nulls)
@@ -264,7 +332,7 @@ class TermTable:
     def __repr__(self) -> str:
         return (
             f"TermTable({len(self._constants)} constants, "
-            f"{len(self._nulls)} nulls)"
+            f"{len(self._nulls)} nulls, epoch {self._epoch})"
         )
 
 

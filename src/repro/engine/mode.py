@@ -26,13 +26,19 @@ results, invented-null sequences, and the mode-independent
 differential suites in ``tests/test_engine_batch_parity.py`` and
 ``tests/test_engine_shard_parity.py`` lock this in.
 
-The mode is read from the ``REPRO_ENGINE_MODE`` environment variable at
-import time (default ``"batch"``; ``REPRO_ENGINE_MODE=row`` restores the
-row-at-a-time executor) and can be changed per process with
-:func:`set_execution_mode` or temporarily with :func:`execution_mode`.
-Setting ``REPRO_ENGINE_PARALLEL=N`` selects the parallel executor with ``N``
-worker processes without touching ``REPRO_ENGINE_MODE``; when both are set,
-``REPRO_ENGINE_MODE`` wins and ``REPRO_ENGINE_PARALLEL`` only sizes the pool.
+Configuration is **lazy**: the ``REPRO_ENGINE_MODE`` /
+``REPRO_ENGINE_PARALLEL`` environment variables are read at the *first call*
+that needs them, not at import time, and only when no explicit setting has
+been made.  This fixes the historic footgun where ``set_execution_mode``
+callers who imported submodules in the wrong order silently got the default:
+an explicit :func:`set_execution_mode` / :func:`set_worker_count` call (or
+the :class:`repro.EngineConfig` facade, which goes through them) always wins,
+regardless of import order, and ``os.environ`` changes made before first use
+are honoured.  The default mode is ``"batch"`` (``REPRO_ENGINE_MODE=row``
+restores the row-at-a-time executor); ``REPRO_ENGINE_PARALLEL=N`` alone
+selects the parallel executor with ``N`` workers, and when both variables are
+set ``REPRO_ENGINE_MODE`` wins while ``REPRO_ENGINE_PARALLEL`` only sizes the
+pool.
 """
 
 from __future__ import annotations
@@ -46,36 +52,57 @@ BATCH = "batch"
 PARALLEL = "parallel"
 _VALID = (ROW, BATCH, PARALLEL)
 
-# An empty string counts as unset (CI matrices pass '' for non-parallel rows).
-_workers_env = os.environ.get("REPRO_ENGINE_PARALLEL") or None
-if _workers_env is not None:
+# None = "not resolved yet": the first getter call resolves from the
+# environment; an explicit setter call pins the value and the environment is
+# never consulted again (for that knob) in this process.
+_mode: Optional[str] = None
+_workers: Optional[int] = None
+
+
+def _resolve_workers_env() -> Optional[int]:
+    """``REPRO_ENGINE_PARALLEL`` as an int, or None when unset/empty.
+
+    An empty string counts as unset (CI matrices pass ``''`` for the
+    non-parallel rows).
+    """
+    raw = os.environ.get("REPRO_ENGINE_PARALLEL") or None
+    if raw is None:
+        return None
     try:
-        _workers = int(_workers_env)
+        workers = int(raw)
     except ValueError:
         raise ValueError(
-            f"REPRO_ENGINE_PARALLEL must be an integer worker count, got {_workers_env!r}"
+            f"REPRO_ENGINE_PARALLEL must be an integer worker count, got {raw!r}"
         ) from None
-    if _workers < 1:
-        raise ValueError(
-            f"REPRO_ENGINE_PARALLEL must be >= 1, got {_workers}"
-        )
-else:
-    _workers = 2
+    if workers < 1:
+        raise ValueError(f"REPRO_ENGINE_PARALLEL must be >= 1, got {workers}")
+    return workers
 
-_mode = os.environ.get("REPRO_ENGINE_MODE") or None
-if _mode is None:
-    # ``REPRO_ENGINE_PARALLEL=N`` alone is the documented toggle for the
-    # sharded executor; otherwise batch is the default (ROADMAP: flipped
-    # after soaking in CI behind the row default).
-    _mode = PARALLEL if _workers_env is not None else BATCH
-if _mode not in _VALID:
-    raise ValueError(
-        f"REPRO_ENGINE_MODE must be one of {_VALID}, got {_mode!r}"
-    )
+
+def _resolve() -> None:
+    """Resolve any still-unset knob from the environment (first use)."""
+    global _mode, _workers
+    workers_env = _resolve_workers_env()
+    if _workers is None:
+        _workers = workers_env if workers_env is not None else 2
+    if _mode is None:
+        mode = os.environ.get("REPRO_ENGINE_MODE") or None
+        if mode is None:
+            # ``REPRO_ENGINE_PARALLEL=N`` alone is the documented toggle for
+            # the sharded executor; otherwise batch is the default (ROADMAP:
+            # flipped after soaking in CI behind the row default).
+            mode = PARALLEL if workers_env is not None else BATCH
+        if mode not in _VALID:
+            raise ValueError(
+                f"REPRO_ENGINE_MODE must be one of {_VALID}, got {mode!r}"
+            )
+        _mode = mode
 
 
 def get_execution_mode() -> str:
     """The current mode: ``"row"``, ``"batch"``, or ``"parallel"``."""
+    if _mode is None:
+        _resolve()
     return _mode
 
 
@@ -94,16 +121,18 @@ def batch_enabled() -> bool:
     (workers match shards column-at-a-time, the parent fires from slot rows),
     so engines use their batch firing paths in parallel mode too.
     """
-    return _mode != ROW
+    return get_execution_mode() != ROW
 
 
 def parallel_enabled() -> bool:
     """True iff engines should fan rule-body matching out to the worker pool."""
-    return _mode == PARALLEL
+    return get_execution_mode() == PARALLEL
 
 
 def get_worker_count() -> int:
     """Worker processes the parallel executor uses (``REPRO_ENGINE_PARALLEL``)."""
+    if _workers is None:
+        _resolve()
     return _workers
 
 
@@ -113,6 +142,17 @@ def set_worker_count(workers: int) -> None:
     if workers < 1:
         raise ValueError(f"worker count must be >= 1, got {workers}")
     _workers = workers
+
+
+def _reset_for_tests() -> None:
+    """Forget explicit settings so the next use re-reads the environment.
+
+    Test-only: lets the lazy-resolution regression tests exercise the
+    first-use path repeatedly within one process.
+    """
+    global _mode, _workers
+    _mode = None
+    _workers = None
 
 
 @contextmanager

@@ -59,6 +59,7 @@ from array import array
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.engine import interning
 from repro.engine.index import PredicateIndex
 from repro.engine.interning import TERMS
 from repro.engine.mode import get_worker_count, parallel_enabled
@@ -68,8 +69,9 @@ from repro.engine.stats import STATS
 if TYPE_CHECKING:  # pragma: no cover - import cycle: database builds on engine
     from repro.datalog.database import Instance
 
-_threshold_env = os.environ.get("REPRO_PARALLEL_THRESHOLD")
-_threshold = int(_threshold_env) if _threshold_env else 4096
+# None = not resolved yet: REPRO_PARALLEL_THRESHOLD is read lazily at first
+# use (matching repro.engine.mode), never at import time.
+_threshold: Optional[int] = None
 
 #: Seconds the parent waits for one worker's match result before declaring
 #: the pool wedged (generous: match tasks are pure in-memory joins).
@@ -78,6 +80,10 @@ _RESULT_TIMEOUT = 300.0
 
 def parallel_threshold() -> int:
     """Step-0 candidate estimate below which dispatches stay in-process."""
+    global _threshold
+    if _threshold is None:
+        raw = os.environ.get("REPRO_PARALLEL_THRESHOLD") or None
+        _threshold = int(raw) if raw else 4096
     return _threshold
 
 
@@ -391,11 +397,17 @@ def _get_pool(n_workers: int) -> Optional[WorkerPool]:
 
 
 def shutdown_pool() -> None:
-    """Stop the worker pool (tests and interpreter exit)."""
+    """Stop the worker pool (tests, epoch resets, and interpreter exit)."""
     global _POOL
     if _POOL is not None:
         _POOL.shutdown()
         _POOL = None
+
+
+# Worker replicas replay the parent's dictionary as an append-only suffix;
+# the protocol cannot express the null space shrinking, so an epoch reset
+# must retire the whole pool (a fresh one replays the post-reset table).
+interning.register_epoch_hook(shutdown_pool)
 
 
 # ---------------------------------------------------------------------------
@@ -583,7 +595,7 @@ class ParallelSession:
         steps = plan.steps
         if steps and not plan.prebound and crule.rule in self._rule_ids:
             estimate = self.instance._index.live.get(steps[0].predicate, 0)
-            if estimate >= _threshold and self._ensure_active():
+            if estimate >= parallel_threshold() and self._ensure_active():
                 return self._dispatch(crule, ("full",))[0]
         STATS.parallel_fallbacks += 1
         return plan.run_batch(self.instance)
@@ -623,7 +635,7 @@ class ParallelSession:
             return []
         window = (
             self._delta_window(delta)
-            if estimate >= _threshold and crule.rule in self._rule_ids
+            if estimate >= parallel_threshold() and crule.rule in self._rule_ids
             else None
         )
         if window is not None and self._ensure_active():

@@ -54,6 +54,7 @@ from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional
 from repro.datalog.atoms import Atom
 from repro.datalog.rules import Rule
 from repro.datalog.terms import Term, Variable
+from repro.engine import interning
 from repro.engine.interning import TERMS
 from repro.engine.stats import STATS
 
@@ -923,6 +924,20 @@ _BODY_CACHE: Dict[Tuple[Tuple[Atom, ...], FrozenSet[Variable]], JoinPlan] = {}
 _PIVOT_CACHE: Dict[Tuple[Tuple[Atom, ...], int], JoinPlan] = {}
 _RULE_CACHE: Dict[Rule, CompiledRule] = {}
 _CACHE_LIMIT = 4096
+
+
+@interning.register_epoch_hook
+def _drop_plan_caches() -> None:
+    """Epoch hook: start every term-table epoch with empty plan caches.
+
+    Compiled plans embed constant IDs only, so they would technically
+    survive a null-space reset — but the epoch contract is "nothing compiled
+    against the old materialization is consulted again," and an empty cache
+    is the cheapest way to make that auditable.
+    """
+    _BODY_CACHE.clear()
+    _PIVOT_CACHE.clear()
+    _RULE_CACHE.clear()
 
 #: Hook installed by :mod:`repro.engine.plancache`: rule -> CompiledRule or
 #: None, consulted on a rule-cache miss before compiling from scratch.

@@ -94,6 +94,10 @@ class RDFGraph:
         self._by_subject: Dict[Union[Constant, Null], Set[Triple]] = defaultdict(set)
         self._by_predicate: Dict[Union[Constant, Null], Set[Triple]] = defaultdict(set)
         self._by_object: Dict[Union[Constant, Null], Set[Triple]] = defaultdict(set)
+        # Mutation counter: lets derived views (the SPARQL evaluator's
+        # interned ID view) cache against the graph and invalidate exactly
+        # when the triple set changes.
+        self._version = 0
         for triple in triples:
             self.add(triple)
 
@@ -109,6 +113,7 @@ class RDFGraph:
         self._by_subject[triple.subject].add(triple)
         self._by_predicate[triple.predicate].add(triple)
         self._by_object[triple.object].add(triple)
+        self._version += 1
         return True
 
     def add_all(self, triples: Iterable[Union[Triple, TripleLike]]) -> int:
@@ -125,6 +130,7 @@ class RDFGraph:
         self._by_subject[triple.subject].discard(triple)
         self._by_predicate[triple.predicate].discard(triple)
         self._by_object[triple.object].discard(triple)
+        self._version += 1
         return True
 
     def union(self, other: "RDFGraph") -> "RDFGraph":

@@ -79,6 +79,7 @@ class AlternatingTuringMachine:
     initial_state: str
 
     def transition_for(self, state: str, symbol: str) -> Optional[Transition]:
+        """Return the transition applicable in ``state`` reading ``symbol``, if any."""
         for transition in self.transitions:
             if transition.state == state and transition.symbol == symbol:
                 return transition

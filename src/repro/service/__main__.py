@@ -1,0 +1,61 @@
+"""``python -m repro.service``: boot a materialized-view query server.
+
+The data option accepts an N-Triples file; with ``--university N`` the
+server instead materializes the synthetic university workload (handy for
+smoke tests and benchmarks on machines without a dataset on disk).
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+
+from repro.service.http import QueryService
+
+
+def main(argv=None) -> int:
+    """Parse arguments, materialize, and serve until interrupted."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="OWL 2 QL entailment-regime SPARQL query service",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8377)
+    parser.add_argument("--data", help="N-Triples file to materialize at boot")
+    parser.add_argument(
+        "--university",
+        type=int,
+        metavar="N",
+        help="serve the synthetic university workload with N departments",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    options = parser.parse_args(argv)
+    logging.basicConfig(
+        level=logging.DEBUG if options.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+
+    graph = None
+    if options.data and options.university is not None:
+        parser.error("--data and --university are mutually exclusive")
+    if options.data:
+        from repro.rdf.parser import parse_ntriples
+
+        with open(options.data, encoding="utf-8") as handle:
+            graph = parse_ntriples(handle.read())
+    elif options.university is not None:
+        from repro.workloads.ontologies import university_graph
+
+        graph = university_graph(n_departments=options.university)
+
+    service = QueryService(graph, host=options.host, port=options.port)
+    try:
+        service.run_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,270 @@
+"""The materialized entailment view: single writer, snapshot-isolated readers.
+
+This is the storage half of the query service (ROADMAP item 1): materialize
+``tau_owl2ql_core`` over a graph **once** through a
+:class:`~repro.engine.incremental.DeltaSession`, then
+
+* a single writer applies ``push()`` batches (streamed triples), and
+* any number of readers answer entailment-regime SPARQL queries over the
+  interned instance, each pinned to an immutable :class:`ViewSnapshot`.
+
+Snapshot isolation rests on two append-only facts.  First, the engine's
+:class:`~repro.engine.index.PredicateIndex` only ever appends rows, so a
+frozen :class:`~repro.engine.index.InstanceSnapshot` (per-predicate row
+caps + global ordinal cut) is a consistent prefix forever — a reader holding
+one can keep scanning while the writer appends past its caps.  Second, the
+view only *publishes* a fresh snapshot after a push has fully completed
+(including stratum re-runs and rebuilds), so the published state always
+steps from one complete materialization to the next; a reader can never
+observe half a push.  When an incremental push triggers a from-scratch
+rebuild, the session swaps in a brand-new instance — published snapshots of
+the old instance stay valid (they reference the old, now-frozen index) and
+simply age out as readers finish.
+
+The third lifecycle concern of a long-lived server — the term table growing
+one entry per invented null forever — is handled by
+:meth:`MaterializedView.rematerialize`: it drains readers, starts a new
+:meth:`TermTable epoch <repro.engine.interning.TermTable.begin_epoch>`
+(reclaiming every null ID and dropping the plan caches), and re-materializes
+from the accumulated EDB.  Readers admitted after the reset see the fresh
+epoch; snapshots from before it are invalidated (their epoch number no
+longer matches) and refuse to decode.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import FrozenSet, Iterator, Set, Union
+
+from repro.datalog.semantics import INCONSISTENT
+from repro.engine.incremental import DeltaSession, PushResult
+from repro.engine.interning import TERMS
+from repro.owl.entailment_rules import owl2ql_core_program
+from repro.rdf.graph import RDFGraph
+from repro.sparql.ast import GraphPattern
+from repro.sparql.evaluator import IdMapping, decode_id_mappings
+from repro.sparql.parser import SelectQuery
+from repro.translation.entailment_regime import (
+    ACTIVE_DOMAIN_MODE,
+    active_domain_ids,
+    evaluate_view_ids,
+)
+
+
+class StaleSnapshotError(RuntimeError):
+    """A snapshot from a previous term-table epoch was queried or decoded."""
+
+
+class ViewSnapshot:
+    """An immutable published read state of a :class:`MaterializedView`.
+
+    Carries the frozen instance prefix, the term-table epoch it was built
+    under, the cached active-domain ID set, and the ordinal high-water mark.
+    All query work happens on interned IDs; decoding checks the epoch first,
+    so a reader that (incorrectly) held a snapshot across a
+    :meth:`MaterializedView.rematerialize` fails loudly instead of decoding
+    reassigned null IDs.
+    """
+
+    __slots__ = ("_snapshot", "epoch", "watermark", "consistent", "_active_domain")
+
+    def __init__(self, snapshot, epoch: int, consistent: bool):
+        self._snapshot = snapshot
+        self.epoch = epoch
+        self.watermark = snapshot.cut
+        self.consistent = consistent
+        self._active_domain: FrozenSet[int] = (
+            active_domain_ids(snapshot) if consistent else frozenset()
+        )
+
+    def _check_epoch(self) -> None:
+        if TERMS.epoch() != self.epoch:
+            raise StaleSnapshotError(
+                f"snapshot from epoch {self.epoch} used in epoch {TERMS.epoch()}; "
+                "re-pin the current snapshot after a rematerialization"
+            )
+
+    def query_ids(
+        self,
+        pattern: Union[str, GraphPattern, SelectQuery],
+        mode: str = ACTIVE_DOMAIN_MODE,
+    ) -> Set[IdMapping]:
+        """``⟦P⟧^mode`` over the frozen prefix, as ID mappings."""
+        self._check_epoch()
+        return evaluate_view_ids(pattern, self._snapshot, mode, self._active_domain)
+
+    def query(
+        self,
+        pattern: Union[str, GraphPattern, SelectQuery],
+        mode: str = ACTIVE_DOMAIN_MODE,
+    ):
+        """Decoded answers (set of mappings), or ``INCONSISTENT`` (⊤)."""
+        if not self.consistent:
+            return INCONSISTENT
+        return decode_id_mappings(self.query_ids(pattern, mode))
+
+    def __repr__(self) -> str:
+        return (
+            f"ViewSnapshot(watermark={self.watermark}, epoch={self.epoch}, "
+            f"consistent={self.consistent})"
+        )
+
+
+class MaterializedView:
+    """Single-writer materialized OWL 2 QL view with published snapshots.
+
+    Thread contract: :meth:`push` and :meth:`rematerialize` are writer
+    operations, serialized by an internal lock (the service runs them on one
+    writer thread).  :meth:`current` / :meth:`read` / :meth:`query` are safe
+    from any thread at any time and never block on the writer — they touch
+    only the last *published* snapshot.
+    """
+
+    def __init__(self, graph: Union[RDFGraph, Iterator, None] = None, program=None):
+        self._program = program if program is not None else owl2ql_core_program()
+        initial = () if graph is None else graph
+        self._write_lock = threading.RLock()
+        # Reader gate for rematerialize(): readers register while evaluating,
+        # the epoch reset waits for zero and blocks new admissions.
+        self._gate = threading.Condition()
+        self._active_readers = 0
+        self._draining = False
+        self.pushes = 0
+        self.queries_served = 0
+        self._session = DeltaSession(self._program, initial)
+        self._published = self._publish()
+
+    # -- publication ---------------------------------------------------------
+
+    def _publish(self) -> ViewSnapshot:
+        """Freeze the session's current instance into a new published state."""
+        return ViewSnapshot(
+            self._session.instance.snapshot(),
+            TERMS.epoch(),
+            self._session.check_consistency(),
+        )
+
+    @property
+    def current(self) -> ViewSnapshot:
+        """The latest published snapshot (one attribute read — always safe)."""
+        return self._published
+
+    @property
+    def watermark(self) -> int:
+        """The published ordinal high-water mark."""
+        return self._published.watermark
+
+    @property
+    def epoch(self) -> int:
+        """The term-table epoch of the published snapshot."""
+        return self._published.epoch
+
+    @property
+    def consistent(self) -> bool:
+        """Whether the published materialization satisfies all constraints."""
+        return self._published.consistent
+
+    def __len__(self) -> int:
+        return len(self._session.instance)
+
+    # -- reads ---------------------------------------------------------------
+
+    @contextmanager
+    def read(self) -> Iterator[ViewSnapshot]:
+        """Pin the current snapshot for a read (gates rematerialization).
+
+        Pushes never wait for readers — only :meth:`rematerialize` drains
+        them, because an epoch reset is the one writer operation that
+        invalidates already-published state.
+        """
+        with self._gate:
+            while self._draining:
+                self._gate.wait()
+            self._active_readers += 1
+            snapshot = self._published
+        try:
+            yield snapshot
+        finally:
+            with self._gate:
+                self._active_readers -= 1
+                if self._active_readers == 0:
+                    self._gate.notify_all()
+
+    def query(
+        self,
+        pattern: Union[str, GraphPattern, SelectQuery],
+        mode: str = ACTIVE_DOMAIN_MODE,
+    ):
+        """Snapshot-isolated decoded answers, or ``INCONSISTENT``."""
+        with self.read() as snapshot:
+            self.queries_served += 1
+            return snapshot.query(pattern, mode)
+
+    # -- writes --------------------------------------------------------------
+
+    def push(self, facts) -> PushResult:
+        """Apply one writer batch, then publish the post-push state."""
+        with self._write_lock:
+            result = self._session.push(facts)
+            self.pushes += 1
+            self._published = self._publish()
+            return result
+
+    def rematerialize(self) -> int:
+        """Reclaim null dictionary space: new epoch, fresh materialization.
+
+        Drains in-flight readers, begins a new term-table epoch (dropping
+        every invented-null entry, the plan caches, and the parallel pool),
+        rebuilds the materialization from the accumulated EDB, and publishes
+        it.  Returns the new epoch ordinal.  Snapshots published before the
+        call raise :class:`StaleSnapshotError` on further use.
+        """
+        with self._write_lock:
+            edb = list(self._session._edb)
+            self._session.close()
+            with self._gate:
+                while self._active_readers:
+                    self._gate.wait()
+                self._draining = True
+            try:
+                # The old instance (and every published snapshot of it) is
+                # dropped before the reset: after begin_epoch() its null IDs
+                # are meaningless.
+                self._session = None
+                self._published = None
+                epoch = TERMS.begin_epoch()
+                self._session = DeltaSession(self._program, edb)
+                self._published = self._publish()
+            finally:
+                with self._gate:
+                    self._draining = False
+                    self._gate.notify_all()
+            return epoch
+
+    def close(self) -> None:
+        """Release engine resources (parallel replicas, if any)."""
+        self._session.close()
+
+    def __enter__(self) -> "MaterializedView":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """Counters for the service's ``/stats`` endpoint."""
+        published = self._published
+        return {
+            "facts": len(self._session.instance),
+            "edb_facts": len(self._session._edb),
+            "pushes": self.pushes,
+            "queries_served": self.queries_served,
+            "watermark": published.watermark,
+            "epoch": published.epoch,
+            "consistent": published.consistent,
+            "term_table": {
+                "constants": TERMS.counts()[0],
+                "nulls": TERMS.counts()[1],
+            },
+        }

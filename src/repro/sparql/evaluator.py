@@ -1,4 +1,4 @@
-"""The SPARQL evaluation function ``⟦P⟧_G`` (Section 3.1).
+"""The SPARQL evaluation function ``⟦P⟧_G`` (Section 3.1), ID-native.
 
 The semantics is defined recursively on the pattern structure:
 
@@ -10,13 +10,33 @@ The semantics is defined recursively on the pattern structure:
 4. ``⟦P1 OPT P2⟧ = ⟦P1⟧ ⟕ ⟦P2⟧``;
 5. ``⟦P FILTER R⟧ = { mu ∈ ⟦P⟧ | mu ⊨ R }``;
 6. ``⟦SELECT W P⟧ = { mu|_W | mu ∈ ⟦P⟧ }``.
+
+Since PR 6 the evaluation core runs **ID-native** on the engine's interned
+term IDs (:mod:`repro.engine.interning`): an *ID mapping* is a frozenset of
+``(Variable, tid)`` pairs, triple matching probes flat int rows, and the
+whole algebra (join/union/minus/left-outer-join, built-in conditions)
+compares ints.  Terms are decoded back into boxed
+:class:`~repro.sparql.mappings.Mapping` objects only at the result boundary
+(:func:`decode_id_mappings`).  Two interchangeable triple sources feed the
+core:
+
+* :class:`GraphIdView` — an interned postings view of an
+  :class:`~repro.rdf.graph.RDFGraph`, built once per graph version and
+  cached on the graph (the classic ``⟦P⟧_G`` entry points
+  :func:`evaluate_pattern` / :func:`evaluate_bgp` use this);
+* :class:`InstanceTripleSource` — ID rows of a materialized
+  :class:`~repro.datalog.database.Instance` or frozen
+  :class:`~repro.engine.index.InstanceSnapshot`, which is how the
+  entailment-regime view (:mod:`repro.translation.entailment_regime`) and
+  the query service read without ever decoding.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Set, Union as TypingUnion
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union as TypingUnion
 
 from repro.datalog.terms import Constant, Null, Variable
+from repro.engine.interning import TERMS
 from repro.rdf.graph import RDFGraph
 from repro.sparql.ast import (
     And,
@@ -35,11 +55,333 @@ from repro.sparql.ast import (
     TriplePattern,
     Union,
 )
-from repro.sparql.mappings import Mapping, join, left_outer_join, union
+from repro.sparql.mappings import Mapping
+
+#: An ID mapping: ``mu`` as a hashable set of (variable, term-ID) pairs.
+IdMapping = FrozenSet[Tuple[Variable, int]]
+
+#: ``mu_∅`` in ID form.
+EMPTY_ID_MAPPING: IdMapping = frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Triple sources
+# ---------------------------------------------------------------------------
+
+
+class GraphIdView:
+    """Interned postings view of an :class:`RDFGraph` (built per version).
+
+    Every graph term is interned through the global table once; matching then
+    probes ``(position, tid)`` postings exactly like the engine's
+    :class:`~repro.engine.index.PredicateIndex`, without the per-candidate
+    term ``__eq__`` dispatch the decoded evaluator paid.
+    """
+
+    __slots__ = ("_rows", "_postings")
+
+    def __init__(self, graph: RDFGraph):
+        rows: List[Tuple[int, int, int]] = []
+        postings: Dict[Tuple[int, int], List[int]] = {}
+        intern = TERMS.intern_term
+        for triple in graph:
+            ids = (
+                intern(triple.subject),
+                intern(triple.predicate),
+                intern(triple.object),
+            )
+            row_id = len(rows)
+            rows.append(ids)
+            for position, tid in enumerate(ids):
+                bucket = postings.get((position, tid))
+                if bucket is None:
+                    postings[(position, tid)] = [row_id]
+                else:
+                    bucket.append(row_id)
+        self._rows = rows
+        self._postings = postings
+
+    def scan(self, pairs: Sequence[Tuple[int, int]]) -> Iterator[Tuple[int, int, int]]:
+        """Triple ID rows matching every ``(position, tid)`` pair."""
+        rows = self._rows
+        if not pairs:
+            return iter(rows)
+        buckets: List[List[int]] = []
+        for position, tid in pairs:
+            bucket = self._postings.get((position, tid))
+            if not bucket:
+                return iter(())
+            buckets.append(bucket)
+        smallest = min(buckets, key=len)
+        if len(pairs) == 1:
+            return (rows[row_id] for row_id in smallest)
+        return (
+            rows[row_id]
+            for row_id in smallest
+            if all(rows[row_id][position] == tid for position, tid in pairs)
+        )
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+def graph_id_view(graph: RDFGraph) -> GraphIdView:
+    """The (cached) :class:`GraphIdView` of ``graph``.
+
+    The cache key pairs the graph's mutation counter with the term-table
+    epoch: a graph edit or an epoch reset (which may reassign blank-node
+    IDs) both invalidate the view.
+    """
+    key = (graph._version, TERMS.epoch())
+    cached = getattr(graph, "_id_view", None)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    view = GraphIdView(graph)
+    graph._id_view = (key, view)
+    return view
+
+
+class InstanceTripleSource:
+    """BGP triple source over one predicate of a materialized instance.
+
+    ``store`` is anything with ``matching_ids(predicate, arity, pairs)`` — a
+    live :class:`~repro.datalog.database.Instance` or a frozen
+    :class:`~repro.engine.index.InstanceSnapshot` (the query service always
+    passes the latter, which is what makes its reads snapshot-isolated).
+    """
+
+    __slots__ = ("_store", "predicate")
+
+    def __init__(self, store, predicate: str):
+        self._store = store
+        self.predicate = predicate
+
+    def scan(self, pairs: Sequence[Tuple[int, int]]) -> Iterator[Tuple[int, ...]]:
+        """Triple ID rows of the configured predicate matching ``pairs``."""
+        return self._store.matching_ids(self.predicate, 3, pairs)
+
+
+# ---------------------------------------------------------------------------
+# Basic graph patterns, ID-native
+# ---------------------------------------------------------------------------
+
+_Binder = TypingUnion[Variable, Null]
+
+
+def _pattern_slots(pattern: TriplePattern) -> Optional[Tuple[object, object, object]]:
+    """Per-position ``tid`` (bound constant) or binder object, or None.
+
+    ``None`` means a pattern constant was never interned, so the pattern
+    cannot match any stored fact.
+    """
+    slots: List[object] = []
+    find = TERMS.find_term
+    for term in (pattern.subject, pattern.predicate, pattern.object):
+        if isinstance(term, (Variable, Null)):
+            slots.append(term)
+        else:
+            tid = find(term)
+            if tid is None:
+                return None
+            slots.append(tid)
+    return tuple(slots)
+
+
+def evaluate_bgp_ids(
+    bgp: BGP,
+    scan: Callable[[Sequence[Tuple[int, int]]], Iterable[Tuple[int, ...]]],
+    guard: Optional[Callable[[_Binder, int], bool]] = None,
+    empty_bgp_result: bool = True,
+) -> Set[IdMapping]:
+    """Case (1) of the semantics on interned IDs.
+
+    ``scan(pairs)`` yields the stored triple ID rows matching the bound
+    ``(position, tid)`` pairs.  ``guard`` (optional) vets every fresh binder
+    binding — the entailment regimes pass active-domain membership here, so
+    guardedness is enforced during matching instead of by post-filtering.
+    ``empty_bgp_result`` decides ``⟦{}⟧``: True for the plain semantics
+    (always ``{mu_∅}``), while the entailment translation makes the empty
+    BGP contingent on a non-empty domain.
+    """
+    if not bgp.patterns:
+        return {EMPTY_ID_MAPPING} if empty_bgp_result else set()
+    bindings: List[Dict[_Binder, int]] = [{}]
+    for pattern in bgp.patterns:
+        slots = _pattern_slots(pattern)
+        if slots is None:
+            return set()
+        extended: List[Dict[_Binder, int]] = []
+        for binding in bindings:
+            pairs: List[Tuple[int, int]] = []
+            binders: List[Tuple[int, _Binder]] = []
+            for position, slot in enumerate(slots):
+                if type(slot) is int:
+                    pairs.append((position, slot))
+                else:
+                    tid = binding.get(slot)
+                    if tid is None:
+                        binders.append((position, slot))
+                    else:
+                        pairs.append((position, tid))
+            for row in scan(pairs):
+                extension = dict(binding)
+                consistent = True
+                for position, binder in binders:
+                    tid = row[position]
+                    bound = extension.get(binder)
+                    if bound is None:
+                        if guard is not None and not guard(binder, tid):
+                            consistent = False
+                            break
+                        extension[binder] = tid
+                    elif bound != tid:
+                        consistent = False
+                        break
+                if consistent:
+                    extended.append(extension)
+        bindings = extended
+        if not bindings:
+            return set()
+    variables = bgp.variables()
+    return {
+        frozenset(
+            (binder, tid)
+            for binder, tid in binding.items()
+            if isinstance(binder, Variable) and binder in variables
+        )
+        for binding in bindings
+    }
+
+
+# ---------------------------------------------------------------------------
+# The mapping algebra on ID mappings
+# ---------------------------------------------------------------------------
+
+
+def _merge_ids(base: Dict[Variable, int], other: IdMapping) -> Optional[IdMapping]:
+    """``mu1 ∪ mu2`` if compatible, else None."""
+    merged = dict(base)
+    for variable, tid in other:
+        bound = merged.get(variable)
+        if bound is None:
+            merged[variable] = tid
+        elif bound != tid:
+            return None
+    return frozenset(merged.items())
+
+
+def join_ids(first: Set[IdMapping], second: Set[IdMapping]) -> Set[IdMapping]:
+    """``Omega1 ⋈ Omega2`` on ID mappings."""
+    result: Set[IdMapping] = set()
+    for mu1 in first:
+        base = dict(mu1)
+        for mu2 in second:
+            merged = _merge_ids(base, mu2)
+            if merged is not None:
+                result.add(merged)
+    return result
+
+
+def minus_ids(first: Set[IdMapping], second: Set[IdMapping]) -> Set[IdMapping]:
+    """``Omega1 ∖ Omega2``: mappings compatible with no mapping of Omega2."""
+    result: Set[IdMapping] = set()
+    for mu1 in first:
+        base = dict(mu1)
+        if all(_merge_ids(base, mu2) is None for mu2 in second):
+            result.add(mu1)
+    return result
+
+
+def left_outer_join_ids(first: Set[IdMapping], second: Set[IdMapping]) -> Set[IdMapping]:
+    """``Omega1 ⟕ Omega2 = (Omega1 ⋈ Omega2) ∪ (Omega1 ∖ Omega2)``."""
+    return join_ids(first, second) | minus_ids(first, second)
+
+
+def satisfies_ids(binding: Dict[Variable, int], condition: Condition) -> bool:
+    """``mu ⊨ R`` on an ID mapping (as a dict)."""
+    if isinstance(condition, Bound):
+        return condition.variable in binding
+    if isinstance(condition, EqualsConstant):
+        tid = binding.get(condition.variable)
+        return tid is not None and tid == TERMS.find_term(condition.constant)
+    if isinstance(condition, EqualsVariable):
+        left = binding.get(condition.left)
+        right = binding.get(condition.right)
+        return left is not None and right is not None and left == right
+    if isinstance(condition, Not):
+        return not satisfies_ids(binding, condition.condition)
+    if isinstance(condition, OrCondition):
+        return satisfies_ids(binding, condition.left) or satisfies_ids(binding, condition.right)
+    if isinstance(condition, AndCondition):
+        return satisfies_ids(binding, condition.left) and satisfies_ids(binding, condition.right)
+    raise TypeError(f"unknown built-in condition {condition!r}")
+
+
+def evaluate_pattern_ids(
+    pattern: GraphPattern,
+    bgp_evaluator: Callable[[BGP], Set[IdMapping]],
+) -> Set[IdMapping]:
+    """``⟦P⟧`` on interned IDs, parameterised by the BGP base case.
+
+    The recursion over AND/UNION/OPT/FILTER/SELECT is shared between the
+    plain graph semantics and the entailment-regime view; only the basic
+    graph pattern case differs (triple source + guards), so callers inject
+    it.
+    """
+    if isinstance(pattern, BGP):
+        return bgp_evaluator(pattern)
+    if isinstance(pattern, And):
+        return join_ids(
+            evaluate_pattern_ids(pattern.left, bgp_evaluator),
+            evaluate_pattern_ids(pattern.right, bgp_evaluator),
+        )
+    if isinstance(pattern, Union):
+        return evaluate_pattern_ids(pattern.left, bgp_evaluator) | evaluate_pattern_ids(
+            pattern.right, bgp_evaluator
+        )
+    if isinstance(pattern, Opt):
+        return left_outer_join_ids(
+            evaluate_pattern_ids(pattern.left, bgp_evaluator),
+            evaluate_pattern_ids(pattern.right, bgp_evaluator),
+        )
+    if isinstance(pattern, Filter):
+        return {
+            mapping
+            for mapping in evaluate_pattern_ids(pattern.pattern, bgp_evaluator)
+            if satisfies_ids(dict(mapping), pattern.condition)
+        }
+    if isinstance(pattern, Select):
+        allowed = {
+            v if isinstance(v, Variable) else Variable(v) for v in pattern.projection
+        }
+        return {
+            frozenset((v, tid) for v, tid in mapping if v in allowed)
+            for mapping in evaluate_pattern_ids(pattern.pattern, bgp_evaluator)
+        }
+    raise TypeError(f"unknown graph pattern {pattern!r}")
+
+
+# ---------------------------------------------------------------------------
+# The result boundary
+# ---------------------------------------------------------------------------
+
+
+def decode_id_mappings(id_mappings: Iterable[IdMapping]) -> Set[Mapping]:
+    """Decode ID mappings into boxed :class:`Mapping` objects (result boundary)."""
+    term = TERMS.term
+    return {
+        Mapping({variable: term(tid) for variable, tid in mapping})
+        for mapping in id_mappings
+    }
+
+
+# ---------------------------------------------------------------------------
+# The classic decoded entry points (⟦P⟧_G over an RDFGraph)
+# ---------------------------------------------------------------------------
 
 
 def satisfies(mapping: Mapping, condition: Condition) -> bool:
-    """``mu ⊨ R`` for built-in conditions (Section 3.1)."""
+    """``mu ⊨ R`` for built-in conditions (Section 3.1), on boxed mappings."""
     if isinstance(condition, Bound):
         return condition.variable in mapping
     if isinstance(condition, EqualsConstant):
@@ -58,6 +400,20 @@ def satisfies(mapping: Mapping, condition: Condition) -> bool:
     raise TypeError(f"unknown built-in condition {condition!r}")
 
 
+def evaluate_bgp(bgp: BGP, graph: RDFGraph) -> Set[Mapping]:
+    """Case (1) of the semantics: basic graph patterns (decoded boundary)."""
+    return decode_id_mappings(evaluate_bgp_ids(bgp, graph_id_view(graph).scan))
+
+
+def evaluate_pattern(pattern: GraphPattern, graph: RDFGraph) -> Set[Mapping]:
+    """``⟦P⟧_G``: the set of mappings resulting from evaluating ``P`` over ``G``."""
+    scan = graph_id_view(graph).scan
+    return decode_id_mappings(
+        evaluate_pattern_ids(pattern, lambda bgp: evaluate_bgp_ids(bgp, scan))
+    )
+
+
+# Kept for any external callers of the pre-PR-6 decoded matcher.
 def _match_triple_pattern(
     pattern: TriplePattern,
     graph: RDFGraph,
@@ -95,47 +451,3 @@ def _match_triple_pattern(
                 break
         if consistent:
             yield extension
-
-
-def evaluate_bgp(bgp: BGP, graph: RDFGraph) -> Set[Mapping]:
-    """Case (1) of the semantics: basic graph patterns."""
-    bindings: list = [{}]
-    for pattern in bgp.patterns:
-        bindings = [
-            extension
-            for binding in bindings
-            for extension in _match_triple_pattern(pattern, graph, binding)
-        ]
-    variables = bgp.variables()
-    results: Set[Mapping] = set()
-    for binding in bindings:
-        results.add(
-            Mapping({v: c for v, c in binding.items() if isinstance(v, Variable) and v in variables})
-        )
-    return results
-
-
-def evaluate_pattern(pattern: GraphPattern, graph: RDFGraph) -> Set[Mapping]:
-    """``⟦P⟧_G``: the set of mappings resulting from evaluating ``P`` over ``G``."""
-    if isinstance(pattern, BGP):
-        return evaluate_bgp(pattern, graph)
-    if isinstance(pattern, And):
-        return join(evaluate_pattern(pattern.left, graph), evaluate_pattern(pattern.right, graph))
-    if isinstance(pattern, Union):
-        return union(evaluate_pattern(pattern.left, graph), evaluate_pattern(pattern.right, graph))
-    if isinstance(pattern, Opt):
-        return left_outer_join(
-            evaluate_pattern(pattern.left, graph), evaluate_pattern(pattern.right, graph)
-        )
-    if isinstance(pattern, Filter):
-        return {
-            mapping
-            for mapping in evaluate_pattern(pattern.pattern, graph)
-            if satisfies(mapping, pattern.condition)
-        }
-    if isinstance(pattern, Select):
-        return {
-            mapping.restrict(pattern.projection)
-            for mapping in evaluate_pattern(pattern.pattern, graph)
-        }
-    raise TypeError(f"unknown graph pattern {pattern!r}")

@@ -56,7 +56,7 @@ from repro.sparql.ast import (
     Select,
     Union,
 )
-from repro.sparql.parser import SelectQuery
+from repro.sparql.parser import SelectQuery, parse_sparql
 
 #: The reserved constant representing "this position was left unbound".
 STAR = Constant("__unbound__")
@@ -107,9 +107,11 @@ class DatalogTranslation:
 
     @property
     def arity(self) -> int:
+        """Return the arity of the answer predicate."""
         return len(self.answer_variables)
 
     def query(self) -> Query:
+        """Return the translation packaged as an executable :class:`Query`."""
         return Query(self.program, self.answer_predicate, self.arity)
 
 
@@ -128,14 +130,16 @@ class SPARQLToDatalogTranslator:
 
     def translate(
         self,
-        pattern: TypingUnion[GraphPattern, SelectQuery],
+        pattern: TypingUnion[str, GraphPattern, SelectQuery],
         answer_predicate: str = "answer",
     ) -> DatalogTranslation:
-        """Translate a graph pattern (or a parsed SELECT query)."""
+        """Translate a graph pattern (or a SELECT query, parsed or as text)."""
         self._rules = []
         self._counter = itertools.count()
         self._blank_counter = itertools.count()
 
+        if isinstance(pattern, str):
+            pattern = parse_sparql(pattern)
         if isinstance(pattern, SelectQuery):
             answer_variables: Tuple[Variable, ...] = tuple(pattern.projection)
             root_pattern: GraphPattern = Select(pattern.projection, pattern.pattern)

@@ -1,0 +1,196 @@
+"""The programmatic facade: Engine/EngineConfig vs the legacy env vars.
+
+The parity classes run the same workload twice in fresh subprocesses — once
+configured through ``REPRO_ENGINE_*`` environment variables, once through
+:class:`repro.EngineConfig` — and require byte-identical engine counters:
+the facade must be a pure re-skinning of the legacy configuration, not a
+second code path.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.api import Engine, EngineConfig
+
+WORKLOAD = """
+import json, sys
+import repro
+from repro.engine.stats import STATS
+
+{configure}
+
+program = '''
+    edge(?X, ?Y) -> path(?X, ?Y).
+    edge(?X, ?Z), path(?Z, ?Y) -> path(?X, ?Y).
+    path(?X, ?Y), path(?Y, ?X) -> scc(?X, ?Y).
+'''
+facts = [repro.parse_atom(f"edge(n{{i}}, n{{(i + 1) % 30}})") for i in range(30)]
+engine = repro.Engine()
+STATS.reset()
+answers = engine.evaluate(program, "path", repro.Database(facts))
+print(json.dumps({{"answers": len(answers), "mode": engine.mode,
+                   "counters": STATS.snapshot()}}, sort_keys=True))
+"""
+
+
+def run_workload(configure_lines, env_overrides):
+    env = {
+        key: value
+        for key, value in os.environ.items()
+        if not key.startswith("REPRO_")
+    }
+    env.update(env_overrides)
+    env["PYTHONPATH"] = "src"
+    result = subprocess.run(
+        [sys.executable, "-c", WORKLOAD.format(configure=configure_lines)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout.strip().splitlines()[-1]
+
+
+class TestEnvVarParity:
+    """EngineConfig and legacy env vars must produce byte-identical runs."""
+
+    @pytest.mark.parametrize("mode", ["row", "batch"])
+    def test_modes_round_trip(self, mode):
+        via_env = run_workload("", {"REPRO_ENGINE_MODE": mode})
+        via_config = run_workload(
+            f"repro.Engine(repro.EngineConfig(mode={mode!r}))", {}
+        )
+        assert via_env == via_config
+        assert json.loads(via_env)["mode"] == mode
+
+    def test_parallel_env_round_trip(self):
+        # Keep the threshold above the workload size so the counters cover
+        # the mode-selection plumbing without paying a pool spawn per test.
+        via_env = run_workload(
+            "",
+            {"REPRO_ENGINE_PARALLEL": "2", "REPRO_PARALLEL_THRESHOLD": "100000"},
+        )
+        via_config = run_workload(
+            "repro.Engine(repro.EngineConfig(mode='parallel', workers=2,"
+            " parallel_threshold=100000))",
+            {},
+        )
+        assert via_env == via_config
+        assert json.loads(via_env)["mode"] == "parallel"
+
+    def test_config_wins_over_env(self):
+        output = run_workload(
+            "repro.Engine(repro.EngineConfig(mode='row'))",
+            {"REPRO_ENGINE_MODE": "batch"},
+        )
+        assert json.loads(output)["mode"] == "row"
+
+    def test_from_env_pins_the_environment_snapshot(self):
+        config = EngineConfig.from_env(
+            {"REPRO_ENGINE_PARALLEL": "3", "REPRO_PARALLEL_THRESHOLD": "17"}
+        )
+        assert config == EngineConfig(
+            mode="parallel", workers=3, parallel_threshold=17
+        )
+        assert EngineConfig.from_env({}) == EngineConfig()
+
+
+class TestEngineConstruction:
+    def test_kwargs_build_a_config(self):
+        engine = Engine(mode="batch", workers=2)
+        assert engine.config == EngineConfig(mode="batch", workers=2)
+
+    def test_config_and_kwargs_conflict(self):
+        with pytest.raises(TypeError):
+            Engine(EngineConfig(), mode="batch")
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(mode="vectorised")
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(workers=0)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(parallel_threshold=-1)
+
+    def test_with_overrides(self):
+        base = EngineConfig(mode="batch")
+        assert base.with_overrides(workers=4) == EngineConfig(mode="batch", workers=4)
+
+    def test_configure_one_liner(self):
+        engine = repro.configure(mode="batch")
+        assert engine.mode == "batch"
+
+
+class TestFacadeMethods:
+    PROGRAM = "edge(?X, ?Y) -> reach(?X, ?Y). edge(?X, ?Z), reach(?Z, ?Y) -> reach(?X, ?Y)."
+
+    def facts(self):
+        return [repro.parse_atom("edge(a, b)"), repro.parse_atom("edge(b, c)")]
+
+    def test_evaluate_matches_module_level(self):
+        engine = Engine(mode="batch")
+        db = repro.Database(self.facts())
+        assert engine.evaluate(self.PROGRAM, "reach", db) == repro.evaluate(
+            self.PROGRAM, "reach", db
+        )
+
+    def test_chase_materialises(self):
+        instance = Engine().chase(self.PROGRAM, self.facts())
+        assert len(list(instance.with_predicate("reach"))) == 3
+
+    def test_delta_session(self):
+        with Engine().delta_session(self.PROGRAM, self.facts()) as session:
+            assert len(session.query("reach")) == 3
+            session.push([repro.parse_atom("edge(c, d)")])
+            assert len(session.query("reach")) == 6
+
+    def test_plan_cache_round_trip(self, tmp_path):
+        path = str(tmp_path / "plans.json")
+        engine = Engine(EngineConfig(plan_cache=path))
+        engine.evaluate(self.PROGRAM, "reach", repro.Database(self.facts()))
+        assert engine.save_plan_cache() > 0
+        # A fresh engine naming the same path stages the plans without error.
+        Engine(EngineConfig(plan_cache=path))
+
+    def test_save_plan_cache_requires_a_path(self):
+        with pytest.raises(ValueError):
+            Engine().save_plan_cache()
+
+    def test_serve_returns_unstarted_service(self):
+        service = Engine().serve(block=False)
+        assert service.port == 8377
+        assert service.view.consistent
+        service.view.close()
+
+
+class TestDeprecatedShims:
+    def test_legacy_setters_reachable_from_top_level(self):
+        assert repro.set_execution_mode is not None
+        assert repro.set_worker_count is not None
+        from repro.engine import mode
+
+        assert repro.set_execution_mode is mode.set_execution_mode
+
+    def test_service_exports_lazy(self):
+        assert repro.MaterializedView.__name__ == "MaterializedView"
+        assert repro.QueryService.__name__ == "QueryService"
+
+    def test_dir_lists_lazy_exports(self):
+        listing = dir(repro)
+        for name in ("MaterializedView", "QueryService", "set_execution_mode"):
+            assert name in listing
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist

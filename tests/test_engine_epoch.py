@@ -1,0 +1,107 @@
+"""Epoch-based TermTable lifecycle: null-space reclamation + reset hooks."""
+
+from repro.datalog.parser import parse_program
+from repro.datalog.terms import Constant, Null
+from repro.engine import interning, plan
+from repro.engine.interning import TERMS, TermTable
+
+
+class TestSecondaryTableEpochs:
+    """Lifecycle mechanics on a private (non-memoising) table."""
+
+    def test_begin_epoch_drops_nulls_keeps_constants(self):
+        table = TermTable()
+        cid = table.intern_constant("alice")
+        table.intern_null("n0")
+        table.intern_null("n1")
+        assert table.counts() == (1, 2)
+
+        assert table.begin_epoch() == 1
+        assert table.counts() == (1, 0)
+        assert table.epoch() == 1
+        # Constants keep their IDs across the reset...
+        assert table.intern_constant("alice") == cid
+        # ...while the null space restarts dense from zero.
+        assert table.intern_null("fresh") == 1
+
+    def test_null_ids_are_reused_across_epochs(self):
+        table = TermTable()
+        first = table.intern_null("epoch0-null")
+        table.begin_epoch()
+        second = table.intern_null("epoch1-null")
+        assert first == second  # same dense slot, different label
+        assert table.term(second).label == "epoch1-null"
+
+    def test_epoch_starts_at_zero(self):
+        assert TermTable().epoch() == 0
+
+
+class TestGlobalTableEpochs:
+    """The process-global TERMS table: memo hygiene and hook dispatch."""
+
+    def test_canonical_null_memos_are_cleared(self):
+        tid = TERMS.intern_null("__epoch_test_null__")
+        stale = TERMS.term(tid)
+        assert stale._tid == tid
+        TERMS.begin_epoch()
+        # The stale object can no longer resurrect its reassigned ID.
+        assert stale._tid is None
+        assert TERMS.find_term(Null("__epoch_test_null__")) is None
+
+    def test_constant_memos_survive(self):
+        tid = TERMS.intern_constant("__epoch_test_constant__")
+        term = TERMS.term(tid)
+        TERMS.begin_epoch()
+        assert term._tid == tid
+        assert TERMS.intern_term(Constant("__epoch_test_constant__")) == tid
+
+    def test_plan_caches_are_dropped_by_the_hook(self):
+        program = parse_program("q(?X) :- p(?X).")
+        plan.compile_rule(program.rules[0])
+        assert plan._RULE_CACHE
+        TERMS.begin_epoch()
+        assert not plan._RULE_CACHE
+        assert not plan._BODY_CACHE
+        assert not plan._PIVOT_CACHE
+        # Recompilation after the reset works and repopulates the cache.
+        plan.compile_rule(program.rules[0])
+        assert plan._RULE_CACHE
+
+    def test_custom_hook_runs_once_per_reset(self):
+        calls = []
+
+        def hook():
+            calls.append(TERMS.epoch())
+
+        try:
+            interning.register_epoch_hook(hook)
+            interning.register_epoch_hook(hook)  # duplicate is ignored
+            before = TERMS.epoch()
+            TERMS.begin_epoch()
+            # Hooks run before the bump: they observe the closing epoch.
+            assert calls == [before]
+        finally:
+            interning._EPOCH_HOOKS.remove(hook)
+
+    def test_materialization_works_after_reset(self):
+        """An existential chase in a fresh epoch re-invents nulls from slot 0."""
+        from repro.datalog.atoms import Atom
+        from repro.datalog.database import Database
+        from repro.datalog.semantics import evaluate_program
+
+        program = parse_program("person(?X) -> exists ?Y . parent(?X, ?Y).")
+
+        def fresh_db():
+            db = Database()
+            db.add(Atom("person", (Constant("alice"),)))
+            return db
+
+        first = evaluate_program(program, fresh_db())
+        nulls_before = TERMS.counts()[1]
+        assert nulls_before > 0
+        TERMS.begin_epoch()
+        assert TERMS.counts()[1] == 0
+        second = evaluate_program(program, fresh_db())
+        # Same facts modulo null identity; same number of inventions.
+        assert len(first) == len(second)
+        assert TERMS.counts()[1] <= nulls_before

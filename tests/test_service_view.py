@@ -1,0 +1,182 @@
+"""The materialized view: publication, epoch lifecycle, snapshot isolation.
+
+The concurrent classes are the differential check ISSUE'd for this
+subsystem: readers pinned to a published snapshot must see byte-identical
+answers no matter how the single writer interleaves with them, and every
+pinned state must equal a cold recompute of the corresponding push prefix.
+"""
+
+import threading
+
+import pytest
+
+from repro.datalog.semantics import INCONSISTENT
+from repro.service import MaterializedView, StaleSnapshotError
+from repro.sparql.parser import parse_sparql
+from repro.translation.entailment_regime import evaluate_under_entailment
+from repro.workloads.ontologies import university_graph
+
+PERSON = parse_sparql("SELECT ?X WHERE { ?X rdf:type Person }")
+WORKS = parse_sparql("SELECT ?X WHERE { ?X worksFor _:B }")
+
+
+def small_graph():
+    return university_graph(n_departments=1, students_per_department=3)
+
+
+class TestPublication:
+    def test_initial_snapshot_matches_oracle(self):
+        graph = small_graph()
+        with MaterializedView(graph) as view:
+            for mode in ("U", "All"):
+                assert view.query(PERSON, mode) == evaluate_under_entailment(
+                    PERSON, graph, mode
+                )
+
+    def test_push_advances_watermark_and_answers(self):
+        with MaterializedView(small_graph()) as view:
+            before = view.query(PERSON)
+            w0 = view.watermark
+            result = view.push([("fresh_student", "rdf:type", "Student")])
+            assert result.new_edb == 1
+            assert view.watermark > w0
+            after = view.query(PERSON)
+            assert len(after) == len(before) + 1
+
+    def test_pinned_snapshot_ignores_later_pushes(self):
+        with MaterializedView(small_graph()) as view:
+            with view.read() as snapshot:
+                before = snapshot.query(PERSON)
+                view.push([("late_student", "rdf:type", "Student")])
+                # The pinned snapshot still answers from its frozen prefix.
+                assert snapshot.query(PERSON) == before
+            assert len(view.query(PERSON)) == len(before) + 1
+
+    def test_inconsistent_push_reports_top(self):
+        with MaterializedView(small_graph()) as view:
+            assert view.consistent
+            result = view.push(
+                [
+                    ("clash", "rdf:type", "Course"),
+                    ("clash", "rdf:type", "Person"),
+                    ("Course", "owl:disjointWith", "Person"),
+                ]
+            )
+            assert not result.consistent
+            assert not view.consistent
+            assert view.query(PERSON) is INCONSISTENT
+
+
+class TestEpochLifecycle:
+    def test_rematerialize_preserves_answers_and_reclaims_nulls(self):
+        from repro.engine.interning import TERMS
+
+        with MaterializedView(small_graph()) as view:
+            view.push([("s1", "rdf:type", "Student")])
+            answers = {mode: view.query(WORKS, mode) for mode in ("U", "All")}
+            nulls_before = TERMS.counts()[1]
+            assert nulls_before > 0
+            epoch_before = view.epoch
+            new_epoch = view.rematerialize()
+            assert new_epoch == epoch_before + 1
+            assert view.epoch == new_epoch
+            for mode in ("U", "All"):
+                assert view.query(WORKS, mode) == answers[mode]
+
+    def test_stale_snapshot_raises_after_rematerialize(self):
+        with MaterializedView(small_graph()) as view:
+            stale = view.current
+            view.rematerialize()
+            with pytest.raises(StaleSnapshotError):
+                stale.query_ids(PERSON)
+
+    def test_push_after_rematerialize_continues(self):
+        with MaterializedView(small_graph()) as view:
+            base = len(view.query(PERSON))
+            view.rematerialize()
+            view.push([("post_epoch", "rdf:type", "Student")])
+            assert len(view.query(PERSON)) == base + 1
+
+
+class TestConcurrentSnapshotIsolation:
+    """The differential read/write check: pinned reads are immovable."""
+
+    BATCHES = [
+        [(f"student_{i}", "rdf:type", "Student"), (f"student_{i}", "takesCourse", f"course_{i % 3}")]
+        for i in range(12)
+    ]
+
+    def test_readers_see_only_published_prefixes(self):
+        graph = small_graph()
+        view = MaterializedView(graph)
+        # watermark -> number of batches applied when it was published
+        published = {view.watermark: 0}
+        publish_lock = threading.Lock()
+        errors = []
+        observations = []
+        done = threading.Event()
+
+        def writer():
+            try:
+                for count, batch in enumerate(self.BATCHES, start=1):
+                    view.push(batch)
+                    with publish_lock:
+                        published[view.watermark] = count
+            except Exception as exc:  # pragma: no cover - surfaced via errors
+                errors.append(exc)
+            finally:
+                done.set()
+
+        def reader():
+            try:
+                while not done.is_set() or len(observations) < 4:
+                    with view.read() as snapshot:
+                        first = snapshot.query_ids(PERSON)
+                        second = snapshot.query_ids(PERSON)
+                        # Within one pinned snapshot the answer set cannot
+                        # move, whatever the writer does meanwhile.
+                        assert first == second
+                        observations.append((snapshot.watermark, len(first)))
+                    if len(observations) > 400:
+                        break
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        view.close()
+        assert not errors, errors
+
+        # Every observed watermark is one the writer actually published, and
+        # the answer cardinality at that watermark equals a cold recompute of
+        # the corresponding push prefix.
+        seen_watermarks = {watermark for watermark, _ in observations}
+        assert seen_watermarks <= set(published)
+        cold_sizes = {}
+        for watermark, size in observations:
+            count = published[watermark]
+            if count not in cold_sizes:
+                cold = MaterializedView(graph)
+                for batch in self.BATCHES[:count]:
+                    cold.push(batch)
+                cold_sizes[count] = len(cold.query(PERSON))
+                cold.close()
+            assert size == cold_sizes[count], (watermark, count)
+
+    def test_concurrent_reads_during_pushes_match_final_oracle(self):
+        graph = small_graph()
+        view = MaterializedView(graph)
+        for batch in self.BATCHES:
+            view.push(batch)
+        final = view.query(PERSON)
+        cold = MaterializedView(graph)
+        for batch in self.BATCHES:
+            cold.push(batch)
+        assert cold.query(PERSON) == final
+        view.close()
+        cold.close()
