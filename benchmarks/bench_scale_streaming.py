@@ -159,8 +159,12 @@ def test_growing_universities(benchmark, universities):
 
 @pytest.mark.parametrize("batches", [8])
 def test_sliding_social_window(benchmark, batches):
+    # insert_only keeps this series comparable with the committed baseline
+    # records from before the stream gained real eviction batches; the
+    # churn (insert + retract) schedule is measured by bench_stream_churn.py.
     initial, feed = sliding_social_stream(
-        initial_edges=150, batches=batches, edges_per_batch=30, window=40, drift=8
+        initial_edges=150, batches=batches, edges_per_batch=30, window=40, drift=8,
+        insert_only=True,
     )
     _run_stream(benchmark, ("social", batches), SOCIAL, initial, feed)
 

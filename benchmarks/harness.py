@@ -13,7 +13,8 @@ column-at-a-time batch, and the sharded parallel executor; see
 per-mode wall times — which is how the batch and parallel executors'
 speedups are tracked in the committed baseline — the harness enforces the
 cross-mode counter contract: the mode-independent counters (facts added,
-triggers fired, nulls invented, pivots skipped) must be *identical* across
+triggers fired, nulls invented, pivots skipped, and the retraction trio of
+facts retracted / re-derived / nulls collected) must be *identical* across
 every mode of a scenario, and the run fails otherwise.  That equality is
 what keeps the bench-smoke counter gate meaningful with three executors
 behind one baseline.
@@ -71,7 +72,7 @@ from repro.engine.mode import execution_mode  # noqa: E402
 from repro.engine.parallel import shutdown_pool  # noqa: E402
 from repro.engine.stats import STATS  # noqa: E402
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine_core.json")
 MODES = ("row", "batch", "parallel")
 # An empty string counts as unset, matching repro.engine.mode (CI matrices
@@ -83,6 +84,12 @@ MODE_INDEPENDENT_COUNTERS = (
     "chase_steps",
     "nulls_invented",
     "pivots_skipped",
+    # Schema v7: the DRed retraction trio.  Defined on sets (the over-deleted
+    # closure, the restored survivors, the orphaned nulls), so every executor
+    # must account the deletion path identically.
+    "retractions",
+    "rederived",
+    "nulls_collected",
 )
 #: Regressions smaller than this (seconds) never fail the gate: scenarios in
 #: the low-millisecond range jitter far more than 25% on shared CI runners.
@@ -272,6 +279,10 @@ def run_scenario(
             "chase_steps": last_stats["triggers_fired"],
             "nulls_invented": last_stats["nulls_invented"],
             "pivots_skipped": last_stats["pivots_skipped"],
+            # Schema v7: the retraction trio (0 for insert-only scenarios).
+            "retractions": last_stats["retractions"],
+            "rederived": last_stats["rederived"],
+            "nulls_collected": last_stats["nulls_collected"],
             "batch_probe_groups": last_stats["batch_probe_groups"],
             "parallel_tasks": last_stats["parallel_tasks"],
             "parallel_fallbacks": last_stats["parallel_fallbacks"],
@@ -438,7 +449,16 @@ def compare_to_baseline(
         # they need no speed adjustment and catch what normalised wall time
         # cannot: a uniform algorithmic regression across the whole suite
         # (e.g. the compiled core suddenly firing more triggers everywhere).
-        for counter in ("chase_steps", "facts_added", "nulls_invented"):
+        for counter in (
+            "chase_steps",
+            "facts_added",
+            "nulls_invented",
+            # Schema v7: over-deletion growing past the baseline means the
+            # marking phase lost precision (deleting far more than the
+            # retracted closure warrants) even when the end state is right.
+            "retractions",
+            "rederived",
+        ):
             now, then = record.get(counter), base.get(counter)
             if now is None or not then:
                 continue
@@ -451,23 +471,37 @@ def compare_to_baseline(
         # no machine normalisation; it gates streaming scenarios against the
         # incremental path degenerating toward recomputation.  Halving the
         # baseline ratio (or dropping below break-even) fails; smaller noise
-        # on the unmeasured recompute probe does not.
+        # on the unmeasured recompute probe does not.  Scenarios whose
+        # *baseline* sits below break-even pin a deliberately adverse regime
+        # (the churn-heavy social windows, where DRed degenerates by design
+        # and the engine's guard rebuilds cold); those get the halving gate
+        # only — the scenario's own in-test ceiling owns the absolute bound.
         now, then = record.get("incremental_speedup"), base.get("incremental_speedup")
         if now is not None and then:
-            if now < max(1.0, then * 0.5):
+            floor = max(1.0, then * 0.5) if then >= 1.0 else then * 0.5
+            if now < floor:
                 regressions.append(
                     f"{record['id']}: incremental_speedup {now}x vs baseline {then}x"
                 )
-        # pivots_skipped gates in the opposite direction: a *drop* means the
-        # cost-based pivot selection stopped skipping (delta rounds probing
-        # pivots they should not), which is invisible to the work counters
-        # above because skipped pivots produce no triggers or facts.
+        # pivots_skipped gates in *both* directions (schema v7 widened the
+        # historical drop-only gate).  A drop means the cost-based pivot
+        # selection stopped skipping (delta rounds probing pivots they should
+        # not) — invisible to the work counters above because skipped pivots
+        # produce no triggers or facts.  A *rise* is the mirror failure: the
+        # cost model refusing pivots it should probe, which silently shifts
+        # work onto full-relation scans that the trigger counters, measuring
+        # matches rather than probes, cannot see either.
         now, then = record.get("pivots_skipped"), base.get("pivots_skipped")
         if now is not None and then:
             if now < then * (1 - threshold) and then - now > 50:
                 regressions.append(
                     f"{record['id']}: pivots_skipped {now} vs baseline {then} "
                     f"({(now / then - 1) * 100:.0f}%)"
+                )
+            elif now > then * (1 + threshold) and now - then > 50:
+                regressions.append(
+                    f"{record['id']}: pivots_skipped {now} vs baseline {then} "
+                    f"(+{(now / then - 1) * 100:.0f}%, over-skipping)"
                 )
         # Schema v6: the concurrent-service columns.  p50 latency is wall
         # clock, so it is speed-adjusted exactly like the scenario wall time;
@@ -631,6 +665,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             "chase_steps": sum(r["chase_steps"] for r in results),
             "nulls_invented": sum(r["nulls_invented"] for r in results),
             "pivots_skipped": sum(r["pivots_skipped"] for r in results),
+            "retractions": sum(r["retractions"] for r in results),
+            "rederived": sum(r["rederived"] for r in results),
+            "nulls_collected": sum(r["nulls_collected"] for r in results),
         },
     }
     print(f"\n{len(results)} records, "

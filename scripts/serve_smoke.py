@@ -2,8 +2,8 @@
 """CI smoke test for the query service: boot, query mix, latency ceiling.
 
 Boots a real :class:`repro.service.QueryService` on an ephemeral port, runs
-a fixed query mix over HTTP (interleaved with delta pushes and an epoch
-reset), checks every response for consistency, and asserts the query p50
+a fixed query mix over HTTP (interleaved with delta pushes, DRed
+retractions, and an epoch reset), checks every response for consistency, and asserts the query p50
 stays under a deliberately loose ceiling — this is a smoke gate against
 "serving got 100x slower or wedged", not a benchmark (the harness's
 ``bench_service_concurrent.py`` scenario is the measured, baseline-gated
@@ -104,6 +104,17 @@ def main(argv=None) -> int:
             )
             if not pushed["consistent"]:
                 failures.append(f"push declared inconsistent: {pushed}")
+        elif round_number > 1:
+            # Retract the previous round's smoke student: the deletion path
+            # (DRed) must remove it from the EDB and stay consistent.
+            retracted = post(
+                "/retract",
+                {"triples": [[f"smoke_{round_number - 1}", "rdf:type", "Student"]]},
+            )
+            if retracted["removed_edb"] != 1:
+                failures.append(f"retract missed its fact: {retracted}")
+            if not retracted["consistent"]:
+                failures.append(f"retract declared inconsistent: {retracted}")
         if round_number == ROUNDS // 2:
             post("/rematerialize", {})
 
@@ -113,8 +124,8 @@ def main(argv=None) -> int:
     p99 = latencies[min(len(latencies) - 1, (len(latencies) * 99) // 100)] * 1000
     print(
         f"serve-smoke: {len(latencies)} queries, p50 {p50:.2f}ms, p99 {p99:.2f}ms, "
-        f"{stats['pushes']} pushes, epoch {stats['epoch']}, "
-        f"{stats['facts']} facts"
+        f"{stats['pushes']} pushes, {stats['retractions']} retractions, "
+        f"epoch {stats['epoch']}, {stats['facts']} facts"
     )
 
     if p50 > args.p50_ceiling_ms:

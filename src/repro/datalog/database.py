@@ -119,12 +119,21 @@ class Instance:
         return f"cannot add non-fact atom {atom} to an instance"
 
     def discard(self, atom: Atom) -> bool:
-        """Remove a fact if present; returns True if it was there."""
-        if atom not in self._ordinals:
+        """Remove a fact if present; returns True if it was there.
+
+        The fact's global ordinal (the parallel executor's gid) is captured
+        *before* the maps forget it and handed to the index tombstone, which
+        logs ``(predicate, row_id, gid)`` for replica replay.  Ordinals of
+        surviving facts are never renumbered and ``_counter`` never rewinds,
+        so re-added facts get strictly fresh ordinals — the contiguity
+        invariant the delta-window dispatch relies on.
+        """
+        gid = self._ordinals.get(atom)
+        if gid is None:
             return False
         del self._ordinals[atom]
         del self._keys[TERMS.atom_key(atom)]
-        self._index.tombstone(atom)
+        self._index.tombstone(atom, gid)
         return True
 
     # -- dictionary-encoded fast paths ---------------------------------------

@@ -49,11 +49,44 @@ delta discipline *across* runs:
   contiguous ordinal window of the live instance, which is precisely the
   shape the parallel executor's delta dispatch requires.
 
-Deletions are out of scope: the instance is append-only (the replica and
-snapshot contracts rely on it), so the session accepts *insertions* only —
-the right model for the monotone feeds the benchmarks simulate
-(``benchmarks/bench_scale_streaming.py``; generators in
-:mod:`repro.workloads.streams`).
+* **Deletions** go through :meth:`DeltaSession.retract`, a DRed
+  (delete-and-rederive, Gupta–Mumick–Subrahmanian) maintenance pass:
+
+  1. **Over-delete.**  On the pre-deletion instance, the downward closure of
+     the retracted EDB facts is *marked* per stratum ascending — every fact
+     some rule match derives from at least one marked fact, enumerated with
+     the same pivot plans (and the same executors) the insertion path uses.
+     For existential rules the invented null of a candidate trigger is
+     reconstructed from its content-addressed label; a label the term table
+     has never seen proves the trigger never fired, so nothing downstream of
+     it is marked.  Marking is a superset of what must go (a marked fact may
+     have other support) — DRed's classic over-estimate.
+  2. **Delete.**  The marked set is tombstoned in place
+     (:meth:`~repro.engine.index.PredicateIndex.tombstone`): surviving rows
+     are never renumbered, postings stay sound (probes skip tombstones), and
+     each deletion is logged for the parallel replicas' wire protocol.
+  3. **Re-derive.**  Per stratum ascending: retracted-but-still-accumulated
+     EDB facts come back verbatim; every other marked fact is re-checked
+     *goal-directedly* (unify the rule heads with the deleted fact, search
+     the surviving instance for an alternative body match); restorations
+     then propagate through the ordinary delta rounds.  For the chase, the
+     goal-directed pass also re-fires triggers whose head *witness* was
+     deleted — the restricted-chase fixpoint invariant ("every trigger's
+     head is satisfied") is re-established with the same digest-named nulls
+     a cold run would invent.
+  4. **Re-check.**  Strata whose negation references may have shrunk are
+     re-run from scratch (the same static dependency closure
+     :meth:`push` uses), constraints whose body predicates intersect the
+     changed closure are re-evaluated (verdicts for untouched constraints
+     are served from a cache), and invented nulls no longer referenced by
+     any surviving fact are garbage-collected from the chase's depth
+     bookkeeping (the odd-ID reachability scan; the dictionary entry itself
+     is reclaimed at the next term-table epoch).
+
+  The parity oracle is the same as for pushes: after any interleaving of
+  pushes and retractions, an existential-free session is byte-identical to a
+  cold evaluation of the *surviving* EDB in all three execution modes
+  (``tests/test_engine_retract_parity.py``).
 """
 
 from __future__ import annotations
@@ -61,16 +94,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.datalog.atoms import Atom
-from repro.datalog.chase import ChaseEngine, ChaseState, match_atoms
+from repro.datalog.atoms import Atom, unify_with_fact
+from repro.datalog.chase import ChaseEngine, ChaseState, _rule_signature, match_atoms
 from repro.datalog.database import Instance
 from repro.datalog.program import Program
 from repro.datalog.semantics import INCONSISTENT, SemanticsResult
 from repro.datalog.seminaive import SemiNaiveEvaluator
 from repro.datalog.stratification import partition_by_stratum, stratify
 from repro.datalog.terms import Term
+from repro.engine.interning import TERMS
+from repro.engine.mode import batch_enabled
 from repro.engine.parallel import maybe_session
 from repro.engine.plan import compile_rule
+from repro.engine.stats import STATS
 
 
 @dataclass
@@ -97,6 +133,34 @@ class PushResult:
     batch_size: int
     new_edb: int
     derived: int
+    affected_stratum: int
+    rebuilt_from: Optional[int]
+    rounds: int
+    consistent: bool
+    completed: bool = True
+    limit_reason: Optional[str] = None
+
+
+@dataclass
+class RetractResult:
+    """What one :meth:`DeltaSession.retract` did.
+
+    ``removed_edb`` counts batch facts actually dropped from the accumulated
+    EDB; ``overdeleted`` is the size of the marked downward closure that was
+    physically tombstoned (the retracted facts themselves included);
+    ``rederived`` counts the marked facts the re-derivation phase restored
+    from alternative support; ``nulls_collected`` counts invented nulls
+    garbage-collected because no surviving fact references them.
+    ``affected_stratum`` / ``rebuilt_from`` / ``rounds`` / ``consistent`` /
+    ``completed`` / ``limit_reason`` mirror :class:`PushResult` (a stratum
+    re-run or the re-derivation rounds can hit the same chase budgets).
+    """
+
+    batch_size: int
+    removed_edb: int
+    overdeleted: int
+    rederived: int
+    nulls_collected: int
     affected_stratum: int
     rebuilt_from: Optional[int]
     rounds: int
@@ -204,6 +268,22 @@ class DeltaSession:
         self._closed = False
         self._session = maybe_session(self.instance, self._all_compiled)
         self.pushes = 0
+        #: Retraction generation: bumped once per completed :meth:`retract`.
+        #: Snapshot holders (the service's published views) record it so a
+        #: snapshot pinned before a deletion fails loudly instead of
+        #: silently missing rows.
+        self.retractions = 0
+        #: Per-constraint verdict cache for incremental consistency checks:
+        #: entry ``i`` is the last known "constraint i is satisfied" verdict
+        #: (None = unknown), reusable while no predicate its body reads is
+        #: in the changed closure of a push/retract.
+        self._constraint_preds: List[FrozenSet[str]] = [
+            frozenset(atom.predicate for atom in constraint.body)
+            for constraint in program.constraints
+        ]
+        self._constraint_cache: List[Optional[bool]] = [None] * len(
+            self._constraint_preds
+        )
         #: False once a stop-mode chase engine hit a resource limit: the
         #: materialisation is an under-approximation from then on.
         self.completed = True
@@ -243,14 +323,15 @@ class DeltaSession:
                 -1,
                 None,
                 0,
-                self._check_consistent(),
+                self._check_consistent(set()),
                 self.completed,
                 self.limit_reason,
             )
         affected = min(
             self.stratification.get(fact.predicate, 0) for fact in added
         )
-        rebuild_from = self._rebuild_point(affected, added)
+        changed = self._changed_closure(fact.predicate for fact in added)
+        rebuild_from = self._rebuild_point(affected, changed)
         stop = rebuild_from if rebuild_from is not None else self.n_strata
         rounds = 0
         for stratum in range(affected, stop):
@@ -268,7 +349,110 @@ class DeltaSession:
             affected_stratum=affected,
             rebuilt_from=rebuild_from,
             rounds=rounds,
-            consistent=self._check_consistent(),
+            consistent=self._check_consistent(changed),
+            completed=self.completed,
+            limit_reason=self.limit_reason,
+        )
+
+    def retract(self, facts: Iterable) -> RetractResult:
+        """Remove a batch of EDB facts and repair the materialisation (DRed).
+
+        Facts absent from the materialisation are dropped from the
+        accumulated EDB (if recorded) and seed no work.  For the rest the
+        session over-deletes the downward closure on the pre-deletion
+        instance, tombstones it, re-derives every marked fact that still has
+        alternative support (goal-directed, then propagated through the
+        ordinary delta rounds), re-runs strata whose negation references may
+        have shrunk, re-checks only the constraints the change can have
+        flipped, and garbage-collects invented nulls no surviving fact
+        references.  When over-deletion would mark more than half the
+        materialisation — DRed's dense-instance worst case — the session
+        aborts marking and rebuilds the affected strata cold from the
+        surviving EDB instead (:meth:`_retract_degenerate`), landing on the
+        same answer for less than per-fact restoration would cost.
+        The result is exactly the stratified semantics of the
+        surviving EDB — the same parity contract as :meth:`push`, pinned by
+        ``tests/test_engine_retract_parity.py``.
+
+        Chase sessions must run with content-addressed nulls (the session
+        default): over-deletion reconstructs invented-null labels from
+        (rule, frontier) digests, which counter-named nulls cannot provide.
+        """
+        if self._closed:
+            raise RuntimeError("DeltaSession is closed")
+        if self._uses_chase and not self.chase_engine.deterministic_nulls:
+            raise ValueError(
+                "retract() on a chase session requires deterministic nulls: "
+                "over-deletion reconstructs invented-null labels from their "
+                "content-addressed digests"
+            )
+        batch = [self._as_fact(value) for value in facts]
+        removed_edb = 0
+        for fact in batch:
+            if fact in self._edb:
+                del self._edb[fact]
+                removed_edb += 1
+        seeds: List[Atom] = []
+        seen: Set[Atom] = set()
+        for fact in batch:
+            if fact in self.instance and fact not in seen:
+                seen.add(fact)
+                seeds.append(fact)
+        if not seeds:
+            return RetractResult(
+                len(batch),
+                removed_edb,
+                0,
+                0,
+                0,
+                -1,
+                None,
+                0,
+                self._check_consistent(set()),
+                self.completed,
+                self.limit_reason,
+            )
+        affected = min(
+            self.stratification.get(fact.predicate, 0) for fact in seeds
+        )
+        changed = self._changed_closure(fact.predicate for fact in seeds)
+        rebuild_from = self._rebuild_point(affected, changed)
+        stop = rebuild_from if rebuild_from is not None else self.n_strata
+        # Phase 1: mark the downward closure on the pre-deletion instance.
+        # ``None`` means marking aborted past the degeneration threshold —
+        # the closure covers most of the materialisation, so per-fact
+        # restoration would cost strictly more than evaluating cold.
+        marked = self._overdelete_closure(seeds, affected, stop)
+        if marked is None:
+            return self._retract_degenerate(
+                len(batch), removed_edb, affected, changed
+            )
+        # Phase 2: physical deletion (tombstones are logged for replicas).
+        discard = self.instance.discard
+        for fact in marked:
+            discard(fact)
+        STATS.retractions += len(marked)
+        # Phase 3: restore survivors, strata ascending.
+        rounds = 0
+        for stratum in range(affected, stop):
+            rounds += self._rederive_stratum(stratum, marked)
+        # Phase 4: strata whose negation references shrank re-run cold.
+        if rebuild_from is not None:
+            self._rebuild(rebuild_from)
+        rederived = sum(1 for fact in marked if fact in self.instance)
+        STATS.rederived += rederived
+        collected = self._collect_nulls(marked, rebuild_from is not None)
+        self.retractions += 1
+        return RetractResult(
+            batch_size=len(batch),
+            removed_edb=removed_edb,
+            overdeleted=len(marked),
+            rederived=rederived,
+            nulls_collected=collected,
+            affected_stratum=affected,
+            rebuilt_from=rebuild_from,
+            rounds=rounds,
+            consistent=self._check_consistent(changed),
             completed=self.completed,
             limit_reason=self.limit_reason,
         )
@@ -292,11 +476,22 @@ class DeltaSession:
         return self.instance
 
     def check_consistency(self) -> bool:
-        """True iff no constraint body embeds into the materialisation."""
-        for constraint in self.program.constraints:
-            if next(match_atoms(constraint.body, self.instance), None) is not None:
-                return False
-        return True
+        """True iff no constraint body embeds into the materialisation.
+
+        Recomputes every constraint (and refreshes the incremental verdict
+        cache); the push/retract paths use the cache-aware
+        :meth:`_check_consistent` instead, re-evaluating only constraints
+        whose body predicates intersect the batch's changed closure.
+        """
+        ok = True
+        for i, constraint in enumerate(self.program.constraints):
+            verdict = (
+                next(match_atoms(constraint.body, self.instance), None) is None
+            )
+            self._constraint_cache[i] = verdict
+            if not verdict:
+                ok = False
+        return ok
 
     def close(self) -> None:
         """Release the parallel worker replicas; the session becomes read-only."""
@@ -369,17 +564,16 @@ class DeltaSession:
             if self.limit_reason is None:
                 self.limit_reason = result.limit_reason
 
-    def _rebuild_point(self, affected: int, added: Sequence[Atom]) -> Optional[int]:
-        """Lowest stratum above ``affected`` that must be re-run, or None.
+    def _changed_closure(self, predicates: Iterable[str]) -> Set[str]:
+        """The static upward closure of ``predicates`` in the dependency graph.
 
-        A stratum must be re-run iff it negates a predicate whose fact set
-        can have changed.  "Can have changed" is the static upward closure of
-        the pushed predicates in the dependency graph (a predicate only gains
-        or loses facts if some rule reading a changed predicate — positively
-        or through negation — derives it); everything below the first such
-        stratum is monotone in the new facts and is continued instead.
+        A predicate only gains or loses facts if some rule reading a changed
+        predicate — positively or through negation — derives it; the closure
+        therefore over-approximates "every predicate whose fact set can have
+        changed" for both pushes and retractions, and scopes stratum re-runs
+        and constraint re-checks alike.
         """
-        changed: Set[str] = {fact.predicate for fact in added}
+        changed: Set[str] = set(predicates)
         queue = list(changed)
         while queue:
             predicate = queue.pop()
@@ -387,6 +581,16 @@ class DeltaSession:
                 if dependent not in changed:
                     changed.add(dependent)
                     queue.append(dependent)
+        return changed
+
+    def _rebuild_point(self, affected: int, changed: Set[str]) -> Optional[int]:
+        """Lowest stratum above ``affected`` that must be re-run, or None.
+
+        A stratum must be re-run iff it negates a predicate of the changed
+        closure; everything below the first such stratum is monotone in the
+        new facts (respectively, sees unchanged negation references after a
+        retraction) and is continued instead.
+        """
         for stratum in range(affected + 1, self.n_strata):
             if self._neg_preds[stratum] & changed:
                 return stratum
@@ -421,6 +625,9 @@ class DeltaSession:
         instance.bulk_load(extras)
         self.instance = instance
         self._session = maybe_session(self.instance, self._all_compiled)
+        # The instance was swapped and the re-run strata re-derived: every
+        # cached constraint verdict is suspect.
+        self._constraint_cache = [None] * len(self._constraint_preds)
         self._materialise_from(first)
 
     def _window_delta(self, mark: int, mark_limits: Dict[str, int]) -> Instance:
@@ -448,11 +655,360 @@ class DeltaSession:
                 delta.add_fact(atom)
         return delta
 
-    def _check_consistent(self) -> bool:
-        """Constraint check, skipped entirely for constraint-free programs."""
+    # -- retraction internals (DRed) -----------------------------------------
+
+    def _retract_degenerate(
+        self, batch_size: int, removed_edb: int, affected: int, changed: Set[str]
+    ) -> RetractResult:
+        """Deletion's analogue of a negation stratum re-run: over-deletion
+        marked more than half the live materialisation, so drop every fact of
+        strata ``>= affected`` and rebuild them cold from the surviving EDB.
+
+        :meth:`_rebuild` already owns the machinery (fresh instance, replica
+        re-arm, constraint-cache reset, deterministic nulls), and cold
+        evaluation of the surviving EDB *is* the parity oracle — the rebuilt
+        instance is byte-identical to what per-fact restoration would have
+        produced, minus the 2×-or-worse cost of restoring each survivor
+        individually.  ``overdeleted`` counts the facts dropped by the
+        instance swap and ``rederived`` the ones the rebuild brought back
+        (monotone shrinkage: the surviving EDB derives a subset of the old
+        instance, so everything re-materialised was indeed dropped first).
+        """
+        stratum_of = self.stratification
+        dropped = sum(
+            1
+            for atom in self.instance
+            if stratum_of.get(atom.predicate, 0) >= affected
+        )
+        STATS.retractions += dropped
+        self._rebuild(affected)
+        rederived = sum(
+            1
+            for atom in self.instance
+            if stratum_of.get(atom.predicate, 0) >= affected
+        )
+        STATS.rederived += rederived
+        collected = self._collect_nulls({}, True)
+        self.retractions += 1
+        return RetractResult(
+            batch_size=batch_size,
+            removed_edb=removed_edb,
+            overdeleted=dropped,
+            rederived=rederived,
+            nulls_collected=collected,
+            affected_stratum=affected,
+            rebuilt_from=affected,
+            rounds=0,
+            consistent=self._check_consistent(changed),
+            completed=self.completed,
+            limit_reason=self.limit_reason,
+        )
+
+    def _overdelete_closure(
+        self, seeds: List[Atom], first: int, stop: int
+    ) -> Optional[Dict[Atom, None]]:
+        """Mark the downward closure of ``seeds``: every fact some derivation
+        chain from a retracted fact reaches, over-approximated rule by rule.
+
+        Pure marking — the instance is untouched until phase 2, so every
+        trigger is matched against the *pre-deletion* materialisation (DRed's
+        over-deletion semantics).  The negation reference is likewise the
+        pre-deletion snapshot: strata in ``[first, stop)`` negate only
+        predicates outside the changed closure (that is what
+        :meth:`_rebuild_point` computed), so pre- and post-deletion snapshots
+        agree on every predicate these rules negate.
+
+        Returns ``None`` when the closure outgrows half the materialisation
+        (checked between rounds).  On densely connected instances — a clique
+        of overlapping social windows, say — almost every derived fact can be
+        routed through a deleted edge, over-deletion approaches the whole
+        instance, and per-fact restoration costs strictly more than
+        re-evaluating the survivors cold; the caller falls back to
+        :meth:`_retract_degenerate`.  The abort is mode-identical because the
+        marking order is.
+
+        The returned insertion-ordered dict is mode-identical: batch rows
+        arrive in row order per the executor contract, and the row path
+        enumerates the same triggers in the same depth-first order.
+        """
+        marked: Dict[Atom, None] = dict.fromkeys(seeds)
+        threshold = len(self.instance) // 2
+        if len(marked) > threshold:
+            return None
+        use_batch = batch_enabled()
+        reference = self.instance.snapshot()
+        for stratum in range(first, stop):
+            compiled = self.compiled_strata[stratum]
+            if not compiled:
+                continue
+            delta = Instance()
+            for fact in marked:
+                delta.add_fact(fact)
+            while len(delta):
+                sink = Instance()
+                for crule in compiled:
+                    self._overdelete_rule(
+                        crule, delta, reference, marked, sink, use_batch
+                    )
+                if len(marked) > threshold:
+                    return None
+                delta = sink
+        return marked
+
+    def _overdelete_rule(
+        self, crule, delta, reference, marked, sink, use_batch
+    ) -> None:
+        """One rule's over-deletion round: mark every currently-materialised
+        head fact of a trigger that reads at least one marked fact.
+
+        Mirrors ``SemiNaiveEvaluator._fire_rule``'s mode split so the trigger
+        enumeration order (and hence the marked-dict insertion order) is
+        byte-identical across row/batch/parallel sessions.
+        """
+        if use_batch:
+            if self._session is not None:
+                batches = self._session.trigger_row_batches(crule, delta, reference)
+            else:
+                batches = crule.trigger_row_batches(self.instance, delta, reference)
+            for plan, rows in batches:
+                ops = crule.row_ops(plan)
+                for row in rows:
+                    extended = self._extend_row(crule, ops, row)
+                    if extended is None:
+                        continue
+                    for key in ops.head_keys_row(extended):
+                        if self.instance.has_key(key):
+                            atom = TERMS.decode_atom(key)
+                            if atom not in marked:
+                                marked[atom] = None
+                                sink.add_fact(atom)
+            return
+        for trigger in list(crule.delta_substitutions(self.instance, delta)):
+            if crule.negation and crule.negation_blocked(trigger, reference):
+                continue
+            extension = self._extend_subst(crule, trigger)
+            if extension is None:
+                continue
+            for fact in crule.head_facts(extension):
+                if fact in self.instance and fact not in marked:
+                    marked[fact] = None
+                    sink.add_fact(fact)
+
+    def _extend_row(self, crule, ops, row):
+        """Extend an over-deletion trigger row with the nulls its chase firing
+        *would have* invented, looked up (never interned) by digest label.
+
+        An unknown label proves the trigger never fired — content-addressed
+        nulls make the label a pure function of (rule, frontier) — so the
+        trigger derived nothing and marks nothing (return ``None``).
+        Interning here would both pollute the dictionary and desync the
+        parallel replicas, hence :meth:`~repro.engine.interning.TermTable.find_null`.
+        """
+        if not crule.sorted_existentials:
+            return row
+        signature = _rule_signature(crule.rule)
+        frontier = TERMS.decode(row[slot] for _, slot in ops.frontier_slots)
+        fresh_ids = []
+        for existential in crule.sorted_existentials:
+            null = self.chase_engine._fresh_null(signature, frontier, existential)
+            tid = TERMS.find_null(null.label)
+            if tid is None:
+                return None
+            fresh_ids.append(tid)
+        return row + tuple(fresh_ids)
+
+    def _extend_subst(self, crule, trigger):
+        """Row-mode sibling of :meth:`_extend_row`: extend a substitution with
+        the digest nulls of its hypothetical firing, or ``None`` if any label
+        was never interned (the trigger never fired)."""
+        if not crule.sorted_existentials:
+            return trigger
+        signature = _rule_signature(crule.rule)
+        frontier = tuple(trigger[v] for v in crule.sorted_frontier)
+        extension = dict(trigger)
+        for existential in crule.sorted_existentials:
+            null = self.chase_engine._fresh_null(signature, frontier, existential)
+            if TERMS.find_null(null.label) is None:
+                return None
+            extension[existential] = null
+        return extension
+
+    def _rederive_stratum(self, stratum: int, marked: Dict[Atom, None]) -> int:
+        """Phase 3 for one stratum: reinsert surviving EDB, goal-directedly
+        restore marked facts with alternative support, then propagate the
+        restorations through the ordinary delta rounds.  Returns the round
+        count of the propagation.
+
+        The delta window is contiguous (all deletions happened before
+        ``mark``; re-derived facts get strictly fresh ordinals because
+        ``Instance._counter`` never rewinds), so the propagation reuses
+        :meth:`_window_delta` / :meth:`_continue_stratum` unchanged.
+        """
+        stratum_of = self.stratification
+        mark = self.instance._counter
+        mark_limits = self.instance._index.row_limits()
+        for fact in marked:
+            if (
+                stratum_of.get(fact.predicate, 0) == stratum
+                and fact in self._edb
+            ):
+                self.instance.add_fact(fact)
+        reference = self.instance.snapshot()
+        self._rederive_goal_directed(stratum, marked, reference)
+        if self.instance._counter > mark:
+            delta = self._window_delta(mark, mark_limits)
+            reference = self.instance.snapshot()
+            return self._continue_stratum(stratum, delta, reference)
+        return 0
+
+    def _rederive_goal_directed(
+        self, stratum: int, marked: Dict[Atom, None], reference
+    ) -> None:
+        """Re-derive marked facts of ``stratum`` that still have alternative
+        support, by unifying each against the rule heads that can produce it
+        and matching the rule bodies under that binding.
+
+        Semi-naive sessions stop at the first surviving trigger (one support
+        suffices; the delta rounds propagate).  Chase sessions enumerate
+        *every* trigger and re-fire each one whose head is no longer
+        satisfied — this is also what restores the restricted-chase
+        invariant for triggers whose head witness was over-deleted, with the
+        digest nulls guaranteeing the re-invented labels match a cold chase
+        of the surviving EDB whenever the trigger sets align.  This pass is
+        goal-directed repair, not forward chase, so it is exempt from the
+        engine's ``max_steps`` budget (``state.steps`` is not bumped).
+        """
+        stratum_of = self.stratification
+        compiled = self.compiled_strata[stratum]
+        for fact in marked:
+            if stratum_of.get(fact.predicate, 0) != stratum:
+                continue
+            if fact in self.instance:
+                # Already restored (EDB reinsert, or an earlier re-fire):
+                # every trigger producing it is head-satisfied again.
+                continue
+            for crule in compiled:
+                for head_atom in crule.rule.head:
+                    if head_atom.predicate != fact.predicate:
+                        continue
+                    binding = unify_with_fact(head_atom, fact)
+                    if binding is None:
+                        continue
+                    frontier_set = set(crule.sorted_frontier)
+                    initial = {
+                        v: t for v, t in binding.items() if v in frontier_set
+                    }
+                    if self._uses_chase:
+                        self._refire_chase_triggers(crule, initial, reference)
+                    else:
+                        if self._restore_seminaive(crule, initial, reference):
+                            break
+                else:
+                    continue
+                break
+
+    def _restore_seminaive(self, crule, initial, reference) -> bool:
+        """Fire the first surviving trigger of ``crule`` under ``initial``;
+        returns True if one fired (the fact is restored)."""
+        for trigger in match_atoms(
+            crule.rule.body_positive, self.instance, initial
+        ):
+            if crule.negation and crule.negation_blocked(trigger, reference):
+                continue
+            STATS.triggers_fired += 1
+            for fact in crule.head_facts(trigger):
+                self.instance.add_fact(fact)
+            return True
+        return False
+
+    def _refire_chase_triggers(self, crule, initial, reference) -> None:
+        """Re-fire every surviving trigger of ``crule`` under ``initial``
+        whose head is no longer satisfied (restricted-chase repair)."""
+        null_depth = self._chase_state.null_depth
+        signature = None
+        for trigger in match_atoms(
+            crule.rule.body_positive, self.instance, initial
+        ):
+            if crule.negation and crule.negation_blocked(trigger, reference):
+                continue
+            if crule.head_satisfied(trigger, self.instance):
+                continue
+            extension = dict(trigger)
+            if crule.sorted_existentials:
+                if signature is None:
+                    signature = _rule_signature(crule.rule)
+                frontier = tuple(trigger[v] for v in crule.sorted_frontier)
+                depth = ChaseEngine._values_depth(trigger.values(), null_depth)
+                for existential in crule.sorted_existentials:
+                    fresh = self.chase_engine._fresh_null(
+                        signature, frontier, existential
+                    )
+                    null_depth[TERMS.intern_term(fresh)] = depth + 1
+                    STATS.nulls_invented += 1
+                    extension[existential] = fresh
+            STATS.triggers_fired += 1
+            for fact in crule.head_facts(extension):
+                self.instance.add_fact(fact)
+
+    def _collect_nulls(self, marked: Dict[Atom, None], rebuilt: bool) -> int:
+        """Drop invented nulls no surviving fact references from the chase's
+        depth bookkeeping; returns the count (0 for semi-naive sessions).
+
+        Candidates are the odd term IDs of marked facts that stayed deleted
+        — the only place references can have been lost — widened to every
+        tracked null after a stratum rebuild (the rebuild swaps the whole
+        instance, so any null may have died).  The dictionary entries
+        themselves are retired logically here and reclaimed physically at
+        the next term-table epoch (:meth:`TermTable.begin_epoch`).
+        """
+        if not self._uses_chase:
+            return 0
+        null_depth = self._chase_state.null_depth
+        candidates = {
+            tid
+            for fact in marked
+            if fact not in self.instance
+            for tid in TERMS.atom_key(fact)[1:]
+            if tid & 1
+        }
+        if rebuilt:
+            candidates.update(null_depth)
+        if not candidates:
+            return 0
+        dead = candidates - self.instance.null_ids()
+        if not dead:
+            return 0
+        for tid in dead:
+            null_depth.pop(tid, None)
+        TERMS.retire_nulls(len(dead))
+        STATS.nulls_collected += len(dead)
+        return len(dead)
+
+    def _check_consistent(self, changed: Optional[Set[str]] = None) -> bool:
+        """Constraint check, skipped entirely for constraint-free programs.
+
+        With a ``changed`` closure, constraints whose body predicates are
+        disjoint from it serve their cached verdict — a retraction or push
+        over a handful of predicates re-evaluates only the constraints it
+        can actually have flipped.  Without one, everything is recomputed.
+        """
         if not self.program.constraints:
             return True
-        return self.check_consistency()
+        ok = True
+        for i, constraint in enumerate(self.program.constraints):
+            verdict = self._constraint_cache[i]
+            if (
+                verdict is None
+                or changed is None
+                or self._constraint_preds[i] & changed
+            ):
+                verdict = (
+                    next(match_atoms(constraint.body, self.instance), None) is None
+                )
+                self._constraint_cache[i] = verdict
+            if not verdict:
+                ok = False
+        return ok
 
     @staticmethod
     def _as_fact(value) -> Atom:

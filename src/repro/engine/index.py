@@ -20,9 +20,18 @@ revision **dictionary-encodes** the whole structure on the engine's
 Because rows are append-only, row ids within a postings list are strictly
 increasing, and a lookup is made stable under concurrent insertion simply by
 capturing the candidate count once — no copying.  The same mechanism yields
-frozen prefix views (:class:`InstanceSnapshot`).  Deletion (rare: only
-diagnostic/test paths use it) tombstones both the row and the ID row in
-place; probes skip tombstones.
+frozen prefix views (:class:`InstanceSnapshot`).  Deletion — the DRed
+retraction path of :meth:`DeltaSession.retract
+<repro.engine.incremental.DeltaSession.retract>` — tombstones both the row
+and the ID row in place, eagerly unlinks the row id from its postings
+buckets (buckets stay ascending; an emptied bucket is deleted so viability
+pre-checks treat the vanished value like a never-seen one), records the
+deletion in
+:attr:`PredicateIndex.tombstone_log` for the parallel replicas, and never
+renumbers surviving rows, so postings, snapshots taken *after* the deletion,
+and replica row alignment all stay valid.  Snapshots taken *before* a
+deletion observe it (the prefix view shares the live storage); holders that
+need to detect this compare :attr:`InstanceSnapshot.stale`.
 
 Worker replicas of the parallel executor ingest facts through
 :meth:`PredicateIndex.add_encoded`, which stores the ID row **without**
@@ -40,16 +49,37 @@ from repro.datalog.atoms import Atom
 from repro.datalog.terms import Variable
 from repro.engine.interning import TERMS
 
-#: Distinct-value summaries larger than this are not materialised: the
-#: per-round pivot-viability probe walks the summary value by value, so an
-#: unbounded summary would turn a cheap skip test into a scan.
+#: Floor of the distinct-value summary budget: the per-round pivot-viability
+#: probe walks the summary value by value, so an unbounded summary would turn
+#: a cheap skip test into a scan.  The effective cap adapts to predicate
+#: cardinality (see :func:`_summary_cap`) — a fixed 128 left skips on the
+#: table for wide deltas whose joins dwarf a slightly longer summary walk.
 _SUMMARY_CAP = 128
+
+
+def _summary_cap(n_rows: int) -> int:
+    """The distinct-value budget for a predicate column of ``n_rows`` rows.
+
+    A quarter of the row count, floored at :data:`_SUMMARY_CAP`: the summary
+    walk stays a small fraction of the scan it might save, and the cap is a
+    pure function of the (mode-identical) row count, so every execution mode
+    materialises — and skips on — the same summaries.
+    """
+    return max(_SUMMARY_CAP, n_rows >> 2)
 
 
 class PredicateIndex:
     """Append-only decoded rows + aligned ID rows + int-keyed postings."""
 
-    __slots__ = ("rows", "cols", "postings", "live", "tombstoned", "_summaries")
+    __slots__ = (
+        "rows",
+        "cols",
+        "postings",
+        "live",
+        "tombstoned",
+        "tombstone_log",
+        "_summaries",
+    )
 
     def __init__(self) -> None:
         # predicate -> list of facts in insertion order (None = tombstone,
@@ -63,6 +93,10 @@ class PredicateIndex:
         self.live: Dict[str, int] = {}
         # Total tombstones ever created (lets snapshots detect deletions).
         self.tombstoned = 0
+        # Append-only (predicate, row_id, gid) deletion records, in deletion
+        # order — the retraction half of the parallel executor's wire
+        # protocol (each worker replays the suffix it has not seen yet).
+        self.tombstone_log: List[Tuple[str, int, Optional[int]]] = []
         # (predicate, position) -> (row count, distinct tids | None) — the
         # per-round bound-value summaries behind extended pivot skipping.
         self._summaries: Dict[Tuple[str, int], Tuple[int, Optional[frozenset]]] = {}
@@ -97,12 +131,25 @@ class PredicateIndex:
                 bucket.append(row_id)
         return row_id
 
-    def tombstone(self, atom: Atom) -> bool:
-        """Mark a fact deleted; postings keep the (now skipped) row id."""
+    def tombstone(self, atom: Atom, gid: Optional[int] = None) -> Optional[int]:
+        """Mark a fact deleted and unlink its row id from every postings bucket.
+
+        Returns the tombstoned row id (None if the fact was absent) and logs
+        ``(predicate, row_id, gid)`` so parallel replicas can replay the
+        deletion; ``gid`` is the fact's global insertion ordinal, which the
+        sharded stores are keyed by.
+
+        The eager postings unlink is what keeps probe cost proportional to
+        the *live* bucket: leaving dead ids behind made every later probe of
+        a churned value wade through the predicate's whole deletion history,
+        which turned long push/retract streams quadratic (each removal
+        instead pays one bisect per position, against buckets that deletions
+        keep small).
+        """
         predicate = atom.predicate
         cols = self.cols.get(predicate)
         if not cols:
-            return False
+            return None
         key = TERMS.atom_key(atom)
         ids = key[1:]
         bucket = self.postings.get((predicate, 0, ids[0])) if ids else None
@@ -113,8 +160,63 @@ class PredicateIndex:
                 self.rows[predicate][row_id] = None
                 self.live[predicate] -= 1
                 self.tombstoned += 1
-                return True
-        return False
+                self.tombstone_log.append((predicate, row_id, gid))
+                self._unlink(predicate, row_id, ids)
+                return row_id
+        return None
+
+    def tombstone_row(self, predicate: str, row_id: int) -> None:
+        """Replay a parent-side deletion by row id (worker replicas).
+
+        Idempotent: a row that is already dead (an appended-and-deleted
+        placeholder, or a deletion replayed twice after a pool re-arm) is
+        left alone, which is what makes full-log replay after a replica
+        reset safe.  No log entry is written — replicas are leaves.
+        """
+        cols = self.cols.get(predicate)
+        if cols is None or row_id >= len(cols) or cols[row_id] is None:
+            return
+        ids = cols[row_id]
+        cols[row_id] = None
+        self.rows[predicate][row_id] = None
+        self.live[predicate] -= 1
+        self.tombstoned += 1
+        self._unlink(predicate, row_id, ids)
+
+    def _unlink(self, predicate: str, row_id: int, ids: Tuple[int, ...]) -> None:
+        """Drop ``row_id`` from each of its postings buckets (which stay
+        ascending), deleting buckets that empty so viability pre-checks see
+        the vanished value as cheaply as a never-seen one."""
+        postings = self.postings
+        for position, tid in enumerate(ids):
+            bucket_key = (predicate, position, tid)
+            bucket = postings.get(bucket_key)
+            if bucket is None:
+                continue
+            i = bisect_left(bucket, row_id)
+            if i < len(bucket) and bucket[i] == row_id:
+                del bucket[i]
+            if not bucket:
+                del postings[bucket_key]
+
+    def add_dead(self, predicate: str) -> int:
+        """Append an already-tombstoned placeholder row (worker replicas).
+
+        A fact appended *and* deleted between two replica syncs is shipped as
+        a dead placeholder: its content is gone on the parent side, but the
+        replica must still burn the row id so later rows of the predicate
+        keep their parent-aligned positions.  No postings, no live count.
+        """
+        rows = self.rows.get(predicate)
+        if rows is None:
+            rows = self.rows[predicate] = []
+            self.cols[predicate] = []
+            self.live[predicate] = 0
+        row_id = len(rows)
+        rows.append(None)
+        self.cols[predicate].append(None)
+        self.tombstoned += 1
+        return row_id
 
     def probe_ids(
         self,
@@ -230,12 +332,15 @@ class PredicateIndex:
     def distinct_values(self, predicate: str, position: int) -> Optional[frozenset]:
         """The distinct term IDs at ``predicate[position]``, or None.
 
-        ``None`` means "no usable summary" — either more than
-        ``_SUMMARY_CAP`` distinct values (walking them would cost more than
-        the join it guards) or an out-of-range position.  The summary is
-        memoised per (predicate, position) and invalidated by appends, so a
-        frozen delta pays the scan once per round however many pivot plans
-        consult it.
+        ``None`` means "no usable summary" — either more distinct values
+        than the cardinality-adaptive budget (:func:`_summary_cap`; walking
+        them would cost more than the join it guards) or an out-of-range
+        position.  The summary is memoised per (predicate, position) and
+        invalidated by appends, so a frozen delta pays the scan once per
+        round however many pivot plans consult it.  In-place tombstoning
+        does not invalidate the memo: a stale summary is a superset of the
+        live values, which only ever keeps a pivot the viability test might
+        have skipped — conservative in the safe direction.
         """
         cols = self.cols.get(predicate)
         if not cols:
@@ -244,12 +349,13 @@ class PredicateIndex:
         cached = self._summaries.get(key)
         if cached is not None and cached[0] == len(cols):
             return cached[1]
+        cap = _summary_cap(len(cols))
         values = set()
         for ids in cols:
             if ids is None or position >= len(ids):
                 continue
             values.add(ids[position])
-            if len(values) > _SUMMARY_CAP:
+            if len(values) > cap:
                 self._summaries[key] = (len(cols), None)
                 return None
         summary = frozenset(values)
@@ -335,10 +441,13 @@ class InstanceSnapshot:
     afterwards are invisible through the view.  This is the negation
     reference the stratified engines need — "the facts of the strictly lower
     strata" — without the full re-index that ``Instance.copy()`` performed
-    per stratum.  (Deletions, which no engine performs, do propagate.)
-    Membership is answered both at the Atom level (``in``) and at the
-    encoded-key level (:meth:`has_key`), the latter being the executors' hot
-    path.
+    per stratum.  Deletions *do* propagate (the view shares the live
+    storage): a holder that must not observe them checks :attr:`stale`,
+    which is how the service layer turns a retraction under a pinned
+    :class:`~repro.service.view.ViewSnapshot` into a loud error instead of
+    silently missing rows.  Membership is answered both at the Atom level
+    (``in``) and at the encoded-key level (:meth:`has_key`), the latter
+    being the executors' hot path.
     """
 
     __slots__ = ("_ordinals", "_keys", "_index", "_cut", "_limits", "_size", "_tombstoned")
@@ -386,6 +495,17 @@ class InstanceSnapshot:
 
     def __repr__(self) -> str:
         return f"InstanceSnapshot({self._size} atoms)"
+
+    @property
+    def stale(self) -> bool:
+        """True once the base instance has deleted facts since the snapshot.
+
+        The prefix view shares the live storage, so a deletion silently
+        removes rows from under the snapshot; holders that promised their
+        readers an immutable state (the service's published snapshots) check
+        this and fail loudly instead.
+        """
+        return self._index.tombstoned != self._tombstoned
 
     @property
     def cut(self) -> int:

@@ -104,6 +104,7 @@ class TermTable:
         "_null_ids",
         "_memoise",
         "_epoch",
+        "_orphaned_nulls",
     )
 
     def __init__(self, _memoise: bool = False) -> None:
@@ -113,6 +114,7 @@ class TermTable:
         self._nulls: List[Null] = []
         self._null_ids: Dict[str, int] = {}
         self._epoch = 0
+        self._orphaned_nulls = 0
         # Only the process-global :data:`TERMS` may write the ``_tid`` /
         # ``_key`` caches on term and atom objects: a secondary table (the
         # worker-protocol tests, ad-hoc tooling) caching ITS ids onto shared
@@ -187,6 +189,33 @@ class TermTable:
         if tid is not None and self._memoise:
             term._tid = tid
         return tid
+
+    def find_null(self, label: str) -> "int | None":
+        """The ID of the null labelled ``label`` if interned, else None.
+
+        The retraction over-delete phase uses this to reconstruct
+        content-addressed null labels *without* interning: an absent label
+        proves the corresponding chase trigger never fired, so there is
+        nothing to over-delete for it (and interning it here would desync
+        replica dictionaries that replay the parent's suffix in order).
+        """
+        return self._null_ids.get(label)
+
+    def retire_nulls(self, count: int) -> None:
+        """Record ``count`` invented nulls orphaned by retraction.
+
+        The dictionary stays append-only within an epoch (the worker delta
+        protocol cannot express a shrinking table, and ``_tid`` memos on
+        canonical objects must never dangle), so retirement only *counts*
+        the garbage; the physical reclaim point remains
+        :meth:`begin_epoch`, which drops the whole null space.
+        """
+        self._orphaned_nulls += count
+
+    @property
+    def orphaned_nulls(self) -> int:
+        """Nulls known dead since the last epoch reset (reclaimable space)."""
+        return self._orphaned_nulls
 
     # -- decoding -----------------------------------------------------------
 
@@ -322,6 +351,7 @@ class TermTable:
                 null._tid = None
         self._nulls.clear()
         self._null_ids.clear()
+        self._orphaned_nulls = 0
         self._epoch += 1
         return self._epoch
 

@@ -11,18 +11,25 @@ worker processes and exposes it to the engines as a drop-in replacement for
   an encoded replica (ID rows + postings, no Atom objects) plus the
   :class:`~repro.engine.shard.ShardedInstance` shard it owns.  The parent
   never ships whole instances per round: a :class:`ParallelSession` tracks
-  per-predicate row counts and broadcasts only the facts appended since the
-  last sync, in global insertion order, so replica ordinals equal parent
-  ordinals by construction.
+  per-predicate row counts plus a tombstone-log watermark and broadcasts
+  only the rows appended — and the deletions logged — since the last sync.
+  Every parent row of the window is shipped in per-predicate row order
+  (tombstoned ones as dead placeholders), so replica row ids stay
+  parent-aligned even across :meth:`DeltaSession.retract
+  <repro.engine.incremental.DeltaSession.retract>` calls.
 * **The wire format is columnar.**  Facts cross the process boundary as one
-  flat int array of term IDs (``[pred, arity, ids...]`` per fact, 4-byte
-  entries unless IDs overflow) plus
+  flat int array of term IDs (``[pred, arity, gid, ids...]`` per live fact,
+  ``[pred, -1]`` per dead placeholder, 4-byte entries unless IDs overflow),
+  one flat array of ``[pred, row_id, gid]`` deletion triples replayed from
+  :attr:`PredicateIndex.tombstone_log
+  <repro.engine.index.PredicateIndex.tombstone_log>`, plus
   an **incremental dictionary delta** — the term-table suffix
   (:meth:`~repro.engine.interning.TermTable.delta_since`) the workers have
-  not replayed yet.  Each constant string is therefore pickled once per pool
-  lifetime, not once per fact occurrence; match results come back the same
-  way (gid arrays + flat slot-ID arrays).  The parent counts every payload
-  byte in ``STATS.parallel_bytes_shipped``.
+  not replayed yet.  Gids travel explicitly because deletions leave ordinal
+  gaps a replica-side counter could not reproduce.  Each constant string is
+  pickled once per pool lifetime, not once per fact occurrence; match
+  results come back the same way (gid arrays + flat slot-ID arrays).  The
+  parent counts every payload byte in ``STATS.parallel_bytes_shipped``.
 * **Matching is distributed, firing is not.**  A match task asks every
   worker for its shard's slice of one rule's trigger batches (the full join
   of a naive round, or the viable pivots of a delta round, whose candidate
@@ -167,18 +174,20 @@ class _Replica:
     decoded view is a parent-side, result-boundary concern.
     """
 
-    __slots__ = ("_index", "_counter")
+    __slots__ = ("_index",)
 
     def __init__(self) -> None:
         self._index = PredicateIndex()
-        self._counter = 0
 
-    def add_encoded(self, predicate: str, ids: Tuple[int, ...]) -> int:
-        """Append one (parent-deduplicated) encoded fact; returns its gid."""
-        gid = self._counter
-        self._counter = gid + 1
+    def add_encoded(self, predicate: str, ids: Tuple[int, ...]) -> None:
+        """Append one (parent-deduplicated) encoded fact.
+
+        The fact's global ordinal travels explicitly on the wire (deleted
+        facts leave ordinal gaps, so a replica-side counter would drift);
+        the replica itself only needs parent-aligned *row ids*, which the
+        append order guarantees.
+        """
         self._index.add_encoded(predicate, ids)
-        return gid
 
     def _plan_source(self):
         """(index, row limits) pair the join-plan executor runs against."""
@@ -214,20 +223,43 @@ def _worker_main(worker_id: int, n_workers: int, task_queue, result_queue) -> No
         if tag == "sync":
             # The payload is pickled once in the parent (a broadcast would
             # otherwise pickle the same columns once per worker): the term
-            # dictionary delta, the message's predicate name table, and the
-            # flat [pred, arity, ids...] fact stream in ordinal order.
+            # dictionary delta, the message's predicate name table, the flat
+            # [pred, arity, gid, ids...] append stream in per-predicate row
+            # order (arity -1 = dead placeholder, no gid), and the
+            # [pred, row_id, gid] deletion triples replayed from the
+            # parent's tombstone log.  Appends land first so deletion row
+            # ids are always in range; the replay guard skips rows that are
+            # already dead, which makes full-log replay after a replica
+            # reset a no-op rather than an error.
             try:
-                c_start, consts, n_start, nulls, preds, stream = pickle.loads(message[1])
+                c_start, consts, n_start, nulls, preds, stream, deletions = (
+                    pickle.loads(message[1])
+                )
                 TERMS.apply_delta(c_start, n_start, consts, nulls)
                 cursor = 0
                 end = len(stream)
                 while cursor < end:
                     predicate = preds[stream[cursor]]
                     arity = stream[cursor + 1]
-                    ids = tuple(stream[cursor + 2 : cursor + 2 + arity])
-                    cursor += 2 + arity
-                    gid = replica.add_encoded(predicate, ids)
+                    if arity < 0:
+                        replica._index.add_dead(predicate)
+                        cursor += 2
+                        continue
+                    gid = stream[cursor + 2]
+                    ids = tuple(stream[cursor + 3 : cursor + 3 + arity])
+                    cursor += 3 + arity
+                    replica.add_encoded(predicate, ids)
                     sharded.ingest_encoded(predicate, ids, gid)
+                cursor = 0
+                end = len(deletions)
+                while cursor < end:
+                    predicate = preds[deletions[cursor]]
+                    row_id = deletions[cursor + 1]
+                    gid = deletions[cursor + 2]
+                    cursor += 3
+                    replica._index.tombstone_row(predicate, row_id)
+                    if gid >= 0:
+                        shard.tombstone_gid(predicate, gid)
             except Exception as error:
                 sync_error = f"sync failed: {type(error).__name__}: {error}"
         elif tag == "match":
@@ -435,11 +467,10 @@ class ParallelSession:
         self._rule_ids = {crule.rule: i for i, crule in enumerate(self.compiled)}
         self._synced_limits: Dict[str, int] = {}
         self._synced_count = 0
+        #: Tombstone-log length at the last sync: the deletion half of the
+        #: wire protocol ships the log suffix past this watermark.
+        self._synced_tombstones = 0
         self._pool: Optional[WorkerPool] = None
-        #: Set when the bound instance violates the replica protocol's
-        #: append-only assumption (a deletion was observed): every later
-        #: dispatch falls back to the in-process executor.
-        self._disabled = False
         # (id(delta), len(delta), parent counter) -> validated window, so the
         # O(len) ordinal check is shared while the delta and the instance are
         # both unchanged.  The parent counter guards against id reuse: delta
@@ -456,18 +487,13 @@ class ParallelSession:
     def _ensure_active(self) -> bool:
         """Arm the pool for this session; False if no pool is available.
 
-        The replica protocol ships appended facts only, and the merge
-        contract equates replica ordinals with parent ordinals — both break
-        if the bound instance ever deletes a fact (no engine does during a
-        fixpoint; `Instance.discard` is a diagnostic path).  A tombstone
-        observed at any point therefore disables dispatch for the whole
-        session rather than risk divergence.
+        Deletions do not disable dispatch: the wire protocol ships every
+        parent row of a sync window (dead ones as placeholders, so replica
+        row ids stay parent-aligned) plus the tombstone-log suffix, and the
+        replay guard makes re-shipping the full log after a replica reset
+        harmless.  Replica parity over interleaved pushes and retractions
+        is pinned by ``tests/test_engine_shard_parity.py``.
         """
-        if self._disabled:
-            return False
-        if self.instance._index.tombstoned:
-            self._disabled = True
-            return False
         pool = _get_pool(self.n_workers)
         if pool is None:
             return False
@@ -476,56 +502,91 @@ class ParallelSession:
             pool.broadcast(("reset", [crule.rule for crule in self.compiled]))
             self._synced_limits = {}
             self._synced_count = 0
+            self._synced_tombstones = 0
             pool.current_session = self
         self._sync()
         return True
 
     def _sync(self) -> None:
-        """Ship the facts appended since the last sync, in ordinal order.
+        """Ship the rows appended — and the deletions logged — since last sync.
 
         The payload is columnar: the term-dictionary suffix the workers have
         not replayed yet (pool-level high-water mark, so strings ship once
         per pool lifetime even across sessions), the message's predicate
-        name table, and one flat int array of ``[pred, arity, ids...]``
-        records.  Encoded keys are read from the atoms' memoised ``_key``
-        caches — no re-interning, no object graphs.
+        name table, one flat int array of ``[pred, arity, gid, ids...]``
+        append records, and one of ``[pred, row_id, gid]`` deletion triples.
+        Appends are collected per predicate in row order — *every* parent
+        row of the window is shipped, tombstoned ones as ``[pred, -1]``
+        placeholders, so replica row ids stay parent-aligned — and each
+        live row carries its global ordinal explicitly, because deletions
+        leave ordinal gaps a replica-side counter could not reproduce.
+        Within a predicate gids still ascend (append order), which is all
+        the sharded merge contract requires.
         """
         instance = self.instance
-        if instance._counter == self._synced_count:
+        index = instance._index
+        log = index.tombstone_log
+        if (
+            instance._counter == self._synced_count
+            and len(log) == self._synced_tombstones
+        ):
             return
-        new_atoms = []
-        limits = self._synced_limits
-        for predicate, rows in instance._index.rows.items():
-            start = limits.get(predicate, 0)
-            if start < len(rows):
-                new_atoms.extend(fact for fact in rows[start:] if fact is not None)
-                limits[predicate] = len(rows)
-        new_atoms.sort(key=instance._ordinals.__getitem__)
         pool = self._pool
         c_start, n_start = pool.synced_terms
         consts, nulls = TERMS.delta_since(c_start, n_start)
         pool.synced_terms = TERMS.counts()
         pred_ids: Dict[str, int] = {}
         preds: List[str] = []
-        stream: List[int] = []
-        atom_key = TERMS.atom_key
-        for atom in new_atoms:
-            key = atom_key(atom)
-            predicate = atom.predicate
+
+        def intern_pred(predicate: str) -> int:
             pred_idx = pred_ids.get(predicate)
             if pred_idx is None:
                 pred_idx = pred_ids[predicate] = len(preds)
                 preds.append(predicate)
-            stream.append(pred_idx)
-            stream.append(len(key) - 1)
-            stream.extend(key[1:])
+            return pred_idx
+
+        stream: List[int] = []
+        limits = self._synced_limits
+        ordinals = instance._ordinals
+        for predicate, rows in index.rows.items():
+            start = limits.get(predicate, 0)
+            if start >= len(rows):
+                continue
+            cols = index.cols[predicate]
+            pred_idx = intern_pred(predicate)
+            for row_id in range(start, len(rows)):
+                atom = rows[row_id]
+                if atom is None:
+                    stream.append(pred_idx)
+                    stream.append(-1)
+                    continue
+                ids = cols[row_id]
+                stream.append(pred_idx)
+                stream.append(len(ids))
+                stream.append(ordinals[atom])
+                stream.extend(ids)
+            limits[predicate] = len(rows)
+        deletions: List[int] = []
+        for predicate, row_id, gid in log[self._synced_tombstones :]:
+            deletions.append(intern_pred(predicate))
+            deletions.append(row_id)
+            deletions.append(gid if gid is not None else -1)
         payload = pickle.dumps(
-            (c_start, consts, n_start, nulls, preds, _int_array(stream)),
+            (
+                c_start,
+                consts,
+                n_start,
+                nulls,
+                preds,
+                _int_array(stream),
+                _int_array(deletions),
+            ),
             pickle.HIGHEST_PROTOCOL,
         )
         STATS.parallel_bytes_shipped += len(payload) * self.n_workers
         pool.broadcast(("sync", payload))
         self._synced_count = instance._counter
+        self._synced_tombstones = len(log)
 
     def _delta_window(self, delta: Instance) -> Optional[Tuple[int, int]]:
         """The delta's ordinal range in the parent instance, or None.

@@ -126,6 +126,23 @@ class Shard:
         else:
             bucket.append(gid)
 
+    def tombstone_gid(self, predicate: str, gid: int) -> None:
+        """Replay a parent deletion addressed by global ordinal.
+
+        The gid list is the shard's only parent-aligned coordinate (shard
+        row ids are local), so deletions are located by binary search; a
+        miss means the fact hashed to another worker's shard — or was
+        appended and deleted within one sync window and never ingested —
+        and there is nothing to do.  The gid entry itself stays (rows are
+        never renumbered), exactly like postings over tombstones.
+        """
+        bucket = self.gids.get(predicate)
+        if not bucket:
+            return
+        row_id = bisect_left(bucket, gid)
+        if row_id < len(bucket) and bucket[row_id] == gid:
+            self.index.tombstone_row(predicate, row_id)
+
 
 class ShardedInstance:
     """A hash-partitioned mirror of an instance's fact rows.
@@ -246,7 +263,7 @@ def run_batch_sharded(
         if gid < gid_lo:
             continue
         terms = rows_list[row_id]
-        if len(terms) != arity:
+        if terms is None or len(terms) != arity:
             continue
         for position, bound_position in intra_pairs:
             if terms[position] != terms[bound_position]:

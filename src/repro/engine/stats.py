@@ -10,12 +10,16 @@ measured run and snapshots it afterwards.
 Two classes of counter coexist:
 
 * **Mode-independent** (``facts_added``, ``triggers_fired``,
-  ``nulls_invented``, ``pivots_skipped``) — identical whether plans run
-  row-at-a-time, column-at-a-time, or sharded across the parallel worker
-  pool, because every executor produces the same matches in the same order,
-  the pivot-skip test is shared (and evaluated in the parent in parallel
-  mode), and firing always happens in the parent process.  These are the
-  counters the bench-smoke gate diffs against the committed baseline;
+  ``nulls_invented``, ``pivots_skipped``, and the retraction trio
+  ``retractions`` / ``rederived`` / ``nulls_collected``) — identical whether
+  plans run row-at-a-time, column-at-a-time, or sharded across the parallel
+  worker pool, because every executor produces the same matches in the same
+  order, the pivot-skip test is shared (and evaluated in the parent in
+  parallel mode), and firing always happens in the parent process.  The
+  retraction counters are defined on *sets* (the over-deleted closure, the
+  restored survivors, the unreachable nulls), which makes them
+  match-order-independent by construction.  These are the counters the
+  bench-smoke gate diffs against the committed baseline;
   ``tests/test_engine_stats_determinism.py`` pins both the repeatability and
   the cross-mode equality.
 * **Batch instrumentation** (``batch_probe_groups``) — only advances in
@@ -50,6 +54,16 @@ class EngineStats:
     #: bound (constant) term of the pivot atom was empty — the cost-based
     #: pivot selection of the ROADMAP, identical in both execution modes.
     pivots_skipped: int = 0
+    #: Facts physically removed by DRed retraction: the retracted EDB seeds
+    #: plus the over-deleted downward closure that was tombstoned before
+    #: re-derivation ran.  Defined on the marked *set*, so mode-independent.
+    retractions: int = 0
+    #: Over-deleted facts restored by the re-derivation phase because they
+    #: still had alternative support in the surviving instance.
+    rederived: int = 0
+    #: Invented nulls dropped by the post-retraction garbage collector
+    #: because no surviving fact references them (odd-ID reachability scan).
+    nulls_collected: int = 0
     #: Distinct probe-key groups evaluated by the batch executor (0 in row
     #: mode); the ratio to batch rows shows how much probe work was shared.
     #: In parallel mode, worker-side groups are folded in per match task.
@@ -72,6 +86,9 @@ class EngineStats:
         self.triggers_fired = 0
         self.nulls_invented = 0
         self.pivots_skipped = 0
+        self.retractions = 0
+        self.rederived = 0
+        self.nulls_collected = 0
         self.batch_probe_groups = 0
         self.parallel_tasks = 0
         self.parallel_fallbacks = 0
@@ -84,6 +101,9 @@ class EngineStats:
             "triggers_fired": self.triggers_fired,
             "nulls_invented": self.nulls_invented,
             "pivots_skipped": self.pivots_skipped,
+            "retractions": self.retractions,
+            "rederived": self.rederived,
+            "nulls_collected": self.nulls_collected,
             "batch_probe_groups": self.batch_probe_groups,
             "parallel_tasks": self.parallel_tasks,
             "parallel_fallbacks": self.parallel_fallbacks,
@@ -97,6 +117,9 @@ class EngineStats:
             "triggers_fired": self.triggers_fired,
             "nulls_invented": self.nulls_invented,
             "pivots_skipped": self.pivots_skipped,
+            "retractions": self.retractions,
+            "rederived": self.rederived,
+            "nulls_collected": self.nulls_collected,
         }
 
 

@@ -1,6 +1,6 @@
 """A stdlib-``asyncio`` HTTP front end for the materialized query service.
 
-No web framework — the container has none, and the protocol surface is five
+No web framework — the container has none, and the protocol surface is six
 JSON endpoints over HTTP/1.1 with keep-alive:
 
 ========  ==================  =================================================
@@ -11,12 +11,15 @@ GET       ``/stats``          :meth:`MaterializedView.stats` counters
 GET       ``/query``          ``?q=<SPARQL>&mode=U|All`` → sorted answer rows
 POST      ``/push``           body ``{"triples": [[s, p, o], ...]}`` → push
                               summary + new watermark
+POST      ``/retract``        body ``{"triples": [[s, p, o], ...]}`` → DRed
+                              deletion summary (over-deleted / re-derived /
+                              nulls collected) + new watermark
 POST      ``/rematerialize``  epoch reset (null-ID reclamation) → new epoch
 ========  ==================  =================================================
 
 Threading model: the asyncio loop owns the sockets and parses requests.
 Queries run on a small reader thread pool and writer operations (push,
-rematerialize) on a dedicated single-thread executor — the view's writer
+retract, rematerialize) on a dedicated single-thread executor — the view's writer
 lock makes the single writer a protocol invariant rather than a hope, and
 readers interleave with the writer under snapshot isolation: every query
 response carries the ``watermark`` (insertion-ordinal high-water mark) and
@@ -214,9 +217,12 @@ class QueryService:
             return 200, await self._query(query)
         if path == "/push" and method == "POST":
             return 200, await self._push(body)
+        if path == "/retract" and method == "POST":
+            return 200, await self._retract(body)
         if path == "/rematerialize" and method == "POST":
             return 200, await self._rematerialize()
-        if path in ("/healthz", "/stats", "/query", "/push", "/rematerialize"):
+        if path in ("/healthz", "/stats", "/query", "/push", "/retract",
+                    "/rematerialize"):
             raise HTTPError(405, f"{method} not allowed on {path}")
         raise HTTPError(404, f"no such endpoint {path}")
 
@@ -260,26 +266,50 @@ class QueryService:
             "epoch": snapshot.epoch,
         }
 
-    async def _push(self, body: bytes) -> dict:
+    @staticmethod
+    def _parse_triples(body: bytes, verb: str) -> list:
         try:
             document = json.loads(body or b"{}")
         except json.JSONDecodeError as exc:
-            raise HTTPError(400, f"push body is not valid JSON: {exc}") from None
+            raise HTTPError(400, f"{verb} body is not valid JSON: {exc}") from None
         triples = document.get("triples")
         if not isinstance(triples, list):
-            raise HTTPError(400, "push body must be {'triples': [[s, p, o], ...]}")
+            raise HTTPError(
+                400, f"{verb} body must be {{'triples': [[s, p, o], ...]}}"
+            )
         facts = []
         for entry in triples:
             if not (isinstance(entry, list) and len(entry) == 3
                     and all(isinstance(part, str) for part in entry)):
                 raise HTTPError(400, f"not an [s, p, o] string triple: {entry!r}")
             facts.append(tuple(entry))
+        return facts
+
+    async def _push(self, body: bytes) -> dict:
+        facts = self._parse_triples(body, "push")
         loop = asyncio.get_running_loop()
         result = await loop.run_in_executor(self._writer, self.view.push, facts)
         return {
             "batch_size": result.batch_size,
             "new_edb": result.new_edb,
             "derived": result.derived,
+            "rebuilt_from": result.rebuilt_from,
+            "rounds": result.rounds,
+            "consistent": result.consistent,
+            "watermark": self.view.watermark,
+            "epoch": self.view.epoch,
+        }
+
+    async def _retract(self, body: bytes) -> dict:
+        facts = self._parse_triples(body, "retract")
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(self._writer, self.view.retract, facts)
+        return {
+            "batch_size": result.batch_size,
+            "removed_edb": result.removed_edb,
+            "overdeleted": result.overdeleted,
+            "rederived": result.rederived,
+            "nulls_collected": result.nulls_collected,
             "rebuilt_from": result.rebuilt_from,
             "rounds": result.rounds,
             "consistent": result.consistent,

@@ -21,6 +21,13 @@ rebuild, the session swaps in a brand-new instance — published snapshots of
 the old instance stay valid (they reference the old, now-frozen index) and
 simply age out as readers finish.
 
+Retractions are the one writer operation append-only isolation does not
+cover: :meth:`MaterializedView.retract` tombstones rows *in place*, under
+any pinned prefix.  Every published snapshot therefore records the
+session's retraction generation, and a read from a snapshot pinned before
+a retraction raises :class:`StaleSnapshotError` — the same loud failure as
+a snapshot held across an epoch reset, instead of silently missing rows.
+
 The third lifecycle concern of a long-lived server — the term table growing
 one entry per invented null forever — is handled by
 :meth:`MaterializedView.rematerialize`: it drains readers, starts a new
@@ -38,7 +45,7 @@ from contextlib import contextmanager
 from typing import FrozenSet, Iterator, Set, Union
 
 from repro.datalog.semantics import INCONSISTENT
-from repro.engine.incremental import DeltaSession, PushResult
+from repro.engine.incremental import DeltaSession, PushResult, RetractResult
 from repro.engine.interning import TERMS
 from repro.owl.entailment_rules import owl2ql_core_program
 from repro.rdf.graph import RDFGraph
@@ -67,13 +74,30 @@ class ViewSnapshot:
     reassigned null IDs.
     """
 
-    __slots__ = ("_snapshot", "epoch", "watermark", "consistent", "_active_domain")
+    __slots__ = (
+        "_snapshot",
+        "epoch",
+        "watermark",
+        "consistent",
+        "_active_domain",
+        "_session",
+        "_retraction_gen",
+    )
 
-    def __init__(self, snapshot, epoch: int, consistent: bool):
+    def __init__(self, snapshot, epoch: int, consistent: bool, session=None):
         self._snapshot = snapshot
         self.epoch = epoch
         self.watermark = snapshot.cut
         self.consistent = consistent
+        # The snapshot shares live storage with the writer's instance, and
+        # retractions tombstone rows *in place* — append-only isolation does
+        # not cover them.  Recording the session's retraction generation at
+        # publication lets every later read detect a deletion that slid
+        # under the frozen prefix (including one hidden inside a stratum
+        # rebuild, where the instance swap leaves the old index untouched
+        # but the published answers nonetheless changed non-monotonically).
+        self._session = session
+        self._retraction_gen = session.retractions if session is not None else 0
         self._active_domain: FrozenSet[int] = (
             active_domain_ids(snapshot) if consistent else frozenset()
         )
@@ -83,6 +107,13 @@ class ViewSnapshot:
             raise StaleSnapshotError(
                 f"snapshot from epoch {self.epoch} used in epoch {TERMS.epoch()}; "
                 "re-pin the current snapshot after a rematerialization"
+            )
+        session = self._session
+        if session is not None and session.retractions != self._retraction_gen:
+            raise StaleSnapshotError(
+                f"snapshot at watermark {self.watermark} predates retraction "
+                f"generation {session.retractions} (pinned at generation "
+                f"{self._retraction_gen}); re-pin the current snapshot"
             )
 
     def query_ids(
@@ -131,6 +162,7 @@ class MaterializedView:
         self._active_readers = 0
         self._draining = False
         self.pushes = 0
+        self.retractions = 0
         self.queries_served = 0
         self._session = DeltaSession(self._program, initial)
         self._published = self._publish()
@@ -143,6 +175,7 @@ class MaterializedView:
             self._session.instance.snapshot(),
             TERMS.epoch(),
             self._session.check_consistency(),
+            self._session,
         )
 
     @property
@@ -211,6 +244,22 @@ class MaterializedView:
             self._published = self._publish()
             return result
 
+    def retract(self, facts) -> RetractResult:
+        """Remove one writer batch (DRed), then publish the repaired state.
+
+        Snapshots published before the call raise
+        :class:`StaleSnapshotError` on further use — deletions tombstone
+        rows in place, so the frozen prefixes those snapshots answer from
+        are no longer faithful.  Readers pinned *during* the retraction are
+        not drained (unlike :meth:`rematerialize`): their queries fail fast
+        on the generation check rather than block the writer.
+        """
+        with self._write_lock:
+            result = self._session.retract(facts)
+            self.retractions += 1
+            self._published = self._publish()
+            return result
+
     def rematerialize(self) -> int:
         """Reclaim null dictionary space: new epoch, fresh materialization.
 
@@ -259,6 +308,7 @@ class MaterializedView:
             "facts": len(self._session.instance),
             "edb_facts": len(self._session._edb),
             "pushes": self.pushes,
+            "retractions": self.retractions,
             "queries_served": self.queries_served,
             "watermark": published.watermark,
             "epoch": published.epoch,
@@ -266,5 +316,6 @@ class MaterializedView:
             "term_table": {
                 "constants": TERMS.counts()[0],
                 "nulls": TERMS.counts()[1],
+                "orphaned_nulls": TERMS.orphaned_nulls,
             },
         }

@@ -6,9 +6,10 @@ exercised at laptop scale: the motivating RDF graphs of Section 2, random RDF
 graphs and SPARQL patterns, transport networks, random undirected graphs for
 the k-clique query, the chain ontologies of Lemma 6.5, and a scalable
 university-style OWL 2 QL core ontology for the entailment-regime benchmarks.
-:mod:`repro.workloads.streams` adds insert-only *fact feeds* — an initial
-database plus a schedule of arrival batches — for the incremental streaming
-subsystem and its benchmarks.
+:mod:`repro.workloads.streams` adds *fact feeds* — an initial database plus
+a schedule of arrival batches, insert-only or churning (paired inserts and
+window evictions) — for the incremental streaming subsystem and its
+benchmarks.
 """
 
 from repro.workloads.graphs import (
@@ -29,13 +30,17 @@ from repro.workloads.ontologies import (
 )
 from repro.workloads.queries import random_bgp, random_pattern, author_queries
 from repro.workloads.streams import (
+    churn_heavy_social_stream,
     growing_university_stream,
+    sliding_chain_stream,
     sliding_social_stream,
     trickle_insert_chain,
 )
 
 __all__ = [
+    "churn_heavy_social_stream",
     "growing_university_stream",
+    "sliding_chain_stream",
     "sliding_social_stream",
     "trickle_insert_chain",
     "section2_g1",

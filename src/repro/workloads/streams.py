@@ -9,22 +9,27 @@ shape of the incremental subsystem (:mod:`repro.engine.incremental`) and of
 and ``batches`` is a list of lists of :class:`~repro.rdf.graph.Triple` —
 both feed :meth:`~repro.engine.incremental.DeltaSession.push` directly.
 
-All streams are **insert-only**: the incremental engine's instance is
-append-only (its snapshot and worker-replica contracts rely on that), so the
-generators model monotone feeds — growing link graphs, a monotonically
-growing ontology ABox, a social graph whose *activity* slides while its
-history accumulates.
+The chain and university streams are **insert-only** monotone feeds —
+growing link graphs and a monotonically growing ontology ABox — matching
+:meth:`~repro.engine.incremental.DeltaSession.push`.  The sliding social
+stream is a **churn** feed: its window genuinely evicts, so each batch is an
+``(inserts, deletes)`` pair whose deletes feed
+:meth:`~repro.engine.incremental.DeltaSession.retract` (DRed deletion).
+Pass ``insert_only=True`` to recover the historical insert-only shape, where
+"sliding" was only the locality of new edges.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Tuple
+from typing import Dict, List, Tuple, Union
 
 from repro.rdf.graph import RDFGraph, Triple
 from repro.workloads.ontologies import lubm_style_graph
 
 Stream = Tuple[RDFGraph, List[List[Triple]]]
+ChurnBatch = Tuple[List[Triple], List[Triple]]
+ChurnStream = Tuple[RDFGraph, List[ChurnBatch]]
 
 
 def trickle_insert_chain(
@@ -102,20 +107,32 @@ def sliding_social_stream(
     drift: int = 5,
     predicate: str = "knows",
     seed: int = 0,
-) -> Stream:
+    insert_only: bool = False,
+) -> Union[Stream, ChurnStream]:
     """A social graph whose activity window slides over an unbounded userbase.
 
     Edges always connect two users inside the current activity window of
     ``window`` user ids; after every batch the window slides forward by
-    ``drift`` ids, so fresh users keep entering the graph, old users stop
-    receiving edges, and the accumulated history only ever grows (the stream
-    stays insert-only — "sliding" is the locality of *new* edges, not a
-    deletion).  Duplicate edges are retried a bounded number of times, so
-    batch sizes are approximate upper bounds on dense windows.
+    ``drift`` ids, so fresh users keep entering and old users drop out.  The
+    window genuinely **evicts**: each batch is an ``(inserts, deletes)``
+    pair, where the deletes are every previously delivered, still-live edge
+    with an endpoint behind the new window start (in delivery order).  The
+    inserts feed :meth:`~repro.engine.incremental.DeltaSession.push`, the
+    deletes :meth:`~repro.engine.incremental.DeltaSession.retract`.
+
+    With ``insert_only=True`` the eviction half is dropped and the return
+    shape reverts to a plain batch list — exactly the edges the default
+    stream inserts, from the same RNG draw, so records benchmarked against
+    the historical insert-only stream stay comparable.
+
+    Duplicate edges are retried a bounded number of times, so batch sizes
+    are approximate upper bounds on dense windows; an evicted edge is never
+    re-delivered.
     """
     rng = random.Random(seed)
     graph = RDFGraph()
     seen = set()
+    live: Dict[Tuple[int, int], Triple] = {}
 
     def fresh_edges(count: int, base: int) -> List[Triple]:
         """Up to ``count`` never-seen edges inside the current window."""
@@ -128,14 +145,86 @@ def sliding_social_stream(
             if a == b or (a, b) in seen:
                 continue
             seen.add((a, b))
-            edges.append(Triple(f"user{a}", predicate, f"user{b}"))
+            live[(a, b)] = edge = Triple(f"user{a}", predicate, f"user{b}")
+            edges.append(edge)
         return edges
 
     for triple in fresh_edges(initial_edges, 0):
         graph.add(triple)
-    feed: List[List[Triple]] = []
+    feed: list = []
     base = 0
     for _ in range(batches):
         base += drift
-        feed.append(fresh_edges(edges_per_batch, base))
+        if insert_only:
+            feed.append(fresh_edges(edges_per_batch, base))
+            continue
+        evicted = [pair for pair in live if pair[0] < base or pair[1] < base]
+        deletes = [live.pop(pair) for pair in evicted]
+        feed.append((fresh_edges(edges_per_batch, base), deletes))
     return graph, feed
+
+
+def sliding_chain_stream(
+    window: int = 80,
+    batches: int = 8,
+    edges_per_batch: int = 10,
+    predicate: str = "knows",
+) -> ChurnStream:
+    """A chain whose fixed-width window slides: grow the tip, evict the tail.
+
+    The initial graph is the chain ``c0 → … → c{window}``; each batch inserts
+    ``edges_per_batch`` edges at the tip and deletes the same number at the
+    tail, so exactly ``window`` edges stay live.  This is the regime
+    incremental deletion is built for: under a left-linear transitive
+    closure, the pairs reachable *through* a tail edge all start at the dead
+    node, none has alternative support, so DRed marks Θ(edges_per_batch ×
+    window) facts and re-derives zero — while a recompute pays the full
+    Θ(window²) fixpoint per slide.  Contrast
+    :func:`churn_heavy_social_stream`, whose densely connected windows are
+    DRed's worst case.
+    """
+    graph = RDFGraph()
+    for i in range(window):
+        graph.add(Triple(f"c{i}", predicate, f"c{i + 1}"))
+    feed: List[ChurnBatch] = []
+    tip = tail = 0
+    for _ in range(batches):
+        inserts = [
+            Triple(f"c{window + tip + j}", predicate, f"c{window + tip + j + 1}")
+            for j in range(edges_per_batch)
+        ]
+        deletes = [
+            Triple(f"c{tail + j}", predicate, f"c{tail + j + 1}")
+            for j in range(edges_per_batch)
+        ]
+        tip += edges_per_batch
+        tail += edges_per_batch
+        feed.append((inserts, deletes))
+    return graph, feed
+
+
+def churn_heavy_social_stream(
+    initial_edges: int = 150,
+    batches: int = 8,
+    edges_per_batch: int = 30,
+    window: int = 40,
+    predicate: str = "knows",
+    seed: int = 0,
+) -> ChurnStream:
+    """A churn-heavy schedule: the window jumps half its width every batch.
+
+    The deletion-stress variant of :func:`sliding_social_stream` — with
+    ``drift = window // 2`` roughly half the live edges are evicted at every
+    slide, so retraction work per batch is comparable to insertion work.
+    This is the schedule ``benchmarks/bench_stream_churn.py`` replays to
+    weigh incremental DRed deletion against recompute-per-window.
+    """
+    return sliding_social_stream(
+        initial_edges=initial_edges,
+        batches=batches,
+        edges_per_batch=edges_per_batch,
+        window=window,
+        drift=max(1, window // 2),
+        predicate=predicate,
+        seed=seed,
+    )

@@ -1,0 +1,257 @@
+"""Retraction parity: DRed deletion vs a cold recompute, byte for byte.
+
+:meth:`~repro.engine.incremental.DeltaSession.retract` promises that after
+any interleaving of pushes and retractions, the materialisation equals one
+cold evaluation of the *surviving* EDB — the same differential contract
+``tests/test_engine_incremental_parity.py`` pins for pushes, extended to
+deletion.  The suite covers:
+
+* **Fuzzed interleavings**: random stratified Datalog¬ programs under random
+  push/retract schedules (retractions sample the currently-live EDB), in all
+  three execution modes, compared ``sorted_atoms()``-equal to the cold run.
+  Mode parity also compares the gated counters, so row, batch, and the
+  forced 2-worker parallel executor take byte-identical work accounting
+  through the deletion path.
+* **Negation**: a retraction that shrinks a negation reference re-runs the
+  strata above it — facts whose negative support *returns* must reappear.
+* **Chase sessions**: content-addressed nulls make deletion parity
+  byte-exact too — labels agree with the cold run, and the null garbage
+  collector drops exactly the invented nulls no surviving fact references.
+* **The canary**: with the re-derivation phase surgically disabled, the
+  differential oracle must *fail* — proving the oracle can actually catch a
+  skipped restoration, so green runs above mean something.
+"""
+
+import random
+
+import pytest
+
+from repro.datalog.atoms import Atom
+from repro.datalog.terms import Constant
+from repro.engine.incremental import DeltaSession, cold_equivalent
+from repro.engine.interning import TERMS
+from repro.engine.parallel import shutdown_pool
+from test_engine_batch_parity import random_datalog_program, random_instance
+from test_engine_incremental_parity import (
+    ANCESTOR_CHASE_PROGRAM,
+    TC_NEGATION_PROGRAM,
+    TC_PROGRAM,
+    edge,
+    person,
+    run_three_modes,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def stop_pool_after_module():
+    yield
+    shutdown_pool()
+
+
+def interleaved_schedule(rng, facts, n_ops):
+    """A random ``(op, batch)`` schedule: pushes deliver fresh facts,
+    retractions sample the EDB that is live at that point of the schedule."""
+    pending = list(facts)
+    rng.shuffle(pending)
+    live = []
+    ops = []
+    for _ in range(n_ops):
+        if pending and (not live or rng.random() < 0.6):
+            batch = [pending.pop() for _ in range(min(len(pending), rng.randint(1, 8)))]
+            live.extend(batch)
+            ops.append(("push", batch))
+        elif live:
+            batch = rng.sample(live, rng.randint(1, min(len(live), 5)))
+            for fact in batch:
+                live.remove(fact)
+            ops.append(("retract", batch))
+    if pending:  # deliver the tail so schedules differ only in interleaving
+        live.extend(pending)
+        ops.append(("push", list(pending)))
+    return ops
+
+
+def replay(program, ops, **kwargs):
+    """Build a session, apply the schedule, return it (caller closes)."""
+    session = DeltaSession(program, [], **kwargs)
+    for op, batch in ops:
+        getattr(session, op)(batch)
+    return session
+
+
+def assert_cold_parity(session):
+    cold = cold_equivalent(session)
+    assert session.instance.sorted_atoms() == cold.sorted_atoms()
+
+
+class TestInterleavedParity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fuzzed_stratified_programs(self, seed):
+        rng = random.Random(4000 + seed)
+        instance, constants = random_instance(rng, n_constants=5, n_facts=60)
+        program = random_datalog_program(rng, constants)
+        ops = interleaved_schedule(rng, instance, rng.randint(4, 9))
+        assert any(op == "retract" for op, _ in ops)
+        session = replay(program, ops)
+        assert_cold_parity(session)
+        session.close()
+
+    def test_retract_then_reinsert_roundtrips(self):
+        edges = [edge(f"n{i}", f"n{i + 1}") for i in range(10)]
+        session = DeltaSession(TC_PROGRAM, edges)
+        before = session.instance.sorted_atoms()
+        session.retract(edges[3:6])
+        assert_cold_parity(session)
+        session.push(edges[3:6])
+        assert session.instance.sorted_atoms() == before
+        session.close()
+
+    def test_retract_everything_empties_the_materialisation(self):
+        edges = [edge(f"n{i}", f"n{i + 1}") for i in range(6)]
+        session = DeltaSession(TC_PROGRAM, edges)
+        result = session.retract(edges)
+        assert result.removed_edb == len(edges)
+        assert len(session) == 0
+        assert_cold_parity(session)
+        session.close()
+
+    def test_retract_of_absent_facts_is_a_noop(self):
+        session = DeltaSession(TC_PROGRAM, [edge("a", "b")])
+        size = len(session)
+        result = session.retract([edge("x", "y")])
+        assert result.removed_edb == 0 and result.overdeleted == 0
+        assert len(session) == size
+        session.close()
+
+    def test_shared_support_survives_partial_retraction(self):
+        # connected(a, c) holds through b *and* through the direct edge; the
+        # chain's deletion must not take the surviving derivation with it.
+        session = DeltaSession(
+            TC_PROGRAM, [edge("a", "b"), edge("b", "c"), edge("a", "c")]
+        )
+        result = session.retract([edge("b", "c")])
+        assert result.rederived >= 1
+        assert (Constant("a"), Constant("c")) in session.query("connected")
+        assert_cold_parity(session)
+        session.close()
+
+
+class TestNegation:
+    def test_retraction_restores_negatively_supported_facts(self):
+        session = DeltaSession(
+            TC_NEGATION_PROGRAM, [edge("a", "b"), edge("b", "a")]
+        )
+        assert session.query("oneway") == frozenset()
+        result = session.retract([edge("b", "a")])
+        # The negation reference shrank: the stratum above re-runs, and the
+        # fact it used to block comes back.
+        assert result.rebuilt_from is not None
+        assert session.query("oneway") == {(Constant("a"), Constant("b"))}
+        assert_cold_parity(session)
+        session.close()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_negation_fuzz_over_interleavings(self, seed):
+        rng = random.Random(5000 + seed)
+        instance, constants = random_instance(rng, n_constants=4, n_facts=50)
+        program = random_datalog_program(rng, constants)
+        for _ in range(2):
+            ops = interleaved_schedule(rng, instance, rng.randint(5, 8))
+            session = replay(program, ops)
+            assert_cold_parity(session)
+            session.close()
+
+
+class TestChaseRetraction:
+    def test_null_gc_drops_exactly_the_orphans(self):
+        people = [person(f"p{i}") for i in range(4)]
+        session = DeltaSession(ANCESTOR_CHASE_PROGRAM, people)
+        orphaned_before = TERMS.orphaned_nulls
+        nulls_before = len(session.instance.nulls())
+        result = session.retract([person("p0")])
+        assert result.nulls_collected == 1
+        assert len(session.instance.nulls()) == nulls_before - 1
+        assert TERMS.orphaned_nulls == orphaned_before + 1
+        assert_cold_parity(session)
+        session.close()
+
+    def test_reinsertion_reinvents_the_same_null_labels(self):
+        # Content-addressed digests: retracting a person and pushing it back
+        # re-fires the same trigger and lands on the same label, so the
+        # instance round-trips byte-identically.
+        people = [person(f"p{i}") for i in range(5)]
+        session = DeltaSession(ANCESTOR_CHASE_PROGRAM, people)
+        before = session.instance.sorted_atoms()
+        session.retract([person("p2")])
+        session.push([person("p2")])
+        assert session.instance.sorted_atoms() == before
+        session.close()
+
+    def test_interleaved_chase_schedule_matches_cold(self):
+        people = [person(f"p{i}") for i in range(8)]
+        session = DeltaSession(ANCESTOR_CHASE_PROGRAM, people[:5])
+        session.retract(people[1:3])
+        session.push(people[5:])
+        session.retract([people[6]])
+        assert_cold_parity(session)
+        session.close()
+
+
+class TestModeParity:
+    def test_three_mode_interleaved_parity(self):
+        rng = random.Random(77)
+        edges = [
+            edge(f"u{rng.randrange(12)}", f"u{rng.randrange(12)}")
+            for _ in range(40)
+        ]
+        ops = interleaved_schedule(random.Random(78), edges, 8)
+        assert any(op == "retract" for op, _ in ops)
+
+        def stream():
+            session = replay(TC_NEGATION_PROGRAM, ops)
+            atoms = list(session.instance)
+            session.close()
+            return atoms
+
+        outcome = run_three_modes(stream)
+        assert outcome["row"][0] == outcome["batch"][0] == outcome["parallel"][0]
+        # Gated counters too: the deletion path (over-delete, re-derive,
+        # null GC) does identical accounted work in every executor.
+        assert outcome["row"][1] == outcome["batch"][1] == outcome["parallel"][1]
+
+    def test_three_mode_chase_retraction_parity(self):
+        people = [person(f"p{i}") for i in range(9)]
+
+        def stream():
+            session = DeltaSession(ANCESTOR_CHASE_PROGRAM, people[:6])
+            session.retract(people[2:4])
+            session.push(people[6:])
+            session.retract([people[0]])
+            atoms = list(session.instance)
+            session.close()
+            return atoms
+
+        outcome = run_three_modes(stream)
+        assert outcome["row"][0] == outcome["batch"][0] == outcome["parallel"][0]
+        assert outcome["row"][1] == outcome["batch"][1] == outcome["parallel"][1]
+
+
+class TestCanary:
+    def test_oracle_catches_a_skipped_rederivation(self, monkeypatch):
+        # Plant the bug DRed exists to prevent — delete the over-deleted
+        # closure but never restore survivors — and require the differential
+        # oracle to *fail*.  If this test ever passes with the restoration
+        # disabled, the parity assertions above have lost their teeth.
+        session = DeltaSession(
+            TC_PROGRAM, [edge("a", "b"), edge("b", "c"), edge("a", "c")]
+        )
+        monkeypatch.setattr(
+            DeltaSession, "_rederive_stratum", lambda self, stratum, marked: 0
+        )
+        session.retract([edge("b", "c")])
+        cold = cold_equivalent(session)
+        assert session.instance.sorted_atoms() != cold.sorted_atoms()
+        # connected(a, c) still has the direct edge as support; the crippled
+        # session lost it, which is exactly what the oracle must notice.
+        assert (Constant("a"), Constant("c")) not in session.query("connected")
+        session.close()

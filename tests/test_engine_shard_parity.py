@@ -375,11 +375,12 @@ class TestEngineLevelParity:
         foreign.add_fact(Atom("e", (Constant("x"), Constant("y"))))
         assert session._delta_window(foreign) is None
 
-    def test_deletion_disables_dispatch_but_stays_correct(self):
-        # Engines copy their input, so the only way a session can see a
-        # tombstoned instance is the in-place chase; a tombstone anywhere
-        # breaks the ordinal/replica contract, so the session must refuse to
-        # dispatch (and still compute correctly via the in-process path).
+    def test_tombstoned_instance_still_dispatches_with_parity(self):
+        # Since the deletion half of the wire protocol landed, tombstones no
+        # longer disable dispatch: dead rows ship as placeholders (replica
+        # row ids stay parent-aligned) and logged deletions are replayed on
+        # the replicas, so a retraction-scarred instance distributes its
+        # matching exactly like a pristine one.
         from repro.datalog.atoms import Atom
         from repro.datalog.terms import Constant
 
@@ -394,6 +395,10 @@ class TestEngineLevelParity:
 
         def tombstoned_instance():
             instance = Instance(graph.to_database())
+            # One deletion of an old row, one append-then-delete (a dead
+            # placeholder in the first sync window).
+            victim = next(iter(instance))
+            instance.discard(victim)
             doomed = Atom("e", (Constant("tmp"), Constant("tmp")))
             instance.add(doomed)
             instance.discard(doomed)
@@ -412,8 +417,7 @@ class TestEngineLevelParity:
                 .chase(tombstoned_instance(), program, reuse_instance=True)
                 .instance
             )
-            assert STATS.parallel_tasks == 0
-            assert STATS.parallel_fallbacks > 0
+            assert STATS.parallel_tasks > 0
         assert got == expected
 
     def test_nested_engine_runs_rearm_the_pool(self):

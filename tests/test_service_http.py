@@ -127,6 +127,25 @@ class TestEndToEnd:
                 assert response["watermark"] == watermark
         client.accumulated = accumulated
 
+    def test_03b_retract_then_answers_match_cold_recompute(self, client):
+        accumulated = client.accumulated
+        batch = PUSHES[0]
+        response = client.post("/retract", {"triples": batch})
+        assert response["removed_edb"] == len(batch)
+        assert response["overdeleted"] >= len(batch)
+        for entry in batch:
+            accumulated.discard(tuple(entry))
+        for text in QUERY_TEXTS:
+            for mode in ("U", "All"):
+                answer = client.query(text, mode)
+                assert answer["answers"] == oracle_rows(
+                    text, accumulated, mode
+                ), (text, mode)
+        # Push the batch back so the later ordered tests see the full state.
+        client.post("/push", {"triples": batch})
+        for entry in batch:
+            accumulated.add(tuple(entry))
+
     def test_04_rematerialize_preserves_answers(self, client):
         before = {text: client.query(text)["answers"] for text in QUERY_TEXTS}
         epoch = client.get("/healthz")["epoch"]
@@ -139,7 +158,9 @@ class TestEndToEnd:
 
     def test_05_stats_counts_traffic(self, client):
         stats = client.get("/stats")
-        assert stats["pushes"] == len(PUSHES)
+        # The push batches, plus the re-push at the end of the retract test.
+        assert stats["pushes"] == len(PUSHES) + 1
+        assert stats["retractions"] == 1
         assert stats["queries_served"] > 0
         assert stats["term_table"]["constants"] > 0
 

@@ -98,6 +98,57 @@ class TestEpochLifecycle:
             assert len(view.query(PERSON)) == base + 1
 
 
+class TestRetraction:
+    def test_retract_removes_answers_and_publishes(self):
+        with MaterializedView(small_graph()) as view:
+            view.push([("doomed", "rdf:type", "Student")])
+            before = view.query(PERSON)
+            result = view.retract([("doomed", "rdf:type", "Student")])
+            assert result.removed_edb == 1
+            assert result.overdeleted >= 1
+            assert len(view.query(PERSON)) == len(before) - 1
+
+    def test_pinned_snapshot_raises_after_retraction(self):
+        # Regression: the engine tombstones rows in place, and a frozen
+        # prefix view shares the live storage — a snapshot pinned before a
+        # retraction used to keep answering, silently missing the deleted
+        # rows.  It must fail as loudly as one pinned across an epoch reset.
+        with MaterializedView(small_graph()) as view:
+            view.push([("doomed", "rdf:type", "Student")])
+            stale = view.current
+            view.retract([("doomed", "rdf:type", "Student")])
+            with pytest.raises(StaleSnapshotError):
+                stale.query_ids(PERSON)
+
+    def test_snapshot_published_after_retraction_is_valid(self):
+        with MaterializedView(small_graph()) as view:
+            view.push([("doomed", "rdf:type", "Student")])
+            view.retract([("doomed", "rdf:type", "Student")])
+            fresh = view.current
+            assert fresh.query_ids(PERSON) == fresh.query_ids(PERSON)
+            # And later pushes do not invalidate it (append-only isolation).
+            view.push([("late", "rdf:type", "Student")])
+            fresh.query_ids(PERSON)
+
+    def test_retract_matches_cold_view_of_surviving_edb(self):
+        graph = small_graph()
+        batches = [
+            [(f"s{i}", "rdf:type", "Student"), (f"s{i}", "worksFor", f"d{i % 2}")]
+            for i in range(4)
+        ]
+        with MaterializedView(graph) as view:
+            for batch in batches:
+                view.push(batch)
+            view.retract(batches[1])
+            with MaterializedView(graph) as cold:
+                for i, batch in enumerate(batches):
+                    if i != 1:
+                        cold.push(batch)
+                for mode in ("U", "All"):
+                    assert view.query(PERSON, mode) == cold.query(PERSON, mode)
+            assert view.stats()["retractions"] == 1
+
+
 class TestConcurrentSnapshotIsolation:
     """The differential read/write check: pinned reads are immovable."""
 

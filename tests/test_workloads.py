@@ -191,20 +191,76 @@ class TestStreams:
         )
         assert accumulated == full
 
-    def test_sliding_social_stream_is_insert_only_and_slides(self):
+    def test_sliding_social_stream_evicts_exactly_the_departed_edges(self):
         from repro.workloads.streams import sliding_social_stream
 
         initial, feed = sliding_social_stream(
             initial_edges=50, batches=5, edges_per_batch=10, window=20, drift=10
         )
-        seen = {(str(t.subject), str(t.object)) for t in initial}
-        for batch in feed:
-            for triple in batch:
+        live = {(str(t.subject), str(t.object)) for t in initial}
+        seen = set(live)
+        base = 0
+        for inserts, deletes in feed:
+            base += 10
+            for triple in deletes:
+                pair = (str(triple.subject), str(triple.object))
+                assert pair in live  # only delivered, still-live edges evict
+                live.discard(pair)
+            for triple in inserts:
                 pair = (str(triple.subject), str(triple.object))
                 assert pair not in seen  # never re-delivered
                 seen.add(pair)
-        # The last batch's users live in the slid window, not the first one.
-        last_users = {
-            int(str(t.subject)[4:]) for t in feed[-1]
-        } | {int(str(t.object)[4:]) for t in feed[-1]}
-        assert min(last_users) >= 5 * 10 - 1  # drifted well past the origin
+                live.add(pair)
+            # After the slide, every surviving edge sits inside the window.
+            for subject, obj in live:
+                for user in (int(subject[4:]), int(obj[4:])):
+                    assert base <= user < base + 20
+        assert any(deletes for _, deletes in feed)  # the window really slid
+
+    def test_sliding_social_stream_insert_only_matches_churn_inserts(self):
+        from repro.workloads.streams import sliding_social_stream
+
+        scale = dict(
+            initial_edges=50, batches=5, edges_per_batch=10, window=20, drift=10
+        )
+        initial, churn_feed = sliding_social_stream(**scale)
+        legacy_initial, legacy_feed = sliding_social_stream(
+            **scale, insert_only=True
+        )
+        # The compat flag restores the historical shape and, drawing from the
+        # same seeded RNG, delivers exactly the churn stream's inserts.
+        assert set(legacy_initial) == set(initial)
+        assert legacy_feed == [inserts for inserts, _ in churn_feed]
+
+    def test_churn_heavy_social_stream_deletes_comparably_to_inserts(self):
+        from repro.workloads.streams import churn_heavy_social_stream
+
+        initial, feed = churn_heavy_social_stream(
+            initial_edges=60, batches=6, edges_per_batch=15, window=20
+        )
+        inserted = sum(len(inserts) for inserts, _ in feed)
+        deleted = sum(len(deletes) for _, deletes in feed)
+        assert all(deletes for _, deletes in feed[1:])  # churn every slide
+        assert deleted >= inserted // 2
+
+    def test_sliding_chain_stream_keeps_a_fixed_window(self):
+        from repro.workloads.streams import sliding_chain_stream
+
+        window, batches, per_batch = 30, 5, 4
+        initial, feed = sliding_chain_stream(
+            window=window, batches=batches, edges_per_batch=per_batch
+        )
+        assert len(initial) == window
+        live = set(initial)
+        for inserts, deletes in feed:
+            assert len(inserts) == len(deletes) == per_batch
+            assert set(deletes) <= live  # evicts only delivered, live edges
+            live.difference_update(deletes)
+            assert live.isdisjoint(inserts)  # tip edges are genuinely new
+            live.update(inserts)
+            assert len(live) == window  # the window never grows or shrinks
+        # The survivors are exactly one contiguous chain segment.
+        subjects = sorted(int(t.subject.value[1:]) for t in live)
+        assert subjects == list(
+            range(batches * per_batch, batches * per_batch + window)
+        )
