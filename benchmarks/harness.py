@@ -37,6 +37,8 @@ Usage::
     python benchmarks/harness.py --only theorem67     # substring filter
     python benchmarks/harness.py --modes batch        # only one executor
     python benchmarks/harness.py --workers 4          # parallel-mode pool size
+    python benchmarks/harness.py --quick --only lubm --profile profile.json
+                                                      # per-plan step profiles
     python benchmarks/harness.py --list               # show scenario ids and exit
 
 See ``benchmarks/README.md`` for the JSON schema and the CI contract.
@@ -71,6 +73,7 @@ from repro.engine import plancache  # noqa: E402
 from repro.engine.mode import execution_mode  # noqa: E402
 from repro.engine.parallel import shutdown_pool  # noqa: E402
 from repro.engine.stats import STATS  # noqa: E402
+from repro.obs.profile import PROFILER  # noqa: E402
 
 SCHEMA_VERSION = 7
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine_core.json")
@@ -599,6 +602,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "many times before failing the gate (0 disables; counter regressions "
         "are deterministic and unaffected)",
     )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="enable per-plan step profiling and write hot-rule/hot-step "
+        "JSON here (profiled runs pay instrumentation overhead; never "
+        "combine with --baseline wall gating)",
+    )
     args = parser.parse_args(argv)
 
     warmup = args.warmup if args.warmup is not None else 1
@@ -624,15 +635,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("no scenarios matched", file=sys.stderr)
         return 2
 
+    if args.profile:
+        PROFILER.enable()
+    profiles: List[Dict[str, Any]] = []
     results: List[Dict[str, Any]] = []
     total_start = time.perf_counter()
     for scenario, mode in runs:
+        if args.profile:
+            PROFILER.reset()
         record = run_scenario(scenario, warmup, repeats, mode, args.workers)
         results.append(record)
+        if args.profile:
+            profiles.append({"id": record["id"], "plans": PROFILER.snapshot(top=10)})
         wall = record["wall_seconds"]["median"]
         print(f"{record['id']:84s} {wall * 1000:9.2f} ms  "
               f"{record['facts_added']:>8d} facts")
     total_wall = time.perf_counter() - total_start
+    if args.profile:
+        PROFILER.disable()
+        with open(args.profile, "w") as handle:
+            json.dump(
+                {"schema_version": 1, "scenarios": profiles},
+                handle, indent=2, sort_keys=False,
+            )
+            handle.write("\n")
+        print(f"wrote plan profiles to {os.path.relpath(args.profile, os.getcwd())}")
 
     per_mode_sums = {
         mode: sum(

@@ -72,6 +72,10 @@ def main(argv=None) -> int:
         with urllib.request.urlopen(base + path, timeout=60) as response:
             return json.loads(response.read())
 
+    def get_text(path):
+        with urllib.request.urlopen(base + path, timeout=60) as response:
+            return response.headers.get("Content-Type", ""), response.read().decode()
+
     def post(path, document):
         request = urllib.request.Request(
             base + path, data=json.dumps(document).encode(), method="POST"
@@ -119,6 +123,30 @@ def main(argv=None) -> int:
             post("/rematerialize", {})
 
     stats = get("/stats")
+
+    # The Prometheus exposition must be present, well-formed, and carry the
+    # query-latency histogram the queries above populated.
+    content_type, exposition = get_text("/metrics")
+    if "text/plain" not in content_type or "version=0.0.4" not in content_type:
+        failures.append(f"unexpected /metrics content type: {content_type!r}")
+    if "# TYPE repro_query_seconds histogram" not in exposition:
+        failures.append("/metrics is missing the repro_query_seconds histogram")
+    if "repro_queries_total" not in exposition:
+        failures.append("/metrics is missing repro_queries_total")
+    if "repro_engine_triggers_fired_total" not in exposition:
+        failures.append("/metrics is missing the mirrored engine counters")
+    for line in exposition.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        fields = line.rsplit(" ", 1)
+        if len(fields) != 2:
+            failures.append(f"malformed exposition line: {line!r}")
+            continue
+        try:
+            float(fields[1])
+        except ValueError:
+            failures.append(f"non-numeric sample value: {line!r}")
+
     latencies.sort()
     p50 = statistics.median(latencies) * 1000
     p99 = latencies[min(len(latencies) - 1, (len(latencies) * 99) // 100)] * 1000

@@ -30,6 +30,7 @@ that match ad-hoc atom sequences (constraint checks, analysis, tests).
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, Optional, Sequence, Set, Tuple
 
@@ -43,6 +44,7 @@ from repro.engine.mode import batch_enabled
 from repro.engine.parallel import maybe_session
 from repro.engine.plan import compile_body, compile_rule
 from repro.engine.stats import STATS
+from repro.obs.trace import TRACER
 
 
 class ChaseNonTermination(RuntimeError):
@@ -295,9 +297,15 @@ class ChaseEngine:
             [_rule_signature(crule.rule) for crule in compiled] if self.deterministic_nulls else None
         )
 
+        run_start = time.perf_counter_ns() if TRACER.enabled else 0
         changed = True
+        rounds = 0
         while changed:
             changed = False
+            rounds += 1
+            if TRACER.enabled:
+                round_start = time.perf_counter_ns()
+                steps_before = steps
             for rule_index, crule in enumerate(compiled):
                 rule = crule.rule
                 if use_batch:
@@ -412,9 +420,20 @@ class ChaseEngine:
                         changed = True
                 if limit_reason:
                     break
+            if TRACER.enabled:
+                TRACER.record(
+                    "chase.round",
+                    round_start,
+                    round=rounds,
+                    steps=steps - steps_before,
+                )
             if limit_reason:
                 break
 
+        if TRACER.enabled:
+            TRACER.record(
+                "chase.run", run_start, steps=steps, invented=invented, rounds=rounds
+            )
         STATS.nulls_invented += invented
         if state is not None:
             state.steps += steps
@@ -519,8 +538,12 @@ class ChaseEngine:
         rounds = 0
         limit_reason: Optional[str] = None
 
+        run_start = time.perf_counter_ns() if TRACER.enabled else 0
         while len(delta) and not limit_reason:
             rounds += 1
+            if TRACER.enabled:
+                round_start = time.perf_counter_ns()
+                steps_before = steps
             new_delta = Instance()
             for rule_index, crule in enumerate(compiled):
                 rule = crule.rule
@@ -627,7 +650,18 @@ class ChaseEngine:
                 if limit_reason:
                     break
             delta = new_delta
+            if TRACER.enabled:
+                TRACER.record(
+                    "chase.round",
+                    round_start,
+                    round=rounds,
+                    steps=steps - steps_before,
+                )
 
+        if TRACER.enabled:
+            TRACER.record(
+                "chase.resume", run_start, steps=steps, invented=invented, rounds=rounds
+            )
         STATS.nulls_invented += invented
         state.steps += steps
         state.invented += invented

@@ -34,6 +34,7 @@ from the delta) — counted in ``STATS.pivots_skipped``.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, Iterator, List, Sequence, Set
 
 from repro.datalog.atoms import Atom
@@ -47,6 +48,7 @@ from repro.engine.mode import batch_enabled
 from repro.engine.parallel import maybe_session
 from repro.engine.plan import compile_rule
 from repro.engine.stats import STATS
+from repro.obs.trace import TRACER
 
 
 class SemiNaiveEvaluator:
@@ -74,11 +76,14 @@ class SemiNaiveEvaluator:
             instance, [crule for stratum in self.compiled_strata for crule in stratum]
         )
         try:
-            for stratum in self.compiled_strata:
+            for number, stratum in enumerate(self.compiled_strata):
                 if not stratum:
                     continue
                 reference = instance.snapshot()
-                self._evaluate_stratum(stratum, instance, reference, session)
+                with TRACER.span(
+                    "seminaive.stratum", stratum=number, rules=len(stratum)
+                ):
+                    self._evaluate_stratum(stratum, instance, reference, session)
         finally:
             if session is not None:
                 session.close()
@@ -186,6 +191,9 @@ class SemiNaiveEvaluator:
         parallel ``session``, matching is fanned out to the worker pool and
         merged back into the same order; firing stays sequential here.
         """
+        traced = TRACER.enabled
+        if traced:
+            trace_start = time.perf_counter_ns()
         if use_batch:
             if session is not None:
                 batches = session.trigger_row_batches(crule, delta, negation_reference)
@@ -217,6 +225,13 @@ class SemiNaiveEvaluator:
                 for fact in crule.head_facts(substitution):
                     if instance.add_fact(fact):
                         delta_sink.add_fact(fact)
+        if traced:
+            TRACER.record(
+                "seminaive.rule",
+                trace_start,
+                head=crule.rule.head[0].predicate,
+                naive=delta is None,
+            )
 
     @staticmethod
     def _match_with_pivot(

@@ -41,9 +41,11 @@ this differentially against ``engine/reference.py`` as well).
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
-from repro.engine.stats import STATS
+from repro.engine.stats import active_stats
+from repro.obs.profile import PROFILER
 
 #: A (partial) match: one term ID per bound slot, in slot order.
 SlotRow = Tuple[int, ...]
@@ -132,7 +134,7 @@ class _BatchStep:
             exts = self._extensions(
                 rows, index.probe_ids(predicate, self.const_pairs, cap)
             )
-            STATS.batch_probe_groups += 1
+            active_stats().batch_probe_groups += 1
             if exts:
                 for row in rows_in:
                     extend([row + ext for ext in exts])
@@ -171,7 +173,7 @@ class _BatchStep:
                         append(row + exts[0])
                     else:
                         extend([row + ext for ext in exts])
-        STATS.batch_probe_groups += len(cache)
+        active_stats().batch_probe_groups += len(cache)
         return out
 
     def apply_tracked(
@@ -202,7 +204,7 @@ class _BatchStep:
             exts = self._extensions(
                 rows, index.probe_ids(predicate, self.const_pairs, cap)
             )
-            STATS.batch_probe_groups += 1
+            active_stats().batch_probe_groups += 1
             if exts:
                 for gid, row in zip(gids_in, rows_in):
                     for ext in exts:
@@ -239,7 +241,7 @@ class _BatchStep:
                 for ext in exts:
                     append_gid(gid)
                     append_row(row + ext)
-        STATS.batch_probe_groups += len(cache)
+        active_stats().batch_probe_groups += len(cache)
         return out_gids, out_rows
 
     def _extensions(self, rows, candidate_ids) -> List[SlotRow]:
@@ -338,6 +340,10 @@ class BatchPlan:
                 if slot is not None and slot < n_prebound:
                     base[slot] = _seed_id(value)
         rows_batch: List[SlotRow] = [tuple(base)]
+        if PROFILER.enabled:
+            return self._run_profiled(
+                index, limits, delta_index, delta_limits, delta_source, rows_batch
+            )
         for depth, step in enumerate(self.steps):
             if depth == 0 and delta_source is not None:
                 rows_batch = step.apply(delta_index, delta_limits, rows_batch)
@@ -345,4 +351,38 @@ class BatchPlan:
                 rows_batch = step.apply(index, limits, rows_batch)
             if not rows_batch:
                 break
+        return rows_batch
+
+    def _run_profiled(
+        self, index, limits, delta_index, delta_limits, delta_source, rows_batch
+    ) -> List[SlotRow]:
+        """The :meth:`run` step loop with per-step accounting around it.
+
+        The steps themselves are untouched (``apply`` stays the single hot
+        loop); this wrapper counts the batch sizes entering and leaving
+        each step, attributes the probe-group delta of the thread's stats
+        blob to the step, and times each ``apply`` call — the numbers
+        :meth:`repro.engine.plan.CompiledRule.explain` and the harness
+        ``--profile`` artifact report.
+        """
+        profile = PROFILER.plan_profile(self.plan)
+        stats = active_stats()
+        run_start = time.perf_counter_ns()
+        for depth, step in enumerate(self.steps):
+            step_profile = profile.steps[depth]
+            step_profile.rows_in += len(rows_batch)
+            probes_before = stats.batch_probe_groups
+            step_start = time.perf_counter_ns()
+            if depth == 0 and delta_source is not None:
+                rows_batch = step.apply(delta_index, delta_limits, rows_batch)
+            else:
+                rows_batch = step.apply(index, limits, rows_batch)
+            step_profile.time_ns += time.perf_counter_ns() - step_start
+            step_profile.probes += stats.batch_probe_groups - probes_before
+            step_profile.rows_out += len(rows_batch)
+            if not rows_batch:
+                break
+        profile.executions += 1
+        profile.rows_out += len(rows_batch)
+        profile.time_ns += time.perf_counter_ns() - run_start
         return rows_batch

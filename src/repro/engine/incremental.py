@@ -91,6 +91,7 @@ delta discipline *across* runs:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -107,6 +108,7 @@ from repro.engine.mode import batch_enabled
 from repro.engine.parallel import maybe_session
 from repro.engine.plan import compile_rule
 from repro.engine.stats import STATS
+from repro.obs.trace import TRACER
 
 
 @dataclass
@@ -305,6 +307,7 @@ class DeltaSession:
         if self._closed:
             raise RuntimeError("DeltaSession is closed")
         batch = [self._as_fact(value) for value in facts]
+        push_start = time.perf_counter_ns() if TRACER.enabled else 0
         for fact in batch:
             self._edb[fact] = None
         size_before = len(self.instance)
@@ -339,9 +342,19 @@ class DeltaSession:
                 continue
             delta = self._window_delta(mark, mark_limits)
             reference = self.instance.snapshot()
-            rounds += self._continue_stratum(stratum, delta, reference)
+            with TRACER.span("push.stratum", stratum=stratum):
+                rounds += self._continue_stratum(stratum, delta, reference)
         if rebuild_from is not None:
             self._rebuild(rebuild_from)
+        if TRACER.enabled:
+            TRACER.record(
+                "delta.push",
+                push_start,
+                batch=len(batch),
+                new_edb=len(added),
+                derived=len(self.instance) - size_before - len(added),
+                rounds=rounds,
+            )
         return PushResult(
             batch_size=len(batch),
             new_edb=len(added),
@@ -387,6 +400,7 @@ class DeltaSession:
                 "content-addressed digests"
             )
         batch = [self._as_fact(value) for value in facts]
+        retract_start = time.perf_counter_ns() if TRACER.enabled else 0
         removed_edb = 0
         for fact in batch:
             if fact in self._edb:
@@ -422,27 +436,41 @@ class DeltaSession:
         # ``None`` means marking aborted past the degeneration threshold —
         # the closure covers most of the materialisation, so per-fact
         # restoration would cost strictly more than evaluating cold.
-        marked = self._overdelete_closure(seeds, affected, stop)
+        with TRACER.span("retract.overdelete", seeds=len(seeds)):
+            marked = self._overdelete_closure(seeds, affected, stop)
         if marked is None:
-            return self._retract_degenerate(
-                len(batch), removed_edb, affected, changed
-            )
+            with TRACER.span("retract.degenerate", stratum=affected):
+                return self._retract_degenerate(
+                    len(batch), removed_edb, affected, changed
+                )
         # Phase 2: physical deletion (tombstones are logged for replicas).
-        discard = self.instance.discard
-        for fact in marked:
-            discard(fact)
-        STATS.retractions += len(marked)
+        with TRACER.span("retract.tombstone", marked=len(marked)):
+            discard = self.instance.discard
+            for fact in marked:
+                discard(fact)
+            STATS.retractions += len(marked)
         # Phase 3: restore survivors, strata ascending.
         rounds = 0
-        for stratum in range(affected, stop):
-            rounds += self._rederive_stratum(stratum, marked)
+        with TRACER.span("retract.rederive", strata=max(0, stop - affected)):
+            for stratum in range(affected, stop):
+                rounds += self._rederive_stratum(stratum, marked)
         # Phase 4: strata whose negation references shrank re-run cold.
         if rebuild_from is not None:
             self._rebuild(rebuild_from)
         rederived = sum(1 for fact in marked if fact in self.instance)
         STATS.rederived += rederived
-        collected = self._collect_nulls(marked, rebuild_from is not None)
+        with TRACER.span("retract.null_gc", marked=len(marked)):
+            collected = self._collect_nulls(marked, rebuild_from is not None)
         self.retractions += 1
+        if TRACER.enabled:
+            TRACER.record(
+                "delta.retract",
+                retract_start,
+                batch=len(batch),
+                overdeleted=len(marked),
+                rederived=rederived,
+                nulls_collected=collected,
+            )
         return RetractResult(
             batch_size=len(batch),
             removed_edb=removed_edb,
@@ -606,29 +634,30 @@ class DeltaSession:
         initial run would.  With deterministic nulls the unchanged
         derivations of the re-run strata come back byte-identical.
         """
-        stratum_of = self.stratification
-        kept = [
-            atom
-            for atom in self.instance
-            if stratum_of.get(atom.predicate, 0) < first
-        ]
-        extras = [
-            fact
-            for fact in self._edb
-            if stratum_of.get(fact.predicate, 0) >= first
-        ]
-        if self._session is not None:
-            self._session.close()
-            self._session = None
-        instance = Instance()
-        instance.bulk_load(kept)
-        instance.bulk_load(extras)
-        self.instance = instance
-        self._session = maybe_session(self.instance, self._all_compiled)
-        # The instance was swapped and the re-run strata re-derived: every
-        # cached constraint verdict is suspect.
-        self._constraint_cache = [None] * len(self._constraint_preds)
-        self._materialise_from(first)
+        with TRACER.span("delta.rebuild", first=first):
+            stratum_of = self.stratification
+            kept = [
+                atom
+                for atom in self.instance
+                if stratum_of.get(atom.predicate, 0) < first
+            ]
+            extras = [
+                fact
+                for fact in self._edb
+                if stratum_of.get(fact.predicate, 0) >= first
+            ]
+            if self._session is not None:
+                self._session.close()
+                self._session = None
+            instance = Instance()
+            instance.bulk_load(kept)
+            instance.bulk_load(extras)
+            self.instance = instance
+            self._session = maybe_session(self.instance, self._all_compiled)
+            # The instance was swapped and the re-run strata re-derived: every
+            # cached constraint verdict is suspect.
+            self._constraint_cache = [None] * len(self._constraint_preds)
+            self._materialise_from(first)
 
     def _window_delta(self, mark: int, mark_limits: Dict[str, int]) -> Instance:
         """The facts appended since ordinal ``mark``, as a delta instance.

@@ -62,6 +62,7 @@ from __future__ import annotations
 import atexit
 import os
 import pickle
+import time
 from array import array
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -72,6 +73,7 @@ from repro.engine.interning import TERMS
 from repro.engine.mode import get_worker_count, parallel_enabled
 from repro.engine.shard import ShardedInstance, merge_sharded, run_batch_sharded
 from repro.engine.stats import STATS
+from repro.obs.trace import TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle: database builds on engine
     from repro.datalog.database import Instance
@@ -531,6 +533,7 @@ class ParallelSession:
             and len(log) == self._synced_tombstones
         ):
             return
+        sync_start = time.perf_counter_ns() if TRACER.enabled else 0
         pool = self._pool
         c_start, n_start = pool.synced_terms
         consts, nulls = TERMS.delta_since(c_start, n_start)
@@ -587,6 +590,13 @@ class ParallelSession:
         pool.broadcast(("sync", payload))
         self._synced_count = instance._counter
         self._synced_tombstones = len(log)
+        if TRACER.enabled:
+            TRACER.record(
+                "parallel.sync",
+                sync_start,
+                bytes=len(payload) * self.n_workers,
+                workers=self.n_workers,
+            )
 
     def _delta_window(self, delta: Instance) -> Optional[Tuple[int, int]]:
         """The delta's ordinal range in the parent instance, or None.
@@ -627,6 +637,7 @@ class ParallelSession:
     def _dispatch(self, crule, spec) -> List[List[Tuple]]:
         """One match task; merged rows per plan, in spec order."""
         rule_id = self._rule_ids[crule.rule]
+        dispatch_start = time.perf_counter_ns() if TRACER.enabled else 0
         try:
             payloads = self._pool.match(rule_id, spec)
         except RuntimeError:
@@ -638,6 +649,13 @@ class ParallelSession:
             self._pool = None
             raise
         STATS.parallel_tasks += 1
+        if TRACER.enabled:
+            TRACER.record(
+                "parallel.dispatch",
+                dispatch_start,
+                rule=crule.rule.head[0].predicate,
+                workers=self.n_workers,
+            )
         n_plans = 1 if spec[0] == "full" else len(spec[3])
         return [
             merge_sharded([payload[i] for payload in payloads])

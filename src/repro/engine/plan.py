@@ -49,6 +49,7 @@ compiling from scratch.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.datalog.atoms import Atom
@@ -56,7 +57,8 @@ from repro.datalog.rules import Rule
 from repro.datalog.terms import Term, Variable
 from repro.engine import interning
 from repro.engine.interning import TERMS
-from repro.engine.stats import STATS
+from repro.engine.stats import active_stats
+from repro.obs.profile import PROFILER
 
 CHECK_CONST = 0
 CHECK_SLOT = 1
@@ -119,6 +121,7 @@ class JoinPlan:
         "prebound",
         "batch_plan",
         "pivot_flow",
+        "profile",
     )
 
     def __init__(
@@ -142,6 +145,10 @@ class JoinPlan:
         # Lazily-built (step0 position, later predicate, later position)
         # triples for the slot-bound pivot-viability test.
         self.pivot_flow: Optional[Tuple[Tuple[int, str, int], ...]] = None
+        # Per-step profiling accumulator, attached by repro.obs.profile on
+        # the first execution with profiling enabled; None costs the
+        # executors exactly one flag branch per run.
+        self.profile = None
 
     # -- execution ----------------------------------------------------------
 
@@ -298,6 +305,9 @@ class JoinPlan:
         return False
 
     def _run(self, source, initial, delta_source) -> Iterator[List[int]]:
+        if PROFILER.enabled:
+            yield from self._run_profiled(source, initial, delta_source)
+            return
         index, limits = source._plan_source()
         slots: List[Optional[int]] = [None] * self.n_slots
         if initial:
@@ -405,6 +415,189 @@ class JoinPlan:
             else:
                 depth += 1
                 start(depth)
+
+    def _run_profiled(self, source, initial, delta_source) -> Iterator[List[int]]:
+        """Profiled twin of :meth:`_run` — same matches, same order.
+
+        Deliberately duplicated rather than parameterised: the backtracker
+        is the row-mode hot loop and a per-candidate counter branch would
+        cost every unprofiled run.  Change the join logic in BOTH methods —
+        the parity suites fail on divergence.  Per-step counters here are
+        exact (candidates entering each depth, probe lookups, survivors);
+        the plan-level time is generator wall time and therefore includes
+        consumer time between yields (see ``docs/observability.md``).
+        """
+        profile = PROFILER.plan_profile(self)
+        step_profiles = profile.steps
+        run_start = time.perf_counter_ns()
+        emitted = 0
+        try:
+            index, limits = source._plan_source()
+            slots: List[Optional[int]] = [None] * self.n_slots
+            if initial:
+                slot_of = self.slot_of
+                for variable, value in initial.items():
+                    slot = slot_of.get(variable)
+                    if slot is not None:
+                        slots[slot] = _seed_id(value)
+            steps = self.steps
+            n_steps = len(steps)
+            if n_steps == 0:
+                emitted += 1
+                yield slots
+                return
+            if delta_source is not None:
+                delta_index, delta_limits = delta_source._plan_source()
+            else:
+                delta_index, delta_limits = index, limits
+
+            rows_s: List[Optional[List[Optional[Tuple[int, ...]]]]] = [None] * n_steps
+            ids_s: List[Optional[List[int]]] = [None] * n_steps
+            pos_s = [0] * n_steps
+            end_s = [0] * n_steps
+            cap_s = [0] * n_steps
+
+            def start(depth: int) -> None:
+                """Position the candidate cursor (counting rows in / probes)."""
+                step_profile = step_profiles[depth]
+                step_profile.rows_in += 1
+                step = steps[depth]
+                idx = delta_index if depth == 0 and delta_source is not None else index
+                lim = delta_limits if depth == 0 and delta_source is not None else limits
+                rows = idx.cols.get(step.predicate)
+                pos_s[depth] = 0
+                if not rows:
+                    rows_s[depth] = None
+                    end_s[depth] = 0
+                    return
+                best: Optional[List[int]] = None
+                for position, kind, payload in step.probes:
+                    value = payload if kind == PROBE_CONST else slots[payload]
+                    step_profile.probes += 1
+                    bucket = idx.postings.get((step.predicate, position, value))
+                    if bucket is None:
+                        rows_s[depth] = None
+                        end_s[depth] = 0
+                        return
+                    if best is None or len(bucket) < len(best):
+                        best = bucket
+                cap = (
+                    len(rows)
+                    if lim is None
+                    else min(len(rows), lim.get(step.predicate, 0))
+                )
+                rows_s[depth] = rows
+                ids_s[depth] = best
+                cap_s[depth] = cap
+                end_s[depth] = len(best) if best is not None else cap
+
+            depth = 0
+            start(0)
+            last = n_steps - 1
+            while depth >= 0:
+                step = steps[depth]
+                rows = rows_s[depth]
+                ids = ids_s[depth]
+                k = pos_s[depth]
+                end = end_s[depth]
+                cap = cap_s[depth]
+                ops = step.ops
+                arity = step.arity
+                advanced = False
+                while k < end:
+                    if ids is None:
+                        row_id = k
+                    else:
+                        row_id = ids[k]
+                        if row_id >= cap:
+                            k = end
+                            break
+                    k += 1
+                    fact = rows[row_id]
+                    if fact is None:
+                        continue
+                    if len(fact) != arity:
+                        continue
+                    ok = True
+                    for code, position, payload in ops:
+                        term = fact[position]
+                        if code == CHECK_CONST:
+                            if term == payload:
+                                continue
+                            ok = False
+                            break
+                        if code == CHECK_SLOT:
+                            if term == slots[payload]:
+                                continue
+                            ok = False
+                            break
+                        slots[payload] = term
+                    if ok:
+                        advanced = True
+                        break
+                pos_s[depth] = k
+                if not advanced:
+                    depth -= 1
+                    continue
+                step_profiles[depth].rows_out += 1
+                if depth == last:
+                    emitted += 1
+                    yield slots
+                else:
+                    depth += 1
+                    start(depth)
+        finally:
+            profile.executions += 1
+            profile.rows_out += emitted
+            profile.time_ns += time.perf_counter_ns() - run_start
+
+    # -- introspection -------------------------------------------------------
+
+    def describe(self) -> List[str]:
+        """The compiled step order as human-readable lines (EXPLAIN body).
+
+        Constant IDs are decoded back to spellings, slot indices to the
+        variable names that own them; each line shows what the step scans
+        or probes and which variables it binds.
+        """
+        slot_names = {slot: variable.name for variable, slot in self.slot_of.items()}
+
+        def term_text(tid) -> str:
+            if type(tid) is not int:
+                return repr(tid)
+            try:
+                return str(TERMS.term(tid))
+            except (IndexError, KeyError):  # pragma: no cover - stale ID
+                return f"<id {tid}>"
+
+        lines: List[str] = []
+        for i, step in enumerate(self.steps):
+            probes = []
+            for position, kind, payload in step.probes:
+                value = (
+                    term_text(payload)
+                    if kind == PROBE_CONST
+                    else f"?{slot_names.get(payload, payload)}"
+                )
+                probes.append(f"[{position}]={value}")
+            binds = []
+            checks = []
+            for code, position, payload in step.ops:
+                if code == BIND_SLOT:
+                    binds.append(f"?{slot_names.get(payload, payload)}")
+                elif code == CHECK_SLOT and not any(
+                    kind == PROBE_SLOT and probe_payload == payload
+                    for _, kind, probe_payload in step.probes
+                ):
+                    checks.append(f"[{position}]==?{slot_names.get(payload, payload)}")
+            access = f"probe {{{', '.join(probes)}}}" if probes else "scan"
+            line = f"step {i}: {step.atom}  {access}"
+            if binds:
+                line += f"  bind [{', '.join(binds)}]"
+            if checks:
+                line += f"  check [{', '.join(checks)}]"
+            lines.append(line)
+        return lines
 
 
 class _NegationProbe:
@@ -666,7 +859,7 @@ class CompiledRule:
                 continue
             plan = self.pivot_plans[pivot]
             if not plan.pivot_viable(delta_index, full_index):
-                STATS.pivots_skipped += 1
+                active_stats().pivots_skipped += 1
                 continue
             yield from plan.execute(instance, None, delta_source=delta)
 
@@ -717,7 +910,7 @@ class CompiledRule:
                 continue
             plan = self.pivot_plans[pivot]
             if not plan.pivot_viable(delta_index, full_index):
-                STATS.pivots_skipped += 1
+                active_stats().pivots_skipped += 1
                 continue
             rows = plan.run_batch(instance, None, delta_source=delta)
             if self.negation and negation_reference is not None:
@@ -787,6 +980,10 @@ class CompiledRule:
                 blocked = memo[key] = _negation_hit(templates, row, has_key, reference)
             if not blocked:
                 append(row)
+        if PROFILER.enabled:
+            profile = PROFILER.plan_profile(plan)
+            profile.neg_in += len(rows)
+            profile.neg_blocked += len(rows) - len(kept)
         return kept
 
     def negation_blocked(self, substitution: Dict[Variable, Term], reference) -> bool:
@@ -821,6 +1018,62 @@ class CompiledRule:
                 atom.apply(substitution) in instance for atom in self.rule.head
             )
         return self.head_plan.exists(instance, substitution)
+
+    # -- introspection -------------------------------------------------------
+
+    def explain(self) -> str:
+        """EXPLAIN text: the compiled plans, plus profile counters if any.
+
+        Always renders the full-body plan's step order
+        (:meth:`JoinPlan.describe`) and the negated atoms; when profiling
+        has run (:data:`repro.obs.profile.PROFILER` enabled during some
+        execution), each executed plan additionally reports its
+        accumulated executions, per-step candidate/probe/survivor counts,
+        and negation pre-filter hits.  Pivot plans appear only once they
+        have executed — an un-run pivot carries no information.
+        """
+        lines = [f"rule: {self.rule}"]
+        lines.append("plan:")
+        for line in self.plan.describe():
+            lines.append(f"  {line}")
+        if self.negation:
+            lines.append(
+                "negation: "
+                + ", ".join(f"not {probe.atom}" for probe in self.negation)
+            )
+        lines.extend(_profile_lines(self.plan.profile, indent="  "))
+        for pivot, plan in enumerate(self.pivot_plans):
+            profile = plan.profile
+            if profile is None or not profile.executions:
+                continue
+            lines.append(
+                f"pivot {pivot} ({self.rule.body_positive[pivot]} from delta):"
+            )
+            for line in plan.describe():
+                lines.append(f"  {line}")
+            lines.extend(_profile_lines(profile, indent="  "))
+        return "\n".join(lines)
+
+
+def _profile_lines(profile, indent: str) -> List[str]:
+    """Render one plan's accumulated profile as EXPLAIN lines (or nothing)."""
+    if profile is None or not profile.executions:
+        return []
+    lines = [
+        f"{indent}profile: executions={profile.executions} "
+        f"rows_out={profile.rows_out} time_us={profile.time_ns // 1000}"
+    ]
+    for i, step in enumerate(profile.steps):
+        lines.append(
+            f"{indent}  step {i}: rows_in={step.rows_in} probes={step.probes} "
+            f"rows_out={step.rows_out} time_us={step.time_ns // 1000}"
+        )
+    if profile.neg_in:
+        lines.append(
+            f"{indent}  negation: rows_in={profile.neg_in} "
+            f"blocked={profile.neg_blocked}"
+        )
+    return lines
 
 
 # -- compilation ---------------------------------------------------------------

@@ -36,10 +36,26 @@ Two classes of counter coexist:
 
 The counters are advisory instrumentation: they are not thread-safe and must
 never influence evaluation results.
+
+**Thread scoping.**  The blob's single-writer assumption holds for the
+harness and the service's writer thread, but the query service also runs
+engine code on concurrent *reader* threads.  Those threads must not mutate
+the global blob (lost updates would silently corrupt the writer's gated
+counters), so the shared counter sites consult :func:`active_stats` — the
+thread's scratch :class:`EngineStats` bound by :func:`local_stats`, or
+:data:`STATS` when none is bound.  The service's read path binds a scratch
+blob around every query (:meth:`repro.service.view.MaterializedView.read`);
+single-threaded callers never bind one and keep the exact historical
+behaviour.  Only the sites reachable from reader threads pay the lookup —
+the per-trigger hot counters of the chase and semi-naive loops run on the
+writer thread (or in worker processes with their own module globals) and
+keep writing :data:`STATS` directly.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 
@@ -124,3 +140,31 @@ class EngineStats:
 
 
 STATS = EngineStats()
+
+_LOCAL = threading.local()
+
+
+def active_stats() -> EngineStats:
+    """The stats blob for this thread: the bound scratch one, else :data:`STATS`."""
+    local = getattr(_LOCAL, "stats", None)
+    return STATS if local is None else local
+
+
+@contextmanager
+def local_stats(stats: EngineStats = None):
+    """Bind a scratch :class:`EngineStats` for this thread's counter sites.
+
+    While bound, every counter site that goes through :func:`active_stats`
+    lands in the scratch blob instead of the process-global one — the
+    isolation the service's concurrent readers rely on.  Bindings nest;
+    the previous binding (or none) is restored on exit.  Yields the bound
+    blob so callers can inspect what their scope accumulated.
+    """
+    if stats is None:
+        stats = EngineStats()
+    previous = getattr(_LOCAL, "stats", None)
+    _LOCAL.stats = stats
+    try:
+        yield stats
+    finally:
+        _LOCAL.stats = previous

@@ -1,0 +1,359 @@
+"""A thread-safe labeled metrics registry with Prometheus text exposition.
+
+The engine's :data:`~repro.engine.stats.STATS` blob is deliberately not
+thread-safe (single measured run, one writer); a long-lived service needs
+the opposite: counters, gauges, and histograms that many reader threads
+bump concurrently, scraped over HTTP.  This module is that layer —
+stdlib-only, one lock per registry, deterministic rendering in the
+Prometheus text exposition format (version 0.0.4).
+
+Three instrument kinds:
+
+* :class:`Counter` — monotonically increasing; ``inc(n)``, plus
+  ``set_total(v)`` for mirroring an externally-maintained monotonic value
+  (the engine counters are mirrored into ``repro_engine_*_total`` this way
+  at scrape time).
+* :class:`Gauge` — a value that goes up and down; ``set(v)`` / ``inc`` /
+  ``dec``.  Scrape-time gauges (per-predicate tombstone ratios, readers
+  pinned) are recomputed on every render.
+* :class:`Histogram` — cumulative fixed buckets plus ``_sum``/``_count``;
+  ``observe(v)``.  Buckets are fixed at creation, so two runs over the same
+  workload land observations in identical buckets
+  (``tests/test_obs_metrics.py`` pins this determinism).
+
+Instruments are created idempotently through the registry
+(:meth:`MetricsRegistry.counter` etc. return the existing instrument on a
+repeated name) and support label dimensions via :meth:`_Instrument.labels`.
+:meth:`MetricsRegistry.render` produces the ``/metrics`` payload;
+:meth:`MetricsRegistry.collect` produces the JSON-able dict folded into
+``/stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Sequence, Tuple
+
+#: Latency buckets (seconds) shared by the service histograms — wide enough
+#: for a cold LUBM query, fine enough near the p50 of an indexed lookup.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the exposition format (backslash, quote, LF)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value) -> str:
+    """Render a sample value: integers stay integral, floats use repr."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _label_str(labelnames: Sequence[str], labelvalues: Sequence[str]) -> str:
+    """``{a="x",b="y"}`` (or the empty string for unlabeled samples)."""
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + pairs + "}"
+
+
+class _Instrument:
+    """Shared child bookkeeping for the three instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str], lock):
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = lock
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def labels(self, *labelvalues) -> object:
+        """The child instrument for one label-value combination."""
+        if len(labelvalues) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, got {labelvalues!r}"
+            )
+        key = tuple(str(value) for value in labelvalues)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = self._new_child(self._lock)
+            return child
+
+    def _default_child(self):
+        """The single child of an unlabeled instrument (created lazily)."""
+        return self.labels()
+
+    def _new_child(self, lock):  # pragma: no cover - overridden by every kind
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Drop every child (scrape-time gauges rebuild their label sets)."""
+        with self._lock:
+            self._children.clear()
+
+    def _sorted_children(self) -> List[Tuple[Tuple[str, ...], object]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class _CounterChild:
+    """One labeled counter series (increments hold the registry lock)."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self, lock):
+        self.value = 0
+        self._lock = lock
+
+    def inc(self, amount=1) -> None:
+        """Add ``amount`` (must be non-negative) to the series."""
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self.value += amount
+
+    def set_total(self, value) -> None:
+        """Overwrite the running total (mirroring an external monotonic value)."""
+        with self._lock:
+            self.value = value
+
+
+class Counter(_Instrument):
+    """A monotonically increasing metric, optionally labeled."""
+
+    kind = "counter"
+
+    def _new_child(self, lock) -> _CounterChild:
+        return _CounterChild(lock)
+
+    def inc(self, amount=1) -> None:
+        """Increment the unlabeled series."""
+        self._default_child().inc(amount)
+
+    def set_total(self, value) -> None:
+        """Overwrite the unlabeled series' total (external mirror)."""
+        self._default_child().set_total(value)
+
+
+class _GaugeChild:
+    """One labeled gauge series (updates hold the registry lock)."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self, lock):
+        self.value = 0
+        self._lock = lock
+
+    def set(self, value) -> None:
+        """Set the series to ``value``."""
+        with self._lock:
+            self.value = value
+
+    def inc(self, amount=1) -> None:
+        """Add ``amount`` (may be negative)."""
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount=1) -> None:
+        """Subtract ``amount``."""
+        with self._lock:
+            self.value -= amount
+
+
+class Gauge(_Instrument):
+    """A metric that can go up and down, optionally labeled."""
+
+    kind = "gauge"
+
+    def _new_child(self, lock) -> _GaugeChild:
+        return _GaugeChild(lock)
+
+    def set(self, value) -> None:
+        """Set the unlabeled series."""
+        self._default_child().set(value)
+
+
+class _HistogramChild:
+    """One labeled histogram series: bucket counts, sum, and count."""
+
+    __slots__ = ("buckets", "counts", "total", "count", "_lock")
+
+    def __init__(self, buckets: Tuple[float, ...], lock):
+        self.buckets = buckets
+        self.counts = [0] * len(buckets)
+        self.total = 0.0
+        self.count = 0
+        self._lock = lock
+
+    def observe(self, value) -> None:
+        """Record one observation (cumulative bucket counts, under the lock)."""
+        with self._lock:
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[i] += 1
+            self.total += value
+            self.count += 1
+
+    def snapshot(self) -> dict:
+        """JSON-able view: cumulative bucket counts keyed by upper bound."""
+        return {
+            "buckets": {
+                _format_value(bound): self.counts[i]
+                for i, bound in enumerate(self.buckets)
+            },
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class Histogram(_Instrument):
+    """A fixed-bucket cumulative histogram, optionally labeled."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help_text, labelnames, lock, buckets=DEFAULT_BUCKETS):
+        super().__init__(name, help_text, labelnames, lock)
+        self.buckets = tuple(sorted(buckets))
+
+    def _new_child(self, lock) -> _HistogramChild:
+        return _HistogramChild(self.buckets, lock)
+
+    def observe(self, value) -> None:
+        """Record one observation on the unlabeled series."""
+        self._default_child().observe(value)
+
+
+class MetricsRegistry:
+    """A named collection of instruments with deterministic exposition.
+
+    Creation methods are idempotent by name (re-registering returns the
+    existing instrument; a kind or label mismatch raises), so modules can
+    declare their instruments at import time without coordination.
+    """
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _register(self, cls, name, help_text, labelnames, **kwargs) -> _Instrument:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered with a different "
+                        f"kind or label set"
+                    )
+                return existing
+            instrument = cls(name, help_text, labelnames, self._lock, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> Counter:
+        """Create (or fetch) a :class:`Counter`."""
+        return self._register(Counter, name, help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> Gauge:
+        """Create (or fetch) a :class:`Gauge`."""
+        return self._register(Gauge, name, help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Create (or fetch) a :class:`Histogram` with fixed buckets."""
+        return self._register(
+            Histogram, name, help_text, labelnames, buckets=tuple(buckets)
+        )
+
+    def reset(self) -> None:
+        """Zero the registry by dropping every instrument's series.
+
+        Registrations survive — modules hold instrument references created
+        at import time, so dropping the instruments themselves would orphan
+        those handles.  Tests isolate themselves with this.
+        """
+        with self._lock:
+            for instrument in self._instruments.values():
+                instrument.clear()
+
+    # -- exposition ----------------------------------------------------------
+
+    def render(self) -> str:
+        """The registry in Prometheus text exposition format (0.0.4).
+
+        Deterministic: instruments sorted by name, children by label
+        values, histogram buckets ascending with a trailing ``+Inf``.
+        """
+        lines: List[str] = []
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        for name, instrument in instruments:
+            children = instrument._sorted_children()
+            if not children:
+                continue
+            lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            labelnames = instrument.labelnames
+            for labelvalues, child in children:
+                labels = _label_str(labelnames, labelvalues)
+                if instrument.kind == "histogram":
+                    prefix = labels[1:-1] + "," if labels else ""
+                    cumulative = 0
+                    for i, bound in enumerate(child.buckets):
+                        cumulative = child.counts[i]
+                        lines.append(
+                            f'{name}_bucket{{{prefix}le="{_format_value(bound)}"}}'
+                            f" {cumulative}"
+                        )
+                    lines.append(f'{name}_bucket{{{prefix}le="+Inf"}} {child.count}')
+                    lines.append(f"{name}_sum{labels} {_format_value(child.total)}")
+                    lines.append(f"{name}_count{labels} {child.count}")
+                else:
+                    lines.append(f"{name}{labels} {_format_value(child.value)}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def collect(self) -> dict:
+        """A JSON-able snapshot of every instrument (folded into ``/stats``).
+
+        Counters and gauges map label strings (or ``""`` when unlabeled) to
+        values; histograms to ``{"buckets": ..., "sum": ..., "count": ...}``.
+        """
+        document: Dict[str, dict] = {}
+        with self._lock:
+            instruments = sorted(self._instruments.items())
+        for name, instrument in instruments:
+            children = instrument._sorted_children()
+            if not children:
+                continue
+            values = {}
+            for labelvalues, child in children:
+                key = _label_str(instrument.labelnames, labelvalues)
+                if instrument.kind == "histogram":
+                    values[key] = child.snapshot()
+                else:
+                    values[key] = child.value
+            document[name] = {"type": instrument.kind, "values": values}
+        return document
+
+
+#: The process-global registry the service exposes at ``GET /metrics``.
+REGISTRY = MetricsRegistry()

@@ -1,13 +1,15 @@
 """A stdlib-``asyncio`` HTTP front end for the materialized query service.
 
-No web framework — the container has none, and the protocol surface is six
-JSON endpoints over HTTP/1.1 with keep-alive:
+No web framework — the container has none, and the protocol surface is seven
+endpoints over HTTP/1.1 with keep-alive (six JSON, one Prometheus text):
 
 ========  ==================  =================================================
 method    path                behaviour
 ========  ==================  =================================================
 GET       ``/healthz``        liveness + published watermark/epoch
 GET       ``/stats``          :meth:`MaterializedView.stats` counters
+GET       ``/metrics``        Prometheus text exposition (query latency
+                              histograms, engine counters, index health)
 GET       ``/query``          ``?q=<SPARQL>&mode=U|All`` → sorted answer rows
 POST      ``/push``           body ``{"triples": [[s, p, o], ...]}`` → push
                               summary + new watermark
@@ -34,6 +36,7 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
@@ -190,15 +193,22 @@ class QueryService:
         return method, target, headers, body
 
     @staticmethod
-    def _write_response(writer, status: int, payload: dict, keep_alive: bool) -> None:
+    def _write_response(writer, status: int, payload, keep_alive: bool) -> None:
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   405: "Method Not Allowed", 409: "Conflict",
                   413: "Payload Too Large", 431: "Request Header Fields Too Large",
                   500: "Internal Server Error"}.get(status, "OK")
-        body = json.dumps(payload, separators=(",", ":")).encode()
+        if isinstance(payload, str):
+            # Prometheus text exposition (GET /metrics); everything else
+            # on the protocol surface is JSON.
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+            body = payload.encode()
+        else:
+            content_type = "application/json"
+            body = json.dumps(payload, separators=(",", ":")).encode()
         writer.write(
             f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n".encode() + body
@@ -213,6 +223,8 @@ class QueryService:
             return 200, self._healthz()
         if path == "/stats" and method == "GET":
             return 200, self.view.stats()
+        if path == "/metrics" and method == "GET":
+            return 200, await self._metrics()
         if path == "/query" and method == "GET":
             return 200, await self._query(query)
         if path == "/push" and method == "POST":
@@ -221,8 +233,8 @@ class QueryService:
             return 200, await self._retract(body)
         if path == "/rematerialize" and method == "POST":
             return 200, await self._rematerialize()
-        if path in ("/healthz", "/stats", "/query", "/push", "/retract",
-                    "/rematerialize"):
+        if path in ("/healthz", "/stats", "/metrics", "/query", "/push",
+                    "/retract", "/rematerialize"):
             raise HTTPError(405, f"{method} not allowed on {path}")
         raise HTTPError(404, f"no such endpoint {path}")
 
@@ -236,6 +248,11 @@ class QueryService:
             "epoch": snapshot.epoch,
             "consistent": snapshot.consistent,
         }
+
+    async def _metrics(self) -> str:
+        """Render the Prometheus exposition on a reader thread."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._readers, self.view.metrics_text)
 
     async def _query(self, params: dict) -> dict:
         texts = params.get("q")
@@ -251,9 +268,13 @@ class QueryService:
         loop = asyncio.get_running_loop()
 
         def evaluate():
+            start = time.perf_counter()
             with self.view.read() as snapshot:
-                self.view.queries_served += 1
-                return snapshot, snapshot.query(query, mode)
+                result = snapshot.query(query, mode)
+            self.view.record_query(
+                mode, time.perf_counter() - start, texts[0], snapshot
+            )
+            return snapshot, result
 
         snapshot, result = await loop.run_in_executor(self._readers, evaluate)
         consistent, rows = _serialize_answers(result)

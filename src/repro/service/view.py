@@ -40,13 +40,18 @@ longer matches) and refuse to decode.
 
 from __future__ import annotations
 
+import os
 import threading
+import time
+from collections import deque
 from contextlib import contextmanager
-from typing import FrozenSet, Iterator, Set, Union
+from typing import FrozenSet, Iterator, Optional, Set, Union
 
 from repro.datalog.semantics import INCONSISTENT
 from repro.engine.incremental import DeltaSession, PushResult, RetractResult
 from repro.engine.interning import TERMS
+from repro.engine.stats import STATS, local_stats
+from repro.obs.metrics import REGISTRY
 from repro.owl.entailment_rules import owl2ql_core_program
 from repro.rdf.graph import RDFGraph
 from repro.sparql.ast import GraphPattern
@@ -56,6 +61,63 @@ from repro.translation.entailment_regime import (
     ACTIVE_DOMAIN_MODE,
     active_domain_ids,
     evaluate_view_ids,
+)
+
+
+#: Milliseconds above which a query lands in the slow-query log; overridable
+#: per process via the ``REPRO_SLOW_QUERY_MS`` environment variable.
+DEFAULT_SLOW_QUERY_MS = 100.0
+
+# Service-level instruments.  The registry is idempotent, so re-importing the
+# module (or constructing several views) reuses the same instruments.
+_QUERIES = REGISTRY.counter(
+    "repro_queries_total", "Queries served by the materialized view.", ("mode",)
+)
+_QUERY_SECONDS = REGISTRY.histogram(
+    "repro_query_seconds", "Query latency in seconds.", ("mode",)
+)
+_SLOW_QUERIES = REGISTRY.counter(
+    "repro_slow_queries_total", "Queries slower than the slow-query threshold."
+)
+_WRITES = REGISTRY.counter(
+    "repro_writes_total", "Writer operations applied to the view.", ("op",)
+)
+_WRITE_SECONDS = REGISTRY.histogram(
+    "repro_write_seconds", "Writer operation latency in seconds.", ("op",)
+)
+_VIEW_FACTS = REGISTRY.gauge(
+    "repro_view_facts", "Materialized facts in the writer's instance."
+)
+_VIEW_WATERMARK = REGISTRY.gauge(
+    "repro_view_watermark", "Published insertion-ordinal high-water mark."
+)
+_VIEW_EPOCH = REGISTRY.gauge(
+    "repro_view_epoch", "Term-table epoch of the published snapshot."
+)
+_VIEW_CONSISTENT = REGISTRY.gauge(
+    "repro_view_consistent", "1 when the published materialization is consistent."
+)
+_READERS_PINNED = REGISTRY.gauge(
+    "repro_snapshot_readers_pinned", "Readers currently pinning a snapshot."
+)
+_TERM_CONSTANTS = REGISTRY.gauge(
+    "repro_term_table_constants", "Interned constants in the term table."
+)
+_TERM_NULLS = REGISTRY.gauge(
+    "repro_term_table_nulls", "Interned invented nulls in the term table."
+)
+_TERM_ORPHANED = REGISTRY.gauge(
+    "repro_term_table_orphaned_nulls",
+    "Null dictionary entries no materialized fact references.",
+)
+_PRED_LIVE = REGISTRY.gauge(
+    "repro_predicate_live_rows", "Live (non-tombstoned) rows per predicate.",
+    ("predicate",),
+)
+_PRED_TOMBSTONE = REGISTRY.gauge(
+    "repro_predicate_tombstone_ratio",
+    "Fraction of a predicate's index rows that are tombstones.",
+    ("predicate",),
 )
 
 
@@ -164,6 +226,15 @@ class MaterializedView:
         self.pushes = 0
         self.retractions = 0
         self.queries_served = 0
+        # Query bookkeeping shared by concurrent reader threads: the bare
+        # ``queries_served += 1`` read-modify-write is a lost-update race, so
+        # every reader-side counter mutation goes through this lock
+        # (:meth:`record_query`).
+        self._stats_lock = threading.Lock()
+        self.slow_query_ms = float(
+            os.environ.get("REPRO_SLOW_QUERY_MS", "") or DEFAULT_SLOW_QUERY_MS
+        )
+        self._slow_queries: deque = deque(maxlen=32)
         self._session = DeltaSession(self._program, initial)
         self._published = self._publish()
 
@@ -210,6 +281,11 @@ class MaterializedView:
         Pushes never wait for readers — only :meth:`rematerialize` drains
         them, because an epoch reset is the one writer operation that
         invalidates already-published state.
+
+        The read runs under a thread-local scratch
+        :class:`~repro.engine.stats.EngineStats` binding: any advisory
+        counter a reader-thread evaluation bumps lands in a throwaway blob
+        instead of racing the writer's global one.
         """
         with self._gate:
             while self._draining:
@@ -217,7 +293,8 @@ class MaterializedView:
             self._active_readers += 1
             snapshot = self._published
         try:
-            yield snapshot
+            with local_stats():
+                yield snapshot
         finally:
             with self._gate:
                 self._active_readers -= 1
@@ -230,19 +307,53 @@ class MaterializedView:
         mode: str = ACTIVE_DOMAIN_MODE,
     ):
         """Snapshot-isolated decoded answers, or ``INCONSISTENT``."""
+        start = time.perf_counter()
         with self.read() as snapshot:
+            result = snapshot.query(pattern, mode)
+        self.record_query(mode, time.perf_counter() - start, pattern, snapshot)
+        return result
+
+    def record_query(
+        self,
+        mode: str,
+        seconds: float,
+        pattern=None,
+        snapshot: Optional[ViewSnapshot] = None,
+    ) -> None:
+        """Account one served query: counter, latency histogram, slow log.
+
+        Thread-safe — this is the only mutation path for
+        ``queries_served`` and the slow-query log, and it runs on whichever
+        reader thread evaluated the query.
+        """
+        with self._stats_lock:
             self.queries_served += 1
-            return snapshot.query(pattern, mode)
+        _QUERIES.labels(mode).inc()
+        _QUERY_SECONDS.labels(mode).observe(seconds)
+        if seconds * 1000.0 >= self.slow_query_ms:
+            _SLOW_QUERIES.inc()
+            entry = {
+                "query": str(pattern)[:200] if pattern is not None else None,
+                "mode": mode,
+                "ms": round(seconds * 1000.0, 3),
+                "watermark": snapshot.watermark if snapshot else None,
+                "epoch": snapshot.epoch if snapshot else None,
+            }
+            with self._stats_lock:
+                self._slow_queries.append(entry)
 
     # -- writes --------------------------------------------------------------
 
     def push(self, facts) -> PushResult:
         """Apply one writer batch, then publish the post-push state."""
+        start = time.perf_counter()
         with self._write_lock:
             result = self._session.push(facts)
             self.pushes += 1
             self._published = self._publish()
-            return result
+        _WRITES.labels("push").inc()
+        _WRITE_SECONDS.labels("push").observe(time.perf_counter() - start)
+        return result
 
     def retract(self, facts) -> RetractResult:
         """Remove one writer batch (DRed), then publish the repaired state.
@@ -254,11 +365,14 @@ class MaterializedView:
         not drained (unlike :meth:`rematerialize`): their queries fail fast
         on the generation check rather than block the writer.
         """
+        start = time.perf_counter()
         with self._write_lock:
             result = self._session.retract(facts)
             self.retractions += 1
             self._published = self._publish()
-            return result
+        _WRITES.labels("retract").inc()
+        _WRITE_SECONDS.labels("retract").observe(time.perf_counter() - start)
+        return result
 
     def rematerialize(self) -> int:
         """Reclaim null dictionary space: new epoch, fresh materialization.
@@ -269,6 +383,7 @@ class MaterializedView:
         it.  Returns the new epoch ordinal.  Snapshots published before the
         call raise :class:`StaleSnapshotError` on further use.
         """
+        start = time.perf_counter()
         with self._write_lock:
             edb = list(self._session._edb)
             self._session.close()
@@ -289,6 +404,10 @@ class MaterializedView:
                 with self._gate:
                     self._draining = False
                     self._gate.notify_all()
+            _WRITES.labels("rematerialize").inc()
+            _WRITE_SECONDS.labels("rematerialize").observe(
+                time.perf_counter() - start
+            )
             return epoch
 
     def close(self) -> None:
@@ -304,12 +423,15 @@ class MaterializedView:
     def stats(self) -> dict:
         """Counters for the service's ``/stats`` endpoint."""
         published = self._published
+        with self._stats_lock:
+            queries_served = self.queries_served
+            slow_queries = list(self._slow_queries)
         return {
             "facts": len(self._session.instance),
             "edb_facts": len(self._session._edb),
             "pushes": self.pushes,
             "retractions": self.retractions,
-            "queries_served": self.queries_served,
+            "queries_served": queries_served,
             "watermark": published.watermark,
             "epoch": published.epoch,
             "consistent": published.consistent,
@@ -318,4 +440,63 @@ class MaterializedView:
                 "nulls": TERMS.counts()[1],
                 "orphaned_nulls": TERMS.orphaned_nulls,
             },
+            "maintenance": self.maintenance(),
+            "slow_queries": slow_queries,
+            "metrics": REGISTRY.collect(),
         }
+
+    def maintenance(self) -> dict:
+        """Index and dictionary health: tombstones, term table, pinned readers."""
+        index = self._session.instance._index
+        predicates = {}
+        for predicate in sorted(index.rows):
+            total = len(index.rows[predicate])
+            live = index.live.get(predicate, 0)
+            predicates[predicate] = {
+                "rows": total,
+                "live": live,
+                "tombstone_ratio": (
+                    round(1.0 - live / total, 6) if total else 0.0
+                ),
+            }
+        constants, nulls = TERMS.counts()
+        with self._gate:
+            readers = self._active_readers
+        return {
+            "predicates": predicates,
+            "term_table": {
+                "constants": constants,
+                "nulls": nulls,
+                "orphaned_nulls": TERMS.orphaned_nulls,
+                "epoch": TERMS.epoch(),
+            },
+            "readers_pinned": readers,
+        }
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition body for ``GET /metrics``.
+
+        Scrape-time gauges (view state, index health, term table) are
+        refreshed first, and the engine's advisory counter blob is mirrored
+        as ``repro_engine_<counter>_total`` series.
+        """
+        published = self._published
+        _VIEW_FACTS.set(len(self._session.instance))
+        _VIEW_WATERMARK.set(published.watermark)
+        _VIEW_EPOCH.set(published.epoch)
+        _VIEW_CONSISTENT.set(1 if published.consistent else 0)
+        health = self.maintenance()
+        _READERS_PINNED.set(health["readers_pinned"])
+        term_table = health["term_table"]
+        _TERM_CONSTANTS.set(term_table["constants"])
+        _TERM_NULLS.set(term_table["nulls"])
+        _TERM_ORPHANED.set(term_table["orphaned_nulls"])
+        for predicate, entry in health["predicates"].items():
+            _PRED_LIVE.labels(predicate).set(entry["live"])
+            _PRED_TOMBSTONE.labels(predicate).set(entry["tombstone_ratio"])
+        for name, value in STATS.snapshot().items():
+            REGISTRY.counter(
+                f"repro_engine_{name}_total",
+                f"Engine advisory counter {name} (process-global).",
+            ).set_total(value)
+        return REGISTRY.render()

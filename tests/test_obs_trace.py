@@ -1,0 +1,150 @@
+"""Unit tests for the engine span tracer (repro.obs.trace).
+
+The overhead contract — disabled tracing hands out a shared no-op span and
+records nothing — and the enabled behaviour: nesting depths, monotonic
+relative timings, ring-buffer bounding with a drop counter, and JSON export.
+Engine-level neutrality (tracing on changes no results/counters) lives in
+``tests/test_obs_neutrality.py``.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.obs.trace import _NULL_SPAN, TRACER, Tracer
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(capacity=16)
+
+
+class TestDisabled:
+    def test_disabled_by_default(self, tracer):
+        assert tracer.enabled is False
+        assert TRACER.enabled is False
+
+    def test_span_returns_shared_null_span(self, tracer):
+        span = tracer.span("anything", key="value")
+        assert span is _NULL_SPAN
+        assert tracer.span("other") is span
+
+    def test_null_span_records_nothing(self, tracer):
+        with tracer.span("phase"):
+            pass
+        assert tracer.events() == []
+
+    def test_null_span_enter_yields_none(self, tracer):
+        with tracer.span("phase") as span:
+            assert span is None
+
+
+class TestEnabled:
+    def test_span_records_one_event_with_attrs(self, tracer):
+        tracer.enable()
+        with tracer.span("push.stratum", stratum=3):
+            pass
+        events = tracer.events()
+        assert len(events) == 1
+        event = events[0]
+        assert event["name"] == "push.stratum"
+        assert event["attrs"] == {"stratum": 3}
+        assert event["depth"] == 0
+        assert event["duration_us"] >= 0
+
+    def test_live_span_accepts_attrs_between_enter_and_exit(self, tracer):
+        tracer.enable()
+        with tracer.span("phase") as span:
+            span.attrs["rounds"] = 7
+        assert tracer.events()[0]["attrs"] == {"rounds": 7}
+
+    def test_nesting_depths(self, tracer):
+        tracer.enable()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        by_name = {event["name"]: event for event in tracer.events()}
+        assert by_name["outer"]["depth"] == 0
+        assert by_name["inner"]["depth"] == 1
+        assert by_name["sibling"]["depth"] == 1
+
+    def test_inner_spans_recorded_before_outer(self, tracer):
+        # Events land in the ring at span *exit*, so the inner span appears
+        # first; start_us still orders them by start time.
+        tracer.enable()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [event["name"] for event in tracer.events()]
+        assert names == ["inner", "outer"]
+
+    def test_record_leaf_event(self, tracer):
+        tracer.enable()
+        start = time.perf_counter_ns()
+        tracer.record("chase.round", start, steps=12)
+        events = tracer.events()
+        assert events[0]["name"] == "chase.round"
+        assert events[0]["attrs"] == {"steps": 12}
+
+    def test_start_us_is_relative_to_first_event(self, tracer):
+        tracer.enable()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        events = tracer.events()
+        assert events[0]["start_us"] == 0
+        assert events[1]["start_us"] >= events[0]["start_us"]
+
+
+class TestRing:
+    def test_ring_bounds_memory_and_counts_drops(self):
+        tracer = Tracer(capacity=4)
+        tracer.enable()
+        for i in range(10):
+            with tracer.span("event", i=i):
+                pass
+        events = tracer.events()
+        assert len(events) == 4
+        assert tracer.dropped == 6
+        # Oldest-first: the survivors are the last four spans.
+        assert [event["attrs"]["i"] for event in events] == [6, 7, 8, 9]
+
+    def test_enable_resizes_and_clears(self, tracer):
+        tracer.enable()
+        with tracer.span("old"):
+            pass
+        tracer.enable(capacity=2)
+        assert tracer.events() == []
+        assert tracer.capacity == 2
+
+    def test_clear_keeps_switch_state(self, tracer):
+        tracer.enable()
+        with tracer.span("old"):
+            pass
+        tracer.clear()
+        assert tracer.events() == []
+        assert tracer.enabled is True
+
+    def test_disable_keeps_events_readable(self, tracer):
+        tracer.enable()
+        with tracer.span("kept"):
+            pass
+        tracer.disable()
+        assert [event["name"] for event in tracer.events()] == ["kept"]
+
+
+class TestExport:
+    def test_export_json_round_trips(self, tracer, tmp_path):
+        tracer.enable()
+        with tracer.span("phase", label="x"):
+            pass
+        path = tmp_path / "trace.json"
+        tracer.export_json(path)
+        document = json.loads(path.read_text())
+        assert document["dropped"] == 0
+        assert document["events"][0]["name"] == "phase"
+        assert document["events"][0]["attrs"] == {"label": "x"}
