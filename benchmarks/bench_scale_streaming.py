@@ -86,22 +86,34 @@ _RECOMPUTE_MEMO = {}
 
 
 def _time_recompute(key, program, initial_atoms, batch_atoms, engine):
-    """Wall time of cold-evaluating after the load and after every arrival."""
+    """Wall time of cold-evaluating after the load and after every arrival.
+
+    Best of two probes: the ``incremental_speedup`` this feeds is gated
+    against half its baseline value, and a single multi-second probe on a
+    busy 1-core runner swings ~2x process to process — enough to record a
+    lucky-high baseline that later honest runs cannot reach.  The minimum
+    of two probes is a stable lower bound on the recompute cost, which
+    keeps the recorded ratio conservative on both sides of the gate.
+    """
     from repro.engine.mode import get_execution_mode
 
     memo_key = (key, get_execution_mode())
     cached = _RECOMPUTE_MEMO.get(memo_key)
     if cached is not None:
         return cached
-    start = time.perf_counter()
-    edb = list(initial_atoms)
-    result = cold_equivalent(program, edb, engine=engine)
-    for batch in batch_atoms:
-        edb.extend(batch)
+    best = None
+    for _ in range(2):
+        start = time.perf_counter()
+        edb = list(initial_atoms)
         result = cold_equivalent(program, edb, engine=engine)
-    cached = (time.perf_counter() - start, len(result))
-    _RECOMPUTE_MEMO[memo_key] = cached
-    return cached
+        for batch in batch_atoms:
+            edb.extend(batch)
+            result = cold_equivalent(program, edb, engine=engine)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[0]:
+            best = (elapsed, len(result))
+    _RECOMPUTE_MEMO[memo_key] = best
+    return best
 
 
 def _run_stream(benchmark, key, program, initial, batches, engine="seminaive"):

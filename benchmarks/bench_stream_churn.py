@@ -75,25 +75,35 @@ _RECOMPUTE_MEMO = {}
 
 
 def _time_recompute(key, program, initial_atoms, batches):
-    """Wall time of cold-evaluating the surviving EDB after every slide."""
+    """Wall time of cold-evaluating the surviving EDB after every slide.
+
+    Best of two probes, for the same reason as the streaming series: the
+    derived ``incremental_speedup`` gates against half its baseline, and a
+    one-shot multi-second probe on a 1-core runner is ~2x noisy — the
+    minimum of two is a stable, conservative estimate.
+    """
     from repro.engine.mode import get_execution_mode
 
     memo_key = (key, get_execution_mode())
     cached = _RECOMPUTE_MEMO.get(memo_key)
     if cached is not None:
         return cached
-    start = time.perf_counter()
-    edb = dict.fromkeys(initial_atoms)
-    result = cold_equivalent(program, list(edb))
-    for inserts, deletes in batches:
-        for atom in inserts:
-            edb[atom] = None
-        for atom in deletes:
-            edb.pop(atom, None)
+    best = None
+    for _ in range(2):
+        start = time.perf_counter()
+        edb = dict.fromkeys(initial_atoms)
         result = cold_equivalent(program, list(edb))
-    cached = (time.perf_counter() - start, len(result))
-    _RECOMPUTE_MEMO[memo_key] = cached
-    return cached
+        for inserts, deletes in batches:
+            for atom in inserts:
+                edb[atom] = None
+            for atom in deletes:
+                edb.pop(atom, None)
+            result = cold_equivalent(program, list(edb))
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best[0]:
+            best = (elapsed, len(result))
+    _RECOMPUTE_MEMO[memo_key] = best
+    return best
 
 
 def _run_churn(benchmark, key, program, initial, feed):

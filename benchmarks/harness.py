@@ -75,7 +75,7 @@ from repro.engine.parallel import shutdown_pool  # noqa: E402
 from repro.engine.stats import STATS  # noqa: E402
 from repro.obs.profile import PROFILER  # noqa: E402
 
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine_core.json")
 MODES = ("row", "batch", "parallel")
 # An empty string counts as unset, matching repro.engine.mode (CI matrices
@@ -294,6 +294,11 @@ def run_scenario(
             # parallel mode) and the process peak RSS sampled after the
             # scenario.
             "parallel_bytes_shipped": last_stats["parallel_bytes_shipped"],
+            # Schema v8: bytes of match results moved through worker-created
+            # shared-memory segments under the zero-copy attach protocol (0
+            # outside parallel mode, or with REPRO_SHM=0).  Reported, never
+            # gated — read together with parallel_bytes_shipped.
+            "parallel_shm_bytes": last_stats["parallel_shm_bytes"],
             "peak_rss_kb": _peak_rss_kb(),
             "facts_per_second": (
                 round(last_stats["facts_added"] / median) if median > 0 else None

@@ -51,10 +51,11 @@ class Instance:
         for t in atom.terms:
             if isinstance(t, Variable):
                 raise ValueError(f"cannot add non-fact atom {atom} to an instance")
-        self._ordinals[atom] = self._counter
-        self._keys[TERMS.atom_key(atom)] = self._counter
-        self._counter += 1
-        self._index.add(atom)
+        gid = self._counter
+        self._ordinals[atom] = gid
+        self._keys[TERMS.atom_key(atom)] = gid
+        self._counter = gid + 1
+        self._index.add(atom, gid)
         STATS.facts_added += 1
         return True
 
@@ -71,10 +72,11 @@ class Instance:
         """
         if atom in self._ordinals:
             return False
-        self._ordinals[atom] = self._counter
-        self._keys[TERMS.atom_key(atom)] = self._counter
-        self._counter += 1
-        self._index.add(atom)
+        gid = self._counter
+        self._ordinals[atom] = gid
+        self._keys[TERMS.atom_key(atom)] = gid
+        self._counter = gid + 1
+        self._index.add(atom, gid)
         STATS.facts_added += 1
         return True
 
@@ -93,20 +95,37 @@ class Instance:
         atom_key = TERMS.atom_key
         counter = self._counter
         added = 0
-        for atom in atoms:
-            if atom in ordinals:
-                continue
-            if not self._loadable(atom):
-                self._counter = counter
-                STATS.facts_added += added
-                raise ValueError(self._invalid_message(atom))
-            ordinals[atom] = counter
-            keys[atom_key(atom)] = counter
-            counter += 1
-            index.add(atom)
-            added += 1
-        self._counter = counter
-        STATS.facts_added += added
+        # Group per predicate and land each group through the lane-wise bulk
+        # index path: ordinals/keys are assigned in iteration order here (so
+        # duplicates and the validity error behave exactly as per-fact
+        # adds), while row ids only need to stay ordered *within* each
+        # predicate — which per-group appends preserve.
+        groups: Dict[str, list] = {}
+        try:
+            for atom in atoms:
+                if atom in ordinals:
+                    continue
+                if not self._loadable(atom):
+                    raise ValueError(self._invalid_message(atom))
+                key = atom_key(atom)
+                ordinals[atom] = counter
+                keys[key] = counter
+                group = groups.get(atom.predicate)
+                if group is None:
+                    group = groups[atom.predicate] = []
+                group.append((atom, key[1:], counter))
+                counter += 1
+                added += 1
+        finally:
+            for predicate, group in groups.items():
+                index.add_bulk(
+                    predicate,
+                    [g[0] for g in group],
+                    [g[1] for g in group],
+                    [g[2] for g in group],
+                )
+            self._counter = counter
+            STATS.facts_added += added
         return added
 
     @staticmethod
@@ -157,10 +176,11 @@ class Instance:
         if key in self._keys:
             return None
         atom = TERMS.decode_atom(key)
-        self._ordinals[atom] = self._counter
-        self._keys[key] = self._counter
-        self._counter += 1
-        self._index.add(atom)
+        gid = self._counter
+        self._ordinals[atom] = gid
+        self._keys[key] = gid
+        self._counter = gid + 1
+        self._index.add(atom, gid)
         STATS.facts_added += 1
         return atom
 

@@ -12,9 +12,11 @@ This module executes the same plan **step by step over a whole batch**: each
 list extended through one body atom.  Since the dictionary-encoding refactor
 (:mod:`repro.engine.interning`), slot tuples carry **term IDs**: probes,
 probe-key grouping, and intra-atom equality checks are all flat int
-operations over the index's ID rows
-(:attr:`~repro.engine.index.PredicateIndex.cols`) — no term-object hashing
-anywhere in the loop.
+operations over the index's packed column buffers
+(:attr:`~repro.engine.index.PredicateIndex.cols`, one
+:class:`~repro.engine.colbuf.ColumnBuffer` per predicate) — no term-object
+hashing anywhere in the loop, and the extension kernel itself lives in
+:mod:`repro.engine.kernels` (numpy fast path + pure fallback).
 
 * **Bulk probes** — the batch is grouped by the tuple of probed slot values;
   one :meth:`~repro.engine.index.PredicateIndex.probe_ids` call (a capped
@@ -44,6 +46,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.engine import kernels
 from repro.engine.stats import active_stats
 from repro.obs.profile import PROFILER
 
@@ -244,48 +247,16 @@ class _BatchStep:
         active_stats().batch_probe_groups += len(cache)
         return out_gids, out_rows
 
-    def _extensions(self, rows, candidate_ids) -> List[SlotRow]:
-        """The verified extension tuples for one probe key, ids ascending."""
-        arity = self.arity
-        bind_positions = self.bind_positions
-        intra_pairs = self.intra_pairs
-        exts: List[SlotRow] = []
-        append = exts.append
-        n_bind = len(bind_positions)
-        if not intra_pairs and n_bind <= 2:
-            # The dominant shapes (0-2 fresh variables, no repeated variable
-            # inside the atom) get allocation-minimal loops.  ``rows`` holds
-            # the ID rows, so every access below is a flat int-tuple index.
-            if n_bind == 0:
-                for row_id in candidate_ids:
-                    terms = rows[row_id]
-                    if terms is not None and len(terms) == arity:
-                        append(())
-            elif n_bind == 1:
-                bind = bind_positions[0]
-                for row_id in candidate_ids:
-                    terms = rows[row_id]
-                    if terms is not None and len(terms) == arity:
-                        append((terms[bind],))
-            else:
-                first, second = bind_positions
-                for row_id in candidate_ids:
-                    terms = rows[row_id]
-                    if terms is not None and len(terms) == arity:
-                        append((terms[first], terms[second]))
-            return exts
-        for row_id in candidate_ids:
-            terms = rows[row_id]
-            if terms is None:
-                continue
-            if len(terms) != arity:
-                continue
-            for position, bound_position in intra_pairs:
-                if terms[position] != terms[bound_position]:
-                    break
-            else:
-                append(tuple(terms[position] for position in bind_positions))
-        return exts
+    def _extensions(self, cols, candidate_ids) -> List[SlotRow]:
+        """The verified extension tuples for one probe key, ids ascending.
+
+        Delegates to :func:`repro.engine.kernels.extensions`, which scans the
+        predicate's flat :class:`~repro.engine.colbuf.ColumnBuffer` columns —
+        via numpy when available and worthwhile, via the pure loop otherwise.
+        """
+        return kernels.extensions(
+            cols, candidate_ids, self.arity, self.bind_positions, self.intra_pairs
+        )
 
 
 class BatchPlan:

@@ -30,6 +30,26 @@ worker processes and exposes it to the engines as a drop-in replacement for
   pickled once per pool lifetime, not once per fact occurrence; match
   results come back the same way (gid arrays + flat slot-ID arrays).  The
   parent counts every payload byte in ``STATS.parallel_bytes_shipped``.
+* **Shared memory makes the replicas zero-copy.**  When POSIX shared memory
+  is available (the default; ``REPRO_SHM=0`` forces the pickled protocol),
+  the parent *promotes* every predicate's
+  :class:`~repro.engine.colbuf.ColumnBuffer` into a shared segment and the
+  sync message shrinks to a **segment table** — ``(predicate, name,
+  capacity, positions, watermark)`` rows plus the dictionary delta and the
+  tombstone-log suffix (now 4-int ``[pred, row_id, gid, arity]`` records).
+  Workers attach the segments read-only, build their postings and shard gid
+  lists directly from the shared columns (the gid column travels inside the
+  buffer, so no per-fact append stream crosses the wire at all), and replay
+  deletions by reading the still-present values of tombstoned rows.  Match
+  results above :data:`_RESULT_SHM_MIN` come back through worker-created
+  segments the parent reads and unlinks, counted in
+  ``STATS.parallel_shm_bytes``; only the residual control traffic stays in
+  ``STATS.parallel_bytes_shipped`` — the ≥5x wire reduction the columnar
+  refactor exists for.  Reads and writes never race: the parent only
+  mutates shared buffers between dispatches, and workers only read between
+  a sync and their match reply.  ``shutdown_pool`` demotes every promoted
+  buffer back to the heap, which is what keeps ``/dev/shm`` clean across
+  pool retirements and term-table epoch resets.
 * **Matching is distributed, firing is not.**  A match task asks every
   worker for its shard's slice of one rule's trigger batches (the full join
   of a naive round, or the viable pivots of a delta round, whose candidate
@@ -68,6 +88,7 @@ from contextlib import contextmanager
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.engine import interning
+from repro.engine.colbuf import ColumnBuffer, _unregister_attachment, demote_all
 from repro.engine.index import PredicateIndex
 from repro.engine.interning import TERMS
 from repro.engine.mode import get_worker_count, parallel_enabled
@@ -113,6 +134,41 @@ def parallel_threshold_override(threshold: int) -> Iterator[None]:
         yield
     finally:
         set_parallel_threshold(previous)
+
+
+# None = not resolved yet: REPRO_SHM is read lazily at first use so test
+# harnesses can set it after import.
+_shm_mode: Optional[bool] = None
+
+
+def shm_enabled() -> bool:
+    """True iff sessions ship shared-memory segment tables instead of rows.
+
+    ``REPRO_SHM=0`` forces the pickled wire protocol (the CI matrix runs a
+    leg this way); anything else means "use shared memory when the platform
+    provides it" — a failed segment creation still degrades per session.
+    """
+    global _shm_mode
+    if _shm_mode is None:
+        _shm_mode = os.environ.get("REPRO_SHM") != "0"
+    return _shm_mode
+
+
+def set_shm_enabled(flag: bool) -> None:
+    """Force the sync protocol choice for this process (tests)."""
+    global _shm_mode
+    _shm_mode = bool(flag)
+
+
+@contextmanager
+def shm_override(flag: bool) -> Iterator[None]:
+    """Temporarily force/disable the shared-memory protocol (tests)."""
+    previous = shm_enabled()
+    set_shm_enabled(flag)
+    try:
+        yield
+    finally:
+        set_shm_enabled(previous)
 
 
 # ---------------------------------------------------------------------------
@@ -167,6 +223,53 @@ def _unpack_parts(
     return parts
 
 
+#: Result payloads at least this large come back through a worker-created
+#: shared-memory segment instead of the result queue's pipe.  Small results
+#: stay on the pipe: a segment costs two syscall-heavy opens plus an unlink,
+#: which only amortises on bulk payloads.
+_RESULT_SHM_MIN = 1 << 18
+
+
+def _ship_result_segment(payload: bytes) -> Optional[str]:
+    """Stage a large result payload in a fresh segment; None = use the pipe.
+
+    The worker creates (and thereby registers) the segment, copies the
+    payload in, then *unregisters* it — ownership travels to the parent,
+    which reads and unlinks it.  A worker crashing between ship and read
+    leaks the segment until reboot; that window is accepted (the parent
+    tears the whole pool down on a dead worker anyway).
+    """
+    if len(payload) < _RESULT_SHM_MIN:
+        return None
+    try:
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    except Exception:  # pragma: no cover - /dev/shm unavailable or full
+        return None
+    segment.buf[: len(payload)] = payload
+    name = segment.name
+    segment.close()
+    _unregister_attachment(name)
+    return name
+
+
+def _read_result_segment(name: str, size: int) -> bytes:
+    """Read and retire one worker result segment (parent side).
+
+    The parent's open registers the name with its tracker and ``unlink``
+    unregisters it — a balanced pair, matching the worker's create+disown.
+    """
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(segment.buf[:size])
+    finally:
+        segment.close()
+        segment.unlink()
+
+
 class _Replica:
     """A worker's encoded mirror of the parent instance.
 
@@ -215,6 +318,15 @@ def _worker_main(worker_id: int, n_workers: int, task_queue, result_queue) -> No
     shard = sharded.shard(worker_id)
     rules: List = []
     compiled: Dict[int, object] = {}
+    #: predicate -> the attached ColumnBuffer view of the parent's segment
+    #: (shared-memory protocol only; empty under the pickled protocol).
+    attached: Dict[str, ColumnBuffer] = {}
+
+    def detach_all() -> None:
+        for cols in attached.values():
+            cols.detach()
+        attached.clear()
+
     #: A failed sync (e.g. a dictionary-delta divergence) leaves the replica
     #: suspect: the diagnostic is held here and reported on the next match
     #: task instead of killing the process with the message unread.
@@ -264,6 +376,70 @@ def _worker_main(worker_id: int, n_workers: int, task_queue, result_queue) -> No
                         shard.tombstone_gid(predicate, gid)
             except Exception as error:
                 sync_error = f"sync failed: {type(error).__name__}: {error}"
+        elif tag == "sync2":
+            # The shared-memory protocol: no fact rows on the wire at all.
+            # The payload carries the dictionary delta, a segment table
+            # (predicate, name, capacity, positions, watermark), the
+            # predicate name table, and 4-int [pred, row_id, gid, arity]
+            # deletion records.  The worker attaches each segment (or just
+            # advances its watermark when the name is unchanged), posts the
+            # fresh rows straight off the shared columns into its local
+            # postings and shard — reading the gid column instead of any
+            # wire stream — and replays deletions by reading the
+            # still-present values of tombstoned rows.  Deletions of rows
+            # at or past the previous watermark are skipped for the
+            # replica: those rows were never posted (the fresh walk skips
+            # dead rows), which also makes full-log replay after a reset a
+            # no-op.
+            try:
+                c_start, consts, n_start, nulls, segments, preds, deletions = (
+                    pickle.loads(message[1])
+                )
+                TERMS.apply_delta(c_start, n_start, consts, nulls)
+                starts: Dict[str, int] = {}
+                for predicate, name, capacity, n_positions, n_rows in segments:
+                    prev = attached.get(predicate)
+                    if prev is not None and prev.segment[0] == name:
+                        start = prev.n_rows
+                        prev.advance(n_rows)
+                        cols = prev
+                    else:
+                        # First sight of the predicate, or the parent
+                        # regrew it into a fresh segment (row ids are
+                        # stable across regrows, so posting continues from
+                        # the old watermark).
+                        start = prev.n_rows if prev is not None else 0
+                        if prev is not None:
+                            prev.detach()
+                        cols = ColumnBuffer.attach(name, capacity, n_positions, n_rows)
+                        attached[predicate] = cols
+                    starts[predicate] = start
+                    replica._index.index_attached(predicate, cols, start)
+                    arities = cols.arities
+                    gid_column = cols.gids
+                    for row_id in range(start, n_rows):
+                        arity = arities[row_id]
+                        if arity < 0:
+                            continue
+                        sharded.ingest_encoded(
+                            predicate,
+                            cols.values_at(row_id, arity),
+                            gid_column[row_id],
+                        )
+                cursor = 0
+                end = len(deletions)
+                while cursor < end:
+                    predicate = preds[deletions[cursor]]
+                    row_id = deletions[cursor + 1]
+                    gid = deletions[cursor + 2]
+                    arity = deletions[cursor + 3]
+                    cursor += 4
+                    if row_id < starts.get(predicate, 0):
+                        replica._index.unlink_dead(predicate, row_id, arity)
+                    if gid >= 0:
+                        shard.tombstone_gid(predicate, gid)
+            except Exception as error:
+                sync_error = f"sync failed: {type(error).__name__}: {error}"
         elif tag == "match":
             _, task_id, rule_id, spec = message
             if sync_error is not None:
@@ -288,14 +464,28 @@ def _worker_main(worker_id: int, n_workers: int, task_queue, result_queue) -> No
                 payload = pickle.dumps(
                     _pack_parts(parts), pickle.HIGHEST_PROTOCOL
                 )
-                result_queue.put(
-                    ("ok", task_id, worker_id, payload, STATS.batch_probe_groups)
-                )
+                segment_name = _ship_result_segment(payload)
+                if segment_name is not None:
+                    result_queue.put(
+                        (
+                            "shm",
+                            task_id,
+                            worker_id,
+                            segment_name,
+                            len(payload),
+                            STATS.batch_probe_groups,
+                        )
+                    )
+                else:
+                    result_queue.put(
+                        ("ok", task_id, worker_id, payload, STATS.batch_probe_groups)
+                    )
             except Exception as error:  # pragma: no cover - defensive
                 result_queue.put(
                     ("err", task_id, worker_id, f"{type(error).__name__}: {error}")
                 )
         elif tag == "reset":
+            detach_all()
             replica = _Replica()
             sharded = ShardedInstance(n_workers, keep=worker_id)
             shard = sharded.shard(worker_id)
@@ -303,6 +493,7 @@ def _worker_main(worker_id: int, n_workers: int, task_queue, result_queue) -> No
             compiled = {}
             sync_error = None
         elif tag == "clear":
+            detach_all()
             replica = _Replica()
             sharded = ShardedInstance(n_workers, keep=worker_id)
             shard = sharded.shard(worker_id)
@@ -310,6 +501,7 @@ def _worker_main(worker_id: int, n_workers: int, task_queue, result_queue) -> No
             compiled = {}
             sync_error = None
         elif tag == "stop":
+            detach_all()
             return
 
 
@@ -382,12 +574,17 @@ class WorkerPool:
                 raise RuntimeError(
                     f"parallel worker {result[2]} failed on task {result[1]}: {result[3]}"
                 )
-            _, result_task, worker_id, payload, groups = result
+            if result[0] == "shm":
+                _, result_task, worker_id, segment_name, size, groups = result
+                payload = _read_result_segment(segment_name, size)
+                STATS.parallel_shm_bytes += size
+            else:
+                _, result_task, worker_id, payload, groups = result
+                STATS.parallel_bytes_shipped += len(payload)
             if result_task != task_id:  # pragma: no cover - protocol guard
                 raise RuntimeError(
                     f"parallel protocol error: expected task {task_id}, got {result_task}"
                 )
-            STATS.parallel_bytes_shipped += len(payload)
             payloads[worker_id] = _unpack_parts(pickle.loads(payload))
             probe_groups += groups
             pending -= 1
@@ -431,11 +628,18 @@ def _get_pool(n_workers: int) -> Optional[WorkerPool]:
 
 
 def shutdown_pool() -> None:
-    """Stop the worker pool (tests, epoch resets, and interpreter exit)."""
+    """Stop the worker pool (tests, epoch resets, and interpreter exit).
+
+    Also demotes every promoted column buffer back to the heap: with no
+    workers left to attach them, the shared segments would only leak
+    ``/dev/shm`` space.  The order matters — workers must be gone before
+    their mapped segments are unlinked and the content copied out.
+    """
     global _POOL
     if _POOL is not None:
         _POOL.shutdown()
         _POOL = None
+    demote_all()
 
 
 # Worker replicas replay the parent's dictionary as an append-only suffix;
@@ -472,6 +676,15 @@ class ParallelSession:
         #: Tombstone-log length at the last sync: the deletion half of the
         #: wire protocol ships the log suffix past this watermark.
         self._synced_tombstones = 0
+        #: None = protocol not chosen yet; resolved at the first sync so the
+        #: whole session speaks one protocol (a mid-session switch would
+        #: desync the replicas).  False after a failed segment creation.
+        self._use_shm: Optional[bool] = None
+        #: True once the workers hold attached segments for this session:
+        #: the first shared-memory sync after an arm drops the tombstone-log
+        #: prefix entirely (fresh attaches skip dead rows, so the history is
+        #: already baked in).
+        self._shm_armed = False
         self._pool: Optional[WorkerPool] = None
         # (id(delta), len(delta), parent counter) -> validated window, so the
         # O(len) ordinal check is shared while the delta and the instance are
@@ -505,11 +718,105 @@ class ParallelSession:
             self._synced_limits = {}
             self._synced_count = 0
             self._synced_tombstones = 0
+            self._shm_armed = False
             pool.current_session = self
         self._sync()
         return True
 
     def _sync(self) -> None:
+        """Bring the workers level with the instance (protocol-dispatching).
+
+        The shared-memory protocol (:meth:`_sync_shm`) ships only a segment
+        table; the pickled protocol (:meth:`_sync_legacy`) ships the row
+        window.  The choice is made once per session at the first real sync
+        — a mid-session switch would desync the replicas — except that a
+        first-sync segment-creation failure falls back to the pickled
+        protocol before anything has shipped, which is still consistent.
+        """
+        instance = self.instance
+        index = instance._index
+        log = index.tombstone_log
+        if (
+            instance._counter == self._synced_count
+            and len(log) == self._synced_tombstones
+        ):
+            return
+        if self._use_shm is None:
+            self._use_shm = shm_enabled()
+        if self._use_shm:
+            if self._sync_shm(instance, index, log):
+                return
+            # Shared memory is unusable on this platform/run.  Nothing has
+            # shipped yet when this happens on the first sync (promotion is
+            # the first step); a mid-session failure means a fresh predicate
+            # could not get a segment — resync the pool from scratch over
+            # the pickled protocol so the replicas stay whole either way.
+            self._use_shm = False
+            pool = self._pool
+            pool.broadcast(("reset", [crule.rule for crule in self.compiled]))
+            self._synced_limits = {}
+            self._synced_count = 0
+            self._synced_tombstones = 0
+            self._shm_armed = False
+        self._sync_legacy(instance, index, log)
+
+    def _sync_shm(self, instance, index, log) -> bool:
+        """Ship a shared-memory segment table; False if promotion failed.
+
+        Every predicate's column buffer is promoted (idempotent — already
+        promoted buffers just report their current segment and watermark),
+        and the payload carries no fact rows at all: the dictionary delta,
+        the ``(predicate, name, capacity, positions, watermark)`` table, the
+        predicate name table, and 4-int ``[pred, row_id, gid, arity]``
+        deletion records past the log watermark.  On the session's first
+        shipment the log prefix is dropped instead: fresh worker attaches
+        skip dead rows, so the deletion history is already reflected.
+        """
+        segments: List[Tuple[str, str, int, int, int]] = []
+        for predicate, cols in index.cols.items():
+            segment = cols.promote()
+            if segment is None:
+                return False
+            segments.append((predicate, *segment))
+        sync_start = time.perf_counter_ns() if TRACER.enabled else 0
+        pool = self._pool
+        c_start, n_start = pool.synced_terms
+        consts, nulls = TERMS.delta_since(c_start, n_start)
+        pool.synced_terms = TERMS.counts()
+        if not self._shm_armed:
+            self._synced_tombstones = len(log)
+            self._shm_armed = True
+        pred_ids: Dict[str, int] = {}
+        preds: List[str] = []
+        deletions: List[int] = []
+        for predicate, row_id, gid, arity in log[self._synced_tombstones :]:
+            pred_idx = pred_ids.get(predicate)
+            if pred_idx is None:
+                pred_idx = pred_ids[predicate] = len(preds)
+                preds.append(predicate)
+            deletions.append(pred_idx)
+            deletions.append(row_id)
+            deletions.append(gid if gid is not None else -1)
+            deletions.append(arity)
+        payload = pickle.dumps(
+            (c_start, consts, n_start, nulls, segments, preds, _int_array(deletions)),
+            pickle.HIGHEST_PROTOCOL,
+        )
+        STATS.parallel_bytes_shipped += len(payload) * self.n_workers
+        pool.broadcast(("sync2", payload))
+        self._synced_count = instance._counter
+        self._synced_tombstones = len(log)
+        if TRACER.enabled:
+            TRACER.record(
+                "parallel.sync",
+                sync_start,
+                bytes=len(payload) * self.n_workers,
+                workers=self.n_workers,
+                segments=len(segments),
+            )
+        return True
+
+    def _sync_legacy(self, instance, index, log) -> None:
         """Ship the rows appended — and the deletions logged — since last sync.
 
         The payload is columnar: the term-dictionary suffix the workers have
@@ -525,14 +832,6 @@ class ParallelSession:
         Within a predicate gids still ascend (append order), which is all
         the sharded merge contract requires.
         """
-        instance = self.instance
-        index = instance._index
-        log = index.tombstone_log
-        if (
-            instance._counter == self._synced_count
-            and len(log) == self._synced_tombstones
-        ):
-            return
         sync_start = time.perf_counter_ns() if TRACER.enabled else 0
         pool = self._pool
         c_start, n_start = pool.synced_terms
@@ -550,27 +849,29 @@ class ParallelSession:
 
         stream: List[int] = []
         limits = self._synced_limits
-        ordinals = instance._ordinals
-        for predicate, rows in index.rows.items():
+        for predicate, cols in index.cols.items():
             start = limits.get(predicate, 0)
-            if start >= len(rows):
+            n_rows = len(cols)
+            if start >= n_rows:
                 continue
-            cols = index.cols[predicate]
+            arities = cols.arities
+            gid_column = cols.gids
+            buffers = cols.buffers
             pred_idx = intern_pred(predicate)
-            for row_id in range(start, len(rows)):
-                atom = rows[row_id]
-                if atom is None:
+            for row_id in range(start, n_rows):
+                arity = arities[row_id]
+                if arity < 0:
                     stream.append(pred_idx)
                     stream.append(-1)
                     continue
-                ids = cols[row_id]
                 stream.append(pred_idx)
-                stream.append(len(ids))
-                stream.append(ordinals[atom])
-                stream.extend(ids)
-            limits[predicate] = len(rows)
+                stream.append(arity)
+                stream.append(gid_column[row_id])
+                for position in range(arity):
+                    stream.append(buffers[position][row_id])
+            limits[predicate] = n_rows
         deletions: List[int] = []
-        for predicate, row_id, gid in log[self._synced_tombstones :]:
+        for predicate, row_id, gid, _arity in log[self._synced_tombstones :]:
             deletions.append(intern_pred(predicate))
             deletions.append(row_id)
             deletions.append(gid if gid is not None else -1)

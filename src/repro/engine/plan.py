@@ -326,11 +326,13 @@ class JoinPlan:
         else:
             delta_index, delta_limits = index, limits
 
-        # Per-depth candidate state: the ID-row list, the postings bucket (or
-        # None for a full scan), the cursor, the iteration bound, and the
-        # row-id cap capturing the prefix visible to this lookup.
-        rows_s: List[Optional[List[Optional[Tuple[int, ...]]]]] = [None] * n_steps
-        ids_s: List[Optional[List[int]]] = [None] * n_steps
+        # Per-depth candidate state: the flat arity/position columns, the
+        # postings bucket (or None for a full scan), the cursor, the
+        # iteration bound, and the row-id cap capturing the prefix visible
+        # to this lookup.
+        ar_s: List = [None] * n_steps
+        bufs_s: List = [None] * n_steps
+        ids_s: List[Optional[Sequence[int]]] = [None] * n_steps
         pos_s = [0] * n_steps
         end_s = [0] * n_steps
         cap_s = [0] * n_steps
@@ -340,24 +342,25 @@ class JoinPlan:
             step = steps[depth]
             idx = delta_index if depth == 0 and delta_source is not None else index
             lim = delta_limits if depth == 0 and delta_source is not None else limits
-            rows = idx.cols.get(step.predicate)
+            cols = idx.cols.get(step.predicate)
             pos_s[depth] = 0
-            if not rows:
-                rows_s[depth] = None
+            if not cols:
+                ar_s[depth] = None
                 end_s[depth] = 0
                 return
-            best: Optional[List[int]] = None
+            best = None
             for position, kind, payload in step.probes:
                 value = payload if kind == PROBE_CONST else slots[payload]
                 bucket = idx.postings.get((step.predicate, position, value))
                 if bucket is None:
-                    rows_s[depth] = None
+                    ar_s[depth] = None
                     end_s[depth] = 0
                     return
                 if best is None or len(bucket) < len(best):
                     best = bucket
-            cap = len(rows) if lim is None else min(len(rows), lim.get(step.predicate, 0))
-            rows_s[depth] = rows
+            cap = len(cols) if lim is None else min(len(cols), lim.get(step.predicate, 0))
+            ar_s[depth] = cols.arities
+            bufs_s[depth] = cols.buffers
             ids_s[depth] = best
             cap_s[depth] = cap
             end_s[depth] = len(best) if best is not None else cap
@@ -367,7 +370,8 @@ class JoinPlan:
         last = n_steps - 1
         while depth >= 0:
             step = steps[depth]
-            rows = rows_s[depth]
+            arities = ar_s[depth]
+            buffers = bufs_s[depth]
             ids = ids_s[depth]
             k = pos_s[depth]
             end = end_s[depth]
@@ -384,14 +388,11 @@ class JoinPlan:
                         k = end
                         break
                 k += 1
-                fact = rows[row_id]
-                if fact is None:
-                    continue
-                if len(fact) != arity:
+                if arities[row_id] != arity:
                     continue
                 ok = True
                 for code, position, payload in ops:
-                    term = fact[position]
+                    term = buffers[position][row_id]
                     if code == CHECK_CONST:
                         if term == payload:
                             continue
@@ -451,8 +452,9 @@ class JoinPlan:
             else:
                 delta_index, delta_limits = index, limits
 
-            rows_s: List[Optional[List[Optional[Tuple[int, ...]]]]] = [None] * n_steps
-            ids_s: List[Optional[List[int]]] = [None] * n_steps
+            ar_s: List = [None] * n_steps
+            bufs_s: List = [None] * n_steps
+            ids_s: List[Optional[Sequence[int]]] = [None] * n_steps
             pos_s = [0] * n_steps
             end_s = [0] * n_steps
             cap_s = [0] * n_steps
@@ -464,29 +466,30 @@ class JoinPlan:
                 step = steps[depth]
                 idx = delta_index if depth == 0 and delta_source is not None else index
                 lim = delta_limits if depth == 0 and delta_source is not None else limits
-                rows = idx.cols.get(step.predicate)
+                cols = idx.cols.get(step.predicate)
                 pos_s[depth] = 0
-                if not rows:
-                    rows_s[depth] = None
+                if not cols:
+                    ar_s[depth] = None
                     end_s[depth] = 0
                     return
-                best: Optional[List[int]] = None
+                best = None
                 for position, kind, payload in step.probes:
                     value = payload if kind == PROBE_CONST else slots[payload]
                     step_profile.probes += 1
                     bucket = idx.postings.get((step.predicate, position, value))
                     if bucket is None:
-                        rows_s[depth] = None
+                        ar_s[depth] = None
                         end_s[depth] = 0
                         return
                     if best is None or len(bucket) < len(best):
                         best = bucket
                 cap = (
-                    len(rows)
+                    len(cols)
                     if lim is None
-                    else min(len(rows), lim.get(step.predicate, 0))
+                    else min(len(cols), lim.get(step.predicate, 0))
                 )
-                rows_s[depth] = rows
+                ar_s[depth] = cols.arities
+                bufs_s[depth] = cols.buffers
                 ids_s[depth] = best
                 cap_s[depth] = cap
                 end_s[depth] = len(best) if best is not None else cap
@@ -496,7 +499,8 @@ class JoinPlan:
             last = n_steps - 1
             while depth >= 0:
                 step = steps[depth]
-                rows = rows_s[depth]
+                arities = ar_s[depth]
+                buffers = bufs_s[depth]
                 ids = ids_s[depth]
                 k = pos_s[depth]
                 end = end_s[depth]
@@ -513,14 +517,11 @@ class JoinPlan:
                             k = end
                             break
                     k += 1
-                    fact = rows[row_id]
-                    if fact is None:
-                        continue
-                    if len(fact) != arity:
+                    if arities[row_id] != arity:
                         continue
                     ok = True
                     for code, position, payload in ops:
-                        term = fact[position]
+                        term = buffers[position][row_id]
                         if code == CHECK_CONST:
                             if term == payload:
                                 continue

@@ -110,7 +110,7 @@ class Shard:
 
     def add(self, atom: Atom, gid: int) -> None:
         """Append one fact with its global insertion ordinal."""
-        self.index.add(atom)
+        self.index.add(atom, gid)
         bucket = self.gids.get(atom.predicate)
         if bucket is None:
             self.gids[atom.predicate] = [gid]
@@ -119,7 +119,7 @@ class Shard:
 
     def add_encoded(self, predicate: str, ids: Tuple[int, ...], gid: int) -> None:
         """Append one dictionary-encoded fact (worker ingest; no Atom built)."""
-        self.index.add_encoded(predicate, ids)
+        self.index.add_encoded(predicate, ids, gid)
         bucket = self.gids.get(predicate)
         if bucket is None:
             self.gids[predicate] = [gid]
@@ -244,11 +244,11 @@ def run_batch_sharded(
     step0 = steps[0]
     if step0.slot_probes:
         raise ValueError("cannot shard a plan whose first step probes bound slots")
-    rows_list = shard.index.cols.get(step0.predicate)
-    if not rows_list:
+    cols = shard.index.cols.get(step0.predicate)
+    if not cols:
         return [], []
     gids_list = shard.gids[step0.predicate]
-    cap = len(rows_list) if gid_hi is None else bisect_left(gids_list, gid_hi)
+    cap = len(cols) if gid_hi is None else bisect_left(gids_list, gid_hi)
     if cap <= 0:
         return [], []
     candidate_ids = shard.index.probe_ids(step0.predicate, step0.const_pairs, cap)
@@ -256,21 +256,22 @@ def run_batch_sharded(
     arity = step0.arity
     bind_positions = step0.bind_positions
     intra_pairs = step0.intra_pairs
+    arities = cols.arities
+    buffers = cols.buffers
     gids: List[int] = []
     rows: List[SlotRow] = []
     for row_id in candidate_ids:
         gid = gids_list[row_id]
         if gid < gid_lo:
             continue
-        terms = rows_list[row_id]
-        if terms is None or len(terms) != arity:
+        if arities[row_id] != arity:
             continue
         for position, bound_position in intra_pairs:
-            if terms[position] != terms[bound_position]:
+            if buffers[position][row_id] != buffers[bound_position][row_id]:
                 break
         else:
             gids.append(gid)
-            rows.append(tuple(terms[position] for position in bind_positions))
+            rows.append(tuple(buffers[position][row_id] for position in bind_positions))
     index, limits = source._plan_source()
     for step in steps[1:]:
         if not rows:

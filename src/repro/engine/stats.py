@@ -95,6 +95,12 @@ class EngineStats:
     #: parallel mode.  The dictionary-encoded columnar wire format exists to
     #: drive this down; the bench-smoke gate fails if it regresses.
     parallel_bytes_shipped: int = 0
+    #: Bytes of parallel match results transferred through worker-created
+    #: shared-memory segments instead of the result pipe (0 outside the
+    #: shared-memory protocol).  Reported, never gated: together with
+    #: ``parallel_bytes_shipped`` it shows how much of the old pipe volume
+    #: the zero-copy attach protocol eliminated versus merely relocated.
+    parallel_shm_bytes: int = 0
 
     def reset(self) -> None:
         """Zero every counter (the harness calls this before a measured run)."""
@@ -109,6 +115,7 @@ class EngineStats:
         self.parallel_tasks = 0
         self.parallel_fallbacks = 0
         self.parallel_bytes_shipped = 0
+        self.parallel_shm_bytes = 0
 
     def snapshot(self) -> dict:
         """A plain-dict copy, in the key order the harness JSON uses."""
@@ -124,6 +131,7 @@ class EngineStats:
             "parallel_tasks": self.parallel_tasks,
             "parallel_fallbacks": self.parallel_fallbacks,
             "parallel_bytes_shipped": self.parallel_bytes_shipped,
+            "parallel_shm_bytes": self.parallel_shm_bytes,
         }
 
     def gated(self) -> dict:

@@ -48,6 +48,7 @@ from contextlib import contextmanager
 from typing import FrozenSet, Iterator, Optional, Set, Union
 
 from repro.datalog.semantics import INCONSISTENT
+from repro.engine.colbuf import promoted_stats
 from repro.engine.incremental import DeltaSession, PushResult, RetractResult
 from repro.engine.interning import TERMS
 from repro.engine.stats import STATS, local_stats
@@ -118,6 +119,14 @@ _PRED_TOMBSTONE = REGISTRY.gauge(
     "repro_predicate_tombstone_ratio",
     "Fraction of a predicate's index rows that are tombstones.",
     ("predicate",),
+)
+_SHM_SEGMENTS = REGISTRY.gauge(
+    "repro_shm_segments",
+    "Column buffers currently promoted into shared-memory segments.",
+)
+_SHM_BYTES = REGISTRY.gauge(
+    "repro_shm_bytes",
+    "Total bytes of promoted shared-memory column segments.",
 )
 
 
@@ -460,6 +469,7 @@ class MaterializedView:
                 ),
             }
         constants, nulls = TERMS.counts()
+        shm_segments, shm_bytes = promoted_stats()
         with self._gate:
             readers = self._active_readers
         return {
@@ -469,6 +479,10 @@ class MaterializedView:
                 "nulls": nulls,
                 "orphaned_nulls": TERMS.orphaned_nulls,
                 "epoch": TERMS.epoch(),
+            },
+            "shared_memory": {
+                "segments": shm_segments,
+                "bytes": shm_bytes,
             },
             "readers_pinned": readers,
         }
@@ -494,6 +508,8 @@ class MaterializedView:
         for predicate, entry in health["predicates"].items():
             _PRED_LIVE.labels(predicate).set(entry["live"])
             _PRED_TOMBSTONE.labels(predicate).set(entry["tombstone_ratio"])
+        _SHM_SEGMENTS.set(health["shared_memory"]["segments"])
+        _SHM_BYTES.set(health["shared_memory"]["bytes"])
         for name, value in STATS.snapshot().items():
             REGISTRY.counter(
                 f"repro_engine_{name}_total",

@@ -236,6 +236,97 @@ class TestModeParity:
         assert outcome["row"][1] == outcome["batch"][1] == outcome["parallel"][1]
 
 
+class TestPackedColumnTombstones:
+    """Retraction must be visible through the flat column buffers.
+
+    The packed representation never deletes rows — :meth:`ColumnBuffer.kill`
+    flips the arity lane to the tombstone marker and leaves the position
+    lanes intact — so every consumer of the buffers (scans, probe
+    verification, the numpy and pure-Python kernels) has to treat
+    ``arities[row] != arity`` as the single liveness test.  This regression
+    pins that contract against :meth:`DeltaSession.retract`.  A single-rule
+    program keeps the over-deleted closure small, so retraction takes the
+    in-place DRed path (tombstones) rather than the degenerate instance
+    rebuild — the path under test.
+    """
+
+    SINGLE_RULE = "triple(?X, knows, ?Y) -> knows(?X, ?Y)."
+
+    def test_retract_flips_arity_lane_only(self):
+        from repro.engine.colbuf import TOMB
+
+        edges = [edge(f"n{i}", f"n{i + 1}") for i in range(8)]
+        session = DeltaSession(self.SINGLE_RULE, edges)
+        index = session.instance._index
+        cols = index.cols["triple"]
+        n_rows = len(cols)
+        victims = edges[2:5]
+        victim_keys = {TERMS.atom_key(a)[1:] for a in victims}
+        session.retract(victims)
+        # The in-place path keeps the instance (and its buffers) identical.
+        assert session.instance._index is index
+        # Rows are never compacted: the buffer keeps its length and the
+        # killed rows keep their term IDs under a tombstoned arity lane.
+        assert len(cols) == n_rows
+        dead = [r for r in range(n_rows) if cols.arities[r] == TOMB]
+        assert len(dead) == len(victims)
+        assert {tuple(cols.values_at(r, 3)) for r in dead} == victim_keys
+        assert_cold_parity(session)
+        session.close()
+
+    def test_scans_and_kernels_skip_tombstones_in_both_modes(self):
+        from repro.engine import kernels
+
+        edges = [edge(f"n{i}", f"n{i + 1}") for i in range(60)]
+        session = DeltaSession(self.SINGLE_RULE, edges)
+        index = session.instance._index
+        session.retract(edges[10:30])
+        assert session.instance._index is index  # in-place, not rebuilt
+        survivors = {TERMS.atom_key(a)[1:] for a in edges[:10] + edges[30:]}
+        modes = [False] + ([True] if kernels.numpy_available() else [])
+        results = []
+        for flag in modes:
+            kernels.set_numpy_enabled(flag)
+            try:
+                scanned = set(index.scan_ids("triple", 3, ()))
+                assert scanned == survivors
+                # The bulk-extension kernel over every row id must surface
+                # exactly the live rows regardless of dispatch mode.
+                cols = index.cols["triple"]
+                ext = kernels.extensions(
+                    cols, range(len(cols)), 3, (0, 1, 2), ()
+                )
+                results.append(ext)
+                values = index.distinct_values("triple", 0)
+                if values is not None:
+                    assert values == {ids[0] for ids in survivors}
+            finally:
+                kernels.set_numpy_enabled(True)
+        assert len({tuple(map(tuple, r)) for r in results}) == 1
+        assert {tuple(row) for row in results[0]} == survivors
+        assert_cold_parity(session)
+        session.close()
+
+    def test_interleaved_retract_parity_survives_packed_reuse(self):
+        # Push/retract churn over the same spellings: re-added facts land in
+        # fresh rows (append-only ordinals) while old tombstones linger, and
+        # the differential oracle must still hold byte for byte.
+        edges = [edge(f"n{i}", f"n{i + 1}") for i in range(12)]
+        session = DeltaSession(self.SINGLE_RULE, edges)
+        for _ in range(3):
+            session.retract(edges[3:9])
+            assert_cold_parity(session)
+            session.push(edges[3:9])
+            assert_cold_parity(session)
+        index = session.instance._index
+        cols = index.cols["triple"]
+        assert len(cols) > len(edges)  # tombstoned rows were never reclaimed
+        assert sum(1 for r in range(len(cols)) if cols.arities[r] == 3) == len(
+            edges
+        )
+        session.close()
+
+
 class TestCanary:
     def test_oracle_catches_a_skipped_rederivation(self, monkeypatch):
         # Plant the bug DRed exists to prevent — delete the over-deleted

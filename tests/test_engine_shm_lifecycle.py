@@ -1,0 +1,108 @@
+"""Shared-memory lifecycle: no leaked ``/dev/shm`` segments, ever.
+
+The zero-copy protocol creates named segments in two places: the parent
+promotes every predicate's :class:`ColumnBuffer` into a ``repro-col-*``
+segment at sync time, and workers ship oversized match results through
+anonymous one-shot segments the parent unlinks after reading.  Leaking
+either would pin memory for the life of the machine (POSIX shared memory
+survives process exit), so this suite forces real 2-worker dispatch through
+the shared-memory path and asserts the segment population of ``/dev/shm``
+returns exactly to its pre-test state:
+
+* after :func:`shutdown_pool` — the explicit retirement path, which demotes
+  every promoted buffer back to heap arrays;
+* after :meth:`TermTable.begin_epoch` — the epoch reset retires the pool
+  through the registered hook, so dictionary compaction must also release
+  every segment;
+* across promote/demote churn — repeated arm/retire cycles must not
+  accumulate segments.
+
+The suite skips where ``/dev/shm`` is unavailable (non-POSIX hosts);
+everywhere else it is the regression gate for the attach protocol's
+ownership rules (creator unlinks, attacher never registers).
+"""
+
+import os
+
+import pytest
+
+from repro.engine.colbuf import promoted_stats
+from repro.engine.incremental import DeltaSession
+from repro.engine.interning import TERMS
+from repro.engine.mode import execution_mode
+from repro.engine.parallel import (
+    parallel_threshold_override,
+    shm_override,
+    shutdown_pool,
+)
+from test_engine_incremental_parity import TC_PROGRAM, edge
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="/dev/shm not available"
+)
+
+WORKERS = 2
+
+
+def shm_entries():
+    """Current segment names (ours and the interpreter's anonymous ones)."""
+    return set(os.listdir("/dev/shm"))
+
+
+def evaluate_parallel(edges):
+    """One forced shared-memory parallel evaluation; returns sorted atoms."""
+    with execution_mode("parallel", WORKERS):
+        with parallel_threshold_override(0), shm_override(True):
+            session = DeltaSession(TC_PROGRAM, edges[:10])
+            session.push(edges[10:])
+            atoms = session.instance.sorted_atoms()
+            promoted, promoted_bytes = promoted_stats()
+            session.close()
+    return atoms, promoted, promoted_bytes
+
+
+@pytest.fixture(autouse=True)
+def retire_pool():
+    yield
+    shutdown_pool()
+
+
+def test_pool_shutdown_releases_every_segment():
+    edges = [edge(f"n{i}", f"n{i + 1}") for i in range(30)]
+    before = shm_entries()
+    atoms, promoted, promoted_bytes = evaluate_parallel(edges)
+    # The zero-copy path actually armed: buffers were promoted into
+    # segments while the pool was live (otherwise this suite tests nothing).
+    assert promoted > 0 and promoted_bytes > 0
+    shutdown_pool()
+    assert promoted_stats() == (0, 0)
+    leaked = shm_entries() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+    # And the shared-memory run computed the right closure.
+    with execution_mode("row"):
+        reference = DeltaSession(TC_PROGRAM, edges)
+        assert atoms == reference.instance.sorted_atoms()
+        reference.close()
+
+
+def test_epoch_reset_releases_every_segment():
+    edges = [edge(f"m{i}", f"m{i + 1}") for i in range(25)]
+    before = shm_entries()
+    _, promoted, _ = evaluate_parallel(edges)
+    assert promoted > 0
+    # The epoch hook retires the pool, which must also demote the buffers.
+    TERMS.begin_epoch()
+    assert promoted_stats() == (0, 0)
+    leaked = shm_entries() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+def test_repeated_cycles_do_not_accumulate_segments():
+    before = shm_entries()
+    for cycle in range(3):
+        edges = [edge(f"c{cycle}_{i}", f"c{cycle}_{i + 1}") for i in range(20)]
+        evaluate_parallel(edges)
+        shutdown_pool()
+        leaked = shm_entries() - before
+        assert not leaked, f"cycle {cycle} leaked: {sorted(leaked)}"
+    assert promoted_stats() == (0, 0)

@@ -1,0 +1,176 @@
+"""Mutation canaries: planted engine bugs must make the parity oracles fail.
+
+The engine's correctness story leans on differential testing — row vs batch
+vs parallel, warm vs cold, packed vs tuple — so the one failure mode the
+test tree cannot afford is an oracle that silently stopped discriminating.
+Each canary here *plants* a seeded divergence at a load-bearing site, runs
+the same differential assertion the real parity suites pin, and requires it
+to **fail**; the clean configuration is asserted to pass immediately before
+and after, so a red canary always means "the oracle went blind", never "the
+engine broke".
+
+Three mutations, one per protocol layer:
+
+* **skip the replica deletion replay** —
+  :meth:`PredicateIndex.tombstone_row` is how worker replicas and their
+  sharded step-0 stores apply parent-side retractions; a no-op here leaves
+  deleted facts matchable inside the workers, and the parallel
+  retract-vs-cold oracle must notice;
+* **perturb one probe verdict** — :func:`kernels.extensions` is the packed
+  bulk-extension kernel of the batch executor; swallowing one surviving
+  extension must break row/batch byte-parity;
+* **drop one head fire** — :meth:`Instance.add_key` lands batch-mode head
+  facts; pretending one genuinely-new fact was a duplicate must break the
+  same parity (the row path lands heads through ``add_fact``).
+
+The mutations are applied through ``monkeypatch`` fixture toggles (no
+subprocesses needed: the forked worker pool inherits the patched classes,
+and every oracle retires the pool before and after so no mutant worker
+outlives its test).
+"""
+
+import itertools
+
+import pytest
+
+from repro.datalog.database import Instance
+from repro.datalog.terms import Null
+from repro.engine import kernels
+from repro.engine.incremental import DeltaSession, cold_equivalent
+from repro.engine.index import PredicateIndex
+from repro.engine.mode import execution_mode
+from repro.engine.parallel import (
+    parallel_threshold_override,
+    shm_override,
+    shutdown_pool,
+)
+from repro.engine.stats import STATS
+from test_engine_incremental_parity import TC_PROGRAM, edge
+
+WORKERS = 2
+
+
+@pytest.fixture(scope="module", autouse=True)
+def stop_pool_after_module():
+    yield
+    shutdown_pool()
+
+
+def edges(n, prefix="n"):
+    return [edge(f"{prefix}{i}", f"{prefix}{i + 1}") for i in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# The oracles: the same differential assertions the parity suites pin
+# ---------------------------------------------------------------------------
+
+
+def oracle_parallel_retract_vs_cold():
+    """Parallel DRed retraction equals a cold run of the surviving EDB.
+
+    The pool is retired first so the workers fork *under the current code*
+    — that is what lets a planted parent-side mutation reach the replicas.
+    The columnar wire protocol is forced (``shm_override(False)``) because
+    replica liveness is worker-local there, which is exactly where the
+    deletion replay is load-bearing; under the shared-memory protocol the
+    parent's tombstoned arity lane is visible to the workers by
+    construction.  A single mid-chain edge is retracted (small over-deleted
+    closure, so DRed stays on the in-place tombstone path), then a fresh
+    edge is pushed whose closure propagates *through* the deleted position:
+    a replica that skipped the replay extends the new matches over the
+    ghost edge and diverges from the cold run.
+
+    The live branch edge at the deleted position matters: the parent's
+    pivot-viability pre-check consults the parent's own (correctly
+    unlinked) postings, so a probe value whose bucket empties is pruned
+    before any worker is asked.  Keeping one live fact in the ghost's
+    bucket is what forces the dispatch through to the replicas, where the
+    planted skip is observable.
+    """
+    es = edges(12) + [edge("n10", "b0")]
+    shutdown_pool()
+    try:
+        with execution_mode("parallel", WORKERS):
+            with parallel_threshold_override(0), shm_override(False):
+                session = DeltaSession(TC_PROGRAM, es)
+                session.retract([es[10]])
+                session.push([edge("p0", "n0")])
+                atoms = session.instance.sorted_atoms()
+                cold = cold_equivalent(session)
+                session.close()
+                assert atoms == cold.sorted_atoms()
+    finally:
+        shutdown_pool()
+
+
+def oracle_row_vs_batch():
+    """Row and batch executors: byte-identical atoms and gated counters."""
+    es = edges(10)
+    outcomes = {}
+    for mode in ("row", "batch"):
+        with execution_mode(mode):
+            Null._counter = itertools.count()
+            STATS.reset()
+            session = DeltaSession(TC_PROGRAM, es[:6])
+            session.push(es[6:])
+            outcomes[mode] = (session.instance.sorted_atoms(), STATS.gated())
+            session.close()
+    assert outcomes["row"] == outcomes["batch"]
+
+
+# ---------------------------------------------------------------------------
+# The canaries
+# ---------------------------------------------------------------------------
+
+
+def test_skipped_replica_deletion_is_caught(monkeypatch):
+    oracle_parallel_retract_vs_cold()  # clean: must pass
+    with monkeypatch.context() as m:
+        # Plant: the replica-side deletion replay does nothing, so worker
+        # shards keep retracted facts live as step-0 candidates.
+        m.setattr(
+            PredicateIndex, "tombstone_row", lambda self, predicate, row_id: None
+        )
+        with pytest.raises(AssertionError):
+            oracle_parallel_retract_vs_cold()
+    oracle_parallel_retract_vs_cold()  # unplanted: must pass again
+
+
+def test_perturbed_probe_verdict_is_caught(monkeypatch):
+    oracle_row_vs_batch()  # clean: must pass
+    original = kernels.extensions
+    state = {"perturbed": False}
+
+    def mutant(cols, candidate_ids, arity, bind_positions, intra_pairs):
+        result = original(cols, candidate_ids, arity, bind_positions, intra_pairs)
+        if not state["perturbed"] and result:
+            state["perturbed"] = True
+            return result[1:]  # flip exactly one probe verdict: drop a survivor
+        return result
+
+    with monkeypatch.context() as m:
+        m.setattr(kernels, "extensions", mutant)
+        m.setattr("repro.engine.batch.kernels.extensions", mutant, raising=False)
+        with pytest.raises(AssertionError):
+            oracle_row_vs_batch()
+    assert state["perturbed"], "the mutant kernel was never exercised"
+    oracle_row_vs_batch()  # unplanted: must pass again
+
+
+def test_dropped_head_fire_is_caught(monkeypatch):
+    oracle_row_vs_batch()  # clean: must pass
+    original = Instance.add_key
+    state = {"dropped": False}
+
+    def mutant(self, key):
+        if not state["dropped"] and key not in self._keys:
+            state["dropped"] = True
+            return None  # swallow the first genuinely-new head fact
+        return original(self, key)
+
+    with monkeypatch.context() as m:
+        m.setattr(Instance, "add_key", mutant)
+        with pytest.raises(AssertionError):
+            oracle_row_vs_batch()
+    assert state["dropped"], "the mutant head-fire path was never exercised"
+    oracle_row_vs_batch()  # unplanted: must pass again
