@@ -160,6 +160,61 @@ def test_churn_chain_window(benchmark, batches):
     assert recompute > incremental
 
 
+@pytest.mark.parametrize("batches", [6])
+def test_churn_compaction_bounded_lanes(benchmark, batches):
+    """Forced-low compact ratio keeps tombstoned lanes bounded under churn.
+
+    The sliding-chain feed again, but with ``compact_ratio`` forced to 0.2 so
+    tombstone compaction actually fires mid-replay (the default 0.5 rarely
+    trips on this feed).  The probe pins the bounded-lane contract of the
+    maintenance surface: after the final retraction, no lane above the
+    compaction row floor may carry more than the configured tombstone
+    fraction — the dead rows a lane is allowed to accumulate are bounded by
+    the knob, not by the lifetime of the session.  Compaction counts land in
+    extra info; result parity with the no-compaction engine is pinned
+    separately in ``tests/test_engine_retract_parity.py``.
+    """
+    from repro.engine.index import _COMPACT_MIN_ROWS, compact_ratio, set_compact_ratio
+
+    ratio = 0.2
+    initial, feed = sliding_chain_stream(
+        window=200, batches=batches, edges_per_batch=8
+    )
+    initial_atoms, batch_atoms = _churn_atoms(initial, feed)
+
+    def churn():
+        previous = compact_ratio()
+        set_compact_ratio(ratio)
+        try:
+            session = DeltaSession(REACHABILITY, initial_atoms)
+            for inserts, deletes in batch_atoms:
+                session.push(inserts)
+                session.retract(deletes)
+            index = session.instance._index
+            lanes = {
+                predicate: (index.row_count(predicate), index.live.get(predicate, 0))
+                for predicate in index.rows
+            }
+            compactions = dict(session.compaction_counts)
+            size = len(session)
+            session.close()
+            return size, lanes, compactions
+        finally:
+            set_compact_ratio(previous)
+
+    size, lanes, compactions = benchmark.pedantic(churn, rounds=1, iterations=1)
+    # The bounded-lane invariant: retraction ends every batch, and
+    # _maybe_compact runs at the end of every retraction, so any big lane
+    # still above the ratio after the replay means compaction failed to fire.
+    for predicate, (total, live) in sorted(lanes.items()):
+        if total >= _COMPACT_MIN_ROWS:
+            assert (total - live) / total <= ratio, (predicate, total, live)
+    assert sum(compactions.values()) >= 1  # the forced ratio really compacts
+    benchmark.extra_info["batches"] = len(batch_atoms)
+    benchmark.extra_info["compactions"] = sum(compactions.values())
+    benchmark.extra_info["facts_total"] = size
+
+
 @pytest.mark.parametrize("batches", [8])
 def test_churn_reachability(benchmark, batches):
     initial, feed = churn_heavy_social_stream(

@@ -75,7 +75,7 @@ from repro.engine.parallel import shutdown_pool  # noqa: E402
 from repro.engine.stats import STATS  # noqa: E402
 from repro.obs.profile import PROFILER  # noqa: E402
 
-SCHEMA_VERSION = 8
+SCHEMA_VERSION = 9
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_engine_core.json")
 MODES = ("row", "batch", "parallel")
 # An empty string counts as unset, matching repro.engine.mode (CI matrices
@@ -99,7 +99,11 @@ MODE_INDEPENDENT_COUNTERS = (
 MIN_REGRESSION_SECONDS = 0.010
 #: Parallel payload regressions smaller than this (bytes) never fail the
 #: gate; tiny dispatches jitter with pickling details, big ones matter.
-MIN_BYTES_REGRESSION = 65536
+#: Schema v9 tightened this from 64 KiB to 8 KiB: with CSR postings sealed in
+#: shared memory and sub-segment results riding the pooled worker ring, the
+#: pipe should carry near-zero payload, so even modest growth is a real
+#: protocol regression.
+MIN_BYTES_REGRESSION = 8192
 
 
 def _peak_rss_kb() -> Optional[int]:
@@ -299,6 +303,14 @@ def run_scenario(
             # outside parallel mode, or with REPRO_SHM=0).  Reported, never
             # gated — read together with parallel_bytes_shipped.
             "parallel_shm_bytes": last_stats["parallel_shm_bytes"],
+            # Schema v9: synchronisation time split out of the dispatch wall
+            # (sealing CSR postings + promoting columns + broadcasting the
+            # sync message), worker postings rows rebuilt per-row (0 on the
+            # CSR attach path — that zero is the whole point), and tombstone
+            # compactions run by retraction sessions.  Reported, never gated.
+            "parallel_sync_ms": round(last_stats["parallel_sync_ns"] / 1e6, 3),
+            "postings_rebuilt": last_stats["postings_rebuilt"],
+            "compactions": last_stats["compactions"],
             "peak_rss_kb": _peak_rss_kb(),
             "facts_per_second": (
                 round(last_stats["facts_added"] / median) if median > 0 else None

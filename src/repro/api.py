@@ -39,6 +39,7 @@ from repro.datalog.atoms import Atom
 from repro.datalog.parser import parse_program
 from repro.datalog.program import Program
 from repro.datalog.semantics import evaluate_program
+from repro.engine import index as _index
 from repro.engine import mode as _mode
 from repro.engine import parallel as _parallel
 from repro.engine.plancache import load_plan_cache, save_plan_cache
@@ -59,8 +60,18 @@ class EngineConfig:
     ``mode``                  ``REPRO_ENGINE_MODE``           ``"batch"``
     ``workers``               ``REPRO_ENGINE_PARALLEL``       ``2``
     ``parallel_threshold``    ``REPRO_PARALLEL_THRESHOLD``    ``4096``
+    ``shm_result_min``        ``REPRO_SHM_RESULT_MIN``        ``0``
+    ``compact_ratio``         ``REPRO_COMPACT_RATIO``         ``0.5``
     ``plan_cache``            —                               no persistence
     ========================  ==============================  ================
+
+    ``shm_result_min`` is the match-result payload size (bytes) below which
+    parallel workers use the result pipe instead of their pooled
+    shared-memory segment; workers resolve it from their fork-inherited
+    environment, so set it before the pool first spawns.  ``compact_ratio``
+    is the tombstone fraction above which :meth:`DeltaSession.retract
+    <repro.engine.incremental.DeltaSession.retract>` compacts a predicate's
+    lanes (1.0 or higher disables compaction).
 
     ``plan_cache`` is a filesystem path: compiled join plans are staged from
     it when the engine is constructed (missing file = cold start) and written
@@ -70,6 +81,8 @@ class EngineConfig:
     mode: Optional[str] = None
     workers: Optional[int] = None
     parallel_threshold: Optional[int] = None
+    shm_result_min: Optional[int] = None
+    compact_ratio: Optional[float] = None
     plan_cache: Optional[str] = None
 
     def __post_init__(self):
@@ -82,6 +95,14 @@ class EngineConfig:
         if self.parallel_threshold is not None and self.parallel_threshold < 0:
             raise ValueError(
                 f"parallel_threshold must be >= 0, got {self.parallel_threshold}"
+            )
+        if self.shm_result_min is not None and self.shm_result_min < 0:
+            raise ValueError(
+                f"shm_result_min must be >= 0, got {self.shm_result_min}"
+            )
+        if self.compact_ratio is not None and self.compact_ratio <= 0:
+            raise ValueError(
+                f"compact_ratio must be positive, got {self.compact_ratio}"
             )
 
     @classmethod
@@ -100,7 +121,17 @@ class EngineConfig:
             mode = "parallel"
         threshold_raw = environ.get("REPRO_PARALLEL_THRESHOLD") or None
         threshold = int(threshold_raw) if threshold_raw else None
-        return cls(mode=mode, workers=workers, parallel_threshold=threshold)
+        result_min_raw = environ.get("REPRO_SHM_RESULT_MIN") or None
+        result_min = int(result_min_raw) if result_min_raw else None
+        ratio_raw = environ.get("REPRO_COMPACT_RATIO") or None
+        ratio = float(ratio_raw) if ratio_raw else None
+        return cls(
+            mode=mode,
+            workers=workers,
+            parallel_threshold=threshold,
+            shm_result_min=result_min,
+            compact_ratio=ratio,
+        )
 
     def with_overrides(self, **changes) -> "EngineConfig":
         """A copy with the given fields replaced."""
@@ -130,6 +161,10 @@ class Engine:
             _mode.set_worker_count(self.config.workers)
         if self.config.parallel_threshold is not None:
             _parallel.set_parallel_threshold(self.config.parallel_threshold)
+        if self.config.shm_result_min is not None:
+            _parallel.set_shm_result_min(self.config.shm_result_min)
+        if self.config.compact_ratio is not None:
+            _index.set_compact_ratio(self.config.compact_ratio)
         if self.config.plan_cache is not None and os.path.exists(self.config.plan_cache):
             load_plan_cache(self.config.plan_cache)
 

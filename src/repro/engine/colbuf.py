@@ -85,14 +85,19 @@ _MIN_CAPACITY = 64
 # Promoted buffers owned by this process, for demote_all() teardown sweeps.
 _PROMOTED: "weakref.WeakSet[ColumnBuffer]" = weakref.WeakSet()
 
+# CSR seal segments owned (created) by this process, for the same sweep:
+# a retired pool leaves no attacher, so an owned seal segment would only
+# leak /dev/shm space past shutdown_pool().
+_SEALS: "weakref.WeakSet[SharedIntSegment]" = weakref.WeakSet()
+
 _seg_counter = 0
 
 
-def _segment_name() -> str:
+def _segment_name(kind: str = "col") -> str:
     """A process-unique shared-memory segment name."""
     global _seg_counter
     _seg_counter += 1
-    return f"repro-col-{os.getpid()}-{_seg_counter}"
+    return f"repro-{kind}-{os.getpid()}-{_seg_counter}"
 
 
 def _unregister_attachment(name: str) -> None:
@@ -132,6 +137,78 @@ def _registration_suppressed():
         yield
     finally:
         resource_tracker.register = original
+
+
+class SharedIntSegment:
+    """One flat int64 shared-memory region: the CSR seal container.
+
+    The parent packs a whole seal — every lane chunk of one sync — into a
+    single segment (:meth:`create`) and ships only its name plus a
+    directory of offsets; workers map it read-only (:meth:`attach`) and
+    slice zero-copy chunk views out of :attr:`data`.  Same tracker
+    discipline as :class:`ColumnBuffer`: the creator holds the single
+    registration (and the unlink), attachers never register.  Creator-side
+    instances are swept by :func:`demote_all` so a retired pool leaves
+    ``/dev/shm`` exactly as it found it even when a session object (and the
+    sealer state it owns) outlives the pool.
+    """
+
+    __slots__ = ("name", "data", "_shm", "_owned", "__weakref__")
+
+    def __init__(self, shm, n_values: int, owned: bool):
+        self.name = shm.name
+        self._shm = shm
+        self._owned = owned
+        self.data = shm.buf[: n_values * _ITEMSIZE].cast("q")
+        if owned:
+            _SEALS.add(self)
+
+    @classmethod
+    def create(cls, values) -> Optional["SharedIntSegment"]:
+        """Pack ``values`` (an ``array('q')``) into a fresh owned segment.
+
+        None when shared memory is unavailable or full — the caller falls
+        back to the non-CSR protocol for the session.
+        """
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(len(values), 1) * _ITEMSIZE,
+                name=_segment_name("csr"),
+            )
+        except Exception:  # pragma: no cover - /dev/shm unavailable or full
+            return None
+        raw = memoryview(values).cast("B")
+        shm.buf[: len(raw)] = raw
+        return cls(shm, len(values), owned=True)
+
+    @classmethod
+    def attach(cls, name: str, n_values: int) -> "SharedIntSegment":
+        """Map a parent seal segment read-only (worker side, unregistered)."""
+        from multiprocessing import shared_memory
+
+        with _registration_suppressed():
+            shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, n_values, owned=False)
+
+    def release(self) -> None:
+        """Drop the mapping; owners also unlink the segment (idempotent)."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            self.data.release()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+        if self._owned:
+            _SEALS.discard(self)
+            _close_and_unlink(shm)
+        else:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
 
 
 class ColumnBuffer:
@@ -526,6 +603,8 @@ def demote_all() -> None:
             buffer.demote()
         except Exception:  # pragma: no cover - teardown best effort
             pass
+    for segment in list(_SEALS):
+        segment.release()
 
 
 def promoted_stats() -> Tuple[int, int]:

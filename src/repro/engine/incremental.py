@@ -103,6 +103,7 @@ from repro.datalog.semantics import INCONSISTENT, SemanticsResult
 from repro.datalog.seminaive import SemiNaiveEvaluator
 from repro.datalog.stratification import partition_by_stratum, stratify
 from repro.datalog.terms import Term
+from repro.engine.index import _COMPACT_MIN_ROWS, compact_ratio
 from repro.engine.interning import TERMS
 from repro.engine.mode import batch_enabled
 from repro.engine.parallel import maybe_session
@@ -275,6 +276,9 @@ class DeltaSession:
         #: snapshot pinned before a deletion fails loudly instead of
         #: silently missing rows.
         self.retractions = 0
+        #: predicate -> lane compactions performed on it this session; the
+        #: service surfaces this through ``MaterializedView.maintenance()``.
+        self.compaction_counts: Dict[str, int] = {}
         #: Per-constraint verdict cache for incremental consistency checks:
         #: entry ``i`` is the last known "constraint i is satisfied" verdict
         #: (None = unknown), reusable while no predicate its body reads is
@@ -461,6 +465,7 @@ class DeltaSession:
         STATS.rederived += rederived
         with TRACER.span("retract.null_gc", marked=len(marked)):
             collected = self._collect_nulls(marked, rebuild_from is not None)
+        self._maybe_compact()
         self.retractions += 1
         if TRACER.enabled:
             TRACER.record(
@@ -484,6 +489,46 @@ class DeltaSession:
             completed=self.completed,
             limit_reason=self.limit_reason,
         )
+
+    def _maybe_compact(self) -> int:
+        """Compact predicates whose tombstone ratio crossed the threshold.
+
+        The maintenance tail of :meth:`retract`: any predicate holding at
+        least :data:`~repro.engine.index._COMPACT_MIN_ROWS` rows with more
+        than :func:`~repro.engine.index.compact_ratio` of them dead gets its
+        lanes packed and renumbered (:meth:`PredicateIndex.compact
+        <repro.engine.index.PredicateIndex.compact>`), so a long churn
+        stream stops carrying its whole deletion history in RAM.  Purely
+        physical — the live facts, their order, and their gids are
+        untouched, which is why results and the gated counters stay
+        byte-identical to a never-compacting run (pinned by the retract
+        parity suite).  Renumbering invalidates the parallel replicas' row
+        alignment, so a compaction re-arms the session from scratch; any
+        snapshot that predates it was already flagged stale by the
+        tombstoning that pushed the ratio over the threshold.
+        """
+        index = self.instance._index
+        ratio = compact_ratio()
+        live_counts = index.live
+        compacted = 0
+        for predicate in list(index.rows):
+            total = index.row_count(predicate)
+            if total < _COMPACT_MIN_ROWS:
+                continue
+            dead = total - live_counts.get(predicate, 0)
+            if dead and dead / total > ratio:
+                index.compact(predicate)
+                STATS.compactions += 1
+                self.compaction_counts[predicate] = (
+                    self.compaction_counts.get(predicate, 0) + 1
+                )
+                compacted += 1
+        if compacted and self._session is not None:
+            # Replica row ids are parent-aligned by append order; compaction
+            # renumbered them, so the workers must resync from scratch.
+            self._session.close()
+            self._session = maybe_session(self.instance, self._all_compiled)
+        return compacted
 
     def query(self, predicate: str) -> FrozenSet[Tuple[Term, ...]]:
         """The ground answer tuples over ``predicate`` — the paper's ``Q(D)``."""

@@ -37,19 +37,28 @@ worker processes and exposes it to the engines as a drop-in replacement for
   sync message shrinks to a **segment table** — ``(predicate, name,
   capacity, positions, watermark)`` rows plus the dictionary delta and the
   tombstone-log suffix (now 4-int ``[pred, row_id, gid, arity]`` records).
-  Workers attach the segments read-only, build their postings and shard gid
-  lists directly from the shared columns (the gid column travels inside the
+  Workers attach the segments read-only and build their shard gid lists
+  directly from the shared columns (the gid column travels inside the
   buffer, so no per-fact append stream crosses the wire at all), and replay
-  deletions by reading the still-present values of tombstoned rows.  Match
-  results above :data:`_RESULT_SHM_MIN` come back through worker-created
-  segments the parent reads and unlinks, counted in
-  ``STATS.parallel_shm_bytes``; only the residual control traffic stays in
-  ``STATS.parallel_bytes_shipped`` — the ≥5x wire reduction the columnar
-  refactor exists for.  Reads and writes never race: the parent only
-  mutates shared buffers between dispatches, and workers only read between
-  a sync and their match reply.  ``shutdown_pool`` demotes every promoted
-  buffer back to the heap, which is what keeps ``/dev/shm`` clean across
-  pool retirements and term-table epoch resets.
+  deletions by reading the still-present values of tombstoned rows.  With
+  the CSR seal protocol (the default; ``REPRO_CSR=0`` disables it) workers
+  do not even rebuild postings: the parent seals its list buckets into a
+  flat per-``(predicate, position)`` CSR layout
+  (:class:`~repro.engine.index.CsrSealer`) — one shared segment per sync,
+  covering only the lanes dirtied since the watermark — and workers attach
+  it zero-copy (:class:`~repro.engine.index.CsrStore`), which drives the
+  per-sync ``STATS.postings_rebuilt`` pass to 0.  Match results come back
+  through a **pooled per-worker result segment** (grow-by-doubling, reused
+  across tasks) once they reach :func:`shm_result_min` (default 0: every
+  result skips the pipe), counted in ``STATS.parallel_shm_bytes``; only
+  the residual control traffic stays in ``STATS.parallel_bytes_shipped``.
+  Reads and writes never race: the parent only mutates shared buffers
+  between dispatches, workers only read between a sync and their match
+  reply, and the broadcast/collect-all cycle means a worker never rewrites
+  its result segment before the parent consumed the previous task.
+  ``shutdown_pool`` demotes every promoted buffer back to the heap, which
+  is what keeps ``/dev/shm`` clean across pool retirements and term-table
+  epoch resets.
 * **Matching is distributed, firing is not.**  A match task asks every
   worker for its shard's slice of one rule's trigger batches (the full join
   of a naive round, or the viable pivots of a delta round, whose candidate
@@ -88,8 +97,13 @@ from contextlib import contextmanager
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.engine import interning
-from repro.engine.colbuf import ColumnBuffer, _unregister_attachment, demote_all
-from repro.engine.index import PredicateIndex
+from repro.engine.colbuf import (
+    ColumnBuffer,
+    _registration_suppressed,
+    _segment_name,
+    demote_all,
+)
+from repro.engine.index import CsrSealer, CsrStore, PredicateIndex
 from repro.engine.interning import TERMS
 from repro.engine.mode import get_worker_count, parallel_enabled
 from repro.engine.shard import ShardedInstance, merge_sharded, run_batch_sharded
@@ -171,6 +185,82 @@ def shm_override(flag: bool) -> Iterator[None]:
         set_shm_enabled(previous)
 
 
+# None = not resolved yet: REPRO_CSR is read lazily at first use so test
+# harnesses can set it after import.
+_csr_mode: Optional[bool] = None
+
+
+def csr_enabled() -> bool:
+    """True iff shared-memory sessions seal postings to CSR for the workers.
+
+    ``REPRO_CSR=0`` keeps the PR 9 behaviour — workers rebuild their
+    postings dicts from the shared gid lane every sync (the benchmark
+    probes run both legs to measure the delta).  Only consulted on the
+    shared-memory protocol; the pickled protocol always rebuilds.
+    """
+    global _csr_mode
+    if _csr_mode is None:
+        _csr_mode = os.environ.get("REPRO_CSR") != "0"
+    return _csr_mode
+
+
+def set_csr_enabled(flag: bool) -> None:
+    """Force the CSR seal protocol choice for this process (tests).
+
+    Takes effect at the next session arm: a session resolves the choice at
+    its first sync and keeps it (a mid-session switch would leave workers
+    with half-built postings), and fork-inherited worker state means tests
+    should ``shutdown_pool()`` before toggling.
+    """
+    global _csr_mode
+    _csr_mode = bool(flag)
+
+
+@contextmanager
+def csr_override(flag: bool) -> Iterator[None]:
+    """Temporarily force/disable the CSR seal protocol (tests, benchmarks)."""
+    previous = csr_enabled()
+    set_csr_enabled(flag)
+    try:
+        yield
+    finally:
+        set_csr_enabled(previous)
+
+
+# None = not resolved yet: REPRO_SHM_RESULT_MIN is read lazily at first use
+# (in the worker process, so the env var must be set before the pool forks).
+_shm_result_min: Optional[int] = None
+
+
+def shm_result_min() -> int:
+    """Result payload bytes below which workers use the pipe, not the ring.
+
+    ``REPRO_SHM_RESULT_MIN`` (default 0): with the pooled per-worker result
+    segment the per-result cost is one memcpy — no create/open/unlink churn
+    — so even tiny results default to shared memory and the pipe carries
+    only control tuples.  Raising it restores pipe shipping for small
+    results (the lifecycle tests exercise both sides).  Workers resolve it
+    lazily from their fork-inherited environment; parent-side setters only
+    affect pools forked afterwards.
+    """
+    global _shm_result_min
+    if _shm_result_min is None:
+        raw = os.environ.get("REPRO_SHM_RESULT_MIN")
+        try:
+            _shm_result_min = int(raw) if raw else 0
+        except ValueError:
+            _shm_result_min = 0
+    return _shm_result_min
+
+
+def set_shm_result_min(n_bytes: int) -> None:
+    """Pin the result-ring threshold for this process (tests, EngineConfig)."""
+    if n_bytes < 0:
+        raise ValueError(f"result shm threshold must be >= 0, got {n_bytes}")
+    global _shm_result_min
+    _shm_result_min = int(n_bytes)
+
+
 # ---------------------------------------------------------------------------
 # Columnar wire helpers
 # ---------------------------------------------------------------------------
@@ -223,51 +313,71 @@ def _unpack_parts(
     return parts
 
 
-#: Result payloads at least this large come back through a worker-created
-#: shared-memory segment instead of the result queue's pipe.  Small results
-#: stay on the pipe: a segment costs two syscall-heavy opens plus an unlink,
-#: which only amortises on bulk payloads.
-_RESULT_SHM_MIN = 1 << 18
+class _ResultRing:
+    """A worker's persistent result segment, reused across match tasks.
 
+    The one-shot predecessor paid a create + open + unlink syscall round per
+    result, which only amortised above 256 KB — everything smaller stayed
+    on the pipe.  The ring keeps **one** worker-owned segment alive for the
+    pool's lifetime and grows it by doubling when a payload outsizes it, so
+    shipping a result is a single memcpy and even tiny payloads skip the
+    pipe (see :func:`shm_result_min`).
 
-def _ship_result_segment(payload: bytes) -> Optional[str]:
-    """Stage a large result payload in a fresh segment; None = use the pipe.
-
-    The worker creates (and thereby registers) the segment, copies the
-    payload in, then *unregisters* it — ownership travels to the parent,
-    which reads and unlinks it.  A worker crashing between ship and read
-    leaks the segment until reboot; that window is accepted (the parent
-    tears the whole pool down on a dead worker anyway).
+    Reuse is safe because the match protocol is broadcast → collect-all →
+    next-task: the parent has consumed a task's payload from every worker
+    before any worker receives the next task, so a worker never overwrites
+    bytes the parent still needs.  The worker stays the registered creator
+    (its resource tracker reclaims the segment if the process dies); on
+    regrow the old segment is unlinked immediately — the parent's stale
+    mapping stays readable until it notices the new name and closes it.
     """
-    if len(payload) < _RESULT_SHM_MIN:
-        return None
-    try:
-        from multiprocessing import shared_memory
 
-        segment = shared_memory.SharedMemory(create=True, size=len(payload))
-    except Exception:  # pragma: no cover - /dev/shm unavailable or full
-        return None
-    segment.buf[: len(payload)] = payload
-    name = segment.name
-    segment.close()
-    _unregister_attachment(name)
-    return name
+    __slots__ = ("_shm", "_capacity", "_broken")
 
+    def __init__(self) -> None:
+        self._shm = None
+        self._capacity = 0
+        self._broken = False
 
-def _read_result_segment(name: str, size: int) -> bytes:
-    """Read and retire one worker result segment (parent side).
+    def ship(self, payload: bytes) -> Optional[Tuple[str, int]]:
+        """Stage ``payload`` in the ring; ``(name, size)``, or None = pipe."""
+        size = len(payload)
+        if self._broken or size < shm_result_min():
+            return None
+        if self._capacity < size:
+            try:
+                from multiprocessing import shared_memory
 
-    The parent's open registers the name with its tracker and ``unlink``
-    unregisters it — a balanced pair, matching the worker's create+disown.
-    """
-    from multiprocessing import shared_memory
+                capacity = max(self._capacity, 1 << 16)
+                while capacity < size:
+                    capacity *= 2
+                fresh = shared_memory.SharedMemory(
+                    create=True, size=capacity, name=_segment_name("res")
+                )
+            except Exception:  # pragma: no cover - /dev/shm unavailable or full
+                self._broken = True
+                return None
+            self.close(unlink=True)
+            self._shm = fresh
+            self._capacity = capacity
+        self._shm.buf[:size] = payload
+        return (self._shm.name, size)
 
-    segment = shared_memory.SharedMemory(name=name)
-    try:
-        return bytes(segment.buf[:size])
-    finally:
-        segment.close()
-        segment.unlink()
+    def close(self, unlink: bool) -> None:
+        """Drop the segment (idempotent); ``unlink`` retires the name too."""
+        shm, self._shm = self._shm, None
+        self._capacity = 0
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+        if unlink:
+            try:
+                shm.unlink()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
 
 
 class _Replica:
@@ -321,11 +431,21 @@ def _worker_main(worker_id: int, n_workers: int, task_queue, result_queue) -> No
     #: predicate -> the attached ColumnBuffer view of the parent's segment
     #: (shared-memory protocol only; empty under the pickled protocol).
     attached: Dict[str, ColumnBuffer] = {}
+    #: Sealed CSR postings attached from the parent (CSR protocol only).
+    csr_store = CsrStore()
+    #: The pooled result segment this worker ships match payloads through.
+    ring = _ResultRing()
+    #: Rows (re)posted into this worker's postings dicts since the last
+    #: match reply — folded into the parent's ``STATS.postings_rebuilt``
+    #: per reply (the per-match ``STATS.reset()`` wipes module globals, so
+    #: the count lives in a loop local).
+    postings_rebuilt = 0
 
     def detach_all() -> None:
         for cols in attached.values():
             cols.detach()
         attached.clear()
+        csr_store.release_all()
 
     #: A failed sync (e.g. a dictionary-delta divergence) leaves the replica
     #: suspect: the diagnostic is held here and reported on the next match
@@ -363,6 +483,7 @@ def _worker_main(worker_id: int, n_workers: int, task_queue, result_queue) -> No
                     ids = tuple(stream[cursor + 3 : cursor + 3 + arity])
                     cursor += 3 + arity
                     replica.add_encoded(predicate, ids)
+                    postings_rebuilt += 1
                     sharded.ingest_encoded(predicate, ids, gid)
                 cursor = 0
                 end = len(deletions)
@@ -380,22 +501,28 @@ def _worker_main(worker_id: int, n_workers: int, task_queue, result_queue) -> No
             # The shared-memory protocol: no fact rows on the wire at all.
             # The payload carries the dictionary delta, a segment table
             # (predicate, name, capacity, positions, watermark), the
-            # predicate name table, and 4-int [pred, row_id, gid, arity]
-            # deletion records.  The worker attaches each segment (or just
-            # advances its watermark when the name is unchanged), posts the
-            # fresh rows straight off the shared columns into its local
-            # postings and shard — reading the gid column instead of any
-            # wire stream — and replays deletions by reading the
-            # still-present values of tombstoned rows.  Deletions of rows
-            # at or past the previous watermark are skipped for the
-            # replica: those rows were never posted (the fresh walk skips
-            # dead rows), which also makes full-log replay after a reset a
-            # no-op.
+            # predicate name table, 4-int [pred, row_id, gid, arity]
+            # deletion records, and the CSR seal descriptor (None on
+            # non-CSR sessions).  The worker attaches each segment (or just
+            # advances its watermark when the name is unchanged) and builds
+            # its shard gid lists straight off the shared columns.  Without
+            # CSR it also posts the fresh rows into its local postings and
+            # replays deletions against them; with CSR neither pass runs —
+            # probes resolve against the attached seal chunks, which the
+            # parent already rebuilt for any lane a deletion dirtied.
             try:
-                c_start, consts, n_start, nulls, segments, preds, deletions = (
-                    pickle.loads(message[1])
-                )
+                (
+                    c_start,
+                    consts,
+                    n_start,
+                    nulls,
+                    segments,
+                    preds,
+                    deletions,
+                    csr,
+                ) = pickle.loads(message[1])
                 TERMS.apply_delta(c_start, n_start, consts, nulls)
+                use_csr = csr is not None
                 starts: Dict[str, int] = {}
                 for predicate, name, capacity, n_positions, n_rows in segments:
                     prev = attached.get(predicate)
@@ -414,7 +541,11 @@ def _worker_main(worker_id: int, n_workers: int, task_queue, result_queue) -> No
                         cols = ColumnBuffer.attach(name, capacity, n_positions, n_rows)
                         attached[predicate] = cols
                     starts[predicate] = start
-                    replica._index.index_attached(predicate, cols, start)
+                    if use_csr:
+                        replica._index.attach_cols(predicate, cols)
+                    else:
+                        replica._index.index_attached(predicate, cols, start)
+                        postings_rebuilt += n_rows - start
                     arities = cols.arities
                     gid_column = cols.gids
                     for row_id in range(start, n_rows):
@@ -426,6 +557,11 @@ def _worker_main(worker_id: int, n_workers: int, task_queue, result_queue) -> No
                             cols.values_at(row_id, arity),
                             gid_column[row_id],
                         )
+                if use_csr:
+                    seal_name, seal_values, directory = csr
+                    if seal_name is not None:
+                        csr_store.apply(seal_name, seal_values, preds, directory)
+                    replica._index.csr = csr_store
                 cursor = 0
                 end = len(deletions)
                 while cursor < end:
@@ -434,7 +570,7 @@ def _worker_main(worker_id: int, n_workers: int, task_queue, result_queue) -> No
                     gid = deletions[cursor + 2]
                     arity = deletions[cursor + 3]
                     cursor += 4
-                    if row_id < starts.get(predicate, 0):
+                    if not use_csr and row_id < starts.get(predicate, 0):
                         replica._index.unlink_dead(predicate, row_id, arity)
                     if gid >= 0:
                         shard.tombstone_gid(predicate, gid)
@@ -464,22 +600,31 @@ def _worker_main(worker_id: int, n_workers: int, task_queue, result_queue) -> No
                 payload = pickle.dumps(
                     _pack_parts(parts), pickle.HIGHEST_PROTOCOL
                 )
-                segment_name = _ship_result_segment(payload)
-                if segment_name is not None:
+                shipped = ring.ship(payload)
+                if shipped is not None:
                     result_queue.put(
                         (
                             "shm",
                             task_id,
                             worker_id,
-                            segment_name,
-                            len(payload),
+                            shipped[0],
+                            shipped[1],
                             STATS.batch_probe_groups,
+                            postings_rebuilt,
                         )
                     )
                 else:
                     result_queue.put(
-                        ("ok", task_id, worker_id, payload, STATS.batch_probe_groups)
+                        (
+                            "ok",
+                            task_id,
+                            worker_id,
+                            payload,
+                            STATS.batch_probe_groups,
+                            postings_rebuilt,
+                        )
                     )
+                postings_rebuilt = 0
             except Exception as error:  # pragma: no cover - defensive
                 result_queue.put(
                     ("err", task_id, worker_id, f"{type(error).__name__}: {error}")
@@ -502,6 +647,7 @@ def _worker_main(worker_id: int, n_workers: int, task_queue, result_queue) -> No
             sync_error = None
         elif tag == "stop":
             detach_all()
+            ring.close(unlink=True)
             return
 
 
@@ -537,11 +683,37 @@ class WorkerPool:
         self._task_counter = 0
         #: The session whose replica state the workers currently hold.
         self.current_session: Optional["ParallelSession"] = None
+        #: worker_id -> (segment name, mapping) of that worker's pooled
+        #: result ring — attached once and reused until the worker regrows
+        #: the ring under a new name (the worker owns every unlink).
+        self._result_segments: Dict[int, Tuple[str, object]] = {}
 
     def broadcast(self, message) -> None:
         """Send one message to every worker's task queue."""
         for queue in self.task_queues:
             queue.put(message)
+
+    def _read_result(self, worker_id: int, name: str, size: int) -> bytes:
+        """One worker's result payload out of its pooled ring segment.
+
+        The mapping is cached per worker (suppressed registration — the
+        worker is the creator) and replaced only when the ring regrew into
+        a fresh name; the steady state is a single memcpy per result with
+        no segment syscalls at all.
+        """
+        cached = self._result_segments.get(worker_id)
+        if cached is None or cached[0] != name:
+            from multiprocessing import shared_memory
+
+            if cached is not None:
+                try:
+                    cached[1].close()
+                except Exception:  # pragma: no cover - teardown best effort
+                    pass
+            with _registration_suppressed():
+                shm = shared_memory.SharedMemory(name=name)
+            cached = self._result_segments[worker_id] = (name, shm)
+        return bytes(cached[1].buf[:size])
 
     def match(self, rule_id: int, spec) -> List[List[Tuple[List[int], List[Tuple]]]]:
         """Run one match task on every worker; per-worker payloads, by id."""
@@ -551,6 +723,7 @@ class WorkerPool:
         payloads: List[Optional[List]] = [None] * self.n_workers
         pending = self.n_workers
         probe_groups = 0
+        rebuilt = 0
         waited = 0.0
         while pending:
             # Short poll intervals so a crashed worker (segfault, OOM kill)
@@ -575,11 +748,11 @@ class WorkerPool:
                     f"parallel worker {result[2]} failed on task {result[1]}: {result[3]}"
                 )
             if result[0] == "shm":
-                _, result_task, worker_id, segment_name, size, groups = result
-                payload = _read_result_segment(segment_name, size)
+                _, result_task, worker_id, segment_name, size, groups, posted = result
+                payload = self._read_result(worker_id, segment_name, size)
                 STATS.parallel_shm_bytes += size
             else:
-                _, result_task, worker_id, payload, groups = result
+                _, result_task, worker_id, payload, groups, posted = result
                 STATS.parallel_bytes_shipped += len(payload)
             if result_task != task_id:  # pragma: no cover - protocol guard
                 raise RuntimeError(
@@ -587,8 +760,10 @@ class WorkerPool:
                 )
             payloads[worker_id] = _unpack_parts(pickle.loads(payload))
             probe_groups += groups
+            rebuilt += posted
             pending -= 1
         STATS.batch_probe_groups += probe_groups
+        STATS.postings_rebuilt += rebuilt
         return payloads  # type: ignore[return-value]
 
     def shutdown(self) -> None:
@@ -602,6 +777,12 @@ class WorkerPool:
             process.join(timeout=2.0)
             if process.is_alive():  # pragma: no cover - teardown best effort
                 process.terminate()
+        for _, shm in self._result_segments.values():
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        self._result_segments.clear()
 
 
 _POOL: Optional[WorkerPool] = None
@@ -685,6 +866,12 @@ class ParallelSession:
         #: prefix entirely (fresh attaches skip dead rows, so the history is
         #: already baked in).
         self._shm_armed = False
+        #: None = CSR choice not made yet; resolved with the protocol at the
+        #: first shared-memory sync and then fixed for the session.
+        self._use_csr: Optional[bool] = None
+        #: The incremental CSR seal state (lives as long as the workers'
+        #: attached chunks do — released whenever the replicas reset).
+        self._sealer: Optional[CsrSealer] = None
         self._pool: Optional[WorkerPool] = None
         # (id(delta), len(delta), parent counter) -> validated window, so the
         # O(len) ordinal check is shared while the delta and the instance are
@@ -719,6 +906,11 @@ class ParallelSession:
             self._synced_count = 0
             self._synced_tombstones = 0
             self._shm_armed = False
+            if self._sealer is not None:
+                # The workers just dropped their attached chunks; the next
+                # sync reseals from scratch for the fresh replicas.
+                self._sealer.release()
+                self._sealer = None
             pool.current_session = self
         self._sync()
         return True
@@ -741,24 +933,32 @@ class ParallelSession:
             and len(log) == self._synced_tombstones
         ):
             return
-        if self._use_shm is None:
-            self._use_shm = shm_enabled()
-        if self._use_shm:
-            if self._sync_shm(instance, index, log):
-                return
-            # Shared memory is unusable on this platform/run.  Nothing has
-            # shipped yet when this happens on the first sync (promotion is
-            # the first step); a mid-session failure means a fresh predicate
-            # could not get a segment — resync the pool from scratch over
-            # the pickled protocol so the replicas stay whole either way.
-            self._use_shm = False
-            pool = self._pool
-            pool.broadcast(("reset", [crule.rule for crule in self.compiled]))
-            self._synced_limits = {}
-            self._synced_count = 0
-            self._synced_tombstones = 0
-            self._shm_armed = False
-        self._sync_legacy(instance, index, log)
+        sync_start = time.perf_counter_ns()
+        try:
+            if self._use_shm is None:
+                self._use_shm = shm_enabled()
+            if self._use_shm:
+                if self._sync_shm(instance, index, log):
+                    return
+                # Shared memory is unusable on this platform/run.  Nothing
+                # has shipped yet when this happens on the first sync
+                # (promotion is the first step); a mid-session failure means
+                # a fresh predicate or a seal could not get a segment —
+                # resync the pool from scratch over the pickled protocol so
+                # the replicas stay whole either way.
+                self._use_shm = False
+                if self._sealer is not None:
+                    self._sealer.release()
+                    self._sealer = None
+                pool = self._pool
+                pool.broadcast(("reset", [crule.rule for crule in self.compiled]))
+                self._synced_limits = {}
+                self._synced_count = 0
+                self._synced_tombstones = 0
+                self._shm_armed = False
+            self._sync_legacy(instance, index, log)
+        finally:
+            STATS.parallel_sync_ns += time.perf_counter_ns() - sync_start
 
     def _sync_shm(self, instance, index, log) -> bool:
         """Ship a shared-memory segment table; False if promotion failed.
@@ -767,10 +967,12 @@ class ParallelSession:
         promoted buffers just report their current segment and watermark),
         and the payload carries no fact rows at all: the dictionary delta,
         the ``(predicate, name, capacity, positions, watermark)`` table, the
-        predicate name table, and 4-int ``[pred, row_id, gid, arity]``
-        deletion records past the log watermark.  On the session's first
-        shipment the log prefix is dropped instead: fresh worker attaches
-        skip dead rows, so the deletion history is already reflected.
+        predicate name table, 4-int ``[pred, row_id, gid, arity]`` deletion
+        records past the log watermark, and — on CSR sessions — the seal
+        descriptor ``(segment, n_values, directory)`` whose six-int records
+        index the same predicate table.  On the session's first shipment the
+        log prefix is dropped instead: fresh worker attaches skip dead rows,
+        so the deletion history is already reflected.
         """
         segments: List[Tuple[str, str, int, int, int]] = []
         for predicate, cols in index.cols.items():
@@ -778,6 +980,19 @@ class ParallelSession:
             if segment is None:
                 return False
             segments.append((predicate, *segment))
+        if self._use_csr is None:
+            self._use_csr = csr_enabled()
+        csr: Optional[Tuple[Optional[str], int, array]] = None
+        entries: List[Tuple[str, int, int, int, int, int]] = []
+        seal_name: Optional[str] = None
+        seal_values = 0
+        if self._use_csr:
+            if self._sealer is None:
+                self._sealer = CsrSealer()
+            sealed = self._sealer.seal(index)
+            if sealed is None:  # pragma: no cover - /dev/shm unavailable or full
+                return False
+            seal_name, seal_values, entries = sealed
         sync_start = time.perf_counter_ns() if TRACER.enabled else 0
         pool = self._pool
         c_start, n_start = pool.synced_terms
@@ -788,18 +1003,41 @@ class ParallelSession:
             self._shm_armed = True
         pred_ids: Dict[str, int] = {}
         preds: List[str] = []
-        deletions: List[int] = []
-        for predicate, row_id, gid, arity in log[self._synced_tombstones :]:
+
+        def intern_pred(predicate: str) -> int:
             pred_idx = pred_ids.get(predicate)
             if pred_idx is None:
                 pred_idx = pred_ids[predicate] = len(preds)
                 preds.append(predicate)
-            deletions.append(pred_idx)
+            return pred_idx
+
+        deletions: List[int] = []
+        for predicate, row_id, gid, arity in log[self._synced_tombstones :]:
+            deletions.append(intern_pred(predicate))
             deletions.append(row_id)
             deletions.append(gid if gid is not None else -1)
             deletions.append(arity)
+        if self._use_csr:
+            directory: List[int] = []
+            for predicate, position, replace, off, n_tids, n_rows in entries:
+                directory.append(intern_pred(predicate))
+                directory.append(position)
+                directory.append(replace)
+                directory.append(off)
+                directory.append(n_tids)
+                directory.append(n_rows)
+            csr = (seal_name, seal_values, _int_array(directory))
         payload = pickle.dumps(
-            (c_start, consts, n_start, nulls, segments, preds, _int_array(deletions)),
+            (
+                c_start,
+                consts,
+                n_start,
+                nulls,
+                segments,
+                preds,
+                _int_array(deletions),
+                csr,
+            ),
             pickle.HIGHEST_PROTOCOL,
         )
         STATS.parallel_bytes_shipped += len(payload) * self.n_workers
@@ -1042,6 +1280,9 @@ class ParallelSession:
         if pool is not None and pool.current_session is self:
             pool.broadcast(("clear",))
             pool.current_session = None
+        if self._sealer is not None:
+            self._sealer.release()
+            self._sealer = None
         self._pool = None
 
 

@@ -101,6 +101,22 @@ class EngineStats:
     #: ``parallel_bytes_shipped`` it shows how much of the old pipe volume
     #: the zero-copy attach protocol eliminated versus merely relocated.
     parallel_shm_bytes: int = 0
+    #: Rows (re)posted into worker-local postings dicts during parallel
+    #: syncs, folded back from the workers per match task.  The CSR sealing
+    #: protocol exists to drive this to 0: workers attach the parent's
+    #: sealed postings read-only instead of rebuilding their own.  Reported,
+    #: never gated (it legitimately differs across protocol legs).
+    postings_rebuilt: int = 0
+    #: Predicate lane compactions performed by the DRed maintenance path
+    #: (tombstone ratio crossed the threshold and the live rows were packed
+    #: and renumbered).  Reported, never gated — the forced-compaction CI
+    #: leg runs with a deliberately different trigger threshold.
+    compactions: int = 0
+    #: Nanoseconds the parent spent inside parallel sync shipments (segment
+    #: promotion, CSR sealing, payload pickling, broadcast) — the slice of
+    #: dispatch latency the zero-copy protocol targets.  Wall-clock, so
+    #: reported but never gated.
+    parallel_sync_ns: int = 0
 
     def reset(self) -> None:
         """Zero every counter (the harness calls this before a measured run)."""
@@ -116,6 +132,9 @@ class EngineStats:
         self.parallel_fallbacks = 0
         self.parallel_bytes_shipped = 0
         self.parallel_shm_bytes = 0
+        self.postings_rebuilt = 0
+        self.compactions = 0
+        self.parallel_sync_ns = 0
 
     def snapshot(self) -> dict:
         """A plain-dict copy, in the key order the harness JSON uses."""
@@ -132,6 +151,9 @@ class EngineStats:
             "parallel_fallbacks": self.parallel_fallbacks,
             "parallel_bytes_shipped": self.parallel_bytes_shipped,
             "parallel_shm_bytes": self.parallel_shm_bytes,
+            "postings_rebuilt": self.postings_rebuilt,
+            "compactions": self.compactions,
+            "parallel_sync_ns": self.parallel_sync_ns,
         }
 
     def gated(self) -> dict:

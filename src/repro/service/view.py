@@ -457,6 +457,7 @@ class MaterializedView:
     def maintenance(self) -> dict:
         """Index and dictionary health: tombstones, term table, pinned readers."""
         index = self._session.instance._index
+        compaction_counts = getattr(self._session, "compaction_counts", {})
         predicates = {}
         for predicate in sorted(index.rows):
             total = len(index.rows[predicate])
@@ -467,6 +468,7 @@ class MaterializedView:
                 "tombstone_ratio": (
                     round(1.0 - live / total, 6) if total else 0.0
                 ),
+                "compactions": compaction_counts.get(predicate, 0),
             }
         constants, nulls = TERMS.counts()
         shm_segments, shm_bytes = promoted_stats()

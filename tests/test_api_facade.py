@@ -101,6 +101,12 @@ class TestEnvVarParity:
         )
         assert EngineConfig.from_env({}) == EngineConfig()
 
+    def test_from_env_reads_maintenance_knobs(self):
+        config = EngineConfig.from_env(
+            {"REPRO_SHM_RESULT_MIN": "4096", "REPRO_COMPACT_RATIO": "0.25"}
+        )
+        assert config == EngineConfig(shm_result_min=4096, compact_ratio=0.25)
+
 
 class TestEngineConstruction:
     def test_kwargs_build_a_config(self):
@@ -122,6 +128,14 @@ class TestEngineConstruction:
     def test_invalid_threshold_rejected(self):
         with pytest.raises(ValueError):
             EngineConfig(parallel_threshold=-1)
+
+    def test_invalid_shm_result_min_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(shm_result_min=-1)
+
+    def test_invalid_compact_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(compact_ratio=0.0)
 
     def test_with_overrides(self):
         base = EngineConfig(mode="batch")

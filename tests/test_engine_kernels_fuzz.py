@@ -52,6 +52,8 @@ def low_dispatch_threshold(monkeypatch):
     reach the numpy kernels through the public dispatcher — the production
     threshold sits above the sizes these differential tests can afford."""
     monkeypatch.setattr(kernels, "_MIN_BULK", 8)
+    monkeypatch.setattr(kernels, "_MIN_BULK_CSR", 4)
+    monkeypatch.setattr(kernels, "_MIN_BULK_INTERSECT", 4)
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -188,6 +190,83 @@ def test_extensions_on_promoted_buffer_matches_heap():
             }
     finally:
         cols.demote()
+
+
+# ---------------------------------------------------------------------------
+# CSR postings kernels: dict-bucket reference vs pure vs numpy
+# ---------------------------------------------------------------------------
+
+
+def random_csr_lane(rng, n_tids, universe=400):
+    """A CSR lane plus its dict-of-buckets shadow, built from plain ints.
+
+    The layout mirrors what :class:`~repro.engine.index.CsrSealer` emits into
+    shared memory — sorted tid directory, ``n_tids + 1`` prefix offsets, flat
+    ascending row ids per bucket — but over ordinary ``array('q')`` values,
+    so the kernel contract is pinned without any shm plumbing.  Empty
+    buckets are included deliberately: replace-mode sealing emits every
+    position of a predicate, hit or not.
+    """
+    from array import array
+
+    tids = sorted(rng.sample(range(universe), n_tids))
+    buckets = {}
+    offsets = [0]
+    rows = []
+    next_row = 0
+    for tid in tids:
+        count = rng.randint(0, 6)
+        span = range(next_row, next_row + 40)
+        ids = sorted(rng.sample(span, count)) if count else []
+        next_row += 40
+        buckets[tid] = ids
+        rows.extend(ids)
+        offsets.append(len(rows))
+    return buckets, array("q", tids), array("q", offsets), array("q", rows)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_csr_find_three_way_differential(seed):
+    rng = random.Random(11000 + seed)
+    buckets, tids, offsets, rows = random_csr_lane(rng, rng.randint(0, 30))
+    probes = set(buckets) | {rng.randrange(400) for _ in range(20)} | {-1, 401}
+    for tid in sorted(probes):
+        expected = buckets.get(tid)
+        for flag in (False, True):
+            if flag and not kernels.numpy_available():
+                continue
+            kernels.set_numpy_enabled(flag)
+            got = kernels.csr_find(tids, offsets, rows, tid)
+            if expected is None:
+                assert got is None, f"numpy={flag} tid={tid}"
+            else:
+                assert got is not None and list(got) == expected, (
+                    f"numpy={flag} tid={tid}"
+                )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_csr_intersect_three_way_differential(seed):
+    rng = random.Random(12000 + seed)
+    universe = 300
+    # Buckets drawn from one shared row universe so intersections are
+    # non-trivial; each is sorted ascending like a sealed CSR bucket.
+    def bucket():
+        return sorted(rng.sample(range(universe), rng.randint(0, 60)))
+
+    for _ in range(10):
+        anchor = bucket()
+        others = [bucket() for _ in range(rng.randint(0, 3))]
+        sets = [set(other) for other in others]
+        expected = [
+            row for row in anchor if all(row in other for other in sets)
+        ]
+        for flag in (False, True):
+            if flag and not kernels.numpy_available():
+                continue
+            kernels.set_numpy_enabled(flag)
+            got = kernels.csr_intersect(anchor, others)
+            assert list(got) == expected, f"numpy={flag}"
 
 
 # ---------------------------------------------------------------------------

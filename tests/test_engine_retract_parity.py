@@ -327,6 +327,95 @@ class TestPackedColumnTombstones:
         session.close()
 
 
+class TestTombstoneCompaction:
+    """Compaction is invisible: same atoms, same gated counters, fewer rows.
+
+    :meth:`PredicateIndex.compact` rewrites a lane's physical rows (live rows
+    only, original order, fresh row ids) when the tombstone fraction crosses
+    ``compact_ratio`` at the end of a retraction.  The churn below retracts
+    and re-pushes chain segments in small bites so tombstones accumulate
+    without ever tripping the degenerate-rebuild guard; the forced-low leg
+    must then be byte-identical — atoms *and* gated counters — to the
+    disabled leg (ratio 2.0 can never trip), while holding strictly fewer
+    physical rows and a tombstone fraction bounded by the knob.
+    """
+
+    RATIO = 0.3
+
+    @staticmethod
+    def _churn():
+        edges = [edge(f"k{i}", f"k{i + 1}") for i in range(60)]
+        session = DeltaSession(TC_PROGRAM, edges)
+        for k in range(56, 30, -2):
+            session.retract(edges[k : k + 2])
+            session.push(edges[k : k + 2])
+        return session
+
+    def _run(self, ratio):
+        from repro.engine.index import compact_ratio, set_compact_ratio
+        from repro.engine.stats import STATS
+
+        previous = compact_ratio()
+        set_compact_ratio(ratio)
+        try:
+            STATS.reset()
+            session = self._churn()
+            atoms = session.instance.sorted_atoms()
+            gated = STATS.gated()
+            counts = dict(session.compaction_counts)
+            index = session.instance._index
+            lanes = {
+                predicate: (index.row_count(predicate), index.live.get(predicate, 0))
+                for predicate in index.rows
+            }
+            assert_cold_parity(session)
+            session.close()
+            return atoms, gated, counts, lanes
+        finally:
+            set_compact_ratio(previous)
+
+    def test_byte_parity_with_compaction_disabled(self):
+        atoms_on, gated_on, counts_on, lanes_on = self._run(self.RATIO)
+        atoms_off, gated_off, counts_off, lanes_off = self._run(2.0)
+        assert sum(counts_on.values()) >= 1  # the forced leg really compacted
+        assert not counts_off
+        assert atoms_on == atoms_off
+        assert gated_on == gated_off
+        for predicate in counts_on:
+            total_on, live_on = lanes_on[predicate]
+            total_off, live_off = lanes_off[predicate]
+            # Same live facts through strictly fewer physical rows, and the
+            # dead remainder bounded by the knob: pushes after the last
+            # compacting retraction only ever add live rows, so the fraction
+            # the final retraction left behind can only have shrunk.
+            assert live_on == live_off
+            assert total_on < total_off
+            assert (total_on - live_on) / total_on <= self.RATIO
+
+    def test_three_mode_parity_under_forced_compaction(self):
+        from repro.engine.index import compact_ratio, set_compact_ratio
+
+        previous = compact_ratio()
+        set_compact_ratio(self.RATIO)
+        try:
+
+            def stream():
+                session = self._churn()
+                atoms = list(session.instance)
+                assert sum(session.compaction_counts.values()) >= 1
+                session.close()
+                return atoms
+
+            outcome = run_three_modes(stream)
+            assert outcome["row"][0] == outcome["batch"][0] == outcome["parallel"][0]
+            # The gated counters too: compaction renumbers rows mid-session
+            # (forcing a parallel re-arm), which must not change the work any
+            # executor accounts for.
+            assert outcome["row"][1] == outcome["batch"][1] == outcome["parallel"][1]
+        finally:
+            set_compact_ratio(previous)
+
+
 class TestCanary:
     def test_oracle_catches_a_skipped_rederivation(self, monkeypatch):
         # Plant the bug DRed exists to prevent — delete the over-deleted

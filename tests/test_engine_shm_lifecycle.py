@@ -31,6 +31,7 @@ from repro.engine.incremental import DeltaSession
 from repro.engine.interning import TERMS
 from repro.engine.mode import execution_mode
 from repro.engine.parallel import (
+    csr_override,
     parallel_threshold_override,
     shm_override,
     shutdown_pool,
@@ -106,3 +107,63 @@ def test_repeated_cycles_do_not_accumulate_segments():
         leaked = shm_entries() - before
         assert not leaked, f"cycle {cycle} leaked: {sorted(leaked)}"
     assert promoted_stats() == (0, 0)
+
+
+def _names(prefix):
+    return {name for name in shm_entries() if name.startswith(prefix)}
+
+
+def test_csr_seal_segments_rotate_and_release():
+    """Each sync seals one ``repro-csr-*`` segment and unlinks its
+    predecessor, so the live seal population never exceeds one per session —
+    repeated pushes must rotate the segment, not accumulate a history."""
+    edges = [edge(f"s{i}", f"s{i + 1}") for i in range(30)]
+    before = shm_entries()
+    with execution_mode("parallel", WORKERS):
+        with parallel_threshold_override(0), shm_override(True), csr_override(True):
+            session = DeltaSession(TC_PROGRAM, edges[:10])
+            session.push(edges[10:20])
+            first = _names("repro-csr-")
+            assert len(first) == 1, sorted(first)
+            session.push(edges[20:])
+            second = _names("repro-csr-")
+            assert len(second) == 1 and second != first, sorted(second)
+            session.close()
+    shutdown_pool()
+    leaked = shm_entries() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+def test_result_rings_pooled_per_worker_and_released():
+    """Workers ship match results through one persistent pooled ring each
+    (``repro-res-*``), not one-shot segments — the population is bounded by
+    the worker count across repeated dispatches and vanishes at shutdown."""
+    edges = [edge(f"r{i}", f"r{i + 1}") for i in range(30)]
+    before = shm_entries()
+    with execution_mode("parallel", WORKERS):
+        with parallel_threshold_override(0), shm_override(True):
+            session = DeltaSession(TC_PROGRAM, edges[:10])
+            session.push(edges[10:20])
+            rings = _names("repro-res-")
+            assert 0 < len(rings) <= WORKERS, sorted(rings)
+            session.push(edges[20:])
+            # Re-dispatching may regrow a ring (new name) but never mints
+            # per-result one-shots: the bound stays the worker count.
+            assert len(_names("repro-res-")) <= WORKERS
+            session.close()
+    shutdown_pool()
+    leaked = shm_entries() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+def test_csr_off_leg_releases_every_segment():
+    # The legacy rebuild protocol (REPRO_CSR=0) must stay leak-free too —
+    # it is a supported CI leg, not a deprecated path.
+    edges = [edge(f"o{i}", f"o{i + 1}") for i in range(25)]
+    before = shm_entries()
+    with csr_override(False):
+        _, promoted, _ = evaluate_parallel(edges)
+        assert promoted > 0
+        shutdown_pool()
+    leaked = shm_entries() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"

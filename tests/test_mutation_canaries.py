@@ -9,7 +9,7 @@ to **fail**; the clean configuration is asserted to pass immediately before
 and after, so a red canary always means "the oracle went blind", never "the
 engine broke".
 
-Three mutations, one per protocol layer:
+Four mutations, one per protocol layer:
 
 * **skip the replica deletion replay** —
   :meth:`PredicateIndex.tombstone_row` is how worker replicas and their
@@ -21,7 +21,12 @@ Three mutations, one per protocol layer:
   extension must break row/batch byte-parity;
 * **drop one head fire** — :meth:`Instance.add_key` lands batch-mode head
   facts; pretending one genuinely-new fact was a duplicate must break the
-  same parity (the row path lands heads through ``add_fact``).
+  same parity (the row path lands heads through ``add_fact``);
+* **let the CSR directory go stale** — :meth:`CsrStore.apply` is how workers
+  install each sync's freshly sealed postings chunks; dropping every seal
+  after the first leaves the workers probing a directory frozen at the first
+  watermark, and the shared-memory parallel-vs-row oracle must notice the
+  matches the stale buckets can no longer find.
 
 The mutations are applied through ``monkeypatch`` fixture toggles (no
 subprocesses needed: the forked worker pool inherits the patched classes,
@@ -37,9 +42,10 @@ from repro.datalog.database import Instance
 from repro.datalog.terms import Null
 from repro.engine import kernels
 from repro.engine.incremental import DeltaSession, cold_equivalent
-from repro.engine.index import PredicateIndex
+from repro.engine.index import CsrStore, PredicateIndex
 from repro.engine.mode import execution_mode
 from repro.engine.parallel import (
+    csr_override,
     parallel_threshold_override,
     shm_override,
     shutdown_pool,
@@ -103,6 +109,43 @@ def oracle_parallel_retract_vs_cold():
         shutdown_pool()
 
 
+def oracle_parallel_csr_vs_row():
+    """Parallel evaluation over the sealed CSR directory equals the row run.
+
+    The shared-memory + CSR protocol is forced, and the session pushes a
+    second batch after its initial fixpoint so the workers must install a
+    sequence of seals: the initial replace chunks, then the delta chunks of
+    every later round.  A worker whose directory froze at an earlier
+    watermark probes buckets that are missing every later row, silently
+    drops the matches that extend through them, and the recursion dies —
+    which is exactly what the planted ``CsrStore.apply`` mutation must make
+    visible.  The reference closure is computed by the *row* executor, not
+    ``cold_equivalent``: a cold run inside parallel mode would dispatch
+    through the same mutated workers and inherit the same blindness, and an
+    oracle whose reference degrades with the mutation can never discriminate.
+    The pool is retired first so workers fork under the current (possibly
+    mutated) code.
+    """
+    es = edges(14, "g")
+    shutdown_pool()
+    try:
+        with execution_mode("row"):
+            reference = DeltaSession(TC_PROGRAM, es)
+            expected = reference.instance.sorted_atoms()
+            reference.close()
+        with execution_mode("parallel", WORKERS):
+            with parallel_threshold_override(0), shm_override(True), csr_override(
+                True
+            ):
+                session = DeltaSession(TC_PROGRAM, es[:8])
+                session.push(es[8:])
+                atoms = session.instance.sorted_atoms()
+                session.close()
+                assert atoms == expected
+    finally:
+        shutdown_pool()
+
+
 def oracle_row_vs_batch():
     """Row and batch executors: byte-identical atoms and gated counters."""
     es = edges(10)
@@ -155,6 +198,24 @@ def test_perturbed_probe_verdict_is_caught(monkeypatch):
             oracle_row_vs_batch()
     assert state["perturbed"], "the mutant kernel was never exercised"
     oracle_row_vs_batch()  # unplanted: must pass again
+
+
+def test_stale_csr_directory_is_caught(monkeypatch):
+    oracle_parallel_csr_vs_row()  # clean: must pass
+    original = CsrStore.apply
+    state = {"applied": False}  # forked into each worker; flips per process
+
+    def mutant(self, name, n_values, preds, directory):
+        if state["applied"]:
+            return None  # drop every later seal: the directory goes stale
+        state["applied"] = True
+        return original(self, name, n_values, preds, directory)
+
+    with monkeypatch.context() as m:
+        m.setattr(CsrStore, "apply", mutant)
+        with pytest.raises(AssertionError):
+            oracle_parallel_csr_vs_row()
+    oracle_parallel_csr_vs_row()  # unplanted: must pass again
 
 
 def test_dropped_head_fire_is_caught(monkeypatch):

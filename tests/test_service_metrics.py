@@ -153,6 +153,38 @@ class TestMaintenanceSurface:
             assert view.maintenance()["readers_pinned"] == 1
         assert view.maintenance()["readers_pinned"] == 0
 
+    def test_compactions_surface_per_predicate(self, view):
+        from repro.engine.index import compact_ratio, set_compact_ratio
+
+        health = view.maintenance()
+        assert all(
+            entry["compactions"] == 0 for entry in health["predicates"].values()
+        )
+        # Force the ratio low enough that churning a batch of fresh triples
+        # in and out trips compaction, then check the per-predicate counts
+        # both surface and reconcile with the lane going clean again.  The
+        # retraction goes in small bites: evicting the whole batch at once
+        # trips the degeneration guard instead (cold rebuild, fresh lanes,
+        # nothing to compact).
+        churn = [(f"tmp_{i}", "rdf:type", "Student") for i in range(600)]
+        previous = compact_ratio()
+        set_compact_ratio(0.05)
+        try:
+            view.push(churn)
+            for k in range(0, len(churn), 40):
+                view.retract(churn[k : k + 40])
+        finally:
+            set_compact_ratio(previous)
+        health = view.maintenance()
+        compacted = {
+            predicate: entry
+            for predicate, entry in health["predicates"].items()
+            if entry["compactions"] > 0
+        }
+        assert compacted, "forced-low ratio never compacted a lane"
+        for entry in compacted.values():
+            assert entry["tombstone_ratio"] <= 0.05
+
 
 class TestMetricsText:
     def test_exposition_contains_view_and_engine_series(self, view):
